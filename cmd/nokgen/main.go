@@ -1,0 +1,54 @@
+// Command nokgen generates the synthetic benchmark datasets (see
+// internal/datagen for the shapes they reproduce).
+//
+// Usage:
+//
+//	nokgen -dataset author|address|catalog|treebank|dblp -out FILE [-scale N] [-seed S]
+//	nokgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"nok/internal/datagen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nokgen: ")
+	name := flag.String("dataset", "", "dataset to generate")
+	out := flag.String("out", "", "output XML path")
+	scale := flag.Int("scale", 1, "size multiplier")
+	seed := flag.Int64("seed", 20040301, "generator seed")
+	list := flag.Bool("list", false, "list datasets")
+	flag.Parse()
+
+	if *list {
+		for _, s := range datagen.Specs() {
+			fmt.Printf("%-10s %-6s ~%d nodes at scale 1\n", s.Name, s.Shape, s.ApproxNodes(1))
+		}
+		return
+	}
+	if *name == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec, ok := datagen.SpecByName(*name)
+	if !ok {
+		log.Fatalf("unknown dataset %q (use -list)", *name)
+	}
+	t0 := time.Now()
+	if err := datagen.GenerateFile(spec, *out, *scale, *seed); err != nil {
+		log.Fatal(err)
+	}
+	st, err := datagen.ComputeStats(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s in %v: %d bytes, %d nodes, avg depth %.1f, max depth %d, %d tags\n",
+		*out, time.Since(t0).Round(time.Millisecond), st.Bytes, st.Nodes, st.AvgDepth, st.MaxDepth, st.Tags)
+}

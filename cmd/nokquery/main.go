@@ -1,0 +1,100 @@
+// Command nokquery evaluates a path expression against a NoK store, or —
+// with -xml — directly against an XML file in one streaming pass without
+// building a store.
+//
+// Usage:
+//
+//	nokquery -db DIR [-strategy auto|scan|tag|value|path] [-stats] QUERY
+//	nokquery -xml FILE QUERY
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"nok"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nokquery: ")
+	db := flag.String("db", "", "store directory")
+	xml := flag.String("xml", "", "stream-evaluate against an XML file instead of a store")
+	strategy := flag.String("strategy", "auto", "starting-point strategy: auto, scan, tag, value, path")
+	showStats := flag.Bool("stats", false, "print evaluation statistics")
+	flag.Parse()
+	if (*db == "") == (*xml == "") || flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	expr := flag.Arg(0)
+
+	if *xml != "" {
+		f, err := os.Open(*xml)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		t0 := time.Now()
+		n := 0
+		err = nok.Stream(f, expr, func(r nok.Result) bool {
+			n++
+			if r.HasValue {
+				fmt.Printf("%-16s %q\n", r.ID, r.Value)
+			} else {
+				fmt.Printf("%-16s\n", r.ID)
+			}
+			return true
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("-- %d result(s) in %v (streaming, single pass)\n", n, time.Since(t0).Round(time.Microsecond))
+		return
+	}
+
+	var strat nok.Strategy
+	switch *strategy {
+	case "auto":
+		strat = nok.StrategyAuto
+	case "scan":
+		strat = nok.StrategyScan
+	case "tag":
+		strat = nok.StrategyTagIndex
+	case "value":
+		strat = nok.StrategyValueIndex
+	case "path":
+		strat = nok.StrategyPathIndex
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+
+	st, err := nok.Open(*db, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	t0 := time.Now()
+	rs, stats, err := st.QueryWithOptions(expr, &nok.QueryOptions{Strategy: strat})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+	for _, r := range rs {
+		if r.HasValue {
+			fmt.Printf("%-16s %-12s %q\n", r.ID, r.Tag, r.Value)
+		} else {
+			fmt.Printf("%-16s %-12s\n", r.ID, r.Tag)
+		}
+	}
+	fmt.Printf("-- %d result(s) in %v\n", len(rs), elapsed.Round(time.Microsecond))
+	if *showStats {
+		fmt.Printf("-- partitions=%d starts=%d npm=%d visited=%d joins=%d strategies=%v\n",
+			stats.Partitions, stats.StartingPoints, stats.NPMCalls,
+			stats.NodesVisited, stats.JoinInputs, stats.StrategyUsed)
+	}
+}

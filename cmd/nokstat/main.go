@@ -1,0 +1,53 @@
+// Command nokstat inspects a NoK store or explains a query plan.
+//
+// Usage:
+//
+//	nokstat -db DIR [-tag NAME]
+//	nokstat -explain QUERY
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nok"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nokstat: ")
+	db := flag.String("db", "", "store directory")
+	tag := flag.String("tag", "", "report the node count of one tag")
+	explain := flag.String("explain", "", "explain a query instead of opening a store")
+	flag.Parse()
+
+	if *explain != "" {
+		out, err := nok.Explain(*explain)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	if *db == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	st, err := nok.Open(*db, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	s := st.Stats()
+	fmt.Printf("nodes:        %d\n", s.Nodes)
+	fmt.Printf("pages:        %d\n", s.Pages)
+	fmt.Printf("max depth:    %d\n", s.MaxDepth)
+	fmt.Printf("|tree|:       %d bytes\n", s.TreeBytes)
+	fmt.Printf("values:       %d bytes\n", s.ValueBytes)
+	fmt.Printf("headers(RAM): %d bytes\n", s.HeaderBytes)
+	if *tag != "" {
+		fmt.Printf("count(%s):  %d\n", *tag, st.TagCount(*tag))
+	}
+}

@@ -1,0 +1,67 @@
+// Catalog search: a product-catalog scenario on the deep XBench-style
+// dataset. Shows how the §6.2 starting-point strategies behave on the
+// same query: scan, tag index, value index, and the automatic heuristic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"nok"
+	"nok/internal/datagen"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "nok-catalog")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Generate and load the catalog dataset (≈30k nodes at scale 1).
+	xmlPath := dir + "/catalog.xml"
+	spec, _ := datagen.SpecByName("catalog")
+	if err := datagen.GenerateFile(spec, xmlPath, 1, 7); err != nil {
+		log.Fatal(err)
+	}
+	store, err := nok.CreateFromFile(dir+"/catalog.db", xmlPath, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+	st := store.Stats()
+	fmt.Printf("catalog: %d nodes in %d pages, max depth %d\n\n", st.Nodes, st.Pages, st.MaxDepth)
+
+	// A selective lookup: books by one publisher with a review.
+	query := `/catalog/category/item[publisher="Kluwer Academic"][reviews]/title`
+	fmt.Println("query:", query)
+	for _, s := range []struct {
+		name  string
+		strat nok.Strategy
+	}{
+		{"scan", nok.StrategyScan},
+		{"tag-index", nok.StrategyTagIndex},
+		{"value-index", nok.StrategyValueIndex},
+		{"auto", nok.StrategyAuto},
+	} {
+		t0 := time.Now()
+		rs, stats, err := store.QueryWithOptions(query, &nok.QueryOptions{Strategy: s.strat})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %4d results in %8v (starts=%d, nodes visited=%d)\n",
+			s.name, len(rs), time.Since(t0).Round(time.Microsecond),
+			stats.StartingPoints, stats.NodesVisited)
+	}
+
+	// Deep path with a wildcard step.
+	fmt.Println("\nquery: //item/attributes/size_of_book/height")
+	rs, err := store.Query(`//item/attributes/size_of_book/height`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d heights; first: %s = %q\n", len(rs), rs[0].ID, rs[0].Value)
+}

@@ -1,0 +1,117 @@
+// Comparison: run the same queries through all four engines of the
+// paper's evaluation — DI (interval merge joins), the navigational
+// baseline, TwigStack (holistic twig join) and NoK — on one generated
+// document, printing times and result counts side by side. A miniature,
+// interactive Table 3.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"nok/internal/datagen"
+	"nok/internal/di"
+	"nok/internal/domnav"
+	"nok/internal/pattern"
+	"nok/internal/twigstack"
+
+	"nok"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "nok-compare")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// One dblp-like document, four engines.
+	xmlPath := dir + "/dblp.xml"
+	spec, _ := datagen.SpecByName("dblp")
+	if err := datagen.GenerateFile(spec, xmlPath, 1, 42); err != nil {
+		log.Fatal(err)
+	}
+
+	nokStore, err := nok.CreateFromFile(dir+"/nok.db", xmlPath, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nokStore.Close()
+
+	f, _ := os.Open(xmlPath)
+	diEng, err := di.Load(dir+"/di", f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer diEng.Close()
+
+	f, _ = os.Open(xmlPath)
+	twig, err := twigstack.Load(dir+"/twig", f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer twig.Close()
+
+	f, _ = os.Open(xmlPath)
+	dom, err := domnav.Parse(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []string{
+		`/dblp/article[author="` + datagen.NeedleHigh + `"]`,
+		`//article[author="` + datagen.NeedleMod + `"]/title`,
+		`//article[title][year]`,
+		`/dblp/article/title`,
+	}
+	fmt.Printf("%-55s %10s %10s %10s %10s\n", "query", "DI", "Nav", "TwigStack", "NoK")
+	for _, q := range queries {
+		row := fmt.Sprintf("%-55.55s", q)
+		var counts []int
+
+		t0 := time.Now()
+		rs1, err := diEng.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row += fmt.Sprintf(" %9.2fms", ms(time.Since(t0)))
+		counts = append(counts, len(rs1))
+
+		tr := pattern.MustParse(q)
+		t0 = time.Now()
+		rs2 := domnav.Evaluate(dom, tr)
+		row += fmt.Sprintf(" %9.2fms", ms(time.Since(t0)))
+		counts = append(counts, len(rs2))
+
+		t0 = time.Now()
+		rs3, err := twig.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row += fmt.Sprintf(" %9.2fms", ms(time.Since(t0)))
+		counts = append(counts, len(rs3))
+
+		t0 = time.Now()
+		rs4, err := nokStore.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row += fmt.Sprintf(" %9.2fms", ms(time.Since(t0)))
+		counts = append(counts, len(rs4))
+
+		for _, c := range counts[1:] {
+			if c != counts[0] {
+				log.Fatalf("engines disagree on %q: %v", q, counts)
+			}
+		}
+		fmt.Printf("%s   (%d results)\n", row, counts[0])
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

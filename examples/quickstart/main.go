@@ -1,0 +1,53 @@
+// Quickstart: build a store from the paper's running example (the
+// bibliography of Figure 1(a)) and evaluate Example 1's query
+// //book[author/last="Stevens"][price<100].
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"nok"
+	"nok/internal/samples"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "nok-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Load the XML document; any io.Reader works.
+	store, err := nok.Create(dir+"/bib.db", strings.NewReader(samples.Bibliography), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	fmt.Println("query:", samples.PaperQuery)
+	results, err := store.Query(samples.PaperQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		// Fetch each matched book's title through its Dewey ID: the
+		// title is the second child of a book.
+		title, _, err := store.Value(r.ID + ".2")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  book %s: %s\n", r.ID, title)
+	}
+
+	// Explain shows the pattern tree and NoK partitioning.
+	plan, err := nok.Explain(samples.PaperQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nplan:")
+	fmt.Print(plan)
+}

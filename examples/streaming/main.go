@@ -1,0 +1,45 @@
+// Streaming: evaluate path queries over an XML stream in a single pass
+// with bounded memory — no store on disk. The paper observes (§4.2) that
+// the succinct string representation is exactly the SAX event stream, so
+// NoK matching applies to live feeds unchanged.
+//
+// This example generates a dblp-like publication feed in one goroutine and
+// matches it in another through an io.Pipe: nothing is ever materialized.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+
+	"nok"
+	"nok/internal/datagen"
+)
+
+func main() {
+	log.SetFlags(0)
+	pr, pw := io.Pipe()
+
+	// Producer: a publication feed of ~36k elements.
+	go func() {
+		spec, _ := datagen.SpecByName("dblp")
+		err := spec.Generate(pw, 1, 42)
+		pw.CloseWithError(err)
+	}()
+
+	// Consumer: find the first five VLDB Journal articles as they fly by,
+	// then stop — the producer is cut off mid-stream.
+	query := `/dblp/article[journal="VLDB Journal"]/title`
+	fmt.Println("query:", query)
+	n := 0
+	err := nok.Stream(pr, query, func(r nok.Result) bool {
+		n++
+		fmt.Printf("  %-14s %s\n", r.ID, r.Value)
+		return n < 5
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr.Close()
+	fmt.Printf("stopped after %d matches without buffering the document\n", n)
+}

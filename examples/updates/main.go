@@ -1,0 +1,76 @@
+// Updates: maintain a bibliography incrementally — insert new books,
+// delete one, and watch queries track the changes. Demonstrates the
+// update path of §4.2: subtree insertion into the succinct string
+// representation plus index reconstruction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"nok"
+	"nok/internal/samples"
+)
+
+func count(store *nok.Store, q string) int {
+	rs, err := store.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return len(rs)
+}
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "nok-updates")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	store, err := nok.Create(dir+"/bib.db", strings.NewReader(samples.Bibliography), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	fmt.Printf("books initially: %d\n", count(store, `/bib/book`))
+
+	// Insert two new books as children of the root (Dewey ID "0").
+	for _, frag := range []string{
+		`<book year="2003"><title>Holistic Twig Joins in Practice</title>
+		   <author><last>Koudas</last><first>N.</first></author>
+		   <publisher>SIGMOD</publisher><price>42.00</price></book>`,
+		`<book year="2004"><title>NoK Pattern Matching</title>
+		   <author><last>Zhang</last><first>Ning</first></author>
+		   <publisher>ICDE</publisher><price>10.00</price></book>`,
+	} {
+		if err := store.Insert("0", strings.NewReader(frag)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("books after inserts: %d\n", count(store, `/bib/book`))
+	fmt.Printf("cheap books (<50): %d\n", count(store, `//book[price<50]`))
+
+	// The new content is fully indexed: value queries find it.
+	rs, err := store.Query(`//book[author/last="Zhang"]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Zhang's book ID: %s\n", rs[0].ID)
+
+	// Delete the most expensive book (Economics of Technology, 129.95).
+	exp, err := store.Query(`//book[price>100]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range exp {
+		fmt.Printf("deleting book %s\n", r.ID)
+		if err := store.Delete(r.ID); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("books after delete: %d (siblings renumbered)\n", count(store, `/bib/book`))
+}

@@ -1,0 +1,3 @@
+module nok
+
+go 1.24

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func smallCfg(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		WorkDir:  t.TempDir(),
+		Scale:    1,
+		Runs:     1,
+		Datasets: []string{"author"},
+	}
+}
+
+func TestPrepareAndReuse(t *testing.T) {
+	cfg := smallCfg(t)
+	env, err := Prepare(cfg, "author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.NoK.NodeCount() == 0 || env.DI.Count() == 0 || env.Twig.Count() == 0 || env.Dom.NumNodes() == 0 {
+		t.Fatal("engines not loaded")
+	}
+	if env.NoK.NodeCount() != uint64(env.DI.Count()) || env.DI.Count() != env.Twig.Count() ||
+		env.Twig.Count() != env.Dom.NumNodes() {
+		t.Errorf("node counts disagree: nok=%d di=%d twig=%d dom=%d",
+			env.NoK.NodeCount(), env.DI.Count(), env.Twig.Count(), env.Dom.NumNodes())
+	}
+	env.Close()
+
+	// Second Prepare must reuse the cached stores.
+	env2, err := Prepare(cfg, "author")
+	if err != nil {
+		t.Fatalf("reuse: %v", err)
+	}
+	defer env2.Close()
+	if env2.NoK.NodeCount() == 0 {
+		t.Error("cached store empty")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Dataset != "author" {
+		t.Fatalf("rows: %+v", rows)
+	}
+	r := rows[0]
+	if r.Nodes == 0 || r.TreeBytes == 0 || r.TagIdxBytes == 0 || r.ValIdxBytes == 0 || r.DewIdxBytes == 0 {
+		t.Errorf("zero columns: %+v", r)
+	}
+	// |tree| must be far smaller than the document (§4.2).
+	if r.TreeBytes*5 > r.Bytes {
+		t.Errorf("|tree| = %d vs doc %d: not succinct", r.TreeBytes, r.Bytes)
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "author") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestTable3SingleDataset(t *testing.T) {
+	rows, err := Table3(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 systems", len(rows))
+	}
+	// NA pattern: Q4, Q6, Q8 for author.
+	for _, r := range rows {
+		for _, qi := range []int{3, 5, 7} {
+			if !r.Cells[qi].NA {
+				t.Errorf("%s Q%d should be NA", r.System, qi+1)
+			}
+		}
+	}
+	// DI must be NI wherever inequality comparisons appear (none in the
+	// author workload: all comparisons are equality) — so DI has no NI.
+	var buf bytes.Buffer
+	WriteTable3(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "NoK") || !strings.Contains(out, "NA") {
+		t.Errorf("rendering:\n%s", out)
+	}
+	sums := Summarize(rows)
+	if len(sums) != 3 {
+		t.Errorf("summaries = %d", len(sums))
+	}
+	WriteSummary(&buf, sums)
+}
+
+func TestRatios(t *testing.T) {
+	rows, err := Ratios(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Ratio < 5 {
+		t.Errorf("doc/tree ratio = %.1f, expected succinct storage", r.Ratio)
+	}
+	// §4.2: headers for 1TB of XML must fit in main memory (tens of MB;
+	// we allow up to a few hundred MB for small-page test configs).
+	if r.HeaderPerTB > 1<<30 {
+		t.Errorf("headers per TB = %.0f MB", r.HeaderPerTB/(1<<20))
+	}
+	var buf bytes.Buffer
+	WriteRatios(&buf, rows)
+}
+
+func TestIOSinglePass(t *testing.T) {
+	rows, err := IO(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.SinglePass {
+			t.Errorf("%s: %d reads > %d pages — Proposition 1 violated", r.Dataset, r.Reads, r.Pages)
+		}
+	}
+	var buf bytes.Buffer
+	WriteIO(&buf, rows)
+}
+
+func TestHeuristic(t *testing.T) {
+	rows, err := Heuristic(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.AutoPick != "value-index" {
+		t.Errorf("auto picked %s for a value query, want value-index", r.AutoPick)
+	}
+	var buf bytes.Buffer
+	WriteHeuristic(&buf, rows)
+}
+
+func TestUpdate(t *testing.T) {
+	rows, err := Update(smallCfg(t), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Inserts != 5 {
+		t.Errorf("inserts = %d", r.Inserts)
+	}
+	// Locality: a single small insert touches a handful of pages, not the
+	// whole store.
+	if r.AvgPageWrites > 20 {
+		t.Errorf("avg page writes per insert = %.1f — update not local", r.AvgPageWrites)
+	}
+	var buf bytes.Buffer
+	WriteUpdate(&buf, rows)
+}
+
+func TestStreaming(t *testing.T) {
+	rows, err := Streaming(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if !r.Supported {
+		t.Fatal("author Q1 should stream")
+	}
+	if r.Results == 0 {
+		t.Error("no results")
+	}
+	var buf bytes.Buffer
+	WriteStreaming(&buf, rows)
+}
+
+func TestHeaderSkipAblation(t *testing.T) {
+	rows, err := HeaderSkip(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rows[0] is the synthetic deep document, where skipping must pay off
+	// massively; the flat datasets may show zero skips (see EXPERIMENTS.md).
+	r := rows[0]
+	if r.Dataset != "synthetic-deep" {
+		t.Fatalf("first row = %s", r.Dataset)
+	}
+	if r.Skipped == 0 || r.Examined*4 > r.ExaminedNoSkip {
+		t.Errorf("deep document should skip most pages: %+v", r)
+	}
+	var buf bytes.Buffer
+	WriteHeaderSkip(&buf, rows)
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"nok/internal/domnav"
+	"nok/internal/pattern"
+	"nok/internal/stream"
+	"nok/internal/workload"
+)
+
+// TestAllEnginesAgreeExactly goes beyond the harness's cardinality checks:
+// for every workload query of every dataset, the exact result sets of all
+// engines are compared — NoK and the streaming evaluator by Dewey ID,
+// DI and TwigStack by preorder ordinal — with the DOM oracle as ground
+// truth.
+func TestAllEnginesAgreeExactly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads five datasets")
+	}
+	cfg := Config{WorkDir: t.TempDir(), Scale: 1, Runs: 1}
+	for _, name := range cfg.WithDefaults().Datasets {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			env, err := Prepare(cfg, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer env.Close()
+			queries, err := workload.ForDataset(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range queries {
+				if q.NA() {
+					continue
+				}
+				tr, err := pattern.Parse(q.Expr)
+				if err != nil {
+					t.Fatalf("%s: %v", q.Category.ID, err)
+				}
+				oracle := domnav.Evaluate(env.Dom, tr)
+				wantIDs := make([]string, len(oracle))
+				wantOrds := make([]int, len(oracle))
+				for i, n := range oracle {
+					wantIDs[i] = n.ID.String()
+					wantOrds[i] = n.Order
+				}
+
+				// NoK: Dewey identity.
+				ms, _, err := env.NoK.Query(q.Expr, nil)
+				if err != nil {
+					t.Fatalf("%s NoK: %v", q.Category.ID, err)
+				}
+				if len(ms) != len(oracle) {
+					t.Fatalf("%s NoK: %d results, oracle %d", q.Category.ID, len(ms), len(oracle))
+				}
+				for i, m := range ms {
+					if m.ID.String() != wantIDs[i] {
+						t.Fatalf("%s NoK result %d = %s, oracle %s", q.Category.ID, i, m.ID, wantIDs[i])
+					}
+				}
+
+				// DI: ordinal identity.
+				dis, err := env.DI.Query(q.Expr)
+				if err == nil {
+					if len(dis) != len(oracle) {
+						t.Fatalf("%s DI: %d results, oracle %d", q.Category.ID, len(dis), len(oracle))
+					}
+					for i, r := range dis {
+						if r.Ordinal != wantOrds[i] {
+							t.Fatalf("%s DI result %d = ord %d, oracle %d", q.Category.ID, i, r.Ordinal, wantOrds[i])
+						}
+					}
+				}
+
+				// TwigStack: ordinal identity.
+				tws, err := env.Twig.Query(q.Expr)
+				if err == nil {
+					if len(tws) != len(oracle) {
+						t.Fatalf("%s TwigStack: %d results, oracle %d", q.Category.ID, len(tws), len(oracle))
+					}
+					for i, r := range tws {
+						if r.Ordinal != wantOrds[i] {
+							t.Fatalf("%s TwigStack result %d = ord %d, oracle %d", q.Category.ID, i, r.Ordinal, wantOrds[i])
+						}
+					}
+				}
+
+				// Streaming evaluator: Dewey identity, when supported.
+				if stream.Supported(tr) == nil {
+					f, err := os.Open(env.XMLPath)
+					if err != nil {
+						t.Fatal(err)
+					}
+					srs, _, err := stream.Match(f, tr)
+					f.Close()
+					if err != nil {
+						t.Fatalf("%s stream: %v", q.Category.ID, err)
+					}
+					if len(srs) != len(oracle) {
+						t.Fatalf("%s stream: %d results, oracle %d", q.Category.ID, len(srs), len(oracle))
+					}
+					for i, r := range srs {
+						if r.ID.String() != wantIDs[i] {
+							t.Fatalf("%s stream result %d = %s, oracle %s", q.Category.ID, i, r.ID, wantIDs[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDescendantSubstitutedQueriesAgree runs the paper's "//-substituted"
+// query variants through NoK and the oracle.
+func TestDescendantSubstitutedQueriesAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads a dataset")
+	}
+	cfg := Config{WorkDir: t.TempDir(), Scale: 1, Runs: 1}
+	env, err := Prepare(cfg, "dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	queries, err := workload.ForDataset("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range workload.SubstituteDescendant(queries, 20040301) {
+		if q.NA() {
+			continue
+		}
+		tr, err := pattern.Parse(q.Expr)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Expr, err)
+		}
+		oracle := domnav.Evaluate(env.Dom, tr)
+		ms, _, err := env.NoK.Query(q.Expr, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Expr, err)
+		}
+		if len(ms) != len(oracle) {
+			t.Fatalf("%s: NoK %d results, oracle %d", q.Expr, len(ms), len(oracle))
+		}
+		for i := range ms {
+			if ms[i].ID.String() != oracle[i].ID.String() {
+				t.Fatalf("%s: result %d differs", q.Expr, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Table1Row reproduces one row of the paper's Table 1: dataset statistics
+// plus the sizes of the string representation and the three B+ trees.
+type Table1Row struct {
+	Dataset  string
+	Bytes    int64
+	Nodes    int
+	AvgDepth float64
+	MaxDepth int
+	Tags     int
+
+	TreeBytes   int64 // |tree|: the string representation
+	TagIdxBytes int64 // |B+t|
+	ValIdxBytes int64 // |B+v|
+	DewIdxBytes int64 // |B+i|
+}
+
+// Table1 computes the statistics row for every configured dataset.
+func Table1(cfg Config) ([]Table1Row, error) {
+	cfg = cfg.WithDefaults()
+	var rows []Table1Row
+	for _, name := range cfg.Datasets {
+		env, err := Prepare(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		tree, tag, val, dew := env.NoK.IndexSizes()
+		rows = append(rows, Table1Row{
+			Dataset:  name,
+			Bytes:    env.Stats.Bytes,
+			Nodes:    env.Stats.Nodes,
+			AvgDepth: env.Stats.AvgDepth,
+			MaxDepth: env.Stats.MaxDepth,
+			Tags:     env.Stats.Tags,
+
+			TreeBytes:   tree,
+			TagIdxBytes: tag,
+			ValIdxBytes: val,
+			DewIdxBytes: dew,
+		})
+		env.Close()
+	}
+	return rows, nil
+}
+
+func mb(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// WriteTable1 renders the rows in the paper's column order.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %9s %5s %10s %10s %10s %10s\n",
+		"data set", "size", "#nodes", "avg depth", "max depth", "tags",
+		"|tree|", "|B+t|", "|B+v|", "|B+i|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %10s %10d %10.1f %9d %5d %10s %10s %10s %10s\n",
+			r.Dataset, mb(r.Bytes), r.Nodes, r.AvgDepth, r.MaxDepth, r.Tags,
+			mb(r.TreeBytes), mb(r.TagIdxBytes), mb(r.ValIdxBytes), mb(r.DewIdxBytes))
+	}
+}

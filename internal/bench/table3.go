@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"nok/internal/di"
+	"nok/internal/domnav"
+	"nok/internal/pattern"
+	"nok/internal/twigstack"
+	"nok/internal/workload"
+)
+
+// Systems in Table 3's row order. "X-Hive" is realized by the in-memory
+// navigational evaluator (see DESIGN.md §3 for the substitution).
+var Systems = []string{"DI", "Nav(X-Hive*)", "TwigStack", "NoK"}
+
+// Cell is one measurement of Table 3.
+type Cell struct {
+	// Seconds is the median wall time.
+	Seconds float64
+	// Results is the answer cardinality (used for cross-engine checks).
+	Results int
+	// NA: the category does not apply to the dataset.
+	NA bool
+	// NI: the system does not implement the query's features.
+	NI bool
+}
+
+// String renders the cell like the paper ("NA", "NI", or seconds).
+func (c Cell) String() string {
+	switch {
+	case c.NA:
+		return "NA"
+	case c.NI:
+		return "NI"
+	case c.Seconds >= 100:
+		return fmt.Sprintf("%.0f", c.Seconds)
+	case c.Seconds >= 1:
+		return fmt.Sprintf("%.2f", c.Seconds)
+	default:
+		return fmt.Sprintf("%.4f", c.Seconds)
+	}
+}
+
+// Table3Row is one (dataset, system) row with a cell per category Q1..Q12.
+type Table3Row struct {
+	Dataset string
+	System  string
+	Cells   [12]Cell
+}
+
+// Table3 measures every system on every applicable query of every dataset.
+// Cross-engine result cardinalities are verified: a mismatch is an error,
+// making the benchmark double as an end-to-end differential test.
+func Table3(cfg Config) ([]Table3Row, error) {
+	cfg = cfg.WithDefaults()
+	var rows []Table3Row
+	for _, name := range cfg.Datasets {
+		env, err := Prepare(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		dsRows, err := table3Dataset(cfg, env)
+		env.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, dsRows...)
+	}
+	return rows, nil
+}
+
+func table3Dataset(cfg Config, env *Env) ([]Table3Row, error) {
+	queries, err := workload.ForDataset(env.Spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table3Row, len(Systems))
+	for i, sys := range Systems {
+		rows[i] = Table3Row{Dataset: env.Spec.Name, System: sys}
+	}
+	for qi, q := range queries {
+		if q.NA() {
+			for i := range rows {
+				rows[i].Cells[qi] = Cell{NA: true}
+			}
+			continue
+		}
+		cells, err := measureQuery(cfg, env, q.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s (%s): %w", env.Spec.Name, q.Category.ID, q.Expr, err)
+		}
+		// Cross-check cardinalities across systems that ran.
+		want := -1
+		for si, c := range cells {
+			if c.NA || c.NI {
+				continue
+			}
+			if want == -1 {
+				want = c.Results
+			} else if c.Results != want {
+				return nil, fmt.Errorf("%s %s: %s returned %d results, others %d",
+					env.Spec.Name, q.Category.ID, Systems[si], c.Results, want)
+			}
+		}
+		for i := range rows {
+			rows[i].Cells[qi] = cells[i]
+		}
+	}
+	return rows, nil
+}
+
+// measureQuery times one query on all four systems.
+func measureQuery(cfg Config, env *Env, expr string) ([4]Cell, error) {
+	var out [4]Cell
+
+	// DI.
+	dur, n, err := timeMedian(cfg.Runs, func() (int, error) {
+		rs, err := env.DI.Query(expr)
+		if err != nil {
+			return 0, err
+		}
+		return len(rs), nil
+	})
+	switch {
+	case errors.Is(err, di.ErrNotImplemented):
+		out[0] = Cell{NI: true}
+	case err != nil:
+		return out, fmt.Errorf("DI: %w", err)
+	default:
+		out[0] = Cell{Seconds: dur.Seconds(), Results: n}
+	}
+
+	// Navigational baseline.
+	tr, err := pattern.Parse(expr)
+	if err != nil {
+		return out, err
+	}
+	dur, n, err = timeMedian(cfg.Runs, func() (int, error) {
+		return len(domnav.Evaluate(env.Dom, tr)), nil
+	})
+	if err != nil {
+		return out, fmt.Errorf("Nav: %w", err)
+	}
+	out[1] = Cell{Seconds: dur.Seconds(), Results: n}
+
+	// TwigStack.
+	dur, n, err = timeMedian(cfg.Runs, func() (int, error) {
+		rs, err := env.Twig.Query(expr)
+		if err != nil {
+			return 0, err
+		}
+		return len(rs), nil
+	})
+	switch {
+	case errors.Is(err, twigstack.ErrNotImplemented):
+		out[2] = Cell{NI: true}
+	case err != nil:
+		return out, fmt.Errorf("TwigStack: %w", err)
+	default:
+		out[2] = Cell{Seconds: dur.Seconds(), Results: n}
+	}
+
+	// NoK.
+	dur, n, err = timeMedian(cfg.Runs, func() (int, error) {
+		ms, _, err := env.NoK.Query(expr, nil)
+		if err != nil {
+			return 0, err
+		}
+		return len(ms), nil
+	})
+	if err != nil {
+		return out, fmt.Errorf("NoK: %w", err)
+	}
+	out[3] = Cell{Seconds: dur.Seconds(), Results: n}
+	return out, nil
+}
+
+// WriteTable3 renders the rows grouped by dataset, like the paper.
+func WriteTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintf(w, "%-10s %-13s", "file", "system")
+	for i := 1; i <= 12; i++ {
+		fmt.Fprintf(w, " %8s", fmt.Sprintf("Q%d", i))
+	}
+	fmt.Fprintln(w)
+	last := ""
+	for _, r := range rows {
+		ds := r.Dataset
+		if ds == last {
+			ds = ""
+		} else {
+			last = r.Dataset
+		}
+		fmt.Fprintf(w, "%-10s %-13s", ds, r.System)
+		for _, c := range r.Cells {
+			fmt.Fprintf(w, " %8s", c.String())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// SpeedupSummary condenses Table 3 into the headline comparison: for each
+// dataset and competitor, the geometric-mean ratio of competitor time to
+// NoK time over the cells both ran, plus a win count.
+type SpeedupSummary struct {
+	Dataset    string
+	Competitor string
+	GeoMean    float64
+	Wins       int // cells where NoK was faster
+	Cells      int
+}
+
+// Summarize computes speedup summaries from Table 3 rows.
+func Summarize(rows []Table3Row) []SpeedupSummary {
+	byDS := map[string]map[string]Table3Row{}
+	for _, r := range rows {
+		if byDS[r.Dataset] == nil {
+			byDS[r.Dataset] = map[string]Table3Row{}
+		}
+		byDS[r.Dataset][r.System] = r
+	}
+	var out []SpeedupSummary
+	for _, r := range rows {
+		if r.System != "NoK" {
+			continue
+		}
+		nok := r
+		for _, comp := range Systems[:3] {
+			cr, ok := byDS[r.Dataset][comp]
+			if !ok {
+				continue
+			}
+			s := SpeedupSummary{Dataset: r.Dataset, Competitor: comp}
+			logSum := 0.0
+			for i := range nok.Cells {
+				a, b := cr.Cells[i], nok.Cells[i]
+				if a.NA || a.NI || b.NA || b.NI || a.Seconds == 0 || b.Seconds == 0 {
+					continue
+				}
+				ratio := a.Seconds / b.Seconds
+				logSum += math.Log(ratio)
+				s.Cells++
+				if ratio > 1 {
+					s.Wins++
+				}
+			}
+			if s.Cells > 0 {
+				s.GeoMean = math.Exp(logSum / float64(s.Cells))
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WriteSummary renders speedup summaries.
+func WriteSummary(w io.Writer, sums []SpeedupSummary) {
+	fmt.Fprintf(w, "%-10s %-13s %12s %6s\n", "file", "vs", "geomean(×)", "wins")
+	for _, s := range sums {
+		fmt.Fprintf(w, "%-10s %-13s %12.2f %3d/%-3d\n",
+			s.Dataset, s.Competitor, s.GeoMean, s.Wins, s.Cells)
+	}
+}

@@ -1,0 +1,772 @@
+// Package btree implements a disk-backed B+ tree over a pager file.
+//
+// The paper's storage scheme (§4.1, Figure 3) relies on three B+ trees: a
+// tag-name index, a hashed-value index, and a Dewey-ID index that maps node
+// IDs to value-file offsets. All three are instances of this tree.
+//
+// The tree maps unique byte-string keys to byte-string values, ordered by
+// bytes.Compare. Multi-valued indexes (one tag → many positions) are built
+// by composing the key from a fixed-width prefix and the "value" suffix and
+// scanning by prefix; see internal/stree and internal/core for the
+// compositions used.
+//
+// Implementation notes:
+//   - Nodes are slotted pages: cells grow from the low end, a sorted slot
+//     directory of 2-byte cell offsets grows from the high end, and holes
+//     left by deletions are reclaimed by compaction when space is needed.
+//   - Leaves are doubly linked for ordered range scans.
+//   - Inserts split on overflow (by bytes, not cell count, since items are
+//     variable length). Deletes free nodes that become completely empty and
+//     collapse their ancestors, but do not rebalance merely underfull
+//     nodes — the workloads here are bulk-load-then-query with occasional
+//     update, where lazy deletion is the standard engineering trade-off.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"nok/internal/pager"
+)
+
+const (
+	leafType     = 1
+	internalType = 0
+
+	// node header layout:
+	// 0     type u8
+	// 1:3   nCells u16
+	// 3:7   next u32 (leaf: next leaf; internal: leftmost child)
+	// 7:11  prev u32 (leaf only)
+	// 11:13 cellsEnd u16
+	// 13:16 reserved
+	nodeHeader = 16
+
+	metaMagic = "BT1"
+	// meta layout: magic[3] root u32 height u16 count u64
+	metaLen = 3 + 4 + 2 + 8
+)
+
+// ErrItemTooLarge is returned when a key/value pair cannot fit with at
+// least minFanout siblings in one page.
+var ErrItemTooLarge = errors.New("btree: key/value too large for page size")
+
+const minFanout = 4
+
+// Tree is a B+ tree. All methods are safe for concurrent use by virtue of a
+// single mutex; iterators must not be used concurrently with writes.
+type Tree struct {
+	mu     sync.Mutex
+	pf     *pager.File
+	root   pager.PageID
+	height int // 1 = root is a leaf
+	count  uint64
+}
+
+// Create initializes a new tree in an empty pager file.
+func Create(pf *pager.File) (*Tree, error) {
+	t := &Tree{pf: pf, height: 1}
+	p, err := pf.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	initNode(p.Data(), leafType)
+	p.MarkDirty()
+	t.root = p.ID()
+	pf.Unpin(p)
+	if err := t.writeMeta(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open attaches to a tree previously created in pf.
+func Open(pf *pager.File) (*Tree, error) {
+	meta := pf.Meta()
+	if len(meta) != metaLen || string(meta[:3]) != metaMagic {
+		return nil, fmt.Errorf("btree: %s does not contain a btree (meta %q)", pf.Path(), meta)
+	}
+	t := &Tree{pf: pf}
+	t.root = pager.PageID(binary.BigEndian.Uint32(meta[3:7]))
+	t.height = int(binary.BigEndian.Uint16(meta[7:9]))
+	t.count = binary.BigEndian.Uint64(meta[9:17])
+	if t.root == pager.InvalidPage || t.height < 1 {
+		return nil, fmt.Errorf("btree: corrupt meta in %s", pf.Path())
+	}
+	return t, nil
+}
+
+func (t *Tree) writeMeta() error {
+	var meta [metaLen]byte
+	copy(meta[:3], metaMagic)
+	binary.BigEndian.PutUint32(meta[3:7], uint32(t.root))
+	binary.BigEndian.PutUint16(meta[7:9], uint16(t.height))
+	binary.BigEndian.PutUint64(meta[9:17], t.count)
+	return t.pf.SetMeta(meta[:])
+}
+
+// Count returns the number of stored keys.
+func (t *Tree) Count() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Height returns the tree height (1 = a single leaf).
+func (t *Tree) Height() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.height
+}
+
+// Flush persists meta and all dirty pages.
+func (t *Tree) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.writeMeta(); err != nil {
+		return err
+	}
+	return t.pf.Flush()
+}
+
+// maxItemSize returns the largest encoded cell allowed.
+func (t *Tree) maxItemSize() int {
+	return (t.pf.PageSize() - nodeHeader) / minFanout
+}
+
+// ---- node accessors -------------------------------------------------------
+
+func initNode(d []byte, typ byte) {
+	clear(d[:nodeHeader])
+	d[0] = typ
+	binary.BigEndian.PutUint16(d[11:13], nodeHeader)
+}
+
+func nodeType(d []byte) byte    { return d[0] }
+func nCells(d []byte) int       { return int(binary.BigEndian.Uint16(d[1:3])) }
+func setNCells(d []byte, n int) { binary.BigEndian.PutUint16(d[1:3], uint16(n)) }
+func nextPtr(d []byte) pager.PageID {
+	return pager.PageID(binary.BigEndian.Uint32(d[3:7]))
+}
+func setNextPtr(d []byte, id pager.PageID) { binary.BigEndian.PutUint32(d[3:7], uint32(id)) }
+func prevPtr(d []byte) pager.PageID {
+	return pager.PageID(binary.BigEndian.Uint32(d[7:11]))
+}
+func setPrevPtr(d []byte, id pager.PageID) { binary.BigEndian.PutUint32(d[7:11], uint32(id)) }
+func cellsEnd(d []byte) int                { return int(binary.BigEndian.Uint16(d[11:13])) }
+func setCellsEnd(d []byte, v int)          { binary.BigEndian.PutUint16(d[11:13], uint16(v)) }
+
+// slotBase returns the byte index of slot i's entry; slots are stored in
+// logical order in a contiguous array at the top of the page.
+func slotBase(d []byte, i, n int) int { return len(d) - 2*(n-i) }
+
+func slot(d []byte, i int) int {
+	n := nCells(d)
+	return int(binary.BigEndian.Uint16(d[slotBase(d, i, n):]))
+}
+
+func setSlot(d []byte, i, off int) {
+	n := nCells(d)
+	binary.BigEndian.PutUint16(d[slotBase(d, i, n):], uint16(off))
+}
+
+// freeSpace is the contiguous space between cell data and slot directory,
+// accounting for one new slot entry.
+func freeSpace(d []byte) int {
+	return len(d) - 2*nCells(d) - cellsEnd(d) - 2
+}
+
+// cellAt decodes the cell at byte offset off. For leaves it returns
+// (key, value, cellLen); for internals (key, childBytes, cellLen) where
+// childBytes is the 4-byte child pointer region.
+func cellAt(d []byte, off int, typ byte) (key, val []byte, size int) {
+	klen, n := binary.Uvarint(d[off:])
+	p := off + n
+	key = d[p : p+int(klen)]
+	p += int(klen)
+	if typ == leafType {
+		vlen, m := binary.Uvarint(d[p:])
+		p += m
+		val = d[p : p+int(vlen)]
+		p += int(vlen)
+	} else {
+		val = d[p : p+4]
+		p += 4
+	}
+	return key, val, p - off
+}
+
+func cellKey(d []byte, i int) []byte {
+	k, _, _ := cellAt(d, slot(d, i), nodeType(d))
+	return k
+}
+
+func cellVal(d []byte, i int) []byte {
+	_, v, _ := cellAt(d, slot(d, i), nodeType(d))
+	return v
+}
+
+func childAt(d []byte, i int) pager.PageID {
+	// i == -1 addresses the leftmost child stored in the header.
+	if i < 0 {
+		return nextPtr(d)
+	}
+	return pager.PageID(binary.BigEndian.Uint32(cellVal(d, i)))
+}
+
+// encodedLeafCell appends a leaf cell for (key, value) to dst.
+func encodedLeafCell(dst []byte, key, value []byte) []byte {
+	var buf [binary.MaxVarintLen32]byte
+	n := binary.PutUvarint(buf[:], uint64(len(key)))
+	dst = append(dst, buf[:n]...)
+	dst = append(dst, key...)
+	n = binary.PutUvarint(buf[:], uint64(len(value)))
+	dst = append(dst, buf[:n]...)
+	dst = append(dst, value...)
+	return dst
+}
+
+// encodedInternalCell appends an internal cell for (key, child) to dst.
+func encodedInternalCell(dst []byte, key []byte, child pager.PageID) []byte {
+	var buf [binary.MaxVarintLen32]byte
+	n := binary.PutUvarint(buf[:], uint64(len(key)))
+	dst = append(dst, buf[:n]...)
+	dst = append(dst, key...)
+	var c [4]byte
+	binary.BigEndian.PutUint32(c[:], uint32(child))
+	return append(dst, c[:]...)
+}
+
+// search returns the smallest index i in [0, n] such that key(i) >= k, and
+// whether key(i) == k.
+func search(d []byte, k []byte) (int, bool) {
+	lo, hi := 0, nCells(d)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(cellKey(d, mid), k) {
+		case -1:
+			lo = mid + 1
+		case 0:
+			return mid, true
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// childIndexFor returns the child slot index (-1 for leftmost) to descend
+// into for key k: the largest i with sep(i) <= k.
+func childIndexFor(d []byte, k []byte) int {
+	i, eq := search(d, k)
+	if eq {
+		return i
+	}
+	return i - 1
+}
+
+// insertCellAt inserts the encoded cell at logical position i. The caller
+// guarantees freeSpace(d) >= len(cell)+... after compaction.
+func insertCellAt(d []byte, i int, cell []byte) {
+	n := nCells(d)
+	end := cellsEnd(d)
+	copy(d[end:], cell)
+	// Grow the slot directory downward: slots [0, i) shift down 2 bytes.
+	oldBase := len(d) - 2*n
+	newBase := oldBase - 2
+	copy(d[newBase:], d[oldBase:oldBase+2*i])
+	setNCells(d, n+1)
+	setCellsEnd(d, end+len(cell))
+	setSlot(d, i, end)
+}
+
+// removeCellAt removes logical slot i, leaving its bytes as a hole.
+func removeCellAt(d []byte, i int) {
+	n := nCells(d)
+	base := len(d) - 2*n
+	// Shift slots [0, i) up 2 bytes, overwriting slot i's entry.
+	copy(d[base+2:], d[base:base+2*i])
+	setNCells(d, n-1)
+}
+
+// compact rewrites the cell area without holes, preserving logical order.
+func compact(d []byte) {
+	n := nCells(d)
+	typ := nodeType(d)
+	buf := make([]byte, 0, cellsEnd(d)-nodeHeader)
+	offs := make([]int, n)
+	for i := 0; i < n; i++ {
+		off := slot(d, i)
+		_, _, size := cellAt(d, off, typ)
+		offs[i] = nodeHeader + len(buf)
+		buf = append(buf, d[off:off+size]...)
+	}
+	copy(d[nodeHeader:], buf)
+	setCellsEnd(d, nodeHeader+len(buf))
+	for i := 0; i < n; i++ {
+		setSlot(d, i, offs[i])
+	}
+}
+
+// ensureSpace makes room for need bytes of cell data (plus slot), compacting
+// if the space exists but is fragmented. It reports whether space is now
+// available.
+func ensureSpace(d []byte, need int) bool {
+	if freeSpace(d) >= need {
+		return true
+	}
+	// Total live bytes vs page capacity.
+	n := nCells(d)
+	typ := nodeType(d)
+	live := 0
+	for i := 0; i < n; i++ {
+		_, _, size := cellAt(d, slot(d, i), typ)
+		live += size
+	}
+	if nodeHeader+live+need+2*(n+1) <= len(d) {
+		compact(d)
+		return true
+	}
+	return false
+}
+
+// ---- public operations ----------------------------------------------------
+
+// Get returns the value for key.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		p, err := t.pf.Get(id)
+		if err != nil {
+			return nil, false, err
+		}
+		ci := childIndexFor(p.Data(), key)
+		id = childAt(p.Data(), ci)
+		t.pf.Unpin(p)
+	}
+	p, err := t.pf.Get(id)
+	if err != nil {
+		return nil, false, err
+	}
+	defer t.pf.Unpin(p)
+	i, eq := search(p.Data(), key)
+	if !eq {
+		return nil, false, nil
+	}
+	v := cellVal(p.Data(), i)
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true, nil
+}
+
+// Has reports whether key is present.
+func (t *Tree) Has(key []byte) (bool, error) {
+	_, ok, err := t.Get(key)
+	return ok, err
+}
+
+// splitResult carries a completed child split up to the parent.
+type splitResult struct {
+	split bool
+	sep   []byte       // first key of (or promoted into) the new right node
+	right pager.PageID // the new right sibling
+}
+
+// Insert stores (key, value), replacing any existing value for key.
+func (t *Tree) Insert(key, value []byte) error {
+	if len(key) == 0 {
+		return errors.New("btree: empty key")
+	}
+	cellSize := len(encodedLeafCell(nil, key, value))
+	if cellSize > t.maxItemSize() {
+		return fmt.Errorf("%w: cell of %d bytes, max %d", ErrItemTooLarge, cellSize, t.maxItemSize())
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	res, inserted, err := t.insertRec(t.root, t.height, key, value)
+	if err != nil {
+		return err
+	}
+	if inserted {
+		t.count++
+	}
+	if res.split {
+		// Grow a new root.
+		p, err := t.pf.Allocate()
+		if err != nil {
+			return err
+		}
+		d := p.Data()
+		initNode(d, internalType)
+		setNextPtr(d, t.root) // leftmost child
+		cell := encodedInternalCell(nil, res.sep, res.right)
+		insertCellAt(d, 0, cell)
+		p.MarkDirty()
+		t.root = p.ID()
+		t.height++
+		t.pf.Unpin(p)
+	}
+	return t.writeMeta()
+}
+
+func (t *Tree) insertRec(id pager.PageID, level int, key, value []byte) (splitResult, bool, error) {
+	p, err := t.pf.Get(id)
+	if err != nil {
+		return splitResult{}, false, err
+	}
+	defer t.pf.Unpin(p)
+	d := p.Data()
+
+	if level == 1 {
+		return t.insertLeaf(p, key, value)
+	}
+
+	ci := childIndexFor(d, key)
+	child := childAt(d, ci)
+	res, inserted, err := t.insertRec(child, level-1, key, value)
+	if err != nil || !res.split {
+		return splitResult{}, inserted, err
+	}
+	// Child split: insert separator after ci.
+	cell := encodedInternalCell(nil, res.sep, res.right)
+	if ensureSpace(d, len(cell)) {
+		i, _ := search(d, res.sep)
+		insertCellAt(d, i, cell)
+		p.MarkDirty()
+		return splitResult{}, inserted, nil
+	}
+	sep2, right, err := t.splitInternal(p, res.sep, res.right)
+	if err != nil {
+		return splitResult{}, inserted, err
+	}
+	return splitResult{split: true, sep: sep2, right: right}, inserted, nil
+}
+
+func (t *Tree) insertLeaf(p *pager.Page, key, value []byte) (splitResult, bool, error) {
+	d := p.Data()
+	i, eq := search(d, key)
+	if eq {
+		// Upsert: replace in place when the new cell has identical size,
+		// otherwise remove and reinsert.
+		old := cellVal(d, i)
+		if len(old) == len(value) {
+			copy(old, value)
+			p.MarkDirty()
+			return splitResult{}, false, nil
+		}
+		removeCellAt(d, i)
+		cell := encodedLeafCell(nil, key, value)
+		if !ensureSpace(d, len(cell)) {
+			sep, right, err := t.splitLeaf(p, key, value)
+			if err != nil {
+				return splitResult{}, false, err
+			}
+			return splitResult{split: true, sep: sep, right: right}, false, nil
+		}
+		insertCellAt(d, i, cell)
+		p.MarkDirty()
+		return splitResult{}, false, nil
+	}
+	cell := encodedLeafCell(nil, key, value)
+	if ensureSpace(d, len(cell)) {
+		insertCellAt(d, i, cell)
+		p.MarkDirty()
+		return splitResult{}, true, nil
+	}
+	sep, right, err := t.splitLeaf(p, key, value)
+	if err != nil {
+		return splitResult{}, false, err
+	}
+	return splitResult{split: true, sep: sep, right: right}, true, nil
+}
+
+// splitLeaf splits p and inserts (key, value) into the correct half.
+// It returns the separator (first key of the right node) and the right id.
+func (t *Tree) splitLeaf(p *pager.Page, key, value []byte) ([]byte, pager.PageID, error) {
+	d := p.Data()
+	rp, err := t.pf.Allocate()
+	if err != nil {
+		return nil, 0, err
+	}
+	defer t.pf.Unpin(rp)
+	rd := rp.Data()
+	initNode(rd, leafType)
+
+	// Gather all cells (including the new one) in order, then redistribute
+	// by bytes so both halves end up roughly balanced.
+	type item struct{ k, v []byte }
+	n := nCells(d)
+	items := make([]item, 0, n+1)
+	insertAt, _ := search(d, key)
+	total := 0
+	for i := 0; i < n; i++ {
+		if i == insertAt {
+			items = append(items, item{key, value})
+			total += len(encodedLeafCell(nil, key, value))
+		}
+		k, v, size := cellAt(d, slot(d, i), leafType)
+		// Copy: the originals live in the page we are about to rewrite.
+		kc := append([]byte(nil), k...)
+		vc := append([]byte(nil), v...)
+		items = append(items, item{kc, vc})
+		total += size
+	}
+	if insertAt == n {
+		items = append(items, item{key, value})
+		total += len(encodedLeafCell(nil, key, value))
+	}
+
+	// Left half takes items until it exceeds half the bytes.
+	oldNext := nextPtr(d)
+	oldPrev := prevPtr(d)
+	initNode(d, leafType)
+	setNextPtr(d, oldNext)
+	setPrevPtr(d, oldPrev)
+
+	// Rightmost-split heuristic: ascending bulk loads (Dewey-ordered index
+	// builds) always insert at the end of the rightmost leaf; a median
+	// split would strand every left half at 50% fill. Giving the new right
+	// node only the freshly inserted item keeps sequentially built trees
+	// near-full, roughly halving index size.
+	li := len(items) - 1
+	if !(insertAt == n && oldNext == pager.InvalidPage) {
+		half := total / 2
+		acc := 0
+		li = 0
+		for li < len(items)-1 { // right node must get at least one item
+			sz := len(encodedLeafCell(nil, items[li].k, items[li].v))
+			if acc+sz > half && li > 0 {
+				break
+			}
+			acc += sz
+			li++
+		}
+	}
+	for i := 0; i < li; i++ {
+		cell := encodedLeafCell(nil, items[i].k, items[i].v)
+		insertCellAt(d, i, cell)
+	}
+	for i := li; i < len(items); i++ {
+		cell := encodedLeafCell(nil, items[i].k, items[i].v)
+		insertCellAt(rd, i-li, cell)
+	}
+
+	// Fix the leaf chain: p <-> rp <-> oldNext.
+	setNextPtr(d, rp.ID())
+	setPrevPtr(rd, p.ID())
+	setNextPtr(rd, oldNext)
+	if oldNext != pager.InvalidPage {
+		np, err := t.pf.Get(oldNext)
+		if err != nil {
+			return nil, 0, err
+		}
+		setPrevPtr(np.Data(), rp.ID())
+		np.MarkDirty()
+		t.pf.Unpin(np)
+	}
+	p.MarkDirty()
+	rp.MarkDirty()
+	sep := append([]byte(nil), items[li].k...)
+	return sep, rp.ID(), nil
+}
+
+// splitInternal splits internal node p while adding (sep, right) from a
+// child split. The median separator is promoted, not duplicated.
+func (t *Tree) splitInternal(p *pager.Page, newSep []byte, newChild pager.PageID) ([]byte, pager.PageID, error) {
+	d := p.Data()
+	rp, err := t.pf.Allocate()
+	if err != nil {
+		return nil, 0, err
+	}
+	defer t.pf.Unpin(rp)
+	rd := rp.Data()
+	initNode(rd, internalType)
+
+	type item struct {
+		k     []byte
+		child pager.PageID
+	}
+	n := nCells(d)
+	items := make([]item, 0, n+1)
+	insertAt, _ := search(d, newSep)
+	for i := 0; i < n; i++ {
+		if i == insertAt {
+			items = append(items, item{newSep, newChild})
+		}
+		k := append([]byte(nil), cellKey(d, i)...)
+		items = append(items, item{k, childAt(d, i)})
+	}
+	if insertAt == n {
+		items = append(items, item{newSep, newChild})
+	}
+
+	leftmost := nextPtr(d)
+	initNode(d, internalType)
+	setNextPtr(d, leftmost)
+
+	mid := len(items) / 2
+	if insertAt == n {
+		// Rightmost-split heuristic, internal flavor (see splitLeaf).
+		mid = len(items) - 2
+	}
+	promoted := items[mid]
+	for i := 0; i < mid; i++ {
+		insertCellAt(d, i, encodedInternalCell(nil, items[i].k, items[i].child))
+	}
+	// Right node: leftmost child is the promoted cell's child.
+	setNextPtr(rd, promoted.child)
+	for i := mid + 1; i < len(items); i++ {
+		insertCellAt(rd, i-mid-1, encodedInternalCell(nil, items[i].k, items[i].child))
+	}
+	p.MarkDirty()
+	rp.MarkDirty()
+	return append([]byte(nil), promoted.k...), rp.ID(), nil
+}
+
+// Delete removes key, reporting whether it was present.
+//
+// Nodes whose last child (or last item) disappears are freed and their
+// pointers removed from the parent. Internal nodes that end up with zero
+// separators but one live leftmost child remain in place — collapsing them
+// mid-tree would break the uniform-height invariant the level-based descent
+// relies on; only the root is collapsed, in the loop below.
+func (t *Tree) Delete(key []byte) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed, dropped, err := t.deleteRec(t.root, t.height, key)
+	if err != nil {
+		return false, err
+	}
+	if removed {
+		t.count--
+	}
+	if dropped {
+		// The whole tree emptied out: reset to a fresh leaf root. (When the
+		// root is already a leaf, deleteRec never reports dropped.)
+		if err := t.pf.Free(t.root); err != nil {
+			return removed, err
+		}
+		p, err := t.pf.Allocate()
+		if err != nil {
+			return removed, err
+		}
+		initNode(p.Data(), leafType)
+		p.MarkDirty()
+		t.root = p.ID()
+		t.height = 1
+		t.pf.Unpin(p)
+	}
+	// Collapse a root that is an internal node with a single child.
+	for t.height > 1 {
+		p, err := t.pf.Get(t.root)
+		if err != nil {
+			return removed, err
+		}
+		d := p.Data()
+		if nCells(d) > 0 {
+			t.pf.Unpin(p)
+			break
+		}
+		old := t.root
+		t.root = nextPtr(d)
+		t.height--
+		t.pf.Unpin(p)
+		if err := t.pf.Free(old); err != nil {
+			return removed, err
+		}
+	}
+	return removed, t.writeMeta()
+}
+
+// deleteRec removes key from the subtree at id (level 1 = leaf). dropped
+// reports that the node has no content left at all: the caller must remove
+// its pointer and free the page. Empty leaves unlink themselves from the
+// leaf chain before reporting dropped (except a root leaf, which stays).
+func (t *Tree) deleteRec(id pager.PageID, level int, key []byte) (removed, dropped bool, err error) {
+	p, err := t.pf.Get(id)
+	if err != nil {
+		return false, false, err
+	}
+	d := p.Data()
+
+	if level == 1 {
+		i, eq := search(d, key)
+		if !eq {
+			t.pf.Unpin(p)
+			return false, false, nil
+		}
+		removeCellAt(d, i)
+		p.MarkDirty()
+		if nCells(d) == 0 && id != t.root {
+			prev, next := prevPtr(d), nextPtr(d)
+			t.pf.Unpin(p)
+			if err := t.relinkChain(prev, next); err != nil {
+				return true, false, err
+			}
+			return true, true, nil
+		}
+		t.pf.Unpin(p)
+		return true, false, nil
+	}
+
+	ci := childIndexFor(d, key)
+	child := childAt(d, ci)
+	removed, childDropped, err := t.deleteRec(child, level-1, key)
+	if err != nil {
+		t.pf.Unpin(p)
+		return false, false, err
+	}
+	if !childDropped {
+		t.pf.Unpin(p)
+		return removed, false, nil
+	}
+	// Remove the pointer to the dropped child and free its page.
+	if ci == -1 {
+		if nCells(d) == 0 {
+			// That was the only child: this node is empty too.
+			t.pf.Unpin(p)
+			if err := t.pf.Free(child); err != nil {
+				return removed, false, err
+			}
+			return removed, true, nil
+		}
+		setNextPtr(d, childAt(d, 0))
+		removeCellAt(d, 0)
+	} else {
+		removeCellAt(d, ci)
+	}
+	p.MarkDirty()
+	t.pf.Unpin(p)
+	if err := t.pf.Free(child); err != nil {
+		return removed, false, err
+	}
+	return removed, false, nil
+}
+
+// relinkChain splices the leaf chain around a removed leaf.
+func (t *Tree) relinkChain(prev, next pager.PageID) error {
+	if prev != pager.InvalidPage {
+		pp, err := t.pf.Get(prev)
+		if err != nil {
+			return err
+		}
+		setNextPtr(pp.Data(), next)
+		pp.MarkDirty()
+		t.pf.Unpin(pp)
+	}
+	if next != pager.InvalidPage {
+		np, err := t.pf.Get(next)
+		if err != nil {
+			return err
+		}
+		setPrevPtr(np.Data(), prev)
+		np.MarkDirty()
+		t.pf.Unpin(np)
+	}
+	return nil
+}

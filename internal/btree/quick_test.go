@@ -1,0 +1,118 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// op is one randomized tree operation for the model-based property test.
+type op struct {
+	Kind  uint8 // 0 insert, 1 delete, 2 get
+	Key   uint16
+	Value uint8
+}
+
+// TestQuickModelEquivalence drives random operation sequences against both
+// the tree and a map model, then verifies full contents and invariants.
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(ops []op) bool {
+		tr, _ := newTree(t, 256)
+		model := map[string]string{}
+		for _, o := range ops {
+			k := fmt.Sprintf("key-%05d", o.Key%512)
+			switch o.Kind % 3 {
+			case 0:
+				v := fmt.Sprintf("val-%d-%d", o.Key, o.Value)
+				if err := tr.Insert([]byte(k), []byte(v)); err != nil {
+					t.Logf("insert: %v", err)
+					return false
+				}
+				model[k] = v
+			case 1:
+				gone, err := tr.Delete([]byte(k))
+				if err != nil {
+					t.Logf("delete: %v", err)
+					return false
+				}
+				_, existed := model[k]
+				if gone != existed {
+					t.Logf("delete(%q) = %v, model %v", k, gone, existed)
+					return false
+				}
+				delete(model, k)
+			case 2:
+				got, found, err := tr.Get([]byte(k))
+				if err != nil {
+					return false
+				}
+				want, existed := model[k]
+				if found != existed || (found && string(got) != want) {
+					t.Logf("get(%q) = %q,%v want %q,%v", k, got, found, want, existed)
+					return false
+				}
+			}
+		}
+		if tr.Count() != uint64(len(model)) {
+			t.Logf("count %d vs model %d", tr.Count(), len(model))
+			return false
+		}
+		// Iteration yields exactly the sorted model.
+		var keys []string
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		it := tr.First()
+		i := 0
+		for it.Next() {
+			if i >= len(keys) || string(it.Key()) != keys[i] ||
+				string(it.Value()) != model[keys[i]] {
+				t.Logf("iteration diverged at %d", i)
+				return false
+			}
+			i++
+		}
+		if i != len(keys) || it.Err() != nil {
+			return false
+		}
+		checkInvariants(t, tr)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickArbitraryKeys uses raw random byte keys (including
+// prefix-of-each-other and near-identical keys).
+func TestQuickArbitraryKeys(t *testing.T) {
+	tr, _ := newTree(t, 512)
+	model := map[string][]byte{}
+	f := func(k, v []byte) bool {
+		if len(k) == 0 {
+			return true
+		}
+		if len(k) > 40 {
+			k = k[:40]
+		}
+		if len(v) > 60 {
+			v = v[:60]
+		}
+		if err := tr.Insert(k, v); err != nil {
+			return false
+		}
+		model[string(k)] = append([]byte(nil), v...)
+		got, found, err := tr.Get(k)
+		return err == nil && found && bytes.Equal(got, model[string(k)])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+	if tr.Count() != uint64(len(model)) {
+		t.Errorf("count %d vs model %d", tr.Count(), len(model))
+	}
+	checkInvariants(t, tr)
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"nok/internal/dewey"
+	"nok/internal/pattern"
+)
+
+// topAnchor finds the anchor of the top partition: the deepest pattern
+// node reachable from the virtual root through a pure chain — each node
+// has exactly one child edge, that edge is a child ('/') edge, and the
+// node carries no value constraint, is not the returning node and sources
+// no structural-join link. The anchor dominates every remaining constraint,
+// so evaluation can start at anchor candidates instead of the document
+// root.
+//
+// chainTests lists the tag tests of the anchor's ancestors (depth 1 up to
+// the anchor's parent). A nil anchor means the chain is empty (the pattern
+// begins with '//'), and the caller falls back to virtual-root matching.
+func topAnchor(top *pattern.NoKTree, t *pattern.Tree) (*pattern.Node, []string) {
+	cur := t.Root
+	var tests []string
+	for {
+		if len(cur.Children) != 1 {
+			break
+		}
+		e := cur.Children[0]
+		if e.Axis != pattern.Child {
+			break
+		}
+		next := e.To
+		if !cur.IsVirtualRoot() {
+			tests = append(tests, cur.Test)
+		}
+		cur = next
+		if cur == t.Return || cur.HasValueConstraint() || len(cur.PrecededBy) > 0 {
+			break
+		}
+		// Link sources must stay at or below the anchor; stop descending
+		// past a node with a global edge.
+		hasGlobal := false
+		for _, ce := range cur.Children {
+			if !ce.Axis.Local() {
+				hasGlobal = true
+			}
+		}
+		if hasGlobal {
+			break
+		}
+	}
+	if cur.IsVirtualRoot() {
+		return nil, nil
+	}
+	return cur, tests
+}
+
+// anchoredStarts locates candidates for the anchor node of the top
+// partition: index-driven starts for the anchor's local subtree, filtered
+// to the anchor's exact depth and verified against the ancestor tag chain
+// through Dewey-prefix lookups.
+func (db *DB) anchoredStarts(top *pattern.NoKTree, anchor *pattern.Node, chainTests []string, strat Strategy) ([]Match, Strategy, error) {
+	synth := &pattern.NoKTree{Root: anchor}
+
+	// The path index (§8 extension) resolves the whole ancestor chain in
+	// one probe. It is used when forced, and under the auto heuristic when
+	// no equality value constraint is available (the paper's rule puts the
+	// value index first) and the chain is at least two steps of concrete
+	// tags (a one-step path is just the tag index).
+	tryPath := strat == StrategyPathIndex
+	if strat == StrategyAuto && len(chainTests) >= 1 {
+		if _, hasVal := db.bestValueConstraint(synth); !hasVal {
+			tryPath = true
+		}
+	}
+	if tryPath {
+		ms, ok, err := db.startsByPath(anchor, chainTests)
+		if err != nil {
+			return nil, StrategyPathIndex, err
+		}
+		if ok {
+			return ms, StrategyPathIndex, nil
+		}
+		// Wildcards or unknown tags in the chain: fall back.
+		strat = StrategyAuto
+	}
+	if strat == StrategyPathIndex {
+		strat = StrategyAuto
+	}
+
+	raw, used, err := db.starts(synth, strat)
+	if err != nil {
+		return nil, used, err
+	}
+	depth := len(chainTests) + 1
+	var out []Match
+	for _, m := range raw {
+		if len(m.ID) != depth {
+			continue
+		}
+		ok, err := db.ancestorsMatch(m.ID, chainTests)
+		if err != nil {
+			return nil, used, err
+		}
+		if ok {
+			out = append(out, m)
+		}
+	}
+	return out, used, nil
+}
+
+// ancestorsMatch verifies that the tags on the path above id match the
+// chain tests (depth 1 first). Wildcard tests skip the lookup.
+func (db *DB) ancestorsMatch(id dewey.ID, tests []string) (bool, error) {
+	for j, test := range tests {
+		if test == "*" {
+			continue
+		}
+		want, ok := db.Tags.Lookup(test)
+		if !ok {
+			return false, nil
+		}
+		pos, _, found, err := db.NodeAt(id[:j+1])
+		if err != nil {
+			return false, err
+		}
+		if !found {
+			return false, nil
+		}
+		sym, err := db.Tree.SymAt(pos)
+		if err != nil {
+			return false, err
+		}
+		if sym != want {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestFrontierRevisitCount pins down the §3 frontier behavior of
+// /a[b/c][b/d]: both pattern b's sit in the frontier, every subject b is
+// tried against each unsatisfied one, and grandchildren are revisited once
+// per branch. With the d-branch satisfiable only at the last b, the
+// matcher must scan all n b's (no early exit), visiting O(n) nodes total —
+// and still O(n), not O(n²), because satisfied existential branches leave
+// the frontier.
+func TestFrontierRevisitCount(t *testing.T) {
+	const n = 50
+	var sb strings.Builder
+	sb.WriteString("<a>")
+	for i := 0; i < n-1; i++ {
+		sb.WriteString("<b><c/></b>")
+	}
+	sb.WriteString("<b><d/></b></a>")
+	db := loadDB(t, sb.String(), smallPages())
+
+	_, stats, err := db.Query(`/a[b/c][b/d]`, &QueryOptions{Strategy: StrategyScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All n b's visited (the d-branch stays in the frontier to the end),
+	// plus roughly one grandchild visit per unsatisfied branch per b.
+	if stats.NodesVisited < n {
+		t.Errorf("NodesVisited = %d: the frontier gave up before the last b", stats.NodesVisited)
+	}
+	if stats.NodesVisited > 4*n {
+		t.Errorf("NodesVisited = %d for n=%d — super-linear frontier behavior", stats.NodesVisited, n)
+	}
+	// Early-exit sanity: when both branches match the first b, visits are
+	// constant regardless of n.
+	var sb2 strings.Builder
+	sb2.WriteString("<a>")
+	for i := 0; i < n; i++ {
+		sb2.WriteString("<b><c/><d/></b>")
+	}
+	sb2.WriteString("</a>")
+	db2 := loadDB(t, sb2.String(), smallPages())
+	_, stats2, err := db2.Query(`/a[b/c][b/d]`, &QueryOptions{Strategy: StrategyScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.NodesVisited > 10 {
+		t.Errorf("early-exit case visited %d nodes, want O(1)", stats2.NodesVisited)
+	}
+}
+
+// TestVisitScalingLinear: doubling the document doubles the visit count
+// for a fixed pattern (the O(m·n) bound with m fixed).
+func TestVisitScalingLinear(t *testing.T) {
+	visits := func(n int) int {
+		var sb strings.Builder
+		sb.WriteString("<a>")
+		for i := 0; i < n; i++ {
+			sb.WriteString("<b><c/><d/></b>")
+		}
+		sb.WriteString("</a>")
+		db := loadDB(t, sb.String(), smallPages())
+		_, stats, err := db.Query(`/a[b/c][b/d]`, &QueryOptions{Strategy: StrategyScan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.NodesVisited
+	}
+	v1, v2 := visits(100), visits(200)
+	if v2 > v1*3 {
+		t.Errorf("visits grew superlinearly: %d -> %d", v1, v2)
+	}
+	_ = fmt.Sprint(v1, v2)
+}
+
+// TestStickySpineVisitsAll: when the returning node is deep, the spine is
+// sticky and every b (not just the first) is explored.
+func TestStickySpineVisitsAll(t *testing.T) {
+	xml := `<a><b><c>1</c></b><b><c>2</c></b><b><c>3</c></b></a>`
+	db := loadDB(t, xml, smallPages())
+	got := queryIDs(t, db, `/a/b/c`, &QueryOptions{Strategy: StrategyScan})
+	if len(got) != 3 {
+		t.Fatalf("c matches = %v (spine not sticky?)", got)
+	}
+}

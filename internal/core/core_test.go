@@ -1,0 +1,506 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nok/internal/domnav"
+
+	"nok/internal/pattern"
+	"nok/internal/samples"
+)
+
+func loadDB(t *testing.T, xml string, opts *Options) *DB {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := LoadXML(dir, strings.NewReader(xml), opts)
+	if err != nil {
+		t.Fatalf("LoadXML: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func smallPages() *Options { return &Options{PageSize: 256, PoolPages: 64} }
+
+// queryIDs runs a query and returns the Dewey IDs of its results.
+func queryIDs(t *testing.T, db *DB, expr string, opts *QueryOptions) []string {
+	t.Helper()
+	ms, _, err := db.Query(expr, opts)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", expr, err)
+	}
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.ID.String()
+	}
+	return out
+}
+
+// oracleIDs evaluates the same query on the DOM oracle.
+func oracleIDs(t *testing.T, doc *domnav.Doc, expr string) []string {
+	t.Helper()
+	tr, err := pattern.Parse(expr)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", expr, err)
+	}
+	var out []string
+	for _, n := range domnav.Evaluate(doc, tr) {
+		out = append(out, n.ID.String())
+	}
+	return out
+}
+
+func sameIDs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAgainstOracle runs expr through the engine (all strategies) and the
+// oracle and compares.
+func checkAgainstOracle(t *testing.T, db *DB, doc *domnav.Doc, expr string) {
+	t.Helper()
+	want := oracleIDs(t, doc, expr)
+	for _, strat := range []Strategy{StrategyAuto, StrategyScan, StrategyTagIndex, StrategyValueIndex, StrategyPathIndex} {
+		got := queryIDs(t, db, expr, &QueryOptions{Strategy: strat})
+		if !sameIDs(got, want) {
+			t.Errorf("%s [%v]:\n got  %v\n want %v", expr, strat, got, want)
+		}
+	}
+}
+
+var bibliographyQueries = []string{
+	samples.PaperQuery,
+	`/bib`,
+	`/bib/book`,
+	`/bib/book/title`,
+	`//last`,
+	`//book[price>100]`,
+	`//book[price<100]`,
+	`//book[@year="2000"]/title`,
+	`//book[author/last="Stevens"]`,
+	`//book[author/last="Stevens"][price<100]`,
+	`//book[editor/affiliation="CITI"]`,
+	`/bib/book/author[last="Suciu"]/first`,
+	`//author[last="Stevens"][first="W."]`,
+	`/bib/*/title`,
+	`//author//last`,
+	`/bib//last`,
+	`//book[author]`,
+	`//book[editor]`,
+	`//book[author][editor]`,
+	`//missing`,
+	`/wrong/book`,
+	`//book[title="Data on the Web"]//last`,
+	`//book/author/following-sibling::author`,
+	`/bib/book[price>=129.95]/@year`,
+	`//first`,
+	`//*[last="Gerbarg"]`,
+}
+
+func TestBibliographyAgainstOracle(t *testing.T) {
+	db := loadDB(t, samples.Bibliography, smallPages())
+	doc := domnav.MustParse(samples.Bibliography)
+	for _, q := range bibliographyQueries {
+		checkAgainstOracle(t, db, doc, q)
+	}
+}
+
+func TestPaperExample1Exact(t *testing.T) {
+	// Example 1: books 1 and 2 qualify (Stevens, < 100).
+	db := loadDB(t, samples.Bibliography, nil)
+	got := queryIDs(t, db, samples.PaperQuery, nil)
+	want := []string{"0.1", "0.2"}
+	if !sameIDs(got, want) {
+		t.Fatalf("paper query = %v, want %v", got, want)
+	}
+}
+
+func TestNodeValue(t *testing.T) {
+	db := loadDB(t, samples.Bibliography, nil)
+	ms, _, err := db.Query(`/bib/book/title`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("titles = %d", len(ms))
+	}
+	v, ok, err := db.NodeValue(ms[0].ID)
+	if err != nil || !ok || v != "TCP/IP Illustrated" {
+		t.Errorf("NodeValue = %q,%v,%v", v, ok, err)
+	}
+	// Structure-only node has no value.
+	ms, _, _ = db.Query(`/bib/book`, nil)
+	if _, ok, _ := db.NodeValue(ms[0].ID); ok {
+		t.Error("book should have no own value")
+	}
+}
+
+func TestStatsReporting(t *testing.T) {
+	db := loadDB(t, samples.Bibliography, nil)
+	_, stats, err := db.Query(samples.PaperQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Partitions != 2 {
+		t.Errorf("Partitions = %d, want 2", stats.Partitions)
+	}
+	// Auto must choose the value index for the Stevens constraint.
+	if stats.StrategyUsed[1] != StrategyValueIndex {
+		t.Errorf("strategy for book partition = %v, want value-index", stats.StrategyUsed[1])
+	}
+	if stats.StartingPoints == 0 || stats.NPMCalls == 0 {
+		t.Errorf("stats not populated: %+v", stats)
+	}
+}
+
+func TestTagCountStats(t *testing.T) {
+	db := loadDB(t, samples.Bibliography, nil)
+	if got := db.TagCount("book"); got != 4 {
+		t.Errorf("TagCount(book) = %d, want 4", got)
+	}
+	if got := db.TagCount("author"); got != 5 {
+		t.Errorf("TagCount(author) = %d, want 5", got)
+	}
+	if got := db.TagCount("absent"); got != 0 {
+		t.Errorf("TagCount(absent) = %d", got)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := LoadXML(dir, strings.NewReader(samples.Bibliography), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := queryIDs(t, db, samples.PaperQuery, nil)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	got := queryIDs(t, db2, samples.PaperQuery, nil)
+	if !sameIDs(got, want) {
+		t.Errorf("after reopen: %v, want %v", got, want)
+	}
+	if db2.NodeCount() != db2.Tree.NodeCount() || db2.NodeCount() == 0 {
+		t.Error("node count lost across reopen")
+	}
+}
+
+func TestMultipleRootsRejected(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	_, err := LoadXML(dir, strings.NewReader("<a/><b/>"), nil)
+	if err == nil {
+		t.Error("multiple roots should be rejected")
+	}
+}
+
+// ---- randomized differential testing ---------------------------------------
+
+// randomXML builds a random document over a small tag alphabet with values
+// drawn from a small value pool (so equality predicates actually hit).
+func randomXML(rng *rand.Rand, nodes int) string {
+	tags := []string{"a", "b", "c", "d", "e"}
+	vals := []string{"x", "y", "42", "7.5", ""}
+	var sb strings.Builder
+	var emit func(budget, depth int) int
+	emit = func(budget, depth int) int {
+		tag := tags[rng.Intn(len(tags))]
+		sb.WriteString("<" + tag)
+		if rng.Intn(4) == 0 {
+			sb.WriteString(fmt.Sprintf(` id="%d"`, rng.Intn(3)))
+		}
+		sb.WriteString(">")
+		used := 1
+		kids := rng.Intn(4)
+		if depth > 6 {
+			kids = 0
+		}
+		if kids == 0 {
+			sb.WriteString(vals[rng.Intn(len(vals))])
+		}
+		for i := 0; i < kids && used < budget; i++ {
+			used += emit((budget-used+kids-1)/(kids-i), depth+1)
+		}
+		sb.WriteString("</" + tag + ">")
+		return used
+	}
+	sb.WriteString("<root>")
+	total := 1
+	for total < nodes {
+		total += emit(nodes-total, 1)
+	}
+	sb.WriteString("</root>")
+	return sb.String()
+}
+
+// randomQuery builds a random path query over the same alphabet.
+func randomQuery(rng *rand.Rand) string {
+	tags := []string{"a", "b", "c", "d", "e", "*"}
+	vals := []string{"x", "y", "42", "7.5"}
+	ops := []string{"=", "!=", "<", ">", "<=", ">="}
+	var sb strings.Builder
+	steps := 1 + rng.Intn(4)
+	sb.WriteString("/root")
+	for i := 0; i < steps; i++ {
+		if rng.Intn(3) == 0 {
+			sb.WriteString("//")
+		} else {
+			sb.WriteString("/")
+		}
+		sb.WriteString(tags[rng.Intn(len(tags))])
+		for p := 0; p < rng.Intn(3); p++ {
+			sb.WriteString("[")
+			if rng.Intn(4) == 0 {
+				sb.WriteString("@id=")
+				sb.WriteString(fmt.Sprintf("%q", fmt.Sprint(rng.Intn(3))))
+			} else {
+				sb.WriteString(tags[rng.Intn(len(tags)-1)]) // no '*' in predicates here
+				if rng.Intn(2) == 0 {
+					sb.WriteString(ops[rng.Intn(len(ops))])
+					sb.WriteString(fmt.Sprintf("%q", vals[rng.Intn(len(vals))]))
+				}
+			}
+			sb.WriteString("]")
+		}
+	}
+	return sb.String()
+}
+
+func TestRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20040301)) // ICDE 2004
+	for docTrial := 0; docTrial < 4; docTrial++ {
+		xml := randomXML(rng, 150+rng.Intn(300))
+		db := loadDB(t, xml, smallPages())
+		doc := domnav.MustParse(xml)
+		for q := 0; q < 40; q++ {
+			expr := randomQuery(rng)
+			want := oracleIDs(t, doc, expr)
+			got := queryIDs(t, db, expr, nil)
+			if !sameIDs(got, want) {
+				t.Fatalf("doc %d query %q:\n got  %v\n want %v\n(xml: %.400s)",
+					docTrial, expr, got, want, xml)
+			}
+			// Scan strategy must agree with auto.
+			got2 := queryIDs(t, db, expr, &QueryOptions{Strategy: StrategyScan})
+			if !sameIDs(got2, want) {
+				t.Fatalf("doc %d query %q (scan): got %v want %v", docTrial, expr, got2, want)
+			}
+		}
+	}
+}
+
+func TestDeepChainsAndSiblings(t *testing.T) {
+	xml := `<root><s><a/><b/><c/></s><s><b/><a/><c/></s><s><c/><b/><a/></s></root>`
+	db := loadDB(t, xml, smallPages())
+	doc := domnav.MustParse(xml)
+	for _, q := range []string{
+		`/root/s/a/following-sibling::b`,
+		`/root/s/a/following-sibling::c`,
+		`/root/s/b/following-sibling::a`,
+		`/root/s/a/following-sibling::b/following-sibling::c`,
+		`//s[a/following-sibling::b]`,
+		`//s[c/following-sibling::a]`,
+	} {
+		checkAgainstOracle(t, db, doc, q)
+	}
+}
+
+func TestSharedChildSemantics(t *testing.T) {
+	// The /a[b/c][b/d] case from §3.
+	xml := `<root><a><b><c/><d/></b></a><a><b><c/></b><b><d/></b></a><a><b><c/></b></a></root>`
+	db := loadDB(t, xml, smallPages())
+	doc := domnav.MustParse(xml)
+	for _, q := range []string{
+		`/root/a[b/c][b/d]`,
+		`/root/a/b[c]`,
+		`/root/a[b/c]/b[d]`,
+	} {
+		checkAgainstOracle(t, db, doc, q)
+	}
+}
+
+func TestLargeDocAcrossPages(t *testing.T) {
+	// Enough nodes to span many 256-byte pages; exercises page skipping
+	// and the value index at scale.
+	var sb strings.Builder
+	sb.WriteString("<lib>")
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&sb, `<book year="%d"><title>t%d</title><price>%d</price></book>`,
+			1900+i%100, i, i%200)
+	}
+	sb.WriteString("</lib>")
+	xml := sb.String()
+	db := loadDB(t, xml, smallPages())
+	doc := domnav.MustParse(xml)
+	for _, q := range []string{
+		`/lib/book/title`,
+		`//book[price="150"]`,
+		`//book[@year="1950"]/title`,
+		`//book[title="t250"]`,
+	} {
+		checkAgainstOracle(t, db, doc, q)
+	}
+	if db.Tree.NumPages() < 10 {
+		t.Errorf("expected many pages, got %d", db.Tree.NumPages())
+	}
+}
+
+func TestSinglePassProposition1(t *testing.T) {
+	// Proposition 1: during one NoK matching pass the evaluator reads each
+	// tree page at most once (buffer hits aside). With a pool larger than
+	// the file, physical reads ≤ page count.
+	var sb strings.Builder
+	sb.WriteString("<lib>")
+	for i := 0; i < 800; i++ {
+		fmt.Fprintf(&sb, `<book><title>t%d</title><price>%d</price></book>`, i, i%97)
+	}
+	sb.WriteString("</lib>")
+	db := loadDB(t, sb.String(), &Options{PageSize: 256, PoolPages: 4096})
+	pf := db.Tree.Pager()
+	pf.ResetStats()
+	if _, _, err := db.Query(`/lib/book[price="13"]/title`, &QueryOptions{Strategy: StrategyScan}); err != nil {
+		t.Fatal(err)
+	}
+	reads := pf.Stats().PhysicalReads
+	pages := int64(db.Tree.NumPages())
+	if reads > pages {
+		t.Errorf("physical reads %d exceed page count %d — not single-pass", reads, pages)
+	}
+}
+
+func TestPathIndexStrategy(t *testing.T) {
+	db := loadDB(t, samples.Bibliography, smallPages())
+	// A concrete '/' chain without value constraints: auto picks the path
+	// index (§8 extension).
+	_, stats, err := db.Query(`/bib/book/title`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StrategyUsed[0] != StrategyPathIndex {
+		t.Errorf("auto strategy = %v, want path-index", stats.StrategyUsed[0])
+	}
+	// Forced path strategy returns the same answers.
+	got := queryIDs(t, db, `/bib/book/title`, &QueryOptions{Strategy: StrategyPathIndex})
+	want := queryIDs(t, db, `/bib/book/title`, &QueryOptions{Strategy: StrategyScan})
+	if !sameIDs(got, want) {
+		t.Errorf("path-index results %v != scan results %v", got, want)
+	}
+	// With a value constraint the paper's heuristic still prefers the
+	// value index.
+	_, stats, err = db.Query(`/bib/book[title="Data on the Web"]`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StrategyUsed[0] != StrategyValueIndex {
+		t.Errorf("value query strategy = %v, want value-index", stats.StrategyUsed[0])
+	}
+	// Wildcards on the chain force a fallback that still answers correctly.
+	got = queryIDs(t, db, `/bib/*/title`, &QueryOptions{Strategy: StrategyPathIndex})
+	want = queryIDs(t, db, `/bib/*/title`, &QueryOptions{Strategy: StrategyScan})
+	if !sameIDs(got, want) {
+		t.Errorf("wildcard fallback: %v != %v", got, want)
+	}
+}
+
+func TestPathIndexSurvivesUpdates(t *testing.T) {
+	db := loadDB(t, samples.Bibliography, smallPages())
+	if err := db.InsertFragment(mustID(t, "0"), strings.NewReader(`<book><title>T9</title></book>`)); err != nil {
+		t.Fatal(err)
+	}
+	got := queryIDs(t, db, `/bib/book/title`, &QueryOptions{Strategy: StrategyPathIndex})
+	if len(got) != 5 {
+		t.Fatalf("titles after insert via path index: %v", got)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := LoadXML(dir, strings.NewReader(samples.Bibliography), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Dir() != dir {
+		t.Errorf("Dir = %q", db.Dir())
+	}
+	tree, tag, val, dew := db.IndexSizes()
+	if tree == 0 || tag == 0 || val == 0 || dew == 0 {
+		t.Errorf("IndexSizes = %d %d %d %d", tree, tag, val, dew)
+	}
+	if int(tree) != int(db.Tree.TokenBytes()) {
+		t.Errorf("|tree| = %d, want TokenBytes %d", tree, db.Tree.TokenBytes())
+	}
+	for _, s := range []Strategy{StrategyAuto, StrategyScan, StrategyTagIndex, StrategyValueIndex, StrategyPathIndex, Strategy(99)} {
+		if s.String() == "" {
+			t.Errorf("empty String for %d", uint8(s))
+		}
+	}
+}
+
+func TestLoadXMLFileFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "doc.xml")
+	if err := os.WriteFile(xmlPath, []byte(samples.Bibliography), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := LoadXMLFile(filepath.Join(dir, "db"), xmlPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.NodeCount() != 40 {
+		t.Errorf("NodeCount = %d", db.NodeCount())
+	}
+	if _, err := LoadXMLFile(filepath.Join(dir, "db2"), filepath.Join(dir, "missing.xml"), nil); err == nil {
+		t.Error("missing XML file should fail")
+	}
+}
+
+func TestEmptyDocumentRoot(t *testing.T) {
+	// A document that is a single empty element still matches itself.
+	db := loadDB(t, `<only/>`, nil)
+	got := queryIDs(t, db, `/only`, nil)
+	if !sameIDs(got, []string{"0"}) {
+		t.Fatalf("got %v", got)
+	}
+	got = queryIDs(t, db, `//only`, nil)
+	if !sameIDs(got, []string{"0"}) {
+		t.Fatalf("// form: %v", got)
+	}
+	if got := queryIDs(t, db, `/only/missing`, nil); len(got) != 0 {
+		t.Fatalf("child of leaf: %v", got)
+	}
+}
+
+func TestSiblingArcsWithSpineCollection(t *testing.T) {
+	// Sticky spine + ⊲ arcs interact: the returning node has a
+	// preceding-sibling constraint, so collected matches must be filtered
+	// by pinned feasibility (filterPinned's splice path).
+	xml := `<r><s><a/><b>1</b><b>2</b></s><s><b>3</b><a/><b>4</b></s></r>`
+	db := loadDB(t, xml, smallPages())
+	doc := domnav.MustParse(xml)
+	for _, q := range []string{
+		`/r/s/a/following-sibling::b`, // b's strictly after an a
+		`/r/s/b/preceding-sibling::a`,
+		`//s[a]/b`,
+	} {
+		checkAgainstOracle(t, db, doc, q)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nok/internal/samples"
+)
+
+// buildDir loads the bibliography into a fresh directory and closes it.
+func buildDir(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := LoadXML(dir, strings.NewReader(samples.Bibliography), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestOpenFailsCleanlyOnCorruption damages each store file in turn; Open
+// (or the first query) must return an error, never panic, and never
+// return wrong data silently for structural corruption.
+func TestOpenFailsCleanlyOnCorruption(t *testing.T) {
+	files := []string{"tree.pg", "tags.sym", "stats.dat", "tagidx.pg", "validx.pg", "deweyidx.pg"}
+	for _, name := range files {
+		name := name
+		t.Run("truncate-"+name, func(t *testing.T) {
+			dir := buildDir(t)
+			path := filepath.Join(dir, name)
+			if err := os.Truncate(path, 3); err != nil {
+				t.Fatal(err)
+			}
+			db, err := Open(dir, nil)
+			if err == nil {
+				// Some truncations only surface at query time; that is
+				// acceptable as long as it is an error, not a panic.
+				defer db.Close()
+				_, _, qerr := db.Query(samples.PaperQuery, nil)
+				if qerr == nil {
+					t.Errorf("truncated %s: no error surfaced", name)
+				}
+			}
+		})
+		t.Run("missing-"+name, func(t *testing.T) {
+			dir := buildDir(t)
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				t.Fatal(err)
+			}
+			if db, err := Open(dir, nil); err == nil {
+				db.Close()
+				t.Errorf("missing %s: Open succeeded", name)
+			}
+		})
+	}
+}
+
+func TestGarbageOverwrite(t *testing.T) {
+	for _, name := range []string{"tree.pg", "tagidx.pg"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			dir := buildDir(t)
+			if err := os.WriteFile(filepath.Join(dir, name),
+				[]byte(strings.Repeat("garbage!", 512)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if db, err := Open(dir, nil); err == nil {
+				db.Close()
+				t.Errorf("garbage %s accepted by Open", name)
+			}
+		})
+	}
+}
+
+// TestMissingValuesFileDegradesAtQueryTime: values.dat holds content only;
+// opening without it must fail (it is part of the store's contract).
+func TestMissingValuesFile(t *testing.T) {
+	dir := buildDir(t)
+	if err := os.Remove(filepath.Join(dir, "values.dat")); err != nil {
+		t.Fatal(err)
+	}
+	if db, err := Open(dir, nil); err == nil {
+		db.Close()
+		t.Error("missing values.dat: Open succeeded")
+	}
+}

@@ -1,0 +1,335 @@
+// Package core implements the paper's primary contribution: NoK pattern
+// matching (Algorithm 1) evaluated directly over the succinct physical
+// storage scheme (Algorithm 2), with index-assisted starting-point location
+// and structural joins between NoK partitions.
+//
+// A Database is a directory holding the paper's Figure-3 layout:
+//
+//	tree.pg      the paged string representation (internal/stree)
+//	tags.sym     the tag-name alphabet Σ (internal/symtab)
+//	values.dat   the value data file (internal/vstore)
+//	tagidx.pg    B+ tree: tag symbol ‖ Dewey → node position
+//	validx.pg    B+ tree: hash(value) ‖ Dewey → node position
+//	deweyidx.pg  B+ tree: Dewey → node position ‖ value offset
+//	stats.dat    per-tag node counts for the index-choice heuristic (§6.2)
+//
+// Both multi-valued indexes put the Dewey ID *in the key*: dewey byte
+// encodings compare in document order, so a prefix scan yields entries in
+// document order for free, and the Dewey ID is what lets a match on a
+// value-constrained descendant be translated to its NoK-root ancestor
+// (strip k components, then look the ancestor up in the Dewey index).
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nok/internal/btree"
+	"nok/internal/dewey"
+	"nok/internal/pager"
+	"nok/internal/stree"
+	"nok/internal/symtab"
+	"nok/internal/vstore"
+)
+
+// File names inside a database directory.
+const (
+	fileTree   = "tree.pg"
+	fileTags   = "tags.sym"
+	fileValues = "values.dat"
+	fileTagIdx = "tagidx.pg"
+	fileValIdx = "validx.pg"
+	fileDewIdx = "deweyidx.pg"
+	fileStats  = "stats.dat"
+)
+
+// NoValue is the sentinel value-offset for nodes without text content.
+const NoValue = ^uint64(0)
+
+// Options configure database creation.
+type Options struct {
+	// PageSize for the string tree. Defaults to pager.DefaultPageSize.
+	PageSize int
+	// IndexPageSize for the three B+ tree files. Defaults to PageSize when
+	// that is at least 1KB (B+ tree cells need room for deep Dewey keys),
+	// otherwise to pager.DefaultPageSize.
+	IndexPageSize int
+	// PoolPages is the buffer-pool size per paged file. Defaults to 256.
+	PoolPages int
+	// ReservePct is the per-page update slack of the string tree (§4.2).
+	// Defaults to 20 as in the paper's example.
+	ReservePct int
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{PageSize: pager.DefaultPageSize, PoolPages: 256, ReservePct: 20}
+	if o != nil {
+		if o.PageSize != 0 {
+			out.PageSize = o.PageSize
+		}
+		if o.IndexPageSize != 0 {
+			out.IndexPageSize = o.IndexPageSize
+		}
+		if o.PoolPages != 0 {
+			out.PoolPages = o.PoolPages
+		}
+		if o.ReservePct != 0 {
+			out.ReservePct = o.ReservePct
+		}
+	}
+	if out.IndexPageSize == 0 {
+		if out.PageSize >= 1024 {
+			out.IndexPageSize = out.PageSize
+		} else {
+			out.IndexPageSize = pager.DefaultPageSize
+		}
+	}
+	return out
+}
+
+// DB is an opened NoK database.
+type DB struct {
+	dir string
+
+	Tree   *stree.Store
+	Tags   *symtab.Table
+	Values *vstore.Store
+
+	TagIdx   *btree.Tree
+	ValIdx   *btree.Tree
+	DeweyIdx *btree.Tree
+	// PathIdx is the §8 path-index extension: hash(root-to-node tag path)
+	// ‖ Dewey → position. See internal/core/pathidx.go.
+	PathIdx *btree.Tree
+
+	treeFile, tagIdxFile, valIdxFile, dewIdxFile, pathIdxFile *pager.File
+
+	// tagCount[sym] is the number of nodes with that tag — the §6.2
+	// selectivity statistic.
+	tagCount map[symtab.Sym]uint64
+	total    uint64
+}
+
+// Open attaches to an existing database directory.
+func Open(dir string, opts *Options) (*DB, error) {
+	o := opts.withDefaults()
+	db := &DB{dir: dir, tagCount: make(map[symtab.Sym]uint64)}
+	ok := false
+	defer func() {
+		if !ok {
+			db.Close()
+		}
+	}()
+
+	var err error
+	if db.treeFile, err = pager.Open(filepath.Join(dir, fileTree), &pager.Options{PoolPages: o.PoolPages}); err != nil {
+		return nil, fmt.Errorf("core: opening tree: %w", err)
+	}
+	if db.Tree, err = stree.Open(db.treeFile); err != nil {
+		return nil, err
+	}
+	if db.Tags, err = symtab.Load(filepath.Join(dir, fileTags)); err != nil {
+		return nil, fmt.Errorf("core: loading symbols: %w", err)
+	}
+	if db.Values, err = vstore.Open(filepath.Join(dir, fileValues)); err != nil {
+		return nil, fmt.Errorf("core: opening values: %w", err)
+	}
+	if db.tagIdxFile, err = pager.Open(filepath.Join(dir, fileTagIdx), &pager.Options{PoolPages: o.PoolPages}); err != nil {
+		return nil, fmt.Errorf("core: opening tag index: %w", err)
+	}
+	if db.TagIdx, err = btree.Open(db.tagIdxFile); err != nil {
+		return nil, err
+	}
+	if db.valIdxFile, err = pager.Open(filepath.Join(dir, fileValIdx), &pager.Options{PoolPages: o.PoolPages}); err != nil {
+		return nil, fmt.Errorf("core: opening value index: %w", err)
+	}
+	if db.ValIdx, err = btree.Open(db.valIdxFile); err != nil {
+		return nil, err
+	}
+	if db.dewIdxFile, err = pager.Open(filepath.Join(dir, fileDewIdx), &pager.Options{PoolPages: o.PoolPages}); err != nil {
+		return nil, fmt.Errorf("core: opening dewey index: %w", err)
+	}
+	if db.DeweyIdx, err = btree.Open(db.dewIdxFile); err != nil {
+		return nil, err
+	}
+	// The path index is an optional extension (§8); stores created before
+	// it existed still open, with path-index starts degrading to the
+	// heuristic.
+	if db.pathIdxFile, err = pager.Open(filepath.Join(dir, filePathIdx), &pager.Options{PoolPages: o.PoolPages}); err == nil {
+		if db.PathIdx, err = btree.Open(db.pathIdxFile); err != nil {
+			return nil, err
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("core: opening path index: %w", err)
+	}
+	if err := db.loadStats(); err != nil {
+		return nil, err
+	}
+	ok = true
+	return db, nil
+}
+
+// Close releases every file. Safe to call on a partially opened DB.
+func (db *DB) Close() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if db.Values != nil {
+		keep(db.Values.Close())
+	}
+	for _, pf := range []*pager.File{db.treeFile, db.tagIdxFile, db.valIdxFile, db.dewIdxFile, db.pathIdxFile} {
+		if pf != nil {
+			keep(pf.Close())
+		}
+	}
+	return first
+}
+
+// Dir returns the database directory.
+func (db *DB) Dir() string { return db.dir }
+
+// NodeCount returns the number of element nodes (attributes included).
+func (db *DB) NodeCount() uint64 { return db.Tree.NodeCount() }
+
+// TagCount returns how many nodes carry the tag name.
+func (db *DB) TagCount(name string) uint64 {
+	sym, ok := db.Tags.Lookup(name)
+	if !ok {
+		return 0
+	}
+	return db.tagCount[sym]
+}
+
+// ---- key encodings ----------------------------------------------------------
+
+// encodePos packs a position into 6 bytes.
+func encodePos(p stree.Pos) []byte {
+	var b [6]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(p.Chain))
+	binary.BigEndian.PutUint16(b[4:6], uint16(p.Off))
+	return b[:]
+}
+
+func decodePos(b []byte) (stree.Pos, error) {
+	if len(b) < 6 {
+		return stree.Pos{}, errors.New("core: truncated position")
+	}
+	return stree.Pos{
+		Chain: int(binary.BigEndian.Uint32(b[0:4])),
+		Off:   int(binary.BigEndian.Uint16(b[4:6])),
+	}, nil
+}
+
+// tagKey composes the tag-index key sym ‖ dewey.
+func tagKey(sym symtab.Sym, id dewey.ID) []byte {
+	key := make([]byte, 2, 2+len(id)*2)
+	binary.BigEndian.PutUint16(key, uint16(sym))
+	return append(key, id.Bytes()...)
+}
+
+// valKey composes the value-index key hash ‖ dewey.
+func valKey(hash uint64, id dewey.ID) []byte {
+	key := make([]byte, 8, 8+len(id)*2)
+	binary.BigEndian.PutUint64(key, hash)
+	return append(key, id.Bytes()...)
+}
+
+// deweyVal composes the Dewey-index value pos ‖ valueOffset.
+func deweyVal(pos stree.Pos, valOff uint64) []byte {
+	out := make([]byte, 14)
+	copy(out, encodePos(pos))
+	binary.BigEndian.PutUint64(out[6:], valOff)
+	return out
+}
+
+// NodeAt returns the position and value offset recorded for a Dewey ID.
+func (db *DB) NodeAt(id dewey.ID) (pos stree.Pos, valOff uint64, ok bool, err error) {
+	v, found, err := db.DeweyIdx.Get(id.Bytes())
+	if err != nil || !found {
+		return stree.Pos{}, 0, false, err
+	}
+	if len(v) != 14 {
+		return stree.Pos{}, 0, false, fmt.Errorf("core: corrupt dewey index entry for %s", id)
+	}
+	pos, err = decodePos(v)
+	if err != nil {
+		return stree.Pos{}, 0, false, err
+	}
+	return pos, binary.BigEndian.Uint64(v[6:]), true, nil
+}
+
+// NodeValue returns the text value of the node with the given Dewey ID.
+// ok is false when the node has no value (or no such node exists).
+func (db *DB) NodeValue(id dewey.ID) (string, bool, error) {
+	_, valOff, found, err := db.NodeAt(id)
+	if err != nil || !found || valOff == NoValue {
+		return "", false, err
+	}
+	v, err := db.Values.Get(int64(valOff))
+	if err != nil {
+		return "", false, err
+	}
+	return string(v), true, nil
+}
+
+// ---- statistics -------------------------------------------------------------
+
+func (db *DB) saveStats() error {
+	path := filepath.Join(db.dir, fileStats)
+	buf := make([]byte, 0, 16+len(db.tagCount)*10)
+	var tmp [10]byte
+	binary.BigEndian.PutUint64(tmp[:8], db.total)
+	buf = append(buf, tmp[:8]...)
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(db.tagCount)))
+	buf = append(buf, tmp[:4]...)
+	for sym := symtab.Sym(1); int(sym) <= db.Tags.Len(); sym++ {
+		binary.BigEndian.PutUint16(tmp[:2], uint16(sym))
+		binary.BigEndian.PutUint64(tmp[2:10], db.tagCount[sym])
+		buf = append(buf, tmp[:10]...)
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+func (db *DB) loadStats() error {
+	raw, err := os.ReadFile(filepath.Join(db.dir, fileStats))
+	if err != nil {
+		return fmt.Errorf("core: loading stats: %w", err)
+	}
+	if len(raw) < 12 {
+		return errors.New("core: truncated stats file")
+	}
+	db.total = binary.BigEndian.Uint64(raw[:8])
+	n := int(binary.BigEndian.Uint32(raw[8:12]))
+	raw = raw[12:]
+	if len(raw) < n*10 {
+		return errors.New("core: truncated stats entries")
+	}
+	for i := 0; i < n; i++ {
+		sym := symtab.Sym(binary.BigEndian.Uint16(raw[i*10:]))
+		db.tagCount[sym] = binary.BigEndian.Uint64(raw[i*10+2:])
+	}
+	return nil
+}
+
+// IndexSizes reports the on-disk size in bytes of the string tree and the
+// three B+ trees — the |tree|, |B+t|, |B+v|, |B+i| columns of Table 1.
+func (db *DB) IndexSizes() (tree, tagIdx, valIdx, dewIdx int64) {
+	sz := func(name string) int64 {
+		fi, err := os.Stat(filepath.Join(db.dir, name))
+		if err != nil {
+			return 0
+		}
+		return fi.Size()
+	}
+	// The string representation's logical size is TokenBytes; the file
+	// size includes page slack, so report the logical size for |tree| and
+	// file sizes for the indexes (as the paper does: |tree| is 0.035MB for
+	// a 1.2MB document, far below one page-rounded file).
+	return int64(db.Tree.TokenBytes()), sz(fileTagIdx), sz(fileValIdx), sz(fileDewIdx)
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nok/internal/join"
+	"nok/internal/pattern"
+	"nok/internal/stree"
+)
+
+// This file is the query evaluator: it glues NoK pattern matching
+// (Algorithm 1 / npm.go) to structural joins across the NoK partition
+// graph, realizing the paper's two-step architecture — "first partition the
+// pattern tree into interconnected NoK pattern trees, to which we apply the
+// more efficient navigational pattern matching algorithm; then join the
+// results of the NoK pattern matching based on their structural
+// relationships".
+//
+// Evaluation proceeds in two phases:
+//
+//  1. Bottom-up: for every non-top partition T, compute ExtMatch(T) — the
+//     subject nodes where T's NoK pattern matches *and* every descendant
+//     link of T is satisfied. Child-link satisfaction is folded into NoK
+//     matching as a predicate on the link-source node: "does some
+//     ExtMatch(child) lie inside this node's interval?" — a containment
+//     test on the paper's interval surrogate (§5), checked by binary
+//     search on the sorted child match list.
+//
+//  2. Top-down: walk the partition chain from the top partition to the one
+//     containing the returning node, narrowing starting points through
+//     structural (containment) joins, and finally collect the returning
+//     node's matches.
+type QueryOptions struct {
+	// Strategy forces a starting-point strategy; StrategyAuto applies the
+	// paper's §6.2 heuristic.
+	Strategy Strategy
+	// DisablePageSkip turns off the header-table page-skip optimization
+	// in FOLLOWING-SIBLING (ablation benchmark).
+	DisablePageSkip bool
+}
+
+// Query parses and evaluates a path expression, returning the matches of
+// its returning node in document order.
+func (db *DB) Query(expr string, opts *QueryOptions) ([]Match, *QueryStats, error) {
+	t, err := pattern.Parse(expr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db.QueryPattern(t, opts)
+}
+
+// QueryPattern evaluates a parsed pattern tree.
+func (db *DB) QueryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *QueryStats, error) {
+	strat := StrategyAuto
+	noSkip := false
+	if opts != nil {
+		strat = opts.Strategy
+		noSkip = opts.DisablePageSkip
+	}
+	parts := pattern.Partition(t)
+	stats := &QueryStats{
+		Partitions:   len(parts),
+		StrategyUsed: make([]Strategy, len(parts)),
+	}
+
+	// Phase 1: bottom-up ExtMatch. parts is in topological order (parents
+	// first), so iterating backwards sees every child before its parent.
+	ext := make(map[*pattern.NoKTree][]Match)
+	extPts := make(map[*pattern.NoKTree][]uint64)
+	for i := len(parts) - 1; i >= 1; i-- {
+		nt := parts[i]
+		m := newMatcher(db, nt, nil, stats)
+		m.noSkip = noSkip
+		db.installLinkPreds(m, nt, extPts)
+
+		startPoints, used, err := db.starts(nt, strat)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.StrategyUsed[i] = used
+		stats.StartingPoints += len(startPoints)
+
+		var matches []Match
+		for _, s := range startPoints {
+			ok, err := m.matchAt(nt.Root, s)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				matches = append(matches, s)
+			}
+		}
+		ext[nt] = matches
+		extPts[nt] = docPosList(matches)
+	}
+
+	// Phase 2: top-down along the chain to the returning partition.
+	chain := pattern.PathToReturn(parts, t)
+	if len(chain) == 0 {
+		return nil, nil, fmt.Errorf("core: returning node not found in any partition")
+	}
+	virtual := Match{Pos: stree.Pos{Chain: -1, Off: -1}}
+	trueStarts := []Match{virtual}
+
+	// Anchored evaluation of the top partition: when the pattern starts
+	// with a pure unconstrained '/' chain (e.g. /authors/author[...]), the
+	// chain's end — the anchor — can be located through the indexes like
+	// any NoK root, with ancestors verified by Dewey-prefix lookups. This
+	// is what makes '/'-rooted high-selectivity queries index-driven
+	// rather than full navigations from the document root.
+	topRoot := t.Root // effective pattern node matched at trueStarts
+	anchor, chainTests := topAnchor(parts[0], t)
+	if anchor != nil {
+		starts, used, err := db.anchoredStarts(parts[0], anchor, chainTests, strat)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.StrategyUsed[0] = used
+		stats.StartingPoints += len(starts)
+		trueStarts = starts
+		topRoot = anchor
+	}
+
+	for k := 0; k < len(chain); k++ {
+		nt := chain[k]
+		last := k == len(chain)-1
+
+		// Shortcut: when the returning node is this partition's root and
+		// this is the last hop, the filtered ExtMatch set *is* the answer.
+		if last && nt.Root == t.Return && nt.Parent != nil {
+			return trueStarts, stats, nil
+		}
+
+		var outputs []*pattern.Node
+		var downLink *pattern.Link
+		if !last {
+			for _, l := range nt.Links {
+				if l.To == chain[k+1] {
+					downLink = l
+					break
+				}
+			}
+			if downLink == nil {
+				return nil, nil, fmt.Errorf("core: no link from partition %d to %d", nt.Index(), chain[k+1].Index())
+			}
+			outputs = append(outputs, downLink.From)
+		}
+		if last {
+			outputs = append(outputs, t.Return)
+		}
+
+		m := newMatcher(db, nt, outputs, stats)
+		m.noSkip = noSkip
+		db.installLinkPreds(m, nt, extPts)
+		root := nt.Root
+		if k == 0 {
+			root = topRoot
+		}
+		for _, s := range trueStarts {
+			ok, err := m.matchAt(root, s)
+			if err != nil {
+				return nil, nil, err
+			}
+			_ = ok
+		}
+		if last {
+			return m.results(t.Return), stats, nil
+		}
+
+		// Structural join: narrow the child partition's ExtMatch to nodes
+		// inside (or after, for the following axis) a matched link source.
+		fromMatches := m.results(downLink.From)
+		childExt := ext[chain[k+1]]
+		childPts := extPts[chain[k+1]]
+
+		if downLink.From.IsVirtualRoot() {
+			// The virtual root contains every node and nothing follows the
+			// document; no interval arithmetic needed (or possible — the
+			// virtual root has no physical position).
+			if len(fromMatches) > 0 && downLink.Axis != pattern.Following {
+				trueStarts = childExt
+			} else {
+				trueStarts = nil
+			}
+			continue
+		}
+
+		ivs, err := db.intervalsOf(nt, downLink.From, fromMatches)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.JoinInputs += len(ivs) + len(childPts)
+
+		var keep []int
+		if downLink.Axis == pattern.Following {
+			keep = join.AfterAny(childPts, ivs)
+		} else {
+			keep = join.ContainedIn(childPts, ivs)
+		}
+		trueStarts = make([]Match, len(keep))
+		for i, idx := range keep {
+			trueStarts[i] = childExt[idx]
+		}
+	}
+	return nil, stats, fmt.Errorf("core: unreachable evaluation state")
+}
+
+// installLinkPreds attaches child-partition existence predicates to link
+// sources — the bottom-up structural join folded into NoK matching.
+func (db *DB) installLinkPreds(m *matcher, nt *pattern.NoKTree, extPts map[*pattern.NoKTree][]uint64) {
+	for _, l := range nt.Links {
+		link := l
+		pts := extPts[link.To]
+		prev := m.linkPred[link.From]
+		m.linkPred[link.From] = func(u Match) (bool, error) {
+			if prev != nil {
+				ok, err := prev(u)
+				if err != nil || !ok {
+					return false, err
+				}
+			}
+			iv, err := db.nodeInterval(nt, link.From, u)
+			if err != nil {
+				return false, err
+			}
+			if link.Axis == pattern.Following {
+				return join.ExistsAfter(pts, iv), nil
+			}
+			return join.ExistsWithin(pts, iv), nil
+		}
+	}
+}
+
+// nodeInterval returns the interval of a matched node; the virtual root's
+// interval spans the whole document.
+func (db *DB) nodeInterval(nt *pattern.NoKTree, n *pattern.Node, u Match) (stree.Interval, error) {
+	if n.IsVirtualRoot() {
+		return stree.Interval{Start: 0, End: math.MaxUint64}, nil
+	}
+	return db.Tree.Interval(u.Pos)
+}
+
+// intervalsOf computes intervals for a list of matches of node n.
+func (db *DB) intervalsOf(nt *pattern.NoKTree, n *pattern.Node, ms []Match) ([]stree.Interval, error) {
+	out := make([]stree.Interval, len(ms))
+	for i, u := range ms {
+		iv, err := db.nodeInterval(nt, n, u)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = iv
+	}
+	return out, nil
+}
+
+func docPosList(ms []Match) []uint64 {
+	out := make([]uint64, len(ms))
+	for i, m := range ms {
+		out[i] = m.DocPos()
+	}
+	return out
+}

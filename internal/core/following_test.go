@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"nok/internal/domnav"
+	"nok/internal/samples"
+)
+
+// TestFollowingAxis exercises the paper's ◀ global axis end to end: the
+// parser's following:: syntax, partitioning (a Following link), the
+// bottom-up ExistsAfter predicate and the top-down AfterAny join.
+func TestFollowingAxis(t *testing.T) {
+	xml := `<r>
+	  <a><x>1</x></a>
+	  <mark/>
+	  <a><x>2</x></a>
+	  <b><x>3</x></b>
+	  <mark/>
+	  <a><x>4</x></a>
+	</r>`
+	db := loadDB(t, xml, smallPages())
+	doc := domnav.MustParse(xml)
+	for _, q := range []string{
+		`//mark/following::a`,     // a's after any mark
+		`//mark/following::a/x`,   // their x children
+		`//a/following::mark`,     // marks after any a
+		`//b/following::a`,        // the last a only
+		`//a[x="4"]/following::a`, // nothing follows the last a
+		`//mark/following::*`,     // everything after a mark
+		`/r/a/following::b`,       // b follows the first two a's
+	} {
+		checkAgainstOracle(t, db, doc, q)
+	}
+}
+
+func TestFollowingAxisOnBibliography(t *testing.T) {
+	db := loadDB(t, samples.Bibliography, smallPages())
+	doc := domnav.MustParse(samples.Bibliography)
+	for _, q := range []string{
+		`//author/following::price`,
+		`//book[@year="1992"]/following::title`,
+		`//editor/following::book`,
+	} {
+		checkAgainstOracle(t, db, doc, q)
+	}
+}
+
+func TestPrecedingSiblingAxis(t *testing.T) {
+	xml := `<r><s><a/><b/></s><s><b/><a/></s><s><b/></s></r>`
+	db := loadDB(t, xml, smallPages())
+	doc := domnav.MustParse(xml)
+	for _, q := range []string{
+		`/r/s/b/preceding-sibling::a`, // a before b: only in the first s
+		`/r/s/a/preceding-sibling::b`, // b before a: only in the second s
+		`//s[b/preceding-sibling::a]`,
+	} {
+		checkAgainstOracle(t, db, doc, q)
+	}
+}

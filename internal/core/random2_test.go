@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nok/internal/domnav"
+	"nok/internal/pattern"
+)
+
+// richRandomQuery generates a wider query space than randomQuery: nested
+// predicates, descendant steps inside predicates, attributes, wildcards,
+// following-sibling and following steps.
+func richRandomQuery(rng *rand.Rand) string {
+	tags := []string{"a", "b", "c", "d", "e"}
+	vals := []string{"x", "y", "42", "7.5"}
+	ops := []string{"=", "!=", "<", ">", "<=", ">="}
+	var sb strings.Builder
+
+	var predicate func(depth int)
+	predicate = func(depth int) {
+		sb.WriteString("[")
+		switch rng.Intn(6) {
+		case 0:
+			sb.WriteString("@id=")
+			fmt.Fprintf(&sb, "%q", fmt.Sprint(rng.Intn(3)))
+		case 1:
+			sb.WriteString(".//")
+			sb.WriteString(tags[rng.Intn(len(tags))])
+		case 2:
+			sb.WriteString(tags[rng.Intn(len(tags))])
+			sb.WriteString("/")
+			sb.WriteString(tags[rng.Intn(len(tags))])
+			if rng.Intn(2) == 0 {
+				sb.WriteString(ops[rng.Intn(len(ops))])
+				fmt.Fprintf(&sb, "%q", vals[rng.Intn(len(vals))])
+			}
+		case 3:
+			sb.WriteString(".")
+			sb.WriteString(ops[rng.Intn(len(ops))])
+			fmt.Fprintf(&sb, "%q", vals[rng.Intn(len(vals))])
+		default:
+			sb.WriteString(tags[rng.Intn(len(tags))])
+			if rng.Intn(2) == 0 {
+				sb.WriteString(ops[rng.Intn(len(ops))])
+				fmt.Fprintf(&sb, "%q", vals[rng.Intn(len(vals))])
+			} else if depth < 2 && rng.Intn(3) == 0 {
+				predicate(depth + 1)
+			}
+		}
+		sb.WriteString("]")
+	}
+
+	sb.WriteString("/root")
+	steps := 1 + rng.Intn(4)
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(8) {
+		case 0, 1:
+			sb.WriteString("//")
+		case 2:
+			if i > 0 {
+				sb.WriteString("/following-sibling::")
+			} else {
+				sb.WriteString("/")
+			}
+		case 3:
+			if i > 0 {
+				sb.WriteString("/following::")
+			} else {
+				sb.WriteString("/")
+			}
+		default:
+			sb.WriteString("/")
+		}
+		if rng.Intn(6) == 0 {
+			sb.WriteString("*")
+		} else if rng.Intn(8) == 0 {
+			sb.WriteString("@id")
+			continue // attributes cannot take predicates or children here
+		} else {
+			sb.WriteString(tags[rng.Intn(len(tags))])
+		}
+		for p := 0; p < rng.Intn(3); p++ {
+			predicate(0)
+		}
+	}
+	return sb.String()
+}
+
+// TestRichRandomDifferential runs the widened query generator against the
+// oracle on randomized documents with every strategy.
+func TestRichRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	strategies := []Strategy{StrategyAuto, StrategyScan, StrategyPathIndex}
+	for docTrial := 0; docTrial < 3; docTrial++ {
+		xml := randomXML(rng, 200+rng.Intn(300))
+		db := loadDB(t, xml, smallPages())
+		doc := domnav.MustParse(xml)
+		tried := 0
+		for tried < 60 {
+			expr := richRandomQuery(rng)
+			// The generator can produce expressions the parser rejects
+			// (e.g. following-sibling on a step whose parent is virtual);
+			// skip those — both sides must reject identically.
+			want, perr := tryOracle(doc, expr)
+			got, _, gerr := db.Query(expr, nil)
+			if (perr == nil) != (gerr == nil) {
+				t.Fatalf("parse disagreement on %q: oracle err %v, engine err %v", expr, perr, gerr)
+			}
+			if perr != nil {
+				continue
+			}
+			tried++
+			if len(got) != len(want) {
+				t.Fatalf("doc %d %q: %d results, oracle %d\nxml: %.300s",
+					docTrial, expr, len(got), len(want), xml)
+			}
+			for i := range got {
+				if got[i].ID.String() != want[i] {
+					t.Fatalf("doc %d %q result %d: %s vs oracle %s",
+						docTrial, expr, i, got[i].ID, want[i])
+				}
+			}
+			for _, s := range strategies[1:] {
+				alt, _, err := db.Query(expr, &QueryOptions{Strategy: s})
+				if err != nil {
+					t.Fatalf("%q [%v]: %v", expr, s, err)
+				}
+				if len(alt) != len(want) {
+					t.Fatalf("%q [%v]: %d results, oracle %d", expr, s, len(alt), len(want))
+				}
+			}
+		}
+	}
+}
+
+func tryOracle(doc *domnav.Doc, expr string) ([]string, error) {
+	tr, err := pattern.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, n := range domnav.Evaluate(doc, tr) {
+		out = append(out, n.ID.String())
+	}
+	return out, nil
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"nok/internal/dewey"
+	"nok/internal/pattern"
+	"nok/internal/stree"
+	"nok/internal/symtab"
+	"nok/internal/vstore"
+)
+
+// Strategy selects how starting points for NoK pattern matching are
+// located (§3 lists the three options; §6.2 describes the heuristic).
+type Strategy uint8
+
+const (
+	// StrategyAuto applies the paper's heuristic: use the value index when
+	// an (equality) value constraint exists, otherwise the tag-name index
+	// when the most selective tag is selective enough, otherwise scan.
+	StrategyAuto Strategy = iota
+	// StrategyScan traverses the whole subject tree in document order.
+	StrategyScan
+	// StrategyTagIndex looks starting points up in the tag-name B+ tree.
+	StrategyTagIndex
+	// StrategyValueIndex locates candidates through the value B+ tree and
+	// maps them to NoK-root ancestors via Dewey IDs.
+	StrategyValueIndex
+	// StrategyPathIndex locates candidates through the path index — the
+	// paper's §8 extension. Only applicable to anchored '/'-rooted chains
+	// with concrete tags; elsewhere it degrades to StrategyAuto.
+	StrategyPathIndex
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyScan:
+		return "scan"
+	case StrategyTagIndex:
+		return "tag-index"
+	case StrategyValueIndex:
+		return "value-index"
+	case StrategyPathIndex:
+		return "path-index"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// scanThresholdDiv controls the §6.2 "high selectivity" cutoff: the tag
+// index is used when the best tag's node count is below NodeCount/scanThresholdDiv,
+// otherwise a sequential scan wins (index lookups cost random I/O per hit).
+const scanThresholdDiv = 8
+
+// selectivityCountCutoff caps the work spent counting value-index entries
+// when choosing the most selective value constraint.
+const selectivityCountCutoff = 4096
+
+// starts computes the starting points for one NoK tree using the given
+// strategy, returning the points in document order along with the strategy
+// actually used. The NoK tree's root must not be the virtual root (the
+// evaluator handles that partition itself).
+func (db *DB) starts(nt *pattern.NoKTree, strat Strategy) ([]Match, Strategy, error) {
+	switch strat {
+	case StrategyScan:
+		ms, err := db.startsByScan(nt)
+		return ms, StrategyScan, err
+	case StrategyTagIndex:
+		ms, err := db.startsByTag(nt)
+		return ms, StrategyTagIndex, err
+	case StrategyValueIndex:
+		ms, err := db.startsByValue(nt)
+		return ms, StrategyValueIndex, err
+	default:
+		// StrategyAuto, and StrategyPathIndex outside an anchored chain
+		// (the path of a '//'-rooted partition is not fixed).
+		return db.startsAuto(nt)
+	}
+}
+
+// startsAuto implements the paper's heuristic: "whenever there are value
+// constraints, we always use the value index... If there are more than one
+// value constraints, the most selective one is used. If there are no value
+// constraints, we pick the tag name which has the highest selectivity;
+// if the selectivity is high we use the tag-name index, otherwise a
+// sequential scan."
+func (db *DB) startsAuto(nt *pattern.NoKTree) ([]Match, Strategy, error) {
+	if vn, ok := db.bestValueConstraint(nt); ok {
+		ms, err := db.startsFromValueNode(nt, vn)
+		return ms, StrategyValueIndex, err
+	}
+	node, count, ok := db.mostSelectiveTag(nt)
+	if ok && count <= db.total/scanThresholdDiv {
+		ms, err := db.startsFromTagNode(nt, node)
+		return ms, StrategyTagIndex, err
+	}
+	ms, err := db.startsByScan(nt)
+	return ms, StrategyScan, err
+}
+
+// startsByScan is the naïve strategy: traverse the subject tree and try
+// every node whose tag matches the NoK root.
+func (db *DB) startsByScan(nt *pattern.NoKTree) ([]Match, error) {
+	root := nt.Root
+	wild := root.Test == "*"
+	var want symtab.Sym
+	if !wild {
+		sym, ok := db.Tags.Lookup(root.Test)
+		if !ok {
+			return nil, nil
+		}
+		want = sym
+	}
+	var out []Match
+	err := db.Tree.Scan(func(pos stree.Pos, sym symtab.Sym, level int, id dewey.ID) bool {
+		if wild || sym == want {
+			out = append(out, Match{Pos: pos, ID: id.Clone()})
+		}
+		return true
+	})
+	return out, err
+}
+
+// startsByTag locates starting points through the tag index, preferring
+// the most selective concrete tag in the NoK tree and walking up to the
+// NoK root via Dewey prefixes. Falls back to a scan when every node is a
+// wildcard.
+func (db *DB) startsByTag(nt *pattern.NoKTree) ([]Match, error) {
+	node, _, ok := db.mostSelectiveTag(nt)
+	if !ok {
+		return db.startsByScan(nt)
+	}
+	return db.startsFromTagNode(nt, node)
+}
+
+// mostSelectiveTag picks the NoK-tree node with a concrete tag whose
+// document-wide node count is smallest (free lookup in the load-time
+// statistics).
+func (db *DB) mostSelectiveTag(nt *pattern.NoKTree) (depthNode, uint64, bool) {
+	best := depthNode{}
+	var bestCount uint64
+	found := false
+	var rec func(n *pattern.Node, d int)
+	rec = func(n *pattern.Node, d int) {
+		if !n.IsVirtualRoot() && n.Test != "*" {
+			if sym, ok := db.Tags.Lookup(n.Test); ok {
+				if c := db.tagCount[sym]; !found || c < bestCount {
+					best = depthNode{node: n, depth: d, sym: sym}
+					bestCount = c
+					found = true
+				}
+			} else {
+				// Tag absent from the document: no match is possible at
+				// all; report it as an unbeatable zero-count choice.
+				best = depthNode{node: n, depth: d, sym: 0, impossible: true}
+				bestCount = 0
+				found = true
+			}
+		}
+		for _, c := range pattern.LocalChildren(n) {
+			rec(c, d+1)
+		}
+	}
+	rec(nt.Root, 0)
+	return best, bestCount, found
+}
+
+type depthNode struct {
+	node       *pattern.Node
+	depth      int
+	sym        symtab.Sym
+	impossible bool
+}
+
+// startsFromTagNode scans the tag index for dn's symbol and lifts each hit
+// to its depth-dn ancestor — the NoK-root candidate.
+func (db *DB) startsFromTagNode(nt *pattern.NoKTree, dn depthNode) ([]Match, error) {
+	if dn.impossible {
+		return nil, nil
+	}
+	var prefix [2]byte
+	binary.BigEndian.PutUint16(prefix[:], uint16(dn.sym))
+	var out []Match
+	var lastAncestor []byte
+	err := db.TagIdx.ScanPrefix(prefix[:], func(key, value []byte) bool {
+		id, err := dewey.FromBytes(key[2:])
+		if err != nil || len(id) < dn.depth+1 {
+			return true
+		}
+		anc := id[:len(id)-dn.depth]
+		ancBytes := anc.Bytes()
+		if bytes.Equal(ancBytes, lastAncestor) {
+			return true // duplicate ancestor (two hits in one subtree)
+		}
+		lastAncestor = append(lastAncestor[:0], ancBytes...)
+		m, ok := db.liftToAncestor(nt, anc, dn.depth, value)
+		if ok {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out, err
+}
+
+// bestValueConstraint returns the most selective equality-value node of
+// the NoK tree. Inequality constraints cannot use the hash index.
+func (db *DB) bestValueConstraint(nt *pattern.NoKTree) (pattern.ValueNode, bool) {
+	var best pattern.ValueNode
+	bestCount := -1
+	for _, vn := range nt.ValueConstrained() {
+		if vn.Node.Cmp != pattern.CmpEq {
+			continue
+		}
+		c := db.countValueEntries(vn.Node.Literal)
+		if bestCount < 0 || c < bestCount {
+			best, bestCount = vn, c
+		}
+	}
+	return best, bestCount >= 0
+}
+
+// countValueEntries counts value-index entries for a literal, capped at
+// selectivityCountCutoff.
+func (db *DB) countValueEntries(literal string) int {
+	var prefix [8]byte
+	binary.BigEndian.PutUint64(prefix[:], vstore.Hash([]byte(literal)))
+	n := 0
+	_ = db.ValIdx.ScanPrefix(prefix[:], func(_, _ []byte) bool {
+		n++
+		return n < selectivityCountCutoff
+	})
+	return n
+}
+
+// startsByValue uses the best equality constraint; without one it falls
+// back to the tag strategy.
+func (db *DB) startsByValue(nt *pattern.NoKTree) ([]Match, error) {
+	vn, ok := db.bestValueConstraint(nt)
+	if !ok {
+		return db.startsByTag(nt)
+	}
+	return db.startsFromValueNode(nt, vn)
+}
+
+// startsFromValueNode scans the value index for hash(literal), verifies
+// the literal against the data file (hash collisions), and lifts hits to
+// their NoK-root ancestors.
+func (db *DB) startsFromValueNode(nt *pattern.NoKTree, vn pattern.ValueNode) ([]Match, error) {
+	var prefix [8]byte
+	binary.BigEndian.PutUint64(prefix[:], vstore.Hash([]byte(vn.Node.Literal)))
+	var out []Match
+	var lastAncestor []byte
+	var scanErr error
+	err := db.ValIdx.ScanPrefix(prefix[:], func(key, value []byte) bool {
+		id, err := dewey.FromBytes(key[8:])
+		if err != nil || len(id) < vn.Depth+1 {
+			return true
+		}
+		// Verify the actual value: "Different values that are hashed to
+		// the same key can be distinguished by looking up the data file."
+		val, hasVal, err := db.NodeValue(id)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if !hasVal || val != vn.Node.Literal {
+			return true
+		}
+		anc := id[:len(id)-vn.Depth]
+		ancBytes := anc.Bytes()
+		if bytes.Equal(ancBytes, lastAncestor) {
+			return true
+		}
+		lastAncestor = append(lastAncestor[:0], ancBytes...)
+		m, ok := db.liftToAncestor(nt, anc, vn.Depth, nil)
+		if ok {
+			out = append(out, m)
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return out, err
+}
+
+// liftToAncestor resolves the ancestor Dewey ID to a physical position and
+// pre-filters it against the NoK root's tag test. directPos carries the
+// position when depth is 0 and the index entry already holds it.
+func (db *DB) liftToAncestor(nt *pattern.NoKTree, anc dewey.ID, depth int, directPos []byte) (Match, bool) {
+	var pos stree.Pos
+	if depth == 0 && len(directPos) >= 6 {
+		p, err := decodePos(directPos)
+		if err != nil {
+			return Match{}, false
+		}
+		pos = p
+	} else {
+		p, _, found, err := db.NodeAt(anc)
+		if err != nil || !found {
+			return Match{}, false
+		}
+		pos = p
+	}
+	root := nt.Root
+	if root.Test != "*" {
+		sym, err := db.Tree.SymAt(pos)
+		if err != nil {
+			return Match{}, false
+		}
+		want, ok := db.Tags.Lookup(root.Test)
+		if !ok || sym != want {
+			return Match{}, false
+		}
+	}
+	return Match{Pos: pos, ID: anc.Clone()}, true
+}

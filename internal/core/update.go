@@ -1,0 +1,346 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nok/internal/btree"
+	"nok/internal/dewey"
+	"nok/internal/pager"
+	"nok/internal/sax"
+	"nok/internal/stree"
+	"nok/internal/symtab"
+	"nok/internal/vstore"
+)
+
+// This file implements document updates at the database level. The string
+// tree itself updates locally (§4.2), but both multi-valued indexes and
+// the Dewey index carry physical positions, which shift wholesale when
+// tokens move; as the paper concedes, "due to the nature of Dewey IDs, the
+// node ID B+ tree may need to be reconstructed if many IDs have been
+// updated". We reconstruct the three B+ trees after every fragment-level
+// update: value data stays in place (the data file is append-only), the
+// dewey→value association is carried over in memory, and a single scan of
+// the updated string tree rebuilds the position-bearing entries.
+
+// InsertFragment parses an XML fragment and appends it as the last
+// child(ren) of the node identified by parent. The fragment must contain
+// exactly one root element. Indexes are rebuilt afterwards.
+func (db *DB) InsertFragment(parent dewey.ID, r io.Reader) error {
+	pos, _, found, err := db.NodeAt(parent)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("core: no node with ID %s", parent)
+	}
+
+	// The new subtree's Dewey IDs start at the parent's current child
+	// count plus one; count children by navigation.
+	kids, err := db.countChildren(pos)
+	if err != nil {
+		return err
+	}
+
+	// Parse the fragment: build the token string and collect values keyed
+	// by the Dewey IDs the new nodes will have.
+	var enc stree.SubtreeEncoder
+	valueAt := map[string]uint64{}
+	type open struct {
+		id   dewey.ID
+		text strings.Builder
+		kids uint32
+	}
+	var stack []*open
+	rootSeen := false
+	sc := sax.NewScanner(r)
+	openElem := func(name string) error {
+		sym, err := db.Tags.Intern(name)
+		if err != nil {
+			return err
+		}
+		if err := enc.Open(sym); err != nil {
+			return err
+		}
+		var id dewey.ID
+		if len(stack) == 0 {
+			if rootSeen {
+				return errors.New("core: fragment must have a single root element")
+			}
+			rootSeen = true
+			id = parent.Child(kids + 1)
+		} else {
+			p := stack[len(stack)-1]
+			p.kids++
+			id = p.id.Child(p.kids)
+		}
+		db.tagCount[sym]++
+		db.total++
+		stack = append(stack, &open{id: id})
+		return nil
+	}
+	closeElem := func(trim bool) error {
+		if err := enc.Close(); err != nil {
+			return err
+		}
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		text := e.text.String()
+		if trim {
+			text = strings.TrimSpace(text)
+		}
+		if text != "" {
+			off, err := db.Values.Append([]byte(text))
+			if err != nil {
+				return err
+			}
+			valueAt[e.id.String()] = uint64(off)
+		}
+		return nil
+	}
+	for {
+		ev, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		switch ev.Kind {
+		case sax.StartElement:
+			if err := openElem(ev.Name); err != nil {
+				return err
+			}
+			for _, a := range ev.Attrs {
+				if err := openElem(symtab.AttrPrefix + a.Name); err != nil {
+					return err
+				}
+				stack[len(stack)-1].text.WriteString(a.Value)
+				if err := closeElem(false); err != nil {
+					return err
+				}
+			}
+		case sax.EndElement:
+			if err := closeElem(true); err != nil {
+				return err
+			}
+		case sax.Text:
+			if len(stack) > 0 {
+				stack[len(stack)-1].text.WriteString(ev.Data)
+			}
+		}
+	}
+	tokens, err := enc.Bytes()
+	if err != nil {
+		return err
+	}
+
+	// Carry over existing dewey→value associations (appending as the last
+	// child never renumbers existing nodes), add the new ones, update the
+	// structure, and rebuild the indexes.
+	carried, err := db.valueAssociations(nil, 0)
+	if err != nil {
+		return err
+	}
+	for k, v := range valueAt {
+		carried[k] = v
+	}
+	if err := db.Tree.InsertChild(pos, tokens); err != nil {
+		return err
+	}
+	return db.rebuildIndexes(carried)
+}
+
+// DeleteSubtree removes the node with the given ID and its descendants.
+// Following siblings are renumbered (their Dewey ordinals shift down by
+// one), and indexes are rebuilt.
+func (db *DB) DeleteSubtree(id dewey.ID) error {
+	pos, _, found, err := db.NodeAt(id)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("core: no node with ID %s", id)
+	}
+	carried, err := db.valueAssociations(id, id[len(id)-1])
+	if err != nil {
+		return err
+	}
+	if err := db.Tree.DeleteSubtree(pos); err != nil {
+		return err
+	}
+	// Refresh tag counts and total from the structure (the deleted range's
+	// per-tag composition is easiest re-derived by the rebuild scan).
+	return db.rebuildIndexes(carried)
+}
+
+// countChildren counts the children of the node at pos via navigation.
+func (db *DB) countChildren(pos stree.Pos) (uint32, error) {
+	c, ok, err := db.Tree.FirstChild(pos)
+	if err != nil {
+		return 0, err
+	}
+	var n uint32
+	for ok {
+		n++
+		c, ok, err = db.Tree.FollowingSibling(c)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+// valueAssociations snapshots dewey→valueOffset for every node, applying
+// the delete remapping when deletedID is non-nil: nodes inside the deleted
+// subtree are dropped, and siblings after it (and their descendants) shift
+// one ordinal down at the deleted depth.
+func (db *DB) valueAssociations(deletedID dewey.ID, deletedOrd uint32) (map[string]uint64, error) {
+	out := map[string]uint64{}
+	it := db.DeweyIdx.First()
+	for it.Next() {
+		id, err := dewey.FromBytes(it.Key())
+		if err != nil {
+			return nil, err
+		}
+		if len(it.Value()) != 14 {
+			return nil, errors.New("core: corrupt dewey index entry")
+		}
+		valOff := binary.BigEndian.Uint64(it.Value()[6:14])
+		if valOff == NoValue {
+			continue
+		}
+		if deletedID != nil {
+			if deletedID.IsAncestorOf(id) || dewey.Compare(deletedID, id) == 0 {
+				continue // inside the deleted subtree
+			}
+			// Shift siblings after the deleted node (prefix-preserving).
+			d := len(deletedID) - 1
+			if len(id) > d && prefixEq(id, deletedID, d) && id[d] > deletedOrd {
+				id = id.Clone()
+				id[d]--
+			}
+		}
+		out[id.String()] = valOff
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func prefixEq(id, other dewey.ID, n int) bool {
+	for i := 0; i < n; i++ {
+		if id[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuildIndexes recreates the three B+ trees from a scan of the (already
+// updated) string tree. valOffByDewey carries the value associations.
+func (db *DB) rebuildIndexes(valOffByDewey map[string]uint64) error {
+	// Close and remove the old index files.
+	for _, pf := range []*pager.File{db.tagIdxFile, db.valIdxFile, db.dewIdxFile, db.pathIdxFile} {
+		if pf != nil {
+			if err := pf.Close(); err != nil {
+				return err
+			}
+			if err := os.Remove(pf.Path()); err != nil {
+				return err
+			}
+		}
+	}
+	pageSize := db.treeFile.PageSize()
+	if pageSize < 1024 {
+		pageSize = pager.DefaultPageSize
+	}
+	var err error
+	if db.tagIdxFile, err = pager.Create(filepath.Join(db.dir, fileTagIdx), &pager.Options{PageSize: pageSize}); err != nil {
+		return err
+	}
+	if db.TagIdx, err = btree.Create(db.tagIdxFile); err != nil {
+		return err
+	}
+	if db.valIdxFile, err = pager.Create(filepath.Join(db.dir, fileValIdx), &pager.Options{PageSize: pageSize}); err != nil {
+		return err
+	}
+	if db.ValIdx, err = btree.Create(db.valIdxFile); err != nil {
+		return err
+	}
+	if db.dewIdxFile, err = pager.Create(filepath.Join(db.dir, fileDewIdx), &pager.Options{PageSize: pageSize}); err != nil {
+		return err
+	}
+	if db.DeweyIdx, err = btree.Create(db.dewIdxFile); err != nil {
+		return err
+	}
+	if db.pathIdxFile, err = pager.Create(filepath.Join(db.dir, filePathIdx), &pager.Options{PageSize: pageSize}); err != nil {
+		return err
+	}
+	if db.PathIdx, err = btree.Create(db.pathIdxFile); err != nil {
+		return err
+	}
+
+	db.tagCount = make(map[symtab.Sym]uint64)
+	db.total = 0
+	// hashStack[d] is the path hash of the current open element at depth d
+	// (root depth 1); hashStack[0] is the seed.
+	hashStack := []uint64{pathHashSeed}
+	var scanErr error
+	err = db.Tree.Scan(func(pos stree.Pos, sym symtab.Sym, level int, id dewey.ID) bool {
+		db.tagCount[sym]++
+		db.total++
+		h := extendPathHash(hashStack[level-1], sym)
+		hashStack = append(hashStack[:level], h)
+		if err := db.PathIdx.Insert(pathKey(h, id), encodePos(pos)); err != nil {
+			scanErr = err
+			return false
+		}
+		if err := db.TagIdx.Insert(tagKey(sym, id), encodePos(pos)); err != nil {
+			scanErr = err
+			return false
+		}
+		valOff := NoValue
+		if off, ok := valOffByDewey[id.String()]; ok {
+			valOff = off
+			v, err := db.Values.Get(int64(off))
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if err := db.ValIdx.Insert(valKey(vstore.Hash(v), id), encodePos(pos)); err != nil {
+				scanErr = err
+				return false
+			}
+		}
+		if err := db.DeweyIdx.Insert(id.Bytes(), deweyVal(pos, valOff)); err != nil {
+			scanErr = err
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if scanErr != nil {
+		return scanErr
+	}
+	if err := db.saveStats(); err != nil {
+		return err
+	}
+	if err := db.Tags.Save(filepath.Join(db.dir, fileTags)); err != nil {
+		return err
+	}
+	for _, t := range []*btree.Tree{db.TagIdx, db.ValIdx, db.DeweyIdx, db.PathIdx} {
+		if err := t.Flush(); err != nil {
+			return err
+		}
+	}
+	return db.Values.Flush()
+}

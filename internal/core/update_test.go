@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"nok/internal/dewey"
+	"nok/internal/domnav"
+	"nok/internal/samples"
+)
+
+func mustID(t *testing.T, s string) dewey.ID {
+	t.Helper()
+	id, err := dewey.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestInsertFragmentEndToEnd(t *testing.T) {
+	db := loadDB(t, samples.Bibliography, smallPages())
+	frag := `<book year="2004"><title>Succinct Storage</title>` +
+		`<author><last>Zhang</last><first>Ning</first></author>` +
+		`<publisher>ICDE</publisher><price>10.00</price></book>`
+	if err := db.InsertFragment(mustID(t, "0"), strings.NewReader(frag)); err != nil {
+		t.Fatal(err)
+	}
+	// The new book is the fifth child of bib.
+	got := queryIDs(t, db, `/bib/book`, nil)
+	if len(got) != 5 || got[4] != "0.5" {
+		t.Fatalf("books after insert: %v", got)
+	}
+	// Value constraints see the new content through the rebuilt indexes.
+	got = queryIDs(t, db, `//book[author/last="Zhang"]`, nil)
+	if len(got) != 1 || got[0] != "0.5" {
+		t.Fatalf("Zhang query: %v", got)
+	}
+	got = queryIDs(t, db, `//book[price<20]/title`, nil)
+	if len(got) != 1 {
+		t.Fatalf("price query: %v", got)
+	}
+	v, ok, err := db.NodeValue(mustID(t, "0.5.2"))
+	if err != nil || !ok || v != "Succinct Storage" {
+		t.Fatalf("NodeValue = %q, %v, %v", v, ok, err)
+	}
+	// All strategies still agree with a freshly built oracle.
+	var sb strings.Builder
+	sb.WriteString(strings.Replace(samples.Bibliography, "</bib>", frag+"</bib>", 1))
+	doc := domnav.MustParse(sb.String())
+	for _, q := range []string{`/bib/book/title`, `//book[author/last="Stevens"][price<100]`, `//last`} {
+		checkAgainstOracle(t, db, doc, q)
+	}
+}
+
+func TestDeleteSubtreeEndToEnd(t *testing.T) {
+	db := loadDB(t, samples.Bibliography, smallPages())
+	// Delete the second book; books 3 and 4 shift to ordinals 2 and 3.
+	if err := db.DeleteSubtree(mustID(t, "0.2")); err != nil {
+		t.Fatal(err)
+	}
+	got := queryIDs(t, db, `/bib/book`, nil)
+	want := []string{"0.1", "0.2", "0.3"}
+	if !sameIDs(got, want) {
+		t.Fatalf("books after delete: %v", got)
+	}
+	// Only one Stevens book remains.
+	got = queryIDs(t, db, `//book[author/last="Stevens"]`, nil)
+	if !sameIDs(got, []string{"0.1"}) {
+		t.Fatalf("Stevens after delete: %v", got)
+	}
+	// Value associations of shifted nodes must have moved with them: the
+	// former third book (Data on the Web) is now 0.2.
+	v, ok, err := db.NodeValue(mustID(t, "0.2.2"))
+	if err != nil || !ok || v != "Data on the Web" {
+		t.Fatalf("shifted title = %q, %v, %v", v, ok, err)
+	}
+	// Cross-check against an oracle built from the updated document.
+	updated := deleteSecondBook(samples.Bibliography)
+	doc := domnav.MustParse(updated)
+	for _, q := range []string{`/bib/book/title`, `//book[price<100]`, `//last`} {
+		checkAgainstOracle(t, db, doc, q)
+	}
+}
+
+// deleteSecondBook removes the second <book>…</book> block textually.
+func deleteSecondBook(xml string) string {
+	first := strings.Index(xml, "<book")
+	second := strings.Index(xml[first+1:], "<book") + first + 1
+	endTag := "</book>"
+	end := strings.Index(xml[second:], endTag) + second + len(endTag)
+	return xml[:second] + xml[end:]
+}
+
+func TestInsertFragmentErrors(t *testing.T) {
+	db := loadDB(t, samples.Bibliography, nil)
+	if err := db.InsertFragment(mustID(t, "0.9.9"), strings.NewReader("<x/>")); err == nil {
+		t.Error("insert under missing node should fail")
+	}
+	if err := db.InsertFragment(mustID(t, "0"), strings.NewReader("<x/><y/>")); err == nil {
+		t.Error("multi-root fragment should fail")
+	}
+	if err := db.DeleteSubtree(mustID(t, "0.9.9")); err == nil {
+		t.Error("deleting missing node should fail")
+	}
+}
+
+func TestUpdateThenPersist(t *testing.T) {
+	dir := t.TempDir() + "/db"
+	db, err := LoadXML(dir, strings.NewReader(samples.Bibliography), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertFragment(mustID(t, "0"), strings.NewReader(`<book><title>T</title></book>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	got := queryIDs(t, db2, `/bib/book`, nil)
+	if len(got) != 5 {
+		t.Fatalf("books after reopen: %v", got)
+	}
+	got = queryIDs(t, db2, `//book[title="T"]`, nil)
+	if len(got) != 1 {
+		t.Fatalf("title query after reopen: %v", got)
+	}
+}

@@ -1,0 +1,90 @@
+package datagen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// This file holds the two XBench-style data-centric generators: author and
+// address. Both are bushy and shallow (avg depth 3 in Table 1): a root with
+// a long list of flat records.
+
+// GenerateAuthor produces the author dataset: scale × 1000 author records.
+//
+// Structural needles: author records selected by the needle plan carry a
+// <rareelem>/<modelem> child; value needles are planted on address/city.
+func GenerateAuthor(w io.Writer, scale int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1000 * scale
+	plan := planNeedles(rng, n)
+	x := newXW(w)
+	x.open("authors")
+	for i := 0; i < n; i++ {
+		x.open("author", "id", fmt.Sprintf("a%06d", i))
+		x.open("name")
+		x.leaf("first", pick(rng, firstNames))
+		x.leaf("last", pick(rng, lastNames))
+		x.close()
+		x.open("address")
+		x.leaf("street", fmt.Sprintf("%d %s", 1+rng.Intn(999), pick(rng, streets)))
+		x.leaf("city", plan.value(i, pick(rng, cities)))
+		x.leaf("country", pick(rng, countries))
+		x.close()
+		x.leaf("born", fmt.Sprintf("%d", 1900+rng.Intn(100)))
+		if i%3 == 0 {
+			x.leaf("biography", sentence(rng, 8))
+		}
+		if plan.high[i] {
+			x.open(RareTag)
+			x.leaf("flag", "set")
+			x.leaf("extra", "info")
+			x.close()
+		}
+		if plan.mod[i] {
+			x.open(ModTag)
+			x.leaf("flag", "set")
+			x.leaf("extra", "info")
+			x.close()
+		}
+		x.close()
+	}
+	x.close()
+	return x.done()
+}
+
+// GenerateAddress produces the address dataset: scale × 2500 records with
+// the seven tags of Table 1's address row. Value needles sit on city.
+func GenerateAddress(w io.Writer, scale int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2500 * scale
+	plan := planNeedles(rng, n)
+	x := newXW(w)
+	x.open("addresses")
+	for i := 0; i < n; i++ {
+		x.open("address", "id", fmt.Sprintf("ad%06d", i))
+		x.leaf("street", fmt.Sprintf("%d %s", 1+rng.Intn(999), pick(rng, streets)))
+		x.leaf("city", plan.value(i, pick(rng, cities)))
+		x.leaf("province", pick(rng, []string{"ON", "BC", "QC", "MH", "WA", "NY"}))
+		x.leaf("postcode", fmt.Sprintf("%c%d%c %d%c%d",
+			'A'+rune(rng.Intn(26)), rng.Intn(10), 'A'+rune(rng.Intn(26)),
+			rng.Intn(10), 'A'+rune(rng.Intn(26)), rng.Intn(10)))
+		x.leaf("country", pick(rng, countries))
+		x.leaf("phone", fmt.Sprintf("+1-%03d-%03d-%04d", rng.Intn(1000), rng.Intn(1000), rng.Intn(10000)))
+		if plan.high[i] {
+			x.open(RareTag)
+			x.leaf("flag", "set")
+			x.leaf("extra", "info")
+			x.close()
+		}
+		if plan.mod[i] {
+			x.open(ModTag)
+			x.leaf("flag", "set")
+			x.leaf("extra", "info")
+			x.close()
+		}
+		x.close()
+	}
+	x.close()
+	return x.done()
+}

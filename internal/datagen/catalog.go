@@ -1,0 +1,136 @@
+package datagen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"nok/internal/sax"
+)
+
+// GenerateCatalog produces the catalog dataset: the deep data-centric
+// XBench document (Table 1: 51 tags, max depth 8). 20 categories × scale ×
+// 40 items, each item a rich nested record. Value needles sit on the item
+// publisher; structural needles are item children.
+func GenerateCatalog(w io.Writer, scale int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	categories := 20
+	itemsPer := 60 * scale
+	total := categories * itemsPer
+	plan := planNeedles(rng, total)
+
+	publishers := []string{"Addison-Wesley", "Morgan Kaufmann", "Kluwer Academic",
+		"Springer", "Prentice Hall", "North-Holland", "MIT Press"}
+	bindings := []string{"hardcover", "paperback", "ebook"}
+	currencies := []string{"USD", "CAD", "EUR", "JPY"}
+
+	x := newXW(w)
+	x.open("catalog")
+	item := 0
+	for c := 0; c < categories; c++ {
+		x.open("category", "id", fmt.Sprintf("c%02d", c))
+		x.leaf("name", fmt.Sprintf("category-%s", pick(rng, words)))
+		x.open("description")
+		x.open("text")
+		x.raw(sax.EscapeString(sentence(rng, 6)))
+		x.leaf("bold", pick(rng, words))
+		x.leaf("keyword", pick(rng, words))
+		x.close()
+		x.close()
+		for it := 0; it < itemsPer; it++ {
+			i := item
+			item++
+			x.open("item", "id", fmt.Sprintf("i%06d", i))
+			x.leaf("title", sentence(rng, 4))
+			x.leaf("isbn", fmt.Sprintf("0-%03d-%05d-%d", rng.Intn(1000), rng.Intn(100000), rng.Intn(10)))
+			x.leaf("publisher", plan.value(i, pick(rng, publishers)))
+			x.leaf("edition", fmt.Sprintf("%d", 1+rng.Intn(5)))
+			x.leaf("binding", pick(rng, bindings))
+			x.open("authors_info")
+			for a := 0; a < 1+rng.Intn(2); a++ {
+				x.open("author")
+				x.open("name")
+				x.leaf("first", pick(rng, firstNames))
+				x.leaf("last", pick(rng, lastNames))
+				x.close()
+				x.open("contact")
+				x.leaf("phone", fmt.Sprintf("+1-%03d-%04d", rng.Intn(1000), rng.Intn(10000)))
+				x.leaf("email", fmt.Sprintf("%s@example.org", pick(rng, words)))
+				x.close()
+				x.close()
+			}
+			x.close()
+			x.open("pricing")
+			x.open("list_price")
+			x.open("money", "currency", pick(rng, currencies))
+			x.leaf("value", fmt.Sprintf("%d.%02d", 10+rng.Intn(190), rng.Intn(100)))
+			x.close()
+			x.close()
+			if rng.Intn(3) == 0 {
+				x.leaf("discount", fmt.Sprintf("%d%%", 5+rng.Intn(40)))
+			}
+			x.close()
+			x.open("subjects")
+			x.leaf("subject", pick(rng, words))
+			x.leaf("subject", pick(rng, words))
+			x.close()
+			x.open("attributes")
+			x.open("size_of_book")
+			x.leaf("length", fmt.Sprintf("%d", 15+rng.Intn(20)))
+			x.leaf("width", fmt.Sprintf("%d", 10+rng.Intn(12)))
+			x.leaf("height", fmt.Sprintf("%d", 1+rng.Intn(6)))
+			x.close()
+			x.leaf("number_of_pages", fmt.Sprintf("%d", 80+rng.Intn(900)))
+			x.close()
+			x.leaf("date_of_release", fmt.Sprintf("%d-%02d-%02d", 1980+rng.Intn(45), 1+rng.Intn(12), 1+rng.Intn(28)))
+			if rng.Intn(2) == 0 {
+				x.open("reviews")
+				x.open("review", "rating", fmt.Sprintf("%d", 1+rng.Intn(5)))
+				x.leaf("reviewer", pick(rng, firstNames))
+				x.open("comment")
+				x.open("text")
+				x.raw(sax.EscapeString(sentence(rng, 5)))
+				x.leaf("bold", pick(rng, words))
+				x.leaf("keyword", pick(rng, words))
+				x.close()
+				x.close()
+				x.close()
+				x.close()
+			}
+			if rng.Intn(4) == 0 {
+				x.open("availability")
+				x.leaf("stock", fmt.Sprintf("%d", rng.Intn(500)))
+				x.leaf("warehouse", pick(rng, cities))
+				x.leaf("ship_to", pick(rng, countries))
+				x.close()
+			}
+			if rng.Intn(6) == 0 {
+				x.open("translation")
+				x.leaf("original_title", sentence(rng, 3))
+				x.leaf("original_language", pick(rng, []string{"de", "fr", "ja", "ru"}))
+				x.close()
+			}
+			if rng.Intn(8) == 0 {
+				x.open("series")
+				x.leaf("series_name", sentence(rng, 2))
+				x.leaf("volume", fmt.Sprintf("%d", 1+rng.Intn(20)))
+				x.close()
+			}
+			if plan.high[i] {
+				x.open(RareTag)
+				x.leaf("flag", "set")
+				x.leaf("extra", "info")
+				x.close()
+			}
+			if plan.mod[i] {
+				x.open(ModTag)
+				x.leaf("flag", "set")
+				x.leaf("extra", "info")
+				x.close()
+			}
+			x.close()
+		}
+		x.close()
+	}
+	x.close()
+	return x.done()
+}

@@ -1,0 +1,358 @@
+// Package datagen generates the synthetic datasets of the evaluation.
+//
+// The paper's experiments (§6.1, Table 1) use three XBench data-centric
+// documents (author, address, catalog) and two real documents from the UW
+// repository (Treebank, dblp). Neither source is redistributable or
+// reachable offline, so this package synthesizes documents that reproduce
+// the *shape* statistics Table 1 reports — bushiness vs depth, distinct
+// tag counts, and value distributions — which are the properties the
+// engines are sensitive to (see DESIGN.md §3 for the substitution
+// argument).
+//
+// Every generator is deterministic in (scale, seed). Selectivity needles
+// are planted so the twelve query categories of Table 2 have predictable
+// result sizes:
+//
+//   - NeedleHigh appears HighCount times (a handful of results);
+//   - NeedleMod appears ModCount times (tens of results);
+//   - NeedleLow appears in a fixed fraction of records (hundreds+).
+//
+// Structural rarity mirrors the value needles: RareTag elements appear
+// HighCount times, ModTag elements ModCount times.
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+
+	"nok/internal/sax"
+)
+
+// Needle values planted for value-constrained queries (the "hi", "mod",
+// "low" constants of Table 2's example queries).
+const (
+	NeedleHigh = "needle-high-zyzzyva"
+	NeedleMod  = "needle-mod-waterloo"
+	NeedleLow  = "needle-low-common"
+
+	// HighCount and ModCount are the absolute occurrence counts of the
+	// high- and moderate-selectivity needles.
+	HighCount = 4
+	ModCount  = 40
+
+	// RareTag and ModTag are planted structural needles: elements whose
+	// tag occurs HighCount / ModCount times.
+	RareTag = "rareelem"
+	ModTag  = "modelem"
+)
+
+// Spec describes one generatable dataset.
+type Spec struct {
+	// Name is the dataset's identifier (matches Table 1's rows).
+	Name string
+	// Shape is "bushy" or "deep", the property §6.1 selects datasets by.
+	Shape string
+	// Generate writes the XML document at the given scale.
+	Generate func(w io.Writer, scale int, seed int64) error
+	// ApproxNodes estimates element count (attributes included) at scale.
+	ApproxNodes func(scale int) int
+}
+
+// Specs lists the five datasets in Table 1's order.
+func Specs() []Spec {
+	return []Spec{
+		{Name: "author", Shape: "bushy", Generate: GenerateAuthor, ApproxNodes: func(s int) int { return 11 * 1000 * s }},
+		{Name: "address", Shape: "bushy", Generate: GenerateAddress, ApproxNodes: func(s int) int { return 22 * 1000 * s }},
+		{Name: "catalog", Shape: "deep", Generate: GenerateCatalog, ApproxNodes: func(s int) int { return 26 * 1000 * s }},
+		{Name: "treebank", Shape: "deep", Generate: GenerateTreebank, ApproxNodes: func(s int) int { return 30 * 1000 * s }},
+		{Name: "dblp", Shape: "bushy", Generate: GenerateDBLP, ApproxNodes: func(s int) int { return 36 * 1000 * s }},
+	}
+}
+
+// SpecByName returns the named spec.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// GenerateFile writes a dataset to a file.
+func GenerateFile(spec Spec, path string, scale int, seed int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 256<<10)
+	if err := spec.Generate(w, scale, seed); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// xw is a minimal pretty-printing XML writer with element-stack checking.
+// Output is indented like the files in public XML repositories — which is
+// also what makes the §4.2 document/structure size ratio realistic: markup
+// and whitespace dominate real documents, while the string representation
+// stores three bytes per element regardless.
+type xw struct {
+	w     io.Writer
+	err   error
+	stack []string
+	// hadKids[i] records whether stack element i has element children,
+	// controlling close-tag indentation.
+	hadKids []bool
+}
+
+func newXW(w io.Writer) *xw { return &xw{w: w} }
+
+func (x *xw) raw(s string) {
+	if x.err == nil {
+		_, x.err = io.WriteString(x.w, s)
+	}
+}
+
+var indentBytes = "\n                                                                "
+
+func (x *xw) indent() {
+	n := 1 + 2*len(x.stack)
+	if n > len(indentBytes) {
+		n = len(indentBytes)
+	}
+	x.raw(indentBytes[:n])
+}
+
+func (x *xw) markChild() {
+	if len(x.hadKids) > 0 {
+		x.hadKids[len(x.hadKids)-1] = true
+	}
+}
+
+// open starts an element on a fresh indented line; attrs are name, value
+// pairs.
+func (x *xw) open(tag string, attrs ...string) {
+	x.markChild()
+	if len(x.stack) > 0 {
+		x.indent()
+	}
+	x.raw("<" + tag)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		x.raw(" " + attrs[i] + `="` + sax.EscapeString(attrs[i+1]) + `"`)
+	}
+	x.raw(">")
+	x.stack = append(x.stack, tag)
+	x.hadKids = append(x.hadKids, false)
+}
+
+func (x *xw) close() {
+	tag := x.stack[len(x.stack)-1]
+	kids := x.hadKids[len(x.hadKids)-1]
+	x.stack = x.stack[:len(x.stack)-1]
+	x.hadKids = x.hadKids[:len(x.hadKids)-1]
+	if kids {
+		x.indent()
+	}
+	x.raw("</" + tag + ">")
+}
+
+// leaf writes an indented <tag>text</tag> line.
+func (x *xw) leaf(tag, text string) {
+	x.markChild()
+	x.indent()
+	x.raw("<" + tag + ">")
+	x.raw(sax.EscapeString(text))
+	x.raw("</" + tag + ">")
+}
+
+func (x *xw) done() error {
+	if x.err != nil {
+		return x.err
+	}
+	if len(x.stack) != 0 {
+		return fmt.Errorf("datagen: %d unclosed element(s)", len(x.stack))
+	}
+	return nil
+}
+
+// needlePlan precomputes which record ordinals carry which needles so
+// occurrence counts are exact regardless of scale.
+type needlePlan struct {
+	high     map[int]bool
+	mod      map[int]bool
+	lowEvery int
+}
+
+func planNeedles(rng *rand.Rand, records int) needlePlan {
+	pickDistinct := func(n int) map[int]bool {
+		if n > records {
+			n = records
+		}
+		out := make(map[int]bool, n)
+		for len(out) < n {
+			out[rng.Intn(records)] = true
+		}
+		return out
+	}
+	p := needlePlan{
+		high:     pickDistinct(HighCount),
+		mod:      pickDistinct(ModCount),
+		lowEvery: 8, // every 8th record carries the low needle
+	}
+	return p
+}
+
+func (p needlePlan) value(i int, normal string) string {
+	switch {
+	case p.high[i]:
+		return NeedleHigh
+	case p.mod[i]:
+		return NeedleMod
+	case i%p.lowEvery == 0:
+		return NeedleLow
+	default:
+		return normal
+	}
+}
+
+// word pools for plausible values.
+var (
+	firstNames = []string{"Ada", "Alan", "Barbara", "Claude", "Donald", "Edsger",
+		"Frances", "Grace", "John", "Kathleen", "Leslie", "Margaret", "Niklaus",
+		"Peter", "Robin", "Tony", "Whitfield", "Yukihiro"}
+	lastNames = []string{"Lovelace", "Turing", "Liskov", "Shannon", "Knuth",
+		"Dijkstra", "Allen", "Hopper", "Backus", "Booth", "Lamport", "Hamilton",
+		"Wirth", "Naur", "Milner", "Hoare", "Diffie", "Matsumoto"}
+	cities = []string{"Waterloo", "Toronto", "Bombay", "Seattle", "Uppsala",
+		"Zurich", "Kyoto", "Austin", "Dublin", "Leipzig", "Nairobi", "Lima"}
+	countries = []string{"Canada", "India", "USA", "Sweden", "Switzerland",
+		"Japan", "Ireland", "Germany", "Kenya", "Peru"}
+	streets = []string{"Ring Road", "King St", "Queen St", "Columbia St",
+		"University Ave", "Albert St", "Erb St", "Phillip St"}
+	words = []string{"succinct", "storage", "path", "query", "pattern", "tree",
+		"stream", "index", "join", "page", "level", "sibling", "interval",
+		"matching", "navigation", "structure", "document", "element"}
+)
+
+func pick(rng *rand.Rand, pool []string) string { return pool[rng.Intn(len(pool))] }
+
+func sentence(rng *rand.Rand, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += pick(rng, words)
+	}
+	return out
+}
+
+// Stats summarizes a generated document (Table 1's left columns). It is
+// computed by a SAX pass in ComputeStats.
+type Stats struct {
+	Bytes    int64
+	Nodes    int // elements + attributes
+	AvgDepth float64
+	MaxDepth int
+	Tags     int
+}
+
+// ComputeStats scans an XML file and reports Table-1-style statistics.
+// Attributes count as nodes at depth parent+1, matching the storage model.
+func ComputeStats(path string) (Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return Stats{}, err
+	}
+	sc := sax.NewScanner(f)
+	tags := map[string]bool{}
+	var nodes, depthSum, maxDepth int
+	for {
+		ev, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Stats{}, err
+		}
+		if ev.Kind != sax.StartElement {
+			continue
+		}
+		d := sc.Depth()
+		nodes++
+		depthSum += d
+		if d > maxDepth {
+			maxDepth = d
+		}
+		tags[ev.Name] = true
+		for _, a := range ev.Attrs {
+			nodes++
+			depthSum += d + 1
+			if d+1 > maxDepth {
+				maxDepth = d + 1
+			}
+			tags["@"+a.Name] = true
+		}
+	}
+	st := Stats{Bytes: fi.Size(), Nodes: nodes, MaxDepth: maxDepth, Tags: len(tags)}
+	if nodes > 0 {
+		st.AvgDepth = float64(depthSum) / float64(nodes)
+	}
+	return st, nil
+}
+
+// TagHistogram returns tag → count for a generated file, sorted output via
+// SortedTagCounts; used in tests to validate needle plans.
+func TagHistogram(path string) (map[string]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := sax.NewScanner(f)
+	out := map[string]int{}
+	for {
+		ev, err := sc.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ev.Kind == sax.StartElement {
+			out[ev.Name]++
+			for _, a := range ev.Attrs {
+				out["@"+a.Name]++
+			}
+		}
+	}
+}
+
+// SortedTagCounts renders a histogram deterministically (tests, tooling).
+func SortedTagCounts(h map[string]int) []string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = fmt.Sprintf("%s=%d", k, h[k])
+	}
+	return out
+}

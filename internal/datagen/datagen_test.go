@@ -1,0 +1,145 @@
+package datagen
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"nok/internal/domnav"
+)
+
+func generate(t *testing.T, spec Spec, scale int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), spec.Name+".xml")
+	if err := GenerateFile(spec, path, scale, 7); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAllDatasetsWellFormed(t *testing.T) {
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			path := generate(t, spec, 1)
+			st, err := ComputeStats(path)
+			if err != nil {
+				t.Fatalf("stats (document malformed?): %v", err)
+			}
+			if st.Nodes < 1000 {
+				t.Errorf("only %d nodes at scale 1", st.Nodes)
+			}
+			t.Logf("%s: %d bytes, %d nodes, avg depth %.1f, max depth %d, %d tags",
+				spec.Name, st.Bytes, st.Nodes, st.AvgDepth, st.MaxDepth, st.Tags)
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, spec := range Specs() {
+		var a, b bytes.Buffer
+		if err := spec.Generate(&a, 1, 42); err != nil {
+			t.Fatal(err)
+		}
+		if err := spec.Generate(&b, 1, 42); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s: not deterministic", spec.Name)
+		}
+		if err := spec.Generate(&b, 1, 43); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestScaleGrowsOutput(t *testing.T) {
+	spec, _ := SpecByName("author")
+	var s1, s2 bytes.Buffer
+	if err := spec.Generate(&s1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Generate(&s2, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() < s1.Len()*3/2 {
+		t.Errorf("scale 2 (%d bytes) should be much larger than scale 1 (%d)", s2.Len(), s1.Len())
+	}
+}
+
+func TestTableOneShapes(t *testing.T) {
+	// The properties §6.1 selects datasets by: author/address/dblp bushy
+	// (shallow), catalog/treebank deep.
+	shapes := map[string]struct {
+		maxDepthMin, maxDepthMax int
+		tagsMin                  int
+	}{
+		"author":   {3, 6, 8},
+		"address":  {3, 5, 7},
+		"catalog":  {7, 10, 35},
+		"treebank": {12, 40, 60},
+		"dblp":     {3, 7, 20},
+	}
+	for _, spec := range Specs() {
+		want := shapes[spec.Name]
+		path := generate(t, spec, 1)
+		st, err := ComputeStats(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.MaxDepth < want.maxDepthMin || st.MaxDepth > want.maxDepthMax {
+			t.Errorf("%s: max depth %d outside [%d, %d]", spec.Name, st.MaxDepth, want.maxDepthMin, want.maxDepthMax)
+		}
+		if st.Tags < want.tagsMin {
+			t.Errorf("%s: %d tags, want >= %d", spec.Name, st.Tags, want.tagsMin)
+		}
+	}
+}
+
+func TestNeedleCounts(t *testing.T) {
+	// Every dataset must plant the structural needles with exact counts,
+	// and the value needles with the planned frequencies.
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			path := generate(t, spec, 1)
+			hist, err := TagHistogram(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hist[RareTag] != HighCount {
+				t.Errorf("%s occurrences = %d, want %d", RareTag, hist[RareTag], HighCount)
+			}
+			if hist[ModTag] != ModCount {
+				t.Errorf("%s occurrences = %d, want %d", ModTag, hist[ModTag], ModCount)
+			}
+		})
+	}
+}
+
+func TestValueNeedleCountsAuthor(t *testing.T) {
+	spec, _ := SpecByName("author")
+	var buf bytes.Buffer
+	if err := spec.Generate(&buf, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := domnav.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, n := range doc.Nodes {
+		if n.Name == "city" {
+			counts[n.Value]++
+		}
+	}
+	if counts[NeedleHigh] != HighCount {
+		t.Errorf("high needle count = %d, want %d", counts[NeedleHigh], HighCount)
+	}
+	if counts[NeedleMod] != ModCount {
+		t.Errorf("mod needle count = %d, want %d", counts[NeedleMod], ModCount)
+	}
+	if counts[NeedleLow] < 100 {
+		t.Errorf("low needle count = %d, want >= 100", counts[NeedleLow])
+	}
+}

@@ -1,0 +1,114 @@
+package datagen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// GenerateDBLP produces the dblp-like dataset: a flat, very bushy
+// bibliography (Table 1's dblp row: depth 3–6, ~35 tags, the largest
+// document). scale × 4000 publication records of mixed kinds.
+//
+// Value needles are planted on article author values; structural needles
+// are children of article records.
+func GenerateDBLP(w io.Writer, scale int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	n := 4000 * scale
+	plan := planNeedles(rng, n)
+
+	journals := []string{"TODS", "VLDB Journal", "SIGMOD Record", "TKDE",
+		"Information Systems", "JACM", "Computing Surveys"}
+	conferences := []string{"ICDE", "SIGMOD Conference", "VLDB", "EDBT",
+		"PODS", "CIKM", "WWW"}
+	months := []string{"January", "April", "July", "October"}
+
+	x := newXW(w)
+	x.open("dblp")
+	for i := 0; i < n; i++ {
+		kind := "article"
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			kind = "inproceedings"
+		case 3:
+			kind = "book"
+		case 4:
+			kind = "phdthesis"
+		}
+		// Needles are planted on articles only, so force the record kind
+		// for scheduled ordinals.
+		if plan.high[i] || plan.mod[i] || i%plan.lowEvery == 0 {
+			kind = "article"
+		}
+		x.open(kind, "key", fmt.Sprintf("%s/%d", kind, i), "mdate", fmt.Sprintf("200%d-0%d-1%d", rng.Intn(9), 1+rng.Intn(9), rng.Intn(9)))
+		authors := 1 + rng.Intn(3)
+		for a := 0; a < authors; a++ {
+			name := pick(rng, firstNames) + " " + pick(rng, lastNames)
+			if a == 0 {
+				name = plan.value(i, name)
+			}
+			x.leaf("author", name)
+		}
+		// Titles occasionally contain markup, pushing depth to 4-6.
+		if rng.Intn(8) == 0 {
+			x.open("title")
+			x.raw(sentenceEscaped(rng, 3))
+			x.open("sub")
+			x.raw(sentenceEscaped(rng, 1))
+			x.open("i")
+			x.raw(sentenceEscaped(rng, 1))
+			x.close()
+			x.close()
+			x.close()
+		} else {
+			x.leaf("title", sentence(rng, 5))
+		}
+		x.leaf("year", fmt.Sprintf("%d", 1975+rng.Intn(50)))
+		switch kind {
+		case "article":
+			x.leaf("journal", pick(rng, journals))
+			x.leaf("volume", fmt.Sprintf("%d", 1+rng.Intn(40)))
+			x.leaf("number", fmt.Sprintf("%d", 1+rng.Intn(12)))
+		case "inproceedings":
+			x.leaf("booktitle", pick(rng, conferences))
+			if rng.Intn(3) == 0 {
+				x.leaf("crossref", fmt.Sprintf("conf/%d", rng.Intn(100)))
+			}
+		case "book":
+			x.leaf("publisher", "Morgan Kaufmann")
+			x.leaf("isbn", fmt.Sprintf("1-55860-%03d-%d", rng.Intn(1000), rng.Intn(10)))
+		case "phdthesis":
+			x.leaf("school", pick(rng, cities)+" University")
+			x.leaf("month", pick(rng, months))
+		}
+		x.leaf("pages", fmt.Sprintf("%d-%d", rng.Intn(400), 400+rng.Intn(400)))
+		if rng.Intn(2) == 0 {
+			x.leaf("ee", fmt.Sprintf("db/%s/%d.html", kind, i))
+		}
+		if rng.Intn(3) == 0 {
+			x.leaf("url", fmt.Sprintf("https://example.org/%d", i))
+		}
+		for c := 0; c < rng.Intn(3); c++ {
+			x.leaf("cite", fmt.Sprintf("ref%06d", rng.Intn(n)))
+		}
+		if plan.high[i] {
+			x.open(RareTag)
+			x.leaf("flag", "set")
+			x.leaf("extra", "info")
+			x.close()
+		}
+		if plan.mod[i] {
+			x.open(ModTag)
+			x.leaf("flag", "set")
+			x.leaf("extra", "info")
+			x.close()
+		}
+		x.close()
+	}
+	x.close()
+	return x.done()
+}
+
+func sentenceEscaped(rng *rand.Rand, n int) string {
+	return sentence(rng, n) // word pool is escape-free
+}

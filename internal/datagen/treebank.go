@@ -1,0 +1,136 @@
+package datagen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// GenerateTreebank produces the Treebank-like dataset: deep, recursive
+// parse trees with ~250 distinct tags, average depth ≈ 8 and maximum depth
+// in the thirties (Table 1's Treebank row), and randomly generated leaf
+// values — which is exactly why the paper's value index beats its tag index
+// on this dataset ("values in Treebank were randomly generated and has
+// higher selectivity than tag names").
+//
+// Value needles are planted as explicit <NP><DT/><NN>needle</NN></NP>
+// subtrees so the Table 2 value queries have exact result counts;
+// structural needles are <rareelem>/<modelem> subtrees at random depths.
+func GenerateTreebank(w io.Writer, scale int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	targetNodes := 30000 * scale
+
+	nonterminals := []string{"S", "NP", "VP", "PP", "SBAR", "ADJP", "ADVP",
+		"WHNP", "PRN", "FRAG", "SINV", "SQ", "X", "UCP", "QP", "NX", "CONJP"}
+	terminals := []string{"NN", "NNS", "NNP", "VB", "VBD", "VBZ", "VBG", "JJ",
+		"RB", "IN", "DT", "CC", "PRP", "TO", "MD", "CD", "WDT", "EX", "POS"}
+	// Pad the alphabet to ~250 distinct tags with synthetic categories.
+	var rareTags []string
+	for i := 0; i < 214; i++ {
+		rareTags = append(rareTags, fmt.Sprintf("CAT%03d", i))
+	}
+
+	randomValue := func() string {
+		const hex = "0123456789abcdef"
+		b := make([]byte, 10)
+		for i := range b {
+			b[i] = hex[rng.Intn(16)]
+		}
+		return string(b)
+	}
+
+	x := newXW(w)
+	nodes := 0
+	var emit func(depth int)
+	emit = func(depth int) {
+		nodes++
+		// Leaf probability rises with depth so the average depth settles
+		// around 8 while the deep-chain path below reaches the thirties.
+		pLeaf := float64(depth-2) * 0.13
+		if pLeaf > 0.85 {
+			pLeaf = 0.85
+		}
+		if depth >= 35 || (depth > 2 && rng.Float64() < pLeaf) {
+			x.leaf(terminals[rng.Intn(len(terminals))], randomValue())
+			return
+		}
+		tag := nonterminals[rng.Intn(len(nonterminals))]
+		if rng.Intn(50) == 0 {
+			tag = rareTags[rng.Intn(len(rareTags))]
+		}
+		x.open(tag)
+		if depth < 6 && rng.Intn(60) == 0 {
+			// A deep linear chain: recursively nested clauses push the
+			// maximum depth into the thirties (Treebank's signature).
+			chain := 20 + rng.Intn(8)
+			for i := 0; i < chain; i++ {
+				x.open(nonterminals[rng.Intn(len(nonterminals))])
+				nodes++
+			}
+			emit(depth + chain + 1)
+			for i := 0; i < chain; i++ {
+				x.close()
+			}
+			x.close()
+			return
+		}
+		kids := 1 + rng.Intn(4)
+		for i := 0; i < kids && nodes < targetNodes; i++ {
+			emit(depth + 1)
+		}
+		x.close()
+	}
+
+	plantedValue := func(v string) {
+		x.open("NP")
+		x.leaf("DT", "the")
+		x.leaf("NN", v)
+		x.close()
+		nodes += 3
+	}
+	plantedStruct := func(tag string) {
+		x.open(tag)
+		x.leaf("flag", "set")
+		x.leaf("extra", "info")
+		x.close()
+		nodes += 3
+	}
+
+	// Needles are planted at fixed sentence ordinals; sentence generation
+	// continues until the node target is met, which is always far beyond
+	// the largest planting ordinal.
+	highAt := map[int]bool{10: true, 20: true, 30: true, 40: true}
+	rareAt := map[int]bool{12: true, 22: true, 32: true, 42: true}
+	const modValueSentence, modTagSentence = 15, 25
+
+	x.open("FILE")
+	for s := 0; nodes < targetNodes || s <= 50; s++ {
+		x.open("EMPTY") // Treebank wraps sentences in EMPTY elements
+		x.open("S")
+		nodes += 2
+		emit(3)
+		if highAt[s] {
+			plantedValue(NeedleHigh)
+		}
+		if s == modValueSentence {
+			for i := 0; i < ModCount; i++ {
+				plantedValue(NeedleMod)
+			}
+		}
+		if s%4 == 0 {
+			plantedValue(NeedleLow)
+		}
+		if rareAt[s] {
+			plantedStruct(RareTag)
+		}
+		if s == modTagSentence {
+			for i := 0; i < ModCount; i++ {
+				plantedStruct(ModTag)
+			}
+		}
+		x.close()
+		x.close()
+	}
+	x.close()
+	return x.done()
+}

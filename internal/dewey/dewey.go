@@ -1,0 +1,206 @@
+// Package dewey implements Dewey IDs — hierarchical node identifiers whose
+// components are child ordinals along the path from the root.
+//
+// The paper uses Dewey IDs (§4.1) as the key that reconnects structural
+// information with out-of-line value information: the root is 0 and its
+// second child is 0.2, following XRANK. IDs are derived for free during
+// document-order traversal, so nothing is stored in the string
+// representation itself; they are only materialized as B+-tree keys.
+//
+// The byte encoding produced by Append/Bytes is order-preserving: comparing
+// two encoded IDs bytewise (bytes.Compare) is exactly document-order
+// comparison of the IDs, with ancestors ordering before their descendants.
+// That property is what lets a plain byte-keyed B+ tree serve as the
+// Dewey-ID index.
+package dewey
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ID is a Dewey identifier: the root is ID{0}; the i-th child (1-based) of a
+// node n has ID append(n, i). A nil or empty ID is invalid.
+type ID []uint32
+
+// Root is the ID of the document root.
+func Root() ID { return ID{0} }
+
+// Child returns the ID of the ord-th (1-based) child. The result shares no
+// storage with the receiver.
+func (id ID) Child(ord uint32) ID {
+	out := make(ID, len(id)+1)
+	copy(out, id)
+	out[len(id)] = ord
+	return out
+}
+
+// Parent returns the parent's ID, or nil if id is the root or invalid.
+func (id ID) Parent() ID {
+	if len(id) <= 1 {
+		return nil
+	}
+	out := make(ID, len(id)-1)
+	copy(out, id[:len(id)-1])
+	return out
+}
+
+// Level returns the node's level, with the root at level 1 as in the
+// paper's Figure 4.
+func (id ID) Level() int { return len(id) }
+
+// Clone returns a copy sharing no storage.
+func (id ID) Clone() ID {
+	out := make(ID, len(id))
+	copy(out, id)
+	return out
+}
+
+// Compare orders ids in document order: ancestors before descendants,
+// siblings by ordinal. It returns -1, 0, or +1.
+func Compare(a, b ID) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsAncestorOf reports whether a is a proper ancestor of b.
+func (id ID) IsAncestorOf(b ID) bool {
+	if len(id) >= len(b) {
+		return false
+	}
+	for i := range id {
+		if id[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String formats the ID in the paper's dotted notation, e.g. "0.2.1".
+func (id ID) String() string {
+	if len(id) == 0 {
+		return "<invalid>"
+	}
+	var sb strings.Builder
+	for i, c := range id {
+		if i > 0 {
+			sb.WriteByte('.')
+		}
+		sb.WriteString(strconv.FormatUint(uint64(c), 10))
+	}
+	return sb.String()
+}
+
+// Parse parses the dotted notation produced by String.
+func Parse(s string) (ID, error) {
+	if s == "" {
+		return nil, errors.New("dewey: empty ID")
+	}
+	parts := strings.Split(s, ".")
+	id := make(ID, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dewey: bad component %q: %w", p, err)
+		}
+		id[i] = uint32(v)
+	}
+	return id, nil
+}
+
+// MaxComponent is the largest encodable component value (28 bits).
+const MaxComponent = 1<<28 - 1
+
+// Bytes returns the order-preserving byte encoding of id.
+//
+// Each component is encoded with a self-delimiting, length-monotonic varint:
+//
+//	0xxxxxxx                         values < 2^7
+//	10xxxxxx 1 byte                  values < 2^14
+//	110xxxxx 2 bytes                 values < 2^21
+//	1110xxxx 3 bytes                 values < 2^28
+//
+// Longer encodings start with larger lead bytes, so bytewise comparison of
+// two encodings compares component values; and a shorter ID that is a prefix
+// of a longer one compares smaller, which is exactly "ancestor first" in
+// document order.
+func (id ID) Bytes() []byte {
+	out := make([]byte, 0, len(id)*2)
+	for _, c := range id {
+		out = AppendComponent(out, c)
+	}
+	return out
+}
+
+// AppendComponent appends the varint encoding of c to dst. Components above
+// MaxComponent are clamped (they cannot occur in practice: it would mean a
+// node with more than half a billion preceding siblings).
+func AppendComponent(dst []byte, c uint32) []byte {
+	if c > MaxComponent {
+		c = MaxComponent
+	}
+	switch {
+	case c < 1<<7:
+		return append(dst, byte(c))
+	case c < 1<<14:
+		return append(dst, 0x80|byte(c>>8), byte(c))
+	case c < 1<<21:
+		return append(dst, 0xC0|byte(c>>16), byte(c>>8), byte(c))
+	default:
+		return append(dst, 0xE0|byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+	}
+}
+
+// FromBytes decodes an encoding produced by Bytes.
+func FromBytes(b []byte) (ID, error) {
+	var id ID
+	for len(b) > 0 {
+		lead := b[0]
+		var size int
+		var v uint32
+		switch {
+		case lead < 0x80:
+			size, v = 1, uint32(lead)
+		case lead < 0xC0:
+			size, v = 2, uint32(lead&0x3F)
+		case lead < 0xE0:
+			size, v = 3, uint32(lead&0x1F)
+		case lead < 0xF0:
+			size, v = 4, uint32(lead&0x0F)
+		default:
+			return nil, fmt.Errorf("dewey: bad lead byte %#x", lead)
+		}
+		if len(b) < size {
+			return nil, errors.New("dewey: truncated encoding")
+		}
+		for i := 1; i < size; i++ {
+			v = v<<8 | uint32(b[i])
+		}
+		id = append(id, v)
+		b = b[size:]
+	}
+	if len(id) == 0 {
+		return nil, errors.New("dewey: empty encoding")
+	}
+	return id, nil
+}

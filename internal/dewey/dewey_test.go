@@ -1,0 +1,213 @@
+package dewey
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRootChildParent(t *testing.T) {
+	r := Root()
+	if r.String() != "0" {
+		t.Errorf("Root = %s", r)
+	}
+	c2 := r.Child(2)
+	if c2.String() != "0.2" {
+		t.Errorf("second child of root = %s, want 0.2 (paper §4.1)", c2)
+	}
+	if got := c2.Parent(); Compare(got, r) != 0 {
+		t.Errorf("Parent(0.2) = %s", got)
+	}
+	if r.Parent() != nil {
+		t.Error("Parent(root) should be nil")
+	}
+	if c2.Level() != 2 || r.Level() != 1 {
+		t.Errorf("levels: root=%d child=%d", r.Level(), c2.Level())
+	}
+}
+
+func TestChildDoesNotAlias(t *testing.T) {
+	r := Root()
+	a := r.Child(1)
+	b := r.Child(2)
+	a[1] = 99
+	if b[1] != 2 {
+		t.Error("Child results alias each other")
+	}
+}
+
+func TestCompareDocumentOrder(t *testing.T) {
+	// In document order: 0 < 0.1 < 0.1.1 < 0.1.2 < 0.2 < 0.10
+	ids := []string{"0", "0.1", "0.1.1", "0.1.2", "0.2", "0.10"}
+	for i := range ids {
+		for j := range ids {
+			a, _ := Parse(ids[i])
+			b, _ := Parse(ids[j])
+			got := Compare(a, b)
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%s, %s) = %d, want %d", ids[i], ids[j], got, want)
+			}
+		}
+	}
+}
+
+func TestIsAncestorOf(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"0", "0.1", true},
+		{"0", "0.1.2.3", true},
+		{"0.1", "0.1.2", true},
+		{"0.1", "0.2.1", false},
+		{"0.1", "0.1", false},
+		{"0.1.2", "0.1", false},
+		{"0.2", "0.10", false},
+	}
+	for _, c := range cases {
+		a, _ := Parse(c.a)
+		b, _ := Parse(c.b)
+		if got := a.IsAncestorOf(b); got != c.want {
+			t.Errorf("IsAncestorOf(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestParseString(t *testing.T) {
+	for _, s := range []string{"0", "0.2", "0.12.345.6789"} {
+		id, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if id.String() != s {
+			t.Errorf("round trip %q -> %q", s, id.String())
+		}
+	}
+	for _, s := range []string{"", "a.b", "0..1", "-1"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): expected error", s)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		id := make(ID, len(raw))
+		for i, v := range raw {
+			id[i] = v % MaxComponent
+		}
+		got, err := FromBytes(id.Bytes())
+		if err != nil {
+			return false
+		}
+		return Compare(got, id) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesBoundaryValues(t *testing.T) {
+	for _, v := range []uint32{0, 1, 127, 128, 1<<14 - 1, 1 << 14, 1<<21 - 1, 1 << 21, MaxComponent} {
+		id := ID{v}
+		got, err := FromBytes(id.Bytes())
+		if err != nil {
+			t.Fatalf("FromBytes(%d): %v", v, err)
+		}
+		if got[0] != v {
+			t.Errorf("round trip %d -> %d", v, got[0])
+		}
+	}
+}
+
+// TestBytesOrderPreserving is the core property: bytewise comparison of
+// encodings equals document-order comparison of IDs.
+func TestBytesOrderPreserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randID := func() ID {
+		n := 1 + rng.Intn(6)
+		id := make(ID, n)
+		id[0] = 0
+		for i := 1; i < n; i++ {
+			// Mix magnitudes to cross varint length boundaries.
+			switch rng.Intn(4) {
+			case 0:
+				id[i] = uint32(rng.Intn(128))
+			case 1:
+				id[i] = uint32(rng.Intn(1 << 14))
+			case 2:
+				id[i] = uint32(rng.Intn(1 << 21))
+			default:
+				id[i] = uint32(rng.Intn(MaxComponent))
+			}
+		}
+		return id
+	}
+	for i := 0; i < 20000; i++ {
+		a, b := randID(), randID()
+		want := Compare(a, b)
+		got := bytes.Compare(a.Bytes(), b.Bytes())
+		if got != want {
+			t.Fatalf("order broken: Compare(%s,%s)=%d but bytes.Compare=%d", a, b, want, got)
+		}
+	}
+}
+
+func TestBytesAncestorIsPrefix(t *testing.T) {
+	id, _ := Parse("0.3.1000.7")
+	parent := id.Parent()
+	if !bytes.HasPrefix(id.Bytes(), parent.Bytes()) {
+		t.Error("parent encoding should be a byte prefix of the child's")
+	}
+}
+
+func TestFromBytesRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {}, {0xFF}, {0x80}, {0xC0, 0x01}, {0xE0, 0x01, 0x02}} {
+		if _, err := FromBytes(b); err == nil {
+			t.Errorf("FromBytes(%x): expected error", b)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	id, _ := Parse("0.1.2")
+	c := id.Clone()
+	c[2] = 99
+	if id[2] != 2 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestQuickFromBytesNeverPanics(t *testing.T) {
+	f := func(b []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %x: %v", b, r)
+				ok = false
+			}
+		}()
+		id, err := FromBytes(b)
+		if err != nil {
+			return true
+		}
+		// Decoded IDs must re-encode to an equal-ordering byte string.
+		if Compare(id, id) != 0 {
+			return false
+		}
+		round, err := FromBytes(id.Bytes())
+		return err == nil && Compare(round, id) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

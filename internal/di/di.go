@@ -1,0 +1,550 @@
+// Package di implements the dynamic-interval (DI) baseline [DeHaan et al.,
+// SIGMOD 2003]: every element is shredded to an interval-encoded tuple
+// (start, end, level, tag, value) and path expressions are evaluated with
+// per-step structural joins over full element lists.
+//
+// The implementation deliberately reproduces the properties the paper
+// attributes to DI in §6.2:
+//
+//   - No tag-name index: every pattern node's input list is produced by a
+//     sequential scan of the whole element table ("DI has only limited
+//     support for tag-name index at this time, so we did not use index on
+//     the tests for DI"), so DI is insensitive to selectivity.
+//   - Intermediate join results are materialized per pattern edge, so
+//     bushy queries cost extra joins and materialization ("DI is topology
+//     sensitive").
+//   - Value comparisons other than equality are not implemented and yield
+//     ErrNotImplemented — Table 3's NI cells.
+package di
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"nok/internal/join"
+	"nok/internal/pattern"
+	"nok/internal/sax"
+	"nok/internal/stree"
+	"nok/internal/symtab"
+	"nok/internal/vstore"
+)
+
+// ErrNotImplemented marks query features the DI prototype lacked (the NI
+// cells of Table 3).
+var ErrNotImplemented = errors.New("di: not implemented (non-equality value comparison or sibling axis)")
+
+// record layout in the element table: start u64, end u64, level u16,
+// sym u16, valOff u64 (NoValue = none).
+const recordSize = 8 + 8 + 2 + 2 + 8
+
+// NoValue marks elements without text content.
+const NoValue = ^uint64(0)
+
+const (
+	fileTable  = "elements.tbl"
+	fileTags   = "tags.sym"
+	fileValues = "values.dat"
+)
+
+// Engine is an opened DI store.
+type Engine struct {
+	dir   string
+	tags  *symtab.Table
+	vals  *vstore.Store
+	count int
+
+	// Stats accumulate across queries until ResetStats.
+	stats Stats
+}
+
+// Stats counts the work DI does.
+type Stats struct {
+	// TuplesScanned counts element-table records read.
+	TuplesScanned int64
+	// TuplesMaterialized counts intermediate result tuples written.
+	TuplesMaterialized int64
+	// Joins counts structural joins performed.
+	Joins int64
+}
+
+// Element is one interval-encoded tuple.
+type Element struct {
+	Interval stree.Interval
+	Level    int
+	Sym      symtab.Sym
+	ValOff   uint64
+}
+
+// Result identifies a matched element by its preorder ordinal (the order
+// of its record in the element table).
+type Result struct {
+	Ordinal  int
+	Interval stree.Interval
+	Level    int
+}
+
+// Load shreds an XML document into a new DI directory.
+func Load(dir string, r io.Reader) (*Engine, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	tags := symtab.New()
+	vals, err := vstore.Create(filepath.Join(dir, fileValues))
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, fileTable))
+	if err != nil {
+		vals.Close()
+		return nil, err
+	}
+	w := bufio.NewWriterSize(f, 256<<10)
+
+	type open struct {
+		sym     symtab.Sym
+		start   uint64
+		ordinal int
+		text    strings.Builder
+	}
+	var stack []*open
+	var pos uint64
+	count := 0
+	sc := sax.NewScanner(r)
+
+	// Elements must be written in start order, but end positions are only
+	// known at close. Buffer per-element records in memory in start order
+	// and flush at the end (records are 28 bytes; even the largest bench
+	// dataset fits easily).
+	type rec struct {
+		start, end uint64
+		level      uint16
+		sym        symtab.Sym
+		valOff     uint64
+	}
+	var recs []rec
+
+	openElem := func(name string) error {
+		sym, err := tags.Intern(name)
+		if err != nil {
+			return err
+		}
+		pos++
+		stack = append(stack, &open{sym: sym, start: pos, ordinal: count})
+		recs = append(recs, rec{start: pos, level: uint16(len(stack)), sym: sym, valOff: NoValue})
+		count++
+		return nil
+	}
+	closeElem := func(trim bool) error {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		pos++
+		recs[e.ordinal].end = pos
+		text := e.text.String()
+		if trim {
+			text = strings.TrimSpace(text)
+		}
+		if text != "" {
+			off, err := vals.Append([]byte(text))
+			if err != nil {
+				return err
+			}
+			recs[e.ordinal].valOff = uint64(off)
+		}
+		return nil
+	}
+
+	for {
+		ev, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.Close()
+			vals.Close()
+			return nil, err
+		}
+		switch ev.Kind {
+		case sax.StartElement:
+			if err := openElem(ev.Name); err != nil {
+				f.Close()
+				vals.Close()
+				return nil, err
+			}
+			for _, a := range ev.Attrs {
+				if err := openElem(symtab.AttrPrefix + a.Name); err != nil {
+					f.Close()
+					vals.Close()
+					return nil, err
+				}
+				stack[len(stack)-1].text.WriteString(a.Value)
+				if err := closeElem(false); err != nil {
+					f.Close()
+					vals.Close()
+					return nil, err
+				}
+			}
+		case sax.EndElement:
+			if err := closeElem(true); err != nil {
+				f.Close()
+				vals.Close()
+				return nil, err
+			}
+		case sax.Text:
+			if len(stack) > 0 {
+				stack[len(stack)-1].text.WriteString(ev.Data)
+			}
+		}
+	}
+
+	var buf [recordSize]byte
+	for _, rc := range recs {
+		binary.BigEndian.PutUint64(buf[0:8], rc.start)
+		binary.BigEndian.PutUint64(buf[8:16], rc.end)
+		binary.BigEndian.PutUint16(buf[16:18], rc.level)
+		binary.BigEndian.PutUint16(buf[18:20], uint16(rc.sym))
+		binary.BigEndian.PutUint64(buf[20:28], rc.valOff)
+		if _, err := w.Write(buf[:]); err != nil {
+			f.Close()
+			vals.Close()
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		vals.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		vals.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		vals.Close()
+		return nil, err
+	}
+	if err := tags.Save(filepath.Join(dir, fileTags)); err != nil {
+		vals.Close()
+		return nil, err
+	}
+	return &Engine{dir: dir, tags: tags, vals: vals, count: count}, nil
+}
+
+// Open attaches to an existing DI directory.
+func Open(dir string) (*Engine, error) {
+	tags, err := symtab.Load(filepath.Join(dir, fileTags))
+	if err != nil {
+		return nil, err
+	}
+	vals, err := vstore.Open(filepath.Join(dir, fileValues))
+	if err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(filepath.Join(dir, fileTable))
+	if err != nil {
+		vals.Close()
+		return nil, err
+	}
+	return &Engine{dir: dir, tags: tags, vals: vals, count: int(fi.Size() / recordSize)}, nil
+}
+
+// Close releases the engine.
+func (e *Engine) Close() error { return e.vals.Close() }
+
+// Count returns the number of stored elements.
+func (e *Engine) Count() int { return e.count }
+
+// Stats returns accumulated work counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the counters.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// scan sequentially reads the whole element table, calling fn for each
+// element in document order — DI's only access path.
+func (e *Engine) scan(fn func(ordinal int, el Element) error) error {
+	f, err := os.Open(filepath.Join(e.dir, fileTable))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 256<<10)
+	var buf [recordSize]byte
+	for i := 0; ; i++ {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		e.stats.TuplesScanned++
+		el := Element{
+			Interval: stree.Interval{
+				Start: binary.BigEndian.Uint64(buf[0:8]),
+				End:   binary.BigEndian.Uint64(buf[8:16]),
+			},
+			Level:  int(binary.BigEndian.Uint16(buf[16:18])),
+			Sym:    symtab.Sym(binary.BigEndian.Uint16(buf[18:20])),
+			ValOff: binary.BigEndian.Uint64(buf[20:28]),
+		}
+		if err := fn(i, el); err != nil {
+			return err
+		}
+	}
+}
+
+// item is a materialized tuple in an intermediate result list.
+type item struct {
+	ordinal int
+	iv      stree.Interval
+	level   int
+}
+
+// selectNodes materializes the element list for one pattern node: a full
+// table scan filtered by the node's tag and value constraints.
+func (e *Engine) selectNodes(p *pattern.Node) ([]item, error) {
+	if p.HasValueConstraint() && p.Cmp != pattern.CmpEq && p.Cmp != pattern.CmpNone {
+		return nil, ErrNotImplemented
+	}
+	wild := p.Test == "*"
+	var want symtab.Sym
+	if !wild {
+		sym, ok := e.tags.Lookup(p.Test)
+		if !ok {
+			return nil, nil
+		}
+		want = sym
+	}
+	var out []item
+	err := e.scan(func(ordinal int, el Element) error {
+		if !wild && el.Sym != want {
+			return nil
+		}
+		if p.HasValueConstraint() {
+			if el.ValOff == NoValue {
+				return nil
+			}
+			v, err := e.vals.Get(int64(el.ValOff))
+			if err != nil {
+				return err
+			}
+			if !p.Cmp.Eval(string(v), p.Literal) {
+				return nil
+			}
+		}
+		out = append(out, item{ordinal: ordinal, iv: el.Interval, level: el.Level})
+		e.stats.TuplesMaterialized++
+		return nil
+	})
+	return out, err
+}
+
+// Query evaluates a path expression.
+func (e *Engine) Query(expr string) ([]Result, error) {
+	t, err := pattern.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryPattern(t)
+}
+
+// QueryPattern evaluates a parsed pattern tree with per-edge structural
+// joins: a bottom-up semijoin pass computes, for every pattern node, the
+// elements whose subtree constraints hold; a top-down pass then narrows
+// the chain to the returning node.
+func (e *Engine) QueryPattern(t *pattern.Tree) ([]Result, error) {
+	// Reject sibling-order arcs, which the DI prototype did not support.
+	var hasArcs bool
+	t.Walk(func(n *pattern.Node, _ int) {
+		if len(n.PrecededBy) > 0 {
+			hasArcs = true
+		}
+	})
+	if hasArcs {
+		return nil, ErrNotImplemented
+	}
+
+	// Single-path queries admit a pipelined plan in DI ("in a single-path
+	// query, DI could use a pipelined plan and avoid materialization"),
+	// so intermediate join outputs only count as materialized tuples when
+	// the pattern tree branches.
+	pipelined := true
+	t.Walk(func(n *pattern.Node, _ int) {
+		if len(n.Children) > 1 {
+			pipelined = false
+		}
+	})
+
+	lists := make(map[*pattern.Node][]item)
+	// Bottom-up: matchList(p) = select(p) semijoined with each child list.
+	var up func(p *pattern.Node) error
+	up = func(p *pattern.Node) error {
+		for _, edge := range p.Children {
+			if err := up(edge.To); err != nil {
+				return err
+			}
+		}
+		var list []item
+		if p.IsVirtualRoot() {
+			list = []item{{ordinal: -1, iv: stree.Interval{Start: 0, End: ^uint64(0)}, level: 0}}
+		} else {
+			var err error
+			list, err = e.selectNodes(p)
+			if err != nil {
+				return err
+			}
+		}
+		for _, edge := range p.Children {
+			childList := lists[edge.To]
+			list = e.semiJoinParents(list, childList, edge.Axis)
+			e.stats.Joins++
+			if !pipelined {
+				e.stats.TuplesMaterialized += int64(len(list))
+			}
+		}
+		lists[p] = list
+		return nil
+	}
+	if err := up(t.Root); err != nil {
+		return nil, err
+	}
+
+	// Top-down: narrow along the path to the returning node.
+	chain := chainToReturn(t)
+	cur := lists[chain[0]]
+	for i := 1; i < len(chain); i++ {
+		axis := axisBetween(chain[i-1], chain[i])
+		cur = e.joinChildren(cur, lists[chain[i]], axis)
+		e.stats.Joins++
+		if !pipelined {
+			e.stats.TuplesMaterialized += int64(len(cur))
+		}
+	}
+
+	out := make([]Result, len(cur))
+	for i, it := range cur {
+		out[i] = Result{Ordinal: it.ordinal, Interval: it.iv, Level: it.level}
+	}
+	return out, nil
+}
+
+// structuralPairs enumerates (parent, child) index pairs satisfying the
+// axis via the stack-based structural join; for the Child axis the level
+// difference filters ancestor pairs down to parent-child ones. Both lists
+// must be sorted by interval start, which they are by construction (the
+// table is in document order and joins preserve it).
+func structuralPairs(parents, children []item, axis pattern.Axis) []join.Pair {
+	ancIvs := make([]stree.Interval, len(parents))
+	for i, p := range parents {
+		ancIvs[i] = p.iv
+	}
+	descIvs := make([]stree.Interval, len(children))
+	for i, c := range children {
+		descIvs[i] = c.iv
+	}
+	pairs := join.StackJoin(ancIvs, descIvs)
+	if axis == pattern.Child {
+		kept := pairs[:0]
+		for _, pr := range pairs {
+			if children[pr.Desc].level == parents[pr.Anc].level+1 {
+				kept = append(kept, pr)
+			}
+		}
+		pairs = kept
+	}
+	return pairs
+}
+
+// semiJoinParents keeps parents that have a qualifying child/descendant/
+// follower in children.
+func (e *Engine) semiJoinParents(parents, children []item, axis pattern.Axis) []item {
+	var out []item
+	switch axis {
+	case pattern.Child, pattern.Descendant:
+		keep := make([]bool, len(parents))
+		for _, pr := range structuralPairs(parents, children, axis) {
+			keep[pr.Anc] = true
+		}
+		for i, p := range parents {
+			if keep[i] {
+				out = append(out, p)
+			}
+		}
+	case pattern.Following:
+		maxStart := uint64(0)
+		for _, c := range children {
+			if c.iv.Start > maxStart {
+				maxStart = c.iv.Start
+			}
+		}
+		for _, p := range parents {
+			if p.iv.End < maxStart {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// joinChildren keeps children reachable from some parent via axis.
+func (e *Engine) joinChildren(parents, children []item, axis pattern.Axis) []item {
+	var out []item
+	switch axis {
+	case pattern.Child, pattern.Descendant:
+		keep := make([]bool, len(children))
+		for _, pr := range structuralPairs(parents, children, axis) {
+			keep[pr.Desc] = true
+		}
+		for i, c := range children {
+			if keep[i] {
+				out = append(out, c)
+			}
+		}
+	case pattern.Following:
+		var minEnd uint64 = ^uint64(0)
+		for _, p := range parents {
+			if p.iv.End < minEnd {
+				minEnd = p.iv.End
+			}
+		}
+		for _, c := range children {
+			if c.iv.Start > minEnd {
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].iv.Start < out[j].iv.Start })
+	return out
+}
+
+func chainToReturn(t *pattern.Tree) []*pattern.Node {
+	parentOf := map[*pattern.Node]*pattern.Node{}
+	t.Walk(func(n *pattern.Node, _ int) {
+		for _, e := range n.Children {
+			parentOf[e.To] = n
+		}
+	})
+	var chain []*pattern.Node
+	for n := t.Return; n != nil; n = parentOf[n] {
+		chain = append(chain, n)
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+func axisBetween(parent, child *pattern.Node) pattern.Axis {
+	for _, e := range parent.Children {
+		if e.To == child {
+			return e.Axis
+		}
+	}
+	return pattern.Child
+}

@@ -1,0 +1,290 @@
+package di
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nok/internal/domnav"
+	"nok/internal/pattern"
+	"nok/internal/samples"
+)
+
+func loadEngine(t *testing.T, xml string) *Engine {
+	t.Helper()
+	e, err := Load(filepath.Join(t.TempDir(), "di"), strings.NewReader(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func queryOrds(t *testing.T, e *Engine, expr string) []int {
+	t.Helper()
+	rs, err := e.Query(expr)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", expr, err)
+	}
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = r.Ordinal
+	}
+	return out
+}
+
+func oracleOrds(t *testing.T, doc *domnav.Doc, expr string) []int {
+	t.Helper()
+	tr, err := pattern.Parse(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []int
+	for _, n := range domnav.Evaluate(doc, tr) {
+		out = append(out, n.Order)
+	}
+	return out
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBibliographyAgainstOracle(t *testing.T) {
+	e := loadEngine(t, samples.Bibliography)
+	doc := domnav.MustParse(samples.Bibliography)
+	queries := []string{
+		`/bib`,
+		`/bib/book`,
+		`/bib/book/title`,
+		`//last`,
+		`//book[author/last="Stevens"]`,
+		`//book[@year="2000"]/title`,
+		`//book[editor]`,
+		`//book[author][editor]`,
+		`/bib/*/title`,
+		`//author//last`,
+		`//book[title="Data on the Web"]//last`,
+		`//missing`,
+	}
+	for _, q := range queries {
+		got := queryOrds(t, e, q)
+		want := oracleOrds(t, doc, q)
+		if !sameInts(got, want) {
+			t.Errorf("%s:\n got  %v\n want %v", q, got, want)
+		}
+	}
+}
+
+func TestNotImplementedCells(t *testing.T) {
+	// Non-equality comparisons are DI's NI cells in Table 3.
+	e := loadEngine(t, samples.Bibliography)
+	for _, q := range []string{
+		`//book[price<100]`,
+		`//book[price>=129.95]`,
+		`//book[price!="65.95"]`,
+		`//book/author/following-sibling::author`,
+	} {
+		_, err := e.Query(q)
+		if !errors.Is(err, ErrNotImplemented) {
+			t.Errorf("%s: err = %v, want ErrNotImplemented", q, err)
+		}
+	}
+}
+
+func TestSelectivityInsensitiveScans(t *testing.T) {
+	// DI scans the full table per pattern node regardless of selectivity —
+	// the paper's explanation for its flat running times.
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&sb, "<a><b>%d</b></a>", i%100)
+	}
+	sb.WriteString("</r>")
+	e := loadEngine(t, sb.String())
+
+	e.ResetStats()
+	if _, err := e.Query(`/r/a[b="1"]`); err != nil {
+		t.Fatal(err)
+	}
+	high := e.Stats().TuplesScanned
+
+	e.ResetStats()
+	if _, err := e.Query(`/r/a[b="x"]`); err != nil { // zero matches
+		t.Fatal(err)
+	}
+	zero := e.Stats().TuplesScanned
+
+	if high != zero {
+		t.Errorf("scans should be selectivity-insensitive: %d vs %d", high, zero)
+	}
+	if high == 0 {
+		t.Error("stats not counting")
+	}
+}
+
+func TestTopologySensitivity(t *testing.T) {
+	// A bushy query joins (and materializes) more than a path query of the
+	// same node count.
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 200; i++ {
+		sb.WriteString("<a><b><c/></b><d/><e/></a>")
+	}
+	sb.WriteString("</r>")
+	e := loadEngine(t, sb.String())
+
+	e.ResetStats()
+	if _, err := e.Query(`/r/a/b/c`); err != nil {
+		t.Fatal(err)
+	}
+	path := e.Stats()
+
+	e.ResetStats()
+	if _, err := e.Query(`/r/a[b][d][e]`); err != nil {
+		t.Fatal(err)
+	}
+	bushy := e.Stats()
+
+	if bushy.TuplesMaterialized <= path.TuplesMaterialized {
+		t.Errorf("bushy should materialize more: %d vs %d",
+			bushy.TuplesMaterialized, path.TuplesMaterialized)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "di")
+	e, err := Load(dir, strings.NewReader(samples.Bibliography))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := queryOrds(t, e, `/bib/book/title`)
+	e.Close()
+
+	e2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	got := queryOrds(t, e2, `/bib/book/title`)
+	if !sameInts(got, want) {
+		t.Errorf("after reopen: %v, want %v", got, want)
+	}
+	if e2.Count() == 0 {
+		t.Error("count lost")
+	}
+}
+
+func TestRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tags := []string{"a", "b", "c", "d"}
+	vals := []string{"x", "y", "z"}
+	var gen func(sb *strings.Builder, budget, depth int) int
+	gen = func(sb *strings.Builder, budget, depth int) int {
+		tag := tags[rng.Intn(len(tags))]
+		sb.WriteString("<" + tag + ">")
+		used := 1
+		kids := rng.Intn(4)
+		if depth > 5 {
+			kids = 0
+		}
+		if kids == 0 {
+			sb.WriteString(vals[rng.Intn(len(vals))])
+		}
+		for i := 0; i < kids && used < budget; i++ {
+			used += gen(sb, (budget-used)/(kids-i)+1, depth+1)
+		}
+		sb.WriteString("</" + tag + ">")
+		return used
+	}
+	for trial := 0; trial < 3; trial++ {
+		var sb strings.Builder
+		sb.WriteString("<root>")
+		n := 0
+		for n < 200 {
+			n += gen(&sb, 200-n, 1)
+		}
+		sb.WriteString("</root>")
+		xml := sb.String()
+		e := loadEngine(t, xml)
+		doc := domnav.MustParse(xml)
+		queries := []string{
+			`/root/a`, `//a/b`, `//a[b]`, `//a[b="x"]`, `//b//c`,
+			`/root/a[b][c]`, `//a[b/c]`, `//*[c="y"]`, `//d[a]//b`,
+		}
+		for _, q := range queries {
+			got := queryOrds(t, e, q)
+			want := oracleOrds(t, doc, q)
+			if !sameInts(got, want) {
+				t.Errorf("trial %d %s:\n got  %v\n want %v", trial, q, got, want)
+			}
+		}
+	}
+}
+
+func TestFollowingAxisAgainstOracle(t *testing.T) {
+	xml := `<r><a><x>1</x></a><mark/><a><x>2</x></a><b/><a><x>3</x></a></r>`
+	e := loadEngine(t, xml)
+	doc := domnav.MustParse(xml)
+	for _, q := range []string{
+		`//mark/following::a`,
+		`//a/following::mark`,
+		`//b/following::a/x`,
+		`//a[x="3"]/following::a`,
+	} {
+		got := queryOrds(t, e, q)
+		want := oracleOrds(t, doc, q)
+		if !sameInts(got, want) {
+			t.Errorf("%s: got %v want %v", q, got, want)
+		}
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir); err == nil {
+		t.Error("Open of empty dir should fail")
+	}
+	// Partial directory: tags present, table missing.
+	e := loadEngine(t, samples.Bibliography)
+	_ = e
+	src := filepath.Join(t.TempDir(), "di2")
+	e2, err := Load(src, strings.NewReader(samples.Bibliography))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.Close()
+	if err := os.Remove(filepath.Join(src, "elements.tbl")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(src); err == nil {
+		t.Error("Open without element table should fail")
+	}
+}
+
+func TestDeepLevelsParentChild(t *testing.T) {
+	// Parent-child joins must respect exact level difference even with
+	// same-tag nesting.
+	xml := `<r><a><a><b/></a></a><a><b/></a></r>`
+	e := loadEngine(t, xml)
+	doc := domnav.MustParse(xml)
+	for _, q := range []string{`//a/b`, `//a/a/b`, `/r/a/b`, `//a//b`} {
+		got := queryOrds(t, e, q)
+		want := oracleOrds(t, doc, q)
+		if !sameInts(got, want) {
+			t.Errorf("%s: got %v want %v", q, got, want)
+		}
+	}
+}

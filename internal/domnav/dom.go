@@ -1,0 +1,136 @@
+// Package domnav provides an in-memory DOM and a navigational evaluator for
+// the pattern language.
+//
+// It plays two roles in the reproduction:
+//
+//   - It is the stand-in for X-Hive/DB in Table 3. X-Hive is a closed
+//     commercial native XML database whose role in the paper's evaluation is
+//     "a state-of-the-art navigational system"; an in-memory DOM navigator
+//     is the natural open substitute (see DESIGN.md §3).
+//   - It is the correctness oracle: its evaluator is a direct, obviously
+//     correct implementation of the pattern semantics, against which the
+//     NoK engine and both join-based baselines are differentially tested.
+package domnav
+
+import (
+	"io"
+	"strings"
+
+	"nok/internal/dewey"
+	"nok/internal/sax"
+)
+
+// Node is a DOM node. Attributes are materialized as child nodes whose Name
+// carries the "@" prefix, mirroring the paper's subject tree (Example 1
+// maps @year to a child symbol z). Text content is attached to the element
+// as its Value; mixed content is concatenated.
+type Node struct {
+	Name     string
+	Value    string
+	Parent   *Node
+	Children []*Node
+	// Order is the node's preorder (document-order) index, root = 0.
+	Order int
+	// End is the largest Order within the node's subtree; Order/End form
+	// an interval encoding: a contains b iff a.Order < b.Order && b.End <= a.End.
+	End int
+	// ID is the node's Dewey ID.
+	ID dewey.ID
+	// Level is the node's depth, root = 1.
+	Level int
+}
+
+// Doc is a parsed document.
+type Doc struct {
+	Root *Node
+	// Nodes lists all element nodes in document order.
+	Nodes []*Node
+}
+
+// NumNodes returns the number of element nodes (attributes included, since
+// they are modeled as nodes).
+func (d *Doc) NumNodes() int { return len(d.Nodes) }
+
+// Parse builds a Doc from XML input.
+func Parse(r io.Reader) (*Doc, error) {
+	sc := sax.NewScanner(r)
+	doc := &Doc{}
+	var stack []*Node
+	var text []*strings.Builder
+
+	addNode := func(name string) *Node {
+		n := &Node{Name: name, Order: len(doc.Nodes)}
+		if len(stack) == 0 {
+			n.ID = dewey.Root()
+			n.Level = 1
+			doc.Root = n
+		} else {
+			p := stack[len(stack)-1]
+			n.Parent = p
+			p.Children = append(p.Children, n)
+			n.ID = p.ID.Child(uint32(len(p.Children)))
+			n.Level = p.Level + 1
+		}
+		doc.Nodes = append(doc.Nodes, n)
+		return n
+	}
+
+	for {
+		ev, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch ev.Kind {
+		case sax.StartElement:
+			n := addNode(ev.Name)
+			stack = append(stack, n)
+			text = append(text, &strings.Builder{})
+			for _, a := range ev.Attrs {
+				attr := addNode("@" + a.Name)
+				attr.Value = a.Value
+				attr.End = attr.Order
+			}
+		case sax.EndElement:
+			n := stack[len(stack)-1]
+			n.Value = strings.TrimSpace(text[len(text)-1].String())
+			n.End = len(doc.Nodes) - 1
+			stack = stack[:len(stack)-1]
+			text = text[:len(text)-1]
+		case sax.Text:
+			if len(text) > 0 {
+				text[len(text)-1].WriteString(ev.Data)
+			}
+		}
+	}
+	return doc, nil
+}
+
+// MustParse parses a document string, panicking on error (tests).
+func MustParse(s string) *Doc {
+	d, err := Parse(strings.NewReader(s))
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Descendants calls fn for every proper descendant of n in document order.
+func (n *Node) Descendants(fn func(*Node) bool) bool {
+	for _, c := range n.Children {
+		if !fn(c) {
+			return false
+		}
+		if !c.Descendants(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAncestorOf reports whether n properly contains m.
+func (n *Node) IsAncestorOf(m *Node) bool {
+	return n.Order < m.Order && m.End <= n.End
+}

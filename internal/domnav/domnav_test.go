@@ -1,0 +1,269 @@
+package domnav
+
+import (
+	"strings"
+	"testing"
+
+	"nok/internal/dewey"
+	"nok/internal/pattern"
+	"nok/internal/samples"
+)
+
+func evalStrs(t *testing.T, doc *Doc, expr string) []string {
+	t.Helper()
+	tr, err := pattern.Parse(expr)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", expr, err)
+	}
+	var out []string
+	for _, n := range Evaluate(doc, tr) {
+		out = append(out, n.Name+"@"+n.ID.String())
+	}
+	return out
+}
+
+func eq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParseBibliography(t *testing.T) {
+	doc := MustParse(samples.Bibliography)
+	if doc.Root.Name != "bib" {
+		t.Fatalf("root = %s", doc.Root.Name)
+	}
+	if len(doc.Root.Children) != 4 {
+		t.Fatalf("books = %d", len(doc.Root.Children))
+	}
+	book1 := doc.Root.Children[0]
+	// Attribute as first child.
+	if book1.Children[0].Name != "@year" || book1.Children[0].Value != "1994" {
+		t.Errorf("first child of book: %+v", book1.Children[0])
+	}
+	if dewey.Compare(book1.ID, dewey.ID{0, 1}) != 0 {
+		t.Errorf("book1 ID = %s", book1.ID)
+	}
+	// Value capture.
+	title := book1.Children[1]
+	if title.Name != "title" || title.Value != "TCP/IP Illustrated" {
+		t.Errorf("title: %+v", title)
+	}
+	// Interval encoding sanity.
+	if !doc.Root.IsAncestorOf(title) || title.IsAncestorOf(doc.Root) {
+		t.Error("interval containment broken")
+	}
+}
+
+func TestPaperQueryExample1(t *testing.T) {
+	// "find all books written by Stevens whose price is less than 100"
+	// matches books 1 and 2 (both Stevens, price 65.95); book 4 has price
+	// 129.95 and no author.
+	doc := MustParse(samples.Bibliography)
+	got := evalStrs(t, doc, samples.PaperQuery)
+	want := []string{"book@0.1", "book@0.2"}
+	if !eq(got, want) {
+		t.Errorf("paper query = %v, want %v", got, want)
+	}
+}
+
+func TestBasicPaths(t *testing.T) {
+	doc := MustParse(samples.Bibliography)
+	cases := []struct {
+		expr string
+		want []string
+	}{
+		{`/bib`, []string{"bib@0"}},
+		{`/bib/book`, []string{"book@0.1", "book@0.2", "book@0.3", "book@0.4"}},
+		{`/bib/book/title`, []string{"title@0.1.2", "title@0.2.2", "title@0.3.2", "title@0.4.2"}},
+		{`//last`, []string{"last@0.1.3.1", "last@0.2.3.1", "last@0.3.3.1",
+			"last@0.3.4.1", "last@0.3.5.1", "last@0.4.3.1"}},
+		{`/bib/book[author/last="Abiteboul"]/title`, []string{"title@0.3.2"}},
+		{`//book[price>100]`, []string{"book@0.4"}},
+		{`//book[price>=129.95]`, []string{"book@0.4"}},
+		{`//book[@year="2000"]/price`, []string{"price@0.3.7"}},
+		{`//book[editor]`, []string{"book@0.4"}},
+		{`//book[editor/affiliation="CITI"]/@year`, []string{"@year@0.4.1"}},
+		{`/bib/book/author[last="Suciu"]/first`, []string{"first@0.3.5.2"}},
+		{`//author[last="Stevens"][first="W."]`, []string{"author@0.1.3", "author@0.2.3"}},
+		{`/bib/*/title`, []string{"title@0.1.2", "title@0.2.2", "title@0.3.2", "title@0.4.2"}},
+		{`//nothing`, nil},
+		{`/wrongroot/book`, nil},
+		{`//book[author][editor]`, nil}, // no book has both
+		{`//book[title="Data on the Web"][author/last="Buneman"]`, []string{"book@0.3"}},
+	}
+	for _, c := range cases {
+		got := evalStrs(t, doc, c.expr)
+		if !eq(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestSharedSubjectChild(t *testing.T) {
+	// The paper's /a[b/c][b/d] note: one subject b child satisfying both
+	// pattern branches is a legal embedding.
+	doc := MustParse(`<a><b><c/><d/></b></a>`)
+	got := evalStrs(t, doc, `/a[b/c][b/d]`)
+	if !eq(got, []string{"a@0"}) {
+		t.Errorf("got %v", got)
+	}
+	// And when split across two b's it still matches.
+	doc2 := MustParse(`<a><b><c/></b><b><d/></b></a>`)
+	got2 := evalStrs(t, doc2, `/a[b/c][b/d]`)
+	if !eq(got2, []string{"a@0"}) {
+		t.Errorf("split case: got %v", got2)
+	}
+}
+
+func TestFollowingSiblingSemantics(t *testing.T) {
+	doc := MustParse(`<r><a/><b/><a/><c/></r>`)
+	// b has a following sibling a (the second one).
+	got := evalStrs(t, doc, `/r/b/following-sibling::a`)
+	if !eq(got, []string{"a@0.3"}) {
+		t.Errorf("got %v", got)
+	}
+	// c has no following sibling a.
+	got = evalStrs(t, doc, `/r/c/following-sibling::a`)
+	if got != nil {
+		t.Errorf("got %v, want none", got)
+	}
+	// Strictness: a node is not its own following sibling.
+	doc2 := MustParse(`<r><a/></r>`)
+	got = evalStrs(t, doc2, `/r/a/following-sibling::a`)
+	if got != nil {
+		t.Errorf("strictness violated: %v", got)
+	}
+}
+
+func TestFollowingSiblingChain(t *testing.T) {
+	doc := MustParse(`<r><x/><y/><z/></r>`)
+	got := evalStrs(t, doc, `/r/x/following-sibling::y/following-sibling::z`)
+	if !eq(got, []string{"z@0.3"}) {
+		t.Errorf("got %v", got)
+	}
+	// Order violation: z before y.
+	got = evalStrs(t, doc, `/r/z/following-sibling::y`)
+	if got != nil {
+		t.Errorf("got %v, want none", got)
+	}
+}
+
+func TestDescendantDeep(t *testing.T) {
+	doc := MustParse(`<a><b><c><d><e/></d></c></b></a>`)
+	got := evalStrs(t, doc, `/a//e`)
+	if !eq(got, []string{"e@0.1.1.1.1"}) {
+		t.Errorf("got %v", got)
+	}
+	got = evalStrs(t, doc, `//c//e`)
+	if !eq(got, []string{"e@0.1.1.1.1"}) {
+		t.Errorf("got %v", got)
+	}
+	// Descendant is strict: //a//a on a single a yields nothing.
+	doc2 := MustParse(`<a><b/></a>`)
+	got = evalStrs(t, doc2, `//a//a`)
+	if got != nil {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestNestedDescendantPredicate(t *testing.T) {
+	doc := MustParse(`<r><a><x><deep><target/></deep></x></a><a><x/></a></r>`)
+	got := evalStrs(t, doc, `/r/a[.//target]`)
+	if !eq(got, []string{"a@0.1"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestValueOnMixedContent(t *testing.T) {
+	doc := MustParse(`<r><p>hello <b>bold</b> world</p></r>`)
+	// p's own text is "hello  world" (concatenated, trimmed); b is "bold".
+	got := evalStrs(t, doc, `//b[.="bold"]`)
+	if !eq(got, []string{"b@0.1.1"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestDuplicateElimination(t *testing.T) {
+	// Two Stevens authors in one book must yield the book once.
+	doc := MustParse(`<bib><book><author><last>Stevens</last></author>` +
+		`<author><last>Stevens</last></author></book></bib>`)
+	got := evalStrs(t, doc, `//book[author/last="Stevens"]`)
+	if !eq(got, []string{"book@0.1"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestBigDocumentScales(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < 2000; i++ {
+		sb.WriteString("<item><k>5</k></item>")
+	}
+	sb.WriteString("<item><k>7</k></item></root>")
+	doc := MustParse(sb.String())
+	tr := pattern.MustParse(`//item[k="7"]`)
+	got := Evaluate(doc, tr)
+	if len(got) != 1 {
+		t.Fatalf("got %d results", len(got))
+	}
+}
+
+func TestFollowingAxisOracle(t *testing.T) {
+	// Hand-computed expectations validate the oracle itself for the ◀
+	// axis (the engines are tested *against* the oracle, so the oracle
+	// needs independent ground truth).
+	doc := MustParse(`<r><a/><b><c/></b><a/><c/></r>`)
+	cases := []struct {
+		expr string
+		want []string
+	}{
+		{`/r/b/following::a`, []string{"a@0.3"}},            // only the a after b
+		{`/r/a/following::c`, []string{"c@0.2.1", "c@0.4"}}, // both c's follow the first a
+		{`//c/following::a`, []string{"a@0.3"}},             // a follows the nested c
+		{`//c/following::c`, []string{"c@0.4"}},             // last c follows nested c
+		{`/r/following::a`, nil},                            // nothing follows the root
+	}
+	for _, c := range cases {
+		got := evalStrs(t, doc, c.expr)
+		if !eq(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestFollowingIsNotDescendant(t *testing.T) {
+	// following:: excludes descendants: strictly after the subtree.
+	doc := MustParse(`<r><a><x/></a><x/></r>`)
+	got := evalStrs(t, doc, `//a/following::x`)
+	if !eq(got, []string{"x@0.2"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestPrecedingSiblingOracle(t *testing.T) {
+	doc := MustParse(`<r><a/><b/><a/></r>`)
+	// b preceded by a: yes (first a); returns b's preceding a? No — the
+	// step RETURNS the preceding-sibling node.
+	got := evalStrs(t, doc, `/r/b/preceding-sibling::a`)
+	if !eq(got, []string{"a@0.1"}) {
+		t.Errorf("got %v", got)
+	}
+	// The second a has both b and the first a before it.
+	got = evalStrs(t, doc, `/r/a/preceding-sibling::b`)
+	if !eq(got, []string{"b@0.2"}) {
+		t.Errorf("got %v", got)
+	}
+	// Nothing precedes the first child.
+	doc2 := MustParse(`<r><b/><a/></r>`)
+	got = evalStrs(t, doc2, `/r/b/preceding-sibling::a`)
+	if got != nil {
+		t.Errorf("got %v, want none", got)
+	}
+}

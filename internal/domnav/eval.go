@@ -1,0 +1,316 @@
+package domnav
+
+import (
+	"sort"
+
+	"nok/internal/pattern"
+)
+
+// Evaluate returns the subject nodes matching the pattern tree's returning
+// node, in document order, deduplicated. The evaluator is written for
+// clarity over speed: it is the oracle the fast engines are verified
+// against, and the navigational baseline of the benchmark harness.
+func Evaluate(doc *Doc, t *pattern.Tree) []*Node {
+	if doc.Root == nil {
+		return nil
+	}
+	e := &evaluator{doc: doc, memo: make(map[memoKey]bool)}
+
+	// Walk down from the pattern root to the returning node, maintaining
+	// the set of subject nodes that can play each pattern node's role
+	// within a full embedding ("valid" sets). Constraints hanging off the
+	// path are checked by subtree matching at each step.
+	path := pathToReturn(t)
+	virtual := &Node{Name: "", Children: []*Node{doc.Root}, End: len(doc.Nodes)}
+	valid := []*Node{virtual}
+	for i := 1; i < len(path); i++ {
+		parentPat, childPat := path[i-1], path[i]
+		axis := axisBetween(parentPat, childPat)
+		next := map[*Node]bool{}
+		for _, u := range valid {
+			// u must still satisfy parentPat's *other* constraints; that
+			// was established when u entered valid. Gather candidates for
+			// childPat below u.
+			switch axis {
+			case pattern.Child, pattern.FollowingSibling:
+				for _, v := range e.pinnedChildMatches(u, parentPat, childPat) {
+					next[v] = true
+				}
+			case pattern.Descendant:
+				u.Descendants(func(v *Node) bool {
+					if e.match(v, childPat) {
+						next[v] = true
+					}
+					return true
+				})
+			case pattern.Following:
+				for _, v := range doc.Nodes {
+					if v.Order > u.End && e.match(v, childPat) {
+						next[v] = true
+					}
+				}
+			}
+		}
+		valid = make([]*Node, 0, len(next))
+		for v := range next {
+			valid = append(valid, v)
+		}
+	}
+	sort.Slice(valid, func(i, j int) bool { return valid[i].Order < valid[j].Order })
+	return valid
+}
+
+// pathToReturn lists pattern nodes from the virtual root down to the
+// returning node. For a FollowingSibling-attached returning node the
+// "parent" in this chain is its DAG predecessor's parent, so the chain uses
+// tree parentage (the node's actual parent in the pattern tree).
+func pathToReturn(t *pattern.Tree) []*pattern.Node {
+	parentOf := map[*pattern.Node]*pattern.Node{}
+	t.Walk(func(n *pattern.Node, _ int) {
+		for _, e := range n.Children {
+			parentOf[e.To] = n
+		}
+	})
+	var chain []*pattern.Node
+	for n := t.Return; n != nil; n = parentOf[n] {
+		chain = append(chain, n)
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+func axisBetween(parent, child *pattern.Node) pattern.Axis {
+	for _, e := range parent.Children {
+		if e.To == child {
+			return e.Axis
+		}
+	}
+	return pattern.Child
+}
+
+type memoKey struct {
+	n *Node
+	p *pattern.Node
+}
+
+type evaluator struct {
+	doc  *Doc
+	memo map[memoKey]bool
+}
+
+// match reports whether the pattern subtree rooted at p embeds at subject
+// node n (n plays p's role).
+func (e *evaluator) match(n *Node, p *pattern.Node) bool {
+	k := memoKey{n, p}
+	if v, ok := e.memo[k]; ok {
+		return v
+	}
+	v := e.matchUncached(n, p)
+	e.memo[k] = v
+	return v
+}
+
+func (e *evaluator) matchUncached(n *Node, p *pattern.Node) bool {
+	if p.IsVirtualRoot() {
+		if n.Name != "" {
+			return false
+		}
+	} else if !p.Matches(n.Name) {
+		return false
+	}
+	if p.HasValueConstraint() && !p.Cmp.Eval(n.Value, p.Literal) {
+		return false
+	}
+	// Global edges: independent existential checks.
+	for _, edge := range p.Children {
+		switch edge.Axis {
+		case pattern.Descendant:
+			found := false
+			n.Descendants(func(d *Node) bool {
+				if e.match(d, edge.To) {
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				return false
+			}
+		case pattern.Following:
+			found := false
+			for _, v := range e.doc.Nodes {
+				if v.Order > n.End && e.match(v, edge.To) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+	}
+	// Local children: joint assignment respecting the sibling DAG.
+	local := pattern.LocalChildren(p)
+	if len(local) == 0 {
+		return true
+	}
+	_, ok := e.assignLocal(n.Children, local, nil)
+	return ok
+}
+
+// assignLocal finds an assignment of the pattern nodes in local (children
+// of one pattern node, partially ordered by PrecededBy arcs) to positions
+// in subject children, such that arcs map to strictly increasing positions
+// and every pattern node matches its subject child. Pattern nodes without
+// order constraints may share a subject child (the paper's /a[b/c][b/d]
+// example matches both b patterns against one subject b).
+//
+// If pin is non-nil, it returns the set of feasible positions for pin over
+// all valid assignments (used for valid-set propagation); otherwise it
+// only reports feasibility.
+//
+// Greedy in topological order is exact here: each pattern node's only
+// interaction with others is the lower bound induced by its predecessors,
+// so choosing the smallest feasible position for every node maximizes the
+// options of its successors — except when computing pin's full feasible
+// set, where each candidate position of pin is tested separately.
+func (e *evaluator) assignLocal(children []*Node, local []*pattern.Node, pin *pattern.Node) (pinPositions []int, ok bool) {
+	order := topoOrder(local)
+	if order == nil {
+		return nil, false // cyclic sibling constraints can never match
+	}
+
+	feasible := func(pinAt int) bool {
+		assigned := map[*pattern.Node]int{}
+		for _, pc := range order {
+			lower := -1
+			for _, pred := range pc.PrecededBy {
+				if pos, ok := assigned[pred]; ok && pos > lower {
+					lower = pos
+				}
+			}
+			found := -1
+			for i := lower + 1; i < len(children); i++ {
+				if pc == pin && pinAt >= 0 {
+					if i < pinAt {
+						continue
+					}
+					if i > pinAt {
+						break
+					}
+				}
+				if e.match(children[i], pc) {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				return false
+			}
+			assigned[pc] = found
+		}
+		return true
+	}
+
+	if pin == nil {
+		return nil, feasible(-1)
+	}
+	for i := range children {
+		if e.match(children[i], pin) && feasibleWithPin(e, children, order, pin, i) {
+			pinPositions = append(pinPositions, i)
+		}
+	}
+	return pinPositions, len(pinPositions) > 0
+}
+
+// feasibleWithPin checks whether a full assignment exists with pin fixed at
+// position pinAt. Predecessors of pin must land strictly before pinAt and
+// successors strictly after; the greedy scan handles both by treating the
+// pinned node as occupying exactly pinAt.
+func feasibleWithPin(e *evaluator, children []*Node, order []*pattern.Node, pin *pattern.Node, pinAt int) bool {
+	assigned := map[*pattern.Node]int{}
+	for _, pc := range order {
+		lower := -1
+		for _, pred := range pc.PrecededBy {
+			if pos, ok := assigned[pred]; ok && pos > lower {
+				lower = pos
+			}
+		}
+		if pc == pin {
+			if pinAt <= lower || !e.match(children[pinAt], pc) {
+				return false
+			}
+			assigned[pc] = pinAt
+			continue
+		}
+		found := -1
+		for i := lower + 1; i < len(children); i++ {
+			if e.match(children[i], pc) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return false
+		}
+		assigned[pc] = found
+	}
+	return true
+}
+
+// pinnedChildMatches returns the children of u that can play childPat's
+// role within a valid local assignment of parentPat's children at u.
+func (e *evaluator) pinnedChildMatches(u *Node, parentPat, childPat *pattern.Node) []*Node {
+	local := pattern.LocalChildren(parentPat)
+	positions, ok := e.assignLocal(u.Children, local, childPat)
+	if !ok {
+		return nil
+	}
+	out := make([]*Node, 0, len(positions))
+	for _, i := range positions {
+		out = append(out, u.Children[i])
+	}
+	return out
+}
+
+// topoOrder sorts pattern nodes so predecessors come first; nil on cycles.
+func topoOrder(nodes []*pattern.Node) []*pattern.Node {
+	inSet := map[*pattern.Node]bool{}
+	for _, n := range nodes {
+		inSet[n] = true
+	}
+	indeg := map[*pattern.Node]int{}
+	succs := map[*pattern.Node][]*pattern.Node{}
+	for _, n := range nodes {
+		for _, pred := range n.PrecededBy {
+			if inSet[pred] {
+				indeg[n]++
+				succs[pred] = append(succs[pred], n)
+			}
+		}
+	}
+	var queue []*pattern.Node
+	for _, n := range nodes {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	var out []*pattern.Node
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, n)
+		for _, s := range succs[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(out) != len(nodes) {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+// Package join implements structural joins over interval encodings (§5):
+// the primitives that recombine NoK partial matches across global axes,
+// plus the stack-based structural join [Al-Khalifa et al., ICDE 2002] used
+// by the DI baseline.
+//
+// All functions work on stree.Interval values: (start, end) positions of a
+// node's open token and matching close, which satisfy the containment
+// condition a ⊃ b ⇔ a.Start < b.Start ∧ b.End < a.End.
+package join
+
+import (
+	"sort"
+
+	"nok/internal/stree"
+)
+
+// ExistsWithin reports whether any of the sorted points lies strictly
+// inside iv — the descendant-existence test the NoK evaluator installs as
+// a link predicate during its bottom-up pass.
+func ExistsWithin(points []uint64, iv stree.Interval) bool {
+	i := sort.Search(len(points), func(i int) bool { return points[i] > iv.Start })
+	return i < len(points) && points[i] < iv.End
+}
+
+// ExistsAfter reports whether any of the sorted points lies after the
+// interval's end — the following-axis existence test.
+func ExistsAfter(points []uint64, iv stree.Interval) bool {
+	return len(points) > 0 && points[len(points)-1] > iv.End
+}
+
+// ContainedIn returns the indexes (ascending) of points that lie strictly
+// inside at least one interval. Both inputs must be sorted (points
+// ascending, intervals by Start). Because element intervals nest or are
+// disjoint, a point is covered iff some already-started interval has an
+// end beyond it, so one sweep with a running maximum suffices.
+func ContainedIn(points []uint64, ivs []stree.Interval) []int {
+	var out []int
+	var maxEnd uint64
+	j := 0
+	for i, p := range points {
+		for j < len(ivs) && ivs[j].Start < p {
+			if ivs[j].End > maxEnd {
+				maxEnd = ivs[j].End
+			}
+			j++
+		}
+		if maxEnd > p {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AfterAny returns the indexes (ascending) of points that lie after the
+// end of at least one interval — i.e. after the earliest interval end.
+func AfterAny(points []uint64, ivs []stree.Interval) []int {
+	if len(ivs) == 0 {
+		return nil
+	}
+	minEnd := ivs[0].End
+	for _, iv := range ivs[1:] {
+		if iv.End < minEnd {
+			minEnd = iv.End
+		}
+	}
+	var out []int
+	for i, p := range points {
+		if p > minEnd {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Pair is one ancestor/descendant join result, as indexes into the input
+// slices.
+type Pair struct {
+	Anc, Desc int
+}
+
+// StackJoin computes all (ancestor, descendant) pairs between two
+// interval lists sorted by Start — the stack-based structural join. It
+// runs in O(|anc| + |desc| + |output|).
+func StackJoin(anc, desc []stree.Interval) []Pair {
+	var out []Pair
+	var stack []int // indexes into anc, nested intervals
+	ai, di := 0, 0
+	for di < len(desc) {
+		d := desc[di]
+		// Push every ancestor starting before d.
+		for ai < len(anc) && anc[ai].Start < d.Start {
+			// Pop ancestors that end before this one starts (no longer
+			// enclosing anything upcoming).
+			for len(stack) > 0 && anc[stack[len(stack)-1]].End < anc[ai].Start {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, ai)
+			ai++
+		}
+		// Pop ancestors that ended before d starts.
+		for len(stack) > 0 && anc[stack[len(stack)-1]].End < d.Start {
+			stack = stack[:len(stack)-1]
+		}
+		// Every ancestor remaining on the stack with End > d.End contains d.
+		for _, s := range stack {
+			if d.End < anc[s].End {
+				out = append(out, Pair{Anc: s, Desc: di})
+			}
+		}
+		di++
+	}
+	return out
+}
+
+// SemiJoinDesc returns the indexes of descendants contained in at least
+// one ancestor (a structural semijoin, the common case in path steps).
+func SemiJoinDesc(anc, desc []stree.Interval) []int {
+	points := make([]uint64, len(desc))
+	for i, d := range desc {
+		points[i] = d.Start
+	}
+	return ContainedIn(points, anc)
+}
+
+// SemiJoinAnc returns the indexes (ascending) of ancestors that contain at
+// least one descendant.
+func SemiJoinAnc(anc, desc []stree.Interval) []int {
+	points := make([]uint64, len(desc))
+	for i, d := range desc {
+		points[i] = d.Start
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	var out []int
+	for i, a := range anc {
+		if ExistsWithin(points, a) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package join
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"nok/internal/stree"
+)
+
+func iv(s, e uint64) stree.Interval { return stree.Interval{Start: s, End: e} }
+
+func TestExistsWithin(t *testing.T) {
+	pts := []uint64{5, 10, 20}
+	cases := []struct {
+		iv   stree.Interval
+		want bool
+	}{
+		{iv(0, 6), true},    // contains 5
+		{iv(5, 10), false},  // strict: neither endpoint counts
+		{iv(4, 11), true},   // contains 5 and 10
+		{iv(21, 30), false}, // nothing after 20
+		{iv(0, 5), false},   // 5 not strictly inside
+		{iv(19, 21), true},  // contains 20
+	}
+	for _, c := range cases {
+		if got := ExistsWithin(pts, c.iv); got != c.want {
+			t.Errorf("ExistsWithin(%v) = %v, want %v", c.iv, got, c.want)
+		}
+	}
+	if ExistsWithin(nil, iv(0, 100)) {
+		t.Error("empty points should never match")
+	}
+}
+
+func TestExistsAfter(t *testing.T) {
+	pts := []uint64{5, 10}
+	if !ExistsAfter(pts, iv(0, 7)) {
+		t.Error("10 follows end 7")
+	}
+	if ExistsAfter(pts, iv(0, 10)) {
+		t.Error("strictness: nothing after end 10")
+	}
+	if ExistsAfter(nil, iv(0, 0)) {
+		t.Error("empty points")
+	}
+}
+
+func TestContainedIn(t *testing.T) {
+	// Intervals nest or are disjoint (tree intervals).
+	ivs := []stree.Interval{iv(0, 100), iv(5, 20), iv(30, 40), iv(200, 300)}
+	pts := []uint64{3, 10, 25, 35, 100, 150, 250, 400}
+	got := ContainedIn(pts, ivs)
+	// 3 in (0,100); 10 in both; 25 in (0,100); 35 in both; 100 not strict;
+	// 150 outside; 250 in (200,300); 400 outside.
+	want := []int{0, 1, 2, 3, 6}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAfterAny(t *testing.T) {
+	ivs := []stree.Interval{iv(10, 50), iv(20, 30)}
+	pts := []uint64{5, 25, 31, 60}
+	got := AfterAny(pts, ivs) // min end = 30; points after 30
+	want := []int{2, 3}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if AfterAny(pts, nil) != nil {
+		t.Error("no intervals → no matches")
+	}
+}
+
+// randomTreeIntervals builds a random set of properly nested intervals by
+// simulating a token walk.
+func randomTreeIntervals(rng *rand.Rand, n int) []stree.Interval {
+	var out []stree.Interval
+	var pos uint64 = 1
+	var build func(depth int)
+	build = func(depth int) {
+		if len(out) >= n {
+			return
+		}
+		start := pos
+		pos++
+		out = append(out, stree.Interval{Start: start})
+		idx := len(out) - 1
+		kids := rng.Intn(3)
+		if depth < 6 {
+			for i := 0; i < kids; i++ {
+				build(depth + 1)
+			}
+		}
+		out[idx].End = pos
+		pos++
+	}
+	for len(out) < n {
+		build(0)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+func TestStackJoinAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		all := randomTreeIntervals(rng, 60)
+		// Random subsets as ancestor/descendant lists.
+		var anc, desc []stree.Interval
+		for _, v := range all {
+			if rng.Intn(2) == 0 {
+				anc = append(anc, v)
+			}
+			if rng.Intn(2) == 0 {
+				desc = append(desc, v)
+			}
+		}
+		got := StackJoin(anc, desc)
+		type pair struct{ a, d int }
+		gotSet := map[pair]bool{}
+		for _, p := range got {
+			gotSet[pair{p.Anc, p.Desc}] = true
+		}
+		n := 0
+		for ai, a := range anc {
+			for di, d := range desc {
+				if a.Contains(d) {
+					n++
+					if !gotSet[pair{ai, di}] {
+						t.Fatalf("missing pair (%v, %v)", a, d)
+					}
+				}
+			}
+		}
+		if n != len(got) {
+			t.Fatalf("StackJoin produced %d pairs, naive %d", len(got), n)
+		}
+	}
+}
+
+func TestSemiJoins(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		all := randomTreeIntervals(rng, 50)
+		var anc, desc []stree.Interval
+		for _, v := range all {
+			if rng.Intn(2) == 0 {
+				anc = append(anc, v)
+			} else {
+				desc = append(desc, v)
+			}
+		}
+		gotD := SemiJoinDesc(anc, desc)
+		gotA := SemiJoinAnc(anc, desc)
+		dSet := map[int]bool{}
+		for _, i := range gotD {
+			dSet[i] = true
+		}
+		aSet := map[int]bool{}
+		for _, i := range gotA {
+			aSet[i] = true
+		}
+		for di, d := range desc {
+			want := false
+			for _, a := range anc {
+				if a.Contains(d) {
+					want = true
+				}
+			}
+			if dSet[di] != want {
+				t.Fatalf("SemiJoinDesc wrong for desc %d", di)
+			}
+		}
+		for ai, a := range anc {
+			want := false
+			for _, d := range desc {
+				if a.Contains(d) {
+					want = true
+				}
+			}
+			if aSet[ai] != want {
+				t.Fatalf("SemiJoinAnc wrong for anc %d", ai)
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nok/internal/stree"
+)
+
+// TestQuickContainedInMatchesNaive checks the sweep implementation against
+// a quadratic reference on arbitrary nested interval sets.
+func TestQuickContainedInMatchesNaive(t *testing.T) {
+	f := func(seed int64, nIv, nPt uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ivs := randomTreeIntervals(rng, 1+int(nIv)%40)
+		var pts []uint64
+		for i := 0; i < 1+int(nPt)%60; i++ {
+			pts = append(pts, uint64(rng.Intn(200)))
+		}
+		// points must be sorted for the sweep.
+		for i := 1; i < len(pts); i++ {
+			for j := i; j > 0 && pts[j] < pts[j-1]; j-- {
+				pts[j], pts[j-1] = pts[j-1], pts[j]
+			}
+		}
+		got := ContainedIn(pts, ivs)
+		gotSet := map[int]bool{}
+		for _, i := range got {
+			gotSet[i] = true
+		}
+		for i, p := range pts {
+			want := false
+			for _, iv := range ivs {
+				if iv.Start < p && p < iv.End {
+					want = true
+				}
+			}
+			if gotSet[i] != want {
+				t.Logf("point %d (%d): got %v want %v (ivs %v)", i, p, gotSet[i], want, ivs)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickExistsWithin checks the binary-search predicate against a scan.
+func TestQuickExistsWithin(t *testing.T) {
+	f := func(rawPts []uint16, start, span uint16) bool {
+		pts := make([]uint64, len(rawPts))
+		for i, p := range rawPts {
+			pts[i] = uint64(p)
+		}
+		for i := 1; i < len(pts); i++ {
+			for j := i; j > 0 && pts[j] < pts[j-1]; j-- {
+				pts[j], pts[j-1] = pts[j-1], pts[j]
+			}
+		}
+		iv := stree.Interval{Start: uint64(start), End: uint64(start) + uint64(span)}
+		want := false
+		for _, p := range pts {
+			if p > iv.Start && p < iv.End {
+				want = true
+			}
+		}
+		return ExistsWithin(pts, iv) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package pager
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReaders hammers Get/Unpin from many goroutines while the
+// pool is smaller than the page set, exercising eviction under contention.
+// Run with -race.
+func TestConcurrentReaders(t *testing.T) {
+	pf := newFile(t, &Options{PageSize: 256, PoolPages: 8})
+	const pages = 64
+	for i := 1; i <= pages; i++ {
+		p, err := pf.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.BigEndian.PutUint32(p.Data(), uint32(p.ID()))
+		p.MarkDirty()
+		pf.Unpin(p)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := PageID(1 + (seed*31+i*17)%pages)
+				p, err := pf.Get(id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := binary.BigEndian.Uint32(p.Data()); got != uint32(id) {
+					t.Errorf("page %d holds %d", id, got)
+					pf.Unpin(p)
+					return
+				}
+				pf.Unpin(p)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentMixedWorkload mixes readers with an allocating writer.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	pf := newFile(t, &Options{PageSize: 256, PoolPages: 16})
+	p, err := pf.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Unpin(p)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := pf.NumPages()
+				id := PageID(1 + i%n)
+				i++
+				p, err := pf.Get(id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				pf.Unpin(p)
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		p, err := pf.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.MarkDirty()
+		pf.Unpin(p)
+	}
+	close(stop)
+	wg.Wait()
+	if pf.NumPages() != 201 {
+		t.Errorf("pages = %d", pf.NumPages())
+	}
+}

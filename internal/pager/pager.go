@@ -1,0 +1,517 @@
+// Package pager provides fixed-size paged file storage with a pinning
+// buffer pool.
+//
+// Every on-disk structure in this repository — the succinct string
+// representation (internal/stree), the B+ trees (internal/btree) and the
+// value data file (internal/vstore) — lives in a pager file. The pager is
+// deliberately unaware of what its clients store in a page: a page is an
+// opaque byte array plus bookkeeping.
+//
+// Page 0 of every file is the file header; data pages are numbered from 1.
+// The header carries a small client "meta" area where clients persist their
+// own root pointers and statistics.
+//
+// The pool counts physical reads, physical writes and cache hits. Those
+// counters are how the benchmark harness verifies the paper's Proposition 1
+// (the physical NoK matcher reads every page at most once).
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageID identifies a data page. 0 is invalid (it is the file header).
+type PageID uint32
+
+// InvalidPage is the zero PageID.
+const InvalidPage PageID = 0
+
+const (
+	// MinPageSize is small enough to exercise page-spanning logic in tests;
+	// production files use DefaultPageSize.
+	MinPageSize = 128
+	// DefaultPageSize matches the paper's 4KB example in §4.2.
+	DefaultPageSize = 4096
+	// MaxMetaLen is the number of client meta bytes stored in the header.
+	MaxMetaLen = 64
+
+	headerMagic   = "NKPG"
+	headerVersion = 1
+	// header layout: magic[4] version[2] pageSize[4] numPages[4] freeHead[4]
+	// metaLen[2] meta[MaxMetaLen]
+	headerFixed = 4 + 2 + 4 + 4 + 4 + 2
+)
+
+// Errors returned by the pager.
+var (
+	ErrPageOutOfRange = errors.New("pager: page id out of range")
+	ErrClosed         = errors.New("pager: file is closed")
+	ErrPoolExhausted  = errors.New("pager: all buffer frames are pinned")
+)
+
+// Stats are cumulative I/O counters for a File.
+type Stats struct {
+	PhysicalReads  int64 // pages read from the OS
+	PhysicalWrites int64 // pages written to the OS
+	CacheHits      int64 // Get calls satisfied from the pool
+	Allocations    int64 // pages allocated
+	Frees          int64 // pages returned to the free list
+}
+
+// Page is a pinned buffer-pool frame. Callers must Unpin every page they
+// Get or Allocate, and must call MarkDirty before unpinning if they changed
+// Data. Data is exactly PageSize bytes.
+type Page struct {
+	id    PageID
+	data  []byte
+	pins  int
+	dirty bool
+
+	// LRU list links; only meaningful while pins == 0.
+	prev, next *Page
+}
+
+// ID returns the page's identifier.
+func (p *Page) ID() PageID { return p.id }
+
+// Data returns the page's byte buffer. The slice is valid while the page is
+// pinned.
+func (p *Page) Data() []byte { return p.data }
+
+// MarkDirty records that Data was modified so the frame is written back
+// before eviction or on Flush.
+func (p *Page) MarkDirty() { p.dirty = true }
+
+// File is a paged file with a buffer pool. All methods are safe for
+// concurrent use; pages themselves follow a pin-before-use discipline.
+type File struct {
+	mu sync.Mutex
+
+	f        *os.File
+	path     string
+	pageSize int
+	numPages uint32 // data pages (excluding header)
+	freeHead PageID
+	meta     [MaxMetaLen]byte
+	metaLen  int
+
+	pool     map[PageID]*Page
+	capacity int
+	// lru is a doubly-linked list of unpinned frames; lruHead is least
+	// recently used (next eviction victim), lruTail most recently used.
+	lruHead, lruTail *Page
+
+	stats  Stats
+	closed bool
+
+	headerDirty bool
+}
+
+// Options configure Create and Open.
+type Options struct {
+	// PageSize is the page size in bytes for Create; Open verifies it if
+	// non-zero. Defaults to DefaultPageSize.
+	PageSize int
+	// PoolPages is the buffer-pool capacity in frames. Defaults to 256.
+	PoolPages int
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{PageSize: DefaultPageSize, PoolPages: 256}
+	if o != nil {
+		if o.PageSize != 0 {
+			out.PageSize = o.PageSize
+		}
+		if o.PoolPages != 0 {
+			out.PoolPages = o.PoolPages
+		}
+	}
+	return out
+}
+
+// Create creates a new paged file at path, failing if it already exists.
+func Create(path string, opts *Options) (*File, error) {
+	o := opts.withDefaults()
+	if o.PageSize < MinPageSize {
+		return nil, fmt.Errorf("pager: page size %d below minimum %d", o.PageSize, MinPageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	pf := &File{
+		f:        f,
+		path:     path,
+		pageSize: o.PageSize,
+		pool:     make(map[PageID]*Page),
+		capacity: o.PoolPages,
+	}
+	pf.headerDirty = true
+	if err := pf.writeHeader(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return pf, nil
+}
+
+// Open opens an existing paged file.
+func Open(path string, opts *Options) (*File, error) {
+	o := opts.withDefaults()
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	pf := &File{
+		f:    f,
+		path: path,
+		pool: make(map[PageID]*Page),
+	}
+	if err := pf.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if opts != nil && opts.PageSize != 0 && opts.PageSize != pf.pageSize {
+		f.Close()
+		return nil, fmt.Errorf("pager: %s has page size %d, expected %d", path, pf.pageSize, opts.PageSize)
+	}
+	pf.capacity = o.PoolPages
+	return pf, nil
+}
+
+func (pf *File) writeHeader() error {
+	buf := make([]byte, pf.pageSize)
+	copy(buf[0:4], headerMagic)
+	binary.BigEndian.PutUint16(buf[4:6], headerVersion)
+	binary.BigEndian.PutUint32(buf[6:10], uint32(pf.pageSize))
+	binary.BigEndian.PutUint32(buf[10:14], pf.numPages)
+	binary.BigEndian.PutUint32(buf[14:18], uint32(pf.freeHead))
+	binary.BigEndian.PutUint16(buf[18:20], uint16(pf.metaLen))
+	copy(buf[headerFixed:], pf.meta[:])
+	if _, err := pf.f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("pager: writing header: %w", err)
+	}
+	pf.stats.PhysicalWrites++
+	pf.headerDirty = false
+	return nil
+}
+
+func (pf *File) readHeader() error {
+	var fixed [headerFixed + MaxMetaLen]byte
+	if _, err := pf.f.ReadAt(fixed[:], 0); err != nil {
+		return fmt.Errorf("pager: reading header: %w", err)
+	}
+	if string(fixed[0:4]) != headerMagic {
+		return fmt.Errorf("pager: %s: bad magic %q", pf.path, fixed[0:4])
+	}
+	if v := binary.BigEndian.Uint16(fixed[4:6]); v != headerVersion {
+		return fmt.Errorf("pager: %s: unsupported version %d", pf.path, v)
+	}
+	pf.pageSize = int(binary.BigEndian.Uint32(fixed[6:10]))
+	if pf.pageSize < MinPageSize {
+		return fmt.Errorf("pager: %s: corrupt page size %d", pf.path, pf.pageSize)
+	}
+	pf.numPages = binary.BigEndian.Uint32(fixed[10:14])
+	pf.freeHead = PageID(binary.BigEndian.Uint32(fixed[14:18]))
+	pf.metaLen = int(binary.BigEndian.Uint16(fixed[18:20]))
+	if pf.metaLen > MaxMetaLen {
+		return fmt.Errorf("pager: %s: corrupt meta length %d", pf.path, pf.metaLen)
+	}
+	copy(pf.meta[:], fixed[headerFixed:])
+	pf.stats.PhysicalReads++
+	return nil
+}
+
+// PageSize returns the page size in bytes.
+func (pf *File) PageSize() int { return pf.pageSize }
+
+// NumPages returns the number of data pages ever allocated (including pages
+// currently on the free list).
+func (pf *File) NumPages() int {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return int(pf.numPages)
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (pf *File) Stats() Stats {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return pf.stats
+}
+
+// ResetStats zeroes the I/O counters (used between benchmark phases).
+func (pf *File) ResetStats() {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	pf.stats = Stats{}
+}
+
+// Meta returns a copy of the client meta area.
+func (pf *File) Meta() []byte {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	out := make([]byte, pf.metaLen)
+	copy(out, pf.meta[:pf.metaLen])
+	return out
+}
+
+// SetMeta replaces the client meta area (at most MaxMetaLen bytes) and
+// schedules a header write on the next Flush.
+func (pf *File) SetMeta(b []byte) error {
+	if len(b) > MaxMetaLen {
+		return fmt.Errorf("pager: meta too large: %d > %d", len(b), MaxMetaLen)
+	}
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return ErrClosed
+	}
+	pf.meta = [MaxMetaLen]byte{}
+	copy(pf.meta[:], b)
+	pf.metaLen = len(b)
+	pf.headerDirty = true
+	return nil
+}
+
+func (pf *File) pageOffset(id PageID) int64 {
+	return int64(id) * int64(pf.pageSize)
+}
+
+// lruRemove unlinks p from the LRU list.
+func (pf *File) lruRemove(p *Page) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else if pf.lruHead == p {
+		pf.lruHead = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else if pf.lruTail == p {
+		pf.lruTail = p.prev
+	}
+	p.prev, p.next = nil, nil
+}
+
+// lruPush appends p as most-recently-used.
+func (pf *File) lruPush(p *Page) {
+	p.prev = pf.lruTail
+	p.next = nil
+	if pf.lruTail != nil {
+		pf.lruTail.next = p
+	}
+	pf.lruTail = p
+	if pf.lruHead == nil {
+		pf.lruHead = p
+	}
+}
+
+// evictOne writes back and removes the least-recently-used unpinned frame.
+func (pf *File) evictOne() error {
+	victim := pf.lruHead
+	if victim == nil {
+		return ErrPoolExhausted
+	}
+	if victim.dirty {
+		if err := pf.writePage(victim); err != nil {
+			return err
+		}
+	}
+	pf.lruRemove(victim)
+	delete(pf.pool, victim.id)
+	return nil
+}
+
+func (pf *File) writePage(p *Page) error {
+	if _, err := pf.f.WriteAt(p.data, pf.pageOffset(p.id)); err != nil {
+		return fmt.Errorf("pager: writing page %d: %w", p.id, err)
+	}
+	pf.stats.PhysicalWrites++
+	p.dirty = false
+	return nil
+}
+
+// frame returns a pinned frame for id, loading from disk when load is true,
+// zero-filling otherwise.
+func (pf *File) frame(id PageID, load bool) (*Page, error) {
+	if p, ok := pf.pool[id]; ok {
+		if p.pins == 0 {
+			pf.lruRemove(p)
+		}
+		p.pins++
+		pf.stats.CacheHits++
+		return p, nil
+	}
+	for len(pf.pool) >= pf.capacity {
+		if err := pf.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	p := &Page{id: id, data: make([]byte, pf.pageSize), pins: 1}
+	if load {
+		if _, err := pf.f.ReadAt(p.data, pf.pageOffset(id)); err != nil && err != io.EOF {
+			return nil, fmt.Errorf("pager: reading page %d: %w", id, err)
+		}
+		pf.stats.PhysicalReads++
+	}
+	pf.pool[id] = p
+	return p, nil
+}
+
+// Get returns page id pinned. The caller must Unpin it.
+func (pf *File) Get(id PageID) (*Page, error) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return nil, ErrClosed
+	}
+	if id == InvalidPage || uint32(id) > pf.numPages {
+		return nil, fmt.Errorf("%w: %d (have %d)", ErrPageOutOfRange, id, pf.numPages)
+	}
+	return pf.frame(id, true)
+}
+
+// Allocate returns a new zeroed page, pinned and marked dirty. The caller
+// must Unpin it.
+func (pf *File) Allocate() (*Page, error) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return nil, ErrClosed
+	}
+	var id PageID
+	if pf.freeHead != InvalidPage {
+		// Pop the free list: the first 4 bytes of a free page hold the
+		// next free page id.
+		id = pf.freeHead
+		p, err := pf.frame(id, true)
+		if err != nil {
+			return nil, err
+		}
+		pf.freeHead = PageID(binary.BigEndian.Uint32(p.data[0:4]))
+		pf.headerDirty = true
+		clear(p.data)
+		p.dirty = true
+		pf.stats.Allocations++
+		return p, nil
+	}
+	pf.numPages++
+	pf.headerDirty = true
+	id = PageID(pf.numPages)
+	p, err := pf.frame(id, false)
+	if err != nil {
+		pf.numPages--
+		return nil, err
+	}
+	p.dirty = true
+	pf.stats.Allocations++
+	return p, nil
+}
+
+// Free returns page id to the free list. The page must not be pinned by the
+// caller (or anyone else).
+func (pf *File) Free(id PageID) error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return ErrClosed
+	}
+	if id == InvalidPage || uint32(id) > pf.numPages {
+		return fmt.Errorf("%w: %d", ErrPageOutOfRange, id)
+	}
+	if p, ok := pf.pool[id]; ok && p.pins > 0 {
+		return fmt.Errorf("pager: freeing pinned page %d", id)
+	}
+	p, err := pf.frame(id, false)
+	if err != nil {
+		return err
+	}
+	clear(p.data)
+	binary.BigEndian.PutUint32(p.data[0:4], uint32(pf.freeHead))
+	p.dirty = true
+	pf.freeHead = id
+	pf.headerDirty = true
+	pf.unpin(p)
+	pf.stats.Frees++
+	return nil
+}
+
+// Unpin releases one pin on p. When the pin count reaches zero the frame
+// becomes evictable.
+func (pf *File) Unpin(p *Page) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	pf.unpin(p)
+}
+
+func (pf *File) unpin(p *Page) {
+	if p.pins <= 0 {
+		panic(fmt.Sprintf("pager: unpin of unpinned page %d", p.id))
+	}
+	p.pins--
+	if p.pins == 0 {
+		pf.lruPush(p)
+	}
+}
+
+// Flush writes all dirty frames and the header to the OS and syncs.
+func (pf *File) Flush() error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return ErrClosed
+	}
+	return pf.flushLocked()
+}
+
+func (pf *File) flushLocked() error {
+	for _, p := range pf.pool {
+		if p.dirty {
+			if err := pf.writePage(p); err != nil {
+				return err
+			}
+		}
+	}
+	if pf.headerDirty {
+		if err := pf.writeHeader(); err != nil {
+			return err
+		}
+	}
+	return pf.f.Sync()
+}
+
+// Close flushes and closes the file. Pinned pages are a programming error
+// and are reported.
+func (pf *File) Close() error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return nil
+	}
+	var pinned int
+	for _, p := range pf.pool {
+		if p.pins > 0 {
+			pinned++
+		}
+	}
+	if err := pf.flushLocked(); err != nil {
+		return err
+	}
+	pf.closed = true
+	err := pf.f.Close()
+	if pinned > 0 && err == nil {
+		err = fmt.Errorf("pager: closed with %d pinned page(s)", pinned)
+	}
+	return err
+}
+
+// Path returns the underlying file path.
+func (pf *File) Path() string { return pf.path }
+
+// PoolCapacity returns the buffer-pool capacity in frames.
+func (pf *File) PoolCapacity() int { return pf.capacity }

@@ -1,0 +1,384 @@
+package pager
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newFile(t *testing.T, opts *Options) *File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.pg")
+	pf, err := Create(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	return pf
+}
+
+func TestCreateRejectsExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dup.pg")
+	pf, err := Create(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	if _, err := Create(path, nil); err == nil {
+		t.Error("Create over existing file should fail")
+	}
+}
+
+func TestAllocateGetRoundTrip(t *testing.T) {
+	pf := newFile(t, &Options{PageSize: 256})
+	p, err := pf.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID() != 1 {
+		t.Errorf("first page id = %d, want 1", p.ID())
+	}
+	copy(p.Data(), "hello page")
+	p.MarkDirty()
+	pf.Unpin(p)
+
+	got, err := pf.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Unpin(got)
+	if !bytes.HasPrefix(got.Data(), []byte("hello page")) {
+		t.Errorf("page content = %q", got.Data()[:16])
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.pg")
+	pf, err := Create(path, &Options{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p, err := pf.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(p.Data(), fmt.Sprintf("page-%d", p.ID()))
+		p.MarkDirty()
+		pf.Unpin(p)
+	}
+	if err := pf.SetMeta([]byte("client-meta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pf2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	if pf2.NumPages() != 10 {
+		t.Errorf("NumPages = %d, want 10", pf2.NumPages())
+	}
+	if string(pf2.Meta()) != "client-meta" {
+		t.Errorf("Meta = %q", pf2.Meta())
+	}
+	for i := 1; i <= 10; i++ {
+		p, err := pf2.Get(PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("page-%d", i)
+		if !bytes.HasPrefix(p.Data(), []byte(want)) {
+			t.Errorf("page %d content = %q, want prefix %q", i, p.Data()[:10], want)
+		}
+		pf2.Unpin(p)
+	}
+}
+
+func TestOpenRejectsWrongPageSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ps.pg")
+	pf, err := Create(path, &Options{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	if _, err := Open(path, &Options{PageSize: 512}); err == nil {
+		t.Error("Open with mismatched page size should fail")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.pg")
+	if err := os.WriteFile(path, bytes.Repeat([]byte("x"), 1024), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, nil); err == nil {
+		t.Error("Open of garbage should fail")
+	}
+}
+
+func TestGetOutOfRange(t *testing.T) {
+	pf := newFile(t, &Options{PageSize: 256})
+	if _, err := pf.Get(0); err == nil {
+		t.Error("Get(0) should fail")
+	}
+	if _, err := pf.Get(99); err == nil {
+		t.Error("Get past end should fail")
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	pf := newFile(t, &Options{PageSize: 256})
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		p, err := pf.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, p.ID())
+		pf.Unpin(p)
+	}
+	if err := pf.Free(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Free(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	// LIFO reuse: last freed first.
+	p, err := pf.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID() != ids[3] {
+		t.Errorf("reused page = %d, want %d", p.ID(), ids[3])
+	}
+	// Reused page must be zeroed.
+	for _, b := range p.Data() {
+		if b != 0 {
+			t.Fatal("reused page not zeroed")
+		}
+	}
+	pf.Unpin(p)
+	p2, err := pf.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.ID() != ids[1] {
+		t.Errorf("second reuse = %d, want %d", p2.ID(), ids[1])
+	}
+	pf.Unpin(p2)
+	// Free list exhausted: next allocation extends the file.
+	p3, err := pf.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.ID() != 6 {
+		t.Errorf("extension page = %d, want 6", p3.ID())
+	}
+	pf.Unpin(p3)
+}
+
+func TestFreePinnedPageRejected(t *testing.T) {
+	pf := newFile(t, &Options{PageSize: 256})
+	p, err := pf.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Free(p.ID()); err == nil {
+		t.Error("freeing a pinned page should fail")
+	}
+	pf.Unpin(p)
+	if err := pf.Free(p.ID()); err != nil {
+		t.Errorf("freeing an unpinned page: %v", err)
+	}
+}
+
+func TestEvictionWritesBackDirtyPages(t *testing.T) {
+	// Pool of 4 frames, 32 pages: every page must survive eviction.
+	pf := newFile(t, &Options{PageSize: 256, PoolPages: 4})
+	for i := 1; i <= 32; i++ {
+		p, err := pf.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(p.Data(), fmt.Sprintf("content-%02d", i))
+		p.MarkDirty()
+		pf.Unpin(p)
+	}
+	for i := 1; i <= 32; i++ {
+		p, err := pf.Get(PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("content-%02d", i)
+		if !bytes.HasPrefix(p.Data(), []byte(want)) {
+			t.Errorf("page %d = %q, want %q", i, p.Data()[:12], want)
+		}
+		pf.Unpin(p)
+	}
+}
+
+func TestPoolExhaustionWhenAllPinned(t *testing.T) {
+	pf := newFile(t, &Options{PageSize: 256, PoolPages: 2})
+	p1, err := pf.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := pf.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pf.Allocate(); err != ErrPoolExhausted {
+		t.Errorf("expected ErrPoolExhausted, got %v", err)
+	}
+	pf.Unpin(p1)
+	p3, err := pf.Allocate()
+	if err != nil {
+		t.Fatalf("after unpin, Allocate: %v", err)
+	}
+	pf.Unpin(p2)
+	pf.Unpin(p3)
+}
+
+func TestLRUOrder(t *testing.T) {
+	pf := newFile(t, &Options{PageSize: 256, PoolPages: 3})
+	var pages []*Page
+	for i := 0; i < 3; i++ {
+		p, err := pf.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, p)
+		pf.Unpin(p)
+	}
+	// Touch page 1 so page 2 becomes LRU.
+	p, err := pf.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Unpin(p)
+	// Allocating a 4th page must evict page 2 (the LRU), keeping 1 and 3.
+	p4, err := pf.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Unpin(p4)
+	before := pf.Stats().PhysicalReads
+	p, err = pf.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Unpin(p)
+	if pf.Stats().PhysicalReads != before {
+		t.Error("page 1 should still be cached after eviction of LRU")
+	}
+	p, err = pf.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Unpin(p)
+	if pf.Stats().PhysicalReads != before+1 {
+		t.Error("page 2 should have been evicted and re-read")
+	}
+	_ = pages
+}
+
+func TestStatsCounting(t *testing.T) {
+	pf := newFile(t, &Options{PageSize: 256})
+	p, err := pf.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Unpin(p)
+	s := pf.Stats()
+	if s.Allocations != 1 {
+		t.Errorf("Allocations = %d", s.Allocations)
+	}
+	// Get of cached page is a hit, not a read.
+	p, _ = pf.Get(1)
+	pf.Unpin(p)
+	s = pf.Stats()
+	if s.CacheHits != 1 {
+		t.Errorf("CacheHits = %d, want 1", s.CacheHits)
+	}
+	if s.PhysicalReads != 0 {
+		t.Errorf("PhysicalReads = %d, want 0 (page was cached)", s.PhysicalReads)
+	}
+	pf.ResetStats()
+	if pf.Stats() != (Stats{}) {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestMetaTooLarge(t *testing.T) {
+	pf := newFile(t, nil)
+	if err := pf.SetMeta(make([]byte, MaxMetaLen+1)); err == nil {
+		t.Error("oversized meta should be rejected")
+	}
+}
+
+func TestCloseReportsPinnedPages(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pinned.pg")
+	pf, err := Create(path, &Options{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pf.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err == nil {
+		t.Error("Close with pinned pages should report an error")
+	}
+}
+
+func TestDoubleCloseIsIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dc.pg")
+	pf, err := Create(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestFreeListSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fl.pg")
+	pf, err := Create(path, &Options{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p, err := pf.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf.Unpin(p)
+	}
+	if err := pf.Free(2); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	pf2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	p, err := pf2.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID() != 2 {
+		t.Errorf("allocation after reopen = %d, want freed page 2", p.ID())
+	}
+	pf2.Unpin(p)
+}

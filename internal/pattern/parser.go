@@ -1,0 +1,350 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError reports a malformed path expression with its byte position.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("pattern: position %d: %s", e.Pos, e.Msg)
+}
+
+// Parse compiles a path expression into a pattern tree. The last step of
+// the main path becomes the returning node.
+func Parse(src string) (*Tree, error) {
+	p := &parser{src: src}
+	t, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	t.Source = src
+	return t, nil
+}
+
+// MustParse is Parse for tests and static expressions.
+func MustParse(src string) *Tree {
+	t, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type parser struct {
+	src    string
+	pos    int
+	nextID int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// consume reports whether the source continues with s, advancing past it.
+func (p *parser) consume(s string) bool {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) newNode(test string) *Node {
+	p.nextID++
+	return &Node{Test: test, id: p.nextID}
+}
+
+// parse parses the whole expression.
+func (p *parser) parse() (*Tree, error) {
+	p.skipSpace()
+	if p.eof() {
+		return nil, p.errf("empty path expression")
+	}
+	root := p.newNode("")
+	t := &Tree{Root: root}
+	last, err := p.parseSteps(t, root, true)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, p.errf("unexpected trailing input %q", p.src[p.pos:])
+	}
+	last.Returning = true
+	t.Return = last
+	return t, nil
+}
+
+// parseSteps parses ('/'|'//') step ... sequences below anchor and returns
+// the last step's node. At the top level (top=true) a leading slash is
+// required; in predicates (top=false) the path is relative and the first
+// step attaches with the Child axis unless it begins with '//' or '@'.
+func (p *parser) parseSteps(t *Tree, anchor *Node, top bool) (*Node, error) {
+	cur := anchor
+	first := true
+	for {
+		p.skipSpace()
+		var axis Axis
+		switch {
+		case p.consume("//"):
+			axis = Descendant
+		case p.consume("/"):
+			axis = Child
+		default:
+			if !first || top {
+				if first {
+					return nil, p.errf("path must start with '/' or '//'")
+				}
+				return cur, nil
+			}
+			// Relative first step in a predicate.
+			axis = Child
+		}
+		node, sAxis, err := p.parseStep(t)
+		if err != nil {
+			return nil, err
+		}
+		switch sAxis {
+		case stepSibling, stepPreceding:
+			// following-sibling:: / preceding-sibling:: — attach as a
+			// sibling of cur (a child of cur's parent) with a ⊲ arc in the
+			// appropriate direction; §2 notes preceding-sibling arcs are
+			// part of the NoK (local) fragment.
+			parent := p.parentOf(t, cur)
+			if parent == nil {
+				return nil, p.errf("sibling axis has no preceding step")
+			}
+			parent.Children = append(parent.Children, &Edge{Axis: Child, To: node})
+			if sAxis == stepSibling {
+				node.PrecededBy = append(node.PrecededBy, cur)
+			} else {
+				cur.PrecededBy = append(cur.PrecededBy, node)
+			}
+		case stepFollowing:
+			// following:: — the paper's ◀ global axis: the step matches
+			// nodes entirely after cur's subtree in document order.
+			cur.Children = append(cur.Children, &Edge{Axis: Following, To: node})
+		default:
+			cur.Children = append(cur.Children, &Edge{Axis: axis, To: node})
+		}
+		t.nodes++
+		cur = node
+		first = false
+		// Predicates attach to the node just parsed.
+		if err := p.parsePredicates(t, cur); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// parentOf finds the parent of n (linear walk; pattern trees are tiny).
+func (p *parser) parentOf(t *Tree, n *Node) *Node {
+	var found *Node
+	t.Walk(func(m *Node, _ int) {
+		for _, e := range m.Children {
+			if e.To == n {
+				found = m
+			}
+		}
+	})
+	return found
+}
+
+// stepAxis classifies a step's explicit axis prefix.
+type stepAxis uint8
+
+const (
+	stepChild stepAxis = iota
+	stepSibling
+	stepPreceding
+	stepFollowing
+)
+
+// parseStep parses one step: optional axis prefix plus a name test.
+func (p *parser) parseStep(t *Tree) (*Node, stepAxis, error) {
+	p.skipSpace()
+	axis := stepChild
+	switch {
+	case p.consume("following-sibling::"):
+		axis = stepSibling
+	case p.consume("preceding-sibling::"):
+		axis = stepPreceding
+	case p.consume("following::"):
+		axis = stepFollowing
+	case p.consume("child::"):
+		// default axis, explicit form
+	case p.consume("self::"):
+		return nil, 0, p.errf("self:: steps are only meaningful in predicates; use '.'")
+	}
+	if p.consume("@") {
+		name, err := p.parseName()
+		if err != nil {
+			return nil, 0, err
+		}
+		return p.newNode("@" + name), axis, nil
+	}
+	if p.consume("*") {
+		return p.newNode("*"), axis, nil
+	}
+	name, err := p.parseName()
+	if err != nil {
+		return nil, 0, err
+	}
+	return p.newNode(name), axis, nil
+}
+
+func (p *parser) parseName() (string, error) {
+	start := p.pos
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c == '/' || c == '[' || c == ']' || c == '=' || c == '!' || c == '<' ||
+			c == '>' || c == ' ' || c == '\t' || c == '@' || c == '*' || c == '"' || c == '\'' {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected a name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+// parsePredicates parses zero or more [...] predicates on node n.
+func (p *parser) parsePredicates(t *Tree, n *Node) error {
+	for {
+		p.skipSpace()
+		if !p.consume("[") {
+			return nil
+		}
+		if err := p.parsePredicate(t, n); err != nil {
+			return err
+		}
+		p.skipSpace()
+		if !p.consume("]") {
+			return p.errf("expected ']'")
+		}
+	}
+}
+
+// parsePredicate parses the contents of one predicate on node n.
+func (p *parser) parsePredicate(t *Tree, n *Node) error {
+	p.skipSpace()
+	// '.' starts either a self value constraint [. op literal] or a
+	// dot-relative path [./b], [.//b].
+	if p.consume(".") {
+		if p.peek() != '/' {
+			cmp, lit, err := p.parseComparison()
+			if err != nil {
+				return err
+			}
+			if cmp == CmpNone {
+				return p.errf("predicate '.' requires a comparison or a relative path")
+			}
+			if n.Cmp != CmpNone {
+				return p.errf("node %s already has a value constraint", n.Test)
+			}
+			n.Cmp, n.Literal = cmp, lit
+			return nil
+		}
+		// fall through: the '/'-led remainder parses as a relative path.
+	}
+	// Relative path, optionally compared against a literal.
+	last, err := p.parseSteps(t, n, false)
+	if err != nil {
+		return err
+	}
+	cmp, lit, err := p.parseComparison()
+	if err != nil {
+		return err
+	}
+	if cmp != CmpNone {
+		if last.Cmp != CmpNone {
+			return p.errf("node %s already has a value constraint", last.Test)
+		}
+		last.Cmp, last.Literal = cmp, lit
+	}
+	return nil
+}
+
+// parseComparison parses an optional comparison operator and literal.
+func (p *parser) parseComparison() (Cmp, string, error) {
+	p.skipSpace()
+	var cmp Cmp
+	switch {
+	case p.consume("!="):
+		cmp = CmpNe
+	case p.consume("<="):
+		cmp = CmpLe
+	case p.consume(">="):
+		cmp = CmpGe
+	case p.consume("="):
+		cmp = CmpEq
+	case p.consume("<"):
+		cmp = CmpLt
+	case p.consume(">"):
+		cmp = CmpGt
+	default:
+		return CmpNone, "", nil
+	}
+	p.skipSpace()
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return CmpNone, "", err
+	}
+	return cmp, lit, nil
+}
+
+func (p *parser) parseLiteral() (string, error) {
+	if p.eof() {
+		return "", p.errf("expected a literal")
+	}
+	quote := p.peek()
+	if quote == '"' || quote == '\'' {
+		p.pos++
+		start := p.pos
+		for !p.eof() && p.src[p.pos] != quote {
+			p.pos++
+		}
+		if p.eof() {
+			return "", p.errf("unterminated string literal")
+		}
+		lit := p.src[start:p.pos]
+		p.pos++
+		return lit, nil
+	}
+	// Number.
+	start := p.pos
+	for !p.eof() {
+		c := p.src[p.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected a literal")
+	}
+	return p.src[start:p.pos], nil
+}

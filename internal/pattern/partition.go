@@ -1,0 +1,210 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the partitioning step of §2: any pattern tree splits
+// into NoK pattern trees (maximal subtrees connected by local axes — '/'
+// and '⊲') interconnected by global axes ('//' and '◀'). NoK pattern
+// matching handles each NoK tree; structural joins recombine them.
+
+// NoKTree is one partition: a pattern subtree reachable from Root through
+// local axes only.
+type NoKTree struct {
+	// Root is the NoK tree's root pattern node. For the partition that
+	// contains the pattern tree's virtual root, Root.IsVirtualRoot() holds.
+	Root *Node
+
+	// Links lead to child NoK trees: From is a node inside this NoK tree,
+	// Axis the global axis, To the child partition.
+	Links []*Link
+
+	// Parent is the incoming link, nil for the top partition.
+	Parent *Link
+
+	// index is the partition's ordinal in Partition()'s result.
+	index int
+}
+
+// Link is a global-axis connection between two NoK trees.
+type Link struct {
+	From *Node
+	Axis Axis
+	To   *NoKTree
+	// parent is the NoK tree containing From.
+	parent *NoKTree
+}
+
+// Index returns the partition's ordinal (0 = the partition holding the
+// virtual root).
+func (nt *NoKTree) Index() int { return nt.index }
+
+// ParentTree returns the NoK tree this partition hangs off, nil for the top.
+func (nt *NoKTree) ParentTree() *NoKTree {
+	if nt.Parent == nil {
+		return nil
+	}
+	return nt.Parent.parent
+}
+
+// Nodes returns this partition's pattern nodes in preorder (local edges
+// only).
+func (nt *NoKTree) Nodes() []*Node {
+	var out []*Node
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		out = append(out, n)
+		for _, e := range n.Children {
+			if e.Axis.Local() {
+				rec(e.To)
+			}
+		}
+	}
+	rec(nt.Root)
+	return out
+}
+
+// LocalChildren returns n's children connected by local axes (the children
+// that participate in NoK matching at n).
+func LocalChildren(n *Node) []*Node {
+	var out []*Node
+	for _, e := range n.Children {
+		if e.Axis.Local() {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// Contains reports whether node n belongs to this partition.
+func (nt *NoKTree) Contains(n *Node) bool {
+	for _, m := range nt.Nodes() {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// ValueConstrained returns the partition's nodes that carry value
+// constraints, with their depth below the NoK root (root = 0). The depths
+// are exact because within a NoK tree every edge is a child edge.
+func (nt *NoKTree) ValueConstrained() []ValueNode {
+	var out []ValueNode
+	var rec func(n *Node, d int)
+	rec = func(n *Node, d int) {
+		if n.HasValueConstraint() {
+			out = append(out, ValueNode{Node: n, Depth: d})
+		}
+		for _, e := range n.Children {
+			if e.Axis.Local() {
+				rec(e.To, d+1)
+			}
+		}
+	}
+	rec(nt.Root, 0)
+	return out
+}
+
+// ValueNode is a value-constrained node and its depth below its NoK root.
+type ValueNode struct {
+	Node  *Node
+	Depth int
+}
+
+// String renders the partition for debugging.
+func (nt *NoKTree) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "NoK#%d[", nt.index)
+	for i, n := range nt.Nodes() {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		if n.IsVirtualRoot() {
+			sb.WriteString("root")
+		} else {
+			sb.WriteString(n.Test)
+		}
+	}
+	sb.WriteString("]")
+	for _, l := range nt.Links {
+		fmt.Fprintf(&sb, " --%s(%s)-->NoK#%d", l.Axis, l.From.Test, l.To.index)
+	}
+	return sb.String()
+}
+
+// Partition splits t into NoK pattern trees. The result is in topological
+// order: result[0] holds the virtual root, and every partition appears
+// after its parent. Structural-join planning walks this slice backwards
+// for the bottom-up pass and forwards for the top-down pass.
+func Partition(t *Tree) []*NoKTree {
+	var out []*NoKTree
+	var build func(root *Node, parent *Link) *NoKTree
+	build = func(root *Node, parent *Link) *NoKTree {
+		nt := &NoKTree{Root: root, Parent: parent, index: len(out)}
+		out = append(out, nt)
+		// Find global edges inside this partition.
+		var rec func(n *Node)
+		rec = func(n *Node) {
+			for _, e := range n.Children {
+				if e.Axis.Local() {
+					rec(e.To)
+					continue
+				}
+				link := &Link{From: n, Axis: e.Axis, parent: nt}
+				nt.Links = append(nt.Links, link)
+				link.To = build(e.To, link)
+			}
+		}
+		rec(root)
+		return nt
+	}
+	build(t.Root, nil)
+	return out
+}
+
+// TreeOf returns the partition that contains node n.
+func TreeOf(parts []*NoKTree, n *Node) *NoKTree {
+	for _, p := range parts {
+		if p.Contains(n) {
+			return p
+		}
+	}
+	return nil
+}
+
+// PathToReturn returns the chain of partitions from the top partition down
+// to the one containing the returning node, inclusive.
+func PathToReturn(parts []*NoKTree, t *Tree) []*NoKTree {
+	target := TreeOf(parts, t.Return)
+	if target == nil {
+		return nil
+	}
+	var chain []*NoKTree
+	for nt := target; nt != nil; nt = nt.ParentTree() {
+		chain = append(chain, nt)
+	}
+	// Reverse to top-down order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// CountAxes tallies local vs global edges in the tree — the statistic
+// behind the paper's claim that ~2/3 of structural relationships in
+// XQuery Use Cases are '/' (§1).
+func CountAxes(t *Tree) (local, global int) {
+	t.Walk(func(n *Node, _ int) {
+		for _, e := range n.Children {
+			if e.Axis.Local() {
+				local++
+			} else {
+				global++
+			}
+		}
+	})
+	return local, global
+}

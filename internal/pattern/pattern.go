@@ -1,0 +1,255 @@
+// Package pattern implements the pattern-tree formalism of §2: parsing a
+// path expression into a pattern tree whose nodes carry tag-name and value
+// constraints and whose edges carry structural-relationship constraints,
+// and partitioning that tree into next-of-kin (NoK) pattern trees connected
+// by global axes.
+//
+// The supported path language is the fragment the paper evaluates:
+//
+//	path       := ('/' | '//') step (('/' | '//') step)*
+//	step       := axis? nametest predicate*
+//	axis       := '@' | 'following-sibling::' | 'self::'
+//	nametest   := NCName | '*' | '.'
+//	predicate  := '[' relpath (cmp literal)? ']'
+//	            | '[' '.' cmp literal ']'
+//	relpath    := step (('/' | '//') step)*
+//	cmp        := '=' | '!=' | '<' | '<=' | '>' | '>='
+//	literal    := '"' chars '"' | '\'' chars '\'' | number
+//
+// Attributes are modeled as child nodes whose name carries the '@' prefix,
+// matching the loader's treatment (Example 1 maps @year to a child symbol).
+//
+// Per §2, any XPath axis can be rewritten into {self, child, descendant,
+// following}; we additionally keep following-sibling explicit because it is
+// a *local* axis that stays inside a NoK pattern tree (the ⊲ arcs that make
+// the children of a pattern node a DAG).
+package pattern
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Axis is a structural relationship between pattern nodes.
+type Axis uint8
+
+const (
+	// Child is the '/' axis — local, stays within a NoK pattern tree.
+	Child Axis = iota
+	// Descendant is the '//' axis — global, partitions NoK trees.
+	Descendant
+	// FollowingSibling is the '⊲' axis — local (a sibling-order arc).
+	FollowingSibling
+	// Following is the '◀' axis — global.
+	Following
+)
+
+// String returns the axis in the paper's notation.
+func (a Axis) String() string {
+	switch a {
+	case Child:
+		return "/"
+	case Descendant:
+		return "//"
+	case FollowingSibling:
+		return "⊲"
+	case Following:
+		return "◀"
+	default:
+		return fmt.Sprintf("Axis(%d)", uint8(a))
+	}
+}
+
+// Local reports whether the axis stays inside a NoK pattern tree.
+func (a Axis) Local() bool { return a == Child || a == FollowingSibling }
+
+// Cmp is a value-comparison operator.
+type Cmp uint8
+
+const (
+	CmpNone Cmp = iota
+	CmpEq
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// String returns the operator's source form.
+func (c Cmp) String() string {
+	switch c {
+	case CmpNone:
+		return ""
+	case CmpEq:
+		return "="
+	case CmpNe:
+		return "!="
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("Cmp(%d)", uint8(c))
+	}
+}
+
+// Eval applies the comparison to a node value and the literal. When both
+// sides parse as numbers the comparison is numeric (the paper's price<100);
+// otherwise it is a string comparison.
+func (c Cmp) Eval(nodeValue, literal string) bool {
+	if c == CmpNone {
+		return true
+	}
+	var ord int
+	if a, errA := strconv.ParseFloat(strings.TrimSpace(nodeValue), 64); errA == nil {
+		if b, errB := strconv.ParseFloat(literal, 64); errB == nil {
+			switch {
+			case a < b:
+				ord = -1
+			case a > b:
+				ord = 1
+			}
+			return c.ordMatches(ord)
+		}
+	}
+	ord = strings.Compare(nodeValue, literal)
+	return c.ordMatches(ord)
+}
+
+func (c Cmp) ordMatches(ord int) bool {
+	switch c {
+	case CmpEq:
+		return ord == 0
+	case CmpNe:
+		return ord != 0
+	case CmpLt:
+		return ord < 0
+	case CmpLe:
+		return ord <= 0
+	case CmpGt:
+		return ord > 0
+	case CmpGe:
+		return ord >= 0
+	default:
+		return true
+	}
+}
+
+// Node is a pattern tree node: a tag-name constraint, an optional value
+// constraint, child edges, and sibling-order arcs.
+type Node struct {
+	// Test is the tag name to match; "*" matches any element; "" only on
+	// the virtual root (which matches the document's virtual root, the
+	// parent of the root element).
+	Test string
+
+	// Cmp/Literal is the value constraint on this node, e.g. ="Stevens".
+	Cmp     Cmp
+	Literal string
+
+	// Returning marks the (single) returning node of the pattern tree.
+	Returning bool
+
+	// Children are the outgoing edges to child pattern nodes, in source
+	// order. Edges with local axes stay in this node's NoK pattern tree.
+	Children []*Edge
+
+	// PrecededBy lists sibling nodes (children of the same parent) that
+	// must occur before this node in document order — the incoming ⊲ arcs
+	// that give the sibling DAG its partial order. A node is a "frontier"
+	// (§3) while its unsatisfied PrecededBy set is empty.
+	PrecededBy []*Node
+
+	// id is a stable ordinal for deterministic debugging output.
+	id int
+}
+
+// Edge is a pattern tree edge.
+type Edge struct {
+	Axis Axis
+	To   *Node
+}
+
+// Tree is a parsed pattern tree.
+type Tree struct {
+	// Root is the virtual root (Test == ""); its edges lead to the first
+	// step(s) of the path.
+	Root *Node
+	// Return is the returning node (exactly one).
+	Return *Node
+	// Source is the original expression.
+	Source string
+
+	nodes int
+}
+
+// NumNodes returns the number of pattern nodes excluding the virtual root.
+func (t *Tree) NumNodes() int { return t.nodes }
+
+// IsVirtualRoot reports whether n is the pattern tree's virtual root.
+func (n *Node) IsVirtualRoot() bool { return n.Test == "" }
+
+// Matches reports whether the node's tag-name constraint accepts name.
+func (n *Node) Matches(name string) bool {
+	return n.Test == "*" || n.Test == name
+}
+
+// HasValueConstraint reports whether a value constraint is attached.
+func (n *Node) HasValueConstraint() bool { return n.Cmp != CmpNone }
+
+// String renders the pattern tree in a compact parenthesized form.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsVirtualRoot() {
+			sb.WriteString("root")
+		} else {
+			sb.WriteString(n.Test)
+		}
+		if n.Cmp != CmpNone {
+			fmt.Fprintf(&sb, "%s%q", n.Cmp, n.Literal)
+		}
+		if n.Returning {
+			sb.WriteString("^")
+		}
+		if len(n.PrecededBy) > 0 {
+			sb.WriteString("{after")
+			for _, p := range n.PrecededBy {
+				sb.WriteString(" " + p.Test)
+			}
+			sb.WriteString("}")
+		}
+		if len(n.Children) > 0 {
+			sb.WriteString("(")
+			for i, e := range n.Children {
+				if i > 0 {
+					sb.WriteString(" ")
+				}
+				sb.WriteString(e.Axis.String())
+				walk(e.To)
+			}
+			sb.WriteString(")")
+		}
+	}
+	walk(t.Root)
+	return sb.String()
+}
+
+// Walk visits every node in the tree (preorder, virtual root included).
+func (t *Tree) Walk(fn func(n *Node, depth int)) {
+	var rec func(n *Node, d int)
+	rec = func(n *Node, d int) {
+		fn(n, d)
+		for _, e := range n.Children {
+			rec(e.To, d+1)
+		}
+	}
+	rec(t.Root, 0)
+}

@@ -1,0 +1,302 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePaperExample(t *testing.T) {
+	// //book[author/last="Stevens"][price<100] — Figure 1(b).
+	tr, err := Parse(`//book[author/last="Stevens"][price<100]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.IsVirtualRoot() {
+		t.Fatal("root must be virtual")
+	}
+	if len(tr.Root.Children) != 1 || tr.Root.Children[0].Axis != Descendant {
+		t.Fatalf("root edge: %+v", tr.Root.Children)
+	}
+	book := tr.Root.Children[0].To
+	if book.Test != "book" || !book.Returning || tr.Return != book {
+		t.Fatalf("book node: %+v", book)
+	}
+	if len(book.Children) != 2 {
+		t.Fatalf("book children: %d", len(book.Children))
+	}
+	author := book.Children[0].To
+	if author.Test != "author" || book.Children[0].Axis != Child {
+		t.Fatalf("author: %+v", author)
+	}
+	last := author.Children[0].To
+	if last.Test != "last" || last.Cmp != CmpEq || last.Literal != "Stevens" {
+		t.Fatalf("last: %+v", last)
+	}
+	price := book.Children[1].To
+	if price.Test != "price" || price.Cmp != CmpLt || price.Literal != "100" {
+		t.Fatalf("price: %+v", price)
+	}
+	if tr.NumNodes() != 4 {
+		t.Errorf("NumNodes = %d, want 4", tr.NumNodes())
+	}
+}
+
+func TestParseSimplePaths(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // Tree.String()
+	}{
+		{`/a/b/c`, `root(/a(/b(/c^)))`},
+		{`//a`, `root(//a^)`},
+		{`/a//b/c`, `root(/a(//b(/c^)))`},
+		{`/a/*/c`, `root(/a(/*(/c^)))`},
+		{`/a/@year`, `root(/a(/@year^))`},
+		{`/a[b]`, `root(/a^(/b))`},
+		{`/a[.="v"]`, `root(/a="v"^)`},
+		{`/a[b="x"][c]`, `root(/a^(/b="x" /c))`},
+		{`/a[b/c="x"]/d`, `root(/a(/b(/c="x") /d^))`},
+		{`/a[@id="7"]`, `root(/a^(/@id="7"))`},
+		{`/a[b>=10]`, `root(/a^(/b>="10"))`},
+		{`/a[b!='x']`, `root(/a^(/b!="x"))`},
+		{`/a[.//b]`, `root(/a^(//b))`},
+	}
+	for _, c := range cases {
+		tr, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if got := tr.String(); got != c.want {
+			t.Errorf("Parse(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseFollowingSibling(t *testing.T) {
+	tr, err := Parse(`/a/b/following-sibling::c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tr.Root.Children[0].To
+	if len(a.Children) != 2 {
+		t.Fatalf("a should have 2 children (b and c), has %d", len(a.Children))
+	}
+	b, c := a.Children[0].To, a.Children[1].To
+	if b.Test != "b" || c.Test != "c" {
+		t.Fatalf("children: %s, %s", b.Test, c.Test)
+	}
+	if len(c.PrecededBy) != 1 || c.PrecededBy[0] != b {
+		t.Fatalf("c.PrecededBy = %v", c.PrecededBy)
+	}
+	if !c.Returning {
+		t.Error("returning node should be c")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"a/b",                   // missing leading slash
+		"/a[",                   // unterminated predicate
+		"/a[b",                  // unterminated predicate
+		"/a[.]",                 // self without comparison
+		"/a[b='x]",              // unterminated literal
+		"/a/'lit'",              // literal as step
+		"/a[b='x']extra",        // trailing garbage
+		"/a[.='x'][.='y']",      // duplicate self constraint
+		"/following-sibling::a", // sibling without predecessor
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		} else if _, ok := err.(*ParseError); !ok {
+			t.Errorf("Parse(%q): error %v is not *ParseError", src, err)
+		}
+	}
+}
+
+func TestCmpEval(t *testing.T) {
+	cases := []struct {
+		cmp  Cmp
+		node string
+		lit  string
+		want bool
+	}{
+		{CmpEq, "Stevens", "Stevens", true},
+		{CmpEq, "Stevens", "stevens", false},
+		{CmpLt, "65.95", "100", true},   // numeric
+		{CmpLt, "129.95", "100", false}, // numeric
+		{CmpLt, "9", "10", true},        // numeric (string compare would fail)
+		{CmpGt, "abc", "abd", false},    // string
+		{CmpLe, "10", "10", true},
+		{CmpGe, "10", "10", true},
+		{CmpNe, "a", "b", true},
+		{CmpNone, "anything", "x", true},
+		{CmpEq, " 42 ", "42", true}, // whitespace-trimmed numeric
+	}
+	for _, c := range cases {
+		if got := c.cmp.Eval(c.node, c.lit); got != c.want {
+			t.Errorf("(%q %s %q) = %v, want %v", c.node, c.cmp, c.lit, got, c.want)
+		}
+	}
+}
+
+func TestPartitionSingleNoK(t *testing.T) {
+	tr := MustParse(`/a/b[c][d]/e`)
+	parts := Partition(tr)
+	if len(parts) != 1 {
+		t.Fatalf("partitions = %d, want 1", len(parts))
+	}
+	nodes := parts[0].Nodes()
+	if len(nodes) != 6 { // root a b c d e
+		t.Errorf("partition nodes = %d, want 6", len(nodes))
+	}
+	if len(parts[0].Links) != 0 {
+		t.Error("single-NoK pattern should have no links")
+	}
+}
+
+func TestPartitionPaperExample(t *testing.T) {
+	tr := MustParse(`//book[author/last="Stevens"][price<100]`)
+	parts := Partition(tr)
+	if len(parts) != 2 {
+		t.Fatalf("partitions = %d, want 2 (root | book-subtree)", len(parts))
+	}
+	top, sub := parts[0], parts[1]
+	if !top.Root.IsVirtualRoot() || len(top.Nodes()) != 1 {
+		t.Errorf("top partition: %s", top)
+	}
+	if sub.Root.Test != "book" || len(sub.Nodes()) != 4 {
+		t.Errorf("book partition: %s", sub)
+	}
+	if len(top.Links) != 1 || top.Links[0].Axis != Descendant || top.Links[0].To != sub {
+		t.Errorf("link: %+v", top.Links)
+	}
+	if sub.ParentTree() != top {
+		t.Error("parent wiring broken")
+	}
+}
+
+func TestPartitionChain(t *testing.T) {
+	tr := MustParse(`/a//b/c//d[e="x"]`)
+	parts := Partition(tr)
+	if len(parts) != 3 {
+		t.Fatalf("partitions = %d, want 3", len(parts))
+	}
+	if got := parts[0].String(); !strings.Contains(got, "root a") {
+		t.Errorf("parts[0] = %s", got)
+	}
+	if parts[1].Root.Test != "b" || parts[2].Root.Test != "d" {
+		t.Errorf("roots: %s, %s", parts[1].Root.Test, parts[2].Root.Test)
+	}
+	// Topological order: parent before child.
+	for _, p := range parts {
+		if p.ParentTree() != nil && p.ParentTree().Index() >= p.Index() {
+			t.Errorf("partition %d appears before its parent %d", p.Index(), p.ParentTree().Index())
+		}
+	}
+}
+
+func TestPartitionBranchingLinks(t *testing.T) {
+	tr := MustParse(`/a[.//b]//c`)
+	parts := Partition(tr)
+	if len(parts) != 3 {
+		t.Fatalf("partitions = %d, want 3: %v", len(parts), parts)
+	}
+	if len(parts[0].Links) != 2 {
+		t.Fatalf("top partition should carry both // links, has %d", len(parts[0].Links))
+	}
+}
+
+func TestValueConstrainedDepths(t *testing.T) {
+	tr := MustParse(`//book[author/last="Stevens"][price<100]`)
+	parts := Partition(tr)
+	vc := parts[1].ValueConstrained()
+	if len(vc) != 2 {
+		t.Fatalf("value-constrained nodes = %d, want 2", len(vc))
+	}
+	byTest := map[string]int{}
+	for _, v := range vc {
+		byTest[v.Node.Test] = v.Depth
+	}
+	if byTest["last"] != 2 || byTest["price"] != 1 {
+		t.Errorf("depths = %v, want last:2 price:1", byTest)
+	}
+}
+
+func TestPathToReturn(t *testing.T) {
+	tr := MustParse(`/a//b[.//x]/c`)
+	parts := Partition(tr)
+	chain := PathToReturn(parts, tr)
+	if len(chain) != 2 {
+		t.Fatalf("chain length = %d, want 2", len(chain))
+	}
+	if chain[0] != parts[0] || chain[1].Root.Test != "b" {
+		t.Errorf("chain = %v", chain)
+	}
+}
+
+func TestCountAxes(t *testing.T) {
+	tr := MustParse(`/a/b//c[d]/e`)
+	local, global := CountAxes(tr)
+	if local != 4 || global != 1 {
+		t.Errorf("CountAxes = %d local, %d global; want 4, 1", local, global)
+	}
+}
+
+func TestMatchesWildcard(t *testing.T) {
+	n := &Node{Test: "*"}
+	if !n.Matches("anything") {
+		t.Error("* should match any tag")
+	}
+	n = &Node{Test: "book"}
+	if n.Matches("price") || !n.Matches("book") {
+		t.Error("exact test broken")
+	}
+}
+
+func TestParseFollowingAxis(t *testing.T) {
+	tr, err := Parse(`/a/b/following::c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tr.Root.Children[0].To.Children[0].To
+	if b.Test != "b" || len(b.Children) != 1 || b.Children[0].Axis != Following {
+		t.Fatalf("b: %+v", b)
+	}
+	c := b.Children[0].To
+	if c.Test != "c" || !c.Returning {
+		t.Fatalf("c: %+v", c)
+	}
+	// following:: is a global axis: it must split partitions.
+	parts := Partition(tr)
+	if len(parts) != 2 || parts[0].Links[0].Axis != Following {
+		t.Fatalf("partitions: %v", parts)
+	}
+	// And it counts as a global edge.
+	local, global := CountAxes(tr)
+	if local != 2 || global != 1 {
+		t.Errorf("axes: %d local, %d global", local, global)
+	}
+}
+
+func TestParsePrecedingSibling(t *testing.T) {
+	tr, err := Parse(`/a/b/preceding-sibling::c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tr.Root.Children[0].To
+	if len(a.Children) != 2 {
+		t.Fatalf("a children: %d", len(a.Children))
+	}
+	b, c := a.Children[0].To, a.Children[1].To
+	if b.Test != "b" || c.Test != "c" {
+		t.Fatalf("children: %s %s", b.Test, c.Test)
+	}
+	// The arc points the other way: b must come AFTER c.
+	if len(b.PrecededBy) != 1 || b.PrecededBy[0] != c {
+		t.Fatalf("b.PrecededBy = %v", b.PrecededBy)
+	}
+	if !c.Returning {
+		t.Error("returning node should be c")
+	}
+}

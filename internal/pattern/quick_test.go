@@ -1,0 +1,92 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickParserNeverPanics feeds arbitrary strings to the parser: it must
+// return a value or an error, never panic, and never accept input with
+// unbalanced brackets.
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", s, r)
+				ok = false
+			}
+		}()
+		tr, err := Parse(s)
+		if err != nil {
+			return true
+		}
+		// Accepted input must produce a well-formed tree.
+		if tr.Root == nil || tr.Return == nil || !tr.Return.Returning {
+			t.Logf("accepted %q but tree malformed", s)
+			return false
+		}
+		if strings.Count(s, "[") != strings.Count(s, "]") {
+			t.Logf("accepted unbalanced %q", s)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGeneratedExpressionsParse builds random syntactically valid
+// expressions and verifies they parse with the expected node count.
+func TestQuickGeneratedExpressionsParse(t *testing.T) {
+	tags := []string{"a", "bee", "c1", "*", "@id"}
+	f := func(seedBytes []byte) bool {
+		if len(seedBytes) == 0 {
+			return true
+		}
+		var sb strings.Builder
+		nodes := 0
+		i := 0
+		next := func() byte {
+			b := seedBytes[i%len(seedBytes)]
+			i++
+			return b
+		}
+		steps := 1 + int(next())%4
+		for s := 0; s < steps; s++ {
+			if next()%3 == 0 {
+				sb.WriteString("//")
+			} else {
+				sb.WriteString("/")
+			}
+			sb.WriteString(tags[int(next())%len(tags)])
+			nodes++
+			if next()%3 == 0 {
+				sb.WriteString("[")
+				sb.WriteString(strings.TrimPrefix(tags[int(next())%(len(tags)-1)], "*"))
+				if sb.String()[sb.Len()-1] == '[' {
+					sb.WriteString("x")
+				}
+				nodes++
+				if next()%2 == 0 {
+					sb.WriteString(`="v"`)
+				}
+				sb.WriteString("]")
+			}
+		}
+		tr, err := Parse(sb.String())
+		if err != nil {
+			t.Logf("generated %q failed: %v", sb.String(), err)
+			return false
+		}
+		if tr.NumNodes() < steps {
+			t.Logf("generated %q: %d nodes < %d steps", sb.String(), tr.NumNodes(), steps)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package sax
+
+import (
+	"io"
+	"strings"
+)
+
+// EscapeText writes s to w with the five XML-predefined entities escaped,
+// suitable for element content and attribute values (both quote styles).
+func EscapeText(w io.Writer, s string) error {
+	last := 0
+	for i := 0; i < len(s); i++ {
+		var esc string
+		switch s[i] {
+		case '<':
+			esc = "&lt;"
+		case '>':
+			esc = "&gt;"
+		case '&':
+			esc = "&amp;"
+		case '\'':
+			esc = "&apos;"
+		case '"':
+			esc = "&quot;"
+		default:
+			continue
+		}
+		if _, err := io.WriteString(w, s[last:i]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, esc); err != nil {
+			return err
+		}
+		last = i + 1
+	}
+	_, err := io.WriteString(w, s[last:])
+	return err
+}
+
+// EscapeString returns s with XML special characters escaped.
+func EscapeString(s string) string {
+	if !strings.ContainsAny(s, "<>&'\"") {
+		return s
+	}
+	var sb strings.Builder
+	_ = EscapeText(&sb, s)
+	return sb.String()
+}

@@ -1,0 +1,71 @@
+package sax
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickScannerNeverPanics: the scanner must survive arbitrary input —
+// returning events or a SyntaxError, never panicking or looping forever
+// (the event count is bounded by the input length).
+func TestQuickScannerNeverPanics(t *testing.T) {
+	f := func(doc string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", doc, r)
+				ok = false
+			}
+		}()
+		if len(doc) > 4096 {
+			doc = doc[:4096]
+		}
+		s := NewScanner(strings.NewReader(doc))
+		events := 0
+		for {
+			_, err := s.Next()
+			if err == io.EOF {
+				return true
+			}
+			if err != nil {
+				return true // clean error is fine
+			}
+			events++
+			if events > len(doc)+8 {
+				t.Logf("event explosion on %q", doc)
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMarkupSoup throws markup-dense random strings at the scanner.
+func TestQuickMarkupSoup(t *testing.T) {
+	pieces := []string{"<", ">", "/", "a", "b", `"`, "'", "=", " ", "!", "-",
+		"?", "[", "]", "&", ";", "<!--", "-->", "<![CDATA[", "]]>", "x"}
+	f := func(picks []uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		var sb strings.Builder
+		for _, p := range picks {
+			sb.WriteString(pieces[int(p)%len(pieces)])
+		}
+		s := NewScanner(strings.NewReader(sb.String()))
+		for i := 0; i < len(picks)+16; i++ {
+			if _, err := s.Next(); err != nil {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,636 @@
+// Package sax implements a streaming, event-based XML scanner.
+//
+// The scanner is the substrate for every loader and streaming evaluator in
+// this repository. It emits a flat sequence of events (StartElement,
+// EndElement, Text, Comment, PI) in document order, exactly the shape the
+// paper's string representation mirrors: one alphabet symbol per start tag
+// and one ')' per end tag.
+//
+// The scanner is deliberately small and strict about well-formedness in the
+// ways that matter for tree reconstruction (balanced tags, matching end-tag
+// names) while being forgiving about DTDs and processing instructions, which
+// it skips or surfaces as opaque events.
+package sax
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// EventKind identifies the type of a scanner event.
+type EventKind uint8
+
+const (
+	// StartElement is emitted for <name attr="v"...> and for the open half
+	// of a self-closing element <name/>.
+	StartElement EventKind = iota
+	// EndElement is emitted for </name> and for the close half of <name/>.
+	EndElement
+	// Text is emitted for character data and CDATA sections. Entity
+	// references are decoded. Consecutive raw segments are coalesced.
+	Text
+	// Comment is emitted for <!-- ... --> sections.
+	Comment
+	// PI is emitted for processing instructions <? ... ?> (including the
+	// XML declaration).
+	PI
+)
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	switch k {
+	case StartElement:
+		return "StartElement"
+	case EndElement:
+		return "EndElement"
+	case Text:
+		return "Text"
+	case Comment:
+		return "Comment"
+	case PI:
+		return "PI"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Attr is a single attribute of a start element.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Event is one scanner event. Name is the tag name for element events, the
+// target for PIs, and empty otherwise. Data holds character data for Text,
+// comment text for Comment, and instruction content for PI.
+type Event struct {
+	Kind  EventKind
+	Name  string
+	Data  string
+	Attrs []Attr
+	// Line is the 1-based input line at which the event started; useful in
+	// error messages of downstream loaders.
+	Line int
+}
+
+// SyntaxError reports a malformed construct with its input position.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sax: line %d: %s", e.Line, e.Msg)
+}
+
+// Scanner reads XML from an io.Reader and produces Events. Create one with
+// NewScanner and call Next until it returns io.EOF.
+type Scanner struct {
+	r    *bufio.Reader
+	line int
+
+	// stack of open element names, used to verify balance.
+	stack []string
+
+	// pending holds an EndElement to deliver after a self-closing start.
+	pending *Event
+
+	// ltPending records that scanText consumed a '<' beginning a markup
+	// construct that Next must dispatch before reading more input.
+	ltPending bool
+
+	// SkipWhitespaceText, when true (the default), suppresses Text events
+	// that consist entirely of XML whitespace. Document loaders want this;
+	// text-sensitive consumers can turn it off.
+	SkipWhitespaceText bool
+
+	// CoalesceText, when true (the default), merges adjacent character
+	// data and CDATA sections into a single Text event.
+	CoalesceText bool
+}
+
+// NewScanner returns a Scanner reading from r.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{
+		r:                  bufio.NewReaderSize(r, 64<<10),
+		line:               1,
+		SkipWhitespaceText: true,
+		CoalesceText:       true,
+	}
+}
+
+// Depth returns the number of currently open elements.
+func (s *Scanner) Depth() int { return len(s.stack) }
+
+func (s *Scanner) errf(format string, args ...any) error {
+	return &SyntaxError{Line: s.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Scanner) readByte() (byte, error) {
+	b, err := s.r.ReadByte()
+	if err == nil && b == '\n' {
+		s.line++
+	}
+	return b, err
+}
+
+// unreadByte pushes back the byte b that was just obtained from readByte,
+// undoing its line accounting. It must only be called immediately after
+// readByte with the byte that call returned.
+func (s *Scanner) unreadByte(b byte) {
+	if b == '\n' {
+		s.line--
+	}
+	_ = s.r.UnreadByte()
+}
+
+func (s *Scanner) peekByte() (byte, error) {
+	bs, err := s.r.Peek(1)
+	if err != nil {
+		return 0, err
+	}
+	return bs[0], nil
+}
+
+// Next returns the next event, or io.EOF when the document is exhausted.
+// A non-nil *SyntaxError is returned for malformed input. After an error or
+// EOF the scanner should not be used further.
+func (s *Scanner) Next() (Event, error) {
+	if s.pending != nil {
+		ev := *s.pending
+		s.pending = nil
+		if ev.Kind == EndElement {
+			// Close half of a self-closing element.
+			s.stack = s.stack[:len(s.stack)-1]
+		}
+		return ev, nil
+	}
+	for {
+		if !s.ltPending {
+			b, err := s.readByte()
+			if err == io.EOF {
+				if len(s.stack) != 0 {
+					return Event{}, s.errf("unexpected EOF: %d unclosed element(s), innermost <%s>", len(s.stack), s.stack[len(s.stack)-1])
+				}
+				return Event{}, io.EOF
+			}
+			if err != nil {
+				return Event{}, err
+			}
+			if b != '<' {
+				ev, err := s.scanText(b)
+				if err != nil {
+					return Event{}, err
+				}
+				if ev.Data == "" || (s.SkipWhitespaceText && isAllXMLSpace(ev.Data)) {
+					continue
+				}
+				if len(s.stack) == 0 {
+					return Event{}, s.errf("character data outside of document element")
+				}
+				return ev, nil
+			}
+		}
+		// A markup construct; '<' consumed.
+		s.ltPending = false
+		ev, skip, err := s.scanMarkup()
+		if err != nil {
+			return Event{}, err
+		}
+		if skip {
+			continue
+		}
+		return ev, nil
+	}
+}
+
+// scanMarkup dispatches on the byte following a consumed '<'. skip reports
+// that the construct produced no event (e.g. DOCTYPE).
+func (s *Scanner) scanMarkup() (ev Event, skip bool, err error) {
+	c, err := s.peekByte()
+	if err != nil {
+		return Event{}, false, s.errf("unexpected EOF after '<'")
+	}
+	switch c {
+	case '/':
+		_, _ = s.readByte()
+		ev, err = s.scanEndTag()
+		return ev, false, err
+	case '!':
+		_, _ = s.readByte()
+		return s.scanBang()
+	case '?':
+		_, _ = s.readByte()
+		ev, err = s.scanPI()
+		return ev, false, err
+	default:
+		ev, err = s.scanStartTag()
+		return ev, false, err
+	}
+}
+
+// scanText consumes character data starting with the already-read byte
+// first, up to the next markup '<'. When it stops at markup it leaves
+// s.ltPending set (the '<' is consumed).
+func (s *Scanner) scanText(first byte) (Event, error) {
+	line := s.line
+	var sb strings.Builder
+	b := first
+	for {
+		if b == '<' {
+			if s.CoalesceText {
+				// CDATA immediately following text coalesces with it.
+				if ok, err := s.tryCDATA(&sb); err != nil {
+					return Event{}, err
+				} else if ok {
+					goto next
+				}
+			}
+			s.ltPending = true
+			break
+		}
+		if b == '&' {
+			r, err := s.scanEntity()
+			if err != nil {
+				return Event{}, err
+			}
+			sb.WriteString(r)
+		} else {
+			sb.WriteByte(b)
+		}
+	next:
+		var err error
+		b, err = s.readByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Event{}, err
+		}
+	}
+	return Event{Kind: Text, Data: sb.String(), Line: line}, nil
+}
+
+// tryCDATA checks whether the input (positioned just after '<') begins a
+// CDATA section; if so it consumes it into sb and reports true. The '<' has
+// already been consumed by the caller.
+func (s *Scanner) tryCDATA(sb *strings.Builder) (bool, error) {
+	const marker = "![CDATA["
+	bs, err := s.r.Peek(len(marker))
+	if err != nil || string(bs) != marker {
+		return false, nil
+	}
+	if _, err := s.r.Discard(len(marker)); err != nil {
+		return false, err
+	}
+	for {
+		b, err := s.readByte()
+		if err != nil {
+			return false, s.errf("unexpected EOF in CDATA section")
+		}
+		if b == ']' {
+			bs, err := s.r.Peek(2)
+			if err == nil && bs[0] == ']' && bs[1] == '>' {
+				_, _ = s.r.Discard(2)
+				return true, nil
+			}
+		}
+		sb.WriteByte(b)
+	}
+}
+
+// scanEntity decodes an entity reference; the '&' has been consumed.
+func (s *Scanner) scanEntity() (string, error) {
+	var name strings.Builder
+	for {
+		b, err := s.readByte()
+		if err != nil {
+			return "", s.errf("unexpected EOF in entity reference")
+		}
+		if b == ';' {
+			break
+		}
+		if name.Len() > 32 {
+			return "", s.errf("entity reference too long")
+		}
+		name.WriteByte(b)
+	}
+	return decodeEntity(name.String(), s)
+}
+
+func decodeEntity(name string, s *Scanner) (string, error) {
+	switch name {
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "amp":
+		return "&", nil
+	case "apos":
+		return "'", nil
+	case "quot":
+		return "\"", nil
+	}
+	if strings.HasPrefix(name, "#") {
+		num := name[1:]
+		base := 10
+		if strings.HasPrefix(num, "x") || strings.HasPrefix(num, "X") {
+			num, base = num[1:], 16
+		}
+		var r rune
+		for _, c := range num {
+			var d rune
+			switch {
+			case c >= '0' && c <= '9':
+				d = c - '0'
+			case base == 16 && c >= 'a' && c <= 'f':
+				d = c - 'a' + 10
+			case base == 16 && c >= 'A' && c <= 'F':
+				d = c - 'A' + 10
+			default:
+				return "", s.errf("bad character reference &%s;", name)
+			}
+			r = r*rune(base) + d
+			if r > 0x10FFFF {
+				return "", s.errf("character reference out of range &%s;", name)
+			}
+		}
+		return string(r), nil
+	}
+	// Unknown named entity: pass through literally, as many real-world
+	// documents rely on DTD-defined entities we do not resolve.
+	return "&" + name + ";", nil
+}
+
+// scanStartTag parses <name attr="v" ...> or <name ... />; '<' consumed.
+func (s *Scanner) scanStartTag() (Event, error) {
+	line := s.line
+	name, err := s.scanName()
+	if err != nil {
+		return Event{}, err
+	}
+	var attrs []Attr
+	for {
+		if err := s.skipSpace(); err != nil {
+			return Event{}, s.errf("unexpected EOF in <%s>", name)
+		}
+		b, err := s.readByte()
+		if err != nil {
+			return Event{}, s.errf("unexpected EOF in <%s>", name)
+		}
+		if b == '>' {
+			s.stack = append(s.stack, name)
+			return Event{Kind: StartElement, Name: name, Attrs: attrs, Line: line}, nil
+		}
+		if b == '/' {
+			b2, err := s.readByte()
+			if err != nil || b2 != '>' {
+				return Event{}, s.errf("expected '>' after '/' in <%s>", name)
+			}
+			// The element is open until its pending EndElement is
+			// delivered, so Depth reflects it like any other element.
+			s.stack = append(s.stack, name)
+			s.pending = &Event{Kind: EndElement, Name: name, Line: s.line}
+			return Event{Kind: StartElement, Name: name, Attrs: attrs, Line: line}, nil
+		}
+		s.unreadByte(b)
+		attr, err := s.scanAttr(name)
+		if err != nil {
+			return Event{}, err
+		}
+		attrs = append(attrs, attr)
+	}
+}
+
+func (s *Scanner) scanAttr(elem string) (Attr, error) {
+	name, err := s.scanName()
+	if err != nil {
+		return Attr{}, s.errf("bad attribute name in <%s>: %v", elem, err)
+	}
+	if err := s.skipSpace(); err != nil {
+		return Attr{}, s.errf("unexpected EOF in attribute %s of <%s>", name, elem)
+	}
+	b, err := s.readByte()
+	if err != nil || b != '=' {
+		return Attr{}, s.errf("expected '=' after attribute %s of <%s>", name, elem)
+	}
+	if err := s.skipSpace(); err != nil {
+		return Attr{}, s.errf("unexpected EOF in attribute %s of <%s>", name, elem)
+	}
+	quote, err := s.readByte()
+	if err != nil || (quote != '"' && quote != '\'') {
+		return Attr{}, s.errf("expected quoted value for attribute %s of <%s>", name, elem)
+	}
+	var sb strings.Builder
+	for {
+		b, err := s.readByte()
+		if err != nil {
+			return Attr{}, s.errf("unexpected EOF in value of attribute %s", name)
+		}
+		if b == quote {
+			break
+		}
+		if b == '&' {
+			r, err := s.scanEntity()
+			if err != nil {
+				return Attr{}, err
+			}
+			sb.WriteString(r)
+			continue
+		}
+		sb.WriteByte(b)
+	}
+	return Attr{Name: name, Value: sb.String()}, nil
+}
+
+// scanEndTag parses </name>; "</" consumed.
+func (s *Scanner) scanEndTag() (Event, error) {
+	line := s.line
+	name, err := s.scanName()
+	if err != nil {
+		return Event{}, err
+	}
+	if err := s.skipSpace(); err != nil {
+		return Event{}, s.errf("unexpected EOF in </%s>", name)
+	}
+	b, err := s.readByte()
+	if err != nil || b != '>' {
+		return Event{}, s.errf("expected '>' in </%s>", name)
+	}
+	if len(s.stack) == 0 {
+		return Event{}, s.errf("unmatched end tag </%s>", name)
+	}
+	top := s.stack[len(s.stack)-1]
+	if top != name {
+		return Event{}, s.errf("mismatched end tag: </%s> closes <%s>", name, top)
+	}
+	s.stack = s.stack[:len(s.stack)-1]
+	return Event{Kind: EndElement, Name: name, Line: line}, nil
+}
+
+// scanBang handles <!-- comments -->, <![CDATA[...]]> and <!DOCTYPE ...>;
+// "<!" consumed. For CDATA it returns a Text event; DOCTYPE is skipped.
+func (s *Scanner) scanBang() (ev Event, skip bool, err error) {
+	line := s.line
+	bs, err := s.r.Peek(2)
+	if err == nil && bs[0] == '-' && bs[1] == '-' {
+		_, _ = s.r.Discard(2)
+		var sb strings.Builder
+		for {
+			b, err := s.readByte()
+			if err != nil {
+				return Event{}, false, s.errf("unexpected EOF in comment")
+			}
+			if b == '-' {
+				bs, err := s.r.Peek(2)
+				if err == nil && bs[0] == '-' && bs[1] == '>' {
+					_, _ = s.r.Discard(2)
+					return Event{Kind: Comment, Data: sb.String(), Line: line}, false, nil
+				}
+			}
+			sb.WriteByte(b)
+		}
+	}
+	bs, err = s.r.Peek(7)
+	if err == nil && string(bs) == "[CDATA[" {
+		_, _ = s.r.Discard(7)
+		var sb strings.Builder
+		for {
+			b, err := s.readByte()
+			if err != nil {
+				return Event{}, false, s.errf("unexpected EOF in CDATA section")
+			}
+			if b == ']' {
+				bs, err := s.r.Peek(2)
+				if err == nil && bs[0] == ']' && bs[1] == '>' {
+					_, _ = s.r.Discard(2)
+					break
+				}
+			}
+			sb.WriteByte(b)
+		}
+		data := sb.String()
+		if s.SkipWhitespaceText && isAllXMLSpace(data) {
+			return Event{}, true, nil
+		}
+		if len(s.stack) == 0 {
+			return Event{}, false, s.errf("CDATA outside of document element")
+		}
+		return Event{Kind: Text, Data: data, Line: line}, false, nil
+	}
+	// DOCTYPE or other declaration: skip to matching '>' tracking nested
+	// '[' ... ']' internal subsets and quoted strings.
+	depth := 0
+	inQuote := byte(0)
+	for {
+		b, err := s.readByte()
+		if err != nil {
+			return Event{}, false, s.errf("unexpected EOF in <! declaration")
+		}
+		switch {
+		case inQuote != 0:
+			if b == inQuote {
+				inQuote = 0
+			}
+		case b == '"' || b == '\'':
+			inQuote = b
+		case b == '[':
+			depth++
+		case b == ']':
+			depth--
+		case b == '>' && depth <= 0:
+			return Event{}, true, nil
+		}
+	}
+}
+
+// scanPI parses <? target content ?>; "<?" consumed.
+func (s *Scanner) scanPI() (Event, error) {
+	line := s.line
+	name, err := s.scanName()
+	if err != nil {
+		return Event{}, err
+	}
+	var sb strings.Builder
+	for {
+		b, err := s.readByte()
+		if err != nil {
+			return Event{}, s.errf("unexpected EOF in processing instruction <?%s", name)
+		}
+		if b == '?' {
+			c, err := s.peekByte()
+			if err == nil && c == '>' {
+				_, _ = s.readByte()
+				return Event{Kind: PI, Name: name, Data: strings.TrimSpace(sb.String()), Line: line}, nil
+			}
+		}
+		sb.WriteByte(b)
+	}
+}
+
+func (s *Scanner) scanName() (string, error) {
+	var sb strings.Builder
+	first := true
+	for {
+		b, err := s.readByte()
+		if err != nil {
+			return "", s.errf("unexpected EOF in name")
+		}
+		if isNameByte(b, first) {
+			sb.WriteByte(b)
+			first = false
+			continue
+		}
+		s.unreadByte(b)
+		break
+	}
+	if sb.Len() == 0 {
+		return "", s.errf("expected a name")
+	}
+	return sb.String(), nil
+}
+
+func (s *Scanner) skipSpace() error {
+	for {
+		b, err := s.readByte()
+		if err != nil {
+			return err
+		}
+		if !isXMLSpace(b) {
+			s.unreadByte(b)
+			return nil
+		}
+	}
+}
+
+func isXMLSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+
+func isAllXMLSpace(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isXMLSpace(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// isNameByte reports whether b may appear in an XML name. Multi-byte UTF-8
+// name characters are accepted wholesale (any byte >= 0x80), which is
+// sufficient for tag-name identity even though it does not validate the
+// full XML name grammar.
+func isNameByte(b byte, first bool) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_', b == ':':
+		return true
+	case b >= 0x80:
+		return true
+	case first:
+		return false
+	case b >= '0' && b <= '9', b == '-', b == '.':
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,353 @@
+package sax
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// drain collects all events from a document string.
+func drain(t *testing.T, doc string) []Event {
+	t.Helper()
+	s := NewScanner(strings.NewReader(doc))
+	var evs []Event
+	for {
+		ev, err := s.Next()
+		if err == io.EOF {
+			return evs
+		}
+		if err != nil {
+			t.Fatalf("Next: %v (events so far: %v)", err, evs)
+		}
+		evs = append(evs, ev)
+	}
+}
+
+func kinds(evs []Event) []EventKind {
+	ks := make([]EventKind, len(evs))
+	for i, e := range evs {
+		ks[i] = e.Kind
+	}
+	return ks
+}
+
+func TestSimpleDocument(t *testing.T) {
+	evs := drain(t, `<a><b>hello</b><c/></a>`)
+	want := []struct {
+		kind EventKind
+		name string
+		data string
+	}{
+		{StartElement, "a", ""},
+		{StartElement, "b", ""},
+		{Text, "", "hello"},
+		{EndElement, "b", ""},
+		{StartElement, "c", ""},
+		{EndElement, "c", ""},
+		{EndElement, "a", ""},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events %v, want %d", len(evs), kinds(evs), len(want))
+	}
+	for i, w := range want {
+		if evs[i].Kind != w.kind || evs[i].Name != w.name || evs[i].Data != w.data {
+			t.Errorf("event %d = {%v %q %q}, want {%v %q %q}",
+				i, evs[i].Kind, evs[i].Name, evs[i].Data, w.kind, w.name, w.data)
+		}
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	evs := drain(t, `<book year="1994" lang='en' title="a&amp;b"/>`)
+	if len(evs) != 2 || evs[0].Kind != StartElement {
+		t.Fatalf("unexpected events: %v", evs)
+	}
+	attrs := evs[0].Attrs
+	if len(attrs) != 3 {
+		t.Fatalf("got %d attrs, want 3", len(attrs))
+	}
+	want := []Attr{{"year", "1994"}, {"lang", "en"}, {"title", "a&b"}}
+	for i, w := range want {
+		if attrs[i] != w {
+			t.Errorf("attr %d = %v, want %v", i, attrs[i], w)
+		}
+	}
+}
+
+func TestAttributeSpacing(t *testing.T) {
+	evs := drain(t, "<a  x = \"1\"\n\ty='2' ></a>")
+	if len(evs[0].Attrs) != 2 {
+		t.Fatalf("attrs = %v", evs[0].Attrs)
+	}
+	if evs[0].Attrs[0] != (Attr{"x", "1"}) || evs[0].Attrs[1] != (Attr{"y", "2"}) {
+		t.Fatalf("attrs = %v", evs[0].Attrs)
+	}
+}
+
+func TestEntities(t *testing.T) {
+	evs := drain(t, `<a>&lt;tag&gt; &amp; &quot;x&quot; &apos;y&apos; &#65;&#x42;</a>`)
+	if len(evs) != 3 {
+		t.Fatalf("events: %v", evs)
+	}
+	want := `<tag> & "x" 'y' AB`
+	if evs[1].Data != want {
+		t.Errorf("text = %q, want %q", evs[1].Data, want)
+	}
+}
+
+func TestUnknownEntityPassesThrough(t *testing.T) {
+	evs := drain(t, `<a>&nbsp;x</a>`)
+	if evs[1].Data != "&nbsp;x" {
+		t.Errorf("text = %q, want %q", evs[1].Data, "&nbsp;x")
+	}
+}
+
+func TestCDATA(t *testing.T) {
+	evs := drain(t, `<a><![CDATA[<raw> & stuff]]></a>`)
+	if len(evs) != 3 || evs[1].Kind != Text {
+		t.Fatalf("events: %v", evs)
+	}
+	if evs[1].Data != "<raw> & stuff" {
+		t.Errorf("text = %q", evs[1].Data)
+	}
+}
+
+func TestCDATACoalescesWithText(t *testing.T) {
+	evs := drain(t, `<a>pre<![CDATA[mid]]>post</a>`)
+	if len(evs) != 3 {
+		t.Fatalf("events: %v — CDATA should coalesce into one Text", evs)
+	}
+	if evs[1].Data != "premidpost" {
+		t.Errorf("text = %q, want %q", evs[1].Data, "premidpost")
+	}
+}
+
+func TestCommentAndPI(t *testing.T) {
+	evs := drain(t, `<?xml version="1.0"?><!-- top --><a><!-- in --><?target data?></a>`)
+	var gotKinds []EventKind
+	for _, e := range evs {
+		gotKinds = append(gotKinds, e.Kind)
+	}
+	want := []EventKind{PI, Comment, StartElement, Comment, PI, EndElement}
+	if len(gotKinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", gotKinds, want)
+	}
+	for i := range want {
+		if gotKinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", gotKinds, want)
+		}
+	}
+	if evs[0].Name != "xml" || evs[4].Name != "target" || evs[4].Data != "data" {
+		t.Errorf("PI events wrong: %+v, %+v", evs[0], evs[4])
+	}
+	if strings.TrimSpace(evs[1].Data) != "top" {
+		t.Errorf("comment = %q", evs[1].Data)
+	}
+}
+
+func TestDoctypeSkipped(t *testing.T) {
+	doc := `<!DOCTYPE bib [
+		<!ELEMENT bib (book*)>
+		<!ENTITY pub "Addison-Wesley">
+	]><bib></bib>`
+	evs := drain(t, doc)
+	if len(evs) != 2 || evs[0].Kind != StartElement || evs[0].Name != "bib" {
+		t.Fatalf("events: %v", evs)
+	}
+}
+
+func TestWhitespaceSkipping(t *testing.T) {
+	doc := "<a>\n  <b> x </b>\n</a>"
+	evs := drain(t, doc)
+	if len(evs) != 5 {
+		t.Fatalf("with skipping: %d events %v", len(evs), kinds(evs))
+	}
+	s := NewScanner(strings.NewReader(doc))
+	s.SkipWhitespaceText = false
+	n := 0
+	for {
+		_, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 7 {
+		t.Fatalf("without skipping: %d events, want 7", n)
+	}
+}
+
+func TestMismatchedTags(t *testing.T) {
+	for _, doc := range []string{
+		`<a><b></a></b>`,
+		`<a>`,
+		`</a>`,
+		`<a></a></a>`,
+	} {
+		s := NewScanner(strings.NewReader(doc))
+		var err error
+		for err == nil {
+			_, err = s.Next()
+		}
+		if err == io.EOF {
+			t.Errorf("doc %q: expected syntax error, got clean EOF", doc)
+			continue
+		}
+		if _, ok := err.(*SyntaxError); !ok {
+			t.Errorf("doc %q: error %v is not *SyntaxError", doc, err)
+		}
+	}
+}
+
+func TestSyntaxErrorLineNumbers(t *testing.T) {
+	doc := "<a>\n<b>\n</c>\n</a>"
+	s := NewScanner(strings.NewReader(doc))
+	var err error
+	for err == nil {
+		_, err = s.Next()
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("expected SyntaxError, got %v", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("error line = %d, want 3: %v", se.Line, se)
+	}
+}
+
+func TestTextOutsideRootRejected(t *testing.T) {
+	s := NewScanner(strings.NewReader("stray<a></a>"))
+	_, err := s.Next()
+	if err == nil {
+		t.Fatal("expected error for text outside root")
+	}
+}
+
+func TestDepth(t *testing.T) {
+	s := NewScanner(strings.NewReader("<a><b><c/></b></a>"))
+	maxDepth := 0
+	for {
+		_, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := s.Depth(); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth != 3 {
+		t.Errorf("max depth = %d, want 3", maxDepth)
+	}
+}
+
+func TestUTF8Names(t *testing.T) {
+	evs := drain(t, `<日本語 属性="値">text</日本語>`)
+	if evs[0].Name != "日本語" || evs[0].Attrs[0].Name != "属性" {
+		t.Fatalf("events: %+v", evs)
+	}
+}
+
+func TestSelfClosingNested(t *testing.T) {
+	evs := drain(t, `<a><b/><c/><d/></a>`)
+	balance := 0
+	for _, e := range evs {
+		switch e.Kind {
+		case StartElement:
+			balance++
+		case EndElement:
+			balance--
+		}
+	}
+	if balance != 0 {
+		t.Errorf("unbalanced events: %v", kinds(evs))
+	}
+	if len(evs) != 8 {
+		t.Errorf("got %d events, want 8", len(evs))
+	}
+}
+
+func TestEscapeRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		if !isValidUTF8ForTest(s) {
+			return true
+		}
+		doc := "<a>" + EscapeString(s) + "</a>"
+		sc := NewScanner(strings.NewReader(doc))
+		sc.SkipWhitespaceText = false
+		var text strings.Builder
+		for {
+			ev, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			if ev.Kind == Text {
+				text.WriteString(ev.Data)
+			}
+		}
+		// Carriage-return normalization aside, content must round-trip.
+		return text.String() == s
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func isValidUTF8ForTest(s string) bool {
+	for _, r := range s {
+		if r == 0xFFFD {
+			return false
+		}
+		// Control characters other than \t\n are not legal XML chars and
+		// the round-trip property does not apply to them.
+		if r < 0x20 && r != '\t' && r != '\n' {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEscapeString(t *testing.T) {
+	got := EscapeString(`a<b>&'"`)
+	want := "a&lt;b&gt;&amp;&apos;&quot;"
+	if got != want {
+		t.Errorf("EscapeString = %q, want %q", got, want)
+	}
+	if EscapeString("plain") != "plain" {
+		t.Error("plain string should be returned unchanged")
+	}
+}
+
+func TestPaperBibliographyExcerpt(t *testing.T) {
+	doc := `<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+</bib>`
+	evs := drain(t, doc)
+	starts := 0
+	for _, e := range evs {
+		if e.Kind == StartElement {
+			starts++
+		}
+	}
+	if starts != 8 {
+		t.Errorf("start elements = %d, want 8", starts)
+	}
+	if evs[1].Name != "book" || len(evs[1].Attrs) != 1 || evs[1].Attrs[0].Value != "1994" {
+		t.Errorf("book event: %+v", evs[1])
+	}
+}

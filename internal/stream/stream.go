@@ -1,0 +1,444 @@
+// Package stream evaluates path queries over streaming XML in a single
+// pass — the paper's §4.2 observation made operational: the string
+// representation is exactly a SAX event stream, so NoK pattern matching
+// runs against the stream with a buffer bounded by the largest candidate
+// subtree (the streaming analogue of Proposition 1).
+//
+// The evaluator splits the pattern into an *ancestor chain* — the maximal
+// pure chain of steps from the root with one child each and no value
+// constraints — and the *anchor subtree* below it. The chain is checked
+// against the open-element stack in O(depth) per start tag; whenever a
+// start tag completes the chain, the element's subtree is buffered and the
+// anchor subtree pattern is matched against the buffer when the element
+// closes. Memory is therefore proportional to the largest matched
+// candidate subtree, never the document.
+//
+// Patterns whose global (following) axis crosses subtree boundaries cannot
+// be evaluated this way and are rejected by Supported.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"nok/internal/dewey"
+	"nok/internal/domnav"
+	"nok/internal/pattern"
+	"nok/internal/sax"
+	"nok/internal/symtab"
+)
+
+// ErrUnsupported is returned for patterns that cannot be evaluated in one
+// streaming pass with bounded buffering.
+var ErrUnsupported = errors.New("stream: pattern not supported for streaming evaluation")
+
+// Stats reports the footprint of one streaming evaluation — the numbers
+// behind the paper's "single scan, very small amount of main memory".
+type Stats struct {
+	// Events is the number of SAX events consumed (exactly one pass).
+	Events int64
+	// Candidates is the number of anchor candidates buffered.
+	Candidates int64
+	// MaxBufferedNodes is the peak size of the subtree buffer in nodes.
+	MaxBufferedNodes int
+	// Matches is the number of returning-node matches emitted.
+	Matches int64
+}
+
+// Result is one returning-node match.
+type Result struct {
+	ID    dewey.ID
+	Value string
+}
+
+// segment is one step of the ancestor chain. Gap means the step is reached
+// through the descendant axis (any number of intermediate elements).
+type segment struct {
+	test string
+	gap  bool
+}
+
+// plan is a compiled streaming query.
+type plan struct {
+	tree   *pattern.Tree
+	chain  []segment     // ends at the anchor
+	anchor *pattern.Node // root of the in-buffer subpattern
+}
+
+// Supported reports whether t can be evaluated in a single streaming pass,
+// compiling it if so.
+func compile(t *pattern.Tree) (*plan, error) {
+	// The following axis needs arbitrary lookahead beyond a subtree.
+	unsupported := false
+	t.Walk(func(n *pattern.Node, _ int) {
+		for _, e := range n.Children {
+			if e.Axis == pattern.Following {
+				unsupported = true
+			}
+		}
+	})
+	if unsupported {
+		return nil, fmt.Errorf("%w: following axis", ErrUnsupported)
+	}
+	if len(t.Root.Children) != 1 {
+		return nil, fmt.Errorf("%w: multiple top-level branches", ErrUnsupported)
+	}
+
+	var chain []segment
+	edge := t.Root.Children[0]
+	cur := edge.To
+	gap := edge.Axis == pattern.Descendant
+	for {
+		chain = append(chain, segment{test: cur.Test, gap: gap})
+		// Stop at the first node with branching, a value constraint, a
+		// sibling-order arc, or the returning node itself: everything from
+		// here down is matched within the buffered subtree (and the
+		// returning node must stay inside the buffer to be collected).
+		if len(cur.Children) != 1 || cur.HasValueConstraint() ||
+			len(cur.PrecededBy) > 0 || cur == t.Return {
+			break
+		}
+		next := cur.Children[0]
+		cur = next.To
+		gap = next.Axis == pattern.Descendant
+		if len(cur.PrecededBy) > 0 {
+			return nil, fmt.Errorf("%w: sibling arc on the ancestor chain", ErrUnsupported)
+		}
+	}
+	return &plan{tree: t, chain: chain, anchor: cur}, nil
+}
+
+// Supported reports whether the pattern streams.
+func Supported(t *pattern.Tree) error {
+	_, err := compile(t)
+	return err
+}
+
+// Match evaluates the pattern over the XML stream and returns the
+// returning-node matches in document order.
+func Match(r io.Reader, t *pattern.Tree) ([]Result, *Stats, error) {
+	var out []Result
+	stats, err := MatchFunc(r, t, func(res Result) bool {
+		out = append(out, res)
+		return true
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Nested anchor candidates can emit overlapping matches out of global
+	// order; normalize.
+	sort.Slice(out, func(i, j int) bool { return dewey.Compare(out[i].ID, out[j].ID) < 0 })
+	dedup := out[:0]
+	for i, r := range out {
+		if i == 0 || dewey.Compare(out[i-1].ID, r.ID) != 0 {
+			dedup = append(dedup, r)
+		}
+	}
+	return dedup, stats, nil
+}
+
+// MatchFunc evaluates the pattern, invoking emit for every match as soon
+// as its candidate subtree closes. Returning false from emit stops the
+// evaluation early.
+func MatchFunc(r io.Reader, t *pattern.Tree, emit func(Result) bool) (*Stats, error) {
+	p, err := compile(t)
+	if err != nil {
+		return nil, err
+	}
+	m := &streamMatcher{plan: p, emit: emit, stats: &Stats{}}
+	sc := sax.NewScanner(r)
+	for {
+		ev, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return m.stats, err
+		}
+		m.stats.Events++
+		stop, err := m.event(ev)
+		if err != nil {
+			return m.stats, err
+		}
+		if stop {
+			// Early stop requested by emit: the rest of the stream is
+			// intentionally unread.
+			return m.stats, nil
+		}
+	}
+	if m.depth != 0 {
+		return m.stats, errors.New("stream: document ended with open elements")
+	}
+	return m.stats, nil
+}
+
+// streamMatcher holds the single-pass state.
+type streamMatcher struct {
+	plan  *plan
+	emit  func(Result) bool
+	stats *Stats
+
+	// Open-element state outside any buffer.
+	tags  []string
+	ords  []uint32 // child counters per open element
+	id    dewey.ID
+	depth int
+
+	// Buffer state: non-nil while inside a candidate subtree.
+	bufRoot  *domnav.Node
+	bufStack []*domnav.Node
+	bufText  []*strings.Builder
+	bufOrder int
+	// anchorID is the Dewey ID of the buffered candidate's root.
+	anchorID dewey.ID
+	// outerTags snapshots the open tags above the buffer root.
+	outerTags []string
+}
+
+func (m *streamMatcher) event(ev sax.Event) (bool, error) {
+	switch ev.Kind {
+	case sax.StartElement:
+		if stop := m.openElem(ev.Name); stop {
+			return true, nil
+		}
+		for _, a := range ev.Attrs {
+			if stop := m.openElem(symtab.AttrPrefix + a.Name); stop {
+				return true, nil
+			}
+			if m.bufRoot != nil {
+				m.bufText[len(m.bufText)-1].WriteString(a.Value)
+			}
+			if stop, err := m.closeElem(false); err != nil || stop {
+				return stop, err
+			}
+		}
+	case sax.EndElement:
+		return m.closeElem(true)
+	case sax.Text:
+		if m.bufRoot != nil && len(m.bufText) > 0 {
+			m.bufText[len(m.bufText)-1].WriteString(ev.Data)
+		}
+	}
+	return false, nil
+}
+
+func (m *streamMatcher) openElem(name string) (stop bool) {
+	// Dewey maintenance.
+	if m.depth == 0 {
+		m.id = append(m.id, 0)
+	} else {
+		m.ords[len(m.ords)-1]++
+		m.id = append(m.id, m.ords[len(m.ords)-1])
+	}
+	m.ords = append(m.ords, 0)
+	m.tags = append(m.tags, name)
+	m.depth++
+
+	if m.bufRoot != nil {
+		m.pushBufferNode(name)
+		return false
+	}
+	// Candidate check: does the open stack complete the ancestor chain?
+	if matchChain(m.tags, m.plan.chain) {
+		m.stats.Candidates++
+		m.anchorID = m.id.Clone()
+		m.outerTags = append([]string(nil), m.tags[:len(m.tags)-1]...)
+		m.bufOrder = 0
+		m.pushBufferNode(name)
+	}
+	return false
+}
+
+func (m *streamMatcher) pushBufferNode(name string) {
+	n := &domnav.Node{Name: name, Order: m.bufOrder}
+	m.bufOrder++
+	if len(m.bufStack) == 0 {
+		n.ID = dewey.Root()
+		n.Level = 1
+		m.bufRoot = n
+	} else {
+		p := m.bufStack[len(m.bufStack)-1]
+		n.Parent = p
+		p.Children = append(p.Children, n)
+		n.ID = p.ID.Child(uint32(len(p.Children)))
+		n.Level = p.Level + 1
+	}
+	m.bufStack = append(m.bufStack, n)
+	m.bufText = append(m.bufText, &strings.Builder{})
+	if m.bufOrder > m.stats.MaxBufferedNodes {
+		m.stats.MaxBufferedNodes = m.bufOrder
+	}
+}
+
+func (m *streamMatcher) closeElem(trim bool) (bool, error) {
+	if m.bufRoot != nil {
+		n := m.bufStack[len(m.bufStack)-1]
+		text := m.bufText[len(m.bufText)-1].String()
+		if trim {
+			text = strings.TrimSpace(text)
+		}
+		n.Value = text
+		n.End = m.bufOrder - 1
+		m.bufStack = m.bufStack[:len(m.bufStack)-1]
+		m.bufText = m.bufText[:len(m.bufText)-1]
+		if len(m.bufStack) == 0 {
+			// Candidate subtree complete: evaluate and release.
+			stop := m.evaluateBuffer()
+			m.bufRoot = nil
+			if stop {
+				return true, nil
+			}
+		}
+	}
+	m.depth--
+	m.tags = m.tags[:len(m.tags)-1]
+	m.ords = m.ords[:len(m.ords)-1]
+	m.id = m.id[:len(m.id)-1]
+	return false, nil
+}
+
+// evaluateBuffer matches the anchor subpattern against the buffered
+// subtree. Candidates nested inside the buffer are handled here too: every
+// buffered node that completes the chain (using the outer stack plus the
+// in-buffer path) anchors its own evaluation.
+func (m *streamMatcher) evaluateBuffer() (stop bool) {
+	var doc domnav.Doc
+	doc.Root = m.bufRoot
+	collect := func(n *domnav.Node) {
+		doc.Nodes = append(doc.Nodes, n)
+	}
+	var walk func(n *domnav.Node)
+	walk = func(n *domnav.Node) {
+		collect(n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(m.bufRoot)
+
+	synth := &pattern.Tree{Root: &pattern.Node{}, Return: m.plan.tree.Return}
+	synth.Root.Children = []*pattern.Edge{{Axis: pattern.Child, To: m.plan.anchor}}
+
+	// Find candidate anchors inside the buffer (the root always is one).
+	path := append([]string(nil), m.outerTags...)
+	var anchors []*domnav.Node
+	var findAnchors func(n *domnav.Node)
+	findAnchors = func(n *domnav.Node) {
+		path = append(path, n.Name)
+		if matchChain(path, m.plan.chain) {
+			anchors = append(anchors, n)
+		}
+		for _, c := range n.Children {
+			findAnchors(c)
+		}
+		path = path[:len(path)-1]
+	}
+	findAnchors(m.bufRoot)
+
+	for _, a := range anchors {
+		sub := subDoc(&doc, a)
+		for _, res := range domnav.Evaluate(sub, synth) {
+			globalID := m.globalID(a, res)
+			m.stats.Matches++
+			if !m.emit(Result{ID: globalID, Value: res.Value}) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// subDoc restricts the buffered doc to the subtree rooted at a. Node IDs
+// stay those of the full buffer; Evaluate only needs structure and the
+// Nodes list for the following axis, which compile() already excluded.
+func subDoc(doc *domnav.Doc, a *domnav.Node) *domnav.Doc {
+	if a == doc.Root {
+		return doc
+	}
+	sub := &domnav.Doc{Root: a}
+	var walk func(n *domnav.Node)
+	walk = func(n *domnav.Node) {
+		sub.Nodes = append(sub.Nodes, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(a)
+	return sub
+}
+
+// globalID translates a buffer-relative match to its document Dewey ID:
+// the anchor candidate's global ID plus the path from the buffer-internal
+// anchor node down to the match.
+func (m *streamMatcher) globalID(anchor *domnav.Node, res *domnav.Node) dewey.ID {
+	// Path of child ordinals from anchor to res.
+	var rel []uint32
+	for n := res; n != anchor; n = n.Parent {
+		// Find n's ordinal among its parent's children.
+		ord := uint32(0)
+		for i, c := range n.Parent.Children {
+			if c == n {
+				ord = uint32(i + 1)
+				break
+			}
+		}
+		rel = append(rel, ord)
+	}
+	// The anchor's own global ID: for the buffer root it is anchorID; for
+	// nested anchors extend from the buffer root.
+	base := m.anchorID.Clone()
+	if anchor != m.bufRoot {
+		var toAnchor []uint32
+		for n := anchor; n != m.bufRoot; n = n.Parent {
+			ord := uint32(0)
+			for i, c := range n.Parent.Children {
+				if c == n {
+					ord = uint32(i + 1)
+					break
+				}
+			}
+			toAnchor = append(toAnchor, ord)
+		}
+		for i := len(toAnchor) - 1; i >= 0; i-- {
+			base = append(base, toAnchor[i])
+		}
+	}
+	for i := len(rel) - 1; i >= 0; i-- {
+		base = append(base, rel[i])
+	}
+	return base
+}
+
+// matchChain reports whether the open-tag path (root..candidate) matches
+// the ancestor chain: non-gap segments consume exactly one path element,
+// gap segments allow any number of skipped elements before their match,
+// and the last segment must land exactly on the candidate (the path end).
+func matchChain(path []string, chain []segment) bool {
+	// DP over (path position, segment index), small enough for recursion
+	// with memoization-free backtracking: len(chain) ≤ pattern size.
+	var rec func(pi, si int) bool
+	rec = func(pi, si int) bool {
+		if si == len(chain) {
+			return pi == len(path)
+		}
+		seg := chain[si]
+		if seg.gap {
+			for p := pi; p < len(path); p++ {
+				if testMatches(seg.test, path[p]) && rec(p+1, si+1) {
+					return true
+				}
+			}
+			return false
+		}
+		if pi < len(path) && testMatches(seg.test, path[pi]) {
+			return rec(pi+1, si+1)
+		}
+		return false
+	}
+	return rec(0, 0)
+}
+
+func testMatches(test, tag string) bool { return test == "*" || test == tag }

@@ -1,0 +1,262 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"nok/internal/domnav"
+	"nok/internal/pattern"
+	"nok/internal/samples"
+)
+
+func matchIDs(t *testing.T, xml, expr string) []string {
+	t.Helper()
+	tr, err := pattern.Parse(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _, err := Match(strings.NewReader(xml), tr)
+	if err != nil {
+		t.Fatalf("Match(%q): %v", expr, err)
+	}
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID.String()
+	}
+	return out
+}
+
+func oracleIDs(t *testing.T, xml, expr string) []string {
+	t.Helper()
+	tr, err := pattern.Parse(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := domnav.MustParse(xml)
+	var out []string
+	for _, n := range domnav.Evaluate(doc, tr) {
+		out = append(out, n.ID.String())
+	}
+	return out
+}
+
+func sameStrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkStream(t *testing.T, xml, expr string) {
+	t.Helper()
+	got := matchIDs(t, xml, expr)
+	want := oracleIDs(t, xml, expr)
+	if !sameStrs(got, want) {
+		t.Errorf("%s:\n got  %v\n want %v", expr, got, want)
+	}
+}
+
+func TestBibliographyStreaming(t *testing.T) {
+	for _, q := range []string{
+		samples.PaperQuery,
+		`/bib`,
+		`/bib/book`,
+		`/bib/book/title`,
+		`//book[price>100]`,
+		`//book[author/last="Stevens"]`,
+		`//last`,
+		`//book[@year="2000"]/title`,
+		`/bib/book[price<100]/title`,
+		`//author[last="Stevens"][first="W."]`,
+		`//book[editor]`,
+		`//missing`,
+	} {
+		checkStream(t, samples.Bibliography, q)
+	}
+}
+
+func TestNestedCandidates(t *testing.T) {
+	xml := `<r><a><x>1</x><a><x>2</x></a></a><a><x>3</x></a></r>`
+	for _, q := range []string{`//a`, `//a/x`, `//a[x="2"]`, `//a//x`} {
+		checkStream(t, xml, q)
+	}
+}
+
+func TestStreamValueResults(t *testing.T) {
+	tr := pattern.MustParse(`/bib/book/title`)
+	rs, _, err := Match(strings.NewReader(samples.Bibliography), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 || rs[0].Value != "TCP/IP Illustrated" {
+		t.Fatalf("results: %+v", rs)
+	}
+}
+
+func TestUnsupportedPatterns(t *testing.T) {
+	// The following axis cannot stream with bounded buffering.
+	tr := pattern.MustParse(`/a/b`)
+	// Inject a following edge manually (the parser has no syntax for a
+	// standalone following step).
+	tr.Root.Children[0].To.Children[0].Axis = pattern.Following
+	if err := Supported(tr); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("following axis: err = %v", err)
+	}
+}
+
+func TestBoundedBuffering(t *testing.T) {
+	// Many small books: the buffer must stay at the size of one book, not
+	// the document.
+	var sb strings.Builder
+	sb.WriteString("<lib>")
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&sb, "<book><title>t%d</title><price>%d</price></book>", i, i%50)
+	}
+	sb.WriteString("</lib>")
+	tr := pattern.MustParse(`/lib/book[price="13"]/title`)
+	rs, stats, err := Match(strings.NewReader(sb.String()), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 10 {
+		t.Errorf("matches = %d, want 10", len(rs))
+	}
+	// One book subtree = 3 nodes (book, title, price); the buffer must
+	// never hold more than one book.
+	if stats.MaxBufferedNodes > 3 {
+		t.Errorf("MaxBufferedNodes = %d, want <= 3 (one book)", stats.MaxBufferedNodes)
+	}
+	if stats.Candidates != 500 {
+		t.Errorf("Candidates = %d, want 500", stats.Candidates)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<lib>")
+	for i := 0; i < 100; i++ {
+		sb.WriteString("<book><x>v</x></book>")
+	}
+	sb.WriteString("</lib>")
+	tr := pattern.MustParse(`/lib/book[x="v"]`)
+	n := 0
+	stats, err := MatchFunc(strings.NewReader(sb.String()), tr, func(Result) bool {
+		n++
+		return n < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("emitted %d, want 3", n)
+	}
+	if stats.Candidates >= 100 {
+		t.Errorf("early stop should not process all candidates (processed %d)", stats.Candidates)
+	}
+}
+
+func TestChainMatching(t *testing.T) {
+	cases := []struct {
+		path  []string
+		chain []segment
+		want  bool
+	}{
+		{[]string{"a", "b"}, []segment{{test: "a"}, {test: "b"}}, true},
+		{[]string{"a", "b"}, []segment{{test: "a"}, {test: "c"}}, false},
+		{[]string{"a"}, []segment{{test: "a"}, {test: "b"}}, false},
+		{[]string{"a", "x", "b"}, []segment{{test: "a"}, {test: "b", gap: true}}, true},
+		{[]string{"a", "b"}, []segment{{test: "a"}, {test: "b", gap: true}}, true},
+		{[]string{"b"}, []segment{{test: "b", gap: true}}, true},
+		{[]string{"x", "y", "b"}, []segment{{test: "b", gap: true}}, true},
+		{[]string{"a", "b", "c"}, []segment{{test: "a"}, {test: "b"}}, false}, // must end at candidate
+		{[]string{"a", "q", "b", "r", "c"}, []segment{{test: "a"}, {test: "b", gap: true}, {test: "c", gap: true}}, true},
+		{[]string{"a", "b"}, []segment{{test: "*"}, {test: "b"}}, true},
+	}
+	for i, c := range cases {
+		if got := matchChain(c.path, c.chain); got != c.want {
+			t.Errorf("case %d: matchChain(%v) = %v, want %v", i, c.path, got, c.want)
+		}
+	}
+}
+
+func TestDeepChainsAgainstOracle(t *testing.T) {
+	xml := `<a><b><c><d>x</d></c></b><b><c><d>y</d></c><e/></b></a>`
+	for _, q := range []string{
+		`/a/b/c/d`,
+		`/a//d`,
+		`//c/d`,
+		`/a/b[e]/c/d`,
+		`//b[c/d="y"]`,
+		`/a/*/c`,
+	} {
+		checkStream(t, xml, q)
+	}
+}
+
+func TestSinglePass(t *testing.T) {
+	// Events consumed must equal the document's event count: one pass.
+	xml := samples.Bibliography
+	tr := pattern.MustParse(`//book`)
+	_, stats, err := Match(strings.NewReader(xml), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 42 elements → 84 start/end events plus text events.
+	if stats.Events == 0 || stats.Events > 200 {
+		t.Errorf("Events = %d, suspicious for one pass", stats.Events)
+	}
+}
+
+func TestWildcardChains(t *testing.T) {
+	xml := `<r><a><k>1</k></a><b><k>2</k></b></r>`
+	for _, q := range []string{`/r/*/k`, `/*/a/k`, `//*[k="2"]`, `/r/*`} {
+		checkStream(t, xml, q)
+	}
+}
+
+func TestAttributeAnchors(t *testing.T) {
+	xml := `<r><item id="1"><v>x</v></item><item id="2"><v>y</v></item></r>`
+	for _, q := range []string{
+		`/r/item/@id`,
+		`//item[@id="2"]`,
+		`//item[@id="2"]/v`,
+		`//@id`,
+	} {
+		checkStream(t, xml, q)
+	}
+}
+
+func TestStreamFromPipe(t *testing.T) {
+	// The evaluator must work on non-seekable readers (its whole point).
+	pr, pw := io.Pipe()
+	go func() {
+		pw.Write([]byte(samples.Bibliography))
+		pw.Close()
+	}()
+	tr := pattern.MustParse(`//book[price<100]/title`)
+	rs, _, err := Match(pr, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("results: %v", rs)
+	}
+}
+
+func TestMalformedStreamSurfacesError(t *testing.T) {
+	tr := pattern.MustParse(`//a`)
+	if _, _, err := Match(strings.NewReader(`<a><b></a>`), tr); err == nil {
+		t.Error("malformed stream should error")
+	}
+	if _, _, err := Match(strings.NewReader(`<a>`), tr); err == nil {
+		t.Error("truncated stream should error")
+	}
+}

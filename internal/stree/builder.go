@@ -1,0 +1,204 @@
+package stree
+
+import (
+	"errors"
+	"fmt"
+
+	"nok/internal/pager"
+	"nok/internal/symtab"
+)
+
+// Builder bulk-loads a string tree into an empty pager file. Drive it with
+// Open/Close calls mirroring the document's SAX events, then call Finish.
+//
+// Pages are filled only up to a load factor (1 - ReservePct/100), leaving
+// the paper's "reserved for update" slack (Figure 5) so later subtree
+// insertions stay local.
+type Builder struct {
+	pf    *pager.File
+	store *Store
+
+	// current page under construction
+	cur     *pager.Page
+	curCont []byte // content area of cur
+	used    int
+	fillMax int
+
+	level    int16 // running level
+	maxLevel int16
+	st       int16 // level entering the current page
+	lo, hi   int16
+
+	open     uint64 // currently open elements
+	nodes    uint64
+	tokBytes uint64
+
+	finished bool
+}
+
+// BuilderOptions configure bulk loading.
+type BuilderOptions struct {
+	// ReservePct is the percentage of each page's content area left free
+	// for future updates. The paper's example uses 20. Valid range [0, 90].
+	ReservePct int
+}
+
+// NewBuilder starts building a string tree in the empty pager file pf.
+func NewBuilder(pf *pager.File, opts *BuilderOptions) (*Builder, error) {
+	if pf.NumPages() != 0 {
+		return nil, errors.New("stree: builder requires an empty pager file")
+	}
+	reserve := 20
+	if opts != nil {
+		if opts.ReservePct < 0 || opts.ReservePct > 90 {
+			return nil, fmt.Errorf("stree: reserve percentage %d out of range [0,90]", opts.ReservePct)
+		}
+		reserve = opts.ReservePct
+	}
+	b := &Builder{
+		pf: pf,
+		store: &Store{
+			pf:         pf,
+			reservePct: reserve,
+			levels:     newLevelCache(defaultLevelCacheSize),
+		},
+	}
+	cap := b.store.contentCapacity()
+	b.fillMax = cap * (100 - reserve) / 100
+	if b.fillMax < OpenTokenSize+CloseTokenSize {
+		b.fillMax = OpenTokenSize + CloseTokenSize
+	}
+	return b, nil
+}
+
+// newPage seals the current page (if any) and starts a fresh one.
+func (b *Builder) newPage() error {
+	if err := b.sealCurrent(); err != nil {
+		return err
+	}
+	p, err := b.pf.Allocate()
+	if err != nil {
+		return err
+	}
+	b.cur = p
+	b.curCont = p.Data()[pageHeaderSize:]
+	b.used = 0
+	b.st = b.level
+	b.lo, b.hi = b.level, b.level // lo/hi include st by construction
+	return nil
+}
+
+// sealCurrent records the current page's header and releases it.
+func (b *Builder) sealCurrent() error {
+	if b.cur == nil {
+		return nil
+	}
+	b.store.headers = append(b.store.headers, header{
+		page: b.cur.ID(),
+		used: uint16(b.used),
+		st:   b.st,
+		lo:   b.lo,
+		hi:   b.hi,
+	})
+	b.cur.MarkDirty()
+	b.pf.Unpin(b.cur)
+	b.cur = nil
+	return nil
+}
+
+// ensureRoom makes the current page able to accept n more content bytes.
+func (b *Builder) ensureRoom(n int) error {
+	if b.cur == nil || b.used+n > b.fillMax {
+		return b.newPage()
+	}
+	return nil
+}
+
+// Open appends an open token for sym and returns its position.
+func (b *Builder) Open(sym symtab.Sym) (Pos, error) {
+	if b.finished {
+		return Pos{}, errors.New("stree: builder already finished")
+	}
+	if sym == 0 || sym > symtab.MaxSym {
+		return Pos{}, fmt.Errorf("stree: symbol %d out of range", sym)
+	}
+	if err := b.ensureRoom(OpenTokenSize); err != nil {
+		return Pos{}, err
+	}
+	pos := Pos{Chain: len(b.store.headers), Off: b.used}
+	b.curCont[b.used] = byte(sym >> 8)
+	b.curCont[b.used+1] = byte(sym)
+	b.used += OpenTokenSize
+	b.level++
+	if b.level > b.hi {
+		b.hi = b.level
+	}
+	if b.level > b.maxLevel {
+		b.maxLevel = b.level
+	}
+	b.open++
+	b.nodes++
+	b.tokBytes += OpenTokenSize
+	return pos, nil
+}
+
+// Close appends a close token for the most recently opened element.
+func (b *Builder) Close() error {
+	if b.finished {
+		return errors.New("stree: builder already finished")
+	}
+	if b.open == 0 {
+		return errors.New("stree: Close without matching Open")
+	}
+	if err := b.ensureRoom(CloseTokenSize); err != nil {
+		return err
+	}
+	b.curCont[b.used] = CloseByte
+	b.used += CloseTokenSize
+	b.level--
+	if b.level < b.lo {
+		b.lo = b.level
+	}
+	b.open--
+	b.tokBytes += CloseTokenSize
+	return nil
+}
+
+// Finish seals the last page, persists headers and meta, and returns the
+// completed store.
+func (b *Builder) Finish() (*Store, error) {
+	if b.finished {
+		return nil, errors.New("stree: builder already finished")
+	}
+	if b.open != 0 {
+		return nil, fmt.Errorf("stree: %d unclosed element(s) at Finish", b.open)
+	}
+	if b.nodes == 0 {
+		return nil, errors.New("stree: empty document")
+	}
+	b.finished = true
+	if err := b.sealCurrent(); err != nil {
+		return nil, err
+	}
+	s := b.store
+	s.nodeCount = b.nodes
+	s.tokenBytes = b.tokBytes
+	s.maxLevel = int(b.maxLevel)
+	// Write every page header now that next/prev links are known.
+	for ci := range s.headers {
+		p, err := b.pf.Get(s.headers[ci].page)
+		if err != nil {
+			return nil, err
+		}
+		s.writePageHeader(ci, p.Data())
+		p.MarkDirty()
+		b.pf.Unpin(p)
+	}
+	if err := s.writeMeta(); err != nil {
+		return nil, err
+	}
+	if err := b.pf.Flush(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,205 @@
+// Package symtab maps XML tag names to the fixed-width symbols of the
+// storage alphabet Σ.
+//
+// The paper's string representation stores one 2-byte character from Σ per
+// element. This package owns that mapping: tag (and attribute) names are
+// interned to dense uint16 symbols, and the table is persisted alongside the
+// string representation so symbols can be decoded back to names.
+//
+// Symbol 0 is reserved (never assigned), and the high byte 0xFF is reserved
+// for the close-parenthesis marker of the string representation, so at most
+// 0xFEFF-1 distinct names can be interned — far beyond any real document
+// (Treebank, the richest dataset in the paper, has 250 tags).
+package symtab
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Sym is a 2-byte character of the storage alphabet Σ.
+type Sym uint16
+
+// MaxSym is the largest assignable symbol. Values above it would collide
+// with the close-parenthesis byte marker (0xFF) in the string
+// representation's encoding.
+const MaxSym Sym = 0xFEFF
+
+// ErrFull is returned by Intern when the alphabet is exhausted.
+var ErrFull = errors.New("symtab: symbol alphabet exhausted")
+
+// AttrPrefix distinguishes attribute names from element names in the table;
+// the attribute year is interned as "@year", matching the paper's treatment
+// of attributes as child nodes (e.g. @year → z in Example 1).
+const AttrPrefix = "@"
+
+// Table is an interning table between names and symbols. The zero value is
+// not ready for use; call New.
+type Table struct {
+	byName map[string]Sym
+	bySym  []string // index sym-1 holds the name for sym
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{byName: make(map[string]Sym)}
+}
+
+// Intern returns the symbol for name, assigning the next free symbol if the
+// name has not been seen. It fails with ErrFull when the alphabet is
+// exhausted.
+func (t *Table) Intern(name string) (Sym, error) {
+	if s, ok := t.byName[name]; ok {
+		return s, nil
+	}
+	next := Sym(len(t.bySym) + 1)
+	if next > MaxSym {
+		return 0, ErrFull
+	}
+	t.byName[name] = next
+	t.bySym = append(t.bySym, name)
+	return next, nil
+}
+
+// Lookup returns the symbol for name without interning.
+func (t *Table) Lookup(name string) (Sym, bool) {
+	s, ok := t.byName[name]
+	return s, ok
+}
+
+// Name returns the name for s.
+func (t *Table) Name(s Sym) (string, bool) {
+	if s == 0 || int(s) > len(t.bySym) {
+		return "", false
+	}
+	return t.bySym[s-1], true
+}
+
+// Len returns the number of interned names.
+func (t *Table) Len() int { return len(t.bySym) }
+
+// Names returns all interned names sorted lexicographically. The slice is
+// freshly allocated.
+func (t *Table) Names() []string {
+	out := make([]string, len(t.bySym))
+	copy(out, t.bySym)
+	sort.Strings(out)
+	return out
+}
+
+// magic identifies the on-disk symbol table format.
+var magic = [4]byte{'N', 'K', 'S', '1'}
+
+// WriteTo serializes the table. The format is:
+//
+//	magic "NKS1" | uint32 count | count × (uint16 nameLen | name bytes)
+//
+// Names are written in symbol order so symbols are implicit.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	if _, err := bw.Write(magic[:]); err != nil {
+		return n, err
+	}
+	n += 4
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(len(t.bySym)))
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return n, err
+	}
+	n += 4
+	for _, name := range t.bySym {
+		if len(name) > 0xFFFF {
+			return n, fmt.Errorf("symtab: name too long (%d bytes)", len(name))
+		}
+		binary.BigEndian.PutUint16(buf[:2], uint16(len(name)))
+		if _, err := bw.Write(buf[:2]); err != nil {
+			return n, err
+		}
+		n += 2
+		if _, err := bw.WriteString(name); err != nil {
+			return n, err
+		}
+		n += int64(len(name))
+	}
+	return n, bw.Flush()
+}
+
+// Read deserializes a table previously written with WriteTo.
+func Read(r io.Reader) (*Table, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("symtab: reading header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, fmt.Errorf("symtab: bad magic %q", hdr[:4])
+	}
+	count := binary.BigEndian.Uint32(hdr[4:8])
+	if count > uint32(MaxSym) {
+		return nil, fmt.Errorf("symtab: impossible symbol count %d", count)
+	}
+	t := New()
+	nameBuf := make([]byte, 0, 64)
+	for i := uint32(0); i < count; i++ {
+		var lenBuf [2]byte
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("symtab: reading name %d: %w", i, err)
+		}
+		nameLen := int(binary.BigEndian.Uint16(lenBuf[:]))
+		if cap(nameBuf) < nameLen {
+			nameBuf = make([]byte, nameLen)
+		}
+		nameBuf = nameBuf[:nameLen]
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, fmt.Errorf("symtab: reading name %d: %w", i, err)
+		}
+		name := string(nameBuf)
+		if _, dup := t.byName[name]; dup {
+			return nil, fmt.Errorf("symtab: duplicate name %q in table", name)
+		}
+		if _, err := t.Intern(name); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Save writes the table to path atomically (write temp + rename).
+func (t *Table) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a table from path.
+func Load(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

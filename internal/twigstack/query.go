@@ -1,0 +1,373 @@
+package twigstack
+
+import (
+	"sort"
+
+	"nok/internal/pattern"
+)
+
+// qnode is one node of the query twig with its input stream and stack.
+type qnode struct {
+	pat      *pattern.Node
+	parent   *qnode
+	children []*qnode
+	// axis is the edge from parent (Child or Descendant); meaningless on
+	// the root.
+	axis   pattern.Axis
+	stream *qstream
+	stack  []stackEntry
+}
+
+type stackEntry struct {
+	el Element
+	// parentTop is the size of the parent's stack when this entry was
+	// pushed: entries [0, parentTop) of the parent stack are potential
+	// ancestors.
+	parentTop int
+}
+
+func (q *qnode) isLeaf() bool { return len(q.children) == 0 }
+func (q *qnode) isRoot() bool { return q.parent == nil }
+
+// pathEdge records that parent element p (by start) reaches child element
+// c (by start) along one query edge — the raw material of the merge phase.
+type pathEdge struct{ p, c uint64 }
+
+// Query evaluates a path expression.
+func (e *Engine) Query(expr string) ([]Result, error) {
+	t, err := pattern.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryPattern(t)
+}
+
+// QueryPattern runs the holistic twig join for a parsed pattern tree.
+func (e *Engine) QueryPattern(t *pattern.Tree) ([]Result, error) {
+	var hasArcs bool
+	t.Walk(func(n *pattern.Node, _ int) {
+		if len(n.PrecededBy) > 0 {
+			hasArcs = true
+		}
+		for _, edge := range n.Children {
+			if edge.Axis == pattern.Following {
+				hasArcs = true // following is outside TwigStack's model too
+			}
+		}
+	})
+	if hasArcs {
+		return nil, ErrNotImplemented
+	}
+
+	// Build the query twig. The virtual root contributes only a level
+	// constraint: '/step' from the virtual root pins level 1.
+	if len(t.Root.Children) != 1 {
+		return nil, ErrNotImplemented // multiple top-level branches
+	}
+	topEdge := t.Root.Children[0]
+	exactLevel := 0
+	if topEdge.Axis == pattern.Child {
+		exactLevel = 1
+	}
+	var build func(p *pattern.Node, parent *qnode, axis pattern.Axis, lvl int) (*qnode, error)
+	var all []*qnode
+	build = func(p *pattern.Node, parent *qnode, axis pattern.Axis, lvl int) (*qnode, error) {
+		s, err := e.openStream(p, lvl)
+		if err != nil {
+			return nil, err
+		}
+		q := &qnode{pat: p, parent: parent, axis: axis, stream: s}
+		all = append(all, q)
+		for _, edge := range p.Children {
+			c, err := build(edge.To, q, edge.Axis, 0)
+			if err != nil {
+				return nil, err
+			}
+			q.children = append(q.children, c)
+		}
+		return q, nil
+	}
+	root, err := build(topEdge.To, nil, topEdge.Axis, exactLevel)
+	if err != nil {
+		for _, q := range all {
+			if q.stream != nil {
+				q.stream.close()
+			}
+		}
+		return nil, err
+	}
+	defer func() {
+		for _, q := range all {
+			q.stream.close()
+		}
+	}()
+
+	edges := make(map[*qnode]map[pathEdge]bool)
+	leafEls := make(map[*qnode]map[uint64]Element)
+	rootEls := make(map[uint64]Element)
+	for _, q := range all {
+		edges[q] = make(map[pathEdge]bool)
+		leafEls[q] = make(map[uint64]Element)
+	}
+
+	// Main TwigStack loop.
+	for !endOf(root) {
+		q := getNext(root)
+		if q.stream.eof {
+			break // defensive: no further solutions possible
+		}
+		h := q.stream.head
+		if !q.isRoot() {
+			cleanStack(q.parent, h.Interval.Start)
+		}
+		if q.isRoot() || len(q.parent.stack) > 0 {
+			cleanStack(q, h.Interval.Start)
+			parentTop := 0
+			if !q.isRoot() {
+				parentTop = len(q.parent.stack)
+			}
+			q.stack = append(q.stack, stackEntry{el: h, parentTop: parentTop})
+			if q.isLeaf() {
+				e.emitPaths(q, edges, leafEls, rootEls)
+				q.stack = q.stack[:len(q.stack)-1]
+			}
+		}
+		if err := q.stream.advance(); err != nil {
+			return nil, err
+		}
+	}
+
+	return e.merge(t, root, all, edges, leafEls, rootEls), nil
+}
+
+// endOf reports whether every leaf stream in the twig is exhausted.
+func endOf(q *qnode) bool {
+	if q.isLeaf() {
+		return q.stream.eof
+	}
+	for _, c := range q.children {
+		if !endOf(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// getNext is the core of TwigStack [Bruno et al., Algorithm 2]: it returns
+// a query node whose stream head participates in the next potential
+// solution, advancing internal streams past elements that cannot contain
+// the pending descendants.
+//
+// One deviation from the published pseudocode: subtrees whose leaf streams
+// are all exhausted are ignored when choosing nmin/nmax. The pseudocode
+// would otherwise keep returning the exhausted leaf forever while other
+// branches still owe path solutions for elements already on the stacks
+// (e.g. a book on the stack whose price path has not been emitted after
+// the last-name stream ended). Skipping dead subtrees keeps draining the
+// live branches; the merge phase discards the extra unmatched paths.
+func getNext(q *qnode) *qnode {
+	if q.isLeaf() {
+		return q
+	}
+	var live []*qnode
+	for _, qi := range q.children {
+		if !endOf(qi) {
+			live = append(live, qi)
+		}
+	}
+	if len(live) == 0 {
+		return q
+	}
+	for _, qi := range live {
+		if ni := getNext(qi); ni != qi {
+			return ni
+		}
+	}
+	nmin, nmax := live[0], live[0]
+	for _, qi := range live[1:] {
+		if qi.stream.head.Interval.Start < nmin.stream.head.Interval.Start {
+			nmin = qi
+		}
+		if qi.stream.head.Interval.Start > nmax.stream.head.Interval.Start {
+			nmax = qi
+		}
+	}
+	for !q.stream.eof && q.stream.head.Interval.End < nmax.stream.head.Interval.Start {
+		if err := q.stream.advance(); err != nil {
+			q.stream.eof = true
+			q.stream.head = infinity
+			break
+		}
+	}
+	if q.stream.head.Interval.Start < nmin.stream.head.Interval.Start {
+		return q
+	}
+	return nmin
+}
+
+// cleanStack pops entries whose subtree ended before position.
+func cleanStack(q *qnode, position uint64) {
+	for len(q.stack) > 0 && q.stack[len(q.stack)-1].el.Interval.End < position {
+		q.stack = q.stack[:len(q.stack)-1]
+	}
+}
+
+// emitPaths expands the path solutions ending at the just-pushed leaf
+// entry of q, recording query-edge element pairs for the merge phase.
+// Parent-child query edges are verified by level difference here (the
+// post-filtering treatment of '/' edges).
+func (e *Engine) emitPaths(q *qnode, edges map[*qnode]map[pathEdge]bool, leafEls map[*qnode]map[uint64]Element, rootEls map[uint64]Element) {
+	// chain holds the element chosen at each twig level, leaf-first.
+	var rec func(n *qnode, entryIdx int, childEl *Element, childNode *qnode) bool
+	rec = func(n *qnode, entryIdx int, childEl *Element, childNode *qnode) bool {
+		entry := n.stack[entryIdx]
+		if childEl != nil {
+			if childNode.axis == pattern.Child && childEl.Level != entry.el.Level+1 {
+				return false
+			}
+		}
+		if n.isRoot() {
+			if childEl != nil {
+				edges[childNode][pathEdge{entry.el.Interval.Start, childEl.Interval.Start}] = true
+			}
+			rootEls[entry.el.Interval.Start] = entry.el
+			return true
+		}
+		ok := false
+		for i := 0; i < entry.parentTop; i++ {
+			if rec(n.parent, i, &entry.el, n) {
+				ok = true
+			}
+		}
+		if ok && childEl != nil {
+			edges[childNode][pathEdge{entry.el.Interval.Start, childEl.Interval.Start}] = true
+		}
+		return ok
+	}
+	leafIdx := len(q.stack) - 1
+	if rec(q, leafIdx, nil, nil) {
+		e.stats.PathSolutions++
+		leafEls[q][q.stack[leafIdx].el.Interval.Start] = q.stack[leafIdx].el
+	}
+}
+
+// merge combines path solutions into twig solutions and returns the
+// returning node's matches: an element is supported when every child edge
+// of its query node links it to a supported child element; the final
+// answer is the supported, root-reachable elements of the returning node.
+func (e *Engine) merge(t *pattern.Tree, root *qnode, all []*qnode, edges map[*qnode]map[pathEdge]bool, leafEls map[*qnode]map[uint64]Element, rootEls map[uint64]Element) []Result {
+	// supported: bottom-up. An element supports its query node when every
+	// child edge links it to a supported child element.
+	supported := make(map[*qnode]map[uint64]bool)
+	var up func(q *qnode)
+	up = func(q *qnode) {
+		for _, c := range q.children {
+			up(c)
+		}
+		sup := make(map[uint64]bool)
+		if q.isLeaf() {
+			for s := range leafEls[q] {
+				sup[s] = true
+			}
+			supported[q] = sup
+			return
+		}
+		// Parent candidates: parents appearing in every child's edge set
+		// with a supported child.
+		counts := make(map[uint64]int)
+		for _, c := range q.children {
+			seen := make(map[uint64]bool)
+			for pe := range edges[c] {
+				if supported[c][pe.c] && !seen[pe.p] {
+					seen[pe.p] = true
+					counts[pe.p]++
+				}
+			}
+		}
+		for s, n := range counts {
+			if n == len(q.children) {
+				sup[s] = true
+			}
+		}
+		supported[q] = sup
+	}
+	up(root)
+
+	// reachable: top-down from supported root elements.
+	reachable := make(map[*qnode]map[uint64]bool)
+	var down func(q *qnode)
+	down = func(q *qnode) {
+		for _, c := range q.children {
+			r := make(map[uint64]bool)
+			for pe := range edges[c] {
+				if reachable[q][pe.p] && supported[c][pe.c] {
+					r[pe.c] = true
+				}
+			}
+			reachable[c] = r
+			down(c)
+		}
+	}
+	reachable[root] = make(map[uint64]bool)
+	for s := range rootEls {
+		if supported[root][s] {
+			reachable[root][s] = true
+		}
+	}
+	down(root)
+
+	// The returning query node.
+	var retQ *qnode
+	for _, q := range all {
+		if q.pat == t.Return {
+			retQ = q
+		}
+	}
+	if retQ == nil {
+		return nil
+	}
+	meta := e.elementMeta(retQ, edges, leafEls, rootEls)
+	var out []Result
+	for s := range reachable[retQ] {
+		el, ok := meta[s]
+		if !ok {
+			continue
+		}
+		out = append(out, Result{Ordinal: el.Ordinal, Interval: el.Interval, Level: el.Level})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Interval.Start < out[j].Interval.Start })
+	return out
+}
+
+// elementMeta recovers element metadata for a query node's matches.
+func (e *Engine) elementMeta(q *qnode, edges map[*qnode]map[pathEdge]bool, leafEls map[*qnode]map[uint64]Element, rootEls map[uint64]Element) map[uint64]Element {
+	if q.isLeaf() {
+		return leafEls[q]
+	}
+	if q.isRoot() {
+		return rootEls
+	}
+	// Internal non-root node: metadata must come from somewhere recorded;
+	// re-read its stream and pick the elements whose starts appear.
+	starts := make(map[uint64]bool)
+	for _, c := range q.children {
+		for pe := range edges[c] {
+			starts[pe.p] = true
+		}
+	}
+	out := make(map[uint64]Element)
+	s, err := e.openStream(q.pat, 0)
+	if err != nil {
+		return out
+	}
+	defer s.close()
+	for !s.eof {
+		if starts[s.head.Interval.Start] {
+			out[s.head.Interval.Start] = s.head
+		}
+		if err := s.advance(); err != nil {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,367 @@
+// Package twigstack implements the holistic twig join baseline
+// [Bruno, Koudas, Srivastava, SIGMOD 2002] the paper compares against.
+//
+// Storage follows the paper's §6.2 setup: "different tree nodes with
+// different tag names are stored separately in a file sorted by document
+// order. Each file contains the nodes constituting an input stream
+// associated with a node in the twig." Elements are interval-encoded
+// (start, end, level) records; value predicates filter the streams as they
+// are read (the paper used a value B+ tree for the same purpose — see
+// DESIGN.md's substitution notes).
+//
+// TwigStack is optimal for ancestor-descendant twigs; parent-child edges
+// are verified by level checks during path-solution expansion, the
+// standard post-filtering treatment. Sibling-order arcs are not supported
+// (the original algorithm has no notion of them) and yield
+// ErrNotImplemented.
+package twigstack
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nok/internal/pattern"
+	"nok/internal/sax"
+	"nok/internal/stree"
+	"nok/internal/symtab"
+	"nok/internal/vstore"
+)
+
+// ErrNotImplemented marks unsupported query features (sibling-order arcs).
+var ErrNotImplemented = errors.New("twigstack: not implemented (sibling axis)")
+
+// NoValue marks elements without text content.
+const NoValue = ^uint64(0)
+
+// stream record: start u64, end u64, level u32, ordinal u32, valOff u64.
+const recordSize = 8 + 8 + 4 + 4 + 8
+
+const (
+	fileTags   = "tags.sym"
+	fileValues = "values.dat"
+	fileAll    = "all.str"
+	streamsDir = "streams"
+)
+
+// Element is one interval-encoded stream record.
+type Element struct {
+	Interval stree.Interval
+	Level    int
+	Ordinal  int
+	ValOff   uint64
+}
+
+// Result identifies a matched element by preorder ordinal.
+type Result struct {
+	Ordinal  int
+	Interval stree.Interval
+	Level    int
+}
+
+// Stats counts the work one query did.
+type Stats struct {
+	// ElementsScanned counts stream records read (including filtered ones).
+	ElementsScanned int64
+	// PathSolutions counts root-to-leaf solutions emitted.
+	PathSolutions int64
+	// ValueLookups counts data-file reads for value predicates.
+	ValueLookups int64
+}
+
+// Engine is an opened TwigStack store.
+type Engine struct {
+	dir   string
+	tags  *symtab.Table
+	vals  *vstore.Store
+	count int
+
+	stats Stats
+}
+
+// Load shreds an XML document into per-tag stream files.
+func Load(dir string, r io.Reader) (*Engine, error) {
+	if err := os.MkdirAll(filepath.Join(dir, streamsDir), 0o755); err != nil {
+		return nil, err
+	}
+	tags := symtab.New()
+	vals, err := vstore.Create(filepath.Join(dir, fileValues))
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Engine, error) {
+		vals.Close()
+		return nil, err
+	}
+
+	type rec struct {
+		start, end uint64
+		level      uint32
+		ordinal    uint32
+		valOff     uint64
+		sym        symtab.Sym
+	}
+	var recs []rec
+	type open struct {
+		ordinal int
+		text    strings.Builder
+	}
+	var stack []*open
+	var pos uint64
+	sc := sax.NewScanner(r)
+
+	openElem := func(name string) error {
+		sym, err := tags.Intern(name)
+		if err != nil {
+			return err
+		}
+		pos++
+		recs = append(recs, rec{
+			start: pos, level: uint32(len(stack) + 1),
+			ordinal: uint32(len(recs)), valOff: NoValue, sym: sym,
+		})
+		stack = append(stack, &open{ordinal: len(recs) - 1})
+		return nil
+	}
+	closeElem := func(trim bool) error {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		pos++
+		recs[e.ordinal].end = pos
+		text := e.text.String()
+		if trim {
+			text = strings.TrimSpace(text)
+		}
+		if text != "" {
+			off, err := vals.Append([]byte(text))
+			if err != nil {
+				return err
+			}
+			recs[e.ordinal].valOff = uint64(off)
+		}
+		return nil
+	}
+
+	for {
+		ev, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fail(err)
+		}
+		switch ev.Kind {
+		case sax.StartElement:
+			if err := openElem(ev.Name); err != nil {
+				return fail(err)
+			}
+			for _, a := range ev.Attrs {
+				if err := openElem(symtab.AttrPrefix + a.Name); err != nil {
+					return fail(err)
+				}
+				stack[len(stack)-1].text.WriteString(a.Value)
+				if err := closeElem(false); err != nil {
+					return fail(err)
+				}
+			}
+		case sax.EndElement:
+			if err := closeElem(true); err != nil {
+				return fail(err)
+			}
+		case sax.Text:
+			if len(stack) > 0 {
+				stack[len(stack)-1].text.WriteString(ev.Data)
+			}
+		}
+	}
+
+	// Write per-tag streams plus the all-elements stream. recs is already
+	// in document (start) order.
+	writers := map[symtab.Sym]*bufio.Writer{}
+	files := map[symtab.Sym]*os.File{}
+	allF, err := os.Create(filepath.Join(dir, fileAll))
+	if err != nil {
+		return fail(err)
+	}
+	allW := bufio.NewWriterSize(allF, 128<<10)
+	var buf [recordSize]byte
+	for _, rc := range recs {
+		binary.BigEndian.PutUint64(buf[0:8], rc.start)
+		binary.BigEndian.PutUint64(buf[8:16], rc.end)
+		binary.BigEndian.PutUint32(buf[16:20], rc.level)
+		binary.BigEndian.PutUint32(buf[20:24], rc.ordinal)
+		binary.BigEndian.PutUint64(buf[24:32], rc.valOff)
+		if _, err := allW.Write(buf[:]); err != nil {
+			return fail(err)
+		}
+		w := writers[rc.sym]
+		if w == nil {
+			f, err := os.Create(streamPath(dir, rc.sym))
+			if err != nil {
+				return fail(err)
+			}
+			files[rc.sym] = f
+			w = bufio.NewWriterSize(f, 32<<10)
+			writers[rc.sym] = w
+		}
+		if _, err := w.Write(buf[:]); err != nil {
+			return fail(err)
+		}
+	}
+	for sym, w := range writers {
+		if err := w.Flush(); err != nil {
+			return fail(err)
+		}
+		if err := files[sym].Close(); err != nil {
+			return fail(err)
+		}
+	}
+	if err := allW.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := allF.Close(); err != nil {
+		return fail(err)
+	}
+	if err := tags.Save(filepath.Join(dir, fileTags)); err != nil {
+		return fail(err)
+	}
+	return &Engine{dir: dir, tags: tags, vals: vals, count: len(recs)}, nil
+}
+
+func streamPath(dir string, sym symtab.Sym) string {
+	return filepath.Join(dir, streamsDir, fmt.Sprintf("%05d.str", sym))
+}
+
+// Open attaches to an existing TwigStack directory.
+func Open(dir string) (*Engine, error) {
+	tags, err := symtab.Load(filepath.Join(dir, fileTags))
+	if err != nil {
+		return nil, err
+	}
+	vals, err := vstore.Open(filepath.Join(dir, fileValues))
+	if err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(filepath.Join(dir, fileAll))
+	if err != nil {
+		vals.Close()
+		return nil, err
+	}
+	return &Engine{dir: dir, tags: tags, vals: vals, count: int(fi.Size() / recordSize)}, nil
+}
+
+// Close releases the engine.
+func (e *Engine) Close() error { return e.vals.Close() }
+
+// Count returns the number of stored elements.
+func (e *Engine) Count() int { return e.count }
+
+// Stats returns the accumulated work counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the counters.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// ---- streams ----------------------------------------------------------------
+
+// infinity is the head of an exhausted stream.
+var infinity = Element{Interval: stree.Interval{Start: ^uint64(0), End: ^uint64(0)}}
+
+// qstream reads one query node's input stream, filtering by value
+// constraint and an optional exact-level requirement.
+type qstream struct {
+	e     *Engine
+	r     *bufio.Reader
+	f     *os.File
+	head  Element
+	eof   bool
+	cmp   pattern.Cmp
+	lit   string
+	level int // 0 = any
+}
+
+func (e *Engine) openStream(p *pattern.Node, exactLevel int) (*qstream, error) {
+	var path string
+	if p.Test == "*" {
+		path = filepath.Join(e.dir, fileAll)
+	} else {
+		sym, ok := e.tags.Lookup(p.Test)
+		if !ok {
+			// Tag absent: an empty stream.
+			s := &qstream{e: e, eof: true, head: infinity}
+			return s, nil
+		}
+		path = streamPath(e.dir, sym)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &qstream{
+		e: e, f: f, r: bufio.NewReaderSize(f, 64<<10),
+		cmp: p.Cmp, lit: p.Literal, level: exactLevel,
+	}
+	if err := s.advance(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *qstream) close() {
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+}
+
+// advance moves to the next element passing the filters.
+func (s *qstream) advance() error {
+	if s.eof {
+		return nil
+	}
+	var buf [recordSize]byte
+	for {
+		if _, err := io.ReadFull(s.r, buf[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				s.eof = true
+				s.head = infinity
+				return nil
+			}
+			return err
+		}
+		s.e.stats.ElementsScanned++
+		el := Element{
+			Interval: stree.Interval{
+				Start: binary.BigEndian.Uint64(buf[0:8]),
+				End:   binary.BigEndian.Uint64(buf[8:16]),
+			},
+			Level:   int(binary.BigEndian.Uint32(buf[16:20])),
+			Ordinal: int(binary.BigEndian.Uint32(buf[20:24])),
+			ValOff:  binary.BigEndian.Uint64(buf[24:32]),
+		}
+		if s.level > 0 && el.Level != s.level {
+			continue
+		}
+		if s.cmp != pattern.CmpNone {
+			if el.ValOff == NoValue {
+				continue
+			}
+			v, err := s.e.vals.Get(int64(el.ValOff))
+			if err != nil {
+				return err
+			}
+			s.e.stats.ValueLookups++
+			if !s.cmp.Eval(string(v), s.lit) {
+				continue
+			}
+		}
+		s.head = el
+		return nil
+	}
+}

@@ -1,0 +1,268 @@
+package twigstack
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nok/internal/domnav"
+	"nok/internal/pattern"
+	"nok/internal/samples"
+)
+
+func loadEngine(t *testing.T, xml string) *Engine {
+	t.Helper()
+	e, err := Load(filepath.Join(t.TempDir(), "ts"), strings.NewReader(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func queryOrds(t *testing.T, e *Engine, expr string) []int {
+	t.Helper()
+	rs, err := e.Query(expr)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", expr, err)
+	}
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = r.Ordinal
+	}
+	return out
+}
+
+func oracleOrds(t *testing.T, doc *domnav.Doc, expr string) []int {
+	t.Helper()
+	tr, err := pattern.Parse(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []int
+	for _, n := range domnav.Evaluate(doc, tr) {
+		out = append(out, n.Order)
+	}
+	return out
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBibliographyAgainstOracle(t *testing.T) {
+	e := loadEngine(t, samples.Bibliography)
+	doc := domnav.MustParse(samples.Bibliography)
+	queries := []string{
+		samples.PaperQuery,
+		`/bib`,
+		`/bib/book`,
+		`/bib/book/title`,
+		`//last`,
+		`//book[price>100]`,
+		`//book[price<100]`,
+		`//book[author/last="Stevens"]`,
+		`//book[@year="2000"]/title`,
+		`//book[editor]`,
+		`//book[author][editor]`,
+		`/bib/*/title`,
+		`//author//last`,
+		`//book[title="Data on the Web"]//last`,
+		`/bib/book[price>=129.95]/@year`,
+		`//missing`,
+		`/wrong/book`,
+	}
+	for _, q := range queries {
+		got := queryOrds(t, e, q)
+		want := oracleOrds(t, doc, q)
+		if !sameInts(got, want) {
+			t.Errorf("%s:\n got  %v\n want %v", q, got, want)
+		}
+	}
+}
+
+func TestNotImplementedSiblings(t *testing.T) {
+	e := loadEngine(t, samples.Bibliography)
+	_, err := e.Query(`//book/author/following-sibling::author`)
+	if !errors.Is(err, ErrNotImplemented) {
+		t.Errorf("err = %v, want ErrNotImplemented", err)
+	}
+}
+
+func TestLeafStreamsFullyScanned(t *testing.T) {
+	// The paper: "TwigStack has to scan all streams associated with leaf
+	// nodes in the pattern tree" — even when the twig root is rare.
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	sb.WriteString(`<rare><x>v</x></rare>`)
+	for i := 0; i < 1000; i++ {
+		sb.WriteString("<common><x>v</x></common>")
+	}
+	sb.WriteString("</r>")
+	e := loadEngine(t, sb.String())
+	e.ResetStats()
+	if _, err := e.Query(`//rare/x`); err != nil {
+		t.Fatal(err)
+	}
+	// The x stream has 1001 entries; all must have been read.
+	if e.Stats().ElementsScanned < 1001 {
+		t.Errorf("ElementsScanned = %d, want >= 1001 (full leaf stream)",
+			e.Stats().ElementsScanned)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ts")
+	e, err := Load(dir, strings.NewReader(samples.Bibliography))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := queryOrds(t, e, `/bib/book/title`)
+	e.Close()
+
+	e2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	got := queryOrds(t, e2, `/bib/book/title`)
+	if !sameInts(got, want) || len(got) != 4 {
+		t.Errorf("after reopen: %v, want %v", got, want)
+	}
+}
+
+func TestRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1717))
+	tags := []string{"a", "b", "c", "d"}
+	vals := []string{"x", "y", "42"}
+	var gen func(sb *strings.Builder, budget, depth int) int
+	gen = func(sb *strings.Builder, budget, depth int) int {
+		tag := tags[rng.Intn(len(tags))]
+		sb.WriteString("<" + tag + ">")
+		used := 1
+		kids := rng.Intn(4)
+		if depth > 5 {
+			kids = 0
+		}
+		if kids == 0 {
+			sb.WriteString(vals[rng.Intn(len(vals))])
+		}
+		for i := 0; i < kids && used < budget; i++ {
+			used += gen(sb, (budget-used)/(kids-i)+1, depth+1)
+		}
+		sb.WriteString("</" + tag + ">")
+		return used
+	}
+	for trial := 0; trial < 4; trial++ {
+		var sb strings.Builder
+		sb.WriteString("<root>")
+		n := 0
+		for n < 250 {
+			n += gen(&sb, 250-n, 1)
+		}
+		sb.WriteString("</root>")
+		xml := sb.String()
+		e := loadEngine(t, xml)
+		doc := domnav.MustParse(xml)
+		queries := []string{
+			`/root/a`, `//a`, `//a/b`, `//a//b`, `//a[b]`, `//a[b="x"]`,
+			`//a[b][c]`, `//a[b/c]`, `//a[b]//c`, `/root/a/b/c`,
+			`//b[c="42"]`, `//a[b="x"][c="y"]`, `//*[b]`, `//a/*`,
+			`//d//c//b`, `//a[b][c][d]`,
+		}
+		for _, q := range queries {
+			got := queryOrds(t, e, q)
+			want := oracleOrds(t, doc, q)
+			if !sameInts(got, want) {
+				t.Errorf("trial %d %s:\n got  %v\n want %v\nxml: %.300s",
+					trial, q, got, want, xml)
+			}
+		}
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	// Recursive same-tag nesting stresses the stacks.
+	xml := `<root><a><a><a><b>x</b></a></a><b>y</b></a></root>`
+	e := loadEngine(t, xml)
+	doc := domnav.MustParse(xml)
+	for _, q := range []string{`//a//b`, `//a/a//b`, `//a[b]`, `//a/b`, `//a//a`} {
+		got := queryOrds(t, e, q)
+		want := oracleOrds(t, doc, q)
+		if !sameInts(got, want) {
+			t.Errorf("%s: got %v want %v", q, got, want)
+		}
+	}
+}
+
+func TestWideFanout(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&sb, "<a><b>%d</b><c>%d</c></a>", i%10, i%7)
+	}
+	sb.WriteString("</r>")
+	xml := sb.String()
+	e := loadEngine(t, xml)
+	doc := domnav.MustParse(xml)
+	for _, q := range []string{`//a[b="3"][c="3"]`, `//a[b="3"]/c`, `/r/a/b`} {
+		got := queryOrds(t, e, q)
+		want := oracleOrds(t, doc, q)
+		if !sameInts(got, want) {
+			t.Errorf("%s: got %d results, want %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestCountAndOpenErrors(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ts")
+	e, err := Load(dir, strings.NewReader(samples.Bibliography))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 40 {
+		t.Errorf("Count = %d, want 40", e.Count())
+	}
+	e.Close()
+	if _, err := Open(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("Open of missing dir should fail")
+	}
+	if err := os.Remove(filepath.Join(dir, "all.str")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("Open without all.str should fail")
+	}
+}
+
+func TestInternalNodeResultMetadata(t *testing.T) {
+	// The returning node being an *internal* twig node exercises
+	// elementMeta's stream re-read path.
+	xml := `<r><a><b><c>x</c></b></a><a><b><d/></b></a></r>`
+	e := loadEngine(t, xml)
+	doc := domnav.MustParse(xml)
+	for _, q := range []string{
+		`//a/b[c]`,   // b internal? b is returning with child predicate
+		`//a[b/c]/b`, // returning b under a constrained a
+		`//a[b]`,     // returning a with b below
+		`//r/a[b[c]]`,
+	} {
+		got := queryOrds(t, e, q)
+		want := oracleOrds(t, doc, q)
+		if !sameInts(got, want) {
+			t.Errorf("%s: got %v want %v", q, got, want)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package vstore implements the paper's value data file (§4.1).
+//
+// The storage scheme separates structure from values: element and attribute
+// content is stored out-of-line as a sequence of (len, value) records in a
+// data file, exactly as in the paper's Example 3. Records are addressed by
+// their byte offset; the Dewey-ID B+ tree maps node IDs to offsets, and the
+// hashed-value B+ tree maps values back to Dewey IDs.
+//
+// Identical values can share one record ("If there are more than one node
+// with the same value, we can keep only one copy"): the Writer keeps a
+// value→offset table during bulk load and on update-time appends.
+package vstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sync"
+)
+
+// MaxValueLen bounds a single record; longer values are rejected rather
+// than silently truncated.
+const MaxValueLen = 1 << 24 // 16 MiB
+
+// ErrBadOffset is returned when Get is pointed at a non-record position.
+var ErrBadOffset = errors.New("vstore: invalid record offset")
+
+// Hash returns the 64-bit hash used as the key of the value B+ tree. The
+// paper hashes values to fixed-size comparable keys and resolves collisions
+// through the data file; FNV-1a is stable across runs, which the on-disk
+// index requires.
+func Hash(value []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(value)
+	return h.Sum64()
+}
+
+// Store is an append-only value data file. It is safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	size int64 // logical end of file including buffered bytes
+
+	// dedup maps value hash → offset of a record with that hash. Collisions
+	// are resolved by re-reading the record; a hash collision between two
+	// different values merely costs a duplicate record, never corruption.
+	dedup map[uint64]int64
+
+	readBuf []byte
+	closed  bool
+}
+
+// Create creates a new value store at path, failing if it exists.
+func Create(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{f: f, w: bufio.NewWriterSize(f, 256<<10), dedup: make(map[uint64]int64)}, nil
+}
+
+// Open opens an existing value store. The dedup table is rebuilt lazily:
+// Open itself does not scan the file; appended values after Open simply may
+// not dedup against pre-existing records.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Store{
+		f:     f,
+		w:     bufio.NewWriterSize(f, 256<<10),
+		size:  st.Size(),
+		dedup: make(map[uint64]int64),
+	}, nil
+}
+
+// Append stores value and returns the offset of its record. Identical
+// values (by content) may be deduplicated to a previously returned offset.
+func (s *Store) Append(value []byte) (int64, error) {
+	if len(value) > MaxValueLen {
+		return 0, fmt.Errorf("vstore: value of %d bytes exceeds limit %d", len(value), MaxValueLen)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errors.New("vstore: closed")
+	}
+	h := Hash(value)
+	if off, ok := s.dedup[h]; ok {
+		existing, err := s.getLocked(off)
+		if err == nil && string(existing) == string(value) {
+			return off, nil
+		}
+		// Hash collision with a different value, or unreadable record:
+		// fall through and write a fresh copy.
+	}
+	off := s.size
+	var lenBuf [binary.MaxVarintLen32]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(value)))
+	if _, err := s.w.Write(lenBuf[:n]); err != nil {
+		return 0, err
+	}
+	if _, err := s.w.Write(value); err != nil {
+		return 0, err
+	}
+	s.size += int64(n) + int64(len(value))
+	s.dedup[h] = off
+	return off, nil
+}
+
+// Get returns the value stored at offset. The returned slice is freshly
+// allocated.
+func (s *Store) Get(offset int64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("vstore: closed")
+	}
+	v, err := s.getLocked(offset)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+// getLocked reads the record at offset into s.readBuf and returns a view of
+// it. Buffered writes are flushed first when the offset lies beyond the
+// synced region.
+func (s *Store) getLocked(offset int64) ([]byte, error) {
+	if offset < 0 || offset >= s.size {
+		return nil, fmt.Errorf("%w: %d (size %d)", ErrBadOffset, offset, s.size)
+	}
+	if s.w.Buffered() > 0 {
+		if err := s.w.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	var hdr [binary.MaxVarintLen32]byte
+	n, err := s.f.ReadAt(hdr[:], offset)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	vlen, consumed := binary.Uvarint(hdr[:n])
+	if consumed <= 0 || vlen > MaxValueLen {
+		return nil, fmt.Errorf("%w: %d (bad length header)", ErrBadOffset, offset)
+	}
+	if offset+int64(consumed)+int64(vlen) > s.size {
+		return nil, fmt.Errorf("%w: %d (record overruns file)", ErrBadOffset, offset)
+	}
+	if cap(s.readBuf) < int(vlen) {
+		s.readBuf = make([]byte, vlen)
+	}
+	buf := s.readBuf[:vlen]
+	if _, err := io.ReadFull(io.NewSectionReader(s.f, offset+int64(consumed), int64(vlen)), buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Size returns the logical file size in bytes.
+func (s *Store) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Flush forces buffered appends to the OS and syncs.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("vstore: closed")
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// Scan calls fn for every record in offset order, stopping early if fn
+// returns false. It flushes buffered writes first.
+func (s *Store) Scan(fn func(offset int64, value []byte) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("vstore: closed")
+	}
+	if s.w.Buffered() > 0 {
+		if err := s.w.Flush(); err != nil {
+			return err
+		}
+	}
+	r := bufio.NewReaderSize(io.NewSectionReader(s.f, 0, s.size), 256<<10)
+	var off int64
+	var buf []byte
+	for off < s.size {
+		vlen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("vstore: scan at %d: %w", off, err)
+		}
+		hdrLen := uvarintLen(vlen)
+		if vlen > MaxValueLen || off+int64(hdrLen)+int64(vlen) > s.size {
+			return fmt.Errorf("vstore: scan at %d: corrupt record length %d", off, vlen)
+		}
+		if cap(buf) < int(vlen) {
+			buf = make([]byte, vlen)
+		}
+		buf = buf[:vlen]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("vstore: scan at %d: %w", off, err)
+		}
+		if !fn(off, buf) {
+			return nil
+		}
+		off += int64(hdrLen) + int64(vlen)
+	}
+	return nil
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,300 @@
+package vstore
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Create(filepath.Join(t.TempDir(), "values.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestAppendGetRoundTrip(t *testing.T) {
+	s := newStore(t)
+	values := [][]byte{
+		[]byte("1994"),
+		[]byte("TCP/IP Illustrated"),
+		[]byte("Addison-Wesley"),
+		[]byte("Stevens"),
+		[]byte("65.95"),
+		{}, // empty value is legal
+	}
+	var offs []int64
+	for _, v := range values {
+		off, err := s.Append(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	for i, v := range values {
+		got, err := s.Get(offs[i])
+		if err != nil {
+			t.Fatalf("Get(%d): %v", offs[i], err)
+		}
+		if !bytes.Equal(got, v) {
+			t.Errorf("Get(%d) = %q, want %q", offs[i], got, v)
+		}
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	s := newStore(t)
+	o1, err := s.Append([]byte("Stevens"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := s.Append([]byte("W."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o3, err := s.Append([]byte("Stevens"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 != o3 {
+		t.Errorf("duplicate value got offset %d, want %d", o3, o1)
+	}
+	if o1 == o2 {
+		t.Error("distinct values share an offset")
+	}
+	sizeBefore := s.Size()
+	if _, err := s.Append([]byte("Stevens")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != sizeBefore {
+		t.Error("deduplicated append grew the file")
+	}
+}
+
+func TestGetBadOffsets(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.Append([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int64{-1, 3, 100} {
+		if _, err := s.Get(off); err == nil {
+			t.Errorf("Get(%d): expected error", off)
+		}
+	}
+}
+
+func TestOversizedValueRejected(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.Append(make([]byte, MaxValueLen+1)); err == nil {
+		t.Error("oversized value should be rejected")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.dat")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off1, _ := s.Append([]byte("alpha"))
+	off2, _ := s.Append([]byte("beta"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, c := range []struct {
+		off  int64
+		want string
+	}{{off1, "alpha"}, {off2, "beta"}} {
+		got, err := s2.Get(c.off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != c.want {
+			t.Errorf("Get(%d) = %q, want %q", c.off, got, c.want)
+		}
+	}
+	// Appends after reopen extend the file.
+	off3, err := s2.Append([]byte("gamma"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off3 <= off2 {
+		t.Errorf("append after reopen got offset %d, want > %d", off3, off2)
+	}
+}
+
+func TestScanVisitsAllRecordsInOrder(t *testing.T) {
+	s := newStore(t)
+	var want []string
+	for i := 0; i < 50; i++ {
+		v := fmt.Sprintf("value-%03d", i)
+		want = append(want, v)
+		if _, err := s.Append([]byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	lastOff := int64(-1)
+	err := s.Scan(func(off int64, v []byte) bool {
+		if off <= lastOff {
+			t.Errorf("offsets not increasing: %d after %d", off, lastOff)
+		}
+		lastOff = off
+		got = append(got, string(v))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scanned %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	s := newStore(t)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Append([]byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	err := s.Scan(func(off int64, v []byte) bool {
+		n++
+		return n < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("visited %d records, want 3", n)
+	}
+}
+
+func TestHashIsStable(t *testing.T) {
+	// The value index persists hashes on disk; they must be deterministic.
+	if Hash([]byte("Stevens")) != Hash([]byte("Stevens")) {
+		t.Error("Hash not deterministic")
+	}
+	if Hash([]byte("Stevens")) == Hash([]byte("stevens")) {
+		t.Error("suspicious collision (case)")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	s := newStore(t)
+	f := func(v []byte) bool {
+		if len(v) > 1<<16 {
+			v = v[:1<<16]
+		}
+		off, err := s.Append(v)
+		if err != nil {
+			return false
+		}
+		got, err := s.Get(off)
+		return err == nil && bytes.Equal(got, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlushAndCloseSemantics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.dat")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// After Flush (and before Close) another handle sees the data.
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(0)
+	if err != nil || string(got) != "durable" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Double close is safe; operations after close fail.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if _, err := s.Append([]byte("x")); err == nil {
+		t.Error("Append after Close should fail")
+	}
+	if _, err := s.Get(0); err == nil {
+		t.Error("Get after Close should fail")
+	}
+	if err := s.Flush(); err == nil {
+		t.Error("Flush after Close should fail")
+	}
+	if err := s.Scan(func(int64, []byte) bool { return true }); err == nil {
+		t.Error("Scan after Close should fail")
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope.dat")); err == nil {
+		t.Error("Open of missing file should fail")
+	}
+}
+
+func TestLargeValuesCrossVarintBoundaries(t *testing.T) {
+	s := newStore(t)
+	// Lengths around the 1- and 2-byte uvarint boundaries.
+	for _, n := range []int{0, 1, 127, 128, 129, 16383, 16384, 70000} {
+		v := bytes.Repeat([]byte{byte(n % 251)}, n)
+		off, err := s.Append(v)
+		if err != nil {
+			t.Fatalf("Append(%d bytes): %v", n, err)
+		}
+		got, err := s.Get(off)
+		if err != nil || !bytes.Equal(got, v) {
+			t.Fatalf("round trip of %d bytes failed: %v", n, err)
+		}
+	}
+	// Scan visits them all with correct lengths.
+	var lens []int
+	if err := s.Scan(func(off int64, v []byte) bool {
+		lens = append(lens, len(v))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 127, 128, 129, 16383, 16384, 70000}
+	if len(lens) != len(want) {
+		t.Fatalf("scanned %d records: %v", len(lens), lens)
+	}
+	for i := range want {
+		if lens[i] != want[i] {
+			t.Errorf("record %d len = %d, want %d", i, lens[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package workload defines the query workload of the evaluation: the
+// twelve categories of Table 2 (selectivity × topology × value-constraint)
+// instantiated for each of the five datasets, including the NA cells of
+// Table 3 (categories inapplicable to a dataset).
+//
+// Category naming follows the paper: a three-character string where
+// position 1 is selectivity (h/m/l), position 2 topology (p = single path,
+// b = bushy), position 3 value constraints (y/n). Q1..Q12 enumerate the
+// combinations in Table 2's order.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nok/internal/datagen"
+)
+
+// Category is one of the twelve query categories.
+type Category struct {
+	// ID is Q1..Q12.
+	ID string
+	// Code is the three-letter category (e.g. "hpy").
+	Code string
+	// Selectivity, Topology, Value spell the code out.
+	Selectivity string // "high", "moderate", "low"
+	Topology    string // "path", "bushy"
+	Value       bool   // has value constraints
+	// Example is Table 2's schematic query.
+	Example string
+}
+
+// Categories lists Table 2 verbatim.
+func Categories() []Category {
+	return []Category{
+		{"Q1", "hpy", "high", "path", true, `/a/b[c="hi"]`},
+		{"Q2", "hpn", "high", "path", false, `/a/b/c/d`},
+		{"Q3", "hby", "high", "bushy", true, `/a/b[c="hi"][d="hi"]/e`},
+		{"Q4", "hbn", "high", "bushy", false, `/a/b[c][d][e][f]`},
+		{"Q5", "mpy", "moderate", "path", true, `/a/b[z="mod"]/d/e`},
+		{"Q6", "mpn", "moderate", "path", false, `/a/b/e`},
+		{"Q7", "mby", "moderate", "bushy", true, `/a/b[c="mod"][d="mod"]`},
+		{"Q8", "mbn", "moderate", "bushy", false, `/a/b[c][d][e]`},
+		{"Q9", "lpy", "low", "path", true, `/a/b[c="low"]/d`},
+		{"Q10", "lpn", "low", "path", false, `/a/b/c`},
+		{"Q11", "lby", "low", "bushy", true, `/a/b[c="low"][d="low"]`},
+		{"Q12", "lbn", "low", "bushy", false, `/a/b[c][d]`},
+	}
+}
+
+// Query is one concrete query of the workload.
+type Query struct {
+	Category Category
+	// Expr is the path expression; empty when the category is NA for the
+	// dataset (Table 3's NA cells).
+	Expr string
+}
+
+// NA reports whether the cell is not applicable.
+func (q Query) NA() bool { return q.Expr == "" }
+
+// ForDataset instantiates the twelve categories for a dataset, mirroring
+// Table 3's NA pattern: the data-centric sets (author, address, catalog)
+// have no high/moderate-selectivity queries without value constraints
+// (Q4, Q6, Q8 NA), and Treebank's randomly generated values make every
+// value query high-selectivity (Q5, Q7, Q9, Q11 NA).
+func ForDataset(name string) ([]Query, error) {
+	var exprs map[string]string
+	switch name {
+	case "author":
+		exprs = authorQueries()
+	case "address":
+		exprs = addressQueries()
+	case "catalog":
+		exprs = catalogQueries()
+	case "treebank":
+		exprs = treebankQueries()
+	case "dblp":
+		exprs = dblpQueries()
+	default:
+		return nil, fmt.Errorf("workload: unknown dataset %q", name)
+	}
+	var out []Query
+	for _, cat := range Categories() {
+		out = append(out, Query{Category: cat, Expr: exprs[cat.ID]})
+	}
+	return out, nil
+}
+
+// The needle literals planted by the generators.
+var (
+	hi  = datagen.NeedleHigh
+	mod = datagen.NeedleMod
+	low = datagen.NeedleLow
+)
+
+func authorQueries() map[string]string {
+	return map[string]string{
+		"Q1": fmt.Sprintf(`/authors/author[address/city=%q]`, hi),
+		"Q2": `/authors/author/rareelem/flag`,
+		"Q3": fmt.Sprintf(`/authors/author[address/city=%q][born]/name`, hi),
+		// Q4 (hbn) NA: no tag combination is high-selectivity and bushy.
+		"Q5": fmt.Sprintf(`/authors/author[address/city=%q]/name/last`, mod),
+		// Q6 (mpn) NA.
+		"Q7": fmt.Sprintf(`/authors/author[address/city=%q][born]`, mod),
+		// Q8 (mbn) NA.
+		"Q9":  fmt.Sprintf(`/authors/author[address/city=%q]/name`, low),
+		"Q10": `//author/name/first`,
+		"Q11": fmt.Sprintf(`/authors/author[address/city=%q][name/last]`, low),
+		"Q12": `/authors/author[name][address]`,
+	}
+}
+
+func addressQueries() map[string]string {
+	return map[string]string{
+		"Q1":  fmt.Sprintf(`/addresses/address[city=%q]`, hi),
+		"Q2":  `/addresses/address/rareelem/flag`,
+		"Q3":  fmt.Sprintf(`/addresses/address[city=%q][country]/phone`, hi),
+		"Q5":  fmt.Sprintf(`/addresses/address[city=%q]/postcode`, mod),
+		"Q7":  fmt.Sprintf(`/addresses/address[city=%q][province]`, mod),
+		"Q9":  fmt.Sprintf(`/addresses/address[city=%q]/street`, low),
+		"Q10": `/addresses/address/city`,
+		"Q11": fmt.Sprintf(`/addresses/address[city=%q][phone]`, low),
+		"Q12": `/addresses/address[street][country]`,
+	}
+}
+
+func catalogQueries() map[string]string {
+	return map[string]string{
+		"Q1":  fmt.Sprintf(`/catalog/category/item[publisher=%q]`, hi),
+		"Q2":  `/catalog/category/item/rareelem/flag`,
+		"Q3":  fmt.Sprintf(`/catalog/category/item[publisher=%q][isbn]/title`, hi),
+		"Q5":  fmt.Sprintf(`//item[publisher=%q]/authors_info/author`, mod),
+		"Q7":  fmt.Sprintf(`//item[publisher=%q][isbn]`, mod),
+		"Q9":  fmt.Sprintf(`//item[publisher=%q]/title`, low),
+		"Q10": `/catalog/category/item/authors_info/author/name/first`,
+		"Q11": fmt.Sprintf(`//item[publisher=%q][title]`, low),
+		"Q12": `//item[title][isbn]`,
+	}
+}
+
+func treebankQueries() map[string]string {
+	return map[string]string{
+		"Q1": fmt.Sprintf(`//NP[NN=%q]`, hi),
+		"Q2": `//rareelem/flag`,
+		"Q3": fmt.Sprintf(`//NP[NN=%q][DT]`, hi),
+		"Q4": `//rareelem[flag][extra]`,
+		// Q5/Q7/Q9/Q11 NA: Treebank values are random, so every value
+		// query is high-selectivity.
+		"Q6":  `//modelem/flag`,
+		"Q8":  `//modelem[flag][extra]`,
+		"Q10": `//NP/NN`,
+		"Q12": `//NP[DT][NN]`,
+	}
+}
+
+func dblpQueries() map[string]string {
+	return map[string]string{
+		"Q1":  fmt.Sprintf(`/dblp/article[author=%q]`, hi),
+		"Q2":  `/dblp/article/rareelem/flag`,
+		"Q3":  fmt.Sprintf(`/dblp/article[author=%q][year]/title`, hi),
+		"Q4":  `//article[rareelem][title][year][author]`,
+		"Q5":  fmt.Sprintf(`//article[author=%q]/title`, mod),
+		"Q6":  `//modelem/flag`,
+		"Q7":  fmt.Sprintf(`//article[author=%q][year]`, mod),
+		"Q8":  `//article[modelem][title][year]`,
+		"Q9":  fmt.Sprintf(`//article[author=%q]/title`, low),
+		"Q10": `/dblp/article/title`,
+		"Q11": fmt.Sprintf(`//article[author=%q][year]`, low),
+		"Q12": `//article[title][year]`,
+	}
+}
+
+// SubstituteDescendant implements the paper's "we also tested // axis by
+// randomly substituting it for a / axis": each query gets one randomly
+// chosen '/' step rewritten to '//', deterministically in seed. Queries
+// without a substitutable step are returned unchanged.
+func SubstituteDescendant(qs []Query, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Query, len(qs))
+	for i, q := range qs {
+		out[i] = q
+		if q.NA() {
+			continue
+		}
+		// Collect the byte offsets of single-'/' step separators outside
+		// predicates (substituting inside predicates is also legal but the
+		// paper's phrasing targets the main path).
+		var slashes []int
+		depth := 0
+		for j := 0; j < len(q.Expr); j++ {
+			switch q.Expr[j] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			case '/':
+				if depth == 0 && (j+1 >= len(q.Expr) || q.Expr[j+1] != '/') &&
+					(j == 0 || q.Expr[j-1] != '/') {
+					slashes = append(slashes, j)
+				}
+			}
+		}
+		if len(slashes) == 0 {
+			continue
+		}
+		at := slashes[rng.Intn(len(slashes))]
+		out[i].Expr = q.Expr[:at] + "/" + q.Expr[at:]
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"nok/internal/datagen"
+	"nok/internal/domnav"
+	"nok/internal/pattern"
+)
+
+func TestCategoriesMatchTable2(t *testing.T) {
+	cats := Categories()
+	if len(cats) != 12 {
+		t.Fatalf("categories = %d, want 12", len(cats))
+	}
+	wantCodes := []string{"hpy", "hpn", "hby", "hbn", "mpy", "mpn",
+		"mby", "mbn", "lpy", "lpn", "lby", "lbn"}
+	for i, c := range cats {
+		if c.Code != wantCodes[i] {
+			t.Errorf("Q%d code = %s, want %s", i+1, c.Code, wantCodes[i])
+		}
+		if c.ID != "Q"+itoa(i+1) {
+			t.Errorf("ID = %s", c.ID)
+		}
+		wantValue := c.Code[2] == 'y'
+		if c.Value != wantValue {
+			t.Errorf("%s Value = %v", c.ID, c.Value)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i >= 10 {
+		return string(rune('0'+i/10)) + string(rune('0'+i%10))
+	}
+	return string(rune('0' + i))
+}
+
+func TestNAPatternMatchesTable3(t *testing.T) {
+	naCells := map[string][]string{
+		"author":   {"Q4", "Q6", "Q8"},
+		"address":  {"Q4", "Q6", "Q8"},
+		"catalog":  {"Q4", "Q6", "Q8"},
+		"treebank": {"Q5", "Q7", "Q9", "Q11"},
+		"dblp":     {},
+	}
+	for ds, want := range naCells {
+		qs, err := ForDataset(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for _, q := range qs {
+			if q.NA() {
+				got = append(got, q.Category.ID)
+			}
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: NA cells %v, want %v", ds, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: NA cells %v, want %v", ds, got, want)
+			}
+		}
+	}
+}
+
+func TestAllQueriesParse(t *testing.T) {
+	for _, ds := range []string{"author", "address", "catalog", "treebank", "dblp"} {
+		qs, err := ForDataset(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range qs {
+			if q.NA() {
+				continue
+			}
+			if _, err := pattern.Parse(q.Expr); err != nil {
+				t.Errorf("%s %s: %v", ds, q.Category.ID, err)
+			}
+		}
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	if _, err := ForDataset("nope"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+// TestSelectivityCalibration verifies the planted needles give each
+// category its intended result-size band on generated data (the property
+// Table 3's analysis depends on).
+func TestSelectivityCalibration(t *testing.T) {
+	bands := map[string][2]int{
+		"high":     {1, 9},
+		"moderate": {10, 100},
+		"low":      {101, 1 << 30},
+	}
+	for _, spec := range datagen.Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := spec.Generate(&buf, 1, 7); err != nil {
+				t.Fatal(err)
+			}
+			doc, err := domnav.Parse(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs, err := ForDataset(spec.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range qs {
+				if q.NA() {
+					continue
+				}
+				tr, err := pattern.Parse(q.Expr)
+				if err != nil {
+					t.Fatalf("%s: %v", q.Category.ID, err)
+				}
+				n := len(domnav.Evaluate(doc, tr))
+				band := bands[q.Category.Selectivity]
+				if n < band[0] || n > band[1] {
+					t.Errorf("%s %s (%s): %d results, want in [%d, %d] — %s",
+						spec.Name, q.Category.ID, q.Category.Code, n, band[0], band[1], q.Expr)
+				}
+			}
+		})
+	}
+}
+
+func TestSubstituteDescendant(t *testing.T) {
+	qs, err := ForDataset("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := SubstituteDescendant(qs, 7)
+	if len(subs) != len(qs) {
+		t.Fatal("length changed")
+	}
+	changed := 0
+	for i := range qs {
+		if qs[i].NA() {
+			if !subs[i].NA() {
+				t.Error("NA cell changed")
+			}
+			continue
+		}
+		if _, err := pattern.Parse(subs[i].Expr); err != nil {
+			t.Errorf("substituted %q does not parse: %v", subs[i].Expr, err)
+		}
+		if subs[i].Expr != qs[i].Expr {
+			changed++
+			// Exactly one extra slash.
+			if len(subs[i].Expr) != len(qs[i].Expr)+1 {
+				t.Errorf("%q -> %q: more than one substitution", qs[i].Expr, subs[i].Expr)
+			}
+		}
+	}
+	if changed == 0 {
+		t.Error("no queries were substituted")
+	}
+	// Deterministic in the seed.
+	again := SubstituteDescendant(qs, 7)
+	for i := range subs {
+		if subs[i].Expr != again[i].Expr {
+			t.Fatal("not deterministic")
+		}
+	}
+}

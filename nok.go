@@ -1,0 +1,325 @@
+// Package nok is a native XML store with succinct physical storage and
+// next-of-kin (NoK) path-query evaluation, reproducing
+//
+//	N. Zhang, V. Kacholia, M. T. Özsu.
+//	"A Succinct Physical Storage Scheme for Efficient Evaluation of Path
+//	Queries in XML." ICDE 2004.
+//
+// A Store persists an XML document as:
+//
+//   - a paged *string representation* of the element structure — one
+//     2-byte symbol per start tag, one byte per end tag, with per-page
+//     (st, lo, hi) level summaries that let navigation skip pages;
+//   - an out-of-line value data file;
+//   - three B+ trees (tag-name, hashed-value, and Dewey-ID indexes).
+//
+// Path queries (a practical XPath fragment: '/', '//', '*', '@attr',
+// predicates with value comparisons, following-sibling) are evaluated by
+// NoK pattern matching: the query's pattern tree is partitioned into
+// next-of-kin subtrees connected by global axes; each NoK subtree is
+// matched navigationally in a single pass over the relevant pages, and the
+// partial results are recombined with interval-based structural joins.
+//
+// Quick start:
+//
+//	st, err := nok.CreateFromFile("bib.db", "bib.xml", nil)
+//	...
+//	results, err := st.Query(`//book[author/last="Stevens"][price<100]`)
+//	for _, r := range results {
+//		fmt.Println(r.ID, r.Tag, r.Value)
+//	}
+//
+// The package also exposes streaming evaluation (Stream) that runs the
+// same query language over any XML io.Reader in one pass with bounded
+// memory — the string representation is exactly a SAX event stream, so
+// the matcher does not care whether pages come from disk or from a socket.
+package nok
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"nok/internal/core"
+	"nok/internal/dewey"
+	"nok/internal/pattern"
+	"nok/internal/stream"
+)
+
+// Options configure store creation and opening.
+type Options struct {
+	// PageSize is the page size in bytes for the string tree and index
+	// files (default 4096, the paper's running example).
+	PageSize int
+	// PoolPages is the buffer-pool capacity per file (default 256).
+	PoolPages int
+	// ReservePct is the per-page free-space reserve for future updates
+	// (default 20, as in §4.2's example).
+	ReservePct int
+}
+
+func (o *Options) toCore() *core.Options {
+	if o == nil {
+		return nil
+	}
+	return &core.Options{PageSize: o.PageSize, PoolPages: o.PoolPages, ReservePct: o.ReservePct}
+}
+
+// Strategy selects how NoK starting points are located; see §3 and §6.2
+// of the paper.
+type Strategy = core.Strategy
+
+// Starting-point strategies.
+const (
+	// StrategyAuto applies the paper's heuristic: value index when an
+	// equality constraint exists, otherwise tag index when selective
+	// enough, otherwise a sequential scan.
+	StrategyAuto = core.StrategyAuto
+	// StrategyScan always scans the document in order.
+	StrategyScan = core.StrategyScan
+	// StrategyTagIndex drives starting points from the tag-name B+ tree.
+	StrategyTagIndex = core.StrategyTagIndex
+	// StrategyValueIndex drives starting points from the value B+ tree.
+	StrategyValueIndex = core.StrategyValueIndex
+	// StrategyPathIndex drives starting points from the path index (the
+	// paper's §8 extension); outside concrete '/'-rooted chains it
+	// degrades to StrategyAuto.
+	StrategyPathIndex = core.StrategyPathIndex
+)
+
+// QueryOptions tune one query evaluation.
+type QueryOptions struct {
+	// Strategy forces a starting-point strategy (default StrategyAuto).
+	Strategy Strategy
+}
+
+// Result is one query match.
+type Result struct {
+	// ID is the node's Dewey identifier in dotted form; the document root
+	// is "0" and its second child "0.2".
+	ID string
+	// Tag is the element name ("@name" for attributes).
+	Tag string
+	// Value is the node's text content; HasValue distinguishes an empty
+	// value from no value.
+	Value    string
+	HasValue bool
+}
+
+// QueryStats mirrors the evaluation counters of one query (see the
+// core package for field semantics).
+type QueryStats = core.QueryStats
+
+// Store is an opened NoK database directory.
+//
+// A Store is safe for concurrent use: queries may run in parallel with
+// each other; Insert and Delete take an exclusive lock (the paper defers
+// full concurrency control to future work — reader/writer exclusion is
+// the pragmatic baseline).
+type Store struct {
+	mu sync.RWMutex
+	db *core.DB
+}
+
+// Create builds a new store at dir from an XML document.
+func Create(dir string, xml io.Reader, opts *Options) (*Store, error) {
+	db, err := core.LoadXML(dir, xml, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &Store{db: db}, nil
+}
+
+// CreateFromFile builds a new store at dir from an XML file.
+func CreateFromFile(dir, xmlPath string, opts *Options) (*Store, error) {
+	f, err := os.Open(xmlPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Create(dir, f, opts)
+}
+
+// Open attaches to an existing store directory.
+func Open(dir string, opts *Options) (*Store, error) {
+	db, err := core.Open(dir, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &Store{db: db}, nil
+}
+
+// Close releases the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Close()
+}
+
+// NodeCount returns the number of element nodes (attributes are modeled
+// as child nodes and included).
+func (s *Store) NodeCount() uint64 { return s.db.NodeCount() }
+
+// Query evaluates a path expression and returns matches in document order.
+func (s *Store) Query(expr string) ([]Result, error) {
+	rs, _, err := s.QueryWithOptions(expr, nil)
+	return rs, err
+}
+
+// QueryWithOptions evaluates a path expression with explicit options and
+// returns evaluation statistics alongside the results.
+func (s *Store) QueryWithOptions(expr string, opts *QueryOptions) ([]Result, *QueryStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var co *core.QueryOptions
+	if opts != nil {
+		co = &core.QueryOptions{Strategy: opts.Strategy}
+	}
+	ms, stats, err := s.db.Query(expr, co)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]Result, len(ms))
+	for i, m := range ms {
+		r := Result{ID: m.ID.String()}
+		if sym, err := s.db.Tree.SymAt(m.Pos); err == nil {
+			if name, ok := s.db.Tags.Name(sym); ok {
+				r.Tag = name
+			}
+		}
+		if v, ok, err := s.db.NodeValue(m.ID); err == nil && ok {
+			r.Value, r.HasValue = v, true
+		}
+		out[i] = r
+	}
+	return out, stats, nil
+}
+
+// Value returns the text content of the node with the given Dewey ID.
+func (s *Store) Value(id string) (string, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	did, err := dewey.Parse(id)
+	if err != nil {
+		return "", false, err
+	}
+	return s.db.NodeValue(did)
+}
+
+// Insert appends an XML fragment (one root element) as the last child of
+// the node identified by parentID. Indexes are rebuilt; see the paper's
+// §4.1 note on Dewey-ID index reconstruction.
+func (s *Store) Insert(parentID string, fragment io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, err := dewey.Parse(parentID)
+	if err != nil {
+		return err
+	}
+	return s.db.InsertFragment(id, fragment)
+}
+
+// Delete removes the node with the given Dewey ID and its whole subtree.
+// Following siblings are renumbered.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	did, err := dewey.Parse(id)
+	if err != nil {
+		return err
+	}
+	return s.db.DeleteSubtree(did)
+}
+
+// Stats summarizes the store's physical layout.
+type Stats struct {
+	Nodes       uint64
+	Pages       int
+	MaxDepth    int
+	TreeBytes   uint64 // size of the string representation
+	ValueBytes  int64  // size of the value data file
+	HeaderBytes int    // in-RAM page-header table (§4.2)
+}
+
+// Stats returns the store's layout summary.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Nodes:       s.db.Tree.NodeCount(),
+		Pages:       s.db.Tree.NumPages(),
+		MaxDepth:    s.db.Tree.MaxLevel(),
+		TreeBytes:   s.db.Tree.TokenBytes(),
+		ValueBytes:  s.db.Values.Size(),
+		HeaderBytes: s.db.Tree.HeaderBytes(),
+	}
+}
+
+// TagCount returns how many nodes carry the given tag name.
+func (s *Store) TagCount(name string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.TagCount(name)
+}
+
+// ErrStreamUnsupported is returned by Stream for patterns that cannot be
+// evaluated in one pass with bounded memory (the following axis).
+var ErrStreamUnsupported = stream.ErrUnsupported
+
+// Stream evaluates a path expression over streaming XML in a single pass,
+// without building a store — the §4.2 observation that the storage format
+// *is* the SAX stream, made operational. Matches are delivered to emit as
+// soon as their candidate subtree closes; returning false stops early.
+func Stream(xml io.Reader, expr string, emit func(Result) bool) error {
+	t, err := pattern.Parse(expr)
+	if err != nil {
+		return err
+	}
+	_, err = stream.MatchFunc(xml, t, func(r stream.Result) bool {
+		return emit(Result{ID: r.ID.String(), Value: r.Value, HasValue: r.Value != ""})
+	})
+	return err
+}
+
+// StreamAll collects every streaming match (sorted, deduplicated).
+func StreamAll(xml io.Reader, expr string) ([]Result, error) {
+	t, err := pattern.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	rs, _, err := stream.Match(xml, t)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = Result{ID: r.ID.String(), Value: r.Value, HasValue: r.Value != ""}
+	}
+	return out, nil
+}
+
+// ParseQuery validates a path expression without evaluating it, returning
+// a descriptive error for malformed input.
+func ParseQuery(expr string) error {
+	_, err := pattern.Parse(expr)
+	return err
+}
+
+// Explain reports how a query would be partitioned and evaluated: the
+// pattern tree, its NoK partitions, and the local/global axis counts —
+// useful for understanding why a query is fast or slow.
+func Explain(expr string) (string, error) {
+	t, err := pattern.Parse(expr)
+	if err != nil {
+		return "", err
+	}
+	parts := pattern.Partition(t)
+	local, global := pattern.CountAxes(t)
+	out := fmt.Sprintf("pattern: %s\naxes: %d local, %d global\npartitions: %d\n",
+		t.String(), local, global, len(parts))
+	for _, p := range parts {
+		out += "  " + p.String() + "\n"
+	}
+	return out, nil
+}

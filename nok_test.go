@@ -1,0 +1,205 @@
+package nok
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"nok/internal/samples"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	st, err := Create(filepath.Join(t.TempDir(), "db"), strings.NewReader(samples.Bibliography), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	st := newStore(t)
+	rs, err := st.Query(samples.PaperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("paper query: %d results", len(rs))
+	}
+	if rs[0].ID != "0.1" || rs[0].Tag != "book" {
+		t.Errorf("first result: %+v", rs[0])
+	}
+	// Values come back attached for value-bearing nodes.
+	rs, err = st.Query(`/bib/book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs[0].HasValue || rs[0].Value != "TCP/IP Illustrated" {
+		t.Errorf("title result: %+v", rs[0])
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	st, err := Create(dir, strings.NewReader(samples.Bibliography), &Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := st.NodeCount()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.NodeCount() != n {
+		t.Errorf("NodeCount after reopen: %d vs %d", st2.NodeCount(), n)
+	}
+}
+
+func TestQueryWithOptionsStats(t *testing.T) {
+	st := newStore(t)
+	rs, stats, err := st.QueryWithOptions(samples.PaperQuery, &QueryOptions{Strategy: StrategyValueIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || stats == nil || stats.Partitions != 2 {
+		t.Errorf("results=%d stats=%+v", len(rs), stats)
+	}
+}
+
+func TestValueLookup(t *testing.T) {
+	st := newStore(t)
+	v, ok, err := st.Value("0.1.2")
+	if err != nil || !ok || v != "TCP/IP Illustrated" {
+		t.Errorf("Value = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := st.Value("0.1"); ok {
+		t.Error("book has no own value")
+	}
+	if _, _, err := st.Value("not-an-id"); err == nil {
+		t.Error("bad ID should error")
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	st := newStore(t)
+	if err := st.Insert("0", strings.NewReader(`<book><title>New</title></book>`)); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := st.Query(`//book[title="New"]`)
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("after insert: %v, %v", rs, err)
+	}
+	if err := st.Delete(rs[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	rs, err = st.Query(`//book[title="New"]`)
+	if err != nil || len(rs) != 0 {
+		t.Fatalf("after delete: %v, %v", rs, err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	st := newStore(t)
+	stats := st.Stats()
+	if stats.Nodes != 40 || stats.Pages == 0 || stats.MaxDepth != 4 || stats.TreeBytes == 0 {
+		t.Errorf("stats: %+v", stats)
+	}
+	if st.TagCount("book") != 4 {
+		t.Errorf("TagCount(book) = %d", st.TagCount("book"))
+	}
+}
+
+func TestStreamAPI(t *testing.T) {
+	var got []Result
+	err := Stream(strings.NewReader(samples.Bibliography), `/bib/book/title`, func(r Result) bool {
+		got = append(got, r)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0].Value != "TCP/IP Illustrated" {
+		t.Fatalf("stream results: %+v", got)
+	}
+	all, err := StreamAll(strings.NewReader(samples.Bibliography), `//last`)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("StreamAll: %v, %v", all, err)
+	}
+}
+
+func TestParseAndExplain(t *testing.T) {
+	if err := ParseQuery(`//book[price<100]`); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	if err := ParseQuery(`not a query`); err == nil {
+		t.Error("invalid query accepted")
+	}
+	out, err := Explain(samples.PaperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"partitions: 2", "local", "global", "NoK#0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestErrorSurface(t *testing.T) {
+	st := newStore(t)
+	if _, err := st.Query(`[[[`); err == nil {
+		t.Error("malformed query accepted")
+	}
+	if err := st.Insert("9.9.9", strings.NewReader("<x/>")); err == nil {
+		t.Error("insert under missing parent accepted")
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing"), nil); err == nil {
+		t.Error("Open of missing dir accepted")
+	}
+}
+
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	st := newStore(t)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := st.Query(samples.PaperQuery); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := st.Query(`/bib/book/title`); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5; i++ {
+		frag := fmt.Sprintf(`<book><title>C%d</title></book>`, i)
+		if err := st.Insert("0", strings.NewReader(frag)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	rs, err := st.Query(`/bib/book`)
+	if err != nil || len(rs) != 9 {
+		t.Fatalf("books after concurrent inserts: %d, %v", len(rs), err)
+	}
+}
