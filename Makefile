@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check build vet test race fmt bench
+
+# check is the full gate: formatting, vet, build, and the race-enabled
+# test suite. CI and pre-commit both run `make check`.
+check: fmt vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# fmt fails (listing the offenders) if any file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

@@ -178,13 +178,14 @@ func BenchmarkSinglePass(b *testing.B) {
 			queries, _ := workload.ForDataset(name)
 			expr := queries[11].Expr
 			pf := e.NoK.Tree.Pager()
-			var reads int64
+			var reads, hits int64
 			for i := 0; i < b.N; i++ {
 				pf.ResetStats()
 				if _, _, err := e.NoK.Query(expr, &core.QueryOptions{Strategy: core.StrategyScan}); err != nil {
 					b.Fatal(err)
 				}
-				reads = pf.Stats().PhysicalReads
+				ps := pf.Stats()
+				reads, hits = ps.PhysicalReads, ps.CacheHits
 			}
 			pages := int64(e.NoK.Tree.NumPages())
 			if reads > pages {
@@ -192,6 +193,9 @@ func BenchmarkSinglePass(b *testing.B) {
 			}
 			b.ReportMetric(float64(reads), "phys-reads")
 			b.ReportMetric(float64(pages), "pages")
+			if total := hits + reads; total > 0 {
+				b.ReportMetric(float64(hits)/float64(total), "cache-hit-ratio")
+			}
 		})
 	}
 }
@@ -238,11 +242,23 @@ func BenchmarkHeaderSkip(b *testing.B) {
 				off  bool
 			}{{"skip", false}, {"noskip", true}} {
 				b.Run(mode.name, func(b *testing.B) {
+					var scanned, skipped float64
+					pf := e.NoK.Tree.Pager()
+					pf.ResetStats()
 					for i := 0; i < b.N; i++ {
 						opts := &core.QueryOptions{Strategy: core.StrategyScan, DisablePageSkip: mode.off}
-						if _, _, err := e.NoK.Query(expr, opts); err != nil {
+						_, stats, err := e.NoK.Query(expr, opts)
+						if err != nil {
 							b.Fatal(err)
 						}
+						scanned = float64(stats.PagesScanned)
+						skipped = float64(stats.PagesSkipped)
+					}
+					b.ReportMetric(scanned, "pages-scanned/op")
+					b.ReportMetric(skipped, "pages-skipped/op")
+					ps := pf.Stats()
+					if total := ps.CacheHits + ps.PhysicalReads; total > 0 {
+						b.ReportMetric(float64(ps.CacheHits)/float64(total), "cache-hit-ratio")
 					}
 				})
 			}

@@ -4,8 +4,12 @@
 //
 // Usage:
 //
-//	nokquery -db DIR [-strategy auto|scan|tag|value|path] [-stats] QUERY
+//	nokquery -db DIR [-strategy auto|scan|tag|value|path] [-stats] [-analyze] QUERY
 //	nokquery -xml FILE QUERY
+//
+// -analyze runs the query with tracing enabled and prints the executed plan
+// (EXPLAIN ANALYZE): every phase with its duration, starting-point strategy,
+// and pages scanned vs skipped.
 package main
 
 import (
@@ -25,6 +29,7 @@ func main() {
 	xml := flag.String("xml", "", "stream-evaluate against an XML file instead of a store")
 	strategy := flag.String("strategy", "auto", "starting-point strategy: auto, scan, tag, value, path")
 	showStats := flag.Bool("stats", false, "print evaluation statistics")
+	analyze := flag.Bool("analyze", false, "print the executed plan with per-phase timings (EXPLAIN ANALYZE)")
 	flag.Parse()
 	if (*db == "") == (*xml == "") || flag.NArg() != 1 {
 		flag.Usage()
@@ -33,6 +38,9 @@ func main() {
 	expr := flag.Arg(0)
 
 	if *xml != "" {
+		if *analyze {
+			log.Fatal("-analyze requires a store (-db); streaming mode has no stored pages to trace")
+		}
 		f, err := os.Open(*xml)
 		if err != nil {
 			log.Fatal(err)
@@ -78,8 +86,18 @@ func main() {
 	}
 	defer st.Close()
 
+	opts := &nok.QueryOptions{Strategy: strat}
 	t0 := time.Now()
-	rs, stats, err := st.QueryWithOptions(expr, &nok.QueryOptions{Strategy: strat})
+	var (
+		rs    []nok.Result
+		stats *nok.QueryStats
+		plan  string
+	)
+	if *analyze {
+		rs, stats, plan, err = st.QueryAnalyze(expr, opts)
+	} else {
+		rs, stats, err = st.QueryWithOptions(expr, opts)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,8 +111,12 @@ func main() {
 	}
 	fmt.Printf("-- %d result(s) in %v\n", len(rs), elapsed.Round(time.Microsecond))
 	if *showStats {
-		fmt.Printf("-- partitions=%d starts=%d npm=%d visited=%d joins=%d strategies=%v\n",
+		fmt.Printf("-- partitions=%d starts=%d npm=%d visited=%d joins=%d strategies=%v pages=%d/%d scanned/skipped\n",
 			stats.Partitions, stats.StartingPoints, stats.NPMCalls,
-			stats.NodesVisited, stats.JoinInputs, stats.StrategyUsed)
+			stats.NodesVisited, stats.JoinInputs, stats.StrategyUsed,
+			stats.PagesScanned, stats.PagesSkipped)
+	}
+	if *analyze {
+		fmt.Print(plan)
 	}
 }

@@ -2,8 +2,12 @@
 //
 // Usage:
 //
-//	nokstat -db DIR [-tag NAME]
+//	nokstat -db DIR [-tag NAME] [-metrics]
 //	nokstat -explain QUERY
+//
+// -metrics dumps the process-wide metrics registry (pager I/O, index and
+// join counters) in Prometheus text exposition format after the other
+// output; on its own it shows the counters incurred by opening the store.
 package main
 
 import (
@@ -21,6 +25,7 @@ func main() {
 	db := flag.String("db", "", "store directory")
 	tag := flag.String("tag", "", "report the node count of one tag")
 	explain := flag.String("explain", "", "explain a query instead of opening a store")
+	metrics := flag.Bool("metrics", false, "dump the metrics registry in Prometheus text format")
 	flag.Parse()
 
 	if *explain != "" {
@@ -29,6 +34,10 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(out)
+		if *metrics {
+			fmt.Println("-- metrics --")
+			fmt.Print(nok.MetricsText())
+		}
 		return
 	}
 	if *db == "" {
@@ -49,5 +58,9 @@ func main() {
 	fmt.Printf("headers(RAM): %d bytes\n", s.HeaderBytes)
 	if *tag != "" {
 		fmt.Printf("count(%s):  %d\n", *tag, st.TagCount(*tag))
+	}
+	if *metrics {
+		fmt.Println("-- metrics --")
+		fmt.Print(nok.MetricsText())
 	}
 }

@@ -29,7 +29,17 @@ import (
 	"fmt"
 	"sync"
 
+	"nok/internal/obs"
 	"nok/internal/pager"
+)
+
+// Process-wide B+-tree work counters (all trees), exposed through the
+// default obs registry.
+var (
+	mLookups = obs.Default.Counter("nok_btree_lookups_total", "point lookups (Get/Has) across all B+ trees")
+	mSeeks   = obs.Default.Counter("nok_btree_seeks_total", "iterator seeks (Seek/First/ScanPrefix/ScanRange) across all B+ trees")
+	mInserts = obs.Default.Counter("nok_btree_inserts_total", "insertions across all B+ trees")
+	mDeletes = obs.Default.Counter("nok_btree_deletes_total", "deletions across all B+ trees")
 )
 
 const (
@@ -337,6 +347,7 @@ func ensureSpace(d []byte, need int) bool {
 
 // Get returns the value for key.
 func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	mLookups.Inc()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	id := t.root
@@ -379,6 +390,7 @@ type splitResult struct {
 
 // Insert stores (key, value), replacing any existing value for key.
 func (t *Tree) Insert(key, value []byte) error {
+	mInserts.Inc()
 	if len(key) == 0 {
 		return errors.New("btree: empty key")
 	}
@@ -636,6 +648,7 @@ func (t *Tree) splitInternal(p *pager.Page, newSep []byte, newChild pager.PageID
 // mid-tree would break the uniform-height invariant the level-based descent
 // relies on; only the root is collapsed, in the loop below.
 func (t *Tree) Delete(key []byte) (bool, error) {
+	mDeletes.Inc()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	removed, dropped, err := t.deleteRec(t.root, t.height, key)

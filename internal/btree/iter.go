@@ -21,6 +21,7 @@ type Iterator struct {
 
 // Seek returns an iterator positioned at the first key >= lo.
 func (t *Tree) Seek(lo []byte) *Iterator {
+	mSeeks.Inc()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	it := &Iterator{t: t}

@@ -3,10 +3,20 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"nok/internal/join"
+	"nok/internal/obs"
 	"nok/internal/pattern"
 	"nok/internal/stree"
+)
+
+// Process-wide query metrics, exposed through the default obs registry.
+var (
+	mQueries      = obs.Default.Counter("nok_queries_total", "path queries evaluated")
+	mQueryErrors  = obs.Default.Counter("nok_query_errors_total", "path queries that returned an error")
+	mQuerySeconds = obs.Default.Histogram("nok_query_seconds", "end-to-end query evaluation latency in seconds", obs.LatencyBuckets)
+	mResults      = obs.Default.Counter("nok_query_results_total", "matches returned across all queries")
 )
 
 // This file is the query evaluator: it glues NoK pattern matching
@@ -38,13 +48,28 @@ type QueryOptions struct {
 	// DisablePageSkip turns off the header-table page-skip optimization
 	// in FOLLOWING-SIBLING (ablation benchmark).
 	DisablePageSkip bool
+	// Trace, when non-nil, records the evaluation's timed phases (parse,
+	// partition, starting-point lookup, NoK matching, structural joins) as
+	// spans — the raw material of EXPLAIN ANALYZE. A nil Trace costs
+	// nothing.
+	Trace *obs.Trace
+}
+
+func (opts *QueryOptions) trace() *obs.Trace {
+	if opts == nil {
+		return nil
+	}
+	return opts.Trace
 }
 
 // Query parses and evaluates a path expression, returning the matches of
 // its returning node in document order.
 func (db *DB) Query(expr string, opts *QueryOptions) ([]Match, *QueryStats, error) {
+	sp := opts.trace().Start("parse")
 	t, err := pattern.Parse(expr)
+	sp.End()
 	if err != nil {
+		mQueryErrors.Inc()
 		return nil, nil, err
 	}
 	return db.QueryPattern(t, opts)
@@ -52,17 +77,45 @@ func (db *DB) Query(expr string, opts *QueryOptions) ([]Match, *QueryStats, erro
 
 // QueryPattern evaluates a parsed pattern tree.
 func (db *DB) QueryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *QueryStats, error) {
+	mQueries.Inc()
+	begin := time.Now()
+	ms, stats, err := db.queryPattern(t, opts)
+	mQuerySeconds.Observe(time.Since(begin).Seconds())
+	if err != nil {
+		mQueryErrors.Inc()
+	} else {
+		mResults.Add(int64(len(ms)))
+	}
+	return ms, stats, err
+}
+
+func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *QueryStats, error) {
 	strat := StrategyAuto
 	noSkip := false
 	if opts != nil {
 		strat = opts.Strategy
 		noSkip = opts.DisablePageSkip
 	}
+	tr := opts.trace()
+
+	sp := tr.Start("partition")
 	parts := pattern.Partition(t)
+	sp.Set("partitions", len(parts))
+	sp.End()
+
 	stats := &QueryStats{
 		Partitions:   len(parts),
 		StrategyUsed: make([]Strategy, len(parts)),
 	}
+
+	// nc attributes page-level navigation work (examined vs skipped via the
+	// (st,lo,hi) headers) to this query alone; the store- and process-global
+	// counters keep aggregating independently.
+	nc := &stree.NavCounters{}
+	defer func() {
+		stats.PagesScanned = nc.Examined
+		stats.PagesSkipped = nc.Skipped
+	}()
 
 	// Phase 1: bottom-up ExtMatch. parts is in topological order (parents
 	// first), so iterating backwards sees every child before its parent.
@@ -70,14 +123,24 @@ func (db *DB) QueryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 	extPts := make(map[*pattern.NoKTree][]uint64)
 	for i := len(parts) - 1; i >= 1; i-- {
 		nt := parts[i]
+		psp := tr.Start(fmt.Sprintf("ext-match partition=%d", i))
+		psp.Set("root", nt.Root.Test)
+		ncBefore := *nc
+		npmBefore, visBefore := stats.NPMCalls, stats.NodesVisited
+
 		m := newMatcher(db, nt, nil, stats)
 		m.noSkip = noSkip
+		m.nc = nc
 		db.installLinkPreds(m, nt, extPts)
 
+		ssp := psp.Start("locate-starts")
 		startPoints, used, err := db.starts(nt, strat)
+		ssp.End()
 		if err != nil {
 			return nil, nil, err
 		}
+		ssp.Set("strategy", used.String())
+		ssp.Set("starts", len(startPoints))
 		stats.StrategyUsed[i] = used
 		stats.StartingPoints += len(startPoints)
 
@@ -93,13 +156,22 @@ func (db *DB) QueryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 		}
 		ext[nt] = matches
 		extPts[nt] = docPosList(matches)
+		psp.Set("matches", len(matches))
+		psp.Set("npm-calls", stats.NPMCalls-npmBefore)
+		psp.Set("nodes-visited", stats.NodesVisited-visBefore)
+		psp.Set("pages-scanned", nc.Examined-ncBefore.Examined)
+		psp.Set("pages-skipped", nc.Skipped-ncBefore.Skipped)
+		psp.End()
 	}
 
 	// Phase 2: top-down along the chain to the returning partition.
+	tsp := tr.Start("top-down")
+	defer tsp.End()
 	chain := pattern.PathToReturn(parts, t)
 	if len(chain) == 0 {
 		return nil, nil, fmt.Errorf("core: returning node not found in any partition")
 	}
+	tsp.Set("chain", len(chain))
 	virtual := Match{Pos: stree.Pos{Chain: -1, Off: -1}}
 	trueStarts := []Match{virtual}
 
@@ -112,10 +184,15 @@ func (db *DB) QueryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 	topRoot := t.Root // effective pattern node matched at trueStarts
 	anchor, chainTests := topAnchor(parts[0], t)
 	if anchor != nil {
+		asp := tsp.Start("locate-anchor")
 		starts, used, err := db.anchoredStarts(parts[0], anchor, chainTests, strat)
+		asp.End()
 		if err != nil {
 			return nil, nil, err
 		}
+		asp.Set("anchor", anchor.Test)
+		asp.Set("strategy", used.String())
+		asp.Set("starts", len(starts))
 		stats.StrategyUsed[0] = used
 		stats.StartingPoints += len(starts)
 		trueStarts = starts
@@ -125,10 +202,16 @@ func (db *DB) QueryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 	for k := 0; k < len(chain); k++ {
 		nt := chain[k]
 		last := k == len(chain)-1
+		hsp := tsp.Start(fmt.Sprintf("match partition=%d", nt.Index()))
+		hsp.Set("starts", len(trueStarts))
+		ncBefore := *nc
 
 		// Shortcut: when the returning node is this partition's root and
 		// this is the last hop, the filtered ExtMatch set *is* the answer.
 		if last && nt.Root == t.Return && nt.Parent != nil {
+			hsp.Set("matches", len(trueStarts))
+			hsp.Set("shortcut", "ext-match reuse")
+			hsp.End()
 			return trueStarts, stats, nil
 		}
 
@@ -152,6 +235,7 @@ func (db *DB) QueryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 
 		m := newMatcher(db, nt, outputs, stats)
 		m.noSkip = noSkip
+		m.nc = nc
 		db.installLinkPreds(m, nt, extPts)
 		root := nt.Root
 		if k == 0 {
@@ -164,8 +248,13 @@ func (db *DB) QueryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 			}
 			_ = ok
 		}
+		hsp.Set("pages-scanned", nc.Examined-ncBefore.Examined)
+		hsp.Set("pages-skipped", nc.Skipped-ncBefore.Skipped)
 		if last {
-			return m.results(t.Return), stats, nil
+			res := m.results(t.Return)
+			hsp.Set("matches", len(res))
+			hsp.End()
+			return res, stats, nil
 		}
 
 		// Structural join: narrow the child partition's ExtMatch to nodes
@@ -173,6 +262,11 @@ func (db *DB) QueryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 		fromMatches := m.results(downLink.From)
 		childExt := ext[chain[k+1]]
 		childPts := extPts[chain[k+1]]
+		hsp.Set("matches", len(fromMatches))
+		hsp.End()
+
+		jsp := tsp.Start(fmt.Sprintf("join partition=%d→%d", nt.Index(), chain[k+1].Index()))
+		jsp.Set("axis", axisName(downLink.Axis))
 
 		if downLink.From.IsVirtualRoot() {
 			// The virtual root contains every node and nothing follows the
@@ -183,14 +277,18 @@ func (db *DB) QueryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 			} else {
 				trueStarts = nil
 			}
+			jsp.Set("kept", len(trueStarts))
+			jsp.Set("shortcut", "virtual root")
+			jsp.End()
 			continue
 		}
 
-		ivs, err := db.intervalsOf(nt, downLink.From, fromMatches)
+		ivs, err := db.intervalsOf(nt, downLink.From, fromMatches, nc)
 		if err != nil {
 			return nil, nil, err
 		}
 		stats.JoinInputs += len(ivs) + len(childPts)
+		jsp.Set("inputs", len(ivs)+len(childPts))
 
 		var keep []int
 		if downLink.Axis == pattern.Following {
@@ -202,8 +300,26 @@ func (db *DB) QueryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 		for i, idx := range keep {
 			trueStarts[i] = childExt[idx]
 		}
+		jsp.Set("kept", len(keep))
+		jsp.End()
 	}
 	return nil, stats, fmt.Errorf("core: unreachable evaluation state")
+}
+
+// axisName renders a link axis for trace annotations.
+func axisName(a pattern.Axis) string {
+	switch a {
+	case pattern.Child:
+		return "child"
+	case pattern.Descendant:
+		return "descendant"
+	case pattern.FollowingSibling:
+		return "following-sibling"
+	case pattern.Following:
+		return "following"
+	default:
+		return fmt.Sprintf("axis(%d)", int(a))
+	}
 }
 
 // installLinkPreds attaches child-partition existence predicates to link
@@ -220,7 +336,7 @@ func (db *DB) installLinkPreds(m *matcher, nt *pattern.NoKTree, extPts map[*patt
 					return false, err
 				}
 			}
-			iv, err := db.nodeInterval(nt, link.From, u)
+			iv, err := db.nodeInterval(nt, link.From, u, m.nc)
 			if err != nil {
 				return false, err
 			}
@@ -234,18 +350,18 @@ func (db *DB) installLinkPreds(m *matcher, nt *pattern.NoKTree, extPts map[*patt
 
 // nodeInterval returns the interval of a matched node; the virtual root's
 // interval spans the whole document.
-func (db *DB) nodeInterval(nt *pattern.NoKTree, n *pattern.Node, u Match) (stree.Interval, error) {
+func (db *DB) nodeInterval(nt *pattern.NoKTree, n *pattern.Node, u Match, nc *stree.NavCounters) (stree.Interval, error) {
 	if n.IsVirtualRoot() {
 		return stree.Interval{Start: 0, End: math.MaxUint64}, nil
 	}
-	return db.Tree.Interval(u.Pos)
+	return db.Tree.IntervalCounted(u.Pos, nc)
 }
 
 // intervalsOf computes intervals for a list of matches of node n.
-func (db *DB) intervalsOf(nt *pattern.NoKTree, n *pattern.Node, ms []Match) ([]stree.Interval, error) {
+func (db *DB) intervalsOf(nt *pattern.NoKTree, n *pattern.Node, ms []Match, nc *stree.NavCounters) ([]stree.Interval, error) {
 	out := make([]stree.Interval, len(ms))
 	for i, u := range ms {
-		iv, err := db.nodeInterval(nt, n, u)
+		iv, err := db.nodeInterval(nt, n, u, nc)
 		if err != nil {
 			return nil, err
 		}

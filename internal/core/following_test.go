@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"nok/internal/domnav"
@@ -43,6 +44,71 @@ func TestFollowingAxisOnBibliography(t *testing.T) {
 		`//editor/following::book`,
 	} {
 		checkAgainstOracle(t, db, doc, q)
+	}
+}
+
+// TestPageSkipCounted checks that the per-query PagesScanned/PagesSkipped
+// stats observe the (st,lo,hi) page-skip optimization: a FOLLOWING-SIBLING
+// hop over a deep subtree must skip at least one page with skipping on, and
+// skip exactly zero (with identical results) when DisablePageSkip is set.
+func TestPageSkipCounted(t *testing.T) {
+	// Each <a> holds a <junk> subtree deep enough to fill interior pages
+	// whose level range stays above the sibling level, followed by the <x>
+	// the query wants; reaching <x> requires a FOLLOWING-SIBLING scan past
+	// <junk>. With 256-byte pages the deep chain spans several pages that
+	// the header table can rule out without I/O.
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 2; i++ {
+		sb.WriteString("<a><junk>")
+		for j := 0; j < 300; j++ {
+			sb.WriteString("<d>")
+		}
+		for j := 0; j < 300; j++ {
+			sb.WriteString("</d>")
+		}
+		sb.WriteString("</junk><x/></a>")
+	}
+	sb.WriteString("</r>")
+	xml := sb.String()
+
+	db := loadDB(t, xml, smallPages())
+	doc := domnav.MustParse(xml)
+	const q = `//a/x`
+	checkAgainstOracle(t, db, doc, q)
+
+	withSkip, stats, err := db.Query(q, nil)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", q, err)
+	}
+	if len(withSkip) != 2 {
+		t.Fatalf("Query(%q) = %d matches, want 2", q, len(withSkip))
+	}
+	if stats.PagesSkipped == 0 {
+		t.Errorf("PagesSkipped = 0, want > 0 (scanned %d pages)", stats.PagesScanned)
+	}
+	if stats.PagesScanned == 0 {
+		t.Errorf("PagesScanned = 0, want > 0")
+	}
+
+	noSkip, noStats, err := db.Query(q, &QueryOptions{DisablePageSkip: true})
+	if err != nil {
+		t.Fatalf("Query(%q) without skipping: %v", q, err)
+	}
+	if noStats.PagesSkipped != 0 {
+		t.Errorf("PagesSkipped = %d with DisablePageSkip, want 0", noStats.PagesSkipped)
+	}
+	if noStats.PagesScanned <= stats.PagesScanned {
+		t.Errorf("PagesScanned without skipping = %d, want > %d (the skipped pages must be examined instead)",
+			noStats.PagesScanned, stats.PagesScanned)
+	}
+	if len(noSkip) != len(withSkip) {
+		t.Fatalf("DisablePageSkip changed the result: %d vs %d matches", len(noSkip), len(withSkip))
+	}
+	for i := range noSkip {
+		if noSkip[i].Pos != withSkip[i].Pos {
+			t.Fatalf("DisablePageSkip changed match %d: %v vs %v", i, noSkip[i].Pos, withSkip[i].Pos)
+		}
 	}
 }
 

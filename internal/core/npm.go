@@ -54,6 +54,10 @@ type matcher struct {
 	// ablation knob for the header-skipping benchmark.
 	noSkip bool
 
+	// nc attributes page-level navigation work to the owning query
+	// (PagesScanned/PagesSkipped in QueryStats).
+	nc *stree.NavCounters
+
 	stats *QueryStats
 }
 
@@ -80,6 +84,12 @@ type QueryStats struct {
 	StrategyUsed []Strategy
 	// JoinInputs counts match-list elements fed into structural joins.
 	JoinInputs int
+	// PagesScanned counts pages examined by this query's navigation
+	// (FOLLOWING-SIBLING and subtree-end scans); PagesSkipped counts pages
+	// those scans excluded through the (st,lo,hi) header bounds — the
+	// per-query view of the paper's Algorithm 2 page-skip optimization.
+	PagesScanned uint64
+	PagesSkipped uint64
 }
 
 // newMatcher prepares a matcher for the pattern nodes of one NoK tree.
@@ -321,11 +331,7 @@ func (m *matcher) npm(p *pattern.Node, u Match) (bool, error) {
 		if m.allDone(states) {
 			break
 		}
-		if m.noSkip {
-			uc, ok, err = m.db.Tree.FollowingSiblingNoSkip(uc)
-		} else {
-			uc, ok, err = m.db.Tree.FollowingSibling(uc)
-		}
+		uc, ok, err = m.db.Tree.FollowingSiblingCounted(uc, !m.noSkip, m.nc)
 		if err != nil {
 			return false, err
 		}

@@ -28,11 +28,21 @@ import (
 	"strings"
 
 	"nok/internal/join"
+	"nok/internal/obs"
 	"nok/internal/pattern"
 	"nok/internal/sax"
 	"nok/internal/stree"
 	"nok/internal/symtab"
 	"nok/internal/vstore"
+)
+
+// Process-wide DI-baseline counters, exposed through the default obs
+// registry (mirrors of Stats, aggregated across engines).
+var (
+	mQueries      = obs.Default.Counter("nok_di_queries_total", "queries evaluated by the DI baseline")
+	mScanned      = obs.Default.Counter("nok_di_tuples_scanned_total", "element-table records read by the DI baseline")
+	mMaterialized = obs.Default.Counter("nok_di_tuples_materialized_total", "intermediate result tuples materialized by the DI baseline")
+	mDIJoins      = obs.Default.Counter("nok_di_joins_total", "structural joins performed by the DI baseline")
 )
 
 // ErrNotImplemented marks query features the DI prototype lacked (the NI
@@ -359,6 +369,13 @@ func (e *Engine) Query(expr string) ([]Result, error) {
 // elements whose subtree constraints hold; a top-down pass then narrows
 // the chain to the returning node.
 func (e *Engine) QueryPattern(t *pattern.Tree) ([]Result, error) {
+	mQueries.Inc()
+	before := e.stats
+	defer func() {
+		mScanned.Add(e.stats.TuplesScanned - before.TuplesScanned)
+		mMaterialized.Add(e.stats.TuplesMaterialized - before.TuplesMaterialized)
+		mDIJoins.Add(e.stats.Joins - before.Joins)
+	}()
 	// Reject sibling-order arcs, which the DI prototype did not support.
 	var hasArcs bool
 	t.Walk(func(n *pattern.Node, _ int) {

@@ -11,13 +11,25 @@ package join
 import (
 	"sort"
 
+	"nok/internal/obs"
 	"nok/internal/stree"
+)
+
+// Process-wide structural-join counters, exposed through the default obs
+// registry. Probes are the per-node existence tests installed as link
+// predicates; joins are the list-level recombinations.
+var (
+	mProbes     = obs.Default.Counter("nok_join_probes_total", "per-node existence probes (ExistsWithin/ExistsAfter)")
+	mJoins      = obs.Default.Counter("nok_join_ops_total", "list-level structural joins (ContainedIn/AfterAny/StackJoin)")
+	mJoinInputs = obs.Default.Counter("nok_join_input_items_total", "points and intervals fed into list-level structural joins")
+	mJoinOutput = obs.Default.Counter("nok_join_output_items_total", "items surviving list-level structural joins")
 )
 
 // ExistsWithin reports whether any of the sorted points lies strictly
 // inside iv — the descendant-existence test the NoK evaluator installs as
 // a link predicate during its bottom-up pass.
 func ExistsWithin(points []uint64, iv stree.Interval) bool {
+	mProbes.Inc()
 	i := sort.Search(len(points), func(i int) bool { return points[i] > iv.Start })
 	return i < len(points) && points[i] < iv.End
 }
@@ -25,6 +37,7 @@ func ExistsWithin(points []uint64, iv stree.Interval) bool {
 // ExistsAfter reports whether any of the sorted points lies after the
 // interval's end — the following-axis existence test.
 func ExistsAfter(points []uint64, iv stree.Interval) bool {
+	mProbes.Inc()
 	return len(points) > 0 && points[len(points)-1] > iv.End
 }
 
@@ -34,6 +47,8 @@ func ExistsAfter(points []uint64, iv stree.Interval) bool {
 // disjoint, a point is covered iff some already-started interval has an
 // end beyond it, so one sweep with a running maximum suffices.
 func ContainedIn(points []uint64, ivs []stree.Interval) []int {
+	mJoins.Inc()
+	mJoinInputs.Add(int64(len(points) + len(ivs)))
 	var out []int
 	var maxEnd uint64
 	j := 0
@@ -48,12 +63,15 @@ func ContainedIn(points []uint64, ivs []stree.Interval) []int {
 			out = append(out, i)
 		}
 	}
+	mJoinOutput.Add(int64(len(out)))
 	return out
 }
 
 // AfterAny returns the indexes (ascending) of points that lie after the
 // end of at least one interval — i.e. after the earliest interval end.
 func AfterAny(points []uint64, ivs []stree.Interval) []int {
+	mJoins.Inc()
+	mJoinInputs.Add(int64(len(points) + len(ivs)))
 	if len(ivs) == 0 {
 		return nil
 	}
@@ -69,6 +87,7 @@ func AfterAny(points []uint64, ivs []stree.Interval) []int {
 			out = append(out, i)
 		}
 	}
+	mJoinOutput.Add(int64(len(out)))
 	return out
 }
 
@@ -82,6 +101,8 @@ type Pair struct {
 // interval lists sorted by Start — the stack-based structural join. It
 // runs in O(|anc| + |desc| + |output|).
 func StackJoin(anc, desc []stree.Interval) []Pair {
+	mJoins.Inc()
+	mJoinInputs.Add(int64(len(anc) + len(desc)))
 	var out []Pair
 	var stack []int // indexes into anc, nested intervals
 	ai, di := 0, 0
@@ -109,6 +130,7 @@ func StackJoin(anc, desc []stree.Interval) []Pair {
 		}
 		di++
 	}
+	mJoinOutput.Add(int64(len(out)))
 	return out
 }
 

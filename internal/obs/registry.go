@@ -1,0 +1,330 @@
+// Package obs is the unified observability layer: a process-wide metrics
+// registry (lock-free counters, gauges and fixed-bucket histograms with
+// Prometheus-text and JSON exposition) and a lightweight per-query tracing
+// API (see trace.go) that the evaluator uses to produce EXPLAIN ANALYZE
+// plans.
+//
+// Every storage layer registers its counters in the Default registry at
+// package init: the pager (physical I/O, cache hits), the B+ trees
+// (lookups, scans), the value store (reads, appends), the structural-join
+// primitives and the DI baseline. A long-running process exposes them by
+// writing Default.WritePrometheus to an HTTP handler or by running
+// `nokstat -metrics`.
+//
+// Counters and gauges are single atomic words; histograms are an atomic
+// word per bucket. Incrementing a metric never takes a lock — the registry
+// mutex only guards metric registration, which happens once per name.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use, but counters are normally obtained from a Registry so they appear in
+// expositions.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram. Observations count into
+// the first bucket whose upper bound is >= the value; values above every
+// bound count only into the implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Int64
+	inf    atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// LatencyBuckets are the default histogram bounds for query latencies, in
+// seconds: 100µs up to ~10s in roughly 3× steps.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	if idx < len(h.bounds) {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot returns cumulative bucket counts (per Prometheus convention) and
+// the total/sum.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{
+		Bounds:     append([]float64(nil), h.bounds...),
+		Cumulative: make([]int64, len(h.bounds)),
+	}
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		out.Cumulative[i] = run
+	}
+	out.Count = run + h.inf.Load()
+	out.Sum = h.Sum()
+	return out
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram. Cumulative[i]
+// counts observations <= Bounds[i]; Count includes the +Inf bucket.
+type HistogramSnapshot struct {
+	Bounds     []float64 `json:"bounds"`
+	Cumulative []int64   `json:"cumulative"`
+	Count      int64     `json:"count"`
+	Sum        float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time view of a whole registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Registry holds named metrics. Metric lookup/creation takes a mutex;
+// updating a metric is lock-free.
+type Registry struct {
+	mu     sync.RWMutex
+	order  []string // registration order, for stable exposition
+	kinds  map[string]byte
+	help   map[string]string
+	ctrs   map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// Default is the process-wide registry all packages register into.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds:  make(map[string]byte),
+		help:   make(map[string]string),
+		ctrs:   make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+const (
+	kindCounter   = 'c'
+	kindGauge     = 'g'
+	kindHistogram = 'h'
+)
+
+// Counter returns the counter registered under name, creating it on first
+// use. Registering the same name as a different kind panics: metric names
+// are a process-wide contract.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k, ok := r.kinds[name]; ok {
+		if k != kindCounter {
+			panic(fmt.Sprintf("obs: metric %q already registered as %c", name, k))
+		}
+		return r.ctrs[name]
+	}
+	c := &Counter{}
+	r.register(name, help, kindCounter)
+	r.ctrs[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k, ok := r.kinds[name]; ok {
+		if k != kindGauge {
+			panic(fmt.Sprintf("obs: metric %q already registered as %c", name, k))
+		}
+		return r.gauges[name]
+	}
+	g := &Gauge{}
+	r.register(name, help, kindGauge)
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds on first use (later calls reuse the
+// original buckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k, ok := r.kinds[name]; ok {
+		if k != kindHistogram {
+			panic(fmt.Sprintf("obs: metric %q already registered as %c", name, k))
+		}
+		return r.hists[name]
+	}
+	h := newHistogram(bounds)
+	r.register(name, help, kindHistogram)
+	r.hists[name] = h
+	return h
+}
+
+func (r *Registry) register(name, help string, kind byte) {
+	r.kinds[name] = kind
+	r.help[name] = help
+	r.order = append(r.order, name)
+}
+
+// Snapshot returns a consistent-enough point-in-time view: each metric is
+// read atomically; the set of metrics is read under the registry lock.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.ctrs)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for n, c := range r.ctrs {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		s.Histograms[n] = h.snapshot()
+	}
+	return s
+}
+
+// Reset zeroes every metric (between benchmark phases; exposition formats
+// assume counters are cumulative, so production code should never reset).
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.ctrs {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.inf.Store(0)
+		h.count.Store(0)
+		h.sum.Store(0)
+	}
+}
+
+// formatFloat renders a float the way Prometheus text format expects.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4), metrics in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.order {
+		if help := r.help[name]; help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch r.kinds[name] {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.ctrs[name].Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, r.gauges[name].Value())
+		case kindHistogram:
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			hs := r.hists[name].snapshot()
+			for i, b := range hs.Bounds {
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), hs.Cumulative[i]); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, hs.Count); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(hs.Sum), name, hs.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes a Snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

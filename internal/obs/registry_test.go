@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotConsistentUnderConcurrentIncrements hammers one registry from
+// many goroutines while snapshotting; the final snapshot must account for
+// every increment and intermediate counter reads must be monotonic.
+func TestSnapshotConsistentUnderConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 5000
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snapErr error
+	var snapMu sync.Mutex
+	go func() {
+		var lastC, lastH int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			c := s.Counters["ops"]
+			h := s.Histograms["lat"].Count
+			snapMu.Lock()
+			if c < lastC || h < lastH {
+				snapErr = fmt.Errorf("snapshot went backwards: counter %d->%d, hist %d->%d", lastC, c, lastH, h)
+			}
+			lastC, lastH = c, h
+			snapMu.Unlock()
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("ops", "")
+			g := r.Gauge("level", "")
+			h := r.Histogram("lat", "", []float64{0.5, 1, 2})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%4) * 0.7)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+
+	snapMu.Lock()
+	defer snapMu.Unlock()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	s := r.Snapshot()
+	total := int64(workers * perWorker)
+	if s.Counters["ops"] != total {
+		t.Errorf("counter = %d, want %d", s.Counters["ops"], total)
+	}
+	if s.Gauges["level"] != total {
+		t.Errorf("gauge = %d, want %d", s.Gauges["level"], total)
+	}
+	if s.Histograms["lat"].Count != total {
+		t.Errorf("histogram count = %d, want %d", s.Histograms["lat"].Count, total)
+	}
+}
+
+// TestHistogramBucketBoundaries verifies the le (less-or-equal) bucket
+// semantics at exact boundaries and beyond the last bound.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0, 1, 1.5, 10, 10.5, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	// le=1: {0, 1}; le=10: +{1.5, 10}; le=100: +{10.5, 100}; +Inf: +{1000}.
+	wantCum := []int64{2, 4, 6}
+	for i, want := range wantCum {
+		if s.Cumulative[i] != want {
+			t.Errorf("bucket le=%g: cumulative = %d, want %d", s.Bounds[i], s.Cumulative[i], want)
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("count = %d, want 7", s.Count)
+	}
+	if want := 0.0 + 1 + 1.5 + 10 + 10.5 + 100 + 1000; s.Sum != want {
+		t.Errorf("sum = %g, want %g", s.Sum, want)
+	}
+}
+
+// TestWritePrometheusGolden pins the text exposition format.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("nok_test_ops_total", "operations performed")
+	g := r.Gauge("nok_test_depth", "current depth")
+	h := r.Histogram("nok_test_seconds", "operation latency", []float64{0.01, 0.1})
+	c.Add(41)
+	c.Inc()
+	g.Set(-3)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(7)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP nok_test_ops_total operations performed",
+		"# TYPE nok_test_ops_total counter",
+		"nok_test_ops_total 42",
+		"# HELP nok_test_depth current depth",
+		"# TYPE nok_test_depth gauge",
+		"nok_test_depth -3",
+		"# HELP nok_test_seconds operation latency",
+		"# TYPE nok_test_seconds histogram",
+		`nok_test_seconds_bucket{le="0.01"} 1`,
+		`nok_test_seconds_bucket{le="0.1"} 2`,
+		`nok_test_seconds_bucket{le="+Inf"} 3`,
+		"nok_test_seconds_sum 7.055",
+		"nok_test_seconds_count 3",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a", "").Add(7)
+	r.Histogram("h", "", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["a"] != 7 || s.Histograms["h"].Count != 1 {
+		t.Errorf("round-trip mismatch: %+v", s)
+	}
+}
+
+func TestSameNameSameKindIsShared(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x", "")
+	c2 := r.Counter("x", "ignored duplicate help")
+	if c1 != c2 {
+		t.Error("same-name counter not shared")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-kind registration did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "").Add(5)
+	r.Histogram("h", "", []float64{1}).Observe(2)
+	r.Reset()
+	s := r.Snapshot()
+	if s.Counters["c"] != 0 || s.Histograms["h"].Count != 0 || s.Histograms["h"].Sum != 0 {
+		t.Errorf("reset left residue: %+v", s)
+	}
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace records the timed phases of one query evaluation as a tree of
+// spans. It is the substrate of EXPLAIN ANALYZE: the evaluator opens a span
+// per phase (parse, partition, starting-point lookup, NoK matching,
+// structural join) and annotates it with counters; String renders the
+// executed plan.
+//
+// All methods are nil-safe: a nil *Trace (or a span obtained from one) is a
+// no-op, so instrumented code can call tr.Start(...) unconditionally and
+// tracing costs nothing when disabled.
+//
+// A Trace may be shared across goroutines — span creation and field updates
+// take the trace mutex — but it is designed for the evaluator's
+// one-goroutine-per-query model, where that lock is never contended.
+type Trace struct {
+	mu   sync.Mutex
+	root *Span
+}
+
+// Span is one timed phase. Create children with Start, close with End, and
+// attach ordered key=value annotations with Set.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	duration time.Duration
+	ended    bool
+	children []*Span
+	fields   []field
+}
+
+type field struct {
+	key string
+	val string
+}
+
+// New starts a trace whose root span carries the given name (conventionally
+// the query text).
+func New(name string) *Trace {
+	t := &Trace{}
+	t.root = &Span{tr: t, name: name, start: time.Now()}
+	return t
+}
+
+// Root returns the root span.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Start opens a child span of the root.
+func (t *Trace) Start(name string) *Span {
+	return t.Root().Start(name)
+}
+
+// Finish ends the root span (and with it the total duration).
+func (t *Trace) Finish() {
+	t.Root().End()
+}
+
+// Start opens a child span of s.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	c := &Span{tr: s.tr, name: name, start: time.Now()}
+	s.children = append(s.children, c)
+	return c
+}
+
+// End closes the span, fixing its duration. Ending twice keeps the first
+// duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if !s.ended {
+		s.duration = time.Since(s.start)
+		s.ended = true
+	}
+}
+
+// Set attaches (or replaces) an annotation on the span. Values are rendered
+// with fmt.Sprint; durations are rounded for readability.
+func (s *Span) Set(key string, value any) {
+	if s == nil {
+		return
+	}
+	var v string
+	switch x := value.(type) {
+	case time.Duration:
+		v = roundDuration(x).String()
+	case float64:
+		v = fmt.Sprintf("%.3g", x)
+	default:
+		v = fmt.Sprint(value)
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	for i := range s.fields {
+		if s.fields[i].key == key {
+			s.fields[i].val = v
+			return
+		}
+	}
+	s.fields = append(s.fields, field{key, v})
+}
+
+// Duration returns the span's recorded duration (zero until End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.duration
+}
+
+// Field returns the rendered value of an annotation, if set.
+func (s *Span) Field(key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	for _, f := range s.fields {
+		if f.key == key {
+			return f.val, true
+		}
+	}
+	return "", false
+}
+
+func roundDuration(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d.Round(time.Nanosecond)
+	}
+}
+
+// String renders the trace as an indented plan tree:
+//
+//	query //a/x  [1.2ms]  results=3
+//	├─ parse  [17µs]
+//	├─ partition  [1µs]  partitions=2
+//	└─ ...
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	t.root.render(&b, "", "", true)
+	return b.String()
+}
+
+// render writes the span line and recurses; selfPrefix precedes this span's
+// line, childPrefix its children's lines. Caller holds the trace mutex.
+func (s *Span) render(b *strings.Builder, selfPrefix, childPrefix string, isRoot bool) {
+	b.WriteString(selfPrefix)
+	b.WriteString(s.name)
+	if s.ended {
+		fmt.Fprintf(b, "  [%s]", roundDuration(s.duration))
+	}
+	for _, f := range s.fields {
+		fmt.Fprintf(b, "  %s=%s", f.key, f.val)
+	}
+	b.WriteByte('\n')
+	for i, c := range s.children {
+		last := i == len(s.children)-1
+		branch, cont := "├─ ", "│  "
+		if last {
+			branch, cont = "└─ ", "   "
+		}
+		c.render(b, childPrefix+branch, childPrefix+cont, false)
+	}
+}
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the trace.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext extracts a trace from the context; nil (a no-op trace) when
+// absent.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("phase")
+	sp.Set("k", 1)
+	child := sp.Start("sub")
+	child.End()
+	sp.End()
+	tr.Finish()
+	if got := tr.String(); got != "" {
+		t.Errorf("nil trace rendered %q", got)
+	}
+	if d := sp.Duration(); d != 0 {
+		t.Errorf("nil span duration %v", d)
+	}
+}
+
+func TestTraceTreeRendering(t *testing.T) {
+	tr := New("query //a/x")
+	p := tr.Start("parse")
+	p.End()
+	m := tr.Start("match")
+	m.Set("partition", 1)
+	m.Set("strategy", "tag-index")
+	j := m.Start("join")
+	j.Set("inputs", 42)
+	j.End()
+	m.End()
+	tr.Root().Set("results", 3)
+	tr.Finish()
+
+	out := tr.String()
+	for _, want := range []string{
+		"query //a/x", "results=3",
+		"├─ parse",
+		"└─ match", "partition=1", "strategy=tag-index",
+		"   └─ join", "inputs=42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanSetReplaces(t *testing.T) {
+	tr := New("q")
+	sp := tr.Start("s")
+	sp.Set("n", 1)
+	sp.Set("n", 2)
+	if v, ok := sp.Field("n"); !ok || v != "2" {
+		t.Errorf("Field(n) = %q, %v", v, ok)
+	}
+	if strings.Count(tr.String(), "n=") != 1 {
+		t.Errorf("duplicate field rendered:\n%s", tr.String())
+	}
+}
+
+func TestSpanDuration(t *testing.T) {
+	tr := New("q")
+	sp := tr.Start("s")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if d := sp.Duration(); d < time.Millisecond {
+		t.Errorf("duration %v < 1ms", d)
+	}
+	d := sp.Duration()
+	sp.End() // second End keeps the first duration
+	if sp.Duration() != d {
+		t.Error("second End changed duration")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := New("q")
+	ctx := NewContext(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Error("trace lost in context")
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Error("empty context yielded a trace")
+	}
+}

@@ -23,6 +23,19 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
+
+	"nok/internal/obs"
+)
+
+// Process-wide I/O counters, aggregated across every pager file and exposed
+// through the default obs registry (per-file counters live in File.Stats).
+var (
+	mReads  = obs.Default.Counter("nok_pager_physical_reads_total", "pages read from the OS across all pager files")
+	mWrites = obs.Default.Counter("nok_pager_physical_writes_total", "pages written to the OS across all pager files")
+	mHits   = obs.Default.Counter("nok_pager_cache_hits_total", "page requests served from the buffer pool")
+	mAllocs = obs.Default.Counter("nok_pager_allocations_total", "pages allocated")
+	mFrees  = obs.Default.Counter("nok_pager_frees_total", "pages returned to the free list")
 )
 
 // PageID identifies a data page. 0 is invalid (it is the file header).
@@ -61,6 +74,32 @@ type Stats struct {
 	CacheHits      int64 // Get calls satisfied from the pool
 	Allocations    int64 // pages allocated
 	Frees          int64 // pages returned to the free list
+}
+
+// fileStats is the live, atomically updated form of Stats. Counters are
+// atomics (not ints guarded by the pool mutex) so Stats and ResetStats can
+// run concurrently with I/O without a data race — benchmarks and the
+// metrics exporter read them from other goroutines.
+type fileStats struct {
+	reads, writes, hits, allocs, frees atomic.Int64
+}
+
+func (fs *fileStats) snapshot() Stats {
+	return Stats{
+		PhysicalReads:  fs.reads.Load(),
+		PhysicalWrites: fs.writes.Load(),
+		CacheHits:      fs.hits.Load(),
+		Allocations:    fs.allocs.Load(),
+		Frees:          fs.frees.Load(),
+	}
+}
+
+func (fs *fileStats) reset() {
+	fs.reads.Store(0)
+	fs.writes.Store(0)
+	fs.hits.Store(0)
+	fs.allocs.Store(0)
+	fs.frees.Store(0)
 }
 
 // Page is a pinned buffer-pool frame. Callers must Unpin every page they
@@ -106,7 +145,7 @@ type File struct {
 	// recently used (next eviction victim), lruTail most recently used.
 	lruHead, lruTail *Page
 
-	stats  Stats
+	stats  fileStats
 	closed bool
 
 	headerDirty bool
@@ -196,7 +235,8 @@ func (pf *File) writeHeader() error {
 	if _, err := pf.f.WriteAt(buf, 0); err != nil {
 		return fmt.Errorf("pager: writing header: %w", err)
 	}
-	pf.stats.PhysicalWrites++
+	pf.stats.writes.Add(1)
+	mWrites.Inc()
 	pf.headerDirty = false
 	return nil
 }
@@ -223,7 +263,8 @@ func (pf *File) readHeader() error {
 		return fmt.Errorf("pager: %s: corrupt meta length %d", pf.path, pf.metaLen)
 	}
 	copy(pf.meta[:], fixed[headerFixed:])
-	pf.stats.PhysicalReads++
+	pf.stats.reads.Add(1)
+	mReads.Inc()
 	return nil
 }
 
@@ -238,18 +279,16 @@ func (pf *File) NumPages() int {
 	return int(pf.numPages)
 }
 
-// Stats returns a snapshot of the I/O counters.
+// Stats returns a snapshot of the I/O counters. It takes no lock: the
+// counters are atomics, so it is safe (and cheap) to call concurrently with
+// I/O on any goroutine.
 func (pf *File) Stats() Stats {
-	pf.mu.Lock()
-	defer pf.mu.Unlock()
-	return pf.stats
+	return pf.stats.snapshot()
 }
 
 // ResetStats zeroes the I/O counters (used between benchmark phases).
 func (pf *File) ResetStats() {
-	pf.mu.Lock()
-	defer pf.mu.Unlock()
-	pf.stats = Stats{}
+	pf.stats.reset()
 }
 
 // Meta returns a copy of the client meta area.
@@ -331,7 +370,8 @@ func (pf *File) writePage(p *Page) error {
 	if _, err := pf.f.WriteAt(p.data, pf.pageOffset(p.id)); err != nil {
 		return fmt.Errorf("pager: writing page %d: %w", p.id, err)
 	}
-	pf.stats.PhysicalWrites++
+	pf.stats.writes.Add(1)
+	mWrites.Inc()
 	p.dirty = false
 	return nil
 }
@@ -344,7 +384,8 @@ func (pf *File) frame(id PageID, load bool) (*Page, error) {
 			pf.lruRemove(p)
 		}
 		p.pins++
-		pf.stats.CacheHits++
+		pf.stats.hits.Add(1)
+		mHits.Inc()
 		return p, nil
 	}
 	for len(pf.pool) >= pf.capacity {
@@ -357,7 +398,8 @@ func (pf *File) frame(id PageID, load bool) (*Page, error) {
 		if _, err := pf.f.ReadAt(p.data, pf.pageOffset(id)); err != nil && err != io.EOF {
 			return nil, fmt.Errorf("pager: reading page %d: %w", id, err)
 		}
-		pf.stats.PhysicalReads++
+		pf.stats.reads.Add(1)
+		mReads.Inc()
 	}
 	pf.pool[id] = p
 	return p, nil
@@ -397,7 +439,8 @@ func (pf *File) Allocate() (*Page, error) {
 		pf.headerDirty = true
 		clear(p.data)
 		p.dirty = true
-		pf.stats.Allocations++
+		pf.stats.allocs.Add(1)
+		mAllocs.Inc()
 		return p, nil
 	}
 	pf.numPages++
@@ -409,7 +452,8 @@ func (pf *File) Allocate() (*Page, error) {
 		return nil, err
 	}
 	p.dirty = true
-	pf.stats.Allocations++
+	pf.stats.allocs.Add(1)
+	mAllocs.Inc()
 	return p, nil
 }
 
@@ -437,7 +481,8 @@ func (pf *File) Free(id PageID) error {
 	pf.freeHead = id
 	pf.headerDirty = true
 	pf.unpin(p)
-	pf.stats.Frees++
+	pf.stats.frees.Add(1)
+	mFrees.Inc()
 	return nil
 }
 

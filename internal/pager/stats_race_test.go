@@ -1,0 +1,70 @@
+package pager
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestStatsConcurrentWithIO runs page reads, Stats snapshots and ResetStats
+// concurrently. The counters are atomics, so this must be race-clean (run
+// with -race) and every snapshot internally consistent (non-negative, and
+// monotonic between resets is not asserted because resets interleave).
+func TestStatsConcurrentWithIO(t *testing.T) {
+	pf, err := Create(filepath.Join(t.TempDir(), "f.pg"), &Options{PageSize: MinPageSize, PoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+
+	// A few pages so Gets mix cache hits with evictions and real reads.
+	var ids []PageID
+	for i := 0; i < 16; i++ {
+		p, err := pf.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.MarkDirty()
+		ids = append(ids, p.ID())
+		pf.Unpin(p)
+	}
+	if err := pf.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 4
+	const iters = 500
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				p, err := pf.Get(ids[(r+i)%len(ids)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				pf.Unpin(p)
+			}
+		}(r)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			s := pf.Stats()
+			if s.PhysicalReads < 0 || s.CacheHits < 0 {
+				t.Errorf("negative counter: %+v", s)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/10; i++ {
+			pf.ResetStats()
+		}
+	}()
+	wg.Wait()
+}

@@ -91,17 +91,24 @@ func (s *Store) FirstChild(p Pos) (Pos, bool, error) {
 // cannot contain running level level(p)-1 are skipped without I/O — the
 // paper's page-skip optimization driven by the in-memory header table.
 func (s *Store) FollowingSibling(p Pos) (Pos, bool, error) {
-	return s.followingSibling(p, true)
+	return s.followingSibling(p, true, nil)
 }
 
 // FollowingSiblingNoSkip is FollowingSibling with the header-based page
 // skipping disabled; it exists for the ablation benchmark that quantifies
 // the value of the (st,lo,hi) vectors.
 func (s *Store) FollowingSiblingNoSkip(p Pos) (Pos, bool, error) {
-	return s.followingSibling(p, false)
+	return s.followingSibling(p, false, nil)
 }
 
-func (s *Store) followingSibling(p Pos, skip bool) (Pos, bool, error) {
+// FollowingSiblingCounted is FollowingSibling with an optional per-caller
+// page counter (nil is allowed) and an explicit skip switch; the query
+// evaluator uses it to attribute page work to individual queries.
+func (s *Store) FollowingSiblingCounted(p Pos, skip bool, nc *NavCounters) (Pos, bool, error) {
+	return s.followingSibling(p, skip, nc)
+}
+
+func (s *Store) followingSibling(p Pos, skip bool, nc *NavCounters) (Pos, bool, error) {
 	if !s.validPos(p) {
 		return Pos{}, false, fmt.Errorf("%w: %v", ErrBadPos, p)
 	}
@@ -126,11 +133,15 @@ func (s *Store) followingSibling(p Pos, skip bool) (Pos, bool, error) {
 			// include st). See the package comment for why st is included.
 			if int(h.lo) > int(l)-1 || int(h.hi) < int(l)-1 {
 				s.navSkipped.Add(1)
+				mPagesSkipped.Inc()
+				nc.add(0, 1)
 				ci++
 				continue
 			}
 		}
 		s.navExamined.Add(1)
+		mPagesExamined.Inc()
+		nc.add(1, 0)
 		pls, err := s.pageLevels(ci)
 		if err != nil {
 			return Pos{}, false, err
@@ -167,6 +178,15 @@ func (s *Store) followingSibling(p Pos, skip bool) (Pos, bool, error) {
 // token at p. Pages that cannot contain running level level(p)-1 are
 // skipped via the header table.
 func (s *Store) SubtreeEnd(p Pos) (Pos, error) {
+	return s.subtreeEnd(p, nil)
+}
+
+// SubtreeEndCounted is SubtreeEnd with an optional per-caller page counter.
+func (s *Store) SubtreeEndCounted(p Pos, nc *NavCounters) (Pos, error) {
+	return s.subtreeEnd(p, nc)
+}
+
+func (s *Store) subtreeEnd(p Pos, nc *NavCounters) (Pos, error) {
 	if !s.validPos(p) {
 		return Pos{}, fmt.Errorf("%w: %v", ErrBadPos, p)
 	}
@@ -189,11 +209,15 @@ func (s *Store) SubtreeEnd(p Pos) (Pos, error) {
 			// whose level range stays strictly above (or below) that.
 			if int(h.lo) > int(l)-1 || int(h.hi) < int(l)-1 {
 				s.navSkipped.Add(1)
+				mPagesSkipped.Inc()
+				nc.add(0, 1)
 				ci++
 				continue
 			}
 		}
 		s.navExamined.Add(1)
+		mPagesExamined.Inc()
+		nc.add(1, 0)
 		pls, err := s.pageLevels(ci)
 		if err != nil {
 			return Pos{}, err
@@ -224,7 +248,12 @@ func (s *Store) SubtreeEnd(p Pos) (Pos, error) {
 // Interval returns the paper's interval encoding surrogate for the node at
 // p: the DocPos of its open token and of its matching close (§5).
 func (s *Store) Interval(p Pos) (Interval, error) {
-	end, err := s.SubtreeEnd(p)
+	return s.IntervalCounted(p, nil)
+}
+
+// IntervalCounted is Interval with an optional per-caller page counter.
+func (s *Store) IntervalCounted(p Pos, nc *NavCounters) (Interval, error) {
+	end, err := s.subtreeEnd(p, nc)
 	if err != nil {
 		return Interval{}, err
 	}

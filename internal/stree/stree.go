@@ -30,8 +30,17 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"nok/internal/obs"
 	"nok/internal/pager"
 	"nok/internal/symtab"
+)
+
+// Process-wide navigation counters (all stores), exposed through the
+// default obs registry. These are the direct measure of the paper's
+// (st,lo,hi) page-skip optimization.
+var (
+	mPagesExamined = obs.Default.Counter("nok_stree_pages_examined_total", "pages examined by FOLLOWING-SIBLING / SubtreeEnd scans")
+	mPagesSkipped  = obs.Default.Counter("nok_stree_pages_skipped_total", "pages skipped via (st,lo,hi) header bounds")
 )
 
 // CloseByte marks a close token in the string representation. Open tokens
@@ -136,6 +145,24 @@ type Store struct {
 type NavStats struct {
 	PagesExamined uint64
 	PagesSkipped  uint64
+}
+
+// NavCounters accumulates per-caller navigation counts. A query evaluation
+// owns one and passes it to the *Counted navigation variants, giving
+// per-query PagesScanned/PagesSkipped numbers that the store-global
+// (concurrently shared) NavStats cannot provide. A NavCounters is owned by
+// one goroutine; it is deliberately not synchronized.
+type NavCounters struct {
+	Examined uint64
+	Skipped  uint64
+}
+
+// add is nil-safe so navigation can thread an optional collector.
+func (nc *NavCounters) add(examined, skipped uint64) {
+	if nc != nil {
+		nc.Examined += examined
+		nc.Skipped += skipped
+	}
 }
 
 // NavStats returns the accumulated navigation counters.

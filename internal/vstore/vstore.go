@@ -20,6 +20,16 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"nok/internal/obs"
+)
+
+// Process-wide value-store counters, exposed through the default obs
+// registry.
+var (
+	mReads       = obs.Default.Counter("nok_vstore_reads_total", "value records read from data files")
+	mAppends     = obs.Default.Counter("nok_vstore_appends_total", "value records appended to data files")
+	mDedupReuses = obs.Default.Counter("nok_vstore_dedup_reuses_total", "appends satisfied by an existing identical record")
 )
 
 // MaxValueLen bounds a single record; longer values are rejected rather
@@ -104,6 +114,7 @@ func (s *Store) Append(value []byte) (int64, error) {
 	if off, ok := s.dedup[h]; ok {
 		existing, err := s.getLocked(off)
 		if err == nil && string(existing) == string(value) {
+			mDedupReuses.Inc()
 			return off, nil
 		}
 		// Hash collision with a different value, or unreadable record:
@@ -120,12 +131,14 @@ func (s *Store) Append(value []byte) (int64, error) {
 	}
 	s.size += int64(n) + int64(len(value))
 	s.dedup[h] = off
+	mAppends.Inc()
 	return off, nil
 }
 
 // Get returns the value stored at offset. The returned slice is freshly
 // allocated.
 func (s *Store) Get(offset int64) ([]byte, error) {
+	mReads.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {

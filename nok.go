@@ -39,10 +39,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 
 	"nok/internal/core"
 	"nok/internal/dewey"
+	"nok/internal/obs"
 	"nok/internal/pattern"
 	"nok/internal/stream"
 )
@@ -92,6 +94,16 @@ const (
 type QueryOptions struct {
 	// Strategy forces a starting-point strategy (default StrategyAuto).
 	Strategy Strategy
+	// DisablePageSkip turns off the (st,lo,hi) header-driven page skipping
+	// during navigation — an ablation switch for measuring its benefit.
+	DisablePageSkip bool
+}
+
+func (o *QueryOptions) toCore() *core.QueryOptions {
+	if o == nil {
+		return nil
+	}
+	return &core.QueryOptions{Strategy: o.Strategy, DisablePageSkip: o.DisablePageSkip}
 }
 
 // Result is one query match.
@@ -172,14 +184,15 @@ func (s *Store) Query(expr string) ([]Result, error) {
 func (s *Store) QueryWithOptions(expr string, opts *QueryOptions) ([]Result, *QueryStats, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var co *core.QueryOptions
-	if opts != nil {
-		co = &core.QueryOptions{Strategy: opts.Strategy}
-	}
-	ms, stats, err := s.db.Query(expr, co)
+	ms, stats, err := s.db.Query(expr, opts.toCore())
 	if err != nil {
 		return nil, nil, err
 	}
+	return s.buildResults(ms), stats, nil
+}
+
+// buildResults resolves matches to Results. Caller holds at least s.mu.RLock.
+func (s *Store) buildResults(ms []core.Match) []Result {
 	out := make([]Result, len(ms))
 	for i, m := range ms {
 		r := Result{ID: m.ID.String()}
@@ -193,7 +206,59 @@ func (s *Store) QueryWithOptions(expr string, opts *QueryOptions) ([]Result, *Qu
 		}
 		out[i] = r
 	}
-	return out, stats, nil
+	return out
+}
+
+// QueryAnalyze evaluates a path expression with tracing enabled and returns,
+// alongside the results and statistics, the executed plan rendered as an
+// indented phase tree with per-phase timings and counters — the library form
+// of EXPLAIN ANALYZE.
+func (s *Store) QueryAnalyze(expr string, opts *QueryOptions) ([]Result, *QueryStats, string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tr := obs.New("query " + expr)
+	co := opts.toCore()
+	if co == nil {
+		co = &core.QueryOptions{}
+	}
+	co.Trace = tr
+	ms, stats, err := s.db.Query(expr, co)
+	tr.Finish()
+	if err != nil {
+		return nil, nil, "", err
+	}
+	root := tr.Root()
+	root.Set("results", len(ms))
+	root.Set("pages-scanned", stats.PagesScanned)
+	root.Set("pages-skipped", stats.PagesSkipped)
+	return s.buildResults(ms), stats, tr.String(), nil
+}
+
+// ExplainAnalyze executes a query against the store and returns the executed
+// plan: each evaluation phase (parse, partition, starting-point lookup, NoK
+// matching per partition, structural joins) with its duration, the strategy
+// chosen, and page-level I/O counters. The query's results are discarded;
+// use QueryAnalyze to get both.
+func ExplainAnalyze(st *Store, expr string) (string, error) {
+	_, _, plan, err := st.QueryAnalyze(expr, nil)
+	return plan, err
+}
+
+// MetricsText renders the process-wide metrics registry (pager I/O, B+-tree
+// and value-store operations, structural-join and query counters) in
+// Prometheus text exposition format.
+func MetricsText() string {
+	var b strings.Builder
+	obs.Default.WritePrometheus(&b)
+	return b.String()
+}
+
+// MetricsJSON renders the process-wide metrics registry as a JSON object
+// keyed by metric name.
+func MetricsJSON() string {
+	var b strings.Builder
+	obs.Default.WriteJSON(&b)
+	return b.String()
 }
 
 // Value returns the text content of the node with the given Dewey ID.
