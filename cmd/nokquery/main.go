@@ -10,12 +10,15 @@
 // -analyze runs the query with tracing enabled and prints the executed plan
 // (EXPLAIN ANALYZE): every phase with its duration, starting-point strategy,
 // and pages scanned vs skipped.
+//
+// Exit status: 0 on success, 1 on evaluation errors (malformed query,
+// missing store, unreadable XML), 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"time"
 
@@ -23,27 +26,41 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("nokquery: ")
-	db := flag.String("db", "", "store directory")
-	xml := flag.String("xml", "", "stream-evaluate against an XML file instead of a store")
-	strategy := flag.String("strategy", "auto", "starting-point strategy: auto, scan, tag, value, path")
-	showStats := flag.Bool("stats", false, "print evaluation statistics")
-	analyze := flag.Bool("analyze", false, "print the executed plan with per-phase timings (EXPLAIN ANALYZE)")
-	flag.Parse()
-	if (*db == "") == (*xml == "") || flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, evaluates, writes
+// human-readable output to stdout and errors to stderr, and returns the
+// process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "nokquery: "+format+"\n", a...)
+		return 1
 	}
-	expr := flag.Arg(0)
+
+	fs := flag.NewFlagSet("nokquery", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	db := fs.String("db", "", "store directory")
+	xml := fs.String("xml", "", "stream-evaluate against an XML file instead of a store")
+	strategy := fs.String("strategy", "auto", "starting-point strategy: auto, scan, tag, value, path")
+	showStats := fs.Bool("stats", false, "print evaluation statistics")
+	analyze := fs.Bool("analyze", false, "print the executed plan with per-phase timings (EXPLAIN ANALYZE)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*db == "") == (*xml == "") || fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	expr := fs.Arg(0)
 
 	if *xml != "" {
 		if *analyze {
-			log.Fatal("-analyze requires a store (-db); streaming mode has no stored pages to trace")
+			return fail("-analyze requires a store (-db); streaming mode has no stored pages to trace")
 		}
 		f, err := os.Open(*xml)
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		defer f.Close()
 		t0 := time.Now()
@@ -51,17 +68,17 @@ func main() {
 		err = nok.Stream(f, expr, func(r nok.Result) bool {
 			n++
 			if r.HasValue {
-				fmt.Printf("%-16s %q\n", r.ID, r.Value)
+				fmt.Fprintf(stdout, "%-16s %q\n", r.ID, r.Value)
 			} else {
-				fmt.Printf("%-16s\n", r.ID)
+				fmt.Fprintf(stdout, "%-16s\n", r.ID)
 			}
 			return true
 		})
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
-		fmt.Printf("-- %d result(s) in %v (streaming, single pass)\n", n, time.Since(t0).Round(time.Microsecond))
-		return
+		fmt.Fprintf(stdout, "-- %d result(s) in %v (streaming, single pass)\n", n, time.Since(t0).Round(time.Microsecond))
+		return 0
 	}
 
 	var strat nok.Strategy
@@ -77,12 +94,12 @@ func main() {
 	case "path":
 		strat = nok.StrategyPathIndex
 	default:
-		log.Fatalf("unknown strategy %q", *strategy)
+		return fail("unknown strategy %q", *strategy)
 	}
 
 	st, err := nok.Open(*db, nil)
 	if err != nil {
-		log.Fatal(err)
+		return fail("%v", err)
 	}
 	defer st.Close()
 
@@ -99,24 +116,25 @@ func main() {
 		rs, stats, err = st.QueryWithOptions(expr, opts)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return fail("%v", err)
 	}
 	elapsed := time.Since(t0)
 	for _, r := range rs {
 		if r.HasValue {
-			fmt.Printf("%-16s %-12s %q\n", r.ID, r.Tag, r.Value)
+			fmt.Fprintf(stdout, "%-16s %-12s %q\n", r.ID, r.Tag, r.Value)
 		} else {
-			fmt.Printf("%-16s %-12s\n", r.ID, r.Tag)
+			fmt.Fprintf(stdout, "%-16s %-12s\n", r.ID, r.Tag)
 		}
 	}
-	fmt.Printf("-- %d result(s) in %v\n", len(rs), elapsed.Round(time.Microsecond))
+	fmt.Fprintf(stdout, "-- %d result(s) in %v\n", len(rs), elapsed.Round(time.Microsecond))
 	if *showStats {
-		fmt.Printf("-- partitions=%d starts=%d npm=%d visited=%d joins=%d strategies=%v pages=%d/%d scanned/skipped\n",
+		fmt.Fprintf(stdout, "-- partitions=%d starts=%d npm=%d visited=%d joins=%d strategies=%v pages=%d/%d scanned/skipped\n",
 			stats.Partitions, stats.StartingPoints, stats.NPMCalls,
 			stats.NodesVisited, stats.JoinInputs, stats.StrategyUsed,
 			stats.PagesScanned, stats.PagesSkipped)
 	}
 	if *analyze {
-		fmt.Print(plan)
+		fmt.Fprint(stdout, plan)
 	}
+	return 0
 }

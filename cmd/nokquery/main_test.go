@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nok"
+	"nok/internal/samples"
+)
+
+// testStore builds a store once per test and returns its directory.
+func testStore(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "db")
+	st, err := nok.Create(dir, strings.NewReader(samples.Bibliography), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunExitCodes(t *testing.T) {
+	dir := testStore(t)
+	xmlPath := filepath.Join(t.TempDir(), "bib.xml")
+	if err := os.WriteFile(xmlPath, []byte(samples.Bibliography), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name       string
+		args       []string
+		code       int
+		wantOut    string // substring of stdout on success
+		wantStderr string // substring of stderr on failure
+	}{
+		{"happy path", []string{"-db", dir, "/bib/book/title"}, 0, "4 result(s)", ""},
+		{"happy stats", []string{"-db", dir, "-stats", "//book"}, 0, "partitions=", ""},
+		{"happy analyze", []string{"-db", dir, "-analyze", "//book"}, 0, "query //book", ""},
+		{"happy streaming", []string{"-xml", xmlPath, "/bib/book/title"}, 0, "streaming, single pass", ""},
+		{"malformed query", []string{"-db", dir, "/bib/book["}, 1, "", "nokquery:"},
+		{"missing store", []string{"-db", filepath.Join(dir, "nope"), "//book"}, 1, "", "nokquery:"},
+		{"missing xml file", []string{"-xml", xmlPath + ".nope", "//book"}, 1, "", "nokquery:"},
+		{"malformed streaming query", []string{"-xml", xmlPath, "//book[["}, 1, "", "nokquery:"},
+		{"unknown strategy", []string{"-db", dir, "-strategy", "bogus", "//book"}, 1, "", "unknown strategy"},
+		{"analyze without store", []string{"-xml", xmlPath, "-analyze", "//book"}, 1, "", "-analyze requires a store"},
+		{"no query", []string{"-db", dir}, 2, "", "Usage"},
+		{"db and xml both", []string{"-db", dir, "-xml", xmlPath, "//book"}, 2, "", "Usage"},
+		{"neither db nor xml", []string{"//book"}, 2, "", "Usage"},
+		{"unknown flag", []string{"-db", dir, "-wat", "//book"}, 2, "", "wat"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.code, stderr.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantOut, stdout.String())
+			}
+			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantStderr, stderr.String())
+			}
+			if code != 0 && stderr.Len() == 0 {
+				t.Error("failure with empty stderr")
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+// Command nokserve serves path queries over an open NoK store: a
+// long-lived HTTP process with a bounded worker pool, admission control,
+// an invalidating LRU result cache, per-request deadlines, Prometheus
+// metrics, and graceful shutdown on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	nokserve -db DIR [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	         [-timeout 10s] [-drain 30s]
+//
+// Endpoints: /query, /explain, /value/{id}, /stats, /metrics, /healthz —
+// see docs/SERVER.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nok"
+	"nok/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nokserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	db := fs.String("db", "", "store directory (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "worker-pool size (default GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "admission queue depth (default 2×workers)")
+	cache := fs.Int("cache", 0, "result-cache entries, -1 disables (default 1024)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-query deadline ceiling")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *db == "" || fs.NArg() != 0 {
+		fs.Usage()
+		return 2
+	}
+
+	st, err := nok.Open(*db, nil)
+	if err != nil {
+		fmt.Fprintf(stderr, "nokserve: %v\n", err)
+		return 1
+	}
+	srv := server.New(st, server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		QueryTimeout: *timeout,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(stdout, "nokserve: serving %s on %s (%d nodes)\n", *db, *addr, st.NodeCount())
+
+	select {
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting, let in-flight requests finish,
+		// then drain the query service and close the store.
+		fmt.Fprintln(stdout, "nokserve: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(stderr, "nokserve: http shutdown: %v\n", err)
+		}
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(stderr, "nokserve: drain: %v\n", err)
+			return 1
+		}
+		return 0
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "nokserve: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+}

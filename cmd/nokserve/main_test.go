@@ -1,0 +1,113 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"nok"
+	"nok/internal/samples"
+)
+
+func TestRunUsageAndOpenErrors(t *testing.T) {
+	tests := []struct {
+		name       string
+		args       []string
+		code       int
+		wantStderr string
+	}{
+		{"no db", nil, 2, "Usage"},
+		{"stray positional", []string{"-db", "x", "extra"}, 2, "Usage"},
+		{"unknown flag", []string{"-wat"}, 2, "wat"},
+		{"missing store", []string{"-db", filepath.Join(t.TempDir(), "nope")}, 1, "nokserve:"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantStderr, stderr.String())
+			}
+		})
+	}
+}
+
+// TestRunGracefulShutdown drives the whole binary path in-process: serve,
+// answer a query, then SIGTERM and expect a clean exit 0 after draining.
+func TestRunGracefulShutdown(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	st, err := nok.Create(dir, strings.NewReader(samples.Bibliography), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reserve a free port, release it, and hand it to the server.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var stdout, stderr strings.Builder
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-db", dir, "-addr", addr, "-drain", "5s"}, &stdout, &stderr)
+	}()
+
+	// Wait until the server answers, then query it.
+	base := "http://" + addr
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v\nstderr: %s", err, stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err := http.Get(base + "/query?q=%2Fbib%2Fbook")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("query: %v (status %v)", err, resp)
+	}
+	resp.Body.Close()
+
+	// SIGTERM ourselves: run's NotifyContext catches it and drains.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("run did not exit after SIGTERM\nstdout: %s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "shutting down") {
+		t.Errorf("stdout missing shutdown notice: %s", stdout.String())
+	}
+	// The listener must be gone.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+	// The store must be closed and reusable.
+	st2, err := nok.Open(dir, nil)
+	if err != nil {
+		t.Fatalf("reopen after shutdown: %v", err)
+	}
+	st2.Close()
+}

@@ -8,59 +8,79 @@
 // -metrics dumps the process-wide metrics registry (pager I/O, index and
 // join counters) in Prometheus text exposition format after the other
 // output; on its own it shows the counters incurred by opening the store.
+//
+// Exit status: 0 on success, 1 on errors (malformed query, missing store),
+// 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"nok"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("nokstat: ")
-	db := flag.String("db", "", "store directory")
-	tag := flag.String("tag", "", "report the node count of one tag")
-	explain := flag.String("explain", "", "explain a query instead of opening a store")
-	metrics := flag.Bool("metrics", false, "dump the metrics registry in Prometheus text format")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; see cmd/nokquery for the convention.
+func run(args []string, stdout, stderr io.Writer) int {
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "nokstat: "+format+"\n", a...)
+		return 1
+	}
+
+	fs := flag.NewFlagSet("nokstat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	db := fs.String("db", "", "store directory")
+	tag := fs.String("tag", "", "report the node count of one tag")
+	explain := fs.String("explain", "", "explain a query instead of opening a store")
+	metrics := fs.Bool("metrics", false, "dump the metrics registry in Prometheus text format")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return 2
+	}
 
 	if *explain != "" {
 		out, err := nok.Explain(*explain)
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
-		fmt.Print(out)
+		fmt.Fprint(stdout, out)
 		if *metrics {
-			fmt.Println("-- metrics --")
-			fmt.Print(nok.MetricsText())
+			fmt.Fprintln(stdout, "-- metrics --")
+			fmt.Fprint(stdout, nok.MetricsText())
 		}
-		return
+		return 0
 	}
 	if *db == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	st, err := nok.Open(*db, nil)
 	if err != nil {
-		log.Fatal(err)
+		return fail("%v", err)
 	}
 	defer st.Close()
 	s := st.Stats()
-	fmt.Printf("nodes:        %d\n", s.Nodes)
-	fmt.Printf("pages:        %d\n", s.Pages)
-	fmt.Printf("max depth:    %d\n", s.MaxDepth)
-	fmt.Printf("|tree|:       %d bytes\n", s.TreeBytes)
-	fmt.Printf("values:       %d bytes\n", s.ValueBytes)
-	fmt.Printf("headers(RAM): %d bytes\n", s.HeaderBytes)
+	fmt.Fprintf(stdout, "nodes:        %d\n", s.Nodes)
+	fmt.Fprintf(stdout, "pages:        %d\n", s.Pages)
+	fmt.Fprintf(stdout, "max depth:    %d\n", s.MaxDepth)
+	fmt.Fprintf(stdout, "|tree|:       %d bytes\n", s.TreeBytes)
+	fmt.Fprintf(stdout, "values:       %d bytes\n", s.ValueBytes)
+	fmt.Fprintf(stdout, "headers(RAM): %d bytes\n", s.HeaderBytes)
 	if *tag != "" {
-		fmt.Printf("count(%s):  %d\n", *tag, st.TagCount(*tag))
+		fmt.Fprintf(stdout, "count(%s):  %d\n", *tag, st.TagCount(*tag))
 	}
 	if *metrics {
-		fmt.Println("-- metrics --")
-		fmt.Print(nok.MetricsText())
+		fmt.Fprintln(stdout, "-- metrics --")
+		fmt.Fprint(stdout, nok.MetricsText())
 	}
+	return 0
 }

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nok"
+	"nok/internal/samples"
+)
+
+func testStore(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "db")
+	st, err := nok.Create(dir, strings.NewReader(samples.Bibliography), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunExitCodes(t *testing.T) {
+	dir := testStore(t)
+
+	tests := []struct {
+		name       string
+		args       []string
+		code       int
+		wantOut    string
+		wantStderr string
+	}{
+		{"stats", []string{"-db", dir}, 0, "nodes:", ""},
+		{"tag count", []string{"-db", dir, "-tag", "book"}, 0, "count(book)", ""},
+		{"explain", []string{"-explain", "//book[price<100]"}, 0, "partitions:", ""},
+		{"metrics", []string{"-db", dir, "-metrics"}, 0, "nok_pager", ""},
+		{"malformed explain", []string{"-explain", "//book["}, 1, "", "nokstat:"},
+		{"missing store", []string{"-db", filepath.Join(dir, "nope")}, 1, "", "nokstat:"},
+		{"no args", nil, 2, "", "Usage"},
+		{"stray positional", []string{"-db", dir, "extra"}, 2, "", "Usage"},
+		{"unknown flag", []string{"-wat"}, 2, "", "wat"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.code, stderr.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantOut, stdout.String())
+			}
+			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantStderr, stderr.String())
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -53,6 +54,12 @@ type QueryOptions struct {
 	// spans — the raw material of EXPLAIN ANALYZE. A nil Trace costs
 	// nothing.
 	Trace *obs.Trace
+	// Ctx, when non-nil, is polled at cancellation checkpoints: before each
+	// starting point, at each structural-join hop, and every few dozen
+	// subject-node visits inside the NoK matching loop. On cancellation or
+	// deadline expiry the evaluation stops and returns ctx.Err(). A nil Ctx
+	// costs nothing.
+	Ctx context.Context
 }
 
 func (opts *QueryOptions) trace() *obs.Trace {
@@ -60,6 +67,21 @@ func (opts *QueryOptions) trace() *obs.Trace {
 		return nil
 	}
 	return opts.Trace
+}
+
+func (opts *QueryOptions) ctx() context.Context {
+	if opts == nil {
+		return nil
+	}
+	return opts.Ctx
+}
+
+// ctxErr is the nil-safe checkpoint used between matching units.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Query parses and evaluates a path expression, returning the matches of
@@ -97,6 +119,10 @@ func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 		noSkip = opts.DisablePageSkip
 	}
 	tr := opts.trace()
+	ctx := opts.ctx()
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
+	}
 
 	sp := tr.Start("partition")
 	parts := pattern.Partition(t)
@@ -131,6 +157,7 @@ func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 		m := newMatcher(db, nt, nil, stats)
 		m.noSkip = noSkip
 		m.nc = nc
+		m.ctx = ctx
 		db.installLinkPreds(m, nt, extPts)
 
 		ssp := psp.Start("locate-starts")
@@ -146,6 +173,9 @@ func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 
 		var matches []Match
 		for _, s := range startPoints {
+			if err := ctxErr(ctx); err != nil {
+				return nil, nil, err
+			}
 			ok, err := m.matchAt(nt.Root, s)
 			if err != nil {
 				return nil, nil, err
@@ -236,12 +266,16 @@ func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 		m := newMatcher(db, nt, outputs, stats)
 		m.noSkip = noSkip
 		m.nc = nc
+		m.ctx = ctx
 		db.installLinkPreds(m, nt, extPts)
 		root := nt.Root
 		if k == 0 {
 			root = topRoot
 		}
 		for _, s := range trueStarts {
+			if err := ctxErr(ctx); err != nil {
+				return nil, nil, err
+			}
 			ok, err := m.matchAt(root, s)
 			if err != nil {
 				return nil, nil, err

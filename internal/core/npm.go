@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"nok/internal/dewey"
@@ -58,7 +59,29 @@ type matcher struct {
 	// (PagesScanned/PagesSkipped in QueryStats).
 	nc *stree.NavCounters
 
+	// ctx, when non-nil, is polled every cancelStride subject-node visits
+	// so a long navigational match can be abandoned mid-flight.
+	ctx     context.Context
+	ctxTick int
+
 	stats *QueryStats
+}
+
+// cancelStride is how many subject-node visits pass between context polls:
+// frequent enough that cancellation lands within microseconds of work,
+// cheap enough (one atomic load per stride) to vanish in the noise.
+const cancelStride = 64
+
+// checkCancel polls the matcher's context every cancelStride visits.
+func (m *matcher) checkCancel() error {
+	if m.ctx == nil {
+		return nil
+	}
+	m.ctxTick++
+	if m.ctxTick%cancelStride != 0 {
+		return nil
+	}
+	return m.ctx.Err()
 }
 
 // Match is one subject-node match: its physical position and Dewey ID.
@@ -280,6 +303,9 @@ func (m *matcher) npm(p *pattern.Node, u Match) (bool, error) {
 	for ok {
 		ord++
 		m.stats.NodesVisited++
+		if err := m.checkCancel(); err != nil {
+			return false, err
+		}
 		var childID dewey.ID
 		if p.IsVirtualRoot() {
 			childID = dewey.Root()

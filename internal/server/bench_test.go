@@ -1,0 +1,65 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nok"
+)
+
+// BenchmarkServerQuery drives the HTTP service with parallel clients over a
+// skewed workload (a few hot expressions plus a long tail of unique ones)
+// and reports throughput (qps) and the result-cache hit ratio alongside
+// ns/op.
+//
+//	go test -bench ServerQuery -benchtime 2s ./internal/server
+func BenchmarkServerQuery(b *testing.B) {
+	st, err := nok.Create(filepath.Join(b.TempDir(), "db"), strings.NewReader(buildXML(2000)), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := New(st, Config{Workers: 8, QueueDepth: 4096})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		_ = st.Close()
+	}()
+
+	hot := []string{
+		"%2F%2Fbook%2Ftitle",
+		"%2F%2Fbook%5Bprice%3C50%5D",
+		"%2Flib%2Fbook%2Fprice",
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			// 90% hot (cacheable), 10% unique (forced miss).
+			url := ts.URL + "/query?q=" + hot[i%len(hot)] + "&limit=1"
+			if i%10 == 0 {
+				url = ts.URL + fmt.Sprintf("/query?q=%%2F%%2Fbook%%5Bprice%%3C%d%%5D&limit=1", i%197)
+			}
+			resp, err := http.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != 200 {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "qps")
+	b.ReportMetric(srv.CacheHitRatio(), "cache-hit-ratio")
+}

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by pool.acquire when the wait queue is full —
+// the admission-control signal that handlers translate to HTTP 429.
+var ErrOverloaded = errors.New("server: overloaded, queue full")
+
+// pool bounds query concurrency with a counting semaphore plus a bounded
+// wait queue. A request first tries to grab a worker slot without blocking;
+// if none is free it joins the queue, and if the queue is already at
+// capacity it is rejected immediately. Rejecting at admission rather than
+// letting waiters pile up keeps tail latency bounded under overload (the
+// client can back off and retry) and caps the server's memory per load
+// spike at queue×request, not clients×request.
+type pool struct {
+	slots    chan struct{} // capacity = worker count
+	maxQueue int
+	queued   atomic.Int64
+	inflight atomic.Int64
+}
+
+func newPool(workers, maxQueue int) *pool {
+	return &pool{slots: make(chan struct{}, workers), maxQueue: maxQueue}
+}
+
+// acquire obtains a worker slot, waiting in the bounded queue if necessary.
+// It returns ErrOverloaded when the queue is full, or ctx.Err() when the
+// caller gives up while queued. On success the caller must release().
+func (p *pool) acquire(ctx context.Context) error {
+	select {
+	case p.slots <- struct{}{}:
+		p.inflight.Add(1)
+		mInflight.Set(p.inflight.Load())
+		return nil
+	default:
+	}
+	if q := p.queued.Add(1); q > int64(p.maxQueue) {
+		p.queued.Add(-1)
+		mRejected.Inc()
+		return ErrOverloaded
+	}
+	mQueued.Set(p.queued.Load())
+	defer func() {
+		p.queued.Add(-1)
+		mQueued.Set(p.queued.Load())
+	}()
+	select {
+	case p.slots <- struct{}{}:
+		p.inflight.Add(1)
+		mInflight.Set(p.inflight.Load())
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a worker slot to the pool.
+func (p *pool) release() {
+	p.inflight.Add(-1)
+	mInflight.Set(p.inflight.Load())
+	<-p.slots
+}
+
+// Inflight reports how many queries hold worker slots right now.
+func (p *pool) Inflight() int64 { return p.inflight.Load() }
+
+// Queued reports how many requests are waiting for a slot right now.
+func (p *pool) Queued() int64 { return p.queued.Load() }

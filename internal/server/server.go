@@ -1,0 +1,450 @@
+// Package server is the concurrent query service over an open nok.Store:
+// HTTP endpoints for path queries, plan inspection, value lookup and store
+// stats, backed by a bounded worker pool with admission control, an LRU
+// result cache invalidated by store mutations, per-request deadlines
+// threaded into the matching loops as context cancellation, and full
+// metrics exposure through the internal/obs registry.
+//
+// The paper's storage scheme is built for repeated path-query evaluation
+// over a loaded document; this package is the long-lived process that makes
+// the repetition pay: hot pages stay in the buffer pool, repeated
+// expressions hit the result cache, and overload is shed at admission
+// instead of queueing without bound.
+//
+// Endpoints:
+//
+//	GET /query?q=EXPR[&strategy=S][&limit=N][&timeout=D][&stats=1]
+//	GET /explain?q=EXPR[&analyze=1]
+//	GET /value/{id}
+//	GET /stats
+//	GET /metrics
+//	GET /healthz
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"nok"
+	"nok/internal/obs"
+	"nok/internal/pattern"
+)
+
+// Server-wide metrics, registered in the process registry so /metrics
+// exposes them alongside the storage-layer counters.
+var (
+	mRequests     = obs.Default.Counter("nokserve_requests_total", "HTTP requests served")
+	mReqSeconds   = obs.Default.Histogram("nokserve_request_seconds", "end-to-end HTTP request latency in seconds", obs.LatencyBuckets)
+	mCacheHits    = obs.Default.Counter("nokserve_cache_hits_total", "query-result cache hits")
+	mCacheMisses  = obs.Default.Counter("nokserve_cache_misses_total", "query-result cache misses")
+	mCacheEntries = obs.Default.Gauge("nokserve_cache_entries", "query-result cache resident entries")
+	mInflight     = obs.Default.Gauge("nokserve_inflight_queries", "queries currently holding worker slots")
+	mQueued       = obs.Default.Gauge("nokserve_queued_requests", "requests waiting for a worker slot")
+	mRejected     = obs.Default.Counter("nokserve_rejected_total", "requests rejected by admission control (HTTP 429)")
+	mCanceled     = obs.Default.Counter("nokserve_canceled_total", "queries abandoned by client cancellation")
+	mTimeouts     = obs.Default.Counter("nokserve_deadline_exceeded_total", "queries that hit their deadline (HTTP 504)")
+)
+
+// Config tunes the service; zero values select the documented defaults.
+type Config struct {
+	// Workers bounds concurrent query evaluations (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker before admission
+	// control rejects with 429 (default 2×Workers).
+	QueueDepth int
+	// CacheEntries sizes the LRU result cache; negative disables it
+	// (default 1024).
+	CacheEntries int
+	// QueryTimeout is the per-request evaluation deadline ceiling; a
+	// request may ask for less via ?timeout= but never more
+	// (default 10s).
+	QueryTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Server wraps an open nok.Store behind HTTP. It implements http.Handler;
+// wire it into an http.Server (see cmd/nokserve) or httptest for tests.
+type Server struct {
+	store *nok.Store
+	cfg   Config
+	pool  *pool
+	cache *resultCache
+	mux   *http.ServeMux
+
+	lifeMu   sync.Mutex
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// New builds a Server over an open store. The store stays owned by the
+// server from here on: Shutdown closes it after draining.
+func New(store *nok.Store, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		store: store,
+		cfg:   cfg,
+		pool:  newPool(cfg.Workers, cfg.QueueDepth),
+		cache: newResultCache(cfg.CacheEntries),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	s.mux.HandleFunc("GET /value/{id}", s.handleValue)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP dispatches to the endpoint handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	begin := time.Now()
+	mRequests.Inc()
+	s.mux.ServeHTTP(w, r)
+	mReqSeconds.Observe(time.Since(begin).Seconds())
+}
+
+// Shutdown drains the server: new requests are refused (503 on /healthz,
+// /query and friends), in-flight queries run to completion (or until ctx
+// expires), and the store is closed. After Shutdown the server is done.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.lifeMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.lifeMu.Unlock()
+	if already {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return s.store.Close()
+}
+
+// CacheHitRatio reports the lifetime cache hit ratio (for benchmarks and
+// examples; production should read the counters from /metrics).
+func (s *Server) CacheHitRatio() float64 { return s.cache.ratio() }
+
+// Inflight reports queries currently holding worker slots.
+func (s *Server) Inflight() int64 { return s.pool.Inflight() }
+
+// beginRequest registers an in-flight request unless the server is
+// draining.
+func (s *Server) beginRequest() bool {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.wg.Add(1)
+	return true
+}
+
+// ---- responses --------------------------------------------------------------
+
+type resultJSON struct {
+	ID       string `json:"id"`
+	Tag      string `json:"tag,omitempty"`
+	Value    string `json:"value,omitempty"`
+	HasValue bool   `json:"has_value"`
+}
+
+type queryResponse struct {
+	Query     string          `json:"query"`
+	Count     int             `json:"count"`
+	Results   []resultJSON    `json:"results"`
+	Truncated bool            `json:"truncated,omitempty"`
+	Cached    bool            `json:"cached"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Stats     *nok.QueryStats `json:"stats,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// ---- handlers ---------------------------------------------------------------
+
+// parseStrategy maps the ?strategy= parameter to a nok.Strategy.
+func parseStrategy(s string) (nok.Strategy, error) {
+	switch s {
+	case "", "auto":
+		return nok.StrategyAuto, nil
+	case "scan":
+		return nok.StrategyScan, nil
+	case "tag":
+		return nok.StrategyTagIndex, nil
+	case "value":
+		return nok.StrategyValueIndex, nil
+	case "path":
+		return nok.StrategyPathIndex, nil
+	default:
+		return nok.StrategyAuto, fmt.Errorf("unknown strategy %q (want auto, scan, tag, value or path)", s)
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.beginRequest() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.wg.Done()
+
+	expr := r.FormValue("q")
+	if expr == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	// Parse once up front: malformed queries are rejected before they cost
+	// a worker slot, and the pattern tree's canonical rendering is the
+	// cache key, so textual variants of one query share an entry.
+	tree, err := pattern.Parse(expr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad query: %v", err)
+		return
+	}
+	strat, err := parseStrategy(r.FormValue("strategy"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit := -1
+	if v := r.FormValue("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+	}
+	timeout := s.cfg.QueryTimeout
+	if v := r.FormValue("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, "bad timeout %q", v)
+			return
+		}
+		if d < timeout {
+			timeout = d
+		}
+	}
+
+	begin := time.Now()
+	// Generation is read before evaluation: if a mutation lands while the
+	// query runs, the entry is stored under the pre-mutation generation and
+	// can never be served afterwards — over-invalidation, never staleness.
+	key := cacheKey{expr: tree.String(), strategy: strat, gen: s.store.Generation()}
+	if results, stats, ok := s.cache.get(key); ok {
+		s.respondQuery(w, r, expr, results, stats, true, limit, time.Since(begin))
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	if err := s.pool.acquire(ctx); err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	defer s.pool.release()
+
+	results, stats, err := s.store.QueryWithOptionsContext(ctx, expr, &nok.QueryOptions{Strategy: strat})
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	s.cache.put(key, results, stats)
+	s.respondQuery(w, r, expr, results, stats, false, limit, time.Since(begin))
+}
+
+// writeQueryError maps evaluation/admission errors to HTTP statuses.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		mTimeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout, "query deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		// The client is gone; nobody reads this response. 499 is the
+		// conventional (non-standard) code; anything written is for logs.
+		mCanceled.Inc()
+		writeError(w, 499, "client closed request")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) respondQuery(w http.ResponseWriter, r *http.Request, expr string, results []nok.Result, stats *nok.QueryStats, cached bool, limit int, elapsed time.Duration) {
+	resp := queryResponse{
+		Query:     expr,
+		Count:     len(results),
+		Cached:    cached,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+	}
+	shown := results
+	if limit >= 0 && limit < len(results) {
+		shown = results[:limit]
+		resp.Truncated = true
+	}
+	resp.Results = make([]resultJSON, len(shown))
+	for i, res := range shown {
+		resp.Results[i] = resultJSON{ID: res.ID, Tag: res.Tag, Value: res.Value, HasValue: res.HasValue}
+	}
+	if r.FormValue("stats") != "" {
+		resp.Stats = stats
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if !s.beginRequest() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.wg.Done()
+
+	expr := r.FormValue("q")
+	if expr == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	var plan string
+	var err error
+	if r.FormValue("analyze") != "" {
+		// EXPLAIN ANALYZE executes the query, so it pays for a worker slot
+		// like any evaluation.
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+		defer cancel()
+		if err := s.pool.acquire(ctx); err != nil {
+			s.writeQueryError(w, err)
+			return
+		}
+		plan, err = nok.ExplainAnalyze(s.store, expr)
+		s.pool.release()
+	} else {
+		plan, err = nok.Explain(expr)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, plan)
+}
+
+func (s *Server) handleValue(w http.ResponseWriter, r *http.Request) {
+	if !s.beginRequest() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.wg.Done()
+
+	id := r.PathValue("id")
+	v, ok, err := s.store.Value(id)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad id %q: %v", id, err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "node %q has no value", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, resultJSON{ID: id, Value: v, HasValue: true})
+}
+
+type statsResponse struct {
+	Store      nok.Stats `json:"store"`
+	Nodes      uint64    `json:"nodes"`
+	Generation uint64    `json:"generation"`
+	Workers    int       `json:"workers"`
+	QueueDepth int       `json:"queue_depth"`
+	Inflight   int64     `json:"inflight"`
+	Queued     int64     `json:"queued"`
+	Cache      struct {
+		Entries  int     `json:"entries"`
+		Capacity int     `json:"capacity"`
+		Hits     int64   `json:"hits"`
+		Misses   int64   `json:"misses"`
+		HitRatio float64 `json:"hit_ratio"`
+	} `json:"cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !s.beginRequest() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.wg.Done()
+
+	resp := statsResponse{
+		Store:      s.store.Stats(),
+		Nodes:      s.store.NodeCount(),
+		Generation: s.store.Generation(),
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.cfg.QueueDepth,
+		Inflight:   s.pool.Inflight(),
+		Queued:     s.pool.Queued(),
+	}
+	resp.Cache.Entries = s.cache.len()
+	resp.Cache.Capacity = s.cfg.CacheEntries
+	resp.Cache.Hits = s.cache.hits.Load()
+	resp.Cache.Misses = s.cache.misses.Load()
+	resp.Cache.HitRatio = s.cache.ratio()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.lifeMu.Lock()
+	draining := s.draining
+	s.lifeMu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

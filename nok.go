@@ -36,11 +36,13 @@
 package nok
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"nok/internal/core"
 	"nok/internal/dewey"
@@ -132,6 +134,11 @@ type QueryStats = core.QueryStats
 type Store struct {
 	mu sync.RWMutex
 	db *core.DB
+
+	// gen counts mutations (Insert/Delete). Result caches key on it: any
+	// entry computed under an older generation is unreachable after a
+	// mutation, so stale results are never served (see internal/server).
+	gen atomic.Uint64
 }
 
 // Create builds a new store at dir from an XML document.
@@ -171,7 +178,16 @@ func (s *Store) Close() error {
 
 // NodeCount returns the number of element nodes (attributes are modeled
 // as child nodes and included).
-func (s *Store) NodeCount() uint64 { return s.db.NodeCount() }
+func (s *Store) NodeCount() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.NodeCount()
+}
+
+// Generation returns the store's mutation counter: it starts at 0 and is
+// bumped by every Insert and Delete. Cache query results keyed on
+// (expression, Generation) and a mutation invalidates them wholesale.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
 
 // Query evaluates a path expression and returns matches in document order.
 func (s *Store) Query(expr string) ([]Result, error) {
@@ -179,12 +195,32 @@ func (s *Store) Query(expr string) ([]Result, error) {
 	return rs, err
 }
 
+// QueryContext is Query with a context: evaluation stops at the next
+// cancellation checkpoint once ctx is cancelled or its deadline passes,
+// returning ctx.Err().
+func (s *Store) QueryContext(ctx context.Context, expr string) ([]Result, error) {
+	rs, _, err := s.QueryWithOptionsContext(ctx, expr, nil)
+	return rs, err
+}
+
 // QueryWithOptions evaluates a path expression with explicit options and
 // returns evaluation statistics alongside the results.
 func (s *Store) QueryWithOptions(expr string, opts *QueryOptions) ([]Result, *QueryStats, error) {
+	return s.QueryWithOptionsContext(context.Background(), expr, opts)
+}
+
+// QueryWithOptionsContext is QueryWithOptions with a context threaded down
+// into the matching loops: a long evaluation notices cancellation within a
+// few dozen subject-node visits and aborts with ctx.Err().
+func (s *Store) QueryWithOptionsContext(ctx context.Context, expr string, opts *QueryOptions) ([]Result, *QueryStats, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	ms, stats, err := s.db.Query(expr, opts.toCore())
+	co := opts.toCore()
+	if co == nil {
+		co = &core.QueryOptions{}
+	}
+	co.Ctx = ctx
+	ms, stats, err := s.db.Query(expr, co)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -282,6 +318,9 @@ func (s *Store) Insert(parentID string, fragment io.Reader) error {
 	if err != nil {
 		return err
 	}
+	// Bump even when the insert errors: a partial mutation may have touched
+	// pages, and over-invalidating caches is always safe.
+	s.gen.Add(1)
 	return s.db.InsertFragment(id, fragment)
 }
 
@@ -294,6 +333,7 @@ func (s *Store) Delete(id string) error {
 	if err != nil {
 		return err
 	}
+	s.gen.Add(1)
 	return s.db.DeleteSubtree(did)
 }
 
