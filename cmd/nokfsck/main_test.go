@@ -1,0 +1,150 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nok"
+	"nok/internal/samples"
+)
+
+func testStore(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "db")
+	st, err := nok.Create(dir, strings.NewReader(samples.Bibliography), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// glob1 resolves the single file matching pattern under dir (epoch-named
+// index files carry a hex suffix).
+func glob1(t *testing.T, dir, pattern string) string {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, pattern))
+	if err != nil || len(m) != 1 {
+		t.Fatalf("glob %s: %v (matches %v)", pattern, err, m)
+	}
+	return m[0]
+}
+
+func TestCleanStorePasses(t *testing.T) {
+	dir := testStore(t)
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-v", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean store: exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), ": ok") || !strings.Contains(stdout.String(), "pages checked") {
+		t.Errorf("output:\n%s", stdout.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-quick", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("quick on clean store: exit %d\n%s", code, stdout.String())
+	}
+}
+
+// TestDetectsEveryFixture damages the store in each of the ways the
+// corrupted-fixture suite covers; nokfsck must exit 1 for all of them.
+func TestDetectsEveryFixture(t *testing.T) {
+	fixtures := []struct {
+		name    string
+		corrupt func(t *testing.T, dir string)
+	}{
+		{"truncated-pager-file", func(t *testing.T, dir string) {
+			path := filepath.Join(dir, "tree.pg")
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, fi.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flipped-byte-in-page", func(t *testing.T, dir string) {
+			path := glob1(t, dir, "tagidx-*.pg")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(raw)/2] ^= 0xFF
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flipped-byte-outside-page-crc", func(t *testing.T, dir string) {
+			// The reserved trailer bytes are not covered by the per-page
+			// CRC; only the manifest's whole-file checksum catches this.
+			path := filepath.Join(dir, "tree.pg")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(raw)-2] ^= 0xFF
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"stale-manifest", func(t *testing.T, dir string) {
+			// Sweep an index file the manifest still references.
+			if err := os.Remove(glob1(t, dir, "deweyidx-*.pg")); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"missing-value-file", func(t *testing.T, dir string) {
+			if err := os.Remove(filepath.Join(dir, "values.dat")); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"corrupt-manifest", func(t *testing.T, dir string) {
+			path := filepath.Join(dir, "MANIFEST")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(raw)/2] ^= 0xFF
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated-values", func(t *testing.T, dir string) {
+			path := filepath.Join(dir, "values.dat")
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, fi.Size()-3); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			dir := testStore(t)
+			fx.corrupt(t, dir)
+			var stdout, stderr strings.Builder
+			if code := run([]string{dir}, &stdout, &stderr); code != 1 {
+				t.Errorf("exit %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"-wat"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"a", "b"}, &stdout, &stderr); code != 2 {
+		t.Errorf("two dirs: exit %d, want 2", code)
+	}
+}

@@ -8,8 +8,11 @@
 //	nokserve -db DIR [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	         [-timeout 10s] [-drain 30s]
 //
-// Endpoints: /query, /explain, /value/{id}, /stats, /metrics, /healthz —
-// see docs/SERVER.md.
+// Endpoints: /query, /explain, /value/{id}, POST /insert, DELETE
+// /node/{id}, /stats, /metrics, /healthz[?deep=1] — see docs/SERVER.md.
+// A failed deep verification (or a mid-transaction update failure) flips
+// the server into degraded read-only mode; restart the process to run
+// recovery.
 package main
 
 import (
@@ -54,6 +57,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "nokserve: %v\n", err)
 		return 1
+	}
+	if rec := st.Recovery(); rec.Recovered() {
+		fmt.Fprintf(stdout, "nokserve: recovered store at open: journal_replayed=%v journal_discarded=%v truncated=%d orphans_removed=%d\n",
+			rec.JournalReplayed, rec.JournalDiscarded, len(rec.TruncatedFiles), len(rec.OrphansRemoved))
 	}
 	srv := server.New(st, server.Config{
 		Workers:      *workers,

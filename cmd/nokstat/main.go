@@ -69,6 +69,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer st.Close()
 	s := st.Stats()
+	fmt.Fprintf(stdout, "epoch:        %d\n", st.Epoch())
+	if rec := st.Recovery(); rec.Recovered() {
+		fmt.Fprintf(stdout, "recovery:     journal_replayed=%v journal_discarded=%v truncated=%d orphans_removed=%d\n",
+			rec.JournalReplayed, rec.JournalDiscarded, len(rec.TruncatedFiles), len(rec.OrphansRemoved))
+	}
 	fmt.Fprintf(stdout, "nodes:        %d\n", s.Nodes)
 	fmt.Fprintf(stdout, "pages:        %d\n", s.Pages)
 	fmt.Fprintf(stdout, "max depth:    %d\n", s.MaxDepth)

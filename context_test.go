@@ -63,14 +63,40 @@ func TestQueryContextDeadlineMidMatch(t *testing.T) {
 	}
 }
 
+// cancelAfterPolls reports context.Canceled from its Nth Err() call on.
+// Timer-driven cancellation depends on the scheduler running a second
+// goroutine mid-query (flaky on single-CPU machines); counting checkpoint
+// polls instead deterministically lands the cancellation mid-match.
+type cancelAfterPolls struct {
+	context.Context
+	n     int
+	calls int
+}
+
+func (c *cancelAfterPolls) Err() error {
+	c.calls++
+	if c.calls >= c.n {
+		return context.Canceled
+	}
+	return c.Context.Err()
+}
+
 func TestQueryContextCancelMidMatch(t *testing.T) {
 	st := bigStore(t, 10000)
-	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(2 * time.Millisecond)
-		cancel()
-	}()
-	_, _, err := st.QueryWithOptionsContext(ctx, `//book[price<100]`, &QueryOptions{Strategy: StrategyScan})
+	opts := &QueryOptions{Strategy: StrategyScan}
+
+	// Count how many checkpoint polls a full evaluation makes, then cancel
+	// halfway through a second run.
+	probe := &cancelAfterPolls{Context: context.Background(), n: int(^uint(0) >> 1)}
+	if _, _, err := st.QueryWithOptionsContext(probe, `//book[price<100]`, opts); err != nil {
+		t.Fatal(err)
+	}
+	if probe.calls < 4 {
+		t.Fatalf("evaluation polled the context only %d times; cannot cancel mid-match", probe.calls)
+	}
+
+	ctx := &cancelAfterPolls{Context: context.Background(), n: probe.calls / 2}
+	_, _, err := st.QueryWithOptionsContext(ctx, `//book[price<100]`, opts)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled query: err = %v, want context.Canceled", err)
 	}

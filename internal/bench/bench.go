@@ -119,50 +119,86 @@ func Prepare(cfg Config, name string) (*Env, error) {
 		return nil, err
 	}
 
-	// NoK store.
+	// NoK store. A cached store from an older on-disk format (or a store a
+	// crashed run left unreadable) fails Open; rebuild it instead of
+	// failing the benchmark.
 	nokDir := filepath.Join(dir, "nok")
-	if _, err := os.Stat(nokDir); err != nil {
+	loadNoK := func() error {
+		var err error
 		env.NoK, err = core.LoadXMLFile(nokDir, env.XMLPath, &core.Options{PageSize: cfg.PageSize})
 		if err != nil {
 			os.RemoveAll(nokDir)
-			return fail(fmt.Errorf("bench: loading NoK store: %w", err))
+			return fmt.Errorf("bench: loading NoK store: %w", err)
+		}
+		return nil
+	}
+	if _, err := os.Stat(nokDir); err != nil {
+		if err := loadNoK(); err != nil {
+			return fail(err)
 		}
 	} else if env.NoK, err = core.Open(nokDir, &core.Options{PageSize: cfg.PageSize}); err != nil {
-		return fail(err)
+		if err := os.RemoveAll(nokDir); err != nil {
+			return fail(err)
+		}
+		if err := loadNoK(); err != nil {
+			return fail(err)
+		}
 	}
 
-	// DI store.
+	// DI store (same stale-cache rebuild policy).
 	diDir := filepath.Join(dir, "di")
-	if _, err := os.Stat(diDir); err != nil {
+	loadDI := func() error {
 		f, err := os.Open(env.XMLPath)
 		if err != nil {
-			return fail(err)
+			return err
 		}
 		env.DI, err = di.Load(diDir, f)
 		f.Close()
 		if err != nil {
 			os.RemoveAll(diDir)
-			return fail(fmt.Errorf("bench: loading DI store: %w", err))
+			return fmt.Errorf("bench: loading DI store: %w", err)
+		}
+		return nil
+	}
+	if _, err := os.Stat(diDir); err != nil {
+		if err := loadDI(); err != nil {
+			return fail(err)
 		}
 	} else if env.DI, err = di.Open(diDir); err != nil {
-		return fail(err)
+		if err := os.RemoveAll(diDir); err != nil {
+			return fail(err)
+		}
+		if err := loadDI(); err != nil {
+			return fail(err)
+		}
 	}
 
-	// TwigStack store.
+	// TwigStack store (same stale-cache rebuild policy).
 	twDir := filepath.Join(dir, "twig")
-	if _, err := os.Stat(twDir); err != nil {
+	loadTwig := func() error {
 		f, err := os.Open(env.XMLPath)
 		if err != nil {
-			return fail(err)
+			return err
 		}
 		env.Twig, err = twigstack.Load(twDir, f)
 		f.Close()
 		if err != nil {
 			os.RemoveAll(twDir)
-			return fail(fmt.Errorf("bench: loading TwigStack store: %w", err))
+			return fmt.Errorf("bench: loading TwigStack store: %w", err)
+		}
+		return nil
+	}
+	if _, err := os.Stat(twDir); err != nil {
+		if err := loadTwig(); err != nil {
+			return fail(err)
 		}
 	} else if env.Twig, err = twigstack.Open(twDir); err != nil {
-		return fail(err)
+		if err := os.RemoveAll(twDir); err != nil {
+			return fail(err)
+		}
+		if err := loadTwig(); err != nil {
+			return fail(err)
+		}
 	}
 
 	// Navigational baseline (in memory, like a warmed native store).

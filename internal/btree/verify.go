@@ -1,0 +1,90 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"nok/internal/pager"
+)
+
+// Verify checks the tree's structural invariants by descending to the
+// leftmost leaf and walking the doubly linked leaf chain: node types,
+// prev/next symmetry, strictly ascending keys across the whole chain, and
+// the meta key count. Each violation is passed to report (which may be
+// nil); the return value is the number of violations. An I/O error aborts
+// the walk and is returned directly — it means the check is incomplete,
+// not that the tree is clean.
+func (t *Tree) Verify(report func(error)) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	issues := 0
+	emit := func(err error) {
+		issues++
+		if report != nil {
+			report(err)
+		}
+	}
+
+	// Descend the leftmost spine, checking node types level by level.
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		p, err := t.pf.Get(id)
+		if err != nil {
+			return issues, err
+		}
+		d := p.Data()
+		if nodeType(d) != internalType {
+			emit(fmt.Errorf("btree: %s: page %d at height %d is not an internal node", t.pf.Path(), id, level))
+			t.pf.Unpin(p)
+			return issues, nil
+		}
+		next := nextPtr(d) // leftmost child
+		t.pf.Unpin(p)
+		if next == pager.InvalidPage {
+			emit(fmt.Errorf("btree: %s: internal page %d has no leftmost child", t.pf.Path(), id))
+			return issues, nil
+		}
+		id = next
+	}
+
+	// Walk the leaf chain left to right.
+	var (
+		prevKey  []byte
+		haveKey  bool
+		prevLeaf = pager.InvalidPage
+		total    uint64
+	)
+	for id != pager.InvalidPage {
+		p, err := t.pf.Get(id)
+		if err != nil {
+			return issues, err
+		}
+		d := p.Data()
+		if nodeType(d) != leafType {
+			emit(fmt.Errorf("btree: %s: page %d in leaf chain is not a leaf", t.pf.Path(), id))
+			t.pf.Unpin(p)
+			break
+		}
+		if got := prevPtr(d); got != prevLeaf {
+			emit(fmt.Errorf("btree: %s: leaf %d prev pointer = %d, want %d", t.pf.Path(), id, got, prevLeaf))
+		}
+		n := nCells(d)
+		for i := 0; i < n; i++ {
+			k := cellKey(d, i)
+			if haveKey && bytes.Compare(prevKey, k) >= 0 {
+				emit(fmt.Errorf("btree: %s: leaf %d cell %d: keys out of order", t.pf.Path(), id, i))
+			}
+			prevKey = append(prevKey[:0], k...)
+			haveKey = true
+			total++
+		}
+		next := nextPtr(d)
+		t.pf.Unpin(p)
+		prevLeaf = id
+		id = next
+	}
+	if total != t.count {
+		emit(fmt.Errorf("btree: %s: leaf chain holds %d keys, meta count says %d", t.pf.Path(), total, t.count))
+	}
+	return issues, nil
+}

@@ -24,7 +24,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 
 	"nok/internal/btree"
@@ -32,18 +31,17 @@ import (
 	"nok/internal/pager"
 	"nok/internal/stree"
 	"nok/internal/symtab"
+	"nok/internal/vfs"
 	"nok/internal/vstore"
 )
 
-// File names inside a database directory.
+// Stable file names inside a database directory. tree.pg and values.dat
+// keep fixed names (in-place/append-only, protected by journal and
+// manifest-length truncation); the rebuilt-on-update files are epoch-named
+// (see manifest.go) and resolved through the MANIFEST.
 const (
 	fileTree   = "tree.pg"
-	fileTags   = "tags.sym"
 	fileValues = "values.dat"
-	fileTagIdx = "tagidx.pg"
-	fileValIdx = "validx.pg"
-	fileDewIdx = "deweyidx.pg"
-	fileStats  = "stats.dat"
 )
 
 // NoValue is the sentinel value-offset for nodes without text content.
@@ -62,10 +60,13 @@ type Options struct {
 	// ReservePct is the per-page update slack of the string tree (§4.2).
 	// Defaults to 20 as in the paper's example.
 	ReservePct int
+	// FS is the file system the store operates on. Defaults to vfs.OS;
+	// crash tests substitute internal/faultfs.
+	FS vfs.FS
 }
 
 func (o *Options) withDefaults() Options {
-	out := Options{PageSize: pager.DefaultPageSize, PoolPages: 256, ReservePct: 20}
+	out := Options{PageSize: pager.DefaultPageSize, PoolPages: 256, ReservePct: 20, FS: vfs.OS}
 	if o != nil {
 		if o.PageSize != 0 {
 			out.PageSize = o.PageSize
@@ -78,6 +79,9 @@ func (o *Options) withDefaults() Options {
 		}
 		if o.ReservePct != 0 {
 			out.ReservePct = o.ReservePct
+		}
+		if o.FS != nil {
+			out.FS = o.FS
 		}
 	}
 	if out.IndexPageSize == 0 {
@@ -92,7 +96,8 @@ func (o *Options) withDefaults() Options {
 
 // DB is an opened NoK database.
 type DB struct {
-	dir string
+	dir  string
+	fsys vfs.FS
 
 	Tree   *stree.Store
 	Tags   *symtab.Table
@@ -107,16 +112,33 @@ type DB struct {
 
 	treeFile, tagIdxFile, valIdxFile, dewIdxFile, pathIdxFile *pager.File
 
+	// manifest is the commit record the DB was opened from (or last
+	// committed); epoch is its epoch. recovery reports what Open repaired.
+	manifest *Manifest
+	epoch    uint64
+	recovery RecoveryInfo
+	// broken is set when an update transaction failed midway: the
+	// in-memory state is unreliable, further mutations are refused, and
+	// the on-disk journal will roll the store back at next open.
+	broken bool
+
 	// tagCount[sym] is the number of nodes with that tag — the §6.2
 	// selectivity statistic.
 	tagCount map[symtab.Sym]uint64
 	total    uint64
 }
 
-// Open attaches to an existing database directory.
+// Open attaches to an existing database directory. If the directory holds
+// an interrupted transaction (undo journal, uncommitted file tails, orphan
+// epoch files), Open first rolls the store back to its last committed
+// state; Recovery reports what was done.
 func Open(dir string, opts *Options) (*DB, error) {
 	o := opts.withDefaults()
-	db := &DB{dir: dir, tagCount: make(map[symtab.Sym]uint64)}
+	m, info, err := recoverStore(o.FS, dir)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{dir: dir, fsys: o.FS, manifest: m, epoch: m.Epoch, recovery: info, tagCount: make(map[symtab.Sym]uint64)}
 	ok := false
 	defer func() {
 		if !ok {
@@ -124,46 +146,42 @@ func Open(dir string, opts *Options) (*DB, error) {
 		}
 	}()
 
-	var err error
-	if db.treeFile, err = pager.Open(filepath.Join(dir, fileTree), &pager.Options{PoolPages: o.PoolPages}); err != nil {
+	popts := func() *pager.Options { return &pager.Options{PoolPages: o.PoolPages, FS: o.FS} }
+	if db.treeFile, err = pager.Open(db.path(roleTree), popts()); err != nil {
 		return nil, fmt.Errorf("core: opening tree: %w", err)
 	}
 	if db.Tree, err = stree.Open(db.treeFile); err != nil {
 		return nil, err
 	}
-	if db.Tags, err = symtab.Load(filepath.Join(dir, fileTags)); err != nil {
+	if db.Tags, err = symtab.LoadFS(o.FS, db.path(roleTags)); err != nil {
 		return nil, fmt.Errorf("core: loading symbols: %w", err)
 	}
-	if db.Values, err = vstore.Open(filepath.Join(dir, fileValues)); err != nil {
+	if db.Values, err = vstore.OpenFS(o.FS, db.path(roleValues)); err != nil {
 		return nil, fmt.Errorf("core: opening values: %w", err)
 	}
-	if db.tagIdxFile, err = pager.Open(filepath.Join(dir, fileTagIdx), &pager.Options{PoolPages: o.PoolPages}); err != nil {
+	if db.tagIdxFile, err = pager.Open(db.path(roleTagIdx), popts()); err != nil {
 		return nil, fmt.Errorf("core: opening tag index: %w", err)
 	}
 	if db.TagIdx, err = btree.Open(db.tagIdxFile); err != nil {
 		return nil, err
 	}
-	if db.valIdxFile, err = pager.Open(filepath.Join(dir, fileValIdx), &pager.Options{PoolPages: o.PoolPages}); err != nil {
+	if db.valIdxFile, err = pager.Open(db.path(roleValIdx), popts()); err != nil {
 		return nil, fmt.Errorf("core: opening value index: %w", err)
 	}
 	if db.ValIdx, err = btree.Open(db.valIdxFile); err != nil {
 		return nil, err
 	}
-	if db.dewIdxFile, err = pager.Open(filepath.Join(dir, fileDewIdx), &pager.Options{PoolPages: o.PoolPages}); err != nil {
+	if db.dewIdxFile, err = pager.Open(db.path(roleDewIdx), popts()); err != nil {
 		return nil, fmt.Errorf("core: opening dewey index: %w", err)
 	}
 	if db.DeweyIdx, err = btree.Open(db.dewIdxFile); err != nil {
 		return nil, err
 	}
-	// The path index is an optional extension (§8); stores created before
-	// it existed still open, with path-index starts degrading to the
-	// heuristic.
-	if db.pathIdxFile, err = pager.Open(filepath.Join(dir, filePathIdx), &pager.Options{PoolPages: o.PoolPages}); err == nil {
-		if db.PathIdx, err = btree.Open(db.pathIdxFile); err != nil {
-			return nil, err
-		}
-	} else if !os.IsNotExist(err) {
+	if db.pathIdxFile, err = pager.Open(db.path(rolePathIdx), popts()); err != nil {
 		return nil, fmt.Errorf("core: opening path index: %w", err)
+	}
+	if db.PathIdx, err = btree.Open(db.pathIdxFile); err != nil {
+		return nil, err
 	}
 	if err := db.loadStats(); err != nil {
 		return nil, err
@@ -172,23 +190,37 @@ func Open(dir string, opts *Options) (*DB, error) {
 	return db, nil
 }
 
-// Close releases every file. Safe to call on a partially opened DB.
+// path returns the physical path of a manifest role.
+func (db *DB) path(role string) string {
+	return filepath.Join(db.dir, db.manifest.Files[role].Name)
+}
+
+// Recovery reports what Open repaired to reach a committed state.
+func (db *DB) Recovery() RecoveryInfo { return db.recovery }
+
+// Epoch returns the store's committed epoch.
+func (db *DB) Epoch() uint64 { return db.epoch }
+
+// Manifest returns the commit record the DB is running on.
+func (db *DB) Manifest() *Manifest { return db.manifest }
+
+// Close releases every file, aggregating all close errors. Safe to call on
+// a partially opened DB.
 func (db *DB) Close() error {
-	var first error
-	keep := func(err error) {
-		if err != nil && first == nil {
-			first = err
-		}
-	}
+	var errs []error
 	if db.Values != nil {
-		keep(db.Values.Close())
+		if err := db.Values.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("values: %w", err))
+		}
 	}
 	for _, pf := range []*pager.File{db.treeFile, db.tagIdxFile, db.valIdxFile, db.dewIdxFile, db.pathIdxFile} {
 		if pf != nil {
-			keep(pf.Close())
+			if err := pf.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("%s: %w", filepath.Base(pf.Path()), err))
+			}
 		}
 	}
-	return first
+	return errors.Join(errs...)
 }
 
 // Dir returns the database directory.
@@ -280,8 +312,9 @@ func (db *DB) NodeValue(id dewey.ID) (string, bool, error) {
 
 // ---- statistics -------------------------------------------------------------
 
-func (db *DB) saveStats() error {
-	path := filepath.Join(db.dir, fileStats)
+// saveStats writes the statistics file atomically (tmp + fsync + rename +
+// directory fsync) at the given path.
+func (db *DB) saveStats(path string) error {
 	buf := make([]byte, 0, 16+len(db.tagCount)*10)
 	var tmp [10]byte
 	binary.BigEndian.PutUint64(tmp[:8], db.total)
@@ -293,11 +326,11 @@ func (db *DB) saveStats() error {
 		binary.BigEndian.PutUint64(tmp[2:10], db.tagCount[sym])
 		buf = append(buf, tmp[:10]...)
 	}
-	return os.WriteFile(path, buf, 0o644)
+	return vfs.WriteFileAtomic(db.fsys, path, buf, 0o644)
 }
 
 func (db *DB) loadStats() error {
-	raw, err := os.ReadFile(filepath.Join(db.dir, fileStats))
+	raw, err := vfs.ReadFile(db.fsys, db.path(roleStats))
 	if err != nil {
 		return fmt.Errorf("core: loading stats: %w", err)
 	}
@@ -320,8 +353,8 @@ func (db *DB) loadStats() error {
 // IndexSizes reports the on-disk size in bytes of the string tree and the
 // three B+ trees — the |tree|, |B+t|, |B+v|, |B+i| columns of Table 1.
 func (db *DB) IndexSizes() (tree, tagIdx, valIdx, dewIdx int64) {
-	sz := func(name string) int64 {
-		fi, err := os.Stat(filepath.Join(db.dir, name))
+	sz := func(role string) int64 {
+		fi, err := db.fsys.Stat(db.path(role))
 		if err != nil {
 			return 0
 		}
@@ -331,5 +364,5 @@ func (db *DB) IndexSizes() (tree, tagIdx, valIdx, dewIdx int64) {
 	// size includes page slack, so report the logical size for |tree| and
 	// file sizes for the indexes (as the paper does: |tree| is 0.035MB for
 	// a 1.2MB document, far below one page-rounded file).
-	return int64(db.Tree.TokenBytes()), sz(fileTagIdx), sz(fileValIdx), sz(fileDewIdx)
+	return int64(db.Tree.TokenBytes()), sz(roleTagIdx), sz(roleValIdx), sz(roleDewIdx)
 }

@@ -27,10 +27,23 @@ import (
 // paper's subject-tree model where values are detached from structure.
 func LoadXML(dir string, r io.Reader, opts *Options) (*DB, error) {
 	o := opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := o.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	db := &DB{dir: dir, tagCount: make(map[symtab.Sym]uint64)}
+	// The first committed epoch is 1; the directory holds no MANIFEST (and
+	// therefore no store) until the very last step of the load.
+	const epoch = 1
+	names := map[string]string{
+		roleTree:    fileTree,
+		roleValues:  fileValues,
+		roleTags:    epochFileName(roleTags, epoch),
+		roleStats:   epochFileName(roleStats, epoch),
+		roleTagIdx:  epochFileName(roleTagIdx, epoch),
+		roleValIdx:  epochFileName(roleValIdx, epoch),
+		roleDewIdx:  epochFileName(roleDewIdx, epoch),
+		rolePathIdx: epochFileName(rolePathIdx, epoch),
+	}
+	db := &DB{dir: dir, fsys: o.FS, tagCount: make(map[symtab.Sym]uint64)}
 	ok := false
 	defer func() {
 		if !ok {
@@ -39,8 +52,8 @@ func LoadXML(dir string, r io.Reader, opts *Options) (*DB, error) {
 	}()
 
 	var err error
-	if db.treeFile, err = pager.Create(filepath.Join(dir, fileTree),
-		&pager.Options{PageSize: o.PageSize, PoolPages: o.PoolPages}); err != nil {
+	if db.treeFile, err = pager.Create(filepath.Join(dir, names[roleTree]),
+		&pager.Options{PageSize: o.PageSize, PoolPages: o.PoolPages, FS: o.FS}); err != nil {
 		return nil, err
 	}
 	builder, err := stree.NewBuilder(db.treeFile, &stree.BuilderOptions{ReservePct: o.ReservePct})
@@ -48,32 +61,31 @@ func LoadXML(dir string, r io.Reader, opts *Options) (*DB, error) {
 		return nil, err
 	}
 	db.Tags = symtab.New()
-	if db.Values, err = vstore.Create(filepath.Join(dir, fileValues)); err != nil {
+	if db.Values, err = vstore.CreateFS(o.FS, filepath.Join(dir, names[roleValues])); err != nil {
 		return nil, err
 	}
-	if db.tagIdxFile, err = pager.Create(filepath.Join(dir, fileTagIdx),
-		&pager.Options{PageSize: o.IndexPageSize, PoolPages: o.PoolPages}); err != nil {
+	idxOpts := func() *pager.Options {
+		return &pager.Options{PageSize: o.IndexPageSize, PoolPages: o.PoolPages, FS: o.FS}
+	}
+	if db.tagIdxFile, err = pager.Create(filepath.Join(dir, names[roleTagIdx]), idxOpts()); err != nil {
 		return nil, err
 	}
 	if db.TagIdx, err = btree.Create(db.tagIdxFile); err != nil {
 		return nil, err
 	}
-	if db.valIdxFile, err = pager.Create(filepath.Join(dir, fileValIdx),
-		&pager.Options{PageSize: o.IndexPageSize, PoolPages: o.PoolPages}); err != nil {
+	if db.valIdxFile, err = pager.Create(filepath.Join(dir, names[roleValIdx]), idxOpts()); err != nil {
 		return nil, err
 	}
 	if db.ValIdx, err = btree.Create(db.valIdxFile); err != nil {
 		return nil, err
 	}
-	if db.dewIdxFile, err = pager.Create(filepath.Join(dir, fileDewIdx),
-		&pager.Options{PageSize: o.IndexPageSize, PoolPages: o.PoolPages}); err != nil {
+	if db.dewIdxFile, err = pager.Create(filepath.Join(dir, names[roleDewIdx]), idxOpts()); err != nil {
 		return nil, err
 	}
 	if db.DeweyIdx, err = btree.Create(db.dewIdxFile); err != nil {
 		return nil, err
 	}
-	if db.pathIdxFile, err = pager.Create(filepath.Join(dir, filePathIdx),
-		&pager.Options{PageSize: o.IndexPageSize, PoolPages: o.PoolPages}); err != nil {
+	if db.pathIdxFile, err = pager.Create(filepath.Join(dir, names[rolePathIdx]), idxOpts()); err != nil {
 		return nil, err
 	}
 	if db.PathIdx, err = btree.Create(db.pathIdxFile); err != nil {
@@ -91,10 +103,15 @@ func LoadXML(dir string, r io.Reader, opts *Options) (*DB, error) {
 		return nil, err
 	}
 	db.total = db.Tree.NodeCount()
-	if err := db.Tags.Save(filepath.Join(dir, fileTags)); err != nil {
+	if err := db.Tags.SaveFS(o.FS, filepath.Join(dir, names[roleTags])); err != nil {
 		return nil, err
 	}
-	if err := db.saveStats(); err != nil {
+	if err := db.saveStats(filepath.Join(dir, names[roleStats])); err != nil {
+		return nil, err
+	}
+	// Make everything durable, then commit the store into existence by
+	// writing its first manifest.
+	if err := db.treeFile.Flush(); err != nil {
 		return nil, err
 	}
 	for _, t := range []*btree.Tree{db.TagIdx, db.ValIdx, db.DeweyIdx, db.PathIdx} {
@@ -105,6 +122,14 @@ func LoadXML(dir string, r io.Reader, opts *Options) (*DB, error) {
 	if err := db.Values.Flush(); err != nil {
 		return nil, err
 	}
+	m, err := buildManifest(o.FS, dir, epoch, names)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeManifest(o.FS, dir, m); err != nil {
+		return nil, err
+	}
+	db.manifest, db.epoch = m, epoch
 	ok = true
 	return db, nil
 }

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"strings"
 
@@ -27,11 +26,27 @@ import (
 // update: value data stays in place (the data file is append-only), the
 // dewey→value association is carried over in memory, and a single scan of
 // the updated string tree rebuilds the position-bearing entries.
+//
+// Every update is one atomic commit (see manifest.go): the string tree is
+// mutated under the pager's undo journal tagged with the new epoch, the
+// indexes/symbols/stats are rebuilt into fresh epoch-named files, and the
+// manifest switch is the commit point. A crash anywhere leaves a store
+// that Open rolls back to the pre-update state or forward to the committed
+// one — never anything in between. An in-process failure mid-mutation
+// marks the DB broken (ErrNeedsRecovery): the journal stays on disk and
+// the next Open rolls back.
+
+// ErrNeedsRecovery is returned by mutations after a previous update failed
+// midway; reopen the store to roll back to the last committed state.
+var ErrNeedsRecovery = errors.New("core: store needs recovery (a previous update failed); reopen to roll back")
 
 // InsertFragment parses an XML fragment and appends it as the last
 // child(ren) of the node identified by parent. The fragment must contain
 // exactly one root element. Indexes are rebuilt afterwards.
 func (db *DB) InsertFragment(parent dewey.ID, r io.Reader) error {
+	if db.broken {
+		return ErrNeedsRecovery
+	}
 	pos, _, found, err := db.NodeAt(parent)
 	if err != nil {
 		return err
@@ -141,8 +156,8 @@ func (db *DB) InsertFragment(parent dewey.ID, r io.Reader) error {
 	}
 
 	// Carry over existing dewey→value associations (appending as the last
-	// child never renumbers existing nodes), add the new ones, update the
-	// structure, and rebuild the indexes.
+	// child never renumbers existing nodes), add the new ones, then run
+	// the mutation as one atomic commit.
 	carried, err := db.valueAssociations(nil, 0)
 	if err != nil {
 		return err
@@ -150,16 +165,85 @@ func (db *DB) InsertFragment(parent dewey.ID, r io.Reader) error {
 	for k, v := range valueAt {
 		carried[k] = v
 	}
-	if err := db.Tree.InsertChild(pos, tokens); err != nil {
+	return db.applyUpdate(carried, func() error {
+		return db.Tree.InsertChild(pos, tokens)
+	})
+}
+
+// applyUpdate runs mutate (the in-place string-tree change) and the index
+// rebuild as one undo-journaled transaction and commits it by switching
+// the manifest to a new epoch. Any failure after mutation starts marks the
+// DB broken: the journal stays behind and the next Open rolls back.
+func (db *DB) applyUpdate(carried map[string]uint64, mutate func() error) error {
+	newEpoch := db.epoch + 1
+	if err := db.treeFile.BeginUpdate(newEpoch); err != nil {
 		return err
 	}
-	return db.rebuildIndexes(carried)
+	if err := mutate(); err != nil {
+		db.broken = true
+		return err
+	}
+	if err := db.rebuildIndexes(carried, newEpoch); err != nil {
+		db.broken = true
+		return err
+	}
+	if err := db.commitEpoch(newEpoch); err != nil {
+		db.broken = true
+		return err
+	}
+	return nil
+}
+
+// commitEpoch makes every file durable, writes the new manifest (the
+// commit point), drops the undo journal, and sweeps the previous epoch's
+// files.
+func (db *DB) commitEpoch(newEpoch uint64) error {
+	names := map[string]string{
+		roleTree:    fileTree,
+		roleValues:  fileValues,
+		roleTags:    epochFileName(roleTags, newEpoch),
+		roleStats:   epochFileName(roleStats, newEpoch),
+		roleTagIdx:  epochFileName(roleTagIdx, newEpoch),
+		roleValIdx:  epochFileName(roleValIdx, newEpoch),
+		roleDewIdx:  epochFileName(roleDewIdx, newEpoch),
+		rolePathIdx: epochFileName(rolePathIdx, newEpoch),
+	}
+	if err := db.treeFile.Flush(); err != nil {
+		return err
+	}
+	if err := db.Values.Flush(); err != nil {
+		return err
+	}
+	m, err := buildManifest(db.fsys, db.dir, newEpoch, names)
+	if err != nil {
+		return err
+	}
+	if err := writeManifest(db.fsys, db.dir, m); err != nil {
+		return err
+	}
+	// Committed. Remove the journal; from here recovery rolls forward.
+	if err := db.treeFile.CommitUpdate(); err != nil {
+		return err
+	}
+	// Best-effort sweep of the previous epoch's files — failures here are
+	// harmless (Open's orphan sweep will finish the job).
+	for _, role := range allRoles {
+		old := db.manifest.Files[role].Name
+		if old != names[role] {
+			_ = db.fsys.Remove(filepath.Join(db.dir, old))
+		}
+	}
+	db.manifest, db.epoch = m, newEpoch
+	return nil
 }
 
 // DeleteSubtree removes the node with the given ID and its descendants.
 // Following siblings are renumbered (their Dewey ordinals shift down by
 // one), and indexes are rebuilt.
 func (db *DB) DeleteSubtree(id dewey.ID) error {
+	if db.broken {
+		return ErrNeedsRecovery
+	}
 	pos, _, found, err := db.NodeAt(id)
 	if err != nil {
 		return err
@@ -171,12 +255,11 @@ func (db *DB) DeleteSubtree(id dewey.ID) error {
 	if err != nil {
 		return err
 	}
-	if err := db.Tree.DeleteSubtree(pos); err != nil {
-		return err
-	}
-	// Refresh tag counts and total from the structure (the deleted range's
-	// per-tag composition is easiest re-derived by the rebuild scan).
-	return db.rebuildIndexes(carried)
+	// Tag counts and total are re-derived by the rebuild scan (the deleted
+	// range's per-tag composition is easiest recomputed from the tree).
+	return db.applyUpdate(carried, func() error {
+		return db.Tree.DeleteSubtree(pos)
+	})
 }
 
 // countChildren counts the children of the node at pos via navigation.
@@ -243,16 +326,16 @@ func prefixEq(id, other dewey.ID, n int) bool {
 	return true
 }
 
-// rebuildIndexes recreates the three B+ trees from a scan of the (already
-// updated) string tree. valOffByDewey carries the value associations.
-func (db *DB) rebuildIndexes(valOffByDewey map[string]uint64) error {
-	// Close and remove the old index files.
+// rebuildIndexes recreates the four B+ trees (and the symbol/statistics
+// files) from a scan of the (already updated) string tree into fresh files
+// named for newEpoch. The previous epoch's files are left untouched — they
+// remain the committed state until the manifest switches. valOffByDewey
+// carries the value associations.
+func (db *DB) rebuildIndexes(valOffByDewey map[string]uint64, newEpoch uint64) error {
+	// Close the old index files; their on-disk bytes stay (still committed).
 	for _, pf := range []*pager.File{db.tagIdxFile, db.valIdxFile, db.dewIdxFile, db.pathIdxFile} {
 		if pf != nil {
 			if err := pf.Close(); err != nil {
-				return err
-			}
-			if err := os.Remove(pf.Path()); err != nil {
 				return err
 			}
 		}
@@ -261,26 +344,27 @@ func (db *DB) rebuildIndexes(valOffByDewey map[string]uint64) error {
 	if pageSize < 1024 {
 		pageSize = pager.DefaultPageSize
 	}
+	idxOpts := func() *pager.Options { return &pager.Options{PageSize: pageSize, FS: db.fsys} }
 	var err error
-	if db.tagIdxFile, err = pager.Create(filepath.Join(db.dir, fileTagIdx), &pager.Options{PageSize: pageSize}); err != nil {
+	if db.tagIdxFile, err = pager.Create(filepath.Join(db.dir, epochFileName(roleTagIdx, newEpoch)), idxOpts()); err != nil {
 		return err
 	}
 	if db.TagIdx, err = btree.Create(db.tagIdxFile); err != nil {
 		return err
 	}
-	if db.valIdxFile, err = pager.Create(filepath.Join(db.dir, fileValIdx), &pager.Options{PageSize: pageSize}); err != nil {
+	if db.valIdxFile, err = pager.Create(filepath.Join(db.dir, epochFileName(roleValIdx, newEpoch)), idxOpts()); err != nil {
 		return err
 	}
 	if db.ValIdx, err = btree.Create(db.valIdxFile); err != nil {
 		return err
 	}
-	if db.dewIdxFile, err = pager.Create(filepath.Join(db.dir, fileDewIdx), &pager.Options{PageSize: pageSize}); err != nil {
+	if db.dewIdxFile, err = pager.Create(filepath.Join(db.dir, epochFileName(roleDewIdx, newEpoch)), idxOpts()); err != nil {
 		return err
 	}
 	if db.DeweyIdx, err = btree.Create(db.dewIdxFile); err != nil {
 		return err
 	}
-	if db.pathIdxFile, err = pager.Create(filepath.Join(db.dir, filePathIdx), &pager.Options{PageSize: pageSize}); err != nil {
+	if db.pathIdxFile, err = pager.Create(filepath.Join(db.dir, epochFileName(rolePathIdx, newEpoch)), idxOpts()); err != nil {
 		return err
 	}
 	if db.PathIdx, err = btree.Create(db.pathIdxFile); err != nil {
@@ -331,10 +415,10 @@ func (db *DB) rebuildIndexes(valOffByDewey map[string]uint64) error {
 	if scanErr != nil {
 		return scanErr
 	}
-	if err := db.saveStats(); err != nil {
+	if err := db.saveStats(filepath.Join(db.dir, epochFileName(roleStats, newEpoch))); err != nil {
 		return err
 	}
-	if err := db.Tags.Save(filepath.Join(db.dir, fileTags)); err != nil {
+	if err := db.Tags.SaveFS(db.fsys, filepath.Join(db.dir, epochFileName(roleTags, newEpoch))); err != nil {
 		return err
 	}
 	for _, t := range []*btree.Tree{db.TagIdx, db.ValIdx, db.DeweyIdx, db.PathIdx} {

@@ -21,6 +21,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"errors"
+	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -52,6 +54,31 @@ var ErrNotImplemented = errors.New("di: not implemented (non-equality value comp
 // record layout in the element table: start u64, end u64, level u16,
 // sym u16, valOff u64 (NoValue = none).
 const recordSize = 8 + 8 + 2 + 2 + 8
+
+// Element-table header: magic "NKDT" | version u16 | reserved u16 |
+// count u64 | crc32c u32 (over the first 16 bytes). The checksummed count
+// lets Open detect a truncated or damaged table instead of deriving the
+// element count from whatever the file size happens to be.
+const (
+	tableMagic     = "NKDT"
+	tableVersion   = 1
+	tableHeaderLen = 4 + 2 + 2 + 8 + 4
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadTable is returned by Open when the element table's header is
+// missing or damaged, or the table body does not match the recorded count.
+var ErrBadTable = errors.New("di: bad element table")
+
+func encodeTableHeader(count int) []byte {
+	hdr := make([]byte, tableHeaderLen)
+	copy(hdr[0:4], tableMagic)
+	binary.BigEndian.PutUint16(hdr[4:6], tableVersion)
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(count))
+	binary.BigEndian.PutUint32(hdr[16:20], crc32.Checksum(hdr[:16], crcTable))
+	return hdr
+}
 
 // NoValue marks elements without text content.
 const NoValue = ^uint64(0)
@@ -212,6 +239,11 @@ func Load(dir string, r io.Reader) (*Engine, error) {
 		}
 	}
 
+	if _, err := w.Write(encodeTableHeader(count)); err != nil {
+		f.Close()
+		vals.Close()
+		return nil, err
+	}
 	var buf [recordSize]byte
 	for _, rc := range recs {
 		binary.BigEndian.PutUint64(buf[0:8], rc.start)
@@ -256,12 +288,45 @@ func Open(dir string) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	fi, err := os.Stat(filepath.Join(dir, fileTable))
+	tablePath := filepath.Join(dir, fileTable)
+	f, err := os.Open(tablePath)
 	if err != nil {
 		vals.Close()
 		return nil, err
 	}
-	return &Engine{dir: dir, tags: tags, vals: vals, count: int(fi.Size() / recordSize)}, nil
+	defer f.Close()
+	var hdr [tableHeaderLen]byte
+	if n, err := f.ReadAt(hdr[:], 0); err != nil && err != io.EOF {
+		vals.Close()
+		return nil, err
+	} else if n < tableHeaderLen {
+		vals.Close()
+		return nil, fmt.Errorf("%w: %s: truncated header (%d bytes)", ErrBadTable, tablePath, n)
+	}
+	if string(hdr[0:4]) != tableMagic {
+		vals.Close()
+		return nil, fmt.Errorf("%w: %s: bad magic %q (pre-checksum file? rebuild the store)", ErrBadTable, tablePath, hdr[0:4])
+	}
+	if crc32.Checksum(hdr[:16], crcTable) != binary.BigEndian.Uint32(hdr[16:20]) {
+		vals.Close()
+		return nil, fmt.Errorf("%w: %s: header checksum mismatch", ErrBadTable, tablePath)
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != tableVersion {
+		vals.Close()
+		return nil, fmt.Errorf("%w: %s: unsupported version %d", ErrBadTable, tablePath, v)
+	}
+	count := int(binary.BigEndian.Uint64(hdr[8:16]))
+	fi, err := f.Stat()
+	if err != nil {
+		vals.Close()
+		return nil, err
+	}
+	if want := int64(tableHeaderLen) + int64(count)*recordSize; fi.Size() != want {
+		vals.Close()
+		return nil, fmt.Errorf("%w: %s: size %d does not match recorded count %d (want %d bytes; truncated or torn write)",
+			ErrBadTable, tablePath, fi.Size(), count, want)
+	}
+	return &Engine{dir: dir, tags: tags, vals: vals, count: count}, nil
 }
 
 // Close releases the engine.
@@ -284,7 +349,8 @@ func (e *Engine) scan(fn func(ordinal int, el Element) error) error {
 		return err
 	}
 	defer f.Close()
-	r := bufio.NewReaderSize(f, 256<<10)
+	body := io.NewSectionReader(f, tableHeaderLen, int64(e.count)*recordSize)
+	r := bufio.NewReaderSize(body, 256<<10)
 	var buf [recordSize]byte
 	for i := 0; ; i++ {
 		if _, err := io.ReadFull(r, buf[:]); err != nil {

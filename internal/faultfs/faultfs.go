@@ -1,0 +1,258 @@
+// Package faultfs is a fault-injection vfs.FS for crash-consistency
+// testing.
+//
+// The wrapper counts every *mutating* operation (WriteAt, Sync, Truncate,
+// Rename, Remove, SyncDir, and file creation) across all files opened
+// through it. When the count reaches a configured trigger point the
+// configured fault fires:
+//
+//   - ErrWrite / ErrSync / ErrOp: the operation fails with ErrInjected
+//     having done nothing.
+//   - ShortWrite: the first half of the buffer is written, then the
+//     operation fails — the torn-page case a real power cut produces.
+//
+// After the trigger the file system is "crashed": every subsequent
+// operation (reads included) fails with ErrCrashed, modelling the process
+// dying at the fault point. The on-disk state left behind is exactly the
+// prefix of operations before the fault plus any partial write the fault
+// mode produced — which is what the recovery path must cope with.
+//
+// A trigger point of 0 disables injection; use Ops() afterwards to size a
+// sweep (run the workload once fault-free, then re-run it once per
+// operation index).
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+
+	"nok/internal/vfs"
+)
+
+// Errors returned by injected faults.
+var (
+	// ErrInjected is the error carried by the faulted operation itself.
+	ErrInjected = errors.New("faultfs: injected fault")
+	// ErrCrashed is returned by every operation after the fault point.
+	ErrCrashed = errors.New("faultfs: file system crashed")
+)
+
+// Mode selects what happens at the trigger point.
+type Mode int
+
+const (
+	// ErrOp fails the triggering operation cleanly (no partial effect).
+	ErrOp Mode = iota
+	// ShortWrite applies the first half of the triggering WriteAt, then
+	// fails — a torn page. Non-write operations at the trigger point fail
+	// cleanly.
+	ShortWrite
+)
+
+// FS wraps an inner vfs.FS with fault injection. Safe for concurrent use.
+type FS struct {
+	inner vfs.FS
+
+	mu      sync.Mutex
+	ops     int64 // mutating operations performed so far
+	failAt  int64 // 1-based op index that faults; 0 = disabled
+	mode    Mode
+	crashed bool
+}
+
+// New wraps inner with injection disabled (counting only).
+func New(inner vfs.FS) *FS { return &FS{inner: inner} }
+
+// FailAt arms the fault: the n-th mutating operation (1-based) fails with
+// the given mode and the file system crashes. n <= 0 disables injection.
+func (f *FS) FailAt(n int64, mode Mode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt = n
+	f.mode = mode
+}
+
+// Ops returns the number of mutating operations performed so far.
+func (f *FS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the fault has fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step accounts one mutating operation. It returns (mode, true) when this
+// operation must fault, and an ErrCrashed error when the fs already died.
+func (f *FS) step() (Mode, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, false, ErrCrashed
+	}
+	f.ops++
+	if f.failAt > 0 && f.ops == f.failAt {
+		f.crashed = true
+		return f.mode, true, nil
+	}
+	return 0, false, nil
+}
+
+// readGate fails reads after the crash (the process is gone).
+func (f *FS) readGate() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// ---- FS interface -----------------------------------------------------------
+
+// OpenFile counts creation as a mutating operation; plain opens are reads.
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (vfs.File, error) {
+	if flag&os.O_CREATE != 0 {
+		if _, fault, err := f.step(); err != nil {
+			return nil, err
+		} else if fault {
+			return nil, fileErr(name, "open", ErrInjected)
+		}
+	} else if err := f.readGate(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, name: name, inner: inner}, nil
+}
+
+func (f *FS) Remove(name string) error {
+	if _, fault, err := f.step(); err != nil {
+		return err
+	} else if fault {
+		return fileErr(name, "remove", ErrInjected)
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if _, fault, err := f.step(); err != nil {
+		return err
+	} else if fault {
+		return fileErr(oldpath, "rename", ErrInjected)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Stat(name string) (os.FileInfo, error) {
+	if err := f.readGate(); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *FS) Truncate(name string, size int64) error {
+	if _, fault, err := f.step(); err != nil {
+		return err
+	} else if fault {
+		return fileErr(name, "truncate", ErrInjected)
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *FS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := f.readGate(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FS) MkdirAll(name string, perm os.FileMode) error {
+	if _, fault, err := f.step(); err != nil {
+		return err
+	} else if fault {
+		return fileErr(name, "mkdir", ErrInjected)
+	}
+	return f.inner.MkdirAll(name, perm)
+}
+
+func (f *FS) SyncDir(name string) error {
+	if _, fault, err := f.step(); err != nil {
+		return err
+	} else if fault {
+		return fileErr(name, "syncdir", ErrInjected)
+	}
+	return f.inner.SyncDir(name)
+}
+
+// ---- File -------------------------------------------------------------------
+
+type file struct {
+	fs    *FS
+	name  string
+	inner vfs.File
+}
+
+func (fl *file) ReadAt(p []byte, off int64) (int, error) {
+	if err := fl.fs.readGate(); err != nil {
+		return 0, err
+	}
+	return fl.inner.ReadAt(p, off)
+}
+
+func (fl *file) WriteAt(p []byte, off int64) (int, error) {
+	mode, fault, err := fl.fs.step()
+	if err != nil {
+		return 0, err
+	}
+	if fault {
+		if mode == ShortWrite && len(p) > 1 {
+			// Tear the write: half the buffer lands, the rest never does.
+			n, _ := fl.inner.WriteAt(p[:len(p)/2], off)
+			return n, fileErr(fl.name, "write", ErrInjected)
+		}
+		return 0, fileErr(fl.name, "write", ErrInjected)
+	}
+	return fl.inner.WriteAt(p, off)
+}
+
+func (fl *file) Sync() error {
+	if _, fault, err := fl.fs.step(); err != nil {
+		return err
+	} else if fault {
+		return fileErr(fl.name, "sync", ErrInjected)
+	}
+	return fl.inner.Sync()
+}
+
+func (fl *file) Truncate(size int64) error {
+	if _, fault, err := fl.fs.step(); err != nil {
+		return err
+	} else if fault {
+		return fileErr(fl.name, "truncate", ErrInjected)
+	}
+	return fl.inner.Truncate(size)
+}
+
+func (fl *file) Stat() (os.FileInfo, error) {
+	if err := fl.fs.readGate(); err != nil {
+		return nil, err
+	}
+	return fl.inner.Stat()
+}
+
+// Close is never faulted: a crashed process's descriptors close anyway,
+// and failing Close would leak handles in the test harness itself.
+func (fl *file) Close() error { return fl.inner.Close() }
+
+func fileErr(name, op string, err error) error {
+	return &fs.PathError{Op: op, Path: name, Err: err}
+}

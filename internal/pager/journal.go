@@ -1,0 +1,319 @@
+// Undo journal: crash safety for in-place page updates.
+//
+// The pager's clients mostly build files append-only and switch them in
+// atomically (see internal/core's manifest), but the structure-string file
+// is updated in place by Insert/Delete. To make those updates atomic we use
+// a rollback journal, SQLite-style:
+//
+//  1. BeginUpdate creates <path>.journal, writes a checksummed header
+//     capturing the pre-transaction file header (numPages, freeHead, meta)
+//     and an owner-supplied tag, fsyncs it, and fsyncs the directory.
+//  2. Before a committed page is overwritten for the first time, its
+//     on-disk physical image is appended to the journal and the journal is
+//     fsynced — only then may the data write proceed. Pages allocated
+//     inside the transaction need no pre-image; rollback truncates them
+//     away.
+//  3. CommitUpdate flushes and fsyncs the data file, then deletes the
+//     journal and fsyncs the directory. The unlink is the commit point.
+//
+// After a crash, a surviving journal means the transaction did not commit…
+// usually. The exception: the owner's commit protocol may have completed
+// (its manifest renamed into place) with the crash landing between that
+// rename and the journal unlink. The journal's tag exists to disambiguate —
+// internal/core tags each transaction with the epoch it will commit, and on
+// recovery replays the journal only when its tag is newer than the
+// manifest's epoch, discarding it otherwise. Hence Open refuses to open a
+// file with a journal present (ErrJournalPresent) instead of deciding
+// unilaterally; InspectJournal / ReplayJournal / DiscardJournal are the
+// caller's tools.
+//
+// Journal layout (all integers big-endian):
+//
+//	header: "NKJ1" | tag u64 | pageSize u32 | numPages u32 | freeHead u32 |
+//	        metaLen u16 | meta[64] | crc32c u32       (= 90 bytes)
+//	entry:  pageID u32 | physical page image | crc32c u32
+//
+// A torn header means the crash hit BeginUpdate itself — no data write can
+// have happened (they are ordered after the header fsync), so the journal
+// is discarded. A torn trailing entry is likewise ignored: the data write
+// it would have protected cannot have happened before the entry was synced.
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"nok/internal/vfs"
+)
+
+const (
+	journalMagic     = "NKJ1"
+	journalHeaderLen = 4 + 8 + 4 + 4 + 4 + 2 + MaxMetaLen + 4
+)
+
+// JournalPath returns the undo-journal path for a pager file path.
+func JournalPath(path string) string { return path + ".journal" }
+
+// journalTx is the in-memory state of an open update transaction.
+type journalTx struct {
+	jf          vfs.File
+	jpath       string
+	oldNumPages uint32
+	journaled   map[PageID]bool
+	pending     []byte // entries buffered but not yet written+synced
+	off         int64  // journal file length (written bytes)
+}
+
+// BeginUpdate opens an undo-journal transaction tagged with tag (the owner's
+// commit epoch). Until CommitUpdate, every overwrite of a pre-existing page
+// is preceded by a durable pre-image in the journal, so a crash can be
+// rolled back with ReplayJournal. Only one transaction may be open.
+func (pf *File) BeginUpdate(tag uint64) error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return ErrClosed
+	}
+	if pf.tx != nil {
+		return ErrInTx
+	}
+	jpath := JournalPath(pf.path)
+	jf, err := pf.fsys.OpenFile(jpath, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("pager: creating journal: %w", err)
+	}
+	hdr := make([]byte, journalHeaderLen)
+	copy(hdr[0:4], journalMagic)
+	binary.BigEndian.PutUint64(hdr[4:12], tag)
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(pf.pageSize))
+	binary.BigEndian.PutUint32(hdr[16:20], pf.numPages)
+	binary.BigEndian.PutUint32(hdr[20:24], uint32(pf.freeHead))
+	binary.BigEndian.PutUint16(hdr[24:26], uint16(pf.metaLen))
+	copy(hdr[26:26+MaxMetaLen], pf.meta[:])
+	binary.BigEndian.PutUint32(hdr[journalHeaderLen-4:], crc32.Checksum(hdr[:journalHeaderLen-4], crcTable))
+	fail := func(err error) error {
+		jf.Close()
+		pf.fsys.Remove(jpath)
+		return err
+	}
+	if _, err := jf.WriteAt(hdr, 0); err != nil {
+		return fail(fmt.Errorf("pager: writing journal header: %w", err))
+	}
+	if err := jf.Sync(); err != nil {
+		return fail(fmt.Errorf("pager: syncing journal: %w", err))
+	}
+	// Make the journal's directory entry durable before any data write: a
+	// synced journal that vanishes in a crash would leave data writes
+	// unprotected.
+	if err := pf.fsys.SyncDir(filepath.Dir(pf.path)); err != nil {
+		return fail(fmt.Errorf("pager: syncing journal directory: %w", err))
+	}
+	pf.tx = &journalTx{
+		jf:          jf,
+		jpath:       jpath,
+		oldNumPages: pf.numPages,
+		journaled:   make(map[PageID]bool),
+		off:         journalHeaderLen,
+	}
+	return nil
+}
+
+// ensureJournaled appends page id's on-disk pre-image to the pending buffer
+// if it needs one: pages that existed before the transaction and have not
+// been journaled yet. Caller holds pf.mu.
+func (tx *journalTx) ensureJournaled(pf *File, id PageID) error {
+	if uint32(id) > tx.oldNumPages || tx.journaled[id] {
+		return nil
+	}
+	// Raw read, no checksum verification: whatever bytes are on disk are
+	// the bytes rollback must restore (an all-zero never-written page
+	// round-trips as zeroes).
+	img := make([]byte, pf.physSize)
+	if n, err := pf.f.ReadAt(img, pf.pageOffset(id)); err != nil && err != io.EOF {
+		return fmt.Errorf("pager: journaling page %d: %w", id, err)
+	} else if n < pf.physSize {
+		clear(img[n:])
+	}
+	entry := make([]byte, 4+pf.physSize+4)
+	binary.BigEndian.PutUint32(entry[0:4], uint32(id))
+	copy(entry[4:], img)
+	binary.BigEndian.PutUint32(entry[4+pf.physSize:], crc32.Checksum(entry[:4+pf.physSize], crcTable))
+	tx.pending = append(tx.pending, entry...)
+	tx.journaled[id] = true
+	return nil
+}
+
+// flush makes all pending pre-images durable. Caller holds pf.mu. Data
+// writes may only proceed after flush returns nil.
+func (tx *journalTx) flush(pf *File) error {
+	if len(tx.pending) == 0 {
+		return nil
+	}
+	if _, err := tx.jf.WriteAt(tx.pending, tx.off); err != nil {
+		return fmt.Errorf("pager: writing journal: %w", err)
+	}
+	tx.off += int64(len(tx.pending))
+	tx.pending = tx.pending[:0]
+	return tx.jf.Sync()
+}
+
+// CommitUpdate flushes all dirty state to the data file, fsyncs it, and
+// removes the journal — the commit point. On error the journal is left in
+// place so the transaction can be rolled back after restart.
+func (pf *File) CommitUpdate() error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return ErrClosed
+	}
+	if pf.tx == nil {
+		return errors.New("pager: CommitUpdate without BeginUpdate")
+	}
+	if err := pf.flushLocked(); err != nil {
+		return err
+	}
+	tx := pf.tx
+	if err := tx.jf.Close(); err != nil {
+		return fmt.Errorf("pager: closing journal: %w", err)
+	}
+	if err := pf.fsys.Remove(tx.jpath); err != nil {
+		return fmt.Errorf("pager: removing journal: %w", err)
+	}
+	if err := pf.fsys.SyncDir(filepath.Dir(pf.path)); err != nil {
+		return fmt.Errorf("pager: syncing directory after commit: %w", err)
+	}
+	pf.tx = nil
+	return nil
+}
+
+// InTx reports whether an update transaction is open.
+func (pf *File) InTx() bool {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return pf.tx != nil
+}
+
+// InspectJournal reports whether an undo journal exists for the pager file
+// at path and, if its header is intact, the tag it was begun with. A
+// journal with a torn header is reported with ok=false: it carries no
+// replayable state (data writes are ordered after the header fsync) and
+// may be discarded.
+func InspectJournal(fsys vfs.FS, path string) (tag uint64, exists, ok bool, err error) {
+	jpath := JournalPath(path)
+	if _, serr := fsys.Stat(jpath); serr != nil {
+		if errors.Is(serr, os.ErrNotExist) {
+			return 0, false, false, nil
+		}
+		return 0, false, false, serr
+	}
+	jf, err := fsys.OpenFile(jpath, os.O_RDONLY, 0)
+	if err != nil {
+		return 0, true, false, err
+	}
+	defer jf.Close()
+	hdr := make([]byte, journalHeaderLen)
+	if _, rerr := jf.ReadAt(hdr, 0); rerr != nil {
+		if rerr == io.EOF || errors.Is(rerr, io.ErrUnexpectedEOF) {
+			return 0, true, false, nil // torn header
+		}
+		return 0, true, false, rerr
+	}
+	if string(hdr[0:4]) != journalMagic ||
+		binary.BigEndian.Uint32(hdr[journalHeaderLen-4:]) != crc32.Checksum(hdr[:journalHeaderLen-4], crcTable) {
+		return 0, true, false, nil // torn header
+	}
+	return binary.BigEndian.Uint64(hdr[4:12]), true, true, nil
+}
+
+// DiscardJournal removes the journal for path (used when the owner
+// determines the transaction actually committed, or the journal header is
+// torn). Missing journal is not an error.
+func DiscardJournal(fsys vfs.FS, path string) error {
+	jpath := JournalPath(path)
+	if err := fsys.Remove(jpath); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}
+
+// ReplayJournal rolls the pager file at path back to its pre-transaction
+// state: every intact journal entry's pre-image is written back, the old
+// header is restored, the file is truncated to its old length, and the
+// journal is removed. A torn trailing entry is ignored (its data write
+// cannot have happened). Safe to call repeatedly — replay is idempotent
+// until the journal is gone.
+func ReplayJournal(fsys vfs.FS, path string) error {
+	jpath := JournalPath(path)
+	jraw, err := vfs.ReadFile(fsys, jpath)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("pager: reading journal: %w", err)
+	}
+	if len(jraw) < journalHeaderLen ||
+		string(jraw[0:4]) != journalMagic ||
+		binary.BigEndian.Uint32(jraw[journalHeaderLen-4:journalHeaderLen]) != crc32.Checksum(jraw[:journalHeaderLen-4], crcTable) {
+		// Torn header: the crash hit BeginUpdate; no data writes happened.
+		return DiscardJournal(fsys, path)
+	}
+	pageSize := int(binary.BigEndian.Uint32(jraw[12:16]))
+	numPages := binary.BigEndian.Uint32(jraw[16:20])
+	freeHead := binary.BigEndian.Uint32(jraw[20:24])
+	metaLen := int(binary.BigEndian.Uint16(jraw[24:26]))
+	if pageSize < MinPageSize || metaLen > MaxMetaLen {
+		return fmt.Errorf("pager: journal %s: corrupt header", jpath)
+	}
+	var meta [MaxMetaLen]byte
+	copy(meta[:], jraw[26:26+MaxMetaLen])
+	physSize := pageSize + TrailerLen
+
+	df, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("pager: opening %s for replay: %w", path, err)
+	}
+	defer df.Close()
+
+	// Restore pre-images from intact entries.
+	entryLen := 4 + physSize + 4
+	for off := journalHeaderLen; off+entryLen <= len(jraw); off += entryLen {
+		e := jraw[off : off+entryLen]
+		if binary.BigEndian.Uint32(e[4+physSize:]) != crc32.Checksum(e[:4+physSize], crcTable) {
+			break // torn tail; nothing beyond it was synced
+		}
+		id := PageID(binary.BigEndian.Uint32(e[0:4]))
+		if _, err := df.WriteAt(e[4:4+physSize], int64(id)*int64(physSize)); err != nil {
+			return fmt.Errorf("pager: replaying page %d: %w", id, err)
+		}
+	}
+
+	// Restore the old header page.
+	hdrPayload := make([]byte, pageSize)
+	copy(hdrPayload[0:4], headerMagic)
+	binary.BigEndian.PutUint16(hdrPayload[4:6], headerVersion)
+	binary.BigEndian.PutUint32(hdrPayload[6:10], uint32(pageSize))
+	binary.BigEndian.PutUint32(hdrPayload[10:14], numPages)
+	binary.BigEndian.PutUint32(hdrPayload[14:18], freeHead)
+	binary.BigEndian.PutUint16(hdrPayload[18:20], uint16(metaLen))
+	copy(hdrPayload[headerFixed:], meta[:])
+	phys := make([]byte, physSize)
+	copy(phys, hdrPayload)
+	binary.BigEndian.PutUint32(phys[pageSize:], crc32.Checksum(hdrPayload, crcTable))
+	if _, err := df.WriteAt(phys, 0); err != nil {
+		return fmt.Errorf("pager: restoring header: %w", err)
+	}
+
+	// Drop pages allocated by the aborted transaction.
+	if err := df.Truncate(int64(numPages+1) * int64(physSize)); err != nil {
+		return fmt.Errorf("pager: truncating to pre-transaction length: %w", err)
+	}
+	if err := df.Sync(); err != nil {
+		return fmt.Errorf("pager: syncing after replay: %w", err)
+	}
+	return DiscardJournal(fsys, path)
+}

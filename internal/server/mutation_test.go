@@ -1,0 +1,124 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"nok/internal/samples"
+)
+
+func doReq(t *testing.T, method, url string, body string) (*http.Response, func()) {
+	t.Helper()
+	var r *strings.Reader
+	if body != "" {
+		r = strings.NewReader(body)
+	} else {
+		r = strings.NewReader("")
+	}
+	req, err := http.NewRequest(method, url, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, func() { resp.Body.Close() }
+}
+
+func TestInsertAndDeleteEndpoints(t *testing.T) {
+	srv, ts := newTestServer(t, samples.Bibliography, Config{})
+
+	var before queryResponse
+	getJSON(t, ts.URL+"/query?q=%2F%2Fbook", &before)
+
+	resp, done := doReq(t, http.MethodPost, ts.URL+"/insert?parent=0",
+		"<book><title>Crash Safety</title><price>42</price></book>")
+	if resp.StatusCode != 200 {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+	done()
+	if srv.store.Epoch() != 2 {
+		t.Errorf("post-insert epoch = %d, want 2", srv.store.Epoch())
+	}
+
+	var after queryResponse
+	getJSON(t, ts.URL+"/query?q=%2F%2Fbook", &after)
+	if after.Count != before.Count+1 {
+		t.Errorf("book count %d after insert, want %d", after.Count, before.Count+1)
+	}
+
+	// Delete the node we just added (last child of the root).
+	last := after.Results[len(after.Results)-1].ID
+	resp, done = doReq(t, http.MethodDelete, ts.URL+"/node/"+last, "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	done()
+
+	getJSON(t, ts.URL+"/query?q=%2F%2Fbook", &after)
+	if after.Count != before.Count {
+		t.Errorf("book count %d after delete, want %d", after.Count, before.Count)
+	}
+
+	// Bad requests stay 4xx and do not degrade the server.
+	resp, done = doReq(t, http.MethodPost, ts.URL+"/insert?parent=0", "<unclosed>")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed fragment status %d, want 400", resp.StatusCode)
+	}
+	done()
+	resp, done = doReq(t, http.MethodPost, ts.URL+"/insert", "<x/>")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing parent status %d, want 400", resp.StatusCode)
+	}
+	done()
+	if degraded, _ := srv.Degraded(); degraded {
+		t.Error("benign mutation errors degraded the server")
+	}
+}
+
+func TestHealthzDeep(t *testing.T) {
+	srv, ts := newTestServer(t, samples.Bibliography, Config{})
+
+	var h healthResponse
+	if code := getJSON(t, ts.URL+"/healthz?deep=1", &h); code != 200 {
+		t.Fatalf("deep healthz status %d (issues: %v)", code, h.Issues)
+	}
+	if h.Status != "ok" || h.PagesChecked == 0 || h.EntriesChecked == 0 {
+		t.Errorf("deep healthz response: %+v", h)
+	}
+	if degraded, _ := srv.Degraded(); degraded {
+		t.Error("clean deep verify degraded the server")
+	}
+}
+
+func TestDegradedModeServesReadsRefusesWrites(t *testing.T) {
+	srv, ts := newTestServer(t, samples.Bibliography, Config{})
+	srv.setDegraded("test-induced")
+
+	// Reads still work.
+	var qr queryResponse
+	if code := getJSON(t, ts.URL+"/query?q=%2F%2Fbook", &qr); code != 200 {
+		t.Errorf("degraded query status %d, want 200", code)
+	}
+	// Mutations are refused with 503.
+	resp, done := doReq(t, http.MethodPost, ts.URL+"/insert?parent=0", "<x/>")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("degraded insert status %d, want 503", resp.StatusCode)
+	}
+	done()
+	resp, done = doReq(t, http.MethodDelete, ts.URL+"/node/0.1", "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("degraded delete status %d, want 503", resp.StatusCode)
+	}
+	done()
+	// Plain healthz reports the state.
+	var h healthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusServiceUnavailable {
+		t.Errorf("degraded healthz status %d, want 503", code)
+	}
+	if h.Status != "degraded" || h.Reason == "" {
+		t.Errorf("degraded healthz response: %+v", h)
+	}
+}

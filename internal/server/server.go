@@ -13,12 +13,21 @@
 //
 // Endpoints:
 //
-//	GET /query?q=EXPR[&strategy=S][&limit=N][&timeout=D][&stats=1]
-//	GET /explain?q=EXPR[&analyze=1]
-//	GET /value/{id}
-//	GET /stats
-//	GET /metrics
-//	GET /healthz
+//	GET    /query?q=EXPR[&strategy=S][&limit=N][&timeout=D][&stats=1]
+//	GET    /explain?q=EXPR[&analyze=1]
+//	GET    /value/{id}
+//	POST   /insert?parent=ID   (XML fragment in the body)
+//	DELETE /node/{id}
+//	GET    /stats
+//	GET    /metrics
+//	GET    /healthz[?deep=1]
+//
+// /healthz?deep=1 runs a full store verification (every page checksum,
+// structural invariants, index cross-references). A failed verification —
+// or a mutation that dies mid-transaction — flips the server into degraded
+// mode: queries keep serving the last committed state, mutations are
+// refused with 503, and /healthz reports the reason until the operator
+// restarts the process (recovery runs at open).
 package server
 
 import (
@@ -50,6 +59,8 @@ var (
 	mRejected     = obs.Default.Counter("nokserve_rejected_total", "requests rejected by admission control (HTTP 429)")
 	mCanceled     = obs.Default.Counter("nokserve_canceled_total", "queries abandoned by client cancellation")
 	mTimeouts     = obs.Default.Counter("nokserve_deadline_exceeded_total", "queries that hit their deadline (HTTP 504)")
+	mMutations    = obs.Default.Counter("nokserve_mutations_total", "insert/delete requests applied")
+	mDegraded     = obs.Default.Gauge("nokserve_degraded", "1 while the server refuses mutations after a failed verification or update")
 )
 
 // Config tunes the service; zero values select the documented defaults.
@@ -96,6 +107,13 @@ type Server struct {
 	lifeMu   sync.Mutex
 	draining bool
 	wg       sync.WaitGroup
+
+	// degradedReason, when non-empty, puts the server in read-only mode:
+	// a deep verification failed or an update transaction died midway. The
+	// committed on-disk state is intact (recovery runs at next open), so
+	// queries continue; mutations get 503.
+	degMu          sync.Mutex
+	degradedReason string
 }
 
 // New builds a Server over an open store. The store stays owned by the
@@ -112,10 +130,30 @@ func New(store *nok.Store, cfg Config) *Server {
 	s.mux.HandleFunc("GET /query", s.handleQuery)
 	s.mux.HandleFunc("GET /explain", s.handleExplain)
 	s.mux.HandleFunc("GET /value/{id}", s.handleValue)
+	s.mux.HandleFunc("POST /insert", s.handleInsert)
+	s.mux.HandleFunc("DELETE /node/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
+}
+
+// setDegraded flips the server into read-only mode (idempotent; the first
+// reason wins).
+func (s *Server) setDegraded(reason string) {
+	s.degMu.Lock()
+	defer s.degMu.Unlock()
+	if s.degradedReason == "" {
+		s.degradedReason = reason
+		mDegraded.Set(1)
+	}
+}
+
+// Degraded reports whether the server is refusing mutations, and why.
+func (s *Server) Degraded() (bool, string) {
+	s.degMu.Lock()
+	defer s.degMu.Unlock()
+	return s.degradedReason != "", s.degradedReason
 }
 
 // ServeHTTP dispatches to the endpoint handlers.
@@ -392,6 +430,80 @@ func (s *Server) handleValue(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resultJSON{ID: id, Value: v, HasValue: true})
 }
 
+type mutationResponse struct {
+	OK         bool   `json:"ok"`
+	Generation uint64 `json:"generation"`
+	Epoch      uint64 `json:"epoch"`
+	Nodes      uint64 `json:"nodes"`
+}
+
+// refuseMutation writes the 503 for degraded/draining states; it reports
+// true when the request must not proceed.
+func (s *Server) refuseMutation(w http.ResponseWriter) bool {
+	if degraded, reason := s.Degraded(); degraded {
+		w.Header().Set("Retry-After", "60")
+		writeError(w, http.StatusServiceUnavailable, "store is degraded (%s): serving reads only", reason)
+		return true
+	}
+	return false
+}
+
+// writeMutationError maps a mutation failure to an HTTP status, entering
+// degraded mode when the store reports an unrecoverable transaction.
+func (s *Server) writeMutationError(w http.ResponseWriter, err error) {
+	if errors.Is(err, nok.ErrNeedsRecovery) {
+		s.setDegraded("update transaction failed; restart to roll back to the last commit")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "%v", err)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if !s.beginRequest() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.wg.Done()
+	if s.refuseMutation(w) {
+		return
+	}
+	// The body is the XML fragment, so the parent must come from the URL
+	// (FormValue would consume the body as a form).
+	parent := r.URL.Query().Get("parent")
+	if parent == "" {
+		writeError(w, http.StatusBadRequest, "missing parent parameter")
+		return
+	}
+	if err := s.store.Insert(parent, r.Body); err != nil {
+		s.writeMutationError(w, err)
+		return
+	}
+	mMutations.Inc()
+	writeJSON(w, http.StatusOK, mutationResponse{
+		OK: true, Generation: s.store.Generation(), Epoch: s.store.Epoch(), Nodes: s.store.NodeCount(),
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.beginRequest() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.wg.Done()
+	if s.refuseMutation(w) {
+		return
+	}
+	if err := s.store.Delete(r.PathValue("id")); err != nil {
+		s.writeMutationError(w, err)
+		return
+	}
+	mMutations.Inc()
+	writeJSON(w, http.StatusOK, mutationResponse{
+		OK: true, Generation: s.store.Generation(), Epoch: s.store.Epoch(), Nodes: s.store.NodeCount(),
+	})
+}
+
 type statsResponse struct {
 	Store      nok.Stats `json:"store"`
 	Nodes      uint64    `json:"nodes"`
@@ -438,12 +550,50 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = obs.Default.WritePrometheus(w)
 }
 
+type healthResponse struct {
+	Status         string   `json:"status"` // "ok" or "degraded"
+	Reason         string   `json:"reason,omitempty"`
+	Deep           bool     `json:"deep,omitempty"`
+	PagesChecked   int      `json:"pages_checked,omitempty"`
+	EntriesChecked uint64   `json:"entries_checked,omitempty"`
+	RecordsChecked int      `json:"records_checked,omitempty"`
+	Issues         []string `json:"issues,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.lifeMu.Lock()
 	draining := s.draining
 	s.lifeMu.Unlock()
 	if draining {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if r.FormValue("deep") != "" {
+		// Full store verification under the read lock: queries proceed,
+		// mutations wait for the check to finish.
+		res := s.store.Verify(true)
+		resp := healthResponse{
+			Status:         "ok",
+			Deep:           true,
+			PagesChecked:   res.PagesChecked,
+			EntriesChecked: res.EntriesChecked,
+			RecordsChecked: res.RecordsChecked,
+		}
+		if !res.OK() {
+			s.setDegraded("deep verification failed")
+			resp.Status = "degraded"
+			for _, is := range res.Issues {
+				resp.Issues = append(resp.Issues, is.String())
+			}
+			_, resp.Reason = s.Degraded()
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if degraded, reason := s.Degraded(); degraded {
+		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "degraded", Reason: reason})
 		return
 	}
 	fmt.Fprintln(w, "ok")

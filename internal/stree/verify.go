@@ -1,0 +1,129 @@
+package stree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nok/internal/pager"
+)
+
+// Verify re-derives the string representation's invariants from the raw
+// page contents and checks them against the headers and meta: the
+// parenthesis string must balance (the running level returns to exactly 0
+// at the end of the document and never goes negative), every page's
+// on-disk header must agree with the in-RAM header table, each (st, lo,
+// hi) vector must match the levels actually attained inside the page, the
+// chain links must be mutually consistent, and the node/byte/depth totals
+// must match the meta. Violations go to report (may be nil); the return
+// value counts them. An I/O error aborts the walk and is returned — the
+// check is then incomplete.
+func (s *Store) Verify(report func(error)) (int, error) {
+	issues := 0
+	emit := func(err error) {
+		issues++
+		if report != nil {
+			report(err)
+		}
+	}
+
+	var (
+		lvl        int16
+		nodes      uint64
+		tokenBytes uint64
+		maxLvl     int16
+	)
+	for ci := range s.headers {
+		h := s.headers[ci]
+		p, err := s.pf.Get(h.page)
+		if err != nil {
+			return issues, err
+		}
+		d := p.Data()
+
+		// On-disk header vs the in-RAM table (§4.2's feather-weight index).
+		diskUsed := binary.BigEndian.Uint16(d[0:2])
+		diskSt := int16(binary.BigEndian.Uint16(d[2:4]))
+		diskLo := int16(binary.BigEndian.Uint16(d[4:6]))
+		diskHi := int16(binary.BigEndian.Uint16(d[6:8]))
+		if diskUsed != h.used || diskSt != h.st || diskLo != h.lo || diskHi != h.hi {
+			emit(fmt.Errorf("stree: page %d (chain %d): on-disk header (used=%d st=%d lo=%d hi=%d) differs from header table (used=%d st=%d lo=%d hi=%d)",
+				h.page, ci, diskUsed, diskSt, diskLo, diskHi, h.used, h.st, h.lo, h.hi))
+		}
+		var wantNext, wantPrev pager.PageID
+		if ci+1 < len(s.headers) {
+			wantNext = s.headers[ci+1].page
+		}
+		if ci > 0 {
+			wantPrev = s.headers[ci-1].page
+		}
+		if got := pager.PageID(binary.BigEndian.Uint32(d[8:12])); got != wantNext {
+			emit(fmt.Errorf("stree: page %d (chain %d): next = %d, want %d", h.page, ci, got, wantNext))
+		}
+		if got := pager.PageID(binary.BigEndian.Uint32(d[12:16])); got != wantPrev {
+			emit(fmt.Errorf("stree: page %d (chain %d): prev = %d, want %d", h.page, ci, got, wantPrev))
+		}
+		if int(h.used) > s.contentCapacity() {
+			emit(fmt.Errorf("stree: page %d (chain %d): used %d exceeds capacity %d", h.page, ci, h.used, s.contentCapacity()))
+			s.pf.Unpin(p)
+			continue
+		}
+
+		// Recompute the running level through the page and the attained
+		// [lo, hi] (which include st itself, per the package convention).
+		if h.st != lvl {
+			emit(fmt.Errorf("stree: page %d (chain %d): st = %d, but running level entering the page is %d", h.page, ci, h.st, lvl))
+			lvl = h.st // keep per-page checks meaningful after a mismatch
+		}
+		lo, hi := lvl, lvl
+		cont := content(d, int(h.used))
+		bad := false
+		for i := 0; i < len(cont); {
+			if cont[i] == CloseByte {
+				lvl--
+				i += CloseTokenSize
+			} else {
+				if i+OpenTokenSize > len(cont) {
+					emit(fmt.Errorf("stree: page %d (chain %d): open token truncated at offset %d", h.page, ci, i))
+					bad = true
+					break
+				}
+				lvl++
+				nodes++
+				i += OpenTokenSize
+			}
+			if lvl < lo {
+				lo = lvl
+			}
+			if lvl > hi {
+				hi = lvl
+			}
+			if lvl < 0 {
+				emit(fmt.Errorf("stree: page %d (chain %d): unbalanced parentheses, running level went negative", h.page, ci))
+				bad = true
+				break
+			}
+		}
+		if !bad && (lo != h.lo || hi != h.hi) {
+			emit(fmt.Errorf("stree: page %d (chain %d): header (lo=%d hi=%d) vs recomputed (lo=%d hi=%d)", h.page, ci, h.lo, h.hi, lo, hi))
+		}
+		if hi > maxLvl {
+			maxLvl = hi
+		}
+		tokenBytes += uint64(h.used)
+		s.pf.Unpin(p)
+	}
+
+	if lvl != 0 {
+		emit(fmt.Errorf("stree: unbalanced document: running level ends at %d, want 0", lvl))
+	}
+	if nodes != s.nodeCount {
+		emit(fmt.Errorf("stree: counted %d open tokens, meta says %d nodes", nodes, s.nodeCount))
+	}
+	if tokenBytes != s.tokenBytes {
+		emit(fmt.Errorf("stree: pages hold %d content bytes, meta says %d", tokenBytes, s.tokenBytes))
+	}
+	if int(maxLvl) != s.maxLevel {
+		emit(fmt.Errorf("stree: deepest level reached is %d, meta says %d", maxLvl, s.maxLevel))
+	}
+	return issues, nil
+}

@@ -14,12 +14,15 @@ package symtab
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
-	"os"
 	"sort"
+
+	"nok/internal/vfs"
 )
 
 // Sym is a 2-byte character of the storage alphabet Σ.
@@ -92,52 +95,75 @@ func (t *Table) Names() []string {
 	return out
 }
 
-// magic identifies the on-disk symbol table format.
-var magic = [4]byte{'N', 'K', 'S', '1'}
+// On-disk format magics. "NKS2" adds a CRC32C of the entry payload to the
+// header, so a torn or bit-flipped table is detected at load instead of
+// silently decoding garbage names; "NKS1" (no checksum) is still readable.
+var (
+	magic   = [4]byte{'N', 'K', 'S', '2'}
+	magicV1 = [4]byte{'N', 'K', 'S', '1'}
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrChecksum is returned by Read/Load when the table's stored CRC32C does
+// not match its payload.
+var ErrChecksum = errors.New("symtab: table checksum mismatch")
 
 // WriteTo serializes the table. The format is:
 //
-//	magic "NKS1" | uint32 count | count × (uint16 nameLen | name bytes)
+//	magic "NKS2" | uint32 count | uint32 crc32c(entries) |
+//	count × (uint16 nameLen | name bytes)
 //
 // Names are written in symbol order so symbols are implicit.
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	var n int64
-	if _, err := bw.Write(magic[:]); err != nil {
-		return n, err
-	}
-	n += 4
-	var buf [4]byte
-	binary.BigEndian.PutUint32(buf[:], uint32(len(t.bySym)))
-	if _, err := bw.Write(buf[:4]); err != nil {
-		return n, err
-	}
-	n += 4
+	var body bytes.Buffer
+	var buf [2]byte
 	for _, name := range t.bySym {
 		if len(name) > 0xFFFF {
-			return n, fmt.Errorf("symtab: name too long (%d bytes)", len(name))
+			return 0, fmt.Errorf("symtab: name too long (%d bytes)", len(name))
 		}
-		binary.BigEndian.PutUint16(buf[:2], uint16(len(name)))
-		if _, err := bw.Write(buf[:2]); err != nil {
-			return n, err
-		}
-		n += 2
-		if _, err := bw.WriteString(name); err != nil {
-			return n, err
-		}
-		n += int64(len(name))
+		binary.BigEndian.PutUint16(buf[:], uint16(len(name)))
+		body.Write(buf[:])
+		body.WriteString(name)
 	}
-	return n, bw.Flush()
+	var hdr [12]byte
+	copy(hdr[:4], magic[:])
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(t.bySym)))
+	binary.BigEndian.PutUint32(hdr[8:12], crc32.Checksum(body.Bytes(), crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n, err := w.Write(body.Bytes())
+	return 12 + int64(n), err
 }
 
-// Read deserializes a table previously written with WriteTo.
+// Read deserializes a table previously written with WriteTo. Both the
+// checksummed "NKS2" format and the legacy "NKS1" format are accepted;
+// for "NKS2" the payload checksum is verified (ErrChecksum on mismatch).
 func Read(r io.Reader) (*Table, error) {
 	br := bufio.NewReader(r)
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("symtab: reading header: %w", err)
 	}
-	if [4]byte(hdr[:4]) != magic {
+	var checked io.Reader = br
+	switch [4]byte(hdr[:4]) {
+	case magic:
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+			return nil, fmt.Errorf("symtab: reading header: %w", err)
+		}
+		body, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("symtab: reading table: %w", err)
+		}
+		if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(crcBuf[:]) {
+			return nil, ErrChecksum
+		}
+		checked = bytes.NewReader(body)
+	case magicV1:
+		// Legacy uncheckedsummed table: decode as-is.
+	default:
 		return nil, fmt.Errorf("symtab: bad magic %q", hdr[:4])
 	}
 	count := binary.BigEndian.Uint32(hdr[4:8])
@@ -148,7 +174,7 @@ func Read(r io.Reader) (*Table, error) {
 	nameBuf := make([]byte, 0, 64)
 	for i := uint32(0); i < count; i++ {
 		var lenBuf [2]byte
-		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		if _, err := io.ReadFull(checked, lenBuf[:]); err != nil {
 			return nil, fmt.Errorf("symtab: reading name %d: %w", i, err)
 		}
 		nameLen := int(binary.BigEndian.Uint16(lenBuf[:]))
@@ -156,7 +182,7 @@ func Read(r io.Reader) (*Table, error) {
 			nameBuf = make([]byte, nameLen)
 		}
 		nameBuf = nameBuf[:nameLen]
-		if _, err := io.ReadFull(br, nameBuf); err != nil {
+		if _, err := io.ReadFull(checked, nameBuf); err != nil {
 			return nil, fmt.Errorf("symtab: reading name %d: %w", i, err)
 		}
 		name := string(nameBuf)
@@ -170,36 +196,27 @@ func Read(r io.Reader) (*Table, error) {
 	return t, nil
 }
 
-// Save writes the table to path atomically (write temp + rename).
-func (t *Table) Save(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
+// Save writes the table to path atomically (write temp + fsync + rename +
+// directory fsync).
+func (t *Table) Save(path string) error { return t.SaveFS(vfs.OS, path) }
+
+// SaveFS is Save on an explicit file system.
+func (t *Table) SaveFS(fsys vfs.FS, path string) error {
+	var buf bytes.Buffer
+	if _, err := t.WriteTo(&buf); err != nil {
 		return err
 	}
-	if _, err := t.WriteTo(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return vfs.WriteFileAtomic(fsys, path, buf.Bytes(), 0o644)
 }
 
 // Load reads a table from path.
-func Load(path string) (*Table, error) {
-	f, err := os.Open(path)
+func Load(path string) (*Table, error) { return LoadFS(vfs.OS, path) }
+
+// LoadFS is Load on an explicit file system.
+func LoadFS(fsys vfs.FS, path string) (*Table, error) {
+	data, err := vfs.ReadFile(fsys, path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return Read(f)
+	return Read(bytes.NewReader(data))
 }

@@ -1,0 +1,135 @@
+// Package vfs abstracts the file-system operations used by the storage
+// stack (pager, vstore, symtab, di, and the core commit protocol) behind a
+// small interface, so tests can interpose fault injection (internal/faultfs)
+// between the storage code and the OS.
+//
+// The interface is deliberately minimal: positional I/O only (ReadAt /
+// WriteAt), explicit durability points (Sync, SyncDir), and the handful of
+// namespace operations the commit protocol needs (Rename, Remove, Truncate,
+// ReadDir). Anything not needed by a storage component is left out.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is an open file handle. All storage-layer I/O is positional; there
+// is no seek state to share or corrupt.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Closer
+	// Sync flushes the file's data (and metadata) to stable storage.
+	Sync() error
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+	// Stat returns file metadata (used for sizes).
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the namespace interface: open, remove, rename, and the directory
+// operations the atomic-commit protocol relies on.
+type FS interface {
+	// OpenFile opens name with the given flags (os.O_*) and permissions.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+	Stat(name string) (os.FileInfo, error)
+	Truncate(name string, size int64) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	MkdirAll(name string, perm os.FileMode) error
+	// SyncDir fsyncs a directory, making preceding renames/removes/creates
+	// inside it durable. Implementations for which this is meaningless may
+	// make it a no-op.
+	SyncDir(name string) error
+}
+
+// OS is the passthrough implementation backed by the real file system.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Stat(name string) (os.FileInfo, error)      { return os.Stat(name) }
+func (osFS) Truncate(name string, size int64) error     { return os.Truncate(name, size) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) MkdirAll(name string, perm os.FileMode) error {
+	return os.MkdirAll(name, perm)
+}
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	// Directory fsync is not supported on every platform; a failed sync of
+	// an otherwise healthy directory handle is reported, a failed open is.
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ---- helpers ----------------------------------------------------------------
+
+// ReadFile reads the whole file at path through fsys.
+func ReadFile(fsys FS, path string) ([]byte, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, fi.Size())
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, fi.Size()), buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteFileAtomic writes data to path via a temporary file in the same
+// directory: write, fsync, rename, fsync directory. A crash at any point
+// leaves either the old file or the new one, never a mixture.
+func WriteFileAtomic(fsys FS, path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}

@@ -16,12 +16,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"io"
 	"os"
 	"sync"
 
 	"nok/internal/obs"
+	"nok/internal/vfs"
 )
 
 // Process-wide value-store counters, exposed through the default obs
@@ -36,8 +38,31 @@ var (
 // than silently truncated.
 const MaxValueLen = 1 << 24 // 16 MiB
 
-// ErrBadOffset is returned when Get is pointed at a non-record position.
-var ErrBadOffset = errors.New("vstore: invalid record offset")
+// On-disk header (format version 2): records used to start at offset 0;
+// the checksummed header lets Open distinguish a value file from arbitrary
+// bytes and detect a damaged prefix.
+//
+//	"NKVS" | version u16 | headerLen u16 | reserved u32 | crc32c u32
+//
+// The CRC covers the first 12 bytes. Record offsets are absolute file
+// offsets, so the first record sits at HeaderLen.
+const (
+	headerMagic   = "NKVS"
+	headerVersion = 1
+	// HeaderLen is the size of the file header; the first record starts here.
+	HeaderLen = 16
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors returned by the store.
+var (
+	// ErrBadOffset is returned when Get is pointed at a non-record position.
+	ErrBadOffset = errors.New("vstore: invalid record offset")
+	// ErrBadHeader is returned by Open when the file header is missing,
+	// damaged, or from an unsupported format version.
+	ErrBadHeader = errors.New("vstore: bad file header")
+)
 
 // Hash returns the 64-bit hash used as the key of the value B+ tree. The
 // paper hashes values to fixed-size comparable keys and resolves collisions
@@ -52,7 +77,8 @@ func Hash(value []byte) uint64 {
 // Store is an append-only value data file. It is safe for concurrent use.
 type Store struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    vfs.File
+	tail *offsetWriter
 	w    *bufio.Writer
 	size int64 // logical end of file including buffered bytes
 
@@ -65,20 +91,61 @@ type Store struct {
 	closed  bool
 }
 
+// offsetWriter adapts the positional vfs.File to the io.Writer the append
+// buffer needs, tracking the append position explicitly.
+type offsetWriter struct {
+	f   vfs.File
+	off int64
+}
+
+func (w *offsetWriter) Write(p []byte) (int, error) {
+	n, err := w.f.WriteAt(p, w.off)
+	w.off += int64(n)
+	return n, err
+}
+
+func encodeHeader() []byte {
+	hdr := make([]byte, HeaderLen)
+	copy(hdr[0:4], headerMagic)
+	binary.BigEndian.PutUint16(hdr[4:6], headerVersion)
+	binary.BigEndian.PutUint16(hdr[6:8], HeaderLen)
+	binary.BigEndian.PutUint32(hdr[12:16], crc32.Checksum(hdr[:12], crcTable))
+	return hdr
+}
+
 // Create creates a new value store at path, failing if it exists.
-func Create(path string) (*Store, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+func Create(path string) (*Store, error) { return CreateFS(vfs.OS, path) }
+
+// CreateFS is Create on an explicit file system.
+func CreateFS(fsys vfs.FS, path string) (*Store, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{f: f, w: bufio.NewWriterSize(f, 256<<10), dedup: make(map[uint64]int64)}, nil
+	if _, err := f.WriteAt(encodeHeader(), 0); err != nil {
+		f.Close()
+		fsys.Remove(path)
+		return nil, err
+	}
+	tail := &offsetWriter{f: f, off: HeaderLen}
+	return &Store{
+		f:     f,
+		tail:  tail,
+		w:     bufio.NewWriterSize(tail, 256<<10),
+		size:  HeaderLen,
+		dedup: make(map[uint64]int64),
+	}, nil
 }
 
 // Open opens an existing value store. The dedup table is rebuilt lazily:
 // Open itself does not scan the file; appended values after Open simply may
 // not dedup against pre-existing records.
-func Open(path string) (*Store, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+func Open(path string) (*Store, error) { return OpenFS(vfs.OS, path) }
+
+// OpenFS is Open on an explicit file system. The file header is verified:
+// a missing, damaged, or wrong-version header fails with ErrBadHeader.
+func OpenFS(fsys vfs.FS, path string) (*Store, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -87,13 +154,31 @@ func Open(path string) (*Store, error) {
 		f.Close()
 		return nil, err
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	var hdr [HeaderLen]byte
+	if n, err := f.ReadAt(hdr[:], 0); err != nil && err != io.EOF {
 		f.Close()
 		return nil, err
+	} else if n < HeaderLen {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s: truncated header (%d bytes)", ErrBadHeader, path, n)
 	}
+	if string(hdr[0:4]) != headerMagic {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s: bad magic %q (pre-checksum file? rebuild the store)", ErrBadHeader, path, hdr[0:4])
+	}
+	if crc32.Checksum(hdr[:12], crcTable) != binary.BigEndian.Uint32(hdr[12:16]) {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s: header checksum mismatch", ErrBadHeader, path)
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != headerVersion {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s: unsupported version %d", ErrBadHeader, path, v)
+	}
+	tail := &offsetWriter{f: f, off: st.Size()}
 	return &Store{
 		f:     f,
-		w:     bufio.NewWriterSize(f, 256<<10),
+		tail:  tail,
+		w:     bufio.NewWriterSize(tail, 256<<10),
 		size:  st.Size(),
 		dedup: make(map[uint64]int64),
 	}, nil
@@ -157,7 +242,7 @@ func (s *Store) Get(offset int64) ([]byte, error) {
 // it. Buffered writes are flushed first when the offset lies beyond the
 // synced region.
 func (s *Store) getLocked(offset int64) ([]byte, error) {
-	if offset < 0 || offset >= s.size {
+	if offset < HeaderLen || offset >= s.size {
 		return nil, fmt.Errorf("%w: %d (size %d)", ErrBadOffset, offset, s.size)
 	}
 	if s.w.Buffered() > 0 {
@@ -239,8 +324,8 @@ func (s *Store) Scan(fn func(offset int64, value []byte) bool) error {
 			return err
 		}
 	}
-	r := bufio.NewReaderSize(io.NewSectionReader(s.f, 0, s.size), 256<<10)
-	var off int64
+	r := bufio.NewReaderSize(io.NewSectionReader(s.f, HeaderLen, s.size-HeaderLen), 256<<10)
+	off := int64(HeaderLen)
 	var buf []byte
 	for off < s.size {
 		vlen, err := binary.ReadUvarint(r)

@@ -221,7 +221,8 @@ func TestFlushAndCloseSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Append([]byte("durable")); err != nil {
+	off, err := s.Append([]byte("durable"))
+	if err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Flush(); err != nil {
@@ -232,7 +233,7 @@ func TestFlushAndCloseSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := s2.Get(0)
+	got, err := s2.Get(off)
 	if err != nil || string(got) != "durable" {
 		t.Fatalf("Get = %q, %v", got, err)
 	}

@@ -368,6 +368,51 @@ func (s *Store) TagCount(name string) uint64 {
 	return s.db.TagCount(name)
 }
 
+// ErrNeedsRecovery is returned by Insert/Delete after an update
+// transaction failed midway: the in-memory state is unreliable and further
+// mutations are refused. Queries still serve the (still-consistent) cached
+// state; close and reopen the store to roll back to the last commit.
+var ErrNeedsRecovery = core.ErrNeedsRecovery
+
+// RecoveryInfo reports what Open had to repair to bring the store back to
+// its last committed state (see internal/core).
+type RecoveryInfo = core.RecoveryInfo
+
+// Recovery reports what Open repaired. All-zero means the store was
+// cleanly committed.
+func (s *Store) Recovery() RecoveryInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.Recovery()
+}
+
+// Epoch returns the store's committed epoch: 1 after the initial load,
+// bumped by every committed Insert/Delete.
+func (s *Store) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.Epoch()
+}
+
+// VerifyResult summarizes a Verify run; see internal/core for field
+// semantics.
+type VerifyResult = core.VerifyResult
+
+// VerifyIssue is one problem Verify found.
+type VerifyIssue = core.VerifyIssue
+
+// Verify checks the store's integrity. The quick form (deep=false) checks
+// the commit manifest and cross-component counts; deep additionally
+// validates every page checksum, the balanced-parenthesis structure, all
+// B+ tree leaf chains, every value record, and resolves every Dewey-index
+// entry. Verify takes the store's read lock: queries proceed, mutations
+// wait.
+func (s *Store) Verify(deep bool) *VerifyResult {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.Verify(deep)
+}
+
 // ErrStreamUnsupported is returned by Stream for patterns that cannot be
 // evaluated in one pass with bounded memory (the following axis).
 var ErrStreamUnsupported = stream.ErrUnsupported
