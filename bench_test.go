@@ -6,6 +6,7 @@
 //	BenchmarkStorageRatio     §4.2: string representation ≪ document
 //	BenchmarkSinglePass       Proposition 1: pages read ≤ pages stored
 //	BenchmarkStartingPoints   §6.2: scan vs tag index vs value index
+//	BenchmarkPlannerPages     cost-based planner vs §6.2 heuristic pages
 //	BenchmarkHeaderSkip       (st,lo,hi) page-skip ablation
 //	BenchmarkInsertSubtree    §4.2: update locality
 //	BenchmarkNoKComplexity    §3: O(m·n) with frontier revisits
@@ -224,6 +225,79 @@ func BenchmarkStartingPoints(b *testing.B) {
 							b.Fatal(err)
 						}
 					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkPlannerPages compares pages scanned with the cost-based planner
+// on (StrategyAuto consulting the synopsis) vs off (§6.2 heuristic): the
+// trap documents are adversarial for the heuristic, the workload queries
+// guard against planner-introduced regressions.
+func BenchmarkPlannerPages(b *testing.B) {
+	type target struct {
+		name string
+		db   *core.DB
+		expr string
+	}
+	var targets []target
+
+	for _, trap := range []struct{ name, expr string }{
+		{"trap-value", `//rare[common="dup"]`},
+		{"trap-path", `/lib/special/book[title="T"]`},
+	} {
+		var sb strings.Builder
+		if trap.name == "trap-value" {
+			sb.WriteString("<root>")
+			for i := 0; i < 2000; i++ {
+				sb.WriteString("<item><common>dup</common></item>")
+			}
+			sb.WriteString("<rare><common>dup</common></rare><rare><common>dup</common></rare></root>")
+		} else {
+			sb.WriteString("<lib><shelf>")
+			for i := 0; i < 2000; i++ {
+				sb.WriteString("<book><title>T</title></book>")
+			}
+			sb.WriteString("</shelf><special><book><title>T</title></book><book><title>T</title></book></special></lib>")
+		}
+		dir := b.TempDir()
+		xmlPath := filepath.Join(dir, "trap.xml")
+		if err := os.WriteFile(xmlPath, []byte(sb.String()), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		db, err := core.LoadXMLFile(filepath.Join(dir, "db"), xmlPath, &core.Options{PageSize: 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { db.Close() })
+		targets = append(targets, target{trap.name, db, trap.expr})
+	}
+	for _, name := range benchDatasets {
+		e := env(b, name)
+		queries, _ := workload.ForDataset(name)
+		targets = append(targets, target{name, e.NoK, queries[0].Expr})
+	}
+
+	for _, tg := range targets {
+		b.Run(tg.name, func(b *testing.B) {
+			for _, mode := range []struct {
+				name string
+				opts *core.QueryOptions
+			}{
+				{"planner", nil},
+				{"heuristic", &core.QueryOptions{DisablePlanner: true}},
+			} {
+				b.Run(mode.name, func(b *testing.B) {
+					var pages float64
+					for i := 0; i < b.N; i++ {
+						_, stats, err := tg.db.Query(tg.expr, mode.opts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						pages = float64(stats.PagesScanned)
+					}
+					b.ReportMetric(pages, "pages-scanned/op")
 				})
 			}
 		})

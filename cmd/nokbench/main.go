@@ -11,6 +11,7 @@
 //	nokbench -table update     §4.2 update locality
 //	nokbench -table stream     streaming evaluation vs stored evaluation
 //	nokbench -table skip       (st,lo,hi) page-skip ablation
+//	nokbench -table planner    cost-based planner vs §6.2 heuristic pages
 //	nokbench -table all        everything above
 //
 // Flags: -scale, -seed, -runs, -workdir, -datasets (comma-separated).
@@ -127,6 +128,13 @@ func main() {
 				log.Fatal(err)
 			}
 			bench.WriteHeaderSkip(out, rows)
+		case "planner":
+			fmt.Fprintln(out, "== Cost-based planner vs §6.2 heuristic ==")
+			rows, err := bench.Planner(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.WritePlanner(out, rows)
 		default:
 			log.Fatalf("unknown table %q", name)
 		}
@@ -134,7 +142,7 @@ func main() {
 	}
 
 	if *table == "all" {
-		for _, t := range []string{"1", "2", "3", "summary", "ratios", "io", "heuristic", "update", "stream", "skip"} {
+		for _, t := range []string{"1", "2", "3", "summary", "ratios", "io", "heuristic", "update", "stream", "skip", "planner"} {
 			run(t)
 		}
 		return

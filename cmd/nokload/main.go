@@ -38,4 +38,8 @@ func main() {
 	fmt.Printf("  nodes: %d   pages: %d   max depth: %d\n", stats.Nodes, stats.Pages, stats.MaxDepth)
 	fmt.Printf("  |tree|: %d bytes   values: %d bytes   headers in RAM: %d bytes\n",
 		stats.TreeBytes, stats.ValueBytes, stats.HeaderBytes)
+	if syn := st.Synopsis(0); syn.Present {
+		fmt.Printf("  statistics synopsis: epoch %d, %d tags, %d paths (planner enabled)\n",
+			syn.Epoch, syn.Tags, syn.Paths)
+	}
 }

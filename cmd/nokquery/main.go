@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	nokquery -db DIR [-strategy auto|scan|tag|value|path] [-stats] [-analyze] QUERY
+//	nokquery -db DIR [-strategy auto|scan|tag|value|path] [-no-planner] [-stats] [-analyze] QUERY
+//	nokquery -db DIR -plan QUERY
 //	nokquery -xml FILE QUERY
 //
 // -analyze runs the query with tracing enabled and prints the executed plan
 // (EXPLAIN ANALYZE): every phase with its duration, starting-point strategy,
-// and pages scanned vs skipped.
+// and pages scanned vs skipped. -plan prints the cost-based planner's plan
+// (estimated access paths, cardinalities and pages) without executing the
+// query — EXPLAIN to -analyze's EXPLAIN ANALYZE.
 //
 // Exit status: 0 on success, 1 on evaluation errors (malformed query,
 // missing store, unreadable XML), 2 on usage errors.
@@ -45,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	strategy := fs.String("strategy", "auto", "starting-point strategy: auto, scan, tag, value, path")
 	showStats := fs.Bool("stats", false, "print evaluation statistics")
 	analyze := fs.Bool("analyze", false, "print the executed plan with per-phase timings (EXPLAIN ANALYZE)")
+	planOnly := fs.Bool("plan", false, "print the cost-based plan without executing the query")
+	noPlanner := fs.Bool("no-planner", false, "keep auto strategy on the paper's §6.2 heuristic even when planner statistics exist")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -57,6 +62,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *xml != "" {
 		if *analyze {
 			return fail("-analyze requires a store (-db); streaming mode has no stored pages to trace")
+		}
+		if *planOnly {
+			return fail("-plan requires a store (-db); streaming mode has no statistics to plan against")
 		}
 		f, err := os.Open(*xml)
 		if err != nil {
@@ -103,7 +111,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer st.Close()
 
-	opts := &nok.QueryOptions{Strategy: strat}
+	if *planOnly {
+		text, err := st.Plan(expr)
+		if err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprint(stdout, text)
+		return 0
+	}
+
+	opts := &nok.QueryOptions{Strategy: strat, DisablePlanner: *noPlanner}
 	t0 := time.Now()
 	var (
 		rs    []nok.Result
@@ -132,9 +149,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 			stats.Partitions, stats.StartingPoints, stats.NPMCalls,
 			stats.NodesVisited, stats.JoinInputs, stats.StrategyUsed,
 			stats.PagesScanned, stats.PagesSkipped)
+		fmt.Fprintf(stdout, "-- %s\n", strategyLine(stats))
 	}
 	if *analyze {
 		fmt.Fprint(stdout, plan)
+		fmt.Fprintf(stdout, "-- %s\n", strategyLine(stats))
 	}
 	return 0
+}
+
+// strategyLine reports the requested strategy against what actually ran,
+// making silent degradations (a forced strategy with no usable constraint,
+// a planner pick that fell back) visible, and says whether the cost-based
+// planner chose the strategies.
+func strategyLine(stats *nok.QueryStats) string {
+	chooser := "heuristic §6.2"
+	if stats.Planned {
+		chooser = fmt.Sprintf("cost-based planner (stats epoch %d)", stats.PlanEpoch)
+	}
+	degraded := ""
+	if stats.Requested != nok.StrategyAuto {
+		for _, used := range stats.StrategyUsed {
+			if used != stats.Requested && used != nok.StrategySkipped {
+				degraded = fmt.Sprintf(" (degraded to %v)", used)
+				break
+			}
+		}
+	}
+	return fmt.Sprintf("requested=%v%s effective=%v chosen-by=%s",
+		stats.Requested, degraded, stats.StrategyUsed, chooser)
 }

@@ -41,6 +41,12 @@ func TestRunExitCodes(t *testing.T) {
 		{"happy path", []string{"-db", dir, "/bib/book/title"}, 0, "4 result(s)", ""},
 		{"happy stats", []string{"-db", dir, "-stats", "//book"}, 0, "partitions=", ""},
 		{"happy analyze", []string{"-db", dir, "-analyze", "//book"}, 0, "query //book", ""},
+		{"analyze shows chooser", []string{"-db", dir, "-analyze", "//book"}, 0, "requested=auto", ""},
+		{"stats shows chooser", []string{"-db", dir, "-stats", "//book"}, 0, "chosen-by=", ""},
+		{"plan only", []string{"-db", dir, "-plan", "//book[price<100]"}, 0, "est total", ""},
+		{"no planner", []string{"-db", dir, "-no-planner", "-stats", "//book"}, 0, "heuristic", ""},
+		{"degraded strategy", []string{"-db", dir, "-strategy", "value", "-stats", "//book"}, 0, "degraded", ""},
+		{"plan without store", []string{"-xml", xmlPath, "-plan", "//book"}, 1, "", "-plan requires a store"},
 		{"happy streaming", []string{"-xml", xmlPath, "/bib/book/title"}, 0, "streaming, single pass", ""},
 		{"malformed query", []string{"-db", dir, "/bib/book["}, 1, "", "nokquery:"},
 		{"missing store", []string{"-db", filepath.Join(dir, "nope"), "//book"}, 1, "", "nokquery:"},

@@ -2,8 +2,12 @@
 //
 // Usage:
 //
-//	nokstat -db DIR [-tag NAME] [-metrics]
+//	nokstat -db DIR [-tag NAME] [-stats] [-metrics]
 //	nokstat -explain QUERY
+//
+// -stats dumps the persistent statistics synopsis the cost-based planner
+// consults: whether it is present and fresh, overall cardinalities, and the
+// highest-cardinality tags and root-to-node paths.
 //
 // -metrics dumps the process-wide metrics registry (pager I/O, index and
 // join counters) in Prometheus text exposition format after the other
@@ -38,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	db := fs.String("db", "", "store directory")
 	tag := fs.String("tag", "", "report the node count of one tag")
 	explain := fs.String("explain", "", "explain a query instead of opening a store")
+	synStats := fs.Bool("stats", false, "dump the planner's statistics synopsis")
 	metrics := fs.Bool("metrics", false, "dump the metrics registry in Prometheus text format")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,9 +88,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *tag != "" {
 		fmt.Fprintf(stdout, "count(%s):  %d\n", *tag, st.TagCount(*tag))
 	}
+	if *synStats {
+		printSynopsis(stdout, st.Synopsis(10))
+	}
 	if *metrics {
 		fmt.Fprintln(stdout, "-- metrics --")
 		fmt.Fprint(stdout, nok.MetricsText())
 	}
 	return 0
+}
+
+// printSynopsis renders the statistics synopsis dump for -stats.
+func printSynopsis(stdout io.Writer, info nok.SynopsisInfo) {
+	fmt.Fprintln(stdout, "-- statistics synopsis --")
+	if !info.Present {
+		fmt.Fprintln(stdout, "synopsis:     absent (store predates statistics; run an update or reload to build one)")
+		fmt.Fprintln(stdout, "planner:      unavailable; auto strategy uses the paper's §6.2 heuristic")
+		return
+	}
+	fresh := "fresh"
+	if info.Stale {
+		fresh = fmt.Sprintf("STALE (store is at epoch %d)", info.StoreEpoch)
+	}
+	fmt.Fprintf(stdout, "synopsis:     epoch %d, %s\n", info.Epoch, fresh)
+	fmt.Fprintf(stdout, "nodes:        %d total, %d with values\n", info.TotalNodes, info.ValueNodes)
+	fmt.Fprintf(stdout, "tree pages:   %d\n", info.TreePages)
+	fmt.Fprintf(stdout, "max depth:    %d\n", info.MaxDepth)
+	trunc := ""
+	if info.Truncated {
+		trunc = " (truncated; counts for unrecorded paths fall back to tag estimates)"
+	}
+	fmt.Fprintf(stdout, "distinct:     %d tags, %d paths%s\n", info.Tags, info.Paths, trunc)
+	if len(info.TopTags) > 0 {
+		fmt.Fprintln(stdout, "top tags:")
+		for _, t := range info.TopTags {
+			fmt.Fprintf(stdout, "  %-20s %d\n", t.Name, t.Count)
+		}
+	}
+	if len(info.TopPaths) > 0 {
+		fmt.Fprintln(stdout, "top paths:")
+		for _, p := range info.TopPaths {
+			fmt.Fprintf(stdout, "  %-40s %d\n", p.Path, p.Count)
+		}
+	}
 }

@@ -36,6 +36,8 @@ func TestRunExitCodes(t *testing.T) {
 		{"tag count", []string{"-db", dir, "-tag", "book"}, 0, "count(book)", ""},
 		{"explain", []string{"-explain", "//book[price<100]"}, 0, "partitions:", ""},
 		{"metrics", []string{"-db", dir, "-metrics"}, 0, "nok_pager", ""},
+		{"synopsis dump", []string{"-db", dir, "-stats"}, 0, "statistics synopsis", ""},
+		{"synopsis top tags", []string{"-db", dir, "-stats"}, 0, "top tags:", ""},
 		{"malformed explain", []string{"-explain", "//book["}, 1, "", "nokstat:"},
 		{"missing store", []string{"-db", filepath.Join(dir, "nope")}, 1, "", "nokstat:"},
 		{"no args", nil, 2, "", "Usage"},

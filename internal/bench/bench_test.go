@@ -142,6 +142,36 @@ func TestHeuristic(t *testing.T) {
 	WriteHeuristic(&buf, rows)
 }
 
+func TestPlanner(t *testing.T) {
+	cfg := smallCfg(t)
+	cfg.PageSize = 256
+	rows, err := Planner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two traps + two workload queries for the one configured dataset.
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Agree {
+			t.Errorf("%s %s: planner and heuristic disagree on results", r.Dataset, r.Query)
+		}
+	}
+	// On the trap documents the planner must cut pages scanned at least 2×.
+	for _, r := range rows[:2] {
+		if r.PagesPlanner*2 > r.PagesHeuristic {
+			t.Errorf("%s: planner scanned %d pages vs heuristic %d — want >=2x reduction",
+				r.Dataset, r.PagesPlanner, r.PagesHeuristic)
+		}
+	}
+	var buf bytes.Buffer
+	WritePlanner(&buf, rows)
+	if !bytes.Contains(buf.Bytes(), []byte("trap-value")) {
+		t.Errorf("rendering missing trap row:\n%s", buf.String())
+	}
+}
+
 func TestUpdate(t *testing.T) {
 	rows, err := Update(smallCfg(t), 5)
 	if err != nil {

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nok/internal/core"
+	"nok/internal/workload"
+)
+
+// ---- cost-based planner vs §6.2 heuristic ------------------------------------
+
+// PlannerRow compares one query under the cost-based planner against the
+// same query pinned to the §6.2 heuristic (DisablePlanner): pages scanned,
+// median time, and which strategies each side picked.
+type PlannerRow struct {
+	Dataset        string
+	Query          string
+	Results        int
+	PagesPlanner   uint64
+	PagesHeuristic uint64
+	// Reduction is heuristic pages / planner pages (>1 = planner wins).
+	Reduction     float64
+	SecsPlanner   float64
+	SecsHeuristic float64
+	PlannerPick   string
+	HeuristicPick string
+	// Agree reports that both sides returned the same result count (the
+	// result-identity property the oracle tests prove exhaustively).
+	Agree bool
+}
+
+// plannerTraps are synthetic documents where the heuristic's fixed
+// preference order (value index before everything) picks badly — the
+// regressions the planner exists to fix. Both mirror the acceptance tests
+// in internal/core/plan_test.go at benchmark scale.
+var plannerTraps = []struct {
+	name  string
+	build func() string
+	query string
+}{
+	{
+		// Every item shares one literal; the driving tag is rare. The
+		// heuristic drives from the value index (thousands of verifications),
+		// the planner from the rare tag.
+		name: "trap-value",
+		build: func() string {
+			var sb strings.Builder
+			sb.WriteString("<root>")
+			for i := 0; i < 4000; i++ {
+				sb.WriteString("<item><common>dup</common></item>")
+			}
+			sb.WriteString("<rare><common>dup</common></rare><rare><common>dup</common></rare></root>")
+			return sb.String()
+		},
+		query: `//rare[common="dup"]`,
+	},
+	{
+		// The anchored path is selective but its literal is everywhere: the
+		// planner's path summary beats the heuristic's value-index reflex.
+		name: "trap-path",
+		build: func() string {
+			var sb strings.Builder
+			sb.WriteString("<lib><shelf>")
+			for i := 0; i < 4000; i++ {
+				sb.WriteString("<book><title>T</title></book>")
+			}
+			sb.WriteString("</shelf><special><book><title>T</title></book><book><title>T</title></book></special></lib>")
+			return sb.String()
+		},
+		query: `/lib/special/book[title="T"]`,
+	},
+}
+
+// Planner measures pages scanned with the planner on vs off: the two
+// synthetic trap documents first, then the hpy/hpn queries of each
+// configured dataset (where the heuristic usually already picks well — those
+// rows guard against planner-introduced regressions).
+func Planner(cfg Config) ([]PlannerRow, error) {
+	cfg = cfg.WithDefaults()
+	var rows []PlannerRow
+
+	for _, trap := range plannerTraps {
+		tmp, err := os.MkdirTemp("", "nok-planner")
+		if err != nil {
+			return nil, err
+		}
+		xmlPath := tmp + "/trap.xml"
+		if err := os.WriteFile(xmlPath, []byte(trap.build()), 0o644); err != nil {
+			os.RemoveAll(tmp)
+			return nil, err
+		}
+		db, err := core.LoadXMLFile(tmp+"/db", xmlPath, &core.Options{PageSize: cfg.PageSize})
+		if err != nil {
+			os.RemoveAll(tmp)
+			return nil, err
+		}
+		row, err := plannerRow(cfg, db, trap.name, trap.query)
+		db.Close()
+		os.RemoveAll(tmp)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+
+	for _, name := range cfg.Datasets {
+		env, err := Prepare(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		queries, err := workload.ForDataset(name)
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		for _, qi := range []int{0, 1} {
+			row, err := plannerRow(cfg, env.NoK, name, queries[qi].Expr)
+			if err != nil {
+				env.Close()
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		env.Close()
+	}
+	return rows, nil
+}
+
+// plannerRow measures one query both ways on an open store.
+func plannerRow(cfg Config, db *core.DB, name, expr string) (PlannerRow, error) {
+	row := PlannerRow{Dataset: name, Query: expr}
+
+	measure := func(opts *core.QueryOptions) (float64, uint64, string, int, error) {
+		var pages uint64
+		var pick string
+		var results int
+		dur, _, err := timeMedian(cfg.Runs, func() (int, error) {
+			ms, stats, err := db.Query(expr, opts)
+			if err != nil {
+				return 0, err
+			}
+			pages = stats.PagesScanned
+			pick = strategyPick(stats)
+			results = len(ms)
+			return results, nil
+		})
+		return dur.Seconds(), pages, pick, results, err
+	}
+
+	var err error
+	var nPlan, nHeur int
+	if row.SecsPlanner, row.PagesPlanner, row.PlannerPick, nPlan, err = measure(nil); err != nil {
+		return row, err
+	}
+	if row.SecsHeuristic, row.PagesHeuristic, row.HeuristicPick, nHeur, err = measure(&core.QueryOptions{DisablePlanner: true}); err != nil {
+		return row, err
+	}
+	row.Results = nPlan
+	row.Agree = nPlan == nHeur
+	if row.PagesPlanner > 0 {
+		row.Reduction = float64(row.PagesHeuristic) / float64(row.PagesPlanner)
+	}
+	return row, nil
+}
+
+// strategyPick renders the effective per-partition strategies compactly.
+func strategyPick(stats *core.QueryStats) string {
+	parts := make([]string, len(stats.StrategyUsed))
+	for i, s := range stats.StrategyUsed {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// WritePlanner renders the planner-vs-heuristic comparison.
+func WritePlanner(w io.Writer, rows []PlannerRow) {
+	fmt.Fprintf(w, "%-12s %8s %10s %10s %7s %10s %10s %6s  %-24s %-24s %s\n",
+		"data set", "results", "pages(pl)", "pages(h)", "reduce", "pl(s)", "heur(s)", "agree", "planner pick", "heuristic pick", "query")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %8d %10d %10d %6.1fx %10.4f %10.4f %6v  %-24s %-24s %s\n",
+			r.Dataset, r.Results, r.PagesPlanner, r.PagesHeuristic, r.Reduction,
+			r.SecsPlanner, r.SecsHeuristic, r.Agree, r.PlannerPick, r.HeuristicPick, r.Query)
+	}
+}

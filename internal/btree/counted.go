@@ -1,0 +1,44 @@
+package btree
+
+import (
+	"bytes"
+
+	"nok/internal/pager"
+)
+
+// counted.go — page-accounting variants of the read paths. The planner's
+// cost model (internal/planner) prices index accesses in pages touched;
+// these variants report that number into *pages so QueryStats.PagesScanned
+// reflects starting-point location work, not just pattern navigation.
+// A nil pages pointer disables accounting.
+
+// GetCounted is Get, charging the root-to-leaf descent (Height pages).
+func (t *Tree) GetCounted(key []byte, pages *uint64) ([]byte, bool, error) {
+	if pages != nil {
+		*pages += uint64(t.Height())
+	}
+	return t.Get(key)
+}
+
+// ScanPrefixCounted is ScanPrefix, charging the initial descent plus one
+// page per leaf-chain advance.
+func (t *Tree) ScanPrefixCounted(prefix []byte, fn func(key, value []byte) bool, pages *uint64) error {
+	it := t.Seek(prefix)
+	if pages != nil {
+		*pages += uint64(t.Height())
+	}
+	last := it.leaf
+	for it.Next() {
+		if pages != nil && it.leaf != last && it.leaf != pager.InvalidPage {
+			*pages++
+			last = it.leaf
+		}
+		if !bytes.HasPrefix(it.Key(), prefix) {
+			break
+		}
+		if !fn(it.Key(), it.Value()) {
+			break
+		}
+	}
+	return it.Err()
+}

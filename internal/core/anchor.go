@@ -3,6 +3,7 @@ package core
 import (
 	"nok/internal/dewey"
 	"nok/internal/pattern"
+	"nok/internal/stree"
 )
 
 // topAnchor finds the anchor of the top partition: the deepest pattern
@@ -56,15 +57,18 @@ func topAnchor(top *pattern.NoKTree, t *pattern.Tree) (*pattern.Node, []string) 
 // anchoredStarts locates candidates for the anchor node of the top
 // partition: index-driven starts for the anchor's local subtree, filtered
 // to the anchor's exact depth and verified against the ancestor tag chain
-// through Dewey-prefix lookups.
-func (db *DB) anchoredStarts(top *pattern.NoKTree, anchor *pattern.Node, chainTests []string, strat Strategy) ([]Match, Strategy, error) {
+// through Dewey-prefix lookups. The returned strategy is the one actually
+// used (a forced or planned path-index that cannot apply degrades and
+// reports its fallback).
+func (db *DB) anchoredStarts(top *pattern.NoKTree, anchor *pattern.Node, chainTests []string, strat Strategy, nc *stree.NavCounters) ([]Match, Strategy, error) {
 	synth := &pattern.NoKTree{Root: anchor}
 
 	// The path index (§8 extension) resolves the whole ancestor chain in
-	// one probe. It is used when forced, and under the auto heuristic when
-	// no equality value constraint is available (the paper's rule puts the
-	// value index first) and the chain is at least two steps of concrete
-	// tags (a one-step path is just the tag index).
+	// one probe. It is used when forced (directly or by the planner), and
+	// under the auto heuristic when no equality value constraint is
+	// available (the paper's rule puts the value index first) and the chain
+	// is at least two steps of concrete tags (a one-step path is just the
+	// tag index).
 	tryPath := strat == StrategyPathIndex
 	if strat == StrategyAuto && len(chainTests) >= 1 {
 		if _, hasVal := db.bestValueConstraint(synth); !hasVal {
@@ -72,7 +76,7 @@ func (db *DB) anchoredStarts(top *pattern.NoKTree, anchor *pattern.Node, chainTe
 		}
 	}
 	if tryPath {
-		ms, ok, err := db.startsByPath(anchor, chainTests)
+		ms, ok, err := db.startsByPath(anchor, chainTests, nc)
 		if err != nil {
 			return nil, StrategyPathIndex, err
 		}
@@ -86,7 +90,7 @@ func (db *DB) anchoredStarts(top *pattern.NoKTree, anchor *pattern.Node, chainTe
 		strat = StrategyAuto
 	}
 
-	raw, used, err := db.starts(synth, strat)
+	raw, used, err := db.starts(synth, strat, nc)
 	if err != nil {
 		return nil, used, err
 	}
@@ -96,7 +100,7 @@ func (db *DB) anchoredStarts(top *pattern.NoKTree, anchor *pattern.Node, chainTe
 		if len(m.ID) != depth {
 			continue
 		}
-		ok, err := db.ancestorsMatch(m.ID, chainTests)
+		ok, err := db.ancestorsMatch(m.ID, chainTests, nc)
 		if err != nil {
 			return nil, used, err
 		}
@@ -109,7 +113,7 @@ func (db *DB) anchoredStarts(top *pattern.NoKTree, anchor *pattern.Node, chainTe
 
 // ancestorsMatch verifies that the tags on the path above id match the
 // chain tests (depth 1 first). Wildcard tests skip the lookup.
-func (db *DB) ancestorsMatch(id dewey.ID, tests []string) (bool, error) {
+func (db *DB) ancestorsMatch(id dewey.ID, tests []string, nc *stree.NavCounters) (bool, error) {
 	for j, test := range tests {
 		if test == "*" {
 			continue
@@ -118,13 +122,14 @@ func (db *DB) ancestorsMatch(id dewey.ID, tests []string) (bool, error) {
 		if !ok {
 			return false, nil
 		}
-		pos, _, found, err := db.NodeAt(id[:j+1])
+		pos, _, found, err := db.nodeAtCounted(id[:j+1], nc)
 		if err != nil {
 			return false, err
 		}
 		if !found {
 			return false, nil
 		}
+		nc.AddExamined(1) // SymAt touches one tree page
 		sym, err := db.Tree.SymAt(pos)
 		if err != nil {
 			return false, err

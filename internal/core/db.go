@@ -25,10 +25,13 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync"
 
 	"nok/internal/btree"
 	"nok/internal/dewey"
 	"nok/internal/pager"
+	"nok/internal/planner"
+	"nok/internal/stats"
 	"nok/internal/stree"
 	"nok/internal/symtab"
 	"nok/internal/vfs"
@@ -126,6 +129,14 @@ type DB struct {
 	// selectivity statistic.
 	tagCount map[symtab.Sym]uint64
 	total    uint64
+
+	// synopsis is the statistics synopsis loaded from the manifest's
+	// synopsis role (nil when the store has none); the planner only trusts
+	// it when its epoch equals the store's. planCache memoizes plans per
+	// canonical expression, guarded by planMu and invalidated on commit.
+	synopsis  *stats.Synopsis
+	planMu    sync.Mutex
+	planCache map[string]*planner.Plan
 }
 
 // Open attaches to an existing database directory. If the directory holds
@@ -186,6 +197,9 @@ func Open(dir string, opts *Options) (*DB, error) {
 	if err := db.loadStats(); err != nil {
 		return nil, err
 	}
+	// Best-effort: a missing, stale or corrupt synopsis never blocks the
+	// open — the planner falls back to the §6.2 heuristic.
+	db.loadSynopsis()
 	ok = true
 	return db, nil
 }
@@ -282,7 +296,12 @@ func deweyVal(pos stree.Pos, valOff uint64) []byte {
 
 // NodeAt returns the position and value offset recorded for a Dewey ID.
 func (db *DB) NodeAt(id dewey.ID) (pos stree.Pos, valOff uint64, ok bool, err error) {
-	v, found, err := db.DeweyIdx.Get(id.Bytes())
+	return db.nodeAtCounted(id, nil)
+}
+
+// nodeAtCounted is NodeAt attributing the Dewey-index descent to nc.
+func (db *DB) nodeAtCounted(id dewey.ID, nc *stree.NavCounters) (pos stree.Pos, valOff uint64, ok bool, err error) {
+	v, found, err := db.DeweyIdx.GetCounted(id.Bytes(), btPages(nc))
 	if err != nil || !found {
 		return stree.Pos{}, 0, false, err
 	}
@@ -299,7 +318,12 @@ func (db *DB) NodeAt(id dewey.ID) (pos stree.Pos, valOff uint64, ok bool, err er
 // NodeValue returns the text value of the node with the given Dewey ID.
 // ok is false when the node has no value (or no such node exists).
 func (db *DB) NodeValue(id dewey.ID) (string, bool, error) {
-	_, valOff, found, err := db.NodeAt(id)
+	return db.nodeValueCounted(id, nil)
+}
+
+// nodeValueCounted is NodeValue attributing the Dewey-index descent to nc.
+func (db *DB) nodeValueCounted(id dewey.ID, nc *stree.NavCounters) (string, bool, error) {
+	_, valOff, found, err := db.nodeAtCounted(id, nc)
 	if err != nil || !found || valOff == NoValue {
 		return "", false, err
 	}

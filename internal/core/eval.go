@@ -9,6 +9,7 @@ import (
 	"nok/internal/join"
 	"nok/internal/obs"
 	"nok/internal/pattern"
+	"nok/internal/planner"
 	"nok/internal/stree"
 )
 
@@ -43,9 +44,14 @@ var (
 //     structural (containment) joins, and finally collect the returning
 //     node's matches.
 type QueryOptions struct {
-	// Strategy forces a starting-point strategy; StrategyAuto applies the
-	// paper's §6.2 heuristic.
+	// Strategy forces a starting-point strategy; StrategyAuto asks the
+	// cost-based planner when a fresh statistics synopsis exists and
+	// otherwise applies the paper's §6.2 heuristic.
 	Strategy Strategy
+	// DisablePlanner keeps StrategyAuto on the paper's heuristic even when
+	// a fresh synopsis exists (ablation knob, and the safety hatch should a
+	// plan ever misbehave).
+	DisablePlanner bool
 	// DisablePageSkip turns off the header-table page-skip optimization
 	// in FOLLOWING-SIBLING (ablation benchmark).
 	DisablePageSkip bool
@@ -114,9 +120,11 @@ func (db *DB) QueryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *QueryStats, error) {
 	strat := StrategyAuto
 	noSkip := false
+	noPlan := false
 	if opts != nil {
 		strat = opts.Strategy
 		noSkip = opts.DisablePageSkip
+		noPlan = opts.DisablePlanner
 	}
 	tr := opts.trace()
 	ctx := opts.ctx()
@@ -129,9 +137,31 @@ func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 	sp.Set("partitions", len(parts))
 	sp.End()
 
+	// The anchor is needed both by the planner (the top partition's access
+	// choice includes the path index over the anchored chain) and by phase 2.
+	anchor, chainTests := topAnchor(parts[0], t)
+
+	// Under StrategyAuto a fresh statistics synopsis upgrades the §6.2
+	// heuristic to the cost-based planner; a forced strategy, a disabled
+	// planner, or a missing/stale synopsis all leave plan nil.
+	var plan *planner.Plan
+	if strat == StrategyAuto && !noPlan {
+		plan = db.planFor(t, parts, anchor, chainTests)
+	}
+
 	stats := &QueryStats{
 		Partitions:   len(parts),
 		StrategyUsed: make([]Strategy, len(parts)),
+		Requested:    strat,
+	}
+	if plan != nil {
+		stats.Planned = true
+		stats.PlanEpoch = plan.Epoch
+		psp := tr.Start("plan")
+		psp.Set("epoch", int(plan.Epoch))
+		psp.Set("est-pages", int(plan.EstTotalPages))
+		psp.Set("est-rows", int(plan.EstRows))
+		psp.End()
 	}
 
 	// nc attributes page-level navigation work (examined vs skipped via the
@@ -144,13 +174,45 @@ func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 	}()
 
 	// Phase 1: bottom-up ExtMatch. parts is in topological order (parents
-	// first), so iterating backwards sees every child before its parent.
+	// first), so reverse index order sees every child before its parent; a
+	// plan replaces it with its cost-ordered bottom-up sequence (same
+	// children-first invariant, smallest estimated results first).
+	order := make([]int, 0, len(parts)-1)
+	if plan != nil && len(plan.Order) == len(parts)-1 {
+		order = append(order, plan.Order...)
+	} else {
+		for i := len(parts) - 1; i >= 1; i-- {
+			order = append(order, i)
+		}
+	}
 	ext := make(map[*pattern.NoKTree][]Match)
 	extPts := make(map[*pattern.NoKTree][]uint64)
-	for i := len(parts) - 1; i >= 1; i-- {
+	for _, i := range order {
 		nt := parts[i]
 		psp := tr.Start(fmt.Sprintf("ext-match partition=%d", i))
 		psp.Set("root", nt.Root.Test)
+
+		// Short-circuit: a linked child partition with no matches makes the
+		// link predicate unsatisfiable, so this partition's ExtMatch is empty
+		// without touching a page. (Sound for every link axis: an empty child
+		// set satisfies neither containment nor following existence.)
+		short := false
+		for _, l := range nt.Links {
+			if pts, ok := extPts[l.To]; ok && len(pts) == 0 {
+				short = true
+				break
+			}
+		}
+		if short {
+			ext[nt] = nil
+			extPts[nt] = nil
+			stats.StrategyUsed[i] = StrategySkipped
+			psp.Set("shortcut", "empty child partition")
+			psp.Set("matches", 0)
+			psp.End()
+			continue
+		}
+
 		ncBefore := *nc
 		npmBefore, visBefore := stats.NPMCalls, stats.NodesVisited
 
@@ -160,14 +222,22 @@ func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 		m.ctx = ctx
 		db.installLinkPreds(m, nt, extPts)
 
+		partStrat := strat
+		if plan != nil {
+			partStrat = strategyForAccess(plan.Parts[i].Access)
+		}
 		ssp := psp.Start("locate-starts")
-		startPoints, used, err := db.starts(nt, strat)
+		startPoints, used, err := db.starts(nt, partStrat, nc)
 		ssp.End()
 		if err != nil {
 			return nil, nil, err
 		}
 		ssp.Set("strategy", used.String())
 		ssp.Set("starts", len(startPoints))
+		if plan != nil {
+			ssp.Set("est-starts", int(plan.Parts[i].EstStarts))
+			ssp.Set("est-pages", int(plan.Parts[i].EstPages))
+		}
 		stats.StrategyUsed[i] = used
 		stats.StartingPoints += len(startPoints)
 
@@ -212,10 +282,13 @@ func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 	// is what makes '/'-rooted high-selectivity queries index-driven
 	// rather than full navigations from the document root.
 	topRoot := t.Root // effective pattern node matched at trueStarts
-	anchor, chainTests := topAnchor(parts[0], t)
 	if anchor != nil {
+		topStrat := strat
+		if plan != nil {
+			topStrat = strategyForAccess(plan.Parts[0].Access)
+		}
 		asp := tsp.Start("locate-anchor")
-		starts, used, err := db.anchoredStarts(parts[0], anchor, chainTests, strat)
+		starts, used, err := db.anchoredStarts(parts[0], anchor, chainTests, topStrat, nc)
 		asp.End()
 		if err != nil {
 			return nil, nil, err
@@ -223,10 +296,18 @@ func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 		asp.Set("anchor", anchor.Test)
 		asp.Set("strategy", used.String())
 		asp.Set("starts", len(starts))
+		if plan != nil {
+			asp.Set("est-starts", int(plan.Parts[0].EstStarts))
+			asp.Set("est-pages", int(plan.Parts[0].EstPages))
+		}
 		stats.StrategyUsed[0] = used
 		stats.StartingPoints += len(starts)
 		trueStarts = starts
 		topRoot = anchor
+	} else {
+		// Virtual-root navigation: the top partition is matched by walking
+		// from the document root, which is scan-class work.
+		stats.StrategyUsed[0] = StrategyScan
 	}
 
 	for k := 0; k < len(chain); k++ {

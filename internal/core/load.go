@@ -13,8 +13,10 @@ import (
 	"nok/internal/dewey"
 	"nok/internal/pager"
 	"nok/internal/sax"
+	"nok/internal/stats"
 	"nok/internal/stree"
 	"nok/internal/symtab"
+	"nok/internal/vfs"
 	"nok/internal/vstore"
 )
 
@@ -34,14 +36,15 @@ func LoadXML(dir string, r io.Reader, opts *Options) (*DB, error) {
 	// therefore no store) until the very last step of the load.
 	const epoch = 1
 	names := map[string]string{
-		roleTree:    fileTree,
-		roleValues:  fileValues,
-		roleTags:    epochFileName(roleTags, epoch),
-		roleStats:   epochFileName(roleStats, epoch),
-		roleTagIdx:  epochFileName(roleTagIdx, epoch),
-		roleValIdx:  epochFileName(roleValIdx, epoch),
-		roleDewIdx:  epochFileName(roleDewIdx, epoch),
-		rolePathIdx: epochFileName(rolePathIdx, epoch),
+		roleTree:     fileTree,
+		roleValues:   fileValues,
+		roleTags:     epochFileName(roleTags, epoch),
+		roleStats:    epochFileName(roleStats, epoch),
+		roleSynopsis: epochFileName(roleSynopsis, epoch),
+		roleTagIdx:   epochFileName(roleTagIdx, epoch),
+		roleValIdx:   epochFileName(roleValIdx, epoch),
+		roleDewIdx:   epochFileName(roleDewIdx, epoch),
+		rolePathIdx:  epochFileName(rolePathIdx, epoch),
 	}
 	db := &DB{dir: dir, fsys: o.FS, tagCount: make(map[symtab.Sym]uint64)}
 	ok := false
@@ -92,7 +95,7 @@ func LoadXML(dir string, r io.Reader, opts *Options) (*DB, error) {
 		return nil, err
 	}
 
-	loader := &loader{db: db, builder: builder}
+	loader := &loader{db: db, builder: builder, sb: stats.NewBuilder()}
 	if err := loader.run(sax.NewScanner(r)); err != nil {
 		return nil, err
 	}
@@ -109,6 +112,13 @@ func LoadXML(dir string, r io.Reader, opts *Options) (*DB, error) {
 	if err := db.saveStats(filepath.Join(dir, names[roleStats])); err != nil {
 		return nil, err
 	}
+	// The statistics synopsis was collected by the same SAX pass; it is
+	// committed through the manifest like every other store file.
+	syn := loader.sb.Finish(epoch, uint64(db.Tree.NumPages()))
+	if err := vfs.WriteFileAtomic(o.FS, filepath.Join(dir, names[roleSynopsis]), stats.Encode(syn), 0o644); err != nil {
+		return nil, err
+	}
+	db.synopsis = syn
 	// Make everything durable, then commit the store into existence by
 	// writing its first manifest.
 	if err := db.treeFile.Flush(); err != nil {
@@ -167,6 +177,7 @@ type indexEntry struct {
 type loader struct {
 	db      *DB
 	builder *stree.Builder
+	sb      *stats.Builder
 	stack   []*openElem
 
 	tagEntries   []indexEntry
@@ -239,6 +250,7 @@ func (l *loader) open(name string) error {
 		e.pathHash = extendPathHash(parent.pathHash, sym)
 	}
 	l.stack = append(l.stack, e)
+	l.sb.Node(sym, len(l.stack))
 	l.db.tagCount[sym]++
 	l.tagEntries = append(l.tagEntries, indexEntry{tagKey(sym, e.id), encodePos(pos)})
 	l.pathEntries = append(l.pathEntries, indexEntry{pathKey(e.pathHash, e.id), encodePos(pos)})
@@ -266,6 +278,7 @@ func (l *loader) close(trim bool) error {
 			return err
 		}
 		valOff = uint64(off)
+		l.sb.Value(len(l.stack)+1, vstore.Hash([]byte(text)))
 		l.valEntries = append(l.valEntries, indexEntry{valKey(vstore.Hash([]byte(text)), e.id), encodePos(e.pos)})
 	}
 	l.deweyEntries = append(l.deweyEntries, indexEntry{e.id.Bytes(), deweyVal(e.pos, valOff)})

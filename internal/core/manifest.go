@@ -63,6 +63,11 @@ const (
 	roleValIdx  = "validx"
 	roleDewIdx  = "deweyidx"
 	rolePathIdx = "pathidx"
+	// roleSynopsis is the planner's statistics synopsis (internal/stats).
+	// Deliberately NOT in allRoles: the synopsis is auxiliary, and a store
+	// whose synopsis file is missing or damaged must still open and query
+	// (via the heuristic fallback). Recovery treats it leniently.
+	roleSynopsis = "synopsis"
 )
 
 var allRoles = []string{roleTree, roleValues, roleTags, roleStats, roleTagIdx, roleValIdx, roleDewIdx, rolePathIdx}
@@ -133,12 +138,14 @@ func epochFileName(role string, epoch uint64) string {
 		ext = ".sym"
 	case roleStats:
 		ext = ".dat"
+	case roleSynopsis:
+		ext = ".bin"
 	}
 	return fmt.Sprintf("%s-%08x%s", role, epoch, ext)
 }
 
 // epochFilePat matches any epoch-named store file (for orphan sweeping).
-var epochFilePat = regexp.MustCompile(`^(tags|stats|tagidx|validx|deweyidx|pathidx)-[0-9a-f]{8}\.(sym|dat|pg)$`)
+var epochFilePat = regexp.MustCompile(`^(tags|stats|synopsis|tagidx|validx|deweyidx|pathidx)-[0-9a-f]{8}\.(sym|dat|bin|pg)$`)
 
 // readManifest loads and validates the manifest of dir.
 func readManifest(fsys vfs.FS, dir string) (*Manifest, error) {
@@ -288,6 +295,27 @@ func recoverStore(fsys vfs.FS, dir string) (*Manifest, RecoveryInfo, error) {
 		switch {
 		case fi.Size() < rec.Size:
 			return nil, info, fmt.Errorf("%w: %s is %d bytes, committed %d", ErrTruncatedFile, rec.Name, fi.Size(), rec.Size)
+		case fi.Size() > rec.Size:
+			if err := fsys.Truncate(path, rec.Size); err != nil {
+				return nil, info, fmt.Errorf("core: truncating %s: %w", rec.Name, err)
+			}
+			info.TruncatedFiles = append(info.TruncatedFiles, rec.Name)
+			mRecTruncates.Inc()
+		}
+	}
+
+	// The synopsis is auxiliary (the planner falls back to the heuristic
+	// without it): a missing or shortened synopsis file drops the role from
+	// the in-memory manifest view instead of failing the open; an
+	// over-length one is truncated back like any other committed file.
+	if rec, ok := m.Files[roleSynopsis]; ok {
+		path := filepath.Join(dir, rec.Name)
+		fi, err := fsys.Stat(path)
+		switch {
+		case err != nil || fi.Size() < rec.Size:
+			// Missing or damaged: forget it; if a damaged file remains on
+			// disk the orphan sweep below removes it.
+			delete(m.Files, roleSynopsis)
 		case fi.Size() > rec.Size:
 			if err := fsys.Truncate(path, rec.Size); err != nil {
 				return nil, info, fmt.Errorf("core: truncating %s: %w", rec.Name, err)

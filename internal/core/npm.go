@@ -103,8 +103,20 @@ type QueryStats struct {
 	NPMCalls int
 	// NodesVisited counts subject-child visits during matching.
 	NodesVisited int
-	// StrategyUsed records the starting-point strategy per partition.
+	// StrategyUsed records the starting-point strategy that actually ran
+	// for each partition — when a requested or planned strategy cannot
+	// apply (no usable constraint, wildcard chain) this shows the fallback
+	// it silently degraded to, and StrategySkipped marks partitions the
+	// evaluator never matched because a linked child partition was empty.
 	StrategyUsed []Strategy
+	// Requested is the strategy the caller asked for (StrategyAuto unless
+	// forced); comparing it with StrategyUsed exposes silent degradation.
+	Requested Strategy
+	// Planned reports whether the cost-based planner chose the strategies
+	// (StrategyAuto with a fresh statistics synopsis); PlanEpoch is the
+	// synopsis epoch the plan was costed against.
+	Planned   bool
+	PlanEpoch uint64
 	// JoinInputs counts match-list elements fed into structural joins.
 	JoinInputs int
 	// PagesScanned counts pages examined by this query's navigation

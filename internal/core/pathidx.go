@@ -5,6 +5,8 @@ import (
 
 	"nok/internal/dewey"
 	"nok/internal/pattern"
+	"nok/internal/stats"
+	"nok/internal/stree"
 	"nok/internal/symtab"
 )
 
@@ -22,19 +24,14 @@ import (
 
 const filePathIdx = "pathidx.pg"
 
-// pathHashSeed is the FNV-1a offset basis; path hashes fold symbols in
-// root-to-node order so the hash of a path extends its parent's.
-const pathHashSeed = uint64(14695981039346656037)
-
-const fnvPrime = uint64(1099511628211)
+// The path hash is shared with the statistics synopsis's path summary
+// (internal/stats holds the canonical FNV-1a definition): the planner can
+// estimate a path's cardinality with the same hash the index probes with.
+const pathHashSeed = stats.PathSeed
 
 // extendPathHash folds one more tag symbol into a path hash.
 func extendPathHash(h uint64, sym symtab.Sym) uint64 {
-	h ^= uint64(sym & 0xFF)
-	h *= fnvPrime
-	h ^= uint64(sym >> 8)
-	h *= fnvPrime
-	return h
+	return stats.ExtendPath(h, sym)
 }
 
 // pathKey composes the path-index key hash ‖ dewey.
@@ -74,7 +71,7 @@ func (db *DB) chainPathHash(chainTests []string, anchorTest string) (uint64, boo
 // still verified (hash collisions must not surface), but unlike the tag
 // strategy no depth filtering or lifted ancestors are needed — the index
 // key *is* the whole path.
-func (db *DB) startsByPath(anchor *pattern.Node, chainTests []string) ([]Match, bool, error) {
+func (db *DB) startsByPath(anchor *pattern.Node, chainTests []string, nc *stree.NavCounters) ([]Match, bool, error) {
 	if db.PathIdx == nil {
 		return nil, false, nil
 	}
@@ -87,7 +84,7 @@ func (db *DB) startsByPath(anchor *pattern.Node, chainTests []string) ([]Match, 
 	depth := len(chainTests) + 1
 	var out []Match
 	var scanErr error
-	err := db.PathIdx.ScanPrefix(prefix[:], func(key, value []byte) bool {
+	err := db.PathIdx.ScanPrefixCounted(prefix[:], func(key, value []byte) bool {
 		id, err := dewey.FromBytes(key[8:])
 		if err != nil || len(id) != depth {
 			return true
@@ -97,6 +94,7 @@ func (db *DB) startsByPath(anchor *pattern.Node, chainTests []string) ([]Match, 
 			return true
 		}
 		// Verify against collisions: the anchor tag plus ancestors.
+		nc.AddExamined(1) // SymAt touches one tree page
 		sym, err := db.Tree.SymAt(pos)
 		if err != nil {
 			scanErr = err
@@ -106,7 +104,7 @@ func (db *DB) startsByPath(anchor *pattern.Node, chainTests []string) ([]Match, 
 		if !found || sym != want {
 			return true
 		}
-		okAnc, err := db.ancestorsMatch(id, chainTests)
+		okAnc, err := db.ancestorsMatch(id, chainTests, nc)
 		if err != nil {
 			scanErr = err
 			return false
@@ -115,7 +113,7 @@ func (db *DB) startsByPath(anchor *pattern.Node, chainTests []string) ([]Match, 
 			out = append(out, Match{Pos: pos, ID: id.Clone()})
 		}
 		return true
-	})
+	}, btPages(nc))
 	if scanErr != nil {
 		return nil, false, scanErr
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"nok/internal/dewey"
 	"nok/internal/pattern"
@@ -17,9 +18,11 @@ import (
 type Strategy uint8
 
 const (
-	// StrategyAuto applies the paper's heuristic: use the value index when
-	// an (equality) value constraint exists, otherwise the tag-name index
-	// when the most selective tag is selective enough, otherwise scan.
+	// StrategyAuto asks the cost-based planner when a fresh statistics
+	// synopsis exists, otherwise applies the paper's heuristic: use the
+	// value index when an (equality) value constraint exists, otherwise the
+	// tag-name index when the most selective tag is selective enough,
+	// otherwise scan.
 	StrategyAuto Strategy = iota
 	// StrategyScan traverses the whole subject tree in document order.
 	StrategyScan
@@ -32,6 +35,10 @@ const (
 	// paper's §8 extension. Only applicable to anchored '/'-rooted chains
 	// with concrete tags; elsewhere it degrades to StrategyAuto.
 	StrategyPathIndex
+	// StrategySkipped is never requested: it is recorded in QueryStats for
+	// a partition whose matching was short-circuited because a linked child
+	// partition had no matches (so this partition cannot match either).
+	StrategySkipped
 )
 
 // String names the strategy.
@@ -47,6 +54,8 @@ func (s Strategy) String() string {
 		return "value-index"
 	case StrategyPathIndex:
 		return "path-index"
+	case StrategySkipped:
+		return "skipped"
 	default:
 		return fmt.Sprintf("Strategy(%d)", uint8(s))
 	}
@@ -61,25 +70,49 @@ const scanThresholdDiv = 8
 // when choosing the most selective value constraint.
 const selectivityCountCutoff = 4096
 
+// btPages adapts a NavCounters to the btree counted variants' page
+// pointer: B+-tree pages read while locating starting points count as
+// examined pages of the owning query.
+func btPages(nc *stree.NavCounters) *uint64 {
+	if nc == nil {
+		return nil
+	}
+	return &nc.Examined
+}
+
 // starts computes the starting points for one NoK tree using the given
 // strategy, returning the points in document order along with the strategy
-// actually used. The NoK tree's root must not be the virtual root (the
-// evaluator handles that partition itself).
-func (db *DB) starts(nt *pattern.NoKTree, strat Strategy) ([]Match, Strategy, error) {
+// actually used — when a forced strategy is inapplicable (no concrete tag,
+// no equality constraint) the *effective* fallback is reported, not the
+// request. The NoK tree's root must not be the virtual root (the evaluator
+// handles that partition itself).
+func (db *DB) starts(nt *pattern.NoKTree, strat Strategy, nc *stree.NavCounters) ([]Match, Strategy, error) {
 	switch strat {
 	case StrategyScan:
-		ms, err := db.startsByScan(nt)
+		ms, err := db.startsByScan(nt, nc)
 		return ms, StrategyScan, err
 	case StrategyTagIndex:
-		ms, err := db.startsByTag(nt)
+		node, _, ok := db.mostSelectiveTag(nt)
+		if !ok {
+			// Every node is a wildcard: nothing to look up, degrade to scan.
+			ms, err := db.startsByScan(nt, nc)
+			return ms, StrategyScan, err
+		}
+		ms, err := db.startsFromTagNode(nt, node, nc)
 		return ms, StrategyTagIndex, err
 	case StrategyValueIndex:
-		ms, err := db.startsByValue(nt)
+		vn, ok := db.bestValueConstraint(nt)
+		if !ok {
+			// No equality constraint: the hash index is unusable; degrade to
+			// the tag strategy (which may itself degrade to scan).
+			return db.starts(nt, StrategyTagIndex, nc)
+		}
+		ms, err := db.startsFromValueNode(nt, vn, nc)
 		return ms, StrategyValueIndex, err
 	default:
 		// StrategyAuto, and StrategyPathIndex outside an anchored chain
 		// (the path of a '//'-rooted partition is not fixed).
-		return db.startsAuto(nt)
+		return db.startsAuto(nt, nc)
 	}
 }
 
@@ -89,23 +122,23 @@ func (db *DB) starts(nt *pattern.NoKTree, strat Strategy) ([]Match, Strategy, er
 // constraints, we pick the tag name which has the highest selectivity;
 // if the selectivity is high we use the tag-name index, otherwise a
 // sequential scan."
-func (db *DB) startsAuto(nt *pattern.NoKTree) ([]Match, Strategy, error) {
+func (db *DB) startsAuto(nt *pattern.NoKTree, nc *stree.NavCounters) ([]Match, Strategy, error) {
 	if vn, ok := db.bestValueConstraint(nt); ok {
-		ms, err := db.startsFromValueNode(nt, vn)
+		ms, err := db.startsFromValueNode(nt, vn, nc)
 		return ms, StrategyValueIndex, err
 	}
 	node, count, ok := db.mostSelectiveTag(nt)
 	if ok && count <= db.total/scanThresholdDiv {
-		ms, err := db.startsFromTagNode(nt, node)
+		ms, err := db.startsFromTagNode(nt, node, nc)
 		return ms, StrategyTagIndex, err
 	}
-	ms, err := db.startsByScan(nt)
+	ms, err := db.startsByScan(nt, nc)
 	return ms, StrategyScan, err
 }
 
 // startsByScan is the naïve strategy: traverse the subject tree and try
 // every node whose tag matches the NoK root.
-func (db *DB) startsByScan(nt *pattern.NoKTree) ([]Match, error) {
+func (db *DB) startsByScan(nt *pattern.NoKTree, nc *stree.NavCounters) ([]Match, error) {
 	root := nt.Root
 	wild := root.Test == "*"
 	var want symtab.Sym
@@ -117,25 +150,13 @@ func (db *DB) startsByScan(nt *pattern.NoKTree) ([]Match, error) {
 		want = sym
 	}
 	var out []Match
-	err := db.Tree.Scan(func(pos stree.Pos, sym symtab.Sym, level int, id dewey.ID) bool {
+	err := db.Tree.ScanCounted(func(pos stree.Pos, sym symtab.Sym, level int, id dewey.ID) bool {
 		if wild || sym == want {
 			out = append(out, Match{Pos: pos, ID: id.Clone()})
 		}
 		return true
-	})
+	}, nc)
 	return out, err
-}
-
-// startsByTag locates starting points through the tag index, preferring
-// the most selective concrete tag in the NoK tree and walking up to the
-// NoK root via Dewey prefixes. Falls back to a scan when every node is a
-// wildcard.
-func (db *DB) startsByTag(nt *pattern.NoKTree) ([]Match, error) {
-	node, _, ok := db.mostSelectiveTag(nt)
-	if !ok {
-		return db.startsByScan(nt)
-	}
-	return db.startsFromTagNode(nt, node)
 }
 
 // mostSelectiveTag picks the NoK-tree node with a concrete tag whose
@@ -177,9 +198,29 @@ type depthNode struct {
 	impossible bool
 }
 
+// sortStarts puts lifted starting points in document order and drops
+// duplicates. Index entries are scanned in *driving-node* Dewey order,
+// which is not document order of their lifted ancestors (child 0.2.5.1
+// sorts before 0.2.9, but ancestor 0.2.5 sorts after 0.2), and a
+// fixed-depth lift can surface the same ancestor non-adjacently (0.2.1,
+// 0.2.1.3, 0.2.2 lift at depth 1 to 0.2, 0.2.1, 0.2). Downstream
+// structural joins binary-search these lists, so order and uniqueness are
+// correctness requirements, not cosmetics.
+func sortStarts(ms []Match) []Match {
+	sort.Slice(ms, func(i, j int) bool { return dewey.Compare(ms[i].ID, ms[j].ID) < 0 })
+	out := ms[:0]
+	for _, m := range ms {
+		if len(out) > 0 && dewey.Compare(out[len(out)-1].ID, m.ID) == 0 {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
 // startsFromTagNode scans the tag index for dn's symbol and lifts each hit
 // to its depth-dn ancestor — the NoK-root candidate.
-func (db *DB) startsFromTagNode(nt *pattern.NoKTree, dn depthNode) ([]Match, error) {
+func (db *DB) startsFromTagNode(nt *pattern.NoKTree, dn depthNode, nc *stree.NavCounters) ([]Match, error) {
 	if dn.impossible {
 		return nil, nil
 	}
@@ -187,7 +228,7 @@ func (db *DB) startsFromTagNode(nt *pattern.NoKTree, dn depthNode) ([]Match, err
 	binary.BigEndian.PutUint16(prefix[:], uint16(dn.sym))
 	var out []Match
 	var lastAncestor []byte
-	err := db.TagIdx.ScanPrefix(prefix[:], func(key, value []byte) bool {
+	err := db.TagIdx.ScanPrefixCounted(prefix[:], func(key, value []byte) bool {
 		id, err := dewey.FromBytes(key[2:])
 		if err != nil || len(id) < dn.depth+1 {
 			return true
@@ -198,13 +239,16 @@ func (db *DB) startsFromTagNode(nt *pattern.NoKTree, dn depthNode) ([]Match, err
 			return true // duplicate ancestor (two hits in one subtree)
 		}
 		lastAncestor = append(lastAncestor[:0], ancBytes...)
-		m, ok := db.liftToAncestor(nt, anc, dn.depth, value)
+		m, ok := db.liftToAncestor(nt, anc, dn.depth, value, nc)
 		if ok {
 			out = append(out, m)
 		}
 		return true
-	})
-	return out, err
+	}, btPages(nc))
+	if err != nil {
+		return nil, err
+	}
+	return sortStarts(out), nil
 }
 
 // bestValueConstraint returns the most selective equality-value node of
@@ -237,33 +281,23 @@ func (db *DB) countValueEntries(literal string) int {
 	return n
 }
 
-// startsByValue uses the best equality constraint; without one it falls
-// back to the tag strategy.
-func (db *DB) startsByValue(nt *pattern.NoKTree) ([]Match, error) {
-	vn, ok := db.bestValueConstraint(nt)
-	if !ok {
-		return db.startsByTag(nt)
-	}
-	return db.startsFromValueNode(nt, vn)
-}
-
 // startsFromValueNode scans the value index for hash(literal), verifies
 // the literal against the data file (hash collisions), and lifts hits to
 // their NoK-root ancestors.
-func (db *DB) startsFromValueNode(nt *pattern.NoKTree, vn pattern.ValueNode) ([]Match, error) {
+func (db *DB) startsFromValueNode(nt *pattern.NoKTree, vn pattern.ValueNode, nc *stree.NavCounters) ([]Match, error) {
 	var prefix [8]byte
 	binary.BigEndian.PutUint64(prefix[:], vstore.Hash([]byte(vn.Node.Literal)))
 	var out []Match
 	var lastAncestor []byte
 	var scanErr error
-	err := db.ValIdx.ScanPrefix(prefix[:], func(key, value []byte) bool {
+	err := db.ValIdx.ScanPrefixCounted(prefix[:], func(key, value []byte) bool {
 		id, err := dewey.FromBytes(key[8:])
 		if err != nil || len(id) < vn.Depth+1 {
 			return true
 		}
 		// Verify the actual value: "Different values that are hashed to
 		// the same key can be distinguished by looking up the data file."
-		val, hasVal, err := db.NodeValue(id)
+		val, hasVal, err := db.nodeValueCounted(id, nc)
 		if err != nil {
 			scanErr = err
 			return false
@@ -277,22 +311,25 @@ func (db *DB) startsFromValueNode(nt *pattern.NoKTree, vn pattern.ValueNode) ([]
 			return true
 		}
 		lastAncestor = append(lastAncestor[:0], ancBytes...)
-		m, ok := db.liftToAncestor(nt, anc, vn.Depth, nil)
+		m, ok := db.liftToAncestor(nt, anc, vn.Depth, nil, nc)
 		if ok {
 			out = append(out, m)
 		}
 		return true
-	})
+	}, btPages(nc))
 	if scanErr != nil {
 		return nil, scanErr
 	}
-	return out, err
+	if err != nil {
+		return nil, err
+	}
+	return sortStarts(out), nil
 }
 
 // liftToAncestor resolves the ancestor Dewey ID to a physical position and
 // pre-filters it against the NoK root's tag test. directPos carries the
 // position when depth is 0 and the index entry already holds it.
-func (db *DB) liftToAncestor(nt *pattern.NoKTree, anc dewey.ID, depth int, directPos []byte) (Match, bool) {
+func (db *DB) liftToAncestor(nt *pattern.NoKTree, anc dewey.ID, depth int, directPos []byte, nc *stree.NavCounters) (Match, bool) {
 	var pos stree.Pos
 	if depth == 0 && len(directPos) >= 6 {
 		p, err := decodePos(directPos)
@@ -301,7 +338,7 @@ func (db *DB) liftToAncestor(nt *pattern.NoKTree, anc dewey.ID, depth int, direc
 		}
 		pos = p
 	} else {
-		p, _, found, err := db.NodeAt(anc)
+		p, _, found, err := db.nodeAtCounted(anc, nc)
 		if err != nil || !found {
 			return Match{}, false
 		}
@@ -309,6 +346,7 @@ func (db *DB) liftToAncestor(nt *pattern.NoKTree, anc dewey.ID, depth int, direc
 	}
 	root := nt.Root
 	if root.Test != "*" {
+		nc.AddExamined(1) // SymAt touches one tree page
 		sym, err := db.Tree.SymAt(pos)
 		if err != nil {
 			return Match{}, false

@@ -12,8 +12,10 @@ import (
 	"nok/internal/dewey"
 	"nok/internal/pager"
 	"nok/internal/sax"
+	"nok/internal/stats"
 	"nok/internal/stree"
 	"nok/internal/symtab"
+	"nok/internal/vfs"
 	"nok/internal/vstore"
 )
 
@@ -183,7 +185,8 @@ func (db *DB) applyUpdate(carried map[string]uint64, mutate func() error) error 
 		db.broken = true
 		return err
 	}
-	if err := db.rebuildIndexes(carried, newEpoch); err != nil {
+	syn, err := db.rebuildIndexes(carried, newEpoch)
+	if err != nil {
 		db.broken = true
 		return err
 	}
@@ -191,6 +194,11 @@ func (db *DB) applyUpdate(carried map[string]uint64, mutate func() error) error 
 		db.broken = true
 		return err
 	}
+	// The rebuild scan refreshed the statistics synopsis alongside the
+	// indexes, so the planner stays available across updates. Cached plans
+	// were costed against the previous epoch's statistics; drop them.
+	db.synopsis = syn
+	db.invalidatePlans()
 	return nil
 }
 
@@ -199,14 +207,15 @@ func (db *DB) applyUpdate(carried map[string]uint64, mutate func() error) error 
 // files.
 func (db *DB) commitEpoch(newEpoch uint64) error {
 	names := map[string]string{
-		roleTree:    fileTree,
-		roleValues:  fileValues,
-		roleTags:    epochFileName(roleTags, newEpoch),
-		roleStats:   epochFileName(roleStats, newEpoch),
-		roleTagIdx:  epochFileName(roleTagIdx, newEpoch),
-		roleValIdx:  epochFileName(roleValIdx, newEpoch),
-		roleDewIdx:  epochFileName(roleDewIdx, newEpoch),
-		rolePathIdx: epochFileName(rolePathIdx, newEpoch),
+		roleTree:     fileTree,
+		roleValues:   fileValues,
+		roleTags:     epochFileName(roleTags, newEpoch),
+		roleStats:    epochFileName(roleStats, newEpoch),
+		roleSynopsis: epochFileName(roleSynopsis, newEpoch),
+		roleTagIdx:   epochFileName(roleTagIdx, newEpoch),
+		roleValIdx:   epochFileName(roleValIdx, newEpoch),
+		roleDewIdx:   epochFileName(roleDewIdx, newEpoch),
+		rolePathIdx:  epochFileName(rolePathIdx, newEpoch),
 	}
 	if err := db.treeFile.Flush(); err != nil {
 		return err
@@ -226,10 +235,12 @@ func (db *DB) commitEpoch(newEpoch uint64) error {
 		return err
 	}
 	// Best-effort sweep of the previous epoch's files — failures here are
-	// harmless (Open's orphan sweep will finish the job).
-	for _, role := range allRoles {
+	// harmless (Open's orphan sweep will finish the job). Iterate the new
+	// name set rather than allRoles so the optional synopsis is swept too;
+	// a pre-synopsis manifest simply has no old name for that role.
+	for role, newName := range names {
 		old := db.manifest.Files[role].Name
-		if old != names[role] {
+		if old != "" && old != newName {
 			_ = db.fsys.Remove(filepath.Join(db.dir, old))
 		}
 	}
@@ -328,15 +339,17 @@ func prefixEq(id, other dewey.ID, n int) bool {
 
 // rebuildIndexes recreates the four B+ trees (and the symbol/statistics
 // files) from a scan of the (already updated) string tree into fresh files
-// named for newEpoch. The previous epoch's files are left untouched — they
-// remain the committed state until the manifest switches. valOffByDewey
-// carries the value associations.
-func (db *DB) rebuildIndexes(valOffByDewey map[string]uint64, newEpoch uint64) error {
+// named for newEpoch, and rebuilds the planner's statistics synopsis from
+// the same scan (returned so the caller can install it once the commit
+// lands). The previous epoch's files are left untouched — they remain the
+// committed state until the manifest switches. valOffByDewey carries the
+// value associations.
+func (db *DB) rebuildIndexes(valOffByDewey map[string]uint64, newEpoch uint64) (*stats.Synopsis, error) {
 	// Close the old index files; their on-disk bytes stay (still committed).
 	for _, pf := range []*pager.File{db.tagIdxFile, db.valIdxFile, db.dewIdxFile, db.pathIdxFile} {
 		if pf != nil {
 			if err := pf.Close(); err != nil {
-				return err
+				return nil, err
 			}
 		}
 	}
@@ -347,32 +360,33 @@ func (db *DB) rebuildIndexes(valOffByDewey map[string]uint64, newEpoch uint64) e
 	idxOpts := func() *pager.Options { return &pager.Options{PageSize: pageSize, FS: db.fsys} }
 	var err error
 	if db.tagIdxFile, err = pager.Create(filepath.Join(db.dir, epochFileName(roleTagIdx, newEpoch)), idxOpts()); err != nil {
-		return err
+		return nil, err
 	}
 	if db.TagIdx, err = btree.Create(db.tagIdxFile); err != nil {
-		return err
+		return nil, err
 	}
 	if db.valIdxFile, err = pager.Create(filepath.Join(db.dir, epochFileName(roleValIdx, newEpoch)), idxOpts()); err != nil {
-		return err
+		return nil, err
 	}
 	if db.ValIdx, err = btree.Create(db.valIdxFile); err != nil {
-		return err
+		return nil, err
 	}
 	if db.dewIdxFile, err = pager.Create(filepath.Join(db.dir, epochFileName(roleDewIdx, newEpoch)), idxOpts()); err != nil {
-		return err
+		return nil, err
 	}
 	if db.DeweyIdx, err = btree.Create(db.dewIdxFile); err != nil {
-		return err
+		return nil, err
 	}
 	if db.pathIdxFile, err = pager.Create(filepath.Join(db.dir, epochFileName(rolePathIdx, newEpoch)), idxOpts()); err != nil {
-		return err
+		return nil, err
 	}
 	if db.PathIdx, err = btree.Create(db.pathIdxFile); err != nil {
-		return err
+		return nil, err
 	}
 
 	db.tagCount = make(map[symtab.Sym]uint64)
 	db.total = 0
+	sb := stats.NewBuilder()
 	// hashStack[d] is the path hash of the current open element at depth d
 	// (root depth 1); hashStack[0] is the seed.
 	hashStack := []uint64{pathHashSeed}
@@ -380,6 +394,7 @@ func (db *DB) rebuildIndexes(valOffByDewey map[string]uint64, newEpoch uint64) e
 	err = db.Tree.Scan(func(pos stree.Pos, sym symtab.Sym, level int, id dewey.ID) bool {
 		db.tagCount[sym]++
 		db.total++
+		sb.Node(sym, level)
 		h := extendPathHash(hashStack[level-1], sym)
 		hashStack = append(hashStack[:level], h)
 		if err := db.PathIdx.Insert(pathKey(h, id), encodePos(pos)); err != nil {
@@ -398,6 +413,7 @@ func (db *DB) rebuildIndexes(valOffByDewey map[string]uint64, newEpoch uint64) e
 				scanErr = err
 				return false
 			}
+			sb.Value(level, vstore.Hash(v))
 			if err := db.ValIdx.Insert(valKey(vstore.Hash(v), id), encodePos(pos)); err != nil {
 				scanErr = err
 				return false
@@ -410,21 +426,26 @@ func (db *DB) rebuildIndexes(valOffByDewey map[string]uint64, newEpoch uint64) e
 		return true
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if scanErr != nil {
-		return scanErr
+		return nil, scanErr
 	}
 	if err := db.saveStats(filepath.Join(db.dir, epochFileName(roleStats, newEpoch))); err != nil {
-		return err
+		return nil, err
 	}
 	if err := db.Tags.SaveFS(db.fsys, filepath.Join(db.dir, epochFileName(roleTags, newEpoch))); err != nil {
-		return err
+		return nil, err
+	}
+	syn := sb.Finish(newEpoch, uint64(db.Tree.NumPages()))
+	if err := vfs.WriteFileAtomic(db.fsys,
+		filepath.Join(db.dir, epochFileName(roleSynopsis, newEpoch)), stats.Encode(syn), 0o644); err != nil {
+		return nil, err
 	}
 	for _, t := range []*btree.Tree{db.TagIdx, db.ValIdx, db.DeweyIdx, db.PathIdx} {
 		if err := t.Flush(); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return db.Values.Flush()
+	return syn, db.Values.Flush()
 }

@@ -99,7 +99,13 @@ func (db *DB) verifyManifest(deep bool, emit func(string, error)) {
 		emit("manifest", fmt.Errorf("store has no manifest loaded"))
 		return
 	}
-	for _, role := range allRoles {
+	roles := allRoles
+	if _, ok := db.manifest.Files[roleSynopsis]; ok {
+		// The synopsis is optional at open time, but once committed it must
+		// verify like any other store file.
+		roles = append(append([]string(nil), allRoles...), roleSynopsis)
+	}
+	for _, role := range roles {
 		rec, ok := db.manifest.Files[role]
 		if !ok {
 			emit("manifest", fmt.Errorf("role %s missing from manifest", role))

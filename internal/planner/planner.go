@@ -1,0 +1,497 @@
+// Package planner chooses starting-point access paths and a bottom-up
+// partition order for NoK query evaluation, using the persistent
+// statistics synopsis (internal/stats) instead of the paper's fixed §6.2
+// heuristic. It is purely advisory: it emits a Plan describing, per NoK
+// partition, which access path to use (scan, tag index, value index, or —
+// for the anchored top partition — path index) with estimated starting
+// points, result cardinality and pages touched; internal/core executes the
+// plan and EXPLAIN ANALYZE renders estimated-vs-actual so misestimates are
+// visible.
+//
+// The cost unit is pages examined, matching QueryStats.PagesScanned: a
+// full scan costs the string tree's page count; an index probe costs a
+// B+-tree descent plus the leaf pages holding the matching entries; every
+// candidate lifted to an ancestor or verified against the data file costs
+// one Dewey-index descent; and each starting point charges one page of
+// matching navigation.
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"nok/internal/pattern"
+	"nok/internal/stats"
+	"nok/internal/symtab"
+	"nok/internal/vstore"
+)
+
+// Access is a starting-point access path. It mirrors core.Strategy but
+// omits Auto: a plan is always concrete.
+type Access uint8
+
+const (
+	AccessScan Access = iota
+	AccessTagIndex
+	AccessValueIndex
+	AccessPathIndex
+)
+
+// String names the access path (same vocabulary as core.Strategy).
+func (a Access) String() string {
+	switch a {
+	case AccessScan:
+		return "scan"
+	case AccessTagIndex:
+		return "tag-index"
+	case AccessValueIndex:
+		return "value-index"
+	case AccessPathIndex:
+		return "path-index"
+	default:
+		return fmt.Sprintf("Access(%d)", uint8(a))
+	}
+}
+
+// Resolver resolves tag names to symbols; *symtab.Table implements it.
+type Resolver interface {
+	Lookup(name string) (symtab.Sym, bool)
+}
+
+// Shape carries the physical facts the cost model needs beyond the
+// synopsis.
+type Shape struct {
+	// TreePages is the string tree's page count (a full scan's cost).
+	TreePages float64
+	// IndexHeight is the typical B+-tree height — the page cost of one
+	// point lookup (Dewey-index lift or value verification).
+	IndexHeight float64
+	// LeafFanout is the estimated index entries per leaf page, converting
+	// an entry count into leaf pages touched by a prefix scan.
+	LeafFanout float64
+}
+
+func (sh Shape) withDefaults() Shape {
+	if sh.TreePages < 1 {
+		sh.TreePages = 1
+	}
+	if sh.IndexHeight < 1 {
+		sh.IndexHeight = 1
+	}
+	if sh.LeafFanout < 1 {
+		sh.LeafFanout = 64
+	}
+	return sh
+}
+
+// PartPlan is the plan for one NoK partition.
+type PartPlan struct {
+	// Part is the partition index (0 = top).
+	Part int
+	// Access is the chosen access path; Detail names its driver (the tag,
+	// the literal, or the anchored path).
+	Access Access
+	Detail string
+	// EstStarts estimates the starting points the access yields, EstMatches
+	// the partition's ExtMatch cardinality after local constraints, and
+	// EstPages the pages examined locating starts and matching them.
+	EstStarts  float64
+	EstMatches float64
+	EstPages   float64
+}
+
+// Plan is a full query plan.
+type Plan struct {
+	// Expr is the source expression; Epoch the synopsis epoch the plan was
+	// costed against (plans are invalid across epochs).
+	Expr  string
+	Epoch uint64
+	// Parts is indexed by partition index. Order is the bottom-up
+	// evaluation order for the non-top partitions: children before the
+	// partitions that join against them, smallest estimated intermediate
+	// result first, so an empty child short-circuits its parents' matching.
+	Parts []PartPlan
+	Order []int
+	// Anchored reports whether the top partition starts from anchor
+	// candidates rather than the virtual root.
+	Anchored bool
+	// EstTotalPages and EstRows summarize the whole plan.
+	EstTotalPages float64
+	EstRows       float64
+}
+
+// Input is everything Build needs about one parsed query.
+type Input struct {
+	Expr  string
+	Tree  *pattern.Tree
+	Parts []*pattern.NoKTree
+	// Anchor/Chain describe the top partition's anchored '/' chain (see
+	// core's topAnchor); a nil Anchor means virtual-root evaluation.
+	Anchor *pattern.Node
+	Chain  []string
+}
+
+// Build costs every candidate access path per partition against the
+// synopsis and returns the cheapest assignment plus the bottom-up order.
+func Build(in Input, syn *stats.Synopsis, res Resolver, shape Shape) *Plan {
+	c := &coster{syn: syn, res: res, shape: shape.withDefaults()}
+	p := &Plan{
+		Expr:     in.Expr,
+		Epoch:    syn.Epoch,
+		Parts:    make([]PartPlan, len(in.Parts)),
+		Anchored: in.Anchor != nil,
+	}
+
+	for i, nt := range in.Parts {
+		var pp PartPlan
+		if i == 0 {
+			pp = c.planTop(nt, in.Anchor, in.Chain)
+		} else {
+			pp = c.planPartition(nt.Root, false)
+		}
+		pp.Part = i
+		p.Parts[i] = pp
+		p.EstTotalPages += pp.EstPages
+	}
+
+	p.Order = bottomUpOrder(in.Parts, p.Parts)
+
+	// EstRows: the chain to the returning partition only narrows, so the
+	// smallest estimate along it bounds the result.
+	p.EstRows = p.Parts[0].EstMatches
+	for _, nt := range pattern.PathToReturn(in.Parts, in.Tree) {
+		if m := p.Parts[nt.Index()].EstMatches; m < p.EstRows {
+			p.EstRows = m
+		}
+	}
+	return p
+}
+
+// coster evaluates candidate access paths.
+type coster struct {
+	syn   *stats.Synopsis
+	res   Resolver
+	shape Shape
+}
+
+// tagRef is a concrete-tag pattern node inside one partition.
+type tagRef struct {
+	node  *pattern.Node
+	depth int
+	count uint64
+	known bool // tag occurs in the document
+}
+
+// valRef is an equality-value-constrained node inside one partition.
+type valRef struct {
+	node  *pattern.Node
+	depth int
+	est   uint64
+}
+
+// localInfo walks the partition's local pattern tree collecting concrete
+// tags and equality constraints with their depths below root.
+func (c *coster) localInfo(root *pattern.Node) (tags []tagRef, vals []valRef) {
+	var rec func(n *pattern.Node, d int)
+	rec = func(n *pattern.Node, d int) {
+		if !n.IsVirtualRoot() && n.Test != "*" {
+			tr := tagRef{node: n, depth: d}
+			if sym, ok := c.res.Lookup(n.Test); ok {
+				tr.count = c.syn.TagCount(sym)
+				tr.known = true
+			}
+			tags = append(tags, tr)
+		}
+		if n.Cmp == pattern.CmpEq {
+			est := c.syn.ValueEstimate(vstore.Hash([]byte(n.Literal)))
+			vals = append(vals, valRef{node: n, depth: d, est: est})
+		}
+		for _, ch := range pattern.LocalChildren(n) {
+			rec(ch, d+1)
+		}
+	}
+	rec(root, 0)
+	return tags, vals
+}
+
+// probe is the page cost of an index prefix scan yielding n entries.
+func (c *coster) probe(n float64) float64 {
+	return c.shape.IndexHeight + n/c.shape.LeafFanout
+}
+
+// matchCost charges one page of navigation per starting point tried.
+func matchCost(starts float64) float64 { return starts }
+
+// planPartition picks the cheapest access for a non-top partition (or the
+// synthetic anchor tree of the top one, when anchored=true the caller adds
+// the path-index candidate itself).
+func (c *coster) planPartition(root *pattern.Node, anchorOnly bool) PartPlan {
+	tags, vals := c.localInfo(root)
+	sh := c.shape
+
+	rootCount := c.syn.TotalNodes
+	if !root.IsVirtualRoot() && root.Test != "*" {
+		if sym, ok := c.res.Lookup(root.Test); ok {
+			rootCount = c.syn.TagCount(sym)
+		} else {
+			rootCount = 0
+		}
+	}
+
+	selectivity := func(starts float64) float64 {
+		m := starts
+		for _, t := range tags {
+			if !t.known {
+				return 0
+			}
+			if f := float64(t.count); f < m {
+				m = f
+			}
+		}
+		for _, v := range vals {
+			denom := float64(c.syn.ValueNodes)
+			if denom < 1 {
+				denom = 1
+			}
+			sel := float64(v.est) / denom
+			if sel > 1 {
+				sel = 1
+			}
+			m *= sel
+		}
+		return m
+	}
+
+	// Scan: every page examined, candidates = nodes passing the root test.
+	best := PartPlan{
+		Access:    AccessScan,
+		Detail:    scanDetail(root),
+		EstStarts: float64(rootCount),
+		EstPages:  sh.TreePages + matchCost(float64(rootCount)),
+	}
+
+	// Tag index: drive from the rarest concrete tag, lift to the root.
+	if t, ok := bestTag(tags); ok {
+		n := float64(t.count)
+		starts := n
+		if float64(rootCount) < starts {
+			starts = float64(rootCount)
+		}
+		pages := c.probe(n) + matchCost(starts)
+		if t.depth > 0 {
+			pages += n * sh.IndexHeight // Dewey lift per hit
+		}
+		cand := PartPlan{
+			Access:    AccessTagIndex,
+			Detail:    fmt.Sprintf("tag=%s depth=%d", t.node.Test, t.depth),
+			EstStarts: starts,
+			EstPages:  pages,
+		}
+		if cand.EstPages < best.EstPages {
+			best = cand
+		}
+	}
+
+	// Value index: drive from the rarest equality literal; every candidate
+	// pays a data-file verification, and a lift when below the root.
+	if v, ok := bestVal(vals); ok {
+		n := float64(v.est)
+		starts := n
+		if float64(rootCount) < starts {
+			starts = float64(rootCount)
+		}
+		pages := c.probe(n) + n*sh.IndexHeight + matchCost(starts)
+		if v.depth > 0 {
+			pages += n * sh.IndexHeight
+		}
+		cand := PartPlan{
+			Access:    AccessValueIndex,
+			Detail:    fmt.Sprintf("value=%q depth=%d", v.node.Literal, v.depth),
+			EstStarts: starts,
+			EstPages:  pages,
+		}
+		if cand.EstPages < best.EstPages {
+			best = cand
+		}
+	}
+
+	best.EstMatches = selectivity(best.EstStarts)
+	return best
+}
+
+// planTop plans the top partition: virtual-root navigation when
+// unanchored, otherwise the cheapest of the anchor tree's accesses and the
+// path index over the whole anchored chain.
+func (c *coster) planTop(nt *pattern.NoKTree, anchor *pattern.Node, chain []string) PartPlan {
+	if anchor == nil {
+		pp := PartPlan{Access: AccessScan, Detail: "virtual-root navigation", EstStarts: 1}
+		if len(pattern.LocalChildren(nt.Root)) > 0 {
+			pp.EstPages = c.shape.TreePages
+		}
+		pp.EstMatches = 1
+		return pp
+	}
+
+	best := c.planPartition(anchor, true)
+	// Anchored non-path accesses verify each candidate's ancestor chain.
+	best.EstPages += best.EstStarts * float64(len(chain)) * c.shape.IndexHeight
+
+	if cand, ok := c.pathCandidate(anchor, chain); ok && cand.EstPages < best.EstPages {
+		// The path access already fixes the whole chain; local constraints
+		// below the anchor still apply.
+		cand.EstMatches = cand.EstStarts
+		if best.EstMatches < cand.EstMatches && best.EstStarts > 0 {
+			cand.EstMatches = best.EstMatches / best.EstStarts * cand.EstStarts
+		}
+		best = cand
+	}
+	return best
+}
+
+// pathCandidate costs the path-index access for an anchored concrete
+// chain. ok is false when the chain has wildcards/unknown tags or the
+// summary cannot estimate the path.
+func (c *coster) pathCandidate(anchor *pattern.Node, chain []string) (PartPlan, bool) {
+	h := stats.PathSeed
+	labels := make([]string, 0, len(chain)+1)
+	for _, test := range append(append([]string{}, chain...), anchor.Test) {
+		if test == "*" {
+			return PartPlan{}, false
+		}
+		sym, ok := c.res.Lookup(test)
+		if !ok {
+			// Unknown tag: the path is provably empty — the cheapest
+			// possible access.
+			return PartPlan{
+				Access: AccessPathIndex,
+				Detail: "path=/" + strings.Join(append(labels, test), "/"),
+			}, true
+		}
+		h = stats.ExtendPath(h, sym)
+		labels = append(labels, test)
+	}
+	n, known := c.syn.PathCount(h)
+	if !known {
+		// Truncated summary: bound by the anchor tag's count.
+		if sym, ok := c.res.Lookup(anchor.Test); ok {
+			n = c.syn.TagCount(sym)
+		}
+	}
+	f := float64(n)
+	return PartPlan{
+		Access:    AccessPathIndex,
+		Detail:    "path=/" + strings.Join(labels, "/"),
+		EstStarts: f,
+		EstPages:  c.probe(f) + f*float64(len(chain))*c.shape.IndexHeight + matchCost(f),
+	}, true
+}
+
+func scanDetail(root *pattern.Node) string {
+	if root.IsVirtualRoot() {
+		return "virtual-root navigation"
+	}
+	return "tag=" + root.Test
+}
+
+func bestTag(tags []tagRef) (tagRef, bool) {
+	var best tagRef
+	found := false
+	for _, t := range tags {
+		if !t.known {
+			return t, true // provably empty — unbeatable
+		}
+		if !found || t.count < best.count {
+			best, found = t, true
+		}
+	}
+	return best, found
+}
+
+func bestVal(vals []valRef) (valRef, bool) {
+	var best valRef
+	found := false
+	for _, v := range vals {
+		if !found || v.est < best.est {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// bottomUpOrder orders the non-top partitions so that every partition's
+// linked children come first (required for ExtMatch predicates) and, among
+// the ready ones, the smallest estimated intermediate result runs first —
+// a provably empty child then short-circuits every partition joining
+// against it before any expensive matching starts.
+func bottomUpOrder(parts []*pattern.NoKTree, plans []PartPlan) []int {
+	n := len(parts)
+	if n <= 1 {
+		return nil
+	}
+	index := make(map[*pattern.NoKTree]int, n)
+	for i, nt := range parts {
+		index[nt] = i
+	}
+	pending := make(map[int][]int, n) // partition → unfinished child partitions
+	for i := 1; i < n; i++ {
+		for _, l := range parts[i].Links {
+			pending[i] = append(pending[i], index[l.To])
+		}
+	}
+	done := make([]bool, n)
+	order := make([]int, 0, n-1)
+	for len(order) < n-1 {
+		pick := -1
+		for i := n - 1; i >= 1; i-- {
+			if done[i] {
+				continue
+			}
+			ready := true
+			for _, ch := range pending[i] {
+				if !done[ch] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if pick < 0 || plans[i].EstMatches < plans[pick].EstMatches ||
+				(plans[i].EstMatches == plans[pick].EstMatches && i > pick) {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			// Cyclic links cannot happen (partitions form a tree); keep a
+			// safe fallback anyway.
+			for i := n - 1; i >= 1; i-- {
+				if !done[i] {
+					pick = i
+					break
+				}
+			}
+		}
+		done[pick] = true
+		order = append(order, pick)
+	}
+	return order
+}
+
+// String renders the plan for nokquery -plan and the golden-plan tests.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s (stats epoch %d", p.Expr, p.Epoch)
+	if p.Anchored {
+		b.WriteString(", anchored")
+	}
+	b.WriteString(")\n")
+	for _, pp := range p.Parts {
+		fmt.Fprintf(&b, "  partition %d: %-11s %s  est starts=%.0f matches=%.0f pages=%.0f\n",
+			pp.Part, pp.Access, pp.Detail, pp.EstStarts, pp.EstMatches, pp.EstPages)
+	}
+	if len(p.Order) > 0 {
+		fmt.Fprintf(&b, "  bottom-up order: %v\n", p.Order)
+	}
+	fmt.Fprintf(&b, "  est total: pages=%.0f rows=%.0f\n", p.EstTotalPages, p.EstRows)
+	return b.String()
+}

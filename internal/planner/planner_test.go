@@ -1,0 +1,224 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"nok/internal/pattern"
+	"nok/internal/stats"
+	"nok/internal/symtab"
+	"nok/internal/vstore"
+)
+
+// mapResolver is a test tag table.
+type mapResolver map[string]symtab.Sym
+
+func (m mapResolver) Lookup(name string) (symtab.Sym, bool) {
+	sym, ok := m[name]
+	return sym, ok
+}
+
+// synth hand-builds a synopsis: tag name → count, path (slash-joined tag
+// names) → count, literal → occurrence count.
+func synth(res mapResolver, epoch, totalNodes, valueNodes, treePages uint64,
+	tagCounts map[string]uint64, pathCounts map[string]uint64, valCounts map[string]uint64) *stats.Synopsis {
+	s := &stats.Synopsis{
+		Epoch:      epoch,
+		TotalNodes: totalNodes,
+		ValueNodes: valueNodes,
+		TreePages:  treePages,
+		Tags:       make(map[symtab.Sym]*stats.TagStat),
+		Paths:      make(map[uint64]*stats.PathStat),
+		Values:     stats.NewSketch(0),
+	}
+	for name, n := range tagCounts {
+		s.Tags[res[name]] = &stats.TagStat{Count: n}
+	}
+	for path, n := range pathCounts {
+		h := stats.PathSeed
+		var syms []symtab.Sym
+		for _, name := range strings.Split(path, "/") {
+			sym := res[name]
+			h = stats.ExtendPath(h, sym)
+			syms = append(syms, sym)
+		}
+		s.Paths[h] = &stats.PathStat{Syms: syms, Count: n}
+	}
+	for lit, n := range valCounts {
+		for i := uint64(0); i < n; i++ {
+			s.Values.Add(vstore.Hash([]byte(lit)))
+		}
+	}
+	return s
+}
+
+// input parses expr and derives the Build input with a nil anchor (the
+// anchored tests below set Anchor/Chain explicitly).
+func input(t *testing.T, expr string) Input {
+	t.Helper()
+	tr, err := pattern.Parse(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Input{Expr: expr, Tree: tr, Parts: pattern.Partition(tr)}
+}
+
+var shape = Shape{TreePages: 1000, IndexHeight: 2, LeafFanout: 64}
+
+func TestTagIndexBeatsScanOnRareTag(t *testing.T) {
+	res := mapResolver{"item": 1, "rare": 2}
+	syn := synth(res, 3, 100000, 0, 1000,
+		map[string]uint64{"item": 50000, "rare": 10}, nil, nil)
+
+	in := input(t, "//item//rare")
+	p := Build(in, syn, res, shape)
+	if p.Epoch != 3 {
+		t.Errorf("epoch = %d, want 3", p.Epoch)
+	}
+	// The rare partition should drive from its tag index; the item partition
+	// is cheaper to probe (50k entries, no lift) than to scan (1000 pages +
+	// 50k candidates either way, but probe ≪ 1000 pages).
+	rarePart := p.Parts[len(p.Parts)-1]
+	if rarePart.Access != AccessTagIndex || rarePart.EstStarts != 10 {
+		t.Errorf("rare partition: %+v", rarePart)
+	}
+	for _, pp := range p.Parts[1:] {
+		if pp.Access == AccessScan {
+			t.Errorf("partition %d fell back to scan: %+v", pp.Part, pp)
+		}
+	}
+}
+
+func TestScanBeatsIndexOnTinyDocument(t *testing.T) {
+	res := mapResolver{"a": 1}
+	syn := synth(res, 1, 10, 0, 1, map[string]uint64{"a": 5}, nil, nil)
+	p := Build(input(t, "//a"), syn, res, Shape{TreePages: 1, IndexHeight: 2, LeafFanout: 64})
+	// Scan: 1 page + 5 candidates = 6. Tag probe: height 2 + leaf + 5 = >7.
+	if pp := p.Parts[1]; pp.Access != AccessScan {
+		t.Errorf("tiny document: %+v, want scan", pp)
+	}
+}
+
+func TestValueIndexChosenForRareLiteral(t *testing.T) {
+	res := mapResolver{"book": 1, "author": 2}
+	syn := synth(res, 1, 100000, 60000, 1000,
+		map[string]uint64{"book": 30000, "author": 30000},
+		nil, map[string]uint64{"Stevens": 3})
+
+	p := Build(input(t, `//book[author="Stevens"]`), syn, res, shape)
+	pp := p.Parts[1]
+	if pp.Access != AccessValueIndex {
+		t.Fatalf("access = %v (%s), want value-index", pp.Access, pp.Detail)
+	}
+	if pp.EstStarts < 3 || pp.EstStarts > 30 {
+		t.Errorf("est starts = %v, want ≈3 (count-min may inflate slightly)", pp.EstStarts)
+	}
+	if p.EstRows > pp.EstStarts {
+		t.Errorf("est rows %v exceeds driving starts %v", p.EstRows, pp.EstStarts)
+	}
+}
+
+func TestUnknownTagIsProvablyEmpty(t *testing.T) {
+	res := mapResolver{"a": 1}
+	syn := synth(res, 1, 1000, 0, 100, map[string]uint64{"a": 1000}, nil, nil)
+	p := Build(input(t, "//a[nosuchtag]"), syn, res, shape)
+	pp := p.Parts[1]
+	if pp.Access != AccessTagIndex || pp.EstStarts != 0 || pp.EstMatches != 0 {
+		t.Errorf("unknown tag: %+v, want empty tag-index drive", pp)
+	}
+	if p.EstRows != 0 {
+		t.Errorf("est rows = %v, want 0", p.EstRows)
+	}
+}
+
+func TestBottomUpOrderSmallestFirst(t *testing.T) {
+	res := mapResolver{"a": 1, "big": 2, "tiny": 3}
+	syn := synth(res, 1, 100000, 0, 1000,
+		map[string]uint64{"a": 1000, "big": 50000, "tiny": 2}, nil, nil)
+	p := Build(input(t, "//a[.//big][.//tiny]"), syn, res, shape)
+	if len(p.Parts) != 4 {
+		t.Fatalf("partitions = %d, want 4", len(p.Parts))
+	}
+	if len(p.Order) != 3 {
+		t.Fatalf("order = %v, want 3 entries", p.Order)
+	}
+	// The a partition joins against big and tiny, so both leaves come first,
+	// and tiny (2 est matches) runs before big (50000).
+	if p.Order[2] != 1 {
+		t.Errorf("order = %v, want the joining partition last", p.Order)
+	}
+	tinyIdx, bigIdx := -1, -1
+	for pos, pi := range p.Order {
+		switch {
+		case strings.Contains(p.Parts[pi].Detail, "tiny"):
+			tinyIdx = pos
+		case strings.Contains(p.Parts[pi].Detail, "big"):
+			bigIdx = pos
+		}
+	}
+	if tinyIdx < 0 || bigIdx < 0 || tinyIdx > bigIdx {
+		t.Errorf("order = %v (tiny at %d, big at %d), want tiny first", p.Order, tinyIdx, bigIdx)
+	}
+}
+
+// anchored derives Anchor/Chain for /bib/book-style pure child chains the
+// way core's topAnchor does, enough for planner-level tests.
+func anchored(t *testing.T, expr string) Input {
+	t.Helper()
+	in := input(t, expr)
+	cur := in.Tree.Root
+	var chain []string
+	for len(cur.Children) == 1 && cur.Children[0].Axis == pattern.Child {
+		if !cur.IsVirtualRoot() {
+			chain = append(chain, cur.Test)
+		}
+		cur = cur.Children[0].To
+		if cur == in.Tree.Return || cur.HasValueConstraint() {
+			break
+		}
+	}
+	if cur.IsVirtualRoot() {
+		t.Fatalf("%s has no anchor", expr)
+	}
+	in.Anchor, in.Chain = cur, chain
+	return in
+}
+
+func TestPathIndexChosenForSelectivePath(t *testing.T) {
+	res := mapResolver{"bib": 1, "book": 2}
+	// book is common document-wide but /bib/book holds only 2 nodes: the
+	// path summary is what makes the path index attractive.
+	syn := synth(res, 1, 100000, 0, 1000,
+		map[string]uint64{"bib": 1, "book": 10000},
+		map[string]uint64{"bib": 1, "bib/book": 2}, nil)
+
+	p := Build(anchored(t, "/bib/book"), syn, res, shape)
+	top := p.Parts[0]
+	if !p.Anchored || top.Access != AccessPathIndex {
+		t.Fatalf("top = %+v (anchored=%v), want path-index", top, p.Anchored)
+	}
+	if top.EstStarts != 2 {
+		t.Errorf("est starts = %v, want 2 (path summary cardinality)", top.EstStarts)
+	}
+	if !strings.Contains(top.Detail, "path=/bib/book") {
+		t.Errorf("detail = %q", top.Detail)
+	}
+}
+
+func TestPlanRendering(t *testing.T) {
+	res := mapResolver{"bib": 1, "book": 2}
+	syn := synth(res, 9, 100, 0, 4,
+		map[string]uint64{"bib": 1, "book": 4},
+		map[string]uint64{"bib": 1, "bib/book": 4}, nil)
+	p := Build(anchored(t, "/bib/book"), syn, res, Shape{TreePages: 4, IndexHeight: 1, LeafFanout: 64})
+	out := p.String()
+	for _, want := range []string{
+		"plan /bib/book (stats epoch 9, anchored)",
+		"partition 0:",
+		"est total: pages=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -15,6 +15,7 @@
 //
 //	GET    /query?q=EXPR[&strategy=S][&limit=N][&timeout=D][&stats=1]
 //	GET    /explain?q=EXPR[&analyze=1]
+//	GET    /plan?q=EXPR
 //	GET    /value/{id}
 //	POST   /insert?parent=ID   (XML fragment in the body)
 //	DELETE /node/{id}
@@ -129,6 +130,7 @@ func New(store *nok.Store, cfg Config) *Server {
 	}
 	s.mux.HandleFunc("GET /query", s.handleQuery)
 	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	s.mux.HandleFunc("GET /plan", s.handlePlan)
 	s.mux.HandleFunc("GET /value/{id}", s.handleValue)
 	s.mux.HandleFunc("POST /insert", s.handleInsert)
 	s.mux.HandleFunc("DELETE /node/{id}", s.handleDelete)
@@ -408,6 +410,32 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, plan)
+}
+
+// handlePlan prints the cost-based planner's plan for a query without
+// executing it — EXPLAIN to /explain?analyze=1's EXPLAIN ANALYZE. When the
+// store has no fresh statistics synopsis, the response says so and names the
+// heuristic fallback instead of failing. Planning reads only the in-memory
+// synopsis, so it doesn't pay for a worker slot.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if !s.beginRequest() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.wg.Done()
+
+	expr := r.FormValue("q")
+	if expr == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	text, err := s.store.Plan(expr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, text)
 }
 
 func (s *Server) handleValue(w http.ResponseWriter, r *http.Request) {

@@ -146,6 +146,24 @@ func TestEndpoints(t *testing.T) {
 		t.Errorf("explain analyze: status %d, %q", resp.StatusCode, plan)
 	}
 
+	// /plan prints the cost-based plan without executing.
+	resp, err = http.Get(ts.URL + "/plan?q=%2F%2Fbook%5Bprice%5D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(plan), "plan //book[price]") ||
+		!strings.Contains(string(plan), "est total") {
+		t.Errorf("plan: status %d, %q", resp.StatusCode, plan)
+	}
+	if code := getJSON(t, ts.URL+"/plan?q=%2Fbib%5B", nil); code != 400 {
+		t.Errorf("plan with bad query: status %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/plan", nil); code != 400 {
+		t.Errorf("plan without q: status %d, want 400", code)
+	}
+
 	if code := getJSON(t, ts.URL+"/healthz", nil); code != 200 {
 		t.Errorf("healthz: status %d", code)
 	}

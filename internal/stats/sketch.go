@@ -1,0 +1,74 @@
+package stats
+
+// Sketch is a count-min sketch over 64-bit value hashes: sketchRows rows
+// of width counters, each row indexed by an independent mix of the hash.
+// Estimates never undercount (every row's counter is incremented on Add;
+// collisions only inflate), which is the safe direction for a planner —
+// an overestimated value count makes the value index look worse, never
+// spuriously attractive.
+type Sketch struct {
+	width uint32
+	rows  [sketchRows][]uint32
+}
+
+const sketchRows = 4
+
+// defaultSketchWidth bounds per-row collisions: with 2048 counters per row
+// and four rows, a store with 100k distinct values keeps relative error in
+// the low percents for the frequent values the planner cares about.
+const defaultSketchWidth = 2048
+
+// row seeds decorrelate the four index functions.
+var sketchSeeds = [sketchRows]uint64{
+	0x9e3779b97f4a7c15, 0xc2b2ae3d27d4eb4f, 0x165667b19e3779f9, 0x27d4eb2f165667c5,
+}
+
+// NewSketch returns an empty sketch; width 0 selects the default.
+func NewSketch(width int) *Sketch {
+	if width <= 0 {
+		width = defaultSketchWidth
+	}
+	s := &Sketch{width: uint32(width)}
+	for i := range s.rows {
+		s.rows[i] = make([]uint32, width)
+	}
+	return s
+}
+
+// Width returns the per-row counter count.
+func (s *Sketch) Width() int { return int(s.width) }
+
+func (s *Sketch) idx(row int, h uint64) uint32 {
+	return uint32(splitmix64(h^sketchSeeds[row]) % uint64(s.width))
+}
+
+// Add counts one occurrence of the hashed value.
+func (s *Sketch) Add(h uint64) {
+	for i := range s.rows {
+		c := &s.rows[i][s.idx(i, h)]
+		if *c != ^uint32(0) {
+			*c++
+		}
+	}
+}
+
+// Estimate returns the count-min estimate (an upper bound) for the hashed
+// value's occurrence count.
+func (s *Sketch) Estimate(h uint64) uint64 {
+	min := ^uint32(0)
+	for i := range s.rows {
+		if c := s.rows[i][s.idx(i, h)]; c < min {
+			min = c
+		}
+	}
+	return uint64(min)
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed permutation
+// of 64-bit inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

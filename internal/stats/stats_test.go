@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"nok/internal/symtab"
+)
+
+// buildSample feeds the builder this small document:
+//
+//	<a>            level 1
+//	  <b>x</b>     level 2, value
+//	  <b>x</b>     level 2, value
+//	  <c>          level 2
+//	    <b>y</b>   level 3, value
+//	  </c>
+//	</a>
+func buildSample() *Synopsis {
+	const (
+		a = symtab.Sym(1)
+		b = symtab.Sym(2)
+		c = symtab.Sym(3)
+	)
+	bd := NewBuilder()
+	bd.Node(a, 1)
+	bd.Node(b, 2)
+	bd.Value(2, 100)
+	bd.Node(b, 2)
+	bd.Value(2, 100)
+	bd.Node(c, 2)
+	bd.Node(b, 3)
+	bd.Value(3, 200)
+	return bd.Finish(7, 3)
+}
+
+func TestBuilderCounts(t *testing.T) {
+	s := buildSample()
+	if s.Epoch != 7 || s.TreePages != 3 {
+		t.Errorf("epoch/pages = %d/%d, want 7/3", s.Epoch, s.TreePages)
+	}
+	if s.TotalNodes != 5 || s.ValueNodes != 3 || s.MaxDepth != 3 {
+		t.Errorf("totals = %d nodes, %d values, depth %d; want 5, 3, 3", s.TotalNodes, s.ValueNodes, s.MaxDepth)
+	}
+	if got := s.TagCount(2); got != 3 {
+		t.Errorf("count(b) = %d, want 3", got)
+	}
+	if got := s.TagCount(9); got != 0 {
+		t.Errorf("count(unseen) = %d, want 0", got)
+	}
+	bStat := s.Tags[2]
+	if bStat.WithValue != 3 || bStat.MaxDepth != 3 || bStat.SumDepth != 7 {
+		t.Errorf("b stat = %+v", bStat)
+	}
+	// a has 3 children, c has 1.
+	if s.Tags[1].AvgFanout() != 3 || s.Tags[3].AvgFanout() != 1 {
+		t.Errorf("fanout(a)=%v fanout(c)=%v", s.Tags[1].AvgFanout(), s.Tags[3].AvgFanout())
+	}
+
+	// Path cardinalities: /a=1, /a/b=2, /a/c=1, /a/c/b=1.
+	h := ExtendPath(PathSeed, 1)
+	if n, ok := s.PathCount(h); !ok || n != 1 {
+		t.Errorf("count(/a) = %d,%v", n, ok)
+	}
+	if n, ok := s.PathCount(ExtendPath(h, 2)); !ok || n != 2 {
+		t.Errorf("count(/a/b) = %d,%v", n, ok)
+	}
+	if n, ok := s.PathCount(ExtendPath(ExtendPath(h, 3), 2)); !ok || n != 1 {
+		t.Errorf("count(/a/c/b) = %d,%v", n, ok)
+	}
+	// Untruncated summary: an absent path definitely has zero nodes.
+	if n, ok := s.PathCount(12345); !ok || n != 0 {
+		t.Errorf("count(absent) = %d,%v, want 0,true", n, ok)
+	}
+
+	// Value sketch: "x" appears twice, "y" once; count-min never undercounts.
+	if est := s.ValueEstimate(100); est < 2 {
+		t.Errorf("estimate(x) = %d, want >= 2", est)
+	}
+	if est := s.ValueEstimate(200); est < 1 {
+		t.Errorf("estimate(y) = %d, want >= 1", est)
+	}
+
+	ranks := s.TopTags(2)
+	if len(ranks) != 2 || ranks[0].Sym != 2 || ranks[0].Count != 3 {
+		t.Errorf("top tags = %+v", ranks)
+	}
+}
+
+func TestBuilderMalformedLevels(t *testing.T) {
+	b := NewBuilder()
+	b.Node(1, 1)
+	b.Node(2, 5) // skips levels: dropped
+	b.Value(9, 1)
+	b.Value(0, 1)
+	s := b.Finish(1, 1)
+	if s.TotalNodes != 1 || s.ValueNodes != 0 {
+		t.Errorf("malformed stream leaked into synopsis: %+v", s)
+	}
+}
+
+func TestPathTruncation(t *testing.T) {
+	b := NewBuilder()
+	b.maxPaths = 4
+	b.Node(1, 1)
+	for sym := symtab.Sym(2); sym < 10; sym++ {
+		b.Node(sym, 2)
+	}
+	s := b.Finish(1, 1)
+	if !s.PathsTruncated || len(s.Paths) != 4 {
+		t.Fatalf("truncated=%v paths=%d, want true, 4", s.PathsTruncated, len(s.Paths))
+	}
+	// A recorded path still answers definitively; an unknown one reports
+	// "don't know" instead of zero.
+	if _, ok := s.PathCount(ExtendPath(PathSeed, 1)); !ok {
+		t.Error("recorded path reported unknown")
+	}
+	unknown := ExtendPath(ExtendPath(PathSeed, 1), 9)
+	if _, ok := s.PathCount(unknown); ok {
+		t.Error("truncated-away path reported definite")
+	}
+}
+
+func TestSketchNeverUndercounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(20040301))
+	sk := NewSketch(64) // deliberately tiny to force collisions
+	truth := make(map[uint64]uint64)
+	for i := 0; i < 5000; i++ {
+		h := uint64(rng.Intn(300))*0x9e3779b97f4a7c15 + 1
+		truth[h]++
+		sk.Add(h)
+	}
+	for h, n := range truth {
+		if est := sk.Estimate(h); est < n {
+			t.Fatalf("estimate(%#x) = %d < true count %d", h, est, n)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	s := buildSample()
+	got, err := Decode(Encode(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != s.Epoch || got.TotalNodes != s.TotalNodes || got.TreePages != s.TreePages ||
+		got.MaxDepth != s.MaxDepth || got.ValueNodes != s.ValueNodes || got.PathsTruncated != s.PathsTruncated {
+		t.Errorf("header mismatch: %+v vs %+v", got, s)
+	}
+	if len(got.Tags) != len(s.Tags) || len(got.Paths) != len(s.Paths) {
+		t.Fatalf("sizes: %d tags %d paths, want %d/%d", len(got.Tags), len(got.Paths), len(s.Tags), len(s.Paths))
+	}
+	for sym, want := range s.Tags {
+		if g := got.Tags[sym]; g == nil || *g != *want {
+			t.Errorf("tag %d: %+v want %+v", sym, g, want)
+		}
+	}
+	for h, want := range s.Paths {
+		g := got.Paths[h]
+		if g == nil || g.Count != want.Count || len(g.Syms) != len(want.Syms) {
+			t.Errorf("path %#x: %+v want %+v", h, g, want)
+		}
+	}
+	for _, h := range []uint64{100, 200, 999} {
+		if got.ValueEstimate(h) != s.ValueEstimate(h) {
+			t.Errorf("sketch estimate(%d) changed across roundtrip", h)
+		}
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	enc := Encode(buildSample())
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("NOPE!!"), enc[6:]...),
+		"short":       enc[:len(enc)-5],
+		"trailing":    append(append([]byte{}, enc...), 0),
+		"flipped bit": flipBit(enc, len(enc)/2),
+		"flipped crc": flipBit(enc, len(codecMagic)+1),
+	}
+	for name, raw := range cases {
+		if _, err := Decode(raw); err == nil {
+			t.Errorf("%s: Decode accepted corrupt input", name)
+		}
+	}
+}
+
+func flipBit(b []byte, i int) []byte {
+	out := append([]byte{}, b...)
+	out[i] ^= 0x40
+	return out
+}

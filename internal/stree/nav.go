@@ -270,6 +270,12 @@ type ScanFunc func(pos Pos, sym symtab.Sym, level int, id dewey.ID) bool
 // starting-point strategy of §3 and the index build path), deriving Dewey
 // IDs on the fly, which is exactly why the paper stores no per-node IDs.
 func (s *Store) Scan(fn ScanFunc) error {
+	return s.ScanCounted(fn, nil)
+}
+
+// ScanCounted is Scan with an optional per-caller page counter; every
+// non-empty page visited is charged as examined.
+func (s *Store) ScanCounted(fn ScanFunc, nc *NavCounters) error {
 	if len(s.headers) == 0 {
 		return nil
 	}
@@ -285,6 +291,7 @@ func (s *Store) Scan(fn ScanFunc) error {
 		if h.used == 0 {
 			continue
 		}
+		nc.add(1, 0)
 		pg, err := s.pf.Get(h.page)
 		if err != nil {
 			return err

@@ -165,6 +165,11 @@ func (nc *NavCounters) add(examined, skipped uint64) {
 	}
 }
 
+// AddExamined records n examined pages; nil-safe. Callers outside the
+// package use it to attribute non-navigation page reads (index probes,
+// point lookups) to the same per-query counter.
+func (nc *NavCounters) AddExamined(n uint64) { nc.add(n, 0) }
+
 // NavStats returns the accumulated navigation counters.
 func (s *Store) NavStats() NavStats {
 	return NavStats{

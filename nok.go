@@ -90,22 +90,36 @@ const (
 	// paper's §8 extension); outside concrete '/'-rooted chains it
 	// degrades to StrategyAuto.
 	StrategyPathIndex = core.StrategyPathIndex
+	// StrategySkipped is never requested: QueryStats.StrategyUsed records
+	// it for partitions whose matching was short-circuited because a
+	// linked child partition was empty.
+	StrategySkipped = core.StrategySkipped
 )
 
 // QueryOptions tune one query evaluation.
 type QueryOptions struct {
-	// Strategy forces a starting-point strategy (default StrategyAuto).
+	// Strategy forces a starting-point strategy (default StrategyAuto,
+	// which consults the cost-based planner when the store has a fresh
+	// statistics synopsis and otherwise applies the paper's §6.2
+	// heuristic).
 	Strategy Strategy
 	// DisablePageSkip turns off the (st,lo,hi) header-driven page skipping
 	// during navigation — an ablation switch for measuring its benefit.
 	DisablePageSkip bool
+	// DisablePlanner keeps StrategyAuto on the paper's heuristic even when
+	// planner statistics exist — an ablation switch and an escape hatch.
+	DisablePlanner bool
 }
 
 func (o *QueryOptions) toCore() *core.QueryOptions {
 	if o == nil {
 		return nil
 	}
-	return &core.QueryOptions{Strategy: o.Strategy, DisablePageSkip: o.DisablePageSkip}
+	return &core.QueryOptions{
+		Strategy:        o.Strategy,
+		DisablePageSkip: o.DisablePageSkip,
+		DisablePlanner:  o.DisablePlanner,
+	}
 }
 
 // Result is one query match.
@@ -278,6 +292,39 @@ func (s *Store) QueryAnalyze(expr string, opts *QueryOptions) ([]Result, *QueryS
 func ExplainAnalyze(st *Store, expr string) (string, error) {
 	_, _, plan, err := st.QueryAnalyze(expr, nil)
 	return plan, err
+}
+
+// Plan renders the cost-based plan for a query without executing it (the
+// EXPLAIN to QueryAnalyze's EXPLAIN ANALYZE): per-partition access paths
+// with estimated starting points, matches and pages, and the bottom-up
+// evaluation order. When the planner cannot run — the store predates the
+// statistics synopsis, or the synopsis is stale — the rendering says so
+// and names the fallback.
+func (s *Store) Plan(expr string) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.PlanText(expr)
+}
+
+// SynopsisInfo summarizes the store's statistics synopsis (the planner's
+// input): totals, staleness, and the top-n tags and root-to-node paths by
+// cardinality. See internal/core for field semantics.
+type SynopsisInfo = core.SynopsisInfo
+
+// Synopsis reports the statistics synopsis with the top-n tags and paths.
+func (s *Store) Synopsis(n int) SynopsisInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.SynopsisInfo(n)
+}
+
+// RefreshStats rebuilds the statistics synopsis from the committed store
+// and commits it at the current epoch — the upgrade path for stores
+// created before the synopsis existed (updates refresh it automatically).
+func (s *Store) RefreshStats() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.RefreshSynopsis()
 }
 
 // MetricsText renders the process-wide metrics registry (pager I/O, B+-tree
