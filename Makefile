@@ -1,16 +1,27 @@
 GO ?= go
 
-.PHONY: check build vet test race fmt bench
+.PHONY: check build vet staticcheck test race fmt bench
 
-# check is the full gate: formatting, vet, build, and the race-enabled
-# test suite. CI and pre-commit both run `make check`.
-check: fmt vet build race
+# check is the full gate: formatting, vet, staticcheck (when installed),
+# build, and the race-enabled test suite. CI and pre-commit both run
+# `make check`.
+check: fmt vet staticcheck build race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the binary is on PATH (CI installs it; locally:
+# go install honnef.co/go/tools/cmd/staticcheck@latest) and is skipped
+# with a notice otherwise, so `make check` works on a bare toolchain.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...

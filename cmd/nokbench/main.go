@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"nok/internal/bench"
+	"nok/internal/buildinfo"
 	"nok/internal/workload"
 )
 
@@ -38,7 +39,12 @@ func main() {
 	workdir := flag.String("workdir", "bench-work", "cache directory for datasets and stores")
 	datasets := flag.String("datasets", "", "comma-separated dataset filter")
 	inserts := flag.Int("inserts", 20, "insertions for the update experiment")
+	version := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 
 	cfg := bench.Config{
 		WorkDir: *workdir,
@@ -135,6 +141,17 @@ func main() {
 				log.Fatal(err)
 			}
 			bench.WritePlanner(out, rows)
+		case "telemetry":
+			fmt.Fprintln(out, "== Telemetry capture overhead (warm cache) ==")
+			res, err := bench.Telemetry(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.WriteTelemetry(out, res)
+			if res.AggOverheadPct > bench.TelemetryBudgetPct {
+				log.Fatalf("telemetry overhead %.2f%% exceeds the %.0f%% budget",
+					res.AggOverheadPct, bench.TelemetryBudgetPct)
+			}
 		default:
 			log.Fatalf("unknown table %q", name)
 		}
@@ -142,7 +159,7 @@ func main() {
 	}
 
 	if *table == "all" {
-		for _, t := range []string{"1", "2", "3", "summary", "ratios", "io", "heuristic", "update", "stream", "skip", "planner"} {
+		for _, t := range []string{"1", "2", "3", "summary", "ratios", "io", "heuristic", "update", "stream", "skip", "planner", "telemetry"} {
 			run(t)
 		}
 		return

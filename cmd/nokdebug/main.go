@@ -1,0 +1,172 @@
+// Command nokdebug captures a support bundle from a running nokserve: one
+// tar.gz holding everything needed to diagnose a slow or misbehaving server
+// after the fact — metrics (with exemplars), the flight recorder's recent
+// and slowest queries, store stats, health, and goroutine/heap/cpu
+// profiles.
+//
+// Usage:
+//
+//	nokdebug -addr http://localhost:8080 [-out nok-debug.tar.gz] [-cpu 5s]
+//
+// Profiles require the server to run with nokserve -debug (which mounts
+// net/http/pprof); without it the bundle still contains the metrics and
+// query records, and MANIFEST.txt notes what was skipped. -cpu 0 skips the
+// CPU profile (it blocks for the profiling window).
+package main
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"nok/internal/buildinfo"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// capture is one bundle entry: a name inside the archive and the URL path
+// it is fetched from.
+type capture struct {
+	name     string
+	path     string
+	optional bool // pprof endpoints: absent unless nokserve -debug
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nokdebug", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the running nokserve")
+	out := fs.String("out", "", "output path (default nok-debug-<timestamp>.tar.gz)")
+	n := fs.Int("n", 64, "how many recent/slowest query records to request")
+	cpu := fs.Duration("cpu", 0, "CPU profile duration; 0 skips the CPU profile")
+	version := fs.Bool("version", false, "print the build identity and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String())
+		return 0
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return 2
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("nok-debug-%s.tar.gz", time.Now().Format("20060102-150405"))
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "nokdebug: %v\n", err)
+		return 1
+	}
+	if err := writeBundle(f, *addr, *n, *cpu, stdout); err != nil {
+		f.Close()
+		os.Remove(path)
+		fmt.Fprintf(stderr, "nokdebug: %v\n", err)
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(stderr, "nokdebug: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "nokdebug: wrote %s\n", path)
+	return 0
+}
+
+// writeBundle fetches every capture from the server at base and writes the
+// tar.gz to w. Required captures (metrics, queries, stats, health) must
+// succeed; optional ones (pprof) are noted in MANIFEST.txt when missing.
+func writeBundle(w io.Writer, base string, n int, cpu time.Duration, stdout io.Writer) error {
+	base = strings.TrimRight(base, "/")
+	captures := []capture{
+		{name: "metrics.txt", path: "/metrics"},
+		{name: "metrics-openmetrics.txt", path: "/metrics?exemplars=1"},
+		{name: "queries.json", path: fmt.Sprintf("/debug/queries?n=%d", n)},
+		{name: "stats.json", path: "/stats"},
+		{name: "healthz.json", path: "/healthz"},
+		{name: "pprof/goroutine.txt", path: "/debug/pprof/goroutine?debug=1", optional: true},
+		{name: "pprof/heap.pb.gz", path: "/debug/pprof/heap", optional: true},
+	}
+	if cpu > 0 {
+		captures = append(captures, capture{
+			name:     "pprof/cpu.pb.gz",
+			path:     fmt.Sprintf("/debug/pprof/profile?seconds=%d", int(cpu.Seconds())),
+			optional: true,
+		})
+	}
+
+	gz := gzip.NewWriter(w)
+	tw := tar.NewWriter(gz)
+	now := time.Now()
+
+	var manifest strings.Builder
+	fmt.Fprintf(&manifest, "nok support bundle\ncaptured: %s\nserver: %s\nnokdebug: %s\n\n", now.Format(time.RFC3339), base, buildinfo.String())
+
+	client := &http.Client{Timeout: cpu + 30*time.Second}
+	for _, c := range captures {
+		if c.name == "pprof/cpu.pb.gz" {
+			fmt.Fprintf(stdout, "nokdebug: capturing %v CPU profile...\n", cpu)
+		}
+		body, err := fetch(client, base+c.path)
+		if err != nil {
+			if c.optional {
+				fmt.Fprintf(&manifest, "SKIPPED %s (%s): %v\n", c.name, c.path, err)
+				continue
+			}
+			return fmt.Errorf("%s: %w", c.path, err)
+		}
+		if err := addFile(tw, c.name, body, now); err != nil {
+			return err
+		}
+		fmt.Fprintf(&manifest, "%-28s %7d bytes  from %s\n", c.name, len(body), c.path)
+	}
+	if err := addFile(tw, "MANIFEST.txt", []byte(manifest.String()), now); err != nil {
+		return err
+	}
+	if err := tw.Close(); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+func fetch(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	// Health endpoints legitimately answer 503 when degraded — capturing
+	// that state is the point of the bundle — but a 404 means the endpoint
+	// isn't there (pprof without -debug).
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("HTTP 404 (is nokserve running with -debug?)")
+	}
+	return body, nil
+}
+
+func addFile(tw *tar.Writer, name string, body []byte, mod time.Time) error {
+	if err := tw.WriteHeader(&tar.Header{
+		Name:    name,
+		Mode:    0o644,
+		Size:    int64(len(body)),
+		ModTime: mod,
+	}); err != nil {
+		return err
+	}
+	_, err := tw.Write(body)
+	return err
+}

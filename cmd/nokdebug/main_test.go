@@ -1,0 +1,174 @@
+package main
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nok"
+	"nok/internal/samples"
+	"nok/internal/server"
+)
+
+// startServer runs a real query service (pprof enabled) over the sample
+// bibliography and sends it a little traffic so the flight recorder has
+// records.
+func startServer(t *testing.T, pprof bool) *httptest.Server {
+	t.Helper()
+	st, err := nok.Create(filepath.Join(t.TempDir(), "db"), strings.NewReader(samples.Bibliography), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(st, server.Config{EnablePprof: pprof})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	for _, q := range []string{"%2Fbib%2Fbook", "%2F%2Fbook%5Beditor%5D"} {
+		resp, err := ts.Client().Get(ts.URL + "/query?q=" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	return ts
+}
+
+// extract reads a tar.gz into a name → content map.
+func extract(t *testing.T, path string) map[string][]byte {
+	t.Helper()
+	f, err := gzipReaderFromFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.close()
+	out := make(map[string][]byte)
+	tr := tar.NewReader(f.gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[hdr.Name] = body
+	}
+	return out
+}
+
+// TestBundle is the acceptance check: the bundle extracts cleanly and
+// contains the metrics snapshot, query records, and a goroutine profile.
+func TestBundle(t *testing.T) {
+	ts := startServer(t, true)
+	out := filepath.Join(t.TempDir(), "bundle.tar.gz")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-addr", ts.URL, "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("nokdebug exited %d: %s", code, stderr.String())
+	}
+
+	files := extract(t, out)
+	for _, want := range []string{
+		"MANIFEST.txt", "metrics.txt", "metrics-openmetrics.txt",
+		"queries.json", "stats.json", "healthz.json",
+		"pprof/goroutine.txt", "pprof/heap.pb.gz",
+	} {
+		if len(files[want]) == 0 {
+			t.Errorf("bundle missing or empty: %s (have %v)", want, names(files))
+		}
+	}
+
+	if !bytes.Contains(files["metrics.txt"], []byte("nok_query_seconds")) {
+		t.Error("metrics.txt missing query latency histogram")
+	}
+	if !bytes.Contains(files["metrics.txt"], []byte("nok_build_info")) {
+		t.Error("metrics.txt missing build info metric")
+	}
+
+	var dbg struct {
+		Recent []map[string]any `json:"recent"`
+	}
+	if err := json.Unmarshal(files["queries.json"], &dbg); err != nil {
+		t.Fatalf("queries.json: %v", err)
+	}
+	if len(dbg.Recent) < 2 {
+		t.Errorf("queries.json has %d recent records, want >= 2", len(dbg.Recent))
+	}
+
+	if !bytes.Contains(files["pprof/goroutine.txt"], []byte("goroutine")) {
+		t.Error("goroutine profile looks wrong")
+	}
+	if !bytes.Contains(files["MANIFEST.txt"], []byte("queries.json")) {
+		t.Errorf("MANIFEST.txt doesn't list captures:\n%s", files["MANIFEST.txt"])
+	}
+}
+
+// TestBundleWithoutPprof checks a server without -debug still yields a
+// bundle, with the profile skips recorded in the manifest.
+func TestBundleWithoutPprof(t *testing.T) {
+	ts := startServer(t, false)
+	out := filepath.Join(t.TempDir(), "bundle.tar.gz")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-addr", ts.URL, "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("nokdebug exited %d: %s", code, stderr.String())
+	}
+	files := extract(t, out)
+	if len(files["metrics.txt"]) == 0 || len(files["queries.json"]) == 0 {
+		t.Fatalf("bundle missing required captures: %v", names(files))
+	}
+	if _, ok := files["pprof/goroutine.txt"]; ok {
+		t.Error("goroutine profile captured without -debug?")
+	}
+	if !bytes.Contains(files["MANIFEST.txt"], []byte("SKIPPED pprof/goroutine.txt")) {
+		t.Errorf("MANIFEST.txt doesn't record the skip:\n%s", files["MANIFEST.txt"])
+	}
+}
+
+func names(files map[string][]byte) []string {
+	out := make([]string, 0, len(files))
+	for k := range files {
+		out = append(out, k)
+	}
+	return out
+}
+
+type gzFile struct {
+	f  io.Closer
+	gz *gzip.Reader
+}
+
+func (g *gzFile) close() {
+	g.gz.Close()
+	g.f.Close()
+}
+
+func gzipReaderFromFile(path string) (*gzFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &gzFile{f: f, gz: gz}, nil
+}

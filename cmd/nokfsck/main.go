@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"nok"
+	"nok/internal/buildinfo"
 )
 
 func main() {
@@ -40,8 +41,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	quick := fs.Bool("quick", false, "manifest and count checks only (skip the full data scan)")
 	verbose := fs.Bool("v", false, "print per-component progress counts")
+	version := fs.Bool("version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String())
+		return 0
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()

@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"nok/internal/buildinfo"
 	"nok/internal/datagen"
 )
 
@@ -25,8 +26,13 @@ func main() {
 	scale := flag.Int("scale", 1, "size multiplier")
 	seed := flag.Int64("seed", 20040301, "generator seed")
 	list := flag.Bool("list", false, "list datasets")
+	version := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 	if *list {
 		for _, s := range datagen.Specs() {
 			fmt.Printf("%-10s %-6s ~%d nodes at scale 1\n", s.Name, s.Shape, s.ApproxNodes(1))

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"nok"
+	"nok/internal/buildinfo"
 )
 
 func main() {
@@ -22,7 +23,12 @@ func main() {
 	xml := flag.String("xml", "", "XML document to load (required)")
 	pageSize := flag.Int("pagesize", 0, "page size in bytes (default 4096)")
 	reserve := flag.Int("reserve", 0, "per-page update reserve percentage (default 20)")
+	version := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 	if *db == "" || *xml == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"nok"
+	"nok/internal/buildinfo"
 )
 
 func main() {
@@ -50,8 +51,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	analyze := fs.Bool("analyze", false, "print the executed plan with per-phase timings (EXPLAIN ANALYZE)")
 	planOnly := fs.Bool("plan", false, "print the cost-based plan without executing the query")
 	noPlanner := fs.Bool("no-planner", false, "keep auto strategy on the paper's §6.2 heuristic even when planner statistics exist")
+	version := fs.Bool("version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String())
+		return 0
 	}
 	if (*db == "") == (*xml == "") || fs.NArg() != 1 {
 		fs.Usage()

@@ -28,7 +28,9 @@ import (
 	"time"
 
 	"nok"
+	"nok/internal/buildinfo"
 	"nok/internal/server"
+	"nok/internal/telemetry"
 )
 
 func main() {
@@ -45,8 +47,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cache := fs.Int("cache", 0, "result-cache entries, -1 disables (default 1024)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-query deadline ceiling")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	debug := fs.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+	slowLog := fs.String("slow-log", "", "slow-query log destination: a file path, or \"stderr\"")
+	slowThreshold := fs.Duration("slow-threshold", 250*time.Millisecond, "queries at least this slow go to the slow-query log")
+	slowInterval := fs.Duration("slow-interval", time.Second, "minimum spacing between slow-query log lines")
+	version := fs.Bool("version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String())
+		return 0
 	}
 	if *db == "" || fs.NArg() != 0 {
 		fs.Usage()
@@ -62,11 +73,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "nokserve: recovered store at open: journal_replayed=%v journal_discarded=%v truncated=%d orphans_removed=%d\n",
 			rec.JournalReplayed, rec.JournalDiscarded, len(rec.TruncatedFiles), len(rec.OrphansRemoved))
 	}
+	if *slowLog != "" {
+		var w io.Writer
+		if *slowLog == "stderr" {
+			w = stderr
+		} else {
+			f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintf(stderr, "nokserve: slow log: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		telemetry.Default.SetSlowLog(w, *slowThreshold, *slowInterval)
+	}
 	srv := server.New(st, server.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
 		QueryTimeout: *timeout,
+		EnablePprof:  *debug,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"nok"
+	"nok/internal/buildinfo"
 )
 
 func main() {
@@ -44,8 +45,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	explain := fs.String("explain", "", "explain a query instead of opening a store")
 	synStats := fs.Bool("stats", false, "dump the planner's statistics synopsis")
 	metrics := fs.Bool("metrics", false, "dump the metrics registry in Prometheus text format")
+	version := fs.Bool("version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String())
+		return 0
 	}
 	if fs.NArg() != 0 {
 		fs.Usage()
@@ -74,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer st.Close()
 	s := st.Stats()
+	fmt.Fprintf(stdout, "version:      %s\n", buildinfo.String())
 	fmt.Fprintf(stdout, "epoch:        %d\n", st.Epoch())
 	if rec := st.Recovery(); rec.Recovered() {
 		fmt.Fprintf(stdout, "recovery:     journal_replayed=%v journal_discarded=%v truncated=%d orphans_removed=%d\n",

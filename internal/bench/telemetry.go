@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"nok/internal/core"
+	"nok/internal/telemetry"
+)
+
+// ---- telemetry capture overhead ----------------------------------------------
+
+// TelemetryRow reports the cost of telemetry capture for one query of the
+// workload suite: per-query time with the pipeline enabled vs disabled
+// (min-of-batches estimate), and the relative overhead.
+type TelemetryRow struct {
+	Query       string
+	Iters       int     // queries per timed batch (calibrated per query)
+	UsOn        float64 // per-query microseconds, telemetry enabled
+	UsOff       float64 // per-query microseconds, telemetry disabled
+	OverheadPct float64 // (on-off)/off * 100
+}
+
+// TelemetryResult is the full overhead experiment: per-query rows plus the
+// suite aggregate — the time to run every workload query once — which is
+// the number the acceptance budget is checked against. Capture cost is a
+// fixed few hundred nanoseconds per query, so its relative cost on a mixed
+// warm-cache workload is what the budget promises; the cheapest rows
+// (point lookups a few microseconds long) deliberately overstate it and
+// are reported for visibility.
+type TelemetryResult struct {
+	Rows           []TelemetryRow
+	Rounds         int
+	AggUsOn        float64 // Σ per-query µs: one pass over the suite, enabled
+	AggUsOff       float64 // same pass, disabled
+	AggOverheadPct float64
+}
+
+// TelemetryBudgetPct is the acceptance budget: telemetry capture may cost
+// at most this fraction of a mixed warm-cache workload's query time.
+const TelemetryBudgetPct = 3.0
+
+// telemetryDoc builds the measurement document: enough books that index
+// lookups and selective scans do real work, small enough that every page
+// stays in the buffer pool — the warm-cache regime where fixed per-query
+// overhead is most visible.
+func telemetryDoc(items int) string {
+	var sb strings.Builder
+	sb.WriteString("<lib>")
+	for i := 0; i < items; i++ {
+		fmt.Fprintf(&sb, "<book><title>t%d</title><price>%d</price></book>", i, i%97)
+	}
+	sb.WriteString("<special><book><title>gold</title></book></special></lib>")
+	return sb.String()
+}
+
+// telemetryQueries is the warm-cache workload suite, mixing the query
+// shapes a live server sees: value-index point lookups, rooted path walks,
+// a tag lookup, and a selective value scan returning ~2% of the books.
+// Capture cost is fixed per query, so the cheapest queries carry the
+// strongest per-row signal while the scan anchors the suite at a
+// representative weight.
+var telemetryQueries = []string{
+	`//book[title="gold"]`,
+	`/lib/special/book`,
+	`//special`,
+	`/lib/book[price="50"]`,
+	`//book[price<3]`,
+}
+
+// Telemetry measures the end-to-end cost of the telemetry pipeline: the
+// same warm-cache workload timed with capture enabled and disabled.
+//
+// Timing noise on a shared machine (scheduler preemption, GC, frequency
+// drift) is additive and intermittent, and a single event dwarfs the
+// sub-microsecond capture cost being measured. So instead of a few large
+// batches, each side runs many short batches (calibrated to ~1-2ms)
+// interleaved on/off with alternating order, and the estimator is the
+// minimum batch time per side: a short batch has a real chance of landing
+// in a quiet scheduling window, and the two minima then compare clean runs
+// against clean runs.
+func Telemetry(cfg Config) (*TelemetryResult, error) {
+	cfg = cfg.WithDefaults()
+	const (
+		rounds      = 120                     // interleaved on/off batch pairs per query
+		targetBatch = 1500 * time.Microsecond // calibrated batch length
+	)
+
+	tmp, err := os.MkdirTemp("", "nok-telemetry")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	xmlPath := tmp + "/doc.xml"
+	if err := os.WriteFile(xmlPath, []byte(telemetryDoc(2000*cfg.Scale)), 0o644); err != nil {
+		return nil, err
+	}
+	db, err := core.LoadXMLFile(tmp+"/db", xmlPath, &core.Options{PageSize: cfg.PageSize})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	// The pipeline must end this function in whatever state it started.
+	wasEnabled := telemetry.Default.Enabled()
+	defer telemetry.Default.SetEnabled(wasEnabled)
+
+	batch := func(expr string, iters int) (time.Duration, error) {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, _, err := db.Query(expr, nil); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(t0), nil
+	}
+
+	// Warm up (pages into the pool, plan cache populated, both code paths
+	// exercised) and calibrate each query's batch size to ~targetBatch.
+	iters := make([]int, len(telemetryQueries))
+	for qi, q := range telemetryQueries {
+		telemetry.Default.SetEnabled(true)
+		if _, err := batch(q, 50); err != nil {
+			return nil, err
+		}
+		telemetry.Default.SetEnabled(false)
+		d, err := batch(q, 50)
+		if err != nil {
+			return nil, err
+		}
+		perQuery := d / 50
+		if perQuery <= 0 {
+			perQuery = time.Microsecond
+		}
+		iters[qi] = int(targetBatch / perQuery)
+		if iters[qi] < 4 {
+			iters[qi] = 4
+		}
+		if iters[qi] > 400 {
+			iters[qi] = 400
+		}
+	}
+
+	res := &TelemetryResult{Rounds: rounds}
+	minOn := make([]time.Duration, len(telemetryQueries))
+	minOff := make([]time.Duration, len(telemetryQueries))
+	for qi := range telemetryQueries {
+		for r := 0; r < rounds; r++ {
+			// Alternate which side runs first so one-sided drift (GC debt,
+			// frequency scaling) can't bias the comparison.
+			order := []bool{true, false}
+			if r%2 == 1 {
+				order[0], order[1] = false, true
+			}
+			var dOn, dOff time.Duration
+			for _, on := range order {
+				telemetry.Default.SetEnabled(on)
+				d, err := batch(telemetryQueries[qi], iters[qi])
+				if err != nil {
+					return nil, err
+				}
+				if on {
+					dOn = d
+				} else {
+					dOff = d
+				}
+			}
+			if r == 0 || dOn < minOn[qi] {
+				minOn[qi] = dOn
+			}
+			if r == 0 || dOff < minOff[qi] {
+				minOff[qi] = dOff
+			}
+		}
+	}
+
+	for qi, q := range telemetryQueries {
+		row := TelemetryRow{
+			Query: q,
+			Iters: iters[qi],
+			UsOn:  minOn[qi].Seconds() * 1e6 / float64(iters[qi]),
+			UsOff: minOff[qi].Seconds() * 1e6 / float64(iters[qi]),
+		}
+		if row.UsOff > 0 {
+			row.OverheadPct = (row.UsOn - row.UsOff) / row.UsOff * 100
+		}
+		res.Rows = append(res.Rows, row)
+		res.AggUsOn += row.UsOn
+		res.AggUsOff += row.UsOff
+	}
+	if res.AggUsOff > 0 {
+		res.AggOverheadPct = (res.AggUsOn - res.AggUsOff) / res.AggUsOff * 100
+	}
+	return res, nil
+}
+
+// WriteTelemetry renders the overhead experiment; the aggregate line — one
+// pass over the whole suite — is the one the ≤3% budget applies to.
+func WriteTelemetry(w io.Writer, res *TelemetryResult) {
+	fmt.Fprintf(w, "%-28s %6s %12s %12s %9s\n", "query", "batch", "on(µs/q)", "off(µs/q)", "overhead")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-28s %6d %12.2f %12.2f %8.2f%%\n", r.Query, r.Iters, r.UsOn, r.UsOff, r.OverheadPct)
+	}
+	verdict := "PASS"
+	if res.AggOverheadPct > TelemetryBudgetPct {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "%-28s %6s %12.2f %12.2f %8.2f%%  (budget %.0f%%, min of %d rounds) %s\n",
+		"suite (one pass)", "", res.AggUsOn, res.AggUsOff, res.AggOverheadPct, TelemetryBudgetPct, res.Rounds, verdict)
+}

@@ -1,0 +1,70 @@
+// Package buildinfo identifies the running binary: version (stamped at
+// link time), VCS commit (from the embedded build info), and Go toolchain.
+// Every nok command's -version flag, nokstat, /healthz, and the
+// nok_build_info metric all read from here, so a support bundle or a
+// metrics scrape always says exactly what was running.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"nok/internal/obs"
+)
+
+// Version is the human-facing release string, stamped at build time:
+//
+//	go build -ldflags "-X nok/internal/buildinfo.Version=v1.2.3" ./...
+//
+// Unstamped builds report "dev".
+var Version = "dev"
+
+var commitOnce = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	commit, dirty := "unknown", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			commit = s.Value
+			if len(commit) > 12 {
+				commit = commit[:12]
+			}
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty {
+		commit += "+dirty"
+	}
+	return commit
+})
+
+// Commit returns the short VCS revision the binary was built from, with a
+// "+dirty" suffix for modified trees; "unknown" when the build carried no
+// VCS stamp (e.g. go test binaries).
+func Commit() string { return commitOnce() }
+
+// GoVersion returns the Go toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }
+
+// String renders the one-line identity used by every command's -version
+// flag: "nok dev (abc123def456, go1.24.0)".
+func String() string {
+	return fmt.Sprintf("nok %s (%s, %s)", Version, Commit(), GoVersion())
+}
+
+// init publishes the identity as the nok_build_info info metric — the
+// Prometheus idiom of a constant-1 gauge whose labels carry the facts — so
+// every scrape records what was running.
+func init() {
+	obs.Default.Info("nok_build_info", "build metadata of the running binary", map[string]string{
+		"version":   Version,
+		"commit":    Commit(),
+		"goversion": GoVersion(),
+	})
+}

@@ -1,0 +1,34 @@
+package buildinfo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nok/internal/obs"
+)
+
+func TestString(t *testing.T) {
+	s := String()
+	if !strings.HasPrefix(s, "nok ") || !strings.Contains(s, GoVersion()) {
+		t.Errorf("identity line = %q", s)
+	}
+}
+
+// TestBuildInfoMetricRegistered checks init published nok_build_info in the
+// default registry with the identity labels.
+func TestBuildInfoMetricRegistered(t *testing.T) {
+	var buf bytes.Buffer
+	if err := obs.Default.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE nok_build_info gauge") {
+		t.Fatal("nok_build_info not exposed")
+	}
+	for _, want := range []string{`version="` + Version + `"`, `goversion="` + GoVersion() + `"`, `commit="`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("nok_build_info missing label %s:\n%s", want, out)
+		}
+	}
+}

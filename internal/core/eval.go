@@ -11,6 +11,7 @@ import (
 	"nok/internal/pattern"
 	"nok/internal/planner"
 	"nok/internal/stree"
+	"nok/internal/telemetry"
 )
 
 // Process-wide query metrics, exposed through the default obs registry.
@@ -93,11 +94,24 @@ func ctxErr(ctx context.Context) error {
 // Query parses and evaluates a path expression, returning the matches of
 // its returning node in document order.
 func (db *DB) Query(expr string, opts *QueryOptions) ([]Match, *QueryStats, error) {
+	begin := time.Now()
 	sp := opts.trace().Start("parse")
 	t, err := pattern.Parse(expr)
 	sp.End()
 	if err != nil {
 		mQueryErrors.Inc()
+		// Parse failures get a flight-recorder record too — a client sending
+		// malformed queries is exactly the kind of thing /debug/queries
+		// should surface.
+		if telemetry.Default.Enabled() {
+			telemetry.Default.Capture(&telemetry.Record{
+				Expr:     expr,
+				Start:    begin,
+				Duration: time.Since(begin),
+				Epoch:    db.epoch,
+				Error:    err.Error(),
+			})
+		}
 		return nil, nil, err
 	}
 	return db.QueryPattern(t, opts)
@@ -108,13 +122,83 @@ func (db *DB) QueryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 	mQueries.Inc()
 	begin := time.Now()
 	ms, stats, err := db.queryPattern(t, opts)
-	mQuerySeconds.Observe(time.Since(begin).Seconds())
+	dur := time.Since(begin)
 	if err != nil {
 		mQueryErrors.Inc()
 	} else {
 		mResults.Add(int64(len(ms)))
 	}
+	if telemetry.Default.Enabled() {
+		rec := buildRecord(db, t.String(), stats, len(ms), begin, dur, opts.trace(), err)
+		telemetry.Default.Capture(rec)
+		telemetry.Default.ObserveQuery(rec)
+		if stats != nil {
+			stats.QueryID = rec.ID
+		}
+	} else {
+		mQuerySeconds.Observe(dur.Seconds())
+	}
 	return ms, stats, err
+}
+
+// buildRecord flattens one evaluation into its telemetry record. stats may
+// be nil (evaluation failed before stats existed); the record still carries
+// the expression, timing, and error.
+func buildRecord(db *DB, expr string, stats *QueryStats, results int, begin time.Time, dur time.Duration, tr *obs.Trace, err error) *telemetry.Record {
+	rec := &telemetry.Record{
+		Expr:     expr,
+		Start:    begin,
+		Duration: dur,
+		Results:  results,
+		Epoch:    db.epoch,
+	}
+	if stats != nil {
+		rec.Partitions = stats.Partitions
+		rec.Strategies = strategyNames(stats.StrategyUsed)
+		rec.Planned = stats.Planned
+		rec.PlanEpoch = stats.PlanEpoch
+		rec.EstRows = stats.EstRows
+		rec.EstPages = stats.EstPages
+		rec.PagesScanned = stats.PagesScanned
+		rec.PagesSkipped = stats.PagesSkipped
+		rec.StartingPoints = stats.StartingPoints
+		rec.NodesVisited = stats.NodesVisited
+		if stats.plan != nil {
+			rec.Plan = stats.plan
+		}
+	}
+	if tr != nil {
+		rec.Phases = tr.Phases()
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	return rec
+}
+
+// singleStrategy holds a shared one-element label slice per strategy, so
+// capturing the overwhelmingly common single-partition query doesn't
+// allocate. Records are read-only after capture, so sharing is safe.
+var singleStrategy = map[Strategy][]string{
+	StrategyAuto:       {StrategyAuto.String()},
+	StrategyScan:       {StrategyScan.String()},
+	StrategyTagIndex:   {StrategyTagIndex.String()},
+	StrategyValueIndex: {StrategyValueIndex.String()},
+	StrategyPathIndex:  {StrategyPathIndex.String()},
+	StrategySkipped:    {StrategySkipped.String()},
+}
+
+func strategyNames(used []Strategy) []string {
+	if len(used) == 1 {
+		if s, ok := singleStrategy[used[0]]; ok {
+			return s
+		}
+	}
+	out := make([]string, len(used))
+	for i, s := range used {
+		out[i] = s.String()
+	}
+	return out
 }
 
 func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *QueryStats, error) {
@@ -157,6 +241,9 @@ func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 	if plan != nil {
 		stats.Planned = true
 		stats.PlanEpoch = plan.Epoch
+		stats.EstRows = plan.EstRows
+		stats.EstPages = plan.EstTotalPages
+		stats.plan = plan
 		psp := tr.Start("plan")
 		psp.Set("epoch", int(plan.Epoch))
 		psp.Set("est-pages", int(plan.EstTotalPages))

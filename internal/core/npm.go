@@ -6,6 +6,7 @@ import (
 
 	"nok/internal/dewey"
 	"nok/internal/pattern"
+	"nok/internal/planner"
 	"nok/internal/stree"
 	"nok/internal/symtab"
 )
@@ -114,9 +115,23 @@ type QueryStats struct {
 	Requested Strategy
 	// Planned reports whether the cost-based planner chose the strategies
 	// (StrategyAuto with a fresh statistics synopsis); PlanEpoch is the
-	// synopsis epoch the plan was costed against.
+	// synopsis epoch the plan was costed against, and EstRows/EstPages are
+	// the plan's result-cardinality and page-I/O estimates — comparing them
+	// with the actual result count and PagesScanned is what the telemetry
+	// pipeline's q-error feedback is built from. Both are zero when the
+	// §6.2 heuristic ran.
 	Planned   bool
 	PlanEpoch uint64
+	EstRows   float64
+	EstPages  float64
+	// QueryID is the process-unique ID the telemetry pipeline assigned to
+	// this evaluation (0 when telemetry is disabled). The server echoes it
+	// in the X-Nok-Query-Id header; /debug/queries and the slow-query log
+	// key their records by it.
+	QueryID uint64
+	// plan retains the chosen plan for lazy rendering in telemetry records
+	// (plans are immutable and shared with the plan cache).
+	plan *planner.Plan
 	// JoinInputs counts match-list elements fed into structural joins.
 	JoinInputs int
 	// PagesScanned counts pages examined by this query's navigation

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/<name> (rewriting it under -update).
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// goldenRegistry builds a registry exercising every exposition corner:
+// help-string escaping, unsorted histogram bounds, boundary and +Inf
+// observations, negative gauges, and an info metric with labels that need
+// escaping.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+
+	c := r.Counter("nok_golden_ops_total", `operations with a backslash \ and
+a newline in the help`)
+	c.Add(41)
+	c.Inc()
+
+	r.Gauge("nok_golden_depth", "current depth").Set(-3)
+
+	// Bounds given out of order: exposition must sort them ascending so
+	// cumulative bucket counts are monotone (promtool rejects unsorted le).
+	h := r.Histogram("nok_golden_seconds", "operation latency", []float64{1, 0.01, 0.1})
+	h.Observe(0.01) // exactly on a bound: counts into le="0.01"
+	h.Observe(0.05)
+	h.Observe(1)
+	h.Observe(7) // beyond every bound: +Inf only
+
+	r.Info("nok_golden_build_info", "build metadata", map[string]string{
+		"version":   "v1.2.3",
+		"goversion": "go1.24",
+		"quoted":    `a "b" \c`,
+	})
+	return r
+}
+
+// TestWritePrometheusGoldenFile pins the full text exposition against a
+// golden file: escaped help, sorted buckets, correct +Inf cumulative count,
+// and labeled info rendering.
+func TestWritePrometheusGoldenFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "exposition.golden", buf.Bytes())
+}
+
+// TestWriteOpenMetricsGoldenFile pins the exemplar-bearing variant. The
+// exemplar is planted with a fixed timestamp so the output is stable.
+func TestWriteOpenMetricsGoldenFile(t *testing.T) {
+	r := goldenRegistry()
+	h := r.hists["nok_golden_seconds"]
+	h.exemplars[1].Store(&Exemplar{
+		LabelKey:   "query_id",
+		LabelValue: "42",
+		Value:      0.05,
+		Time:       time.Unix(1700000000, 0),
+	})
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "openmetrics.golden", buf.Bytes())
+}
+
+// TestHistogramBucketInvariants checks the structural rules promtool
+// enforces on every histogram exposition: le values strictly ascending,
+// cumulative counts monotone non-decreasing, +Inf equal to _count.
+func TestHistogramBucketInvariants(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lastLe := -1.0
+	var lastCum int64
+	var infCount, totalCount int64 = -1, -2
+	sawInf := false
+	const bucketPrefix = `nok_golden_seconds_bucket{le="`
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if v, ok := strings.CutPrefix(line, "nok_golden_seconds_count "); ok {
+			totalCount = mustInt(t, v)
+			continue
+		}
+		rest, ok := strings.CutPrefix(line, bucketPrefix)
+		if !ok {
+			continue
+		}
+		leStr, cntStr, ok := strings.Cut(rest, `"} `)
+		if !ok {
+			t.Fatalf("malformed bucket line %q", line)
+		}
+		cum := mustInt(t, cntStr)
+		if leStr == "+Inf" {
+			sawInf = true
+			infCount = cum
+			if cum < lastCum {
+				t.Errorf("+Inf cumulative %d < previous bucket %d", cum, lastCum)
+			}
+			continue
+		}
+		if sawInf {
+			t.Error("bucket line after +Inf")
+		}
+		le := mustFloat(t, leStr)
+		if le <= lastLe {
+			t.Errorf("le %g not strictly ascending after %g", le, lastLe)
+		}
+		if cum < lastCum {
+			t.Errorf("cumulative %d decreased from %d", cum, lastCum)
+		}
+		lastLe, lastCum = le, cum
+	}
+	if !sawInf {
+		t.Fatal("no +Inf bucket emitted")
+	}
+	if infCount != totalCount {
+		t.Errorf("+Inf bucket %d != _count %d", infCount, totalCount)
+	}
+}
+
+func mustInt(t *testing.T, s string) int64 {
+	t.Helper()
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		t.Fatalf("bad integer %q: %v", s, err)
+	}
+	return n
+}
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad float %q: %v", s, err)
+	}
+	return f
+}

@@ -23,8 +23,10 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric. The zero value is ready to
@@ -70,6 +72,20 @@ type Histogram struct {
 	inf    atomic.Int64
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits, updated by CAS
+	// exemplars holds one exemplar per bucket (last index is +Inf),
+	// replaced wholesale on each ObserveWithExemplar — lock-free, last
+	// writer wins.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observation to an identifying label (e.g. a query ID),
+// letting a histogram bucket point back at a concrete recent event in the
+// flight recorder.
+type Exemplar struct {
+	LabelKey   string    `json:"label_key"`
+	LabelValue string    `json:"label_value"`
+	Value      float64   `json:"value"`
+	Time       time.Time `json:"time"`
 }
 
 // LatencyBuckets are the default histogram bounds for query latencies, in
@@ -82,7 +98,11 @@ var LatencyBuckets = []float64{
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs))}
+	return &Histogram{
+		bounds:    bs,
+		counts:    make([]atomic.Int64, len(bs)),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bs)+1),
+	}
 }
 
 // Observe records one value.
@@ -101,6 +121,47 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// exemplarMinAge is how long a bucket keeps its exemplar before a new
+// observation may replace it. Exemplars are samples — one recent event per
+// bucket is all an investigation needs — and the throttle keeps the
+// per-observation cost at an atomic load instead of an allocation when a
+// bucket is hot.
+const exemplarMinAge = 250 * time.Millisecond
+
+// ObserveWithExemplar records one value and attaches an exemplar to its
+// bucket — one atomic pointer swap on top of Observe, last writer wins.
+// Refreshes are rate-limited per bucket (see exemplarMinAge).
+func (h *Histogram) ObserveWithExemplar(v float64, labelKey, labelValue string) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	now := time.Now()
+	if cur := h.exemplars[idx].Load(); cur == nil || now.Sub(cur.Time) >= exemplarMinAge {
+		h.exemplars[idx].Store(&Exemplar{
+			LabelKey:   labelKey,
+			LabelValue: labelValue,
+			Value:      v,
+			Time:       now,
+		})
+	}
+	h.Observe(v)
+}
+
+// ObserveWithExemplarID is ObserveWithExemplar for a numeric label value
+// (e.g. a query ID), formatting the number only when the bucket's exemplar
+// slot is actually refreshed — the hot path stays allocation-free.
+func (h *Histogram) ObserveWithExemplarID(v float64, labelKey string, id uint64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	now := time.Now()
+	if cur := h.exemplars[idx].Load(); cur == nil || now.Sub(cur.Time) >= exemplarMinAge {
+		h.exemplars[idx].Store(&Exemplar{
+			LabelKey:   labelKey,
+			LabelValue: strconv.FormatUint(id, 10),
+			Value:      v,
+			Time:       now,
+		})
+	}
+	h.Observe(v)
 }
 
 // Count returns the number of observations.
@@ -123,16 +184,23 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	}
 	out.Count = run + h.inf.Load()
 	out.Sum = h.Sum()
+	for i := range h.exemplars {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			out.Exemplars = append(out.Exemplars, ex)
+		}
+	}
 	return out
 }
 
 // HistogramSnapshot is a point-in-time view of a histogram. Cumulative[i]
 // counts observations <= Bounds[i]; Count includes the +Inf bucket.
+// Exemplars holds the most recent exemplar of each bucket that has one.
 type HistogramSnapshot struct {
-	Bounds     []float64 `json:"bounds"`
-	Cumulative []int64   `json:"cumulative"`
-	Count      int64     `json:"count"`
-	Sum        float64   `json:"sum"`
+	Bounds     []float64   `json:"bounds"`
+	Cumulative []int64     `json:"cumulative"`
+	Count      int64       `json:"count"`
+	Sum        float64     `json:"sum"`
+	Exemplars  []*Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time view of a whole registry.
@@ -140,6 +208,8 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Infos maps info-metric names to their constant labels (value always 1).
+	Infos map[string]map[string]string `json:"infos,omitempty"`
 }
 
 // Registry holds named metrics. Metric lookup/creation takes a mutex;
@@ -152,6 +222,7 @@ type Registry struct {
 	ctrs   map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	infos  map[string][][2]string // sorted constant labels, value fixed at 1
 }
 
 // Default is the process-wide registry all packages register into.
@@ -165,6 +236,7 @@ func NewRegistry() *Registry {
 		ctrs:   make(map[string]*Counter),
 		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
+		infos:  make(map[string][][2]string),
 	}
 }
 
@@ -172,18 +244,35 @@ const (
 	kindCounter   = 'c'
 	kindGauge     = 'g'
 	kindHistogram = 'h'
+	kindInfo      = 'i'
 )
 
+// checkExisting validates a re-registration under the registry lock: the
+// kind AND the help string must match the first registration exactly.
+// Metric names are a process-wide contract — two packages claiming the same
+// name with different meanings is a bug that silent first-wins behavior
+// would hide, so both mismatches panic.
+func (r *Registry) checkExisting(name, help string, kind byte) bool {
+	k, ok := r.kinds[name]
+	if !ok {
+		return false
+	}
+	if k != kind {
+		panic(fmt.Sprintf("obs: metric %q already registered as %c, now requested as %c", name, k, kind))
+	}
+	if r.help[name] != help {
+		panic(fmt.Sprintf("obs: metric %q re-registered with different help (%q vs %q)", name, r.help[name], help))
+	}
+	return true
+}
+
 // Counter returns the counter registered under name, creating it on first
-// use. Registering the same name as a different kind panics: metric names
-// are a process-wide contract.
+// use. Registering the same name as a different kind — or with a different
+// help string — panics: metric names are a process-wide contract.
 func (r *Registry) Counter(name, help string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if k, ok := r.kinds[name]; ok {
-		if k != kindCounter {
-			panic(fmt.Sprintf("obs: metric %q already registered as %c", name, k))
-		}
+	if r.checkExisting(name, help, kindCounter) {
 		return r.ctrs[name]
 	}
 	c := &Counter{}
@@ -196,10 +285,7 @@ func (r *Registry) Counter(name, help string) *Counter {
 func (r *Registry) Gauge(name, help string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if k, ok := r.kinds[name]; ok {
-		if k != kindGauge {
-			panic(fmt.Sprintf("obs: metric %q already registered as %c", name, k))
-		}
+	if r.checkExisting(name, help, kindGauge) {
 		return r.gauges[name]
 	}
 	g := &Gauge{}
@@ -214,16 +300,35 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if k, ok := r.kinds[name]; ok {
-		if k != kindHistogram {
-			panic(fmt.Sprintf("obs: metric %q already registered as %c", name, k))
-		}
+	if r.checkExisting(name, help, kindHistogram) {
 		return r.hists[name]
 	}
 	h := newHistogram(bounds)
 	r.register(name, help, kindHistogram)
 	r.hists[name] = h
 	return h
+}
+
+// Info registers an information metric: a gauge pinned to 1 whose payload
+// is its constant labels (the Prometheus build_info idiom). Re-registering
+// with identical help and labels is a no-op; any difference panics.
+func (r *Registry) Info(name, help string, labels map[string]string) {
+	ls := make([][2]string, 0, len(labels))
+	for k, v := range labels {
+		ls = append(ls, [2]string{k, v})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i][0] < ls[j][0] })
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.checkExisting(name, help, kindInfo) {
+		if fmt.Sprint(r.infos[name]) != fmt.Sprint(ls) {
+			panic(fmt.Sprintf("obs: info metric %q re-registered with different labels", name))
+		}
+		return
+	}
+	r.register(name, help, kindInfo)
+	r.infos[name] = ls
 }
 
 func (r *Registry) register(name, help string, kind byte) {
@@ -251,6 +356,16 @@ func (r *Registry) Snapshot() Snapshot {
 	for n, h := range r.hists {
 		s.Histograms[n] = h.snapshot()
 	}
+	if len(r.infos) > 0 {
+		s.Infos = make(map[string]map[string]string, len(r.infos))
+		for n, ls := range r.infos {
+			m := make(map[string]string, len(ls))
+			for _, kv := range ls {
+				m[kv[0]] = kv[1]
+			}
+			s.Infos[n] = m
+		}
+	}
 	return s
 }
 
@@ -272,6 +387,9 @@ func (r *Registry) Reset() {
 		h.inf.Store(0)
 		h.count.Store(0)
 		h.sum.Store(0)
+		for i := range h.exemplars {
+			h.exemplars[i].Store(nil)
+		}
 	}
 }
 
@@ -283,14 +401,74 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// escapeHelp escapes a HELP string per the Prometheus text format:
+// backslash and newline only (double quotes are legal in help text).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text format:
+// backslash, double quote, and newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// renderLabels renders a sorted constant-label set as {k="v",...}.
+func renderLabels(ls [][2]string) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, kv[0], escapeLabelValue(kv[1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// renderExemplar renders an OpenMetrics exemplar suffix for a bucket line.
+func renderExemplar(ex *Exemplar) string {
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {%s=\"%s\"} %s %s",
+		ex.LabelKey, escapeLabelValue(ex.LabelValue),
+		formatFloat(ex.Value),
+		strconv.FormatFloat(float64(ex.Time.UnixNano())/1e9, 'f', 3, 64))
+}
+
 // WritePrometheus writes the registry in the Prometheus text exposition
 // format (version 0.0.4), metrics in registration order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.write(w, false)
+}
+
+// WriteOpenMetrics writes the registry in an OpenMetrics-style text format:
+// the same metric lines as WritePrometheus plus per-bucket exemplars
+// (`# {label="value"} v ts` suffixes) and a terminating `# EOF`. Scrapers
+// that want exemplars (linking latency buckets to flight-recorder query
+// IDs) read this; plain 0.0.4 consumers should use WritePrometheus.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := r.write(w, true); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "# EOF")
+	return err
+}
+
+func (r *Registry) write(w io.Writer, exemplars bool) error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for _, name := range r.order {
 		if help := r.help[name]; help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
 				return err
 			}
 		}
@@ -300,17 +478,28 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.ctrs[name].Value())
 		case kindGauge:
 			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, r.gauges[name].Value())
+		case kindInfo:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s%s 1\n", name, name, renderLabels(r.infos[name]))
 		case kindHistogram:
 			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
 				return err
 			}
-			hs := r.hists[name].snapshot()
+			h := r.hists[name]
+			hs := h.snapshot()
 			for i, b := range hs.Bounds {
-				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), hs.Cumulative[i]); err != nil {
+				ex := ""
+				if exemplars {
+					ex = renderExemplar(h.exemplars[i].Load())
+				}
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", name, formatFloat(b), hs.Cumulative[i], ex); err != nil {
 					return err
 				}
 			}
-			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, hs.Count); err != nil {
+			ex := ""
+			if exemplars {
+				ex = renderExemplar(h.exemplars[len(hs.Bounds)].Load())
+			}
+			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", name, hs.Count, ex); err != nil {
 				return err
 			}
 			_, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(hs.Sum), name, hs.Count)

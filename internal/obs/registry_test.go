@@ -156,17 +156,42 @@ func TestWriteJSON(t *testing.T) {
 
 func TestSameNameSameKindIsShared(t *testing.T) {
 	r := NewRegistry()
-	c1 := r.Counter("x", "")
-	c2 := r.Counter("x", "ignored duplicate help")
+	c1 := r.Counter("x", "things counted")
+	c2 := r.Counter("x", "things counted")
 	if c1 != c2 {
 		t.Error("same-name counter not shared")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("cross-kind registration did not panic")
-		}
-	}()
-	r.Gauge("x", "")
+}
+
+// TestRegistrationMismatchPanics pins the process-wide-contract rule: the
+// same name registered as a different kind OR with a different help string
+// panics instead of silently keeping the first registration.
+func TestRegistrationMismatchPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+
+	r := NewRegistry()
+	r.Counter("x", "things counted")
+	mustPanic("cross-kind", func() { r.Gauge("x", "things counted") })
+	mustPanic("counter help mismatch", func() { r.Counter("x", "different help") })
+
+	r.Gauge("g", "a level")
+	mustPanic("gauge help mismatch", func() { r.Gauge("g", "another level") })
+
+	r.Histogram("h", "a latency", []float64{1})
+	mustPanic("histogram help mismatch", func() { r.Histogram("h", "other latency", []float64{1}) })
+
+	r.Info("i", "build info", map[string]string{"version": "1"})
+	r.Info("i", "build info", map[string]string{"version": "1"}) // identical: no-op
+	mustPanic("info help mismatch", func() { r.Info("i", "other", map[string]string{"version": "1"}) })
+	mustPanic("info label mismatch", func() { r.Info("i", "build info", map[string]string{"version": "2"}) })
 }
 
 func TestReset(t *testing.T) {

@@ -196,6 +196,30 @@ func (s *Span) render(b *strings.Builder, selfPrefix, childPrefix string, isRoot
 	}
 }
 
+// Phase is the compact summary of one top-level span: its name and
+// duration. The telemetry flight recorder stores this flattened form
+// instead of retaining whole span trees.
+type Phase struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration"`
+}
+
+// Phases summarizes the root's direct children — the evaluator's top-level
+// phases (parse, partition, ext-match per partition, top-down). Unended
+// spans report a zero duration.
+func (t *Trace) Phases() []Phase {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Phase, 0, len(t.root.children))
+	for _, c := range t.root.children {
+		out = append(out, Phase{Name: c.name, Duration: c.duration})
+	}
+	return out
+}
+
 type ctxKey struct{}
 
 // NewContext returns a context carrying the trace.

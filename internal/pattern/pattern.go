@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Axis is a structural relationship between pattern nodes.
@@ -187,6 +188,9 @@ type Tree struct {
 	Source string
 
 	nodes int
+
+	strOnce sync.Once
+	str     string
 }
 
 // NumNodes returns the number of pattern nodes excluding the virtual root.
@@ -203,8 +207,16 @@ func (n *Node) Matches(name string) bool {
 // HasValueConstraint reports whether a value constraint is attached.
 func (n *Node) HasValueConstraint() bool { return n.Cmp != CmpNone }
 
-// String renders the pattern tree in a compact parenthesized form.
+// String renders the pattern tree in a compact parenthesized form. Trees
+// are immutable after parsing, so the rendering is computed once and
+// reused: it doubles as the plan-cache key and the telemetry record's
+// normalized expression, both on the per-query hot path.
 func (t *Tree) String() string {
+	t.strOnce.Do(func() { t.str = t.render() })
+	return t.str
+}
+
+func (t *Tree) render() string {
 	var sb strings.Builder
 	var walk func(n *Node)
 	walk = func(n *Node) {

@@ -20,8 +20,17 @@
 //	POST   /insert?parent=ID   (XML fragment in the body)
 //	DELETE /node/{id}
 //	GET    /stats
-//	GET    /metrics
+//	GET    /metrics[?exemplars=1]
 //	GET    /healthz[?deep=1]
+//	GET    /debug/queries[?n=N]
+//	GET    /debug/pprof/...        (only with Config.EnablePprof)
+//
+// Every /query response carries an X-Nok-Query-Id header naming the
+// telemetry record the evaluation produced; /debug/queries returns the
+// flight recorder's recent and slowest records (with rendered plans), and
+// /metrics?exemplars=1 switches to OpenMetrics exposition whose latency
+// buckets carry query-ID exemplars — three ways to get from "p99 is bad"
+// to the exact query that caused it.
 //
 // /healthz?deep=1 runs a full store verification (every page checksum,
 // structural invariants, index cross-references). A failed verification —
@@ -37,14 +46,18 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"nok"
+	"nok/internal/buildinfo"
 	"nok/internal/obs"
 	"nok/internal/pattern"
+	"nok/internal/telemetry"
 )
 
 // Server-wide metrics, registered in the process registry so /metrics
@@ -78,6 +91,10 @@ type Config struct {
 	// request may ask for less via ?timeout= but never more
 	// (default 10s).
 	QueryTimeout time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profile endpoints expose timing side-channels and can be
+	// heavy, so they are opt-in (nokserve -debug).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +154,16 @@ func New(store *nok.Store, cfg Config) *Server {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
+	if cfg.EnablePprof {
+		// pprof.Index dispatches /debug/pprof/{goroutine,heap,...} itself;
+		// the fixed-path handlers cover the endpoints Index doesn't.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -314,6 +341,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// can never be served afterwards — over-invalidation, never staleness.
 	key := cacheKey{expr: tree.String(), strategy: strat, gen: s.store.Generation()}
 	if results, stats, ok := s.cache.get(key); ok {
+		// A hit still gets its own telemetry record (the cached stats
+		// describe the original evaluation and must not be mutated); its
+		// fresh ID goes in the correlation header.
+		if telemetry.Default.Enabled() {
+			id := telemetry.Default.Capture(&telemetry.Record{
+				Expr:     tree.String(),
+				Start:    begin,
+				Duration: time.Since(begin),
+				Results:  len(results),
+				CacheHit: true,
+				Epoch:    s.store.Epoch(),
+			})
+			w.Header().Set("X-Nok-Query-Id", strconv.FormatUint(id, 10))
+		}
 		s.respondQuery(w, r, expr, results, stats, true, limit, time.Since(begin))
 		return
 	}
@@ -330,6 +371,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
+	}
+	if stats != nil && stats.QueryID != 0 {
+		w.Header().Set("X-Nok-Query-Id", strconv.FormatUint(stats.QueryID, 10))
 	}
 	s.cache.put(key, results, stats)
 	s.respondQuery(w, r, expr, results, stats, false, limit, time.Since(begin))
@@ -533,13 +577,16 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	Store      nok.Stats `json:"store"`
-	Nodes      uint64    `json:"nodes"`
-	Generation uint64    `json:"generation"`
-	Workers    int       `json:"workers"`
-	QueueDepth int       `json:"queue_depth"`
-	Inflight   int64     `json:"inflight"`
-	Queued     int64     `json:"queued"`
+	Version    string            `json:"version"`
+	Store      nok.Stats         `json:"store"`
+	Nodes      uint64            `json:"nodes"`
+	Generation uint64            `json:"generation"`
+	Epoch      uint64            `json:"epoch"`
+	Synopsis   *nok.SynopsisInfo `json:"synopsis,omitempty"`
+	Workers    int               `json:"workers"`
+	QueueDepth int               `json:"queue_depth"`
+	Inflight   int64             `json:"inflight"`
+	Queued     int64             `json:"queued"`
 	Cache      struct {
 		Entries  int     `json:"entries"`
 		Capacity int     `json:"capacity"`
@@ -556,10 +603,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.wg.Done()
 
+	syn := s.store.Synopsis(0)
 	resp := statsResponse{
+		Version:    buildinfo.String(),
 		Store:      s.store.Stats(),
 		Nodes:      s.store.NodeCount(),
 		Generation: s.store.Generation(),
+		Epoch:      s.store.Epoch(),
+		Synopsis:   &syn,
 		Workers:    s.cfg.Workers,
 		QueueDepth: s.cfg.QueueDepth,
 		Inflight:   s.pool.Inflight(),
@@ -574,12 +625,51 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// ?exemplars=1 (or an OpenMetrics Accept header) switches to the
+	// OpenMetrics exposition, whose latency buckets carry query-ID
+	// exemplars linking them to /debug/queries records. The default stays
+	// plain 0.0.4 text, byte-compatible with every scraper.
+	if r.FormValue("exemplars") != "" || strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = obs.Default.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = obs.Default.WritePrometheus(w)
 }
 
+// debugQueriesResponse is the /debug/queries payload: the flight
+// recorder's most recent records and the all-time slowest, both with
+// rendered plans.
+type debugQueriesResponse struct {
+	Now             time.Time           `json:"now"`
+	SlowThresholdMS float64             `json:"slow_threshold_ms"`
+	Recent          []*telemetry.Record `json:"recent"`
+	Slowest         []*telemetry.Record `json:"slowest"`
+}
+
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if v := r.FormValue("n"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 1 {
+			writeError(w, http.StatusBadRequest, "bad n %q", v)
+			return
+		}
+		n = p
+	}
+	writeJSON(w, http.StatusOK, debugQueriesResponse{
+		Now:             time.Now(),
+		SlowThresholdMS: float64(telemetry.Default.SlowThreshold().Microseconds()) / 1000,
+		Recent:          telemetry.Default.Recent(n),
+		Slowest:         telemetry.Default.Slowest(n),
+	})
+}
+
 type healthResponse struct {
 	Status         string   `json:"status"` // "ok" or "degraded"
+	Version        string   `json:"version"`
+	Epoch          uint64   `json:"epoch"`
 	Reason         string   `json:"reason,omitempty"`
 	Deep           bool     `json:"deep,omitempty"`
 	PagesChecked   int      `json:"pages_checked,omitempty"`
@@ -602,6 +692,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		res := s.store.Verify(true)
 		resp := healthResponse{
 			Status:         "ok",
+			Version:        buildinfo.String(),
+			Epoch:          s.store.Epoch(),
 			Deep:           true,
 			PagesChecked:   res.PagesChecked,
 			EntriesChecked: res.EntriesChecked,
@@ -621,8 +713,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if degraded, reason := s.Degraded(); degraded {
-		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "degraded", Reason: reason})
+		writeJSON(w, http.StatusServiceUnavailable, healthResponse{
+			Status: "degraded", Version: buildinfo.String(), Epoch: s.store.Epoch(), Reason: reason,
+		})
 		return
 	}
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status: "ok", Version: buildinfo.String(), Epoch: s.store.Epoch(),
+	})
 }

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"nok/internal/obs"
+)
+
+// Record is the telemetry capture of one query evaluation: everything an
+// operator needs to answer "which query, which plan, and why was it slow"
+// without attaching a debugger. Records are immutable after Capture; the
+// flight recorder, slowest tracker and slow-query log all share the same
+// pointer.
+type Record struct {
+	// ID is the process-unique query ID assigned at capture; it is echoed
+	// in the X-Nok-Query-Id response header and in the exemplars of the
+	// nok_query_seconds histogram, linking a latency bucket back to this
+	// record.
+	ID uint64
+	// Expr is the canonical (normalized) rendering of the pattern tree, so
+	// textual variants of one query aggregate under one string.
+	Expr string
+	// Start and Duration time the evaluation end to end.
+	Start    time.Time
+	Duration time.Duration
+	// Results is the match count returned (0 on error).
+	Results int
+	// Partitions and Strategies describe the executed access paths: one
+	// effective strategy per NoK partition, including silent degradations
+	// and "skipped" short-circuits.
+	Partitions int
+	Strategies []string
+	// Planned reports whether the cost-based planner chose the strategies;
+	// PlanEpoch is the synopsis epoch the plan was costed against. EstRows
+	// and EstPages carry the plan's estimates (meaningful only when
+	// Planned), and QError quantifies the row misestimate:
+	// max(est, actual)/min(est, actual) with both clamped to >= 1.
+	// Misestimate marks q-errors at or beyond the pipeline's factor.
+	Planned     bool
+	PlanEpoch   uint64
+	EstRows     float64
+	EstPages    float64
+	QError      float64
+	Misestimate bool
+	// Page-level I/O attribution and matching work, mirroring QueryStats.
+	PagesScanned   uint64
+	PagesSkipped   uint64
+	StartingPoints int
+	NodesVisited   int
+	// Phases carries the top-level phase timings when the evaluation ran
+	// with a Trace attached (EXPLAIN ANALYZE, /explain?analyze=1); empty
+	// otherwise.
+	Phases []obs.Phase
+	// CacheHit marks records emitted for result-cache hits (the serving
+	// layer answers without evaluating; Duration is the lookup time).
+	CacheHit bool
+	// Epoch is the store's committed epoch at evaluation time.
+	Epoch uint64
+	// Error is the evaluation error, if any (including cancellation).
+	Error string
+
+	// Plan renders the cost-based plan on demand (nil when the §6.2
+	// heuristic chose the strategies). Deferring the rendering keeps the
+	// per-query capture cost to field copies — the text is only built when
+	// a record is actually exposed through /debug/queries or the slow log.
+	Plan fmt.Stringer
+}
+
+// PlanText renders the plan, or "" when the heuristic ran.
+func (r *Record) PlanText() string {
+	if r.Plan == nil {
+		return ""
+	}
+	return r.Plan.String()
+}
+
+// recordJSON is the wire form shared by /debug/queries and the slow-query
+// log: flat, stable field names, durations in milliseconds.
+type recordJSON struct {
+	ID             uint64      `json:"query_id"`
+	Expr           string      `json:"expr"`
+	Start          time.Time   `json:"start"`
+	DurationMS     float64     `json:"duration_ms"`
+	Results        int         `json:"results"`
+	Partitions     int         `json:"partitions"`
+	Strategies     []string    `json:"strategies,omitempty"`
+	Planned        bool        `json:"planned"`
+	PlanEpoch      uint64      `json:"plan_epoch,omitempty"`
+	EstRows        float64     `json:"est_rows,omitempty"`
+	EstPages       float64     `json:"est_pages,omitempty"`
+	ActualRows     int         `json:"actual_rows"`
+	QError         float64     `json:"q_error,omitempty"`
+	Misestimate    bool        `json:"misestimate,omitempty"`
+	PagesScanned   uint64      `json:"pages_scanned"`
+	PagesSkipped   uint64      `json:"pages_skipped"`
+	StartingPoints int         `json:"starting_points"`
+	NodesVisited   int         `json:"nodes_visited"`
+	Phases         []phaseJSON `json:"phases,omitempty"`
+	CacheHit       bool        `json:"cache_hit,omitempty"`
+	Epoch          uint64      `json:"epoch"`
+	Error          string      `json:"error,omitempty"`
+	Plan           string      `json:"plan,omitempty"`
+}
+
+type phaseJSON struct {
+	Name       string  `json:"name"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// MarshalJSON renders the record in its wire form, including the rendered
+// plan text.
+func (r *Record) MarshalJSON() ([]byte, error) {
+	out := recordJSON{
+		ID:             r.ID,
+		Expr:           r.Expr,
+		Start:          r.Start,
+		DurationMS:     ms(r.Duration),
+		Results:        r.Results,
+		Partitions:     r.Partitions,
+		Strategies:     r.Strategies,
+		Planned:        r.Planned,
+		PlanEpoch:      r.PlanEpoch,
+		EstRows:        r.EstRows,
+		EstPages:       r.EstPages,
+		ActualRows:     r.Results,
+		QError:         r.QError,
+		Misestimate:    r.Misestimate,
+		PagesScanned:   r.PagesScanned,
+		PagesSkipped:   r.PagesSkipped,
+		StartingPoints: r.StartingPoints,
+		NodesVisited:   r.NodesVisited,
+		CacheHit:       r.CacheHit,
+		Epoch:          r.Epoch,
+		Error:          r.Error,
+		Plan:           r.PlanText(),
+	}
+	for _, p := range r.Phases {
+		out.Phases = append(out.Phases, phaseJSON{Name: p.Name, DurationMS: ms(p.Duration)})
+	}
+	return json.Marshal(out)
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ring is the flight recorder: a fixed-size lock-free buffer of the most
+// recent query records. Writers claim a slot with one atomic add and store
+// the record pointer; readers walk the slots and sort by ID. Under a write
+// race a reader may briefly see a slot's previous occupant — acceptable for
+// a diagnostic view, and never a torn record (pointers swap atomically).
+type ring struct {
+	slots []atomic.Pointer[Record]
+	next  atomic.Uint64
+}
+
+func newRing(n int) *ring {
+	if n < 1 {
+		n = 1
+	}
+	return &ring{slots: make([]atomic.Pointer[Record], n)}
+}
+
+func (r *ring) add(rec *Record) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(rec)
+}
+
+// recent returns up to n records, newest first.
+func (r *ring) recent(n int) []*Record {
+	out := make([]*Record, 0, len(r.slots))
+	for i := range r.slots {
+		if rec := r.slots[i].Load(); rec != nil {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// topK tracks the K slowest queries seen. The common case — a query faster
+// than the current floor once the tracker is full — is a single atomic load
+// with no locking; only genuine candidates take the mutex.
+type topK struct {
+	k     int
+	floor atomic.Int64 // min duration (ns) among kept records once full
+	mu    sync.Mutex
+	recs  []*Record
+}
+
+func newTopK(k int) *topK {
+	if k < 1 {
+		k = 1
+	}
+	return &topK{k: k}
+}
+
+func (t *topK) offer(rec *Record) {
+	if f := t.floor.Load(); f > 0 && int64(rec.Duration) <= f {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recs = append(t.recs, rec)
+	sort.Slice(t.recs, func(i, j int) bool { return t.recs[i].Duration > t.recs[j].Duration })
+	if len(t.recs) > t.k {
+		t.recs = t.recs[:t.k]
+	}
+	if len(t.recs) == t.k {
+		t.floor.Store(int64(t.recs[len(t.recs)-1].Duration))
+	}
+}
+
+// slowest returns up to n records, slowest first.
+func (t *topK) slowest(n int) []*Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > len(t.recs) {
+		n = len(t.recs)
+	}
+	out := make([]*Record, n)
+	copy(out, t.recs[:n])
+	return out
+}
+
+func (t *topK) reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recs = nil
+	t.floor.Store(0)
+}

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// slowLog emits one JSON line per slow query, rate-limited so a storm of
+// slow queries (the exact situation in which they occur) cannot flood the
+// log. The rate limiter is a CAS on the last-emit timestamp: losers are
+// counted as suppressed, never blocked.
+type slowLog struct {
+	threshold time.Duration
+	interval  time.Duration
+	lastEmit  atomic.Int64 // unix nanos of the last emitted line
+
+	mu sync.Mutex // serializes writes so lines never interleave
+	w  io.Writer
+
+	logged     atomic.Uint64
+	suppressed atomic.Uint64
+}
+
+func newSlowLog(threshold, interval time.Duration) *slowLog {
+	return &slowLog{threshold: threshold, interval: interval}
+}
+
+// setWriter installs (or removes, with nil) the log destination.
+func (l *slowLog) setWriter(w io.Writer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w = w
+}
+
+// offer logs the record if it crosses the threshold and the rate limiter
+// admits it. Returns whether a line was written.
+func (l *slowLog) offer(rec *Record) bool {
+	if l.threshold <= 0 || rec.Duration < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	noWriter := l.w == nil
+	l.mu.Unlock()
+	if noWriter {
+		return false
+	}
+	now := time.Now().UnixNano()
+	for {
+		last := l.lastEmit.Load()
+		if last != 0 && now-last < int64(l.interval) {
+			l.suppressed.Add(1)
+			return false
+		}
+		if l.lastEmit.CompareAndSwap(last, now) {
+			break
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return false
+	}
+	l.w.Write(append(line, '\n'))
+	l.logged.Add(1)
+	return true
+}

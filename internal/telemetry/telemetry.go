@@ -1,0 +1,191 @@
+// Package telemetry is the query telemetry pipeline: every evaluation ends
+// by depositing a Record into a lock-free ring-buffer flight recorder, a
+// top-K slowest tracker, and (past a threshold, rate-limited) a structured
+// slow-query log. The pipeline also closes the planner feedback loop,
+// turning each record's estimated-vs-actual cardinalities into the
+// nok_plan_qerror histogram and nok_plan_misestimate_total counter, so plan
+// quality is observable without EXPLAIN ANALYZE.
+//
+// Capture is designed for the hot path: with the defaults it costs one
+// atomic add, one pointer store, a floor comparison, and a handful of
+// histogram observes — no locks, no allocation beyond the record itself,
+// and no plan rendering (plans are kept as lazy Stringers and rendered only
+// when a human asks).
+package telemetry
+
+import (
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"nok/internal/obs"
+)
+
+// Defaults for the package-level pipeline.
+const (
+	DefaultRingSize      = 256
+	DefaultSlowestSize   = 32
+	DefaultSlowThreshold = 250 * time.Millisecond
+	DefaultSlowInterval  = time.Second
+
+	// MisestimateFactor is the q-error at or above which a planned query
+	// counts as misestimated (the conventional "off by 4x" line).
+	MisestimateFactor = 4.0
+)
+
+// Pipeline fans a captured Record out to the flight recorder, the slowest
+// tracker, the slow-query log, and the plan-quality metrics.
+type Pipeline struct {
+	enabled atomic.Bool
+	nextID  atomic.Uint64
+
+	ring    *ring
+	slowest *topK
+	slog    *slowLog
+
+	mQuerySeconds *obs.Histogram
+	mQError       *obs.Histogram
+	mMisestimate  *obs.Counter
+	mSlow         *obs.Counter
+	mSuppressed   *obs.Counter
+}
+
+// Config sizes a Pipeline. Zero values take the defaults.
+type Config struct {
+	RingSize      int           // flight-recorder capacity
+	SlowestSize   int           // how many slowest queries to retain
+	SlowThreshold time.Duration // slow-query log threshold; <0 disables
+	SlowInterval  time.Duration // min spacing between slow-log lines
+	SlowWriter    io.Writer     // slow-log destination; nil disables
+}
+
+// NewPipeline builds a pipeline registering its metrics in reg (obs.Default
+// when nil).
+func NewPipeline(cfg Config, reg *obs.Registry) *Pipeline {
+	if reg == nil {
+		reg = obs.Default
+	}
+	if cfg.RingSize == 0 {
+		cfg.RingSize = DefaultRingSize
+	}
+	if cfg.SlowestSize == 0 {
+		cfg.SlowestSize = DefaultSlowestSize
+	}
+	if cfg.SlowThreshold == 0 {
+		cfg.SlowThreshold = DefaultSlowThreshold
+	}
+	if cfg.SlowInterval == 0 {
+		cfg.SlowInterval = DefaultSlowInterval
+	}
+	p := &Pipeline{
+		ring:    newRing(cfg.RingSize),
+		slowest: newTopK(cfg.SlowestSize),
+		slog:    newSlowLog(cfg.SlowThreshold, cfg.SlowInterval),
+		// Same name+help as the evaluator's registration, so both resolve
+		// to one shared histogram in the registry.
+		mQuerySeconds: reg.Histogram("nok_query_seconds",
+			"end-to-end query evaluation latency in seconds", obs.LatencyBuckets),
+		mQError: reg.Histogram("nok_plan_qerror",
+			"q-error of planner row estimates: max(est,actual)/min(est,actual), clamped to >=1",
+			[]float64{1, 1.25, 1.5, 2, 3, 4, 8, 16, 32, 64, 128}),
+		mMisestimate: reg.Counter("nok_plan_misestimate_total",
+			"planned queries whose row-estimate q-error was >= 4"),
+		mSlow: reg.Counter("nok_slow_queries_total",
+			"queries slower than the slow-query threshold"),
+		mSuppressed: reg.Counter("nok_slow_query_log_suppressed_total",
+			"slow-query log lines dropped by the rate limiter"),
+	}
+	p.slog.setWriter(cfg.SlowWriter)
+	p.enabled.Store(true)
+	return p
+}
+
+// Default is the process-wide pipeline. The evaluator captures into it; the
+// server and nokdebug read from it.
+var Default = NewPipeline(Config{}, nil)
+
+// SetEnabled turns capture on or off. Disabled capture still assigns IDs
+// (so correlation headers stay stable) but skips all recording — this is
+// the ablation switch the telemetry-overhead benchmark flips.
+func (p *Pipeline) SetEnabled(on bool) { p.enabled.Store(on) }
+
+// Enabled reports whether capture is active.
+func (p *Pipeline) Enabled() bool { return p.enabled.Load() }
+
+// SetSlowLog reconfigures the slow-query log destination and thresholds at
+// runtime (nokserve wires its -slow-log flags through this). A nil writer
+// disables logging; threshold/interval <= 0 keep the current values.
+func (p *Pipeline) SetSlowLog(w io.Writer, threshold, interval time.Duration) {
+	if threshold > 0 {
+		p.slog.threshold = threshold
+	}
+	if interval > 0 {
+		p.slog.interval = interval
+	}
+	p.slog.setWriter(w)
+}
+
+// SlowThreshold returns the current slow-query threshold.
+func (p *Pipeline) SlowThreshold() time.Duration { return p.slog.threshold }
+
+// QError returns the q-error of a row estimate: the factor by which the
+// estimate missed, symmetric in direction, with both sides clamped to >= 1
+// so empty results don't divide by zero.
+func QError(est float64, actual int) float64 {
+	e := math.Max(est, 1)
+	a := math.Max(float64(actual), 1)
+	if e > a {
+		return e / a
+	}
+	return a / e
+}
+
+// Capture assigns the record its query ID and, when the pipeline is
+// enabled, fans it out to the flight recorder, slowest tracker, slow log,
+// and metrics. It finalizes the record's QError/Misestimate fields for
+// planned queries. The record must not be mutated after Capture.
+func (p *Pipeline) Capture(rec *Record) uint64 {
+	rec.ID = p.nextID.Add(1)
+	if !p.enabled.Load() {
+		return rec.ID
+	}
+	if rec.Planned {
+		rec.QError = QError(rec.EstRows, rec.Results)
+		rec.Misestimate = rec.QError >= MisestimateFactor
+		p.mQError.Observe(rec.QError)
+		if rec.Misestimate {
+			p.mMisestimate.Inc()
+		}
+	}
+	p.ring.add(rec)
+	p.slowest.offer(rec)
+	if p.slog.threshold > 0 && rec.Duration >= p.slog.threshold {
+		p.mSlow.Inc()
+		before := p.slog.suppressed.Load()
+		p.slog.offer(rec)
+		if p.slog.suppressed.Load() > before {
+			p.mSuppressed.Inc()
+		}
+	}
+	return rec.ID
+}
+
+// ObserveQuery records the latency histogram observation with the record's
+// query ID attached as an exemplar, linking the bucket to /debug/queries.
+func (p *Pipeline) ObserveQuery(rec *Record) {
+	p.mQuerySeconds.ObserveWithExemplarID(rec.Duration.Seconds(), "query_id", rec.ID)
+}
+
+// Recent returns up to n flight-recorder records, newest first (all when
+// n <= 0).
+func (p *Pipeline) Recent(n int) []*Record { return p.ring.recent(n) }
+
+// Slowest returns up to n of the slowest records, slowest first (all when
+// n <= 0).
+func (p *Pipeline) Slowest(n int) []*Record { return p.slowest.slowest(n) }
+
+// Reset clears the flight recorder's slowest tracker (used by tests and by
+// nokbench between phases). The ring itself is left alone: old records age
+// out naturally.
+func (p *Pipeline) Reset() { p.slowest.reset() }

@@ -1,0 +1,278 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nok/internal/obs"
+)
+
+func testPipeline(cfg Config) *Pipeline {
+	return NewPipeline(cfg, obs.NewRegistry())
+}
+
+// TestRingWraparound fills the flight recorder past capacity and checks
+// that recent() returns only the newest records, newest first.
+func TestRingWraparound(t *testing.T) {
+	p := testPipeline(Config{RingSize: 4, SlowThreshold: -1})
+	for i := 0; i < 10; i++ {
+		p.Capture(&Record{Expr: fmt.Sprintf("q%d", i)})
+	}
+	recs := p.Recent(0)
+	if len(recs) != 4 {
+		t.Fatalf("recent returned %d records, want 4", len(recs))
+	}
+	for i, want := range []string{"q9", "q8", "q7", "q6"} {
+		if recs[i].Expr != want {
+			t.Errorf("recent[%d] = %s, want %s", i, recs[i].Expr, want)
+		}
+	}
+	if got := p.Recent(2); len(got) != 2 || got[0].Expr != "q9" {
+		t.Errorf("recent(2) = %v", got)
+	}
+}
+
+// TestSlowestTracker checks the top-K keeps the K slowest regardless of
+// arrival order, slowest first, and that the floor fast-path doesn't drop
+// a new maximum.
+func TestSlowestTracker(t *testing.T) {
+	p := testPipeline(Config{SlowestSize: 3, SlowThreshold: -1})
+	durations := []time.Duration{5, 1, 9, 3, 7, 2, 8} // ms
+	for i, d := range durations {
+		p.Capture(&Record{Expr: fmt.Sprintf("q%d", i), Duration: d * time.Millisecond})
+	}
+	got := p.Slowest(0)
+	if len(got) != 3 {
+		t.Fatalf("slowest returned %d records, want 3", len(got))
+	}
+	for i, want := range []time.Duration{9, 8, 7} {
+		if got[i].Duration != want*time.Millisecond {
+			t.Errorf("slowest[%d] = %v, want %vms", i, got[i].Duration, want)
+		}
+	}
+}
+
+// TestSlowLogRateLimited pins the acceptance criterion: two slow queries in
+// quick succession produce exactly one slow-query log line, and that line
+// carries the estimated-vs-actual cardinality fields.
+func TestSlowLogRateLimited(t *testing.T) {
+	var buf bytes.Buffer
+	p := testPipeline(Config{
+		SlowThreshold: time.Millisecond,
+		SlowInterval:  time.Hour, // nothing else gets through
+		SlowWriter:    &buf,
+	})
+
+	rec := &Record{
+		Expr:       "//a/b",
+		Duration:   50 * time.Millisecond,
+		Results:    3,
+		Partitions: 2,
+		Strategies: []string{"tag-index", "scan"},
+		Planned:    true,
+		EstRows:    12,
+		EstPages:   4,
+	}
+	p.Capture(rec)
+	p.Capture(&Record{Expr: "//a/c", Duration: 60 * time.Millisecond}) // suppressed
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("slow log emitted %d lines, want exactly 1:\n%s", len(lines), buf.String())
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatalf("slow log line is not JSON: %v\n%s", err, lines[0])
+	}
+	checks := map[string]any{
+		"expr":        "//a/b",
+		"duration_ms": 50.0,
+		"est_rows":    12.0,
+		"actual_rows": 3.0,
+		"planned":     true,
+		"q_error":     4.0,
+		"misestimate": true,
+	}
+	for k, want := range checks {
+		if got[k] != want {
+			t.Errorf("slow log field %s = %v, want %v", k, got[k], want)
+		}
+	}
+	if got["query_id"] == nil {
+		t.Error("slow log line missing query_id")
+	}
+	if p.slog.suppressed.Load() != 1 {
+		t.Errorf("suppressed = %d, want 1", p.slog.suppressed.Load())
+	}
+}
+
+// TestSlowLogBelowThreshold checks fast queries never reach the log.
+func TestSlowLogBelowThreshold(t *testing.T) {
+	var buf bytes.Buffer
+	p := testPipeline(Config{SlowThreshold: time.Second, SlowWriter: &buf})
+	p.Capture(&Record{Expr: "//a", Duration: time.Millisecond})
+	if buf.Len() != 0 {
+		t.Errorf("fast query was logged: %s", buf.String())
+	}
+}
+
+// TestQError pins the q-error math, including the clamp at zero.
+func TestQError(t *testing.T) {
+	cases := []struct {
+		est    float64
+		actual int
+		want   float64
+	}{
+		{10, 10, 1},
+		{20, 10, 2},
+		{10, 40, 4},
+		{0, 0, 1},    // both clamped to 1
+		{0, 5, 5},    // est clamped
+		{8, 0, 8},    // actual clamped
+		{0.25, 1, 1}, // sub-1 estimate clamps up, not a 4x error
+	}
+	for _, c := range cases {
+		if got := QError(c.est, c.actual); got != c.want {
+			t.Errorf("QError(%g, %d) = %g, want %g", c.est, c.actual, got, c.want)
+		}
+	}
+}
+
+// TestPlanQualityMetrics checks Capture feeds the q-error histogram and the
+// misestimate counter only for planned queries.
+func TestPlanQualityMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPipeline(Config{SlowThreshold: -1}, reg)
+
+	p.Capture(&Record{Planned: true, EstRows: 10, Results: 10})  // q-error 1
+	p.Capture(&Record{Planned: true, EstRows: 100, Results: 10}) // q-error 10: misestimate
+	p.Capture(&Record{Planned: false, Results: 10})              // heuristic: not counted
+
+	s := reg.Snapshot()
+	if got := s.Histograms["nok_plan_qerror"].Count; got != 2 {
+		t.Errorf("q-error observations = %d, want 2", got)
+	}
+	if got := s.Counters["nok_plan_misestimate_total"]; got != 1 {
+		t.Errorf("misestimates = %d, want 1", got)
+	}
+}
+
+// TestDisabledCaptureAssignsIDsOnly checks the ablation switch: IDs keep
+// flowing (correlation headers stay stable) but nothing is recorded.
+func TestDisabledCaptureAssignsIDsOnly(t *testing.T) {
+	p := testPipeline(Config{SlowThreshold: -1})
+	id1 := p.Capture(&Record{Expr: "a"})
+	p.SetEnabled(false)
+	id2 := p.Capture(&Record{Expr: "b"})
+	if id2 != id1+1 {
+		t.Errorf("disabled capture broke ID sequence: %d after %d", id2, id1)
+	}
+	recs := p.Recent(0)
+	if len(recs) != 1 || recs[0].Expr != "a" {
+		t.Errorf("disabled capture recorded anyway: %v", recs)
+	}
+}
+
+// TestRecordJSONIncludesPlanAndPhases checks the wire form renders the lazy
+// plan and converts phase durations to milliseconds.
+func TestRecordJSONIncludesPlanAndPhases(t *testing.T) {
+	rec := &Record{
+		ID:   7,
+		Expr: "//a",
+		Plan: stringerFunc("plan //a\n  part 0: tag-index"),
+		Phases: []obs.Phase{
+			{Name: "parse", Duration: 1500 * time.Microsecond},
+		},
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["plan"] != "plan //a\n  part 0: tag-index" {
+		t.Errorf("plan = %q", got["plan"])
+	}
+	phases, ok := got["phases"].([]any)
+	if !ok || len(phases) != 1 {
+		t.Fatalf("phases = %v", got["phases"])
+	}
+	ph := phases[0].(map[string]any)
+	if ph["name"] != "parse" || ph["duration_ms"] != 1.5 {
+		t.Errorf("phase = %v", ph)
+	}
+}
+
+type stringerFunc string
+
+func (s stringerFunc) String() string { return string(s) }
+
+// TestConcurrentCapture hammers the pipeline from many goroutines under the
+// race detector: IDs must stay unique and the recorder must survive.
+func TestConcurrentCapture(t *testing.T) {
+	var buf bytes.Buffer
+	p := testPipeline(Config{
+		RingSize:      16,
+		SlowestSize:   8,
+		SlowThreshold: time.Nanosecond,
+		SlowInterval:  time.Nanosecond,
+		SlowWriter:    &buf,
+	})
+	const workers = 8
+	const perWorker = 500
+	ids := make([]map[uint64]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		ids[w] = make(map[uint64]bool)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := p.Capture(&Record{
+					Expr:     fmt.Sprintf("w%d-%d", w, i),
+					Duration: time.Duration(i) * time.Microsecond,
+					Planned:  i%2 == 0,
+					EstRows:  float64(i),
+					Results:  i % 7,
+				})
+				ids[w][id] = true
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	seen := make(map[uint64]bool)
+	for _, m := range ids {
+		for id := range m {
+			if seen[id] {
+				t.Fatalf("duplicate query ID %d", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != workers*perWorker {
+		t.Errorf("got %d unique IDs, want %d", len(seen), workers*perWorker)
+	}
+	if got := len(p.Recent(0)); got > 16 {
+		t.Errorf("ring holds %d records, capacity 16", got)
+	}
+	if got := len(p.Slowest(0)); got > 8 {
+		t.Errorf("slowest holds %d records, capacity 8", got)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("interleaved slow-log line: %v\n%q", err, line)
+		}
+	}
+}
