@@ -1,0 +1,86 @@
+package nok
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"nok/internal/samples"
+)
+
+// TestCloseDrainsInflightQueries is the -race regression test for
+// Store.Close racing the pager: Close must block until every in-flight
+// query (including its parallel partition workers) finishes, and queries
+// issued after Close must fail with ErrClosed instead of touching released
+// pages. Run with -race this catches any evaluation goroutine outliving
+// the store.
+func TestCloseDrainsInflightQueries(t *testing.T) {
+	st := bigStore(t, 3000)
+
+	const queriers = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < queriers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for {
+				// Force a scan so each query spans many pages while Close
+				// contends for the write lock.
+				_, _, err := st.QueryWithOptions(`//book[price<100]`, &QueryOptions{Strategy: StrategyScan})
+				if err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("in-flight query failed with %v, want success or ErrClosed", err)
+					}
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+
+	if _, err := st.Query(`//book`); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Query after Close: err = %v, want ErrClosed", err)
+	}
+	if err := st.Insert("0", strings.NewReader("<book/>")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Insert after Close: err = %v, want ErrClosed", err)
+	}
+	if err := st.Delete("0.1"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Delete after Close: err = %v, want ErrClosed", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestProvablyEmpty(t *testing.T) {
+	st := newStore(t)
+	empty, reason, err := st.ProvablyEmpty(`//journal`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty || !strings.Contains(reason, "journal") {
+		t.Fatalf("ProvablyEmpty(//journal) = %v %q, want pruned on absent tag", empty, reason)
+	}
+	empty, _, err = st.ProvablyEmpty(samples.PaperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty {
+		t.Fatalf("ProvablyEmpty(%s) = true for a query with results", samples.PaperQuery)
+	}
+	if empty, reason, _ := st.ProvablyEmpty(`//author[last="Nobody"]`); !empty || !strings.Contains(reason, "Nobody") {
+		t.Fatalf("absent string literal not pruned: %v %q", empty, reason)
+	}
+	// Numeric equality literals must never prune via the value sketch:
+	// "100" would have to match a stored "100.0".
+	if empty, reason, _ := st.ProvablyEmpty(`//book[price=12345]`); empty {
+		t.Fatalf("numeric literal pruned unsoundly: %q", reason)
+	}
+}

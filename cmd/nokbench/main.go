@@ -12,6 +12,7 @@
 //	nokbench -table stream     streaming evaluation vs stored evaluation
 //	nokbench -table skip       (st,lo,hi) page-skip ablation
 //	nokbench -table planner    cost-based planner vs §6.2 heuristic pages
+//	nokbench -table shard      scatter-gather speedup on sharded collections
 //	nokbench -table all        everything above
 //
 // Flags: -scale, -seed, -runs, -workdir, -datasets (comma-separated).
@@ -26,6 +27,7 @@ import (
 
 	"nok/internal/bench"
 	"nok/internal/buildinfo"
+	"nok/internal/shardbench"
 	"nok/internal/workload"
 )
 
@@ -141,6 +143,16 @@ func main() {
 				log.Fatal(err)
 			}
 			bench.WritePlanner(out, rows)
+		case "shard":
+			fmt.Fprintln(out, "== Sharded scatter-gather speedup ==")
+			rows, err := shardbench.Shard(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			shardbench.WriteShard(out, rows)
+			if sp := shardbench.ShardSpeedupAt(rows, 4); sp < shardbench.ShardSpeedupMin {
+				log.Fatalf("4-shard speedup %.2fx is below the %.1fx budget", sp, shardbench.ShardSpeedupMin)
+			}
 		case "telemetry":
 			fmt.Fprintln(out, "== Telemetry capture overhead (warm cache) ==")
 			res, err := bench.Telemetry(cfg)
@@ -159,7 +171,7 @@ func main() {
 	}
 
 	if *table == "all" {
-		for _, t := range []string{"1", "2", "3", "summary", "ratios", "io", "heuristic", "update", "stream", "skip", "planner", "telemetry"} {
+		for _, t := range []string{"1", "2", "3", "summary", "ratios", "io", "heuristic", "update", "stream", "skip", "planner", "shard", "telemetry"} {
 			run(t)
 		}
 		return

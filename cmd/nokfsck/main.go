@@ -6,7 +6,10 @@
 //
 // Opening the store already runs crash recovery (journal rollback,
 // uncommitted-tail truncation, orphan sweep); nokfsck reports what that
-// did, then verifies the recovered state. The default check is deep: every
+// did, then verifies the recovered state. Sharded collections (a SHARDS
+// manifest in DIR) are detected automatically: the routing manifest is
+// cross-checked against every member store and each shard is verified in
+// turn, with issues prefixed by the shard that raised them. The default check is deep: every
 // page checksum, the balanced-parenthesis structure of the string tree,
 // all four B+ tree leaf chains, every value record, whole-file checksums
 // against the commit manifest, and every Dewey-index entry resolved back
@@ -25,6 +28,7 @@ import (
 
 	"nok"
 	"nok/internal/buildinfo"
+	"nok/internal/shard"
 )
 
 func main() {
@@ -55,6 +59,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	dir := fs.Arg(0)
 
+	if shard.IsSharded(dir) {
+		return runSharded(dir, *quick, *verbose, stdout, stderr)
+	}
 	st, err := nok.Open(dir, nil)
 	if err != nil {
 		fmt.Fprintf(stderr, "nokfsck: %s: %v\n", dir, err)
@@ -75,6 +82,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	res := st.Verify(!*quick)
 	if *verbose {
+		fmt.Fprintf(stdout, "epoch:           %d\n", st.Epoch())
+		fmt.Fprintf(stdout, "nodes:           %d\n", st.NodeCount())
+		if res.Deep {
+			fmt.Fprintf(stdout, "pages checked:   %d\n", res.PagesChecked)
+			fmt.Fprintf(stdout, "entries checked: %d\n", res.EntriesChecked)
+			fmt.Fprintf(stdout, "records checked: %d\n", res.RecordsChecked)
+		}
+	}
+	for _, is := range res.Issues {
+		fmt.Fprintf(stdout, "FAIL %s\n", is)
+	}
+	if !res.OK() {
+		fmt.Fprintf(stdout, "%s: %d issue(s) found\n", dir, len(res.Issues))
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: ok\n", dir)
+	return 0
+}
+
+// runSharded verifies a sharded collection: manifest consistency first
+// (every shard must agree on the broadcast root, ordinals must be strictly
+// increasing and owned by exactly one shard), then each member store.
+func runSharded(dir string, quick, verbose bool, stdout, stderr io.Writer) int {
+	st, err := shard.Open(dir, nil)
+	if err != nil {
+		fmt.Fprintf(stderr, "nokfsck: %s: %v\n", dir, err)
+		return 1
+	}
+	defer st.Close()
+	man := st.Manifest()
+	fmt.Fprintf(stdout, "sharded collection: %d shards, %s routing\n", man.Shards, man.Strategy)
+
+	res := st.Verify(!quick)
+	if verbose {
 		fmt.Fprintf(stdout, "epoch:           %d\n", st.Epoch())
 		fmt.Fprintf(stdout, "nodes:           %d\n", st.NodeCount())
 		if res.Deep {

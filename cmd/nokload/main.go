@@ -1,8 +1,15 @@
-// Command nokload bulk-loads an XML document into a NoK store directory.
+// Command nokload bulk-loads an XML document into a NoK store directory,
+// or — with -shards — into a sharded collection of independent stores.
 //
 // Usage:
 //
 //	nokload -db DIR -xml FILE [-pagesize N] [-reserve PCT]
+//	nokload -db DIR -xml FILE -shards N [-routing hash|path]
+//
+// With -shards, top-level documents under the collection root are split
+// across N stores: -routing hash (default) balances by document ordinal,
+// -routing path groups documents by their root tag so per-shard statistics
+// can prune whole shards from tag-selective queries. See docs/SHARDING.md.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 
 	"nok"
 	"nok/internal/buildinfo"
+	"nok/internal/shard"
 )
 
 func main() {
@@ -23,6 +31,8 @@ func main() {
 	xml := flag.String("xml", "", "XML document to load (required)")
 	pageSize := flag.Int("pagesize", 0, "page size in bytes (default 4096)")
 	reserve := flag.Int("reserve", 0, "per-page update reserve percentage (default 20)")
+	shards := flag.Int("shards", 0, "split the collection across N independent stores (0 = single store)")
+	routing := flag.String("routing", "hash", "shard routing strategy: hash (balance by ordinal) or path (group by root tag)")
 	version := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
 	if *version {
@@ -33,8 +43,35 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	opts := &nok.Options{PageSize: *pageSize, ReservePct: *reserve}
 	t0 := time.Now()
-	st, err := nok.CreateFromFile(*db, *xml, &nok.Options{PageSize: *pageSize, ReservePct: *reserve})
+	if *shards > 0 {
+		strat := shard.Strategy(*routing)
+		if strat != shard.StrategyHash && strat != shard.StrategyPath {
+			log.Fatalf("unknown -routing %q (want hash or path)", *routing)
+		}
+		st, err := shard.CreateFromFile(*db, *xml, &shard.Options{
+			Shards: *shards, Strategy: strat, Store: opts,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		stats := st.Stats()
+		man := st.Manifest()
+		fmt.Printf("loaded %s into %s in %v (%d shards, %s routing)\n",
+			*xml, *db, time.Since(t0).Round(time.Millisecond), man.Shards, man.Strategy)
+		fmt.Printf("  nodes: %d   pages: %d   max depth: %d\n", stats.Nodes, stats.Pages, stats.MaxDepth)
+		for s, assign := range man.Assign {
+			fmt.Printf("  shard %d: %d document(s)\n", s, len(assign))
+		}
+		if syn := st.Synopsis(0); syn.Present {
+			fmt.Printf("  statistics synopsis: epoch %d, %d tags, %d paths (planner + shard pruning enabled)\n",
+				syn.Epoch, syn.Tags, syn.Paths)
+		}
+		return
+	}
+	st, err := nok.CreateFromFile(*db, *xml, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,6 @@
-// Command nokquery evaluates a path expression against a NoK store, or —
-// with -xml — directly against an XML file in one streaming pass without
-// building a store.
+// Command nokquery evaluates a path expression against a NoK store (or a
+// sharded collection, detected automatically), or — with -xml — directly
+// against an XML file in one streaming pass without building a store.
 //
 // Usage:
 //
@@ -27,7 +27,26 @@ import (
 
 	"nok"
 	"nok/internal/buildinfo"
+	"nok/internal/shard"
 )
+
+// queryStore is the store surface nokquery needs; both *nok.Store and the
+// sharded *shard.Store satisfy it.
+type queryStore interface {
+	Plan(expr string) (string, error)
+	QueryAnalyze(expr string, opts *nok.QueryOptions) ([]nok.Result, *nok.QueryStats, string, error)
+	QueryWithOptions(expr string, opts *nok.QueryOptions) ([]nok.Result, *nok.QueryStats, error)
+	Close() error
+}
+
+// openStore opens dir as a sharded collection when a SHARDS manifest is
+// present, as a single store otherwise.
+func openStore(dir string) (queryStore, error) {
+	if shard.IsSharded(dir) {
+		return shard.Open(dir, nil)
+	}
+	return nok.Open(dir, nil)
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -111,7 +130,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail("unknown strategy %q", *strategy)
 	}
 
-	st, err := nok.Open(*db, nil)
+	st, err := openStore(*db)
 	if err != nil {
 		return fail("%v", err)
 	}
@@ -156,12 +175,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			stats.NodesVisited, stats.JoinInputs, stats.StrategyUsed,
 			stats.PagesScanned, stats.PagesSkipped)
 		fmt.Fprintf(stdout, "-- %s\n", strategyLine(stats))
+		printShards(stdout, stats)
 	}
 	if *analyze {
 		fmt.Fprint(stdout, plan)
 		fmt.Fprintf(stdout, "-- %s\n", strategyLine(stats))
+		printShards(stdout, stats)
 	}
 	return 0
+}
+
+// printShards reports per-shard fan-out when the query ran against a
+// sharded collection: which shards were pruned by statistics (and why),
+// and what each live shard contributed.
+func printShards(stdout io.Writer, stats *nok.QueryStats) {
+	if len(stats.Shards) == 0 {
+		return
+	}
+	for _, sh := range stats.Shards {
+		if sh.Skipped {
+			fmt.Fprintf(stdout, "-- shard %d: pruned (%s)\n", sh.Shard, sh.SkipReason)
+		} else {
+			fmt.Fprintf(stdout, "-- shard %d: %d result(s) in %v\n",
+				sh.Shard, sh.Results, sh.Duration.Round(time.Microsecond))
+		}
+	}
 }
 
 // strategyLine reports the requested strategy against what actually ran,

@@ -1,7 +1,11 @@
 // Command nokserve serves path queries over an open NoK store: a
 // long-lived HTTP process with a bounded worker pool, admission control,
 // an invalidating LRU result cache, per-request deadlines, Prometheus
-// metrics, and graceful shutdown on SIGINT/SIGTERM.
+// metrics, and graceful shutdown on SIGINT/SIGTERM. A directory holding a
+// SHARDS manifest (built by nokload -shards) is served as a sharded
+// collection: queries scatter across member stores in parallel, shards a
+// query provably cannot match are pruned, and the result cache is
+// invalidated per shard.
 //
 // Usage:
 //
@@ -30,6 +34,7 @@ import (
 	"nok"
 	"nok/internal/buildinfo"
 	"nok/internal/server"
+	"nok/internal/shard"
 	"nok/internal/telemetry"
 )
 
@@ -64,14 +69,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	st, err := nok.Open(*db, nil)
-	if err != nil {
-		fmt.Fprintf(stderr, "nokserve: %v\n", err)
-		return 1
-	}
-	if rec := st.Recovery(); rec.Recovered() {
-		fmt.Fprintf(stdout, "nokserve: recovered store at open: journal_replayed=%v journal_discarded=%v truncated=%d orphans_removed=%d\n",
-			rec.JournalReplayed, rec.JournalDiscarded, len(rec.TruncatedFiles), len(rec.OrphansRemoved))
+	var (
+		st       server.Backend
+		topology string
+	)
+	if shard.IsSharded(*db) {
+		sst, err := shard.Open(*db, nil)
+		if err != nil {
+			fmt.Fprintf(stderr, "nokserve: %v\n", err)
+			return 1
+		}
+		man := sst.Manifest()
+		topology = fmt.Sprintf(", %d shards (%s routing)", man.Shards, man.Strategy)
+		st = sst
+	} else {
+		sst, err := nok.Open(*db, nil)
+		if err != nil {
+			fmt.Fprintf(stderr, "nokserve: %v\n", err)
+			return 1
+		}
+		if rec := sst.Recovery(); rec.Recovered() {
+			fmt.Fprintf(stdout, "nokserve: recovered store at open: journal_replayed=%v journal_discarded=%v truncated=%d orphans_removed=%d\n",
+				rec.JournalReplayed, rec.JournalDiscarded, len(rec.TruncatedFiles), len(rec.OrphansRemoved))
+		}
+		st = sst
 	}
 	if *slowLog != "" {
 		var w io.Writer
@@ -88,7 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		telemetry.Default.SetSlowLog(w, *slowThreshold, *slowInterval)
 	}
-	srv := server.New(st, server.Config{
+	srv := server.NewBackend(st, server.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
@@ -102,7 +123,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(stdout, "nokserve: serving %s on %s (%d nodes)\n", *db, *addr, st.NodeCount())
+	fmt.Fprintf(stdout, "nokserve: serving %s on %s (%d nodes%s)\n", *db, *addr, st.NodeCount(), topology)
 
 	select {
 	case <-ctx.Done():

@@ -25,6 +25,7 @@ import (
 
 	"nok"
 	"nok/internal/buildinfo"
+	"nok/internal/shard"
 )
 
 func main() {
@@ -74,6 +75,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	if shard.IsSharded(*db) {
+		return runSharded(*db, *tag, *synStats, *metrics, stdout, fail)
+	}
 	st, err := nok.Open(*db, nil)
 	if err != nil {
 		return fail("%v", err)
@@ -99,6 +103,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		printSynopsis(stdout, st.Synopsis(10))
 	}
 	if *metrics {
+		fmt.Fprintln(stdout, "-- metrics --")
+		fmt.Fprint(stdout, nok.MetricsText())
+	}
+	return 0
+}
+
+// runSharded is the -db path for sharded collections: the same report over
+// the merged (cross-shard) stats and synopsis, plus the shard topology.
+func runSharded(dir, tag string, synStats, metrics bool, stdout io.Writer, fail func(string, ...any) int) int {
+	st, err := shard.Open(dir, nil)
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer st.Close()
+	s := st.Stats()
+	man := st.Manifest()
+	fmt.Fprintf(stdout, "version:      %s\n", buildinfo.String())
+	fmt.Fprintf(stdout, "epoch:        %d\n", st.Epoch())
+	fmt.Fprintf(stdout, "shards:       %d (%s routing)\n", man.Shards, man.Strategy)
+	for i, assign := range man.Assign {
+		fmt.Fprintf(stdout, "  shard %d:    %d document(s)\n", i, len(assign))
+	}
+	fmt.Fprintf(stdout, "nodes:        %d\n", s.Nodes)
+	fmt.Fprintf(stdout, "pages:        %d\n", s.Pages)
+	fmt.Fprintf(stdout, "max depth:    %d\n", s.MaxDepth)
+	fmt.Fprintf(stdout, "|tree|:       %d bytes\n", s.TreeBytes)
+	fmt.Fprintf(stdout, "values:       %d bytes\n", s.ValueBytes)
+	fmt.Fprintf(stdout, "headers(RAM): %d bytes\n", s.HeaderBytes)
+	if tag != "" {
+		fmt.Fprintf(stdout, "count(%s):  %d\n", tag, st.TagCount(tag))
+	}
+	if synStats {
+		printSynopsis(stdout, st.Synopsis(10))
+	}
+	if metrics {
 		fmt.Fprintln(stdout, "-- metrics --")
 		fmt.Fprint(stdout, nok.MetricsText())
 	}

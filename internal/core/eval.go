@@ -56,6 +56,10 @@ type QueryOptions struct {
 	// DisablePageSkip turns off the header-table page-skip optimization
 	// in FOLLOWING-SIBLING (ablation benchmark).
 	DisablePageSkip bool
+	// DisableParallel keeps the bottom-up phase sequential even when the
+	// plan marks the query parallel-eligible — an ablation switch and an
+	// escape hatch for single-core deployments.
+	DisableParallel bool
 	// Trace, when non-nil, records the evaluation's timed phases (parse,
 	// partition, starting-point lookup, NoK matching, structural joins) as
 	// spans — the raw material of EXPLAIN ANALYZE. A nil Trace costs
@@ -163,6 +167,15 @@ func buildRecord(db *DB, expr string, stats *QueryStats, results int, begin time
 		rec.PagesSkipped = stats.PagesSkipped
 		rec.StartingPoints = stats.StartingPoints
 		rec.NodesVisited = stats.NodesVisited
+		rec.Parallel = stats.Parallel
+		for _, pt := range stats.PartitionTimings {
+			rec.Parts = append(rec.Parts, telemetry.PartTiming{
+				Partition: pt.Partition,
+				Strategy:  pt.Strategy.String(),
+				Micros:    pt.Duration.Microseconds(),
+				Matches:   pt.Matches,
+			})
+		}
 		if stats.plan != nil {
 			rec.Plan = stats.plan
 		}
@@ -205,10 +218,12 @@ func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 	strat := StrategyAuto
 	noSkip := false
 	noPlan := false
+	noParallel := false
 	if opts != nil {
 		strat = opts.Strategy
 		noSkip = opts.DisablePageSkip
 		noPlan = opts.DisablePlanner
+		noParallel = opts.DisableParallel
 	}
 	tr := opts.trace()
 	ctx := opts.ctx()
@@ -260,10 +275,20 @@ func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 		stats.PagesSkipped = nc.Skipped
 	}()
 
-	// Phase 1: bottom-up ExtMatch. parts is in topological order (parents
-	// first), so reverse index order sees every child before its parent; a
-	// plan replaces it with its cost-ordered bottom-up sequence (same
-	// children-first invariant, smallest estimated results first).
+	// Phase 1: bottom-up ExtMatch. When the plan marks the query
+	// parallel-eligible (independent partitions, enough estimated page
+	// work), the partitions run on concurrent workers scheduled by their
+	// dependency tree; otherwise the sequential path below walks the
+	// plan's cost order (or reverse topological order without a plan).
+	if plan != nil && plan.Parallel && !noParallel && len(parts) > 2 {
+		psp := tr.Start("ext-match parallel")
+		ext, extPts, err := db.parallelExtMatch(parts, plan, noSkip, psp, ctx, stats, nc)
+		psp.End()
+		if err != nil {
+			return nil, nil, err
+		}
+		return db.topDown(t, parts, plan, strat, noSkip, anchor, chainTests, tr, ctx, stats, nc, ext, extPts)
+	}
 	order := make([]int, 0, len(parts)-1)
 	if plan != nil && len(plan.Order) == len(parts)-1 {
 		order = append(order, plan.Order...)
@@ -351,7 +376,27 @@ func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 		psp.End()
 	}
 
-	// Phase 2: top-down along the chain to the returning partition.
+	return db.topDown(t, parts, plan, strat, noSkip, anchor, chainTests, tr, ctx, stats, nc, ext, extPts)
+}
+
+// topDown is phase 2: walk the partition chain from the top partition to
+// the one containing the returning node, narrowing starting points through
+// structural joins. Shared by the sequential and parallel bottom-up paths.
+func (db *DB) topDown(
+	t *pattern.Tree,
+	parts []*pattern.NoKTree,
+	plan *planner.Plan,
+	strat Strategy,
+	noSkip bool,
+	anchor *pattern.Node,
+	chainTests []string,
+	tr *obs.Trace,
+	ctx context.Context,
+	stats *QueryStats,
+	nc *stree.NavCounters,
+	ext map[*pattern.NoKTree][]Match,
+	extPts map[*pattern.NoKTree][]uint64,
+) ([]Match, *QueryStats, error) {
 	tsp := tr.Start("top-down")
 	defer tsp.End()
 	chain := pattern.PathToReturn(parts, t)

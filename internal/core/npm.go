@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sort"
+	"time"
 
 	"nok/internal/dewey"
 	"nok/internal/pattern"
@@ -140,6 +141,37 @@ type QueryStats struct {
 	// per-query view of the paper's Algorithm 2 page-skip optimization.
 	PagesScanned uint64
 	PagesSkipped uint64
+	// Parallel reports that the bottom-up phase ran its independent
+	// partitions on concurrent workers (plan-gated; see eval.go), and
+	// PartitionTimings carries the per-partition wall-clock attribution
+	// that /debug/queries exposes as the intra-query fan-out. Timings are
+	// only collected on the parallel path — the sequential path's phase
+	// trace already times partitions when asked.
+	Parallel         bool
+	PartitionTimings []PartitionTiming
+	// Shards carries per-shard wall-clock attribution when the query ran
+	// through the scatter-gather executor (internal/shard): which shards
+	// participated, which were pruned from statistics alone and why. Empty
+	// for single-store queries.
+	Shards []ShardTiming
+}
+
+// ShardTiming is one shard's contribution to a scatter-gather query.
+type ShardTiming struct {
+	Shard      int
+	Duration   time.Duration
+	Results    int
+	Skipped    bool
+	SkipReason string
+}
+
+// PartitionTiming is one partition's contribution to a parallel bottom-up
+// phase: which partition, what ran it, how long it took, and what it found.
+type PartitionTiming struct {
+	Partition int
+	Strategy  Strategy
+	Duration  time.Duration
+	Matches   int
 }
 
 // newMatcher prepares a matcher for the pattern nodes of one NoK tree.

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"nok/internal/obs"
+	"nok/internal/pattern"
+	"nok/internal/planner"
+	"nok/internal/stree"
+)
+
+// Intra-query parallelism metrics, exposed through the default registry.
+var (
+	mParallelQueries = obs.Default.Counter("nok_parallel_queries_total", "queries whose bottom-up phase ran partitions on concurrent workers")
+)
+
+// parallelExtMatch is the concurrent form of the evaluator's bottom-up
+// phase: independent NoK partitions (no link between them) run on worker
+// goroutines, each with its own matcher, statistics scratch and navigation
+// counters, merged under one mutex as partitions complete. A partition is
+// dispatched the moment every child partition it joins against has
+// finished, so the dependency tree itself is the schedule — no barrier
+// between "levels".
+//
+// Cancellation: the first partition error cancels a derived context; every
+// in-flight matcher notices within a few dozen subject-node visits. The
+// function always waits for all workers before returning, so no goroutine
+// can touch the pager after the query returns (and, transitively, after
+// Store.Close takes the write lock).
+func (db *DB) parallelExtMatch(
+	parts []*pattern.NoKTree,
+	plan *planner.Plan,
+	noSkip bool,
+	parent *obs.Span,
+	ctx context.Context,
+	stats *QueryStats,
+	nc *stree.NavCounters,
+) (map[*pattern.NoKTree][]Match, map[*pattern.NoKTree][]uint64, error) {
+	n := len(parts)
+	base := ctx
+	if base == nil {
+		base = context.Background()
+	}
+	pctx, cancel := context.WithCancel(base)
+	defer cancel()
+
+	// index → partitions that join against it (its dependents), and the
+	// number of unfinished children gating each partition.
+	dependents := make([][]int, n)
+	pendingDeps := make([]int, n)
+	for i := 1; i < n; i++ {
+		for _, l := range parts[i].Links {
+			child := l.To.Index()
+			dependents[child] = append(dependents[child], i)
+			pendingDeps[i]++
+		}
+	}
+
+	extArr := make([][]Match, n)
+	ptsArr := make([][]uint64, n)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n-1 {
+		workers = n - 1
+	}
+	sem := make(chan struct{}, workers)
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+
+	var dispatch func(i int)
+	run := func(i int) {
+		defer wg.Done()
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		if pctx.Err() != nil {
+			return
+		}
+		nt := parts[i]
+		sp := parent.Start(fmt.Sprintf("ext-match partition=%d", i))
+		sp.Set("root", nt.Root.Test)
+		begin := time.Now()
+
+		// Short-circuit: an empty child partition makes the link predicate
+		// unsatisfiable (children are complete here — they gate dispatch).
+		short := false
+		for _, l := range nt.Links {
+			if len(ptsArr[l.To.Index()]) == 0 {
+				short = true
+				break
+			}
+		}
+		if short {
+			sp.Set("shortcut", "empty child partition")
+			sp.Set("matches", 0)
+			sp.End()
+			mu.Lock()
+			stats.StrategyUsed[i] = StrategySkipped
+			stats.PartitionTimings = append(stats.PartitionTimings, PartitionTiming{
+				Partition: i, Strategy: StrategySkipped, Duration: time.Since(begin),
+			})
+			for _, p := range dependents[i] {
+				pendingDeps[p]--
+				if pendingDeps[p] == 0 {
+					dispatch(p)
+				}
+			}
+			mu.Unlock()
+			return
+		}
+
+		scratch := &QueryStats{StrategyUsed: make([]Strategy, n)}
+		pnc := &stree.NavCounters{}
+		m := newMatcher(db, nt, nil, scratch)
+		m.noSkip = noSkip
+		m.nc = pnc
+		m.ctx = pctx
+		childPts := make(map[*pattern.NoKTree][]uint64, len(nt.Links))
+		for _, l := range nt.Links {
+			childPts[l.To] = ptsArr[l.To.Index()]
+		}
+		db.installLinkPreds(m, nt, childPts)
+
+		evaluate := func() ([]Match, Strategy, error) {
+			startPoints, used, err := db.starts(nt, strategyForAccess(plan.Parts[i].Access), pnc)
+			if err != nil {
+				return nil, used, err
+			}
+			scratch.StartingPoints += len(startPoints)
+			var matches []Match
+			for _, s := range startPoints {
+				if err := ctxErr(pctx); err != nil {
+					return nil, used, err
+				}
+				ok, err := m.matchAt(nt.Root, s)
+				if err != nil {
+					return nil, used, err
+				}
+				if ok {
+					matches = append(matches, s)
+				}
+			}
+			return matches, used, nil
+		}
+		matches, used, err := evaluate()
+		sp.Set("strategy", used.String())
+		sp.Set("matches", len(matches))
+		sp.Set("pages-scanned", pnc.Examined)
+		sp.Set("pages-skipped", pnc.Skipped)
+		sp.End()
+
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+				cancel()
+			}
+			return
+		}
+		extArr[i] = matches
+		ptsArr[i] = docPosList(matches)
+		stats.StrategyUsed[i] = used
+		stats.StartingPoints += scratch.StartingPoints
+		stats.NPMCalls += scratch.NPMCalls
+		stats.NodesVisited += scratch.NodesVisited
+		nc.Examined += pnc.Examined
+		nc.Skipped += pnc.Skipped
+		stats.PartitionTimings = append(stats.PartitionTimings, PartitionTiming{
+			Partition: i, Strategy: used, Duration: time.Since(begin), Matches: len(matches),
+		})
+		for _, p := range dependents[i] {
+			pendingDeps[p]--
+			if pendingDeps[p] == 0 {
+				dispatch(p)
+			}
+		}
+	}
+	dispatch = func(i int) {
+		wg.Add(1)
+		go run(i)
+	}
+
+	// Seed: every non-top partition with no children is ready immediately.
+	mu.Lock()
+	for i := 1; i < n; i++ {
+		if pendingDeps[i] == 0 {
+			dispatch(i)
+		}
+	}
+	mu.Unlock()
+	wg.Wait()
+
+	if firstErr == nil {
+		if err := ctxErr(ctx); err != nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+
+	sort.Slice(stats.PartitionTimings, func(a, b int) bool {
+		return stats.PartitionTimings[a].Partition < stats.PartitionTimings[b].Partition
+	})
+	ext := make(map[*pattern.NoKTree][]Match, n-1)
+	extPts := make(map[*pattern.NoKTree][]uint64, n-1)
+	for i := 1; i < n; i++ {
+		ext[parts[i]] = extArr[i]
+		extPts[parts[i]] = ptsArr[i]
+	}
+	stats.Parallel = true
+	mParallelQueries.Inc()
+	return ext, extPts, nil
+}

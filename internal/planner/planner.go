@@ -115,10 +115,22 @@ type Plan struct {
 	// Anchored reports whether the top partition starts from anchor
 	// candidates rather than the virtual root.
 	Anchored bool
+	// Parallel reports that the bottom-up phase is worth running on
+	// multiple goroutines: at least two partitions have no dependency on
+	// each other, and the estimated page work clears
+	// ParallelPageThreshold. Cheap queries stay sequential — goroutine
+	// and merge overhead would dominate their sub-millisecond runtime.
+	Parallel bool
 	// EstTotalPages and EstRows summarize the whole plan.
 	EstTotalPages float64
 	EstRows       float64
 }
+
+// ParallelPageThreshold is the estimated total page work below which a
+// plan stays sequential even when its partitions are independent. At the
+// default 4KB page size this is ~256KB of tree data — under that,
+// spawning workers costs more than the pages do.
+const ParallelPageThreshold = 64
 
 // Input is everything Build needs about one parsed query.
 type Input struct {
@@ -155,6 +167,17 @@ func Build(in Input, syn *stats.Synopsis, res Resolver, shape Shape) *Plan {
 	}
 
 	p.Order = bottomUpOrder(in.Parts, p.Parts)
+
+	// Two leaf partitions never depend on each other, so their ExtMatch
+	// passes can overlap; a single leaf means the dependency graph is a
+	// chain and parallelism has nothing to run concurrently.
+	leaves := 0
+	for i := 1; i < len(in.Parts); i++ {
+		if len(in.Parts[i].Links) == 0 {
+			leaves++
+		}
+	}
+	p.Parallel = leaves >= 2 && p.EstTotalPages >= ParallelPageThreshold
 
 	// EstRows: the chain to the returning partition only narrows, so the
 	// smallest estimate along it bounds the result.
@@ -483,6 +506,9 @@ func (p *Plan) String() string {
 	fmt.Fprintf(&b, "plan %s (stats epoch %d", p.Expr, p.Epoch)
 	if p.Anchored {
 		b.WriteString(", anchored")
+	}
+	if p.Parallel {
+		b.WriteString(", parallel")
 	}
 	b.WriteString(")\n")
 	for _, pp := range p.Parts {

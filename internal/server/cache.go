@@ -10,14 +10,17 @@ import (
 
 // cacheKey identifies one cacheable evaluation: the *normalized* query (the
 // parsed pattern tree rendered back to text, so `//book` and `// book`
-// collide), the forced strategy, and the store generation at lookup time.
-// Insert/Delete bump the generation, so every entry computed before a
-// mutation becomes unreachable — stale results are never served, and dead
-// entries age out through normal LRU eviction.
+// collide), the forced strategy, and the state fingerprint at lookup time —
+// the whole-store generation for single stores, the participating (shard,
+// generation) pairs for sharded collections. Mutations to participating
+// state change the fingerprint, so every entry computed before them becomes
+// unreachable — stale results are never served, and dead entries age out
+// through normal LRU eviction. Mutations to shards a query is pruned from
+// leave its fingerprint, and therefore its cached results, intact.
 type cacheKey struct {
 	expr     string
 	strategy nok.Strategy
-	gen      uint64
+	fp       string
 }
 
 // resultCache is a mutex-guarded LRU over query results. Entries store the

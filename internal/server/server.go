@@ -45,6 +45,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -113,10 +114,40 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server wraps an open nok.Store behind HTTP. It implements http.Handler;
+// Backend is the store surface the server needs. Both nok.Store (one
+// document) and shard.Store (a scatter-gather collection) implement it, so
+// one serving layer fronts either; nokserve picks by probing for a SHARDS
+// manifest.
+type Backend interface {
+	QueryWithOptionsContext(ctx context.Context, expr string, opts *nok.QueryOptions) ([]nok.Result, *nok.QueryStats, error)
+	QueryAnalyze(expr string, opts *nok.QueryOptions) ([]nok.Result, *nok.QueryStats, string, error)
+	Plan(expr string) (string, error)
+	Value(id string) (string, bool, error)
+	Insert(parentID string, fragment io.Reader) error
+	Delete(id string) error
+	Stats() nok.Stats
+	NodeCount() uint64
+	Generation() uint64
+	Epoch() uint64
+	Synopsis(n int) nok.SynopsisInfo
+	Verify(deep bool) *nok.VerifyResult
+	Close() error
+}
+
+// CacheFingerprinter is an optional Backend refinement: instead of keying
+// cached results on the whole-store generation, the backend names exactly
+// the state a query's answer depends on. The sharded store returns the
+// participating (shard, generation) pairs, so a write to shard 3 does not
+// evict shard 0's cached results. An empty fingerprint marks the query
+// uncachable.
+type CacheFingerprinter interface {
+	CacheFingerprint(expr string) string
+}
+
+// Server wraps an open store behind HTTP. It implements http.Handler;
 // wire it into an http.Server (see cmd/nokserve) or httptest for tests.
 type Server struct {
-	store *nok.Store
+	store Backend
 	cfg   Config
 	pool  *pool
 	cache *resultCache
@@ -134,9 +165,15 @@ type Server struct {
 	degradedReason string
 }
 
-// New builds a Server over an open store. The store stays owned by the
-// server from here on: Shutdown closes it after draining.
+// New builds a Server over an open single-document store. The store stays
+// owned by the server from here on: Shutdown closes it after draining.
 func New(store *nok.Store, cfg Config) *Server {
+	return NewBackend(store, cfg)
+}
+
+// NewBackend builds a Server over any Backend (see New for single stores;
+// pass a shard.Store to serve a sharded collection).
+func NewBackend(store Backend, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		store: store,
@@ -336,11 +373,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	begin := time.Now()
-	// Generation is read before evaluation: if a mutation lands while the
-	// query runs, the entry is stored under the pre-mutation generation and
+	// The fingerprint is read before evaluation: if a mutation lands while
+	// the query runs, the entry is stored under the pre-mutation state and
 	// can never be served afterwards — over-invalidation, never staleness.
-	key := cacheKey{expr: tree.String(), strategy: strat, gen: s.store.Generation()}
-	if results, stats, ok := s.cache.get(key); ok {
+	fp := s.fingerprint(expr)
+	key := cacheKey{expr: tree.String(), strategy: strat, fp: fp}
+	if results, stats, ok := s.cache.get(key); fp != "" && ok {
 		// A hit still gets its own telemetry record (the cached stats
 		// describe the original evaluation and must not be mutated); its
 		// fresh ID goes in the correlation header.
@@ -375,8 +413,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if stats != nil && stats.QueryID != 0 {
 		w.Header().Set("X-Nok-Query-Id", strconv.FormatUint(stats.QueryID, 10))
 	}
-	s.cache.put(key, results, stats)
+	if fp != "" {
+		s.cache.put(key, results, stats)
+	}
 	s.respondQuery(w, r, expr, results, stats, false, limit, time.Since(begin))
+}
+
+// fingerprint names the store state a cached answer for expr depends on:
+// the backend's per-query fingerprint when it offers one, the whole-store
+// generation otherwise. "" marks the query uncachable. It takes the raw
+// query text (not the canonical tree rendering, which is a display form and
+// not re-parseable); textual variants of one query still share a cache
+// entry because the canonical form is the key and the fingerprint is
+// determined by query semantics.
+func (s *Server) fingerprint(expr string) string {
+	if f, ok := s.store.(CacheFingerprinter); ok {
+		return f.CacheFingerprint(expr)
+	}
+	return strconv.FormatUint(s.store.Generation(), 10)
 }
 
 // writeQueryError maps evaluation/admission errors to HTTP statuses.
@@ -443,7 +497,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			s.writeQueryError(w, err)
 			return
 		}
-		plan, err = nok.ExplainAnalyze(s.store, expr)
+		_, _, plan, err = s.store.QueryAnalyze(expr, nil)
 		s.pool.release()
 	} else {
 		plan, err = nok.Explain(expr)

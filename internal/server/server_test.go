@@ -474,9 +474,9 @@ func TestResultCacheLRU(t *testing.T) {
 	if c.len() != 2 {
 		t.Errorf("len = %d", c.len())
 	}
-	// Generation mismatch is a miss even for the same expression.
-	if _, _, ok := c.get(cacheKey{expr: "q1", gen: 1}); ok {
-		t.Error("stale-generation entry served")
+	// Fingerprint mismatch is a miss even for the same expression.
+	if _, _, ok := c.get(cacheKey{expr: "q1", fp: "0:1"}); ok {
+		t.Error("stale-fingerprint entry served")
 	}
 	// Disabled cache never stores.
 	d := newResultCache(-1)

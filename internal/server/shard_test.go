@@ -1,0 +1,148 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nok/internal/shard"
+)
+
+// shardedCollection puts all articles on one shard and all books on
+// another (path routing), so queries over one tag are pruned from the
+// other's shard.
+func shardedCollection(t *testing.T) (*Server, *httptest.Server, *shard.Store) {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("<bib>")
+	for i := 0; i < 30; i++ {
+		if i%2 == 0 {
+			fmt.Fprintf(&b, "<book><title>b%d</title><price>%d</price></book>", i, i%90)
+		} else {
+			fmt.Fprintf(&b, "<article><title>a%d</title><pages>%d</pages></article>", i, i%40)
+		}
+	}
+	b.WriteString("</bib>")
+	st, err := shard.Create(filepath.Join(t.TempDir(), "coll"), strings.NewReader(b.String()),
+		&shard.Options{Shards: 4, Strategy: shard.StrategyPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewBackend(st, Config{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv, ts, st
+}
+
+// TestShardedCacheInvalidationPerShard is the per-shard invalidation
+// property at the HTTP layer: a mutation routed to a shard a cached query
+// is pruned from must NOT evict that query's entry, while a mutation on a
+// participating shard must.
+func TestShardedCacheInvalidationPerShard(t *testing.T) {
+	_, ts, st := shardedCollection(t)
+	q := ts.URL + "/query?q=" + url.QueryEscape(`//article/pages`)
+
+	var r1 queryResponse
+	if code := getJSON(t, q, &r1); code != 200 || r1.Cached {
+		t.Fatalf("first query: code %d cached %v", code, r1.Cached)
+	}
+	var r2 queryResponse
+	if code := getJSON(t, q, &r2); code != 200 || !r2.Cached {
+		t.Fatalf("repeat query not served from cache (code %d)", code)
+	}
+
+	// Mutate a book document — path routing sends books to a shard the
+	// article query is pruned from.
+	resp, err := http.Post(ts.URL+"/insert?parent=0", "application/xml",
+		strings.NewReader(`<book><title>new</title><price>7</price></book>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("insert: status %d", resp.StatusCode)
+	}
+	var r3 queryResponse
+	if code := getJSON(t, q, &r3); code != 200 || !r3.Cached {
+		t.Fatalf("write to non-participating shard evicted the cache (code %d cached %v)", code, r3.Cached)
+	}
+
+	// Mutate the article shard: now the entry must be unreachable and the
+	// fresh evaluation must see the new document.
+	resp, err = http.Post(ts.URL+"/insert?parent=0", "application/xml",
+		strings.NewReader(`<article><title>fresh</title><pages>1</pages></article>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("insert: status %d", resp.StatusCode)
+	}
+	var r4 queryResponse
+	if code := getJSON(t, q, &r4); code != 200 || r4.Cached {
+		t.Fatalf("write to participating shard did not evict the cache (code %d cached %v)", code, r4.Cached)
+	}
+	if r4.Count != r1.Count+1 {
+		t.Fatalf("post-insert count %d, want %d", r4.Count, r1.Count+1)
+	}
+
+	// The sharded backend serves the rest of the surface too.
+	var stats statsResponse
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != 200 {
+		t.Fatalf("/stats: %d", code)
+	}
+	if stats.Nodes != st.NodeCount() {
+		t.Fatalf("/stats nodes %d != NodeCount %d", stats.Nodes, st.NodeCount())
+	}
+	var health healthResponse
+	if code := getJSON(t, ts.URL+"/healthz?deep=1", &health); code != 200 {
+		t.Fatalf("/healthz?deep=1: %d (%+v)", code, health)
+	}
+}
+
+// TestShardedExplainShowsFanout checks GET /explain?analyze=1 against a
+// sharded backend renders the per-shard fan-out including pruning.
+func TestShardedExplainShowsFanout(t *testing.T) {
+	_, ts, _ := shardedCollection(t)
+	resp, err := http.Get(ts.URL + "/explain?analyze=1&q=" + url.QueryEscape(`//article/pages`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "shard") {
+		t.Fatalf("analyze output has no shard fan-out:\n%s", body)
+	}
+	if !strings.Contains(body, "pruned") {
+		t.Fatalf("analyze output does not show pruning:\n%s", body)
+	}
+
+	// Non-shardable queries surface the refusal as a client error.
+	resp2, err := http.Get(ts.URL + "/query?q=" + url.QueryEscape(`//book/following::article`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusInternalServerError && resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-shardable query: status %d", resp2.StatusCode)
+	}
+}

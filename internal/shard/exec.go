@@ -1,0 +1,316 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"nok"
+	"nok/internal/core"
+	"nok/internal/dewey"
+	"nok/internal/obs"
+	"nok/internal/pattern"
+	"nok/internal/telemetry"
+)
+
+// Scatter-gather metrics, exposed through the default obs registry.
+var (
+	mScatterQueries = obs.Default.Counter("nok_shard_queries_total", "queries evaluated by the scatter-gather executor")
+	mShardSkipped   = obs.Default.Counter("nok_shard_skipped_total", "shards skipped because statistics proved them empty for a query")
+	mShardFanout    = obs.Default.Counter("nok_shard_fanout_total", "per-shard query executions issued by the scatter-gather executor")
+)
+
+// Query evaluates a path expression across all shards and returns matches
+// in global document order — byte-identical to what the unsharded store
+// would return.
+func (st *Store) Query(expr string) ([]nok.Result, error) {
+	rs, _, err := st.QueryWithOptions(expr, nil)
+	return rs, err
+}
+
+// QueryWithOptions is Query with per-evaluation options and statistics.
+func (st *Store) QueryWithOptions(expr string, opts *nok.QueryOptions) ([]nok.Result, *nok.QueryStats, error) {
+	return st.QueryWithOptionsContext(context.Background(), expr, opts)
+}
+
+// QueryWithOptionsContext fans the query out to every shard the statistics
+// cannot prove empty, on a bounded worker pool, and merges the remapped
+// per-shard results. The first shard error cancels the rest; ctx
+// cancellation propagates into every shard's matching loops.
+func (st *Store) QueryWithOptionsContext(ctx context.Context, expr string, opts *nok.QueryOptions) ([]nok.Result, *nok.QueryStats, error) {
+	return st.scatter(ctx, expr, opts, nil)
+}
+
+// QueryAnalyze is the sharded EXPLAIN ANALYZE: alongside results and
+// aggregated statistics it renders the fan-out — one phase per shard with
+// its timing, result count, and (for pruned shards) the statistics proof
+// that skipped it.
+func (st *Store) QueryAnalyze(expr string, opts *nok.QueryOptions) ([]nok.Result, *nok.QueryStats, string, error) {
+	tr := obs.New("query " + expr)
+	rs, stats, err := st.scatter(context.Background(), expr, opts, tr)
+	tr.Finish()
+	if err != nil {
+		return nil, nil, "", err
+	}
+	root := tr.Root()
+	root.Set("shards", st.man.Shards)
+	root.Set("results", len(rs))
+	return rs, stats, tr.String(), nil
+}
+
+// shardResult is one shard's remapped, merge-ready output.
+type shardResult struct {
+	keys []dewey.ID // remapped IDs, ascending
+	rs   []nok.Result
+}
+
+func (st *Store) scatter(ctx context.Context, expr string, opts *nok.QueryOptions, tr *obs.Trace) ([]nok.Result, *nok.QueryStats, error) {
+	begin := time.Now()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.closed {
+		return nil, nil, ErrClosed
+	}
+	t, err := pattern.Parse(expr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := checkShardable(t, st.man.RootTag); err != nil {
+		return nil, nil, err
+	}
+	mScatterQueries.Inc()
+
+	n := st.man.Shards
+	stats := &nok.QueryStats{Shards: make([]core.ShardTiming, n)}
+	if opts != nil {
+		stats.Requested = opts.Strategy
+	}
+
+	// Prune: per-shard statistics prove some shards cannot contribute.
+	live := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		empty, reason, perr := st.shards[s].ProvablyEmpty(expr)
+		if perr != nil {
+			return nil, nil, fmt.Errorf("shard %d: %w", s, perr)
+		}
+		if empty {
+			mShardSkipped.Inc()
+			stats.Shards[s] = core.ShardTiming{Shard: s, Skipped: true, SkipReason: reason}
+			if tr != nil {
+				sp := tr.Start(fmt.Sprintf("shard %d", s))
+				sp.Set("pruned", reason)
+				sp.End()
+			}
+			continue
+		}
+		live = append(live, s)
+	}
+
+	// Scatter the live shards on a bounded pool.
+	base := ctx
+	if base == nil {
+		base = context.Background()
+	}
+	qctx, cancel := context.WithCancel(base)
+	defer cancel()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(live) {
+		workers = len(live)
+	}
+	sem := make(chan struct{}, max(workers, 1))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	perShard := make([]shardResult, n)
+	shardStats := make([]*nok.QueryStats, n)
+	for _, s := range live {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if qctx.Err() != nil {
+				return
+			}
+			mShardFanout.Inc()
+			t0 := time.Now()
+			rs, qs, err := st.shards[s].QueryWithOptionsContext(qctx, expr, opts)
+			dur := time.Since(t0)
+			var sr shardResult
+			if err == nil {
+				sr, err = st.remap(s, rs)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("shard %d: %w", s, err)
+					cancel()
+				}
+				return
+			}
+			perShard[s] = sr
+			shardStats[s] = qs
+			stats.Shards[s] = core.ShardTiming{Shard: s, Duration: dur, Results: len(rs)}
+		}(s)
+	}
+	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctxErr(ctx)
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+
+	// Aggregate per-shard statistics; StrategyUsed/Partitions describe the
+	// first live shard (the pattern partitions identically everywhere).
+	for _, s := range live {
+		qs := shardStats[s]
+		if qs == nil {
+			continue
+		}
+		if stats.Partitions == 0 {
+			stats.Partitions = qs.Partitions
+			stats.StrategyUsed = qs.StrategyUsed
+			stats.Planned = qs.Planned
+			stats.PlanEpoch = qs.PlanEpoch
+		}
+		stats.StartingPoints += qs.StartingPoints
+		stats.NPMCalls += qs.NPMCalls
+		stats.NodesVisited += qs.NodesVisited
+		stats.JoinInputs += qs.JoinInputs
+		stats.PagesScanned += qs.PagesScanned
+		stats.PagesSkipped += qs.PagesSkipped
+		stats.EstRows += qs.EstRows
+		stats.EstPages += qs.EstPages
+		stats.Parallel = stats.Parallel || qs.Parallel
+	}
+	if tr != nil {
+		for _, s := range live {
+			sp := tr.Start(fmt.Sprintf("shard %d", s))
+			sp.Set("took", stats.Shards[s].Duration.Round(time.Microsecond).String())
+			sp.Set("results", stats.Shards[s].Results)
+			if qs := shardStats[s]; qs != nil {
+				sp.Set("pages-scanned", qs.PagesScanned)
+				sp.Set("pages-skipped", qs.PagesSkipped)
+			}
+			sp.End()
+		}
+	}
+
+	out := mergeShards(perShard)
+	if telemetry.Default.Enabled() {
+		st.capture(expr, stats, len(out), begin, time.Since(begin), nil)
+	}
+	return out, stats, nil
+}
+
+// remap rewrites shard s's local Dewey IDs into the global numbering: the
+// component below the collection root moves from the shard-local root-child
+// ordinal to the manifest's global ordinal. The rewrite is strictly
+// monotone within a shard, so the slice stays sorted.
+func (st *Store) remap(s int, rs []nok.Result) (shardResult, error) {
+	sr := shardResult{keys: make([]dewey.ID, len(rs)), rs: rs}
+	for i := range rs {
+		id, err := dewey.Parse(rs[i].ID)
+		if err != nil {
+			return sr, err
+		}
+		if len(id) > 1 {
+			g, ok := st.man.localToGlobal(s, id[1])
+			if !ok {
+				return sr, fmt.Errorf("result %s outside shard %d's assignment", rs[i].ID, s)
+			}
+			if g != id[1] {
+				id[1] = g
+				rs[i].ID = id.String()
+			}
+		}
+		sr.keys[i] = id
+	}
+	return sr, nil
+}
+
+// mergeShards k-way merges the per-shard result lists by Dewey order and
+// deduplicates the broadcast nodes (the collection root and its
+// attributes appear once per participating shard).
+func mergeShards(per []shardResult) []nok.Result {
+	total := 0
+	for i := range per {
+		total += len(per[i].rs)
+	}
+	out := make([]nok.Result, 0, total)
+	heads := make([]int, len(per))
+	var last []byte
+	for {
+		best := -1
+		var bestKey []byte
+		for i := range per {
+			if heads[i] >= len(per[i].rs) {
+				continue
+			}
+			k := per[i].keys[heads[i]].Bytes()
+			if best == -1 || bytes.Compare(k, bestKey) < 0 {
+				best, bestKey = i, k
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		r := per[best].rs[heads[best]]
+		heads[best]++
+		if last != nil && bytes.Equal(bestKey, last) {
+			continue // broadcast duplicate
+		}
+		last = bestKey
+		out = append(out, r)
+	}
+}
+
+// capture emits the collection-level telemetry record for one
+// scatter-gather evaluation; the per-shard evaluations have already
+// captured their own records through their stores.
+func (st *Store) capture(expr string, stats *nok.QueryStats, results int, begin time.Time, dur time.Duration, err error) {
+	rec := &telemetry.Record{
+		Expr:     expr,
+		Start:    begin,
+		Duration: dur,
+		Results:  results,
+		Epoch:    st.epochLocked(),
+	}
+	if stats != nil {
+		rec.Partitions = stats.Partitions
+		rec.PagesScanned = stats.PagesScanned
+		rec.PagesSkipped = stats.PagesSkipped
+		rec.StartingPoints = stats.StartingPoints
+		rec.NodesVisited = stats.NodesVisited
+		for _, sh := range stats.Shards {
+			rec.Shards = append(rec.Shards, telemetry.ShardTiming{
+				Shard:      sh.Shard,
+				Micros:     sh.Duration.Microseconds(),
+				Results:    sh.Results,
+				Skipped:    sh.Skipped,
+				SkipReason: sh.SkipReason,
+			})
+		}
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	id := telemetry.Default.Capture(rec)
+	if stats != nil {
+		stats.QueryID = id
+	}
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

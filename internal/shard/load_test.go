@@ -1,0 +1,188 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"nok"
+)
+
+// TestScatterGatherLoad hammers one sharded store from many goroutines —
+// exactly the access pattern the scatter executor's bounded pool, shared
+// stats aggregation, and merge path must survive under the race detector.
+// Three phases: concurrent readers checked against a baseline, readers
+// racing a mutator, and Close racing readers (the drain property at the
+// shard layer).
+func TestScatterGatherLoad(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`<bib version="9">`)
+	for i := 0; i < 120; i++ {
+		switch i % 3 {
+		case 0:
+			fmt.Fprintf(&b, "<article><title>r%d</title><pages>%d</pages></article>", i, i%40)
+		default:
+			fmt.Fprintf(&b, "<book><title>b%d</title><author><last>a%d</last></author><price>%d</price></book>", i, i%7, i%90)
+		}
+	}
+	b.WriteString("</bib>")
+	st, err := Create(filepath.Join(t.TempDir(), "coll"), strings.NewReader(b.String()),
+		&Options{Shards: 4, Strategy: StrategyHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	startNodes := st.NodeCount()
+
+	queries := []string{
+		`//book/title`,
+		`//article/pages`,
+		`//book[price<30]//last`,
+		`/bib/book[author/last="a3"]/title`,
+		`//nosuchtag`,
+	}
+	baseline := make(map[string][]nok.Result, len(queries))
+	for _, q := range queries {
+		rs, err := st.Query(q)
+		if err != nil {
+			t.Fatalf("baseline %s: %v", q, err)
+		}
+		baseline[q] = rs
+	}
+
+	// Phase 1: pure read load; every answer must equal the baseline.
+	const readers = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				q := queries[(g+i)%len(queries)]
+				rs, err := st.Query(q)
+				if err != nil {
+					errCh <- fmt.Errorf("reader %d: %s: %w", g, q, err)
+					return
+				}
+				want := baseline[q]
+				if len(rs) != len(want) {
+					errCh <- fmt.Errorf("reader %d: %s: %d results, want %d", g, q, len(rs), len(want))
+					return
+				}
+				for k := range rs {
+					if rs[k] != want[k] {
+						errCh <- fmt.Errorf("reader %d: %s: result %d = %+v, want %+v", g, q, k, rs[k], want[k])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Phase 2: readers race a mutator that inserts documents and deletes
+	// them again. Results are in flux, so only errors are checked; the
+	// mutator restores the starting state, checked after the barrier.
+	stop := make(chan struct{})
+	errCh = make(chan error, readers+1)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := st.Query(queries[(g+i)%len(queries)]); err != nil {
+					errCh <- fmt.Errorf("racing reader %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 10; i++ {
+		doc := fmt.Sprintf("<book><title>tmp%d</title><price>1</price></book>", i)
+		if err := st.Insert("0", strings.NewReader(doc)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		man := st.Manifest()
+		g := uint32(0)
+		for _, a := range man.Assign {
+			for _, v := range a {
+				if v > g {
+					g = v
+				}
+			}
+		}
+		if err := st.Delete(fmt.Sprintf("0.%d", g)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if n := st.NodeCount(); n != startNodes {
+		t.Fatalf("node count after mutation churn: %d, want %d", n, startNodes)
+	}
+	for _, q := range queries {
+		rs, err := st.Query(q)
+		if err != nil {
+			t.Fatalf("post-churn %s: %v", q, err)
+		}
+		if len(rs) != len(baseline[q]) {
+			t.Fatalf("post-churn %s: %d results, want %d", q, len(rs), len(baseline[q]))
+		}
+	}
+
+	// Phase 3: Close while queries are in flight. In-flight scatters hold
+	// the read lock, so Close blocks until they drain; late arrivals get
+	// ErrClosed, never a partial answer or a panic.
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rs, err := st.Query(queries[(g+i)%len(queries)])
+				if err != nil {
+					if !errors.Is(err, ErrClosed) {
+						errCh2(t, err)
+					}
+					return
+				}
+				if q := queries[(g+i)%len(queries)]; len(rs) != len(baseline[q]) {
+					errCh2(t, fmt.Errorf("torn read during close: %s gave %d results", q, len(rs)))
+					return
+				}
+			}
+		}(g)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait()
+	if err := st.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := st.Query(queries[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("query after close: %v, want ErrClosed", err)
+	}
+}
+
+// errCh2 reports a phase-3 failure from a goroutine.
+func errCh2(t *testing.T, err error) {
+	t.Helper()
+	t.Error(err)
+}

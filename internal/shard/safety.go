@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"nok/internal/pattern"
+)
+
+// ErrNotShardable is the sentinel for queries the scatter-gather executor
+// must refuse: match it with errors.Is. The concrete *NotShardableError
+// names the construct.
+var ErrNotShardable = errors.New("shard: query not shardable")
+
+// NotShardableError reports why a query cannot be evaluated shard-by-shard.
+type NotShardableError struct{ Reason string }
+
+func (e *NotShardableError) Error() string {
+	return "shard: query not shardable: " + e.Reason
+}
+
+func (e *NotShardableError) Is(target error) bool { return target == ErrNotShardable }
+
+// checkShardable decides whether evaluating the pattern independently per
+// shard and unioning the remapped results equals evaluating it on the
+// merged document. Documents are whole on one shard, so anything confined
+// to a single document is safe; the two constructs that cross document
+// boundaries are refused:
+//
+//   - the following:: axis — its frontier spans later documents, which may
+//     live on other shards;
+//   - branching at a node that may bind to the collection root — a
+//     predicate witness in one document then licenses results in another
+//     ("/lib[book/title=\"X\"]//article"), and per-shard evaluation only
+//     sees its own witnesses. Branches into broadcast state (the root's
+//     attributes, replicated on every shard) are exempt; sibling-order
+//     arcs among the root's children are a special case of branching and
+//     are caught by the same rule.
+//
+// The root-binding test is conservative: "*" and a test equal to the
+// collection root tag count as may-bind-root even when a deeper binding
+// also exists.
+func checkShardable(t *pattern.Tree, rootTag string) error {
+	var bad *NotShardableError
+	t.Walk(func(n *pattern.Node, _ int) {
+		if bad != nil {
+			return
+		}
+		for _, e := range n.Children {
+			if e.Axis == pattern.Following {
+				bad = &NotShardableError{"following:: crosses document boundaries"}
+				return
+			}
+		}
+		if !mayBindRoot(n, rootTag) {
+			return
+		}
+		routed := 0
+		for _, e := range n.Children {
+			if !strings.HasPrefix(e.To.Test, "@") {
+				routed++
+			}
+		}
+		if routed >= 2 {
+			name := n.Test
+			if n.IsVirtualRoot() {
+				name = "(virtual root)"
+			}
+			bad = &NotShardableError{fmt.Sprintf(
+				"%d branches at %q, which may bind the collection root; a predicate witness and a result could live on different shards", routed, name)}
+		}
+	})
+	if bad != nil {
+		return bad
+	}
+	return nil
+}
+
+// mayBindRoot reports whether the pattern node could bind to the
+// collection root element (or its virtual parent).
+func mayBindRoot(n *pattern.Node, rootTag string) bool {
+	return n.IsVirtualRoot() || n.Test == "*" || n.Test == rootTag
+}

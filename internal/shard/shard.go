@@ -1,0 +1,344 @@
+// Package shard partitions one XML document collection across N
+// independent NoK stores and evaluates path queries with a scatter-gather
+// executor that merges per-shard results back into global document order.
+//
+// The unit of distribution is the top-level document: a collection
+//
+//	<bib> <book>…</book> <book>…</book> … </bib>
+//
+// is split so every shard holds the collection root (with its attributes
+// and direct text, broadcast to all shards) plus a subset of the root's
+// element children. Inside a shard the layout is an ordinary NoK store —
+// the same succinct string representation, indexes, planner statistics and
+// crash-safety machinery — so everything the paper's evaluator does per
+// shard is unchanged; this package only routes, fans out and merges.
+//
+// Results come back in exactly the order the unsharded store would produce:
+// each shard's Dewey IDs are remapped from local root-child ordinals to the
+// global ordinals recorded in the SHARDS manifest (a strictly monotone
+// rewrite, so per-shard document order survives), then k-way merged.
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"nok"
+)
+
+// Strategy selects how top-level documents are routed to shards.
+type Strategy string
+
+const (
+	// StrategyHash routes each document by a hash of its global root-child
+	// ordinal — uniform spread, position-stable.
+	StrategyHash Strategy = "hash"
+	// StrategyPath routes each document by its top-level element name: the
+	// distinct names are dealt round-robin to shards in order of first
+	// appearance (recorded in the manifest's routes table), so all
+	// /bib/book documents land on one shard and all /bib/article documents
+	// on another — the top-level-path locality routing that lets per-shard
+	// statistics prune whole shards from tag-selective queries. Skewed
+	// collections (one dominant tag) degrade to one busy shard.
+	StrategyPath Strategy = "path"
+)
+
+// ManifestName is the file that marks a directory as a sharded collection.
+const ManifestName = "SHARDS"
+
+// manifestVersion guards the on-disk manifest format.
+const manifestVersion = 1
+
+// Manifest records how the collection was split. Assign[s] lists, in
+// increasing order, the global root-child ordinals of the documents shard s
+// owns; global ordinal g of a document at position k within shard s is
+// Assign[s][k], and its local ordinal there is RootAttrs+k+1 (the broadcast
+// root attributes occupy local ordinals 1..RootAttrs in every shard).
+type Manifest struct {
+	Version   int        `json:"version"`
+	Strategy  Strategy   `json:"strategy"`
+	Shards    int        `json:"shards"`
+	RootTag   string     `json:"root_tag"`
+	RootAttrs int        `json:"root_attrs"`
+	Assign    [][]uint32 `json:"assign"`
+	// Routes maps top-level element names to shards under StrategyPath;
+	// names are dealt round-robin in order of first appearance, so up to
+	// Shards distinct names never share a shard.
+	Routes map[string]int `json:"routes,omitempty"`
+}
+
+// Options configure Create.
+type Options struct {
+	// Shards is the number of partitions (default 4).
+	Shards int
+	// Strategy is the document-routing strategy (default StrategyHash).
+	Strategy Strategy
+	// Store passes through to each per-shard nok store.
+	Store *nok.Options
+}
+
+// Store is an opened sharded collection: N independent nok stores plus the
+// manifest mapping documents to shards.
+//
+// Like nok.Store it is safe for concurrent use — queries fan out in
+// parallel with each other; mutations serialize against queries per shard
+// and against the manifest here.
+type Store struct {
+	dir string
+
+	// mu guards man (Assign and RootAttrs move under mutations) and closed.
+	// Queries snapshot the assignment under RLock and then run against the
+	// per-shard stores, whose own locks serialize against shard mutations.
+	mu     sync.RWMutex
+	man    *Manifest
+	shards []*nok.Store
+	closed bool
+}
+
+// ErrClosed is returned by Store methods called after Close.
+var ErrClosed = errors.New("shard: store is closed")
+
+// IsSharded reports whether dir holds a sharded collection (a SHARDS
+// manifest), letting callers pick between nok.Open and shard.Open.
+func IsSharded(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, ManifestName))
+	return err == nil
+}
+
+func shardDir(dir string, s int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d", s))
+}
+
+// Create splits the XML collection read from xml across o.Shards stores
+// under dir and returns the opened collection.
+func Create(dir string, xml io.Reader, o *Options) (*Store, error) {
+	n, strat := 4, StrategyHash
+	var storeOpts *nok.Options
+	if o != nil {
+		if o.Shards > 0 {
+			n = o.Shards
+		}
+		if o.Strategy != "" {
+			strat = o.Strategy
+		}
+		storeOpts = o.Store
+	}
+	if strat != StrategyHash && strat != StrategyPath {
+		return nil, fmt.Errorf("shard: unknown strategy %q", strat)
+	}
+	sp, err := split(xml, n, strat)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	man := &Manifest{
+		Version:   manifestVersion,
+		Strategy:  strat,
+		Shards:    n,
+		RootTag:   sp.rootTag,
+		RootAttrs: sp.rootAttrs,
+		Assign:    sp.assign,
+		Routes:    sp.routes,
+	}
+	st := &Store{dir: dir, man: man, shards: make([]*nok.Store, n)}
+	for s := 0; s < n; s++ {
+		sub, err := nok.Create(shardDir(dir, s), &sp.docs[s], storeOpts)
+		if err != nil {
+			st.cleanup(s)
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		st.shards[s] = sub
+	}
+	if err := saveManifest(dir, man); err != nil {
+		st.cleanup(n)
+		return nil, err
+	}
+	return st, nil
+}
+
+// cleanup closes the first n shards and removes everything Create built.
+func (st *Store) cleanup(n int) {
+	for s := 0; s < n; s++ {
+		if st.shards[s] != nil {
+			_ = st.shards[s].Close()
+		}
+	}
+	for s := range st.shards {
+		_ = os.RemoveAll(shardDir(st.dir, s))
+	}
+}
+
+// CreateFromFile is Create reading the collection from a file.
+func CreateFromFile(dir, xmlPath string, o *Options) (*Store, error) {
+	f, err := os.Open(xmlPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Create(dir, f, o)
+}
+
+// Open attaches to a sharded collection created by Create.
+func Open(dir string, opts *nok.Options) (*Store, error) {
+	man, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{dir: dir, man: man, shards: make([]*nok.Store, man.Shards)}
+	for s := 0; s < man.Shards; s++ {
+		sub, err := nok.Open(shardDir(dir, s), opts)
+		if err != nil {
+			for i := 0; i < s; i++ {
+				_ = st.shards[i].Close()
+			}
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		st.shards[s] = sub
+	}
+	return st, nil
+}
+
+// Close closes every shard, draining their in-flight queries. The first
+// error is returned but all shards are closed regardless.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	var first error
+	for _, sub := range st.shards {
+		if err := sub.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// NumShards returns the shard count.
+func (st *Store) NumShards() int { return st.man.Shards }
+
+// Manifest returns a deep copy of the current manifest.
+func (st *Store) Manifest() *Manifest {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.man.clone()
+}
+
+func (m *Manifest) clone() *Manifest {
+	c := *m
+	if m.Routes != nil {
+		c.Routes = make(map[string]int, len(m.Routes))
+		for k, v := range m.Routes {
+			c.Routes[k] = v
+		}
+	}
+	c.Assign = make([][]uint32, len(m.Assign))
+	for i, a := range m.Assign {
+		c.Assign[i] = append([]uint32(nil), a...)
+	}
+	return &c
+}
+
+func saveManifest(dir string, m *Manifest) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, ManifestName))
+}
+
+func loadManifest(dir string) (*Manifest, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("shard: not a sharded collection: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("shard: bad manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("shard: manifest version %d not supported", m.Version)
+	}
+	if m.Shards < 1 || len(m.Assign) != m.Shards {
+		return nil, fmt.Errorf("shard: manifest inconsistent: %d shards, %d assignment lists", m.Shards, len(m.Assign))
+	}
+	return &m, nil
+}
+
+// routeHash picks the shard for the document with the given global ordinal.
+func routeHash(global uint32, shards int) int {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], global)
+	h := fnv.New64a()
+	_, _ = h.Write(b[:])
+	return int(h.Sum64() % uint64(shards))
+}
+
+// routeTag picks the shard for a document by its top-level element name,
+// assigning unseen names round-robin and recording the choice so later
+// documents (and future inserts) with the same name follow them.
+func (m *Manifest) routeTag(tag string) int {
+	if s, ok := m.Routes[tag]; ok {
+		return s
+	}
+	if m.Routes == nil {
+		m.Routes = make(map[string]int)
+	}
+	s := len(m.Routes) % m.Shards
+	m.Routes[tag] = s
+	return s
+}
+
+// globalToLocal maps a global root-child ordinal to (shard, local ordinal).
+// Broadcast ordinals (root attributes, g <= RootAttrs) map to every shard
+// unchanged; the second return is false for them.
+func (m *Manifest) globalToLocal(g uint32) (shard int, local uint32, routed bool) {
+	if int(g) <= m.RootAttrs {
+		return 0, g, false
+	}
+	for s, a := range m.Assign {
+		// Binary search: assignment lists are kept sorted.
+		lo, hi := 0, len(a)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if a[mid] < g {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(a) && a[lo] == g {
+			return s, uint32(m.RootAttrs + lo + 1), true
+		}
+	}
+	return -1, 0, true
+}
+
+// localToGlobal maps shard s's local root-child ordinal back to the global
+// one. Broadcast ordinals pass through unchanged.
+func (m *Manifest) localToGlobal(s int, local uint32) (uint32, bool) {
+	if int(local) <= m.RootAttrs {
+		return local, true
+	}
+	k := int(local) - m.RootAttrs - 1
+	if k < 0 || k >= len(m.Assign[s]) {
+		return 0, false
+	}
+	return m.Assign[s][k], true
+}

@@ -1,0 +1,349 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nok"
+	"nok/internal/samples"
+)
+
+// collection builds a mixed-tag collection with enough documents that
+// every shard count under test gets a non-trivial subset.
+func collection(docs int) string {
+	var b strings.Builder
+	b.WriteString(`<bib version="2" curator="kim">`)
+	b.WriteString("keeper's note")
+	for i := 0; i < docs; i++ {
+		switch i % 3 {
+		case 0:
+			fmt.Fprintf(&b, `<book year="%d"><title>B%d &amp; co</title><author><last>L%d</last><first>F%d</first></author><price>%d.50</price></book>`,
+				1990+i%20, i, i%11, i%7, 20+i%80)
+		case 1:
+			fmt.Fprintf(&b, `<article><title>A%d</title><author><last>L%d</last></author><pages>%d</pages></article>`,
+				i, i%11, 4+i%30)
+		default:
+			fmt.Fprintf(&b, `<book year="2001"><title>B%d</title><author><last>Stevens</last></author><price>9.99</price></book>`, i)
+		}
+	}
+	b.WriteString(`</bib>`)
+	return b.String()
+}
+
+// shardableQueries covers the full query surface the executor accepts:
+// descendant and child axes, wildcards, attributes, value predicates
+// (string and numeric), multi-predicate documents, sibling arcs inside a
+// document, and matches of the broadcast root itself.
+var shardableQueries = []string{
+	`//book`,
+	`//book/title`,
+	`/bib/book/author/last`,
+	`//author[last="Stevens"]`,
+	`//book[author/last="Stevens"][price<100]`,
+	`//book[price=9.99]/title`,
+	`//article/pages`,
+	`//*/title`,
+	`/bib/@version`,
+	`/bib/@curator`,
+	`/bib`,
+	`//bib`,
+	`//book[@year=2001]`,
+	`/bib/book/author/following-sibling::price`,
+	`//last`,
+	`//book[title="B0 & co"]`,
+	`//nosuchtag`,
+}
+
+func openPair(t *testing.T, xml string, shards int, strat Strategy) (*nok.Store, *Store) {
+	t.Helper()
+	dir := t.TempDir()
+	single, err := nok.Create(filepath.Join(dir, "single"), strings.NewReader(xml), nil)
+	if err != nil {
+		t.Fatalf("single Create: %v", err)
+	}
+	t.Cleanup(func() { single.Close() })
+	sharded, err := Create(filepath.Join(dir, "sharded"), strings.NewReader(xml),
+		&Options{Shards: shards, Strategy: strat})
+	if err != nil {
+		t.Fatalf("sharded Create: %v", err)
+	}
+	t.Cleanup(func() { sharded.Close() })
+	return single, sharded
+}
+
+func compareQuery(t *testing.T, single *nok.Store, sharded *Store, expr string, opts *nok.QueryOptions) {
+	t.Helper()
+	want, _, err := single.QueryWithOptions(expr, opts)
+	if err != nil {
+		t.Fatalf("single %s: %v", expr, err)
+	}
+	got, _, err := sharded.QueryWithOptions(expr, opts)
+	if err != nil {
+		t.Fatalf("sharded %s: %v", expr, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: sharded %d results, single %d", expr, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: result %d differs:\n sharded %+v\n single  %+v", expr, i, got[i], want[i])
+		}
+	}
+}
+
+// TestOracleEquivalence is the oracle property: for every shard count,
+// routing strategy and starting-point strategy, the sharded store answers
+// byte-identically to a single store holding the merged collection.
+func TestOracleEquivalence(t *testing.T) {
+	xml := collection(60)
+	for _, shards := range []int{1, 2, 8} {
+		for _, routing := range []Strategy{StrategyHash, StrategyPath} {
+			t.Run(fmt.Sprintf("shards=%d/%s", shards, routing), func(t *testing.T) {
+				single, sharded := openPair(t, xml, shards, routing)
+				for _, expr := range shardableQueries {
+					for _, strat := range []nok.Strategy{
+						nok.StrategyAuto, nok.StrategyScan, nok.StrategyTagIndex,
+						nok.StrategyValueIndex, nok.StrategyPathIndex,
+					} {
+						compareQuery(t, single, sharded, expr, &nok.QueryOptions{Strategy: strat})
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestOracleAfterMutations drives the same mutation sequence through both
+// stores — document insert, deep insert, subtree delete, whole-document
+// delete, root-attribute delete — and re-checks equivalence after each.
+func TestOracleAfterMutations(t *testing.T) {
+	xml := collection(24)
+	single, sharded := openPair(t, xml, 4, StrategyHash)
+	recheck := func(stage string) {
+		t.Helper()
+		for _, expr := range shardableQueries {
+			compareQuery(t, single, sharded, expr, nil)
+		}
+		if sn, gn := single.NodeCount(), sharded.NodeCount(); sn != gn {
+			t.Fatalf("%s: NodeCount %d (sharded) != %d (single)", stage, gn, sn)
+		}
+	}
+	recheck("initial")
+
+	doc := `<book year="2024"><title>New</title><author><last>Stevens</last></author><price>5.00</price></book>`
+	if err := single.Insert("0", strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.Insert("0", strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	recheck("after document insert")
+
+	// Deep insert into an existing document (root child ordinal 3 = first
+	// document after the two root attributes).
+	frag := `<note>checked</note>`
+	if err := single.Insert("0.3", strings.NewReader(frag)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.Insert("0.3", strings.NewReader(frag)); err != nil {
+		t.Fatal(err)
+	}
+	recheck("after deep insert")
+
+	// Delete a subtree inside a document.
+	if err := single.Delete("0.4.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.Delete("0.4.1"); err != nil {
+		t.Fatal(err)
+	}
+	recheck("after subtree delete")
+
+	// Delete a whole document: later documents renumber globally.
+	if err := single.Delete("0.5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.Delete("0.5"); err != nil {
+		t.Fatal(err)
+	}
+	recheck("after document delete")
+
+	// Delete a broadcast root attribute: every ordinal shifts down.
+	if err := single.Delete("0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.Delete("0.1"); err != nil {
+		t.Fatal(err)
+	}
+	recheck("after root-attribute delete")
+}
+
+// TestOpenRoundTrip re-opens a mutated sharded collection from disk and
+// checks the manifest still describes the data.
+func TestOpenRoundTrip(t *testing.T) {
+	xml := collection(20)
+	dir := filepath.Join(t.TempDir(), "c")
+	st, err := Create(dir, strings.NewReader(xml), &Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert("0", strings.NewReader(`<book><title>X</title></book>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete("0.4"); err != nil {
+		t.Fatal(err)
+	}
+	before, err := st.Query(`//title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !IsSharded(dir) {
+		t.Fatal("IsSharded = false for a sharded collection")
+	}
+	st2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if r := st2.Verify(false); !r.OK() {
+		t.Fatalf("Verify after reopen: %v", r.Issues)
+	}
+	after, err := st2.Query(`//title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(after) {
+		t.Fatalf("reopen changed results: %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("reopen result %d differs: %+v vs %+v", i, after[i], before[i])
+		}
+	}
+}
+
+// TestShardPruning checks that statistics-only pruning skips shards and is
+// visible in the stats, the plan rendering, and the analyze trace. Path
+// routing puts all articles on one shard, so an //article query must prune
+// every shard without articles.
+func TestShardPruning(t *testing.T) {
+	_, sharded := openPair(t, collection(30), 4, StrategyPath)
+	rs, stats, err := sharded.QueryWithOptions(`//article/pages`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no article results")
+	}
+	skipped := 0
+	for _, sh := range stats.Shards {
+		if sh.Skipped {
+			skipped++
+			if !strings.Contains(sh.SkipReason, "article") {
+				t.Errorf("shard %d skip reason %q does not name the absent tag", sh.Shard, sh.SkipReason)
+			}
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("path routing concentrated articles but no shard was pruned")
+	}
+	plan, err := sharded.Plan(`//article/pages`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "pruned") {
+		t.Fatalf("Plan rendering does not show pruning:\n%s", plan)
+	}
+	_, _, analyze, err := sharded.QueryAnalyze(`//article/pages`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(analyze, "pruned") {
+		t.Fatalf("analyze trace does not show pruning:\n%s", analyze)
+	}
+}
+
+// TestNotShardable pins the refusal surface: constructs whose per-shard
+// union is not the global answer must fail with ErrNotShardable.
+func TestNotShardable(t *testing.T) {
+	_, sharded := openPair(t, collection(12), 2, StrategyHash)
+	for _, expr := range []string{
+		`/bib[book/title="B0 & co"]//article`, // witness on one shard, results on another
+		`//book/following::article`,           // crosses document order globally
+		`//*[title][pages]`,                   // wildcard may bind the root
+	} {
+		_, err := sharded.Query(expr)
+		if !errors.Is(err, ErrNotShardable) {
+			t.Errorf("%s: err = %v, want ErrNotShardable", expr, err)
+		}
+	}
+	// The single-branch form stays shardable.
+	if _, err := sharded.Query(`/bib/book/title`); err != nil {
+		t.Errorf("single-branch query refused: %v", err)
+	}
+}
+
+// TestCacheFingerprint is the per-shard invalidation property: a write to
+// a shard a query is pruned from leaves its fingerprint unchanged, while a
+// write to a participating shard changes it.
+func TestCacheFingerprint(t *testing.T) {
+	_, sharded := openPair(t, collection(30), 4, StrategyPath)
+	const q = `//article/pages`
+	fp := sharded.CacheFingerprint(q)
+	if fp == "" || fp == "none" {
+		t.Fatalf("no fingerprint for %s: %q", q, fp)
+	}
+
+	// Find a shard pruned for q and a document on it to mutate.
+	_, stats, err := sharded.QueryWithOptions(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := sharded.Manifest()
+	victim := -1
+	for _, sh := range stats.Shards {
+		if sh.Skipped && len(man.Assign[sh.Shard]) > 0 {
+			victim = sh.Shard
+			break
+		}
+	}
+	if victim == -1 {
+		t.Fatal("no pruned shard with documents")
+	}
+	docID := fmt.Sprintf("0.%d", man.Assign[victim][0])
+	if err := sharded.Insert(docID, strings.NewReader(`<note>touched</note>`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sharded.CacheFingerprint(q); got != fp {
+		t.Fatalf("write to pruned shard %d changed fingerprint: %q -> %q", victim, fp, got)
+	}
+
+	// Mutate a participating shard (insert an article document: path
+	// routing sends it to the article shard).
+	if err := sharded.Insert("0", strings.NewReader(`<article><title>new</title><pages>3</pages></article>`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sharded.CacheFingerprint(q); got == fp {
+		t.Fatalf("write to participating shard did not change fingerprint %q", fp)
+	}
+}
+
+// TestPaperExample runs the paper's running query over a sharded copy of
+// the Figure 1(a) bibliography.
+func TestPaperExample(t *testing.T) {
+	single, sharded := openPair(t, samples.Bibliography, 2, StrategyHash)
+	compareQuery(t, single, sharded, samples.PaperQuery, nil)
+	rs, err := sharded.Query(samples.PaperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("paper query returned %d books, want 2", len(rs))
+	}
+}

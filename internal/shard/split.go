@@ -1,0 +1,155 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"nok/internal/sax"
+)
+
+// splitResult is one pass of the splitter: a re-serialized XML buffer per
+// shard plus the assignment of global root-child ordinals to shards.
+type splitResult struct {
+	rootTag   string
+	rootAttrs int
+	assign    [][]uint32
+	routes    map[string]int // top-level tag -> shard (path strategy only)
+	docs      []bytes.Buffer
+}
+
+// split runs a single SAX pass over the collection and deals its top-level
+// documents into n per-shard XML buffers.
+//
+// The collection root's start tag (with all attributes) and its direct text
+// are broadcast to every buffer, so each shard's root is byte-identical to
+// the global one — value constraints and attribute tests on the root then
+// evaluate identically everywhere, and the executor deduplicates the copies
+// on merge. Each depth-1 element subtree is routed whole to one shard and
+// re-serialized there. Comments and processing instructions are dropped,
+// exactly as the store loader drops them, so loading a shard buffer yields
+// the same events the loader would have seen for those documents.
+func split(r io.Reader, n int, strat Strategy) (*splitResult, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	sc := sax.NewScanner(r)
+	res := &splitResult{
+		assign: make([][]uint32, n),
+		docs:   make([]bytes.Buffer, n),
+	}
+	for i := range res.assign {
+		res.assign[i] = []uint32{}
+	}
+
+	// Find the collection root and broadcast its start tag.
+	var root sax.Event
+	for {
+		ev, err := sc.Next()
+		if err == io.EOF {
+			return nil, fmt.Errorf("shard: no root element")
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ev.Kind == sax.StartElement {
+			root = ev
+			break
+		}
+	}
+	res.rootTag = root.Name
+	res.rootAttrs = len(root.Attrs)
+	for i := range res.docs {
+		writeStartTag(&res.docs[i], root)
+	}
+
+	depth := 1  // open elements; 1 = inside the collection root only
+	target := 0 // shard receiving the current document subtree
+	ndocs := uint32(0)
+	for {
+		ev, err := sc.Next()
+		if err == io.EOF {
+			return nil, fmt.Errorf("shard: unexpected EOF inside collection")
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch ev.Kind {
+		case sax.StartElement:
+			if depth == 1 {
+				// A new top-level document: ordinal after the broadcast
+				// root attributes and every earlier document.
+				ndocs++
+				global := uint32(res.rootAttrs) + ndocs
+				switch strat {
+				case StrategyPath:
+					t, ok := res.routes[ev.Name]
+					if !ok {
+						t = len(res.routes) % n
+						if res.routes == nil {
+							res.routes = make(map[string]int)
+						}
+						res.routes[ev.Name] = t
+					}
+					target = t
+				default:
+					target = routeHash(global, n)
+				}
+				res.assign[target] = append(res.assign[target], global)
+			}
+			writeStartTag(&res.docs[target], ev)
+			depth++
+		case sax.EndElement:
+			depth--
+			if depth == 0 {
+				// Collection root closes: broadcast and finish.
+				for i := range res.docs {
+					fmt.Fprintf(&res.docs[i], "</%s>", ev.Name)
+				}
+				return res, drainTrailer(sc)
+			}
+			fmt.Fprintf(&res.docs[target], "</%s>", ev.Name)
+		case sax.Text:
+			if depth == 1 {
+				// Direct text of the collection root: broadcast, so every
+				// shard's root carries the full root value.
+				for i := range res.docs {
+					_ = sax.EscapeText(&res.docs[i], ev.Data)
+				}
+			} else {
+				_ = sax.EscapeText(&res.docs[target], ev.Data)
+			}
+		case sax.Comment, sax.PI:
+			// Dropped, as in the store loader.
+		}
+	}
+}
+
+// drainTrailer consumes events after the root closes, rejecting content.
+func drainTrailer(sc *sax.Scanner) error {
+	for {
+		ev, err := sc.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if ev.Kind == sax.StartElement {
+			return fmt.Errorf("shard: multiple root elements")
+		}
+	}
+}
+
+func writeStartTag(b *bytes.Buffer, ev sax.Event) {
+	b.WriteByte('<')
+	b.WriteString(ev.Name)
+	for _, a := range ev.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		b.WriteString(sax.EscapeString(a.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('>')
+}

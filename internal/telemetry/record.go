@@ -53,6 +53,15 @@ type Record struct {
 	// with a Trace attached (EXPLAIN ANALYZE, /explain?analyze=1); empty
 	// otherwise.
 	Phases []obs.Phase
+	// Parallel marks evaluations whose bottom-up phase ran NoK partitions
+	// on concurrent workers; Parts carries the per-partition wall-clock
+	// attribution collected on that path.
+	Parallel bool
+	Parts    []PartTiming
+	// Shards carries the per-shard fan-out when the query ran through the
+	// scatter-gather executor: one entry per shard, pruned shards included
+	// with the statistics proof that skipped them.
+	Shards []ShardTiming
 	// CacheHit marks records emitted for result-cache hits (the serving
 	// layer answers without evaluating; Duration is the lookup time).
 	CacheHit bool
@@ -68,6 +77,23 @@ type Record struct {
 	Plan fmt.Stringer
 }
 
+// PartTiming is one NoK partition's share of a parallel bottom-up phase.
+type PartTiming struct {
+	Partition int    `json:"partition"`
+	Strategy  string `json:"strategy"`
+	Micros    int64  `json:"micros"`
+	Matches   int    `json:"matches"`
+}
+
+// ShardTiming is one shard's share of a scatter-gather evaluation.
+type ShardTiming struct {
+	Shard      int    `json:"shard"`
+	Micros     int64  `json:"micros"`
+	Results    int    `json:"results"`
+	Skipped    bool   `json:"skipped,omitempty"`
+	SkipReason string `json:"skip_reason,omitempty"`
+}
+
 // PlanText renders the plan, or "" when the heuristic ran.
 func (r *Record) PlanText() string {
 	if r.Plan == nil {
@@ -79,29 +105,32 @@ func (r *Record) PlanText() string {
 // recordJSON is the wire form shared by /debug/queries and the slow-query
 // log: flat, stable field names, durations in milliseconds.
 type recordJSON struct {
-	ID             uint64      `json:"query_id"`
-	Expr           string      `json:"expr"`
-	Start          time.Time   `json:"start"`
-	DurationMS     float64     `json:"duration_ms"`
-	Results        int         `json:"results"`
-	Partitions     int         `json:"partitions"`
-	Strategies     []string    `json:"strategies,omitempty"`
-	Planned        bool        `json:"planned"`
-	PlanEpoch      uint64      `json:"plan_epoch,omitempty"`
-	EstRows        float64     `json:"est_rows,omitempty"`
-	EstPages       float64     `json:"est_pages,omitempty"`
-	ActualRows     int         `json:"actual_rows"`
-	QError         float64     `json:"q_error,omitempty"`
-	Misestimate    bool        `json:"misestimate,omitempty"`
-	PagesScanned   uint64      `json:"pages_scanned"`
-	PagesSkipped   uint64      `json:"pages_skipped"`
-	StartingPoints int         `json:"starting_points"`
-	NodesVisited   int         `json:"nodes_visited"`
-	Phases         []phaseJSON `json:"phases,omitempty"`
-	CacheHit       bool        `json:"cache_hit,omitempty"`
-	Epoch          uint64      `json:"epoch"`
-	Error          string      `json:"error,omitempty"`
-	Plan           string      `json:"plan,omitempty"`
+	ID             uint64        `json:"query_id"`
+	Expr           string        `json:"expr"`
+	Start          time.Time     `json:"start"`
+	DurationMS     float64       `json:"duration_ms"`
+	Results        int           `json:"results"`
+	Partitions     int           `json:"partitions"`
+	Strategies     []string      `json:"strategies,omitempty"`
+	Planned        bool          `json:"planned"`
+	PlanEpoch      uint64        `json:"plan_epoch,omitempty"`
+	EstRows        float64       `json:"est_rows,omitempty"`
+	EstPages       float64       `json:"est_pages,omitempty"`
+	ActualRows     int           `json:"actual_rows"`
+	QError         float64       `json:"q_error,omitempty"`
+	Misestimate    bool          `json:"misestimate,omitempty"`
+	PagesScanned   uint64        `json:"pages_scanned"`
+	PagesSkipped   uint64        `json:"pages_skipped"`
+	StartingPoints int           `json:"starting_points"`
+	NodesVisited   int           `json:"nodes_visited"`
+	Phases         []phaseJSON   `json:"phases,omitempty"`
+	Parallel       bool          `json:"parallel,omitempty"`
+	Parts          []PartTiming  `json:"partition_timings,omitempty"`
+	Shards         []ShardTiming `json:"shards,omitempty"`
+	CacheHit       bool          `json:"cache_hit,omitempty"`
+	Epoch          uint64        `json:"epoch"`
+	Error          string        `json:"error,omitempty"`
+	Plan           string        `json:"plan,omitempty"`
 }
 
 type phaseJSON struct {
@@ -131,6 +160,9 @@ func (r *Record) MarshalJSON() ([]byte, error) {
 		PagesSkipped:   r.PagesSkipped,
 		StartingPoints: r.StartingPoints,
 		NodesVisited:   r.NodesVisited,
+		Parallel:       r.Parallel,
+		Parts:          r.Parts,
+		Shards:         r.Shards,
 		CacheHit:       r.CacheHit,
 		Epoch:          r.Epoch,
 		Error:          r.Error,

@@ -37,6 +37,7 @@ package nok
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -109,6 +110,10 @@ type QueryOptions struct {
 	// DisablePlanner keeps StrategyAuto on the paper's heuristic even when
 	// planner statistics exist — an ablation switch and an escape hatch.
 	DisablePlanner bool
+	// DisableParallel forces the bottom-up phase onto one goroutine even
+	// when the planner judges the query worth running NoK partitions
+	// concurrently — an ablation switch and an escape hatch.
+	DisableParallel bool
 }
 
 func (o *QueryOptions) toCore() *core.QueryOptions {
@@ -119,6 +124,7 @@ func (o *QueryOptions) toCore() *core.QueryOptions {
 		Strategy:        o.Strategy,
 		DisablePageSkip: o.DisablePageSkip,
 		DisablePlanner:  o.DisablePlanner,
+		DisableParallel: o.DisableParallel,
 	}
 }
 
@@ -149,11 +155,21 @@ type Store struct {
 	mu sync.RWMutex
 	db *core.DB
 
+	// closed flips under the write lock in Close. Because every query path
+	// holds the read lock for its whole evaluation, Close drains in-flight
+	// queries before it touches the pager, and any call arriving afterwards
+	// observes the flag and fails with ErrClosed instead of racing a
+	// released buffer pool.
+	closed bool
+
 	// gen counts mutations (Insert/Delete). Result caches key on it: any
 	// entry computed under an older generation is unreachable after a
 	// mutation, so stale results are never served (see internal/server).
 	gen atomic.Uint64
 }
+
+// ErrClosed is returned by Store methods called after Close.
+var ErrClosed = errors.New("nok: store is closed")
 
 // Create builds a new store at dir from an XML document.
 func Create(dir string, xml io.Reader, opts *Options) (*Store, error) {
@@ -183,10 +199,18 @@ func Open(dir string, opts *Options) (*Store, error) {
 	return &Store{db: db}, nil
 }
 
-// Close releases the store.
+// Close releases the store. It blocks until in-flight queries drain (they
+// hold the read lock for their whole evaluation — including any parallel
+// partition workers, which are always joined before the query returns), so
+// no evaluation can touch the pager after Close. Closing twice is a no-op;
+// methods called after Close return ErrClosed.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	return s.db.Close()
 }
 
@@ -229,6 +253,9 @@ func (s *Store) QueryWithOptions(expr string, opts *QueryOptions) ([]Result, *Qu
 func (s *Store) QueryWithOptionsContext(ctx context.Context, expr string, opts *QueryOptions) ([]Result, *QueryStats, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, nil, ErrClosed
+	}
 	co := opts.toCore()
 	if co == nil {
 		co = &core.QueryOptions{}
@@ -266,6 +293,9 @@ func (s *Store) buildResults(ms []core.Match) []Result {
 func (s *Store) QueryAnalyze(expr string, opts *QueryOptions) ([]Result, *QueryStats, string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, nil, "", ErrClosed
+	}
 	tr := obs.New("query " + expr)
 	co := opts.toCore()
 	if co == nil {
@@ -303,7 +333,30 @@ func ExplainAnalyze(st *Store, expr string) (string, error) {
 func (s *Store) Plan(expr string) (string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.closed {
+		return "", ErrClosed
+	}
 	return s.db.PlanText(expr)
+}
+
+// ProvablyEmpty reports whether statistics alone prove the query returns
+// nothing from this store: a concrete tag test naming a tag the store has
+// zero of, or (with a fresh synopsis) a non-numeric equality literal whose
+// count-min estimate is zero. The reason string names the proof. The
+// sharded executor (internal/shard) uses this to skip shards without
+// touching their pages.
+func (s *Store) ProvablyEmpty(expr string) (bool, string, error) {
+	t, err := pattern.Parse(expr)
+	if err != nil {
+		return false, "", err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false, "", ErrClosed
+	}
+	empty, reason := s.db.ProvablyEmpty(t)
+	return empty, reason, nil
 }
 
 // SynopsisInfo summarizes the store's statistics synopsis (the planner's
@@ -324,6 +377,9 @@ func (s *Store) Synopsis(n int) SynopsisInfo {
 func (s *Store) RefreshStats() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	return s.db.RefreshSynopsis()
 }
 
@@ -348,6 +404,9 @@ func MetricsJSON() string {
 func (s *Store) Value(id string) (string, bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.closed {
+		return "", false, ErrClosed
+	}
 	did, err := dewey.Parse(id)
 	if err != nil {
 		return "", false, err
@@ -361,6 +420,9 @@ func (s *Store) Value(id string) (string, bool, error) {
 func (s *Store) Insert(parentID string, fragment io.Reader) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	id, err := dewey.Parse(parentID)
 	if err != nil {
 		return err
@@ -376,6 +438,9 @@ func (s *Store) Insert(parentID string, fragment io.Reader) error {
 func (s *Store) Delete(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	did, err := dewey.Parse(id)
 	if err != nil {
 		return err
@@ -457,6 +522,9 @@ type VerifyIssue = core.VerifyIssue
 func (s *Store) Verify(deep bool) *VerifyResult {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.closed {
+		return &VerifyResult{Deep: deep, Issues: []VerifyIssue{{Component: "store", Err: ErrClosed}}}
+	}
 	return s.db.Verify(deep)
 }
 
