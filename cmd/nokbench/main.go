@@ -13,6 +13,7 @@
 //	nokbench -table skip       (st,lo,hi) page-skip ablation
 //	nokbench -table planner    cost-based planner vs §6.2 heuristic pages
 //	nokbench -table shard      scatter-gather speedup on sharded collections
+//	nokbench -table mvcc       read latency under a concurrent writer
 //	nokbench -table all        everything above
 //
 // Flags: -scale, -seed, -runs, -workdir, -datasets (comma-separated).
@@ -164,6 +165,17 @@ func main() {
 				log.Fatalf("telemetry overhead %.2f%% exceeds the %.0f%% budget",
 					res.AggOverheadPct, bench.TelemetryBudgetPct)
 			}
+		case "mvcc":
+			fmt.Fprintln(out, "== MVCC read latency under a concurrent writer ==")
+			res, err := bench.MVCCContention(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.WriteMVCC(out, res)
+			if res.Ratio > bench.MVCCBudgetRatio {
+				log.Fatalf("contended read p50 is %.2fx the idle p50, over the %.1fx budget",
+					res.Ratio, bench.MVCCBudgetRatio)
+			}
 		default:
 			log.Fatalf("unknown table %q", name)
 		}
@@ -171,7 +183,7 @@ func main() {
 	}
 
 	if *table == "all" {
-		for _, t := range []string{"1", "2", "3", "summary", "ratios", "io", "heuristic", "update", "stream", "skip", "planner", "shard", "telemetry"} {
+		for _, t := range []string{"1", "2", "3", "summary", "ratios", "io", "heuristic", "update", "stream", "skip", "planner", "shard", "telemetry", "mvcc"} {
 			run(t)
 		}
 		return

@@ -13,8 +13,11 @@
 // page checksum, the balanced-parenthesis structure of the string tree,
 // all four B+ tree leaf chains, every value record, whole-file checksums
 // against the commit manifest, and every Dewey-index entry resolved back
-// to a live tree position and value record. -quick restricts the run to
-// the manifest and cross-component count checks.
+// to a live tree position and value record. The copy-on-write page
+// accounting is always checked: a physical page neither referenced by a
+// live epoch nor on the free list is reported as an orphaned epoch page.
+// -quick restricts the run to the manifest, count, and page-accounting
+// checks.
 //
 // Exit status: 0 when the store is clean, 1 when issues were found (or the
 // store cannot be opened at all), 2 on usage errors.
@@ -81,24 +84,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	res := st.Verify(!*quick)
+	mvcc := st.MVCC()
 	if *verbose {
 		fmt.Fprintf(stdout, "epoch:           %d\n", st.Epoch())
 		fmt.Fprintf(stdout, "nodes:           %d\n", st.NodeCount())
+		printMVCC(stdout, mvcc)
 		if res.Deep {
 			fmt.Fprintf(stdout, "pages checked:   %d\n", res.PagesChecked)
 			fmt.Fprintf(stdout, "entries checked: %d\n", res.EntriesChecked)
 			fmt.Fprintf(stdout, "records checked: %d\n", res.RecordsChecked)
 		}
 	}
+	issues := len(res.Issues)
 	for _, is := range res.Issues {
 		fmt.Fprintf(stdout, "FAIL %s\n", is)
 	}
-	if !res.OK() {
-		fmt.Fprintf(stdout, "%s: %d issue(s) found\n", dir, len(res.Issues))
+	if mvcc.OrphanPages > 0 {
+		fmt.Fprintf(stdout, "FAIL pager: %d orphaned epoch page(s) — neither referenced by a live version nor free\n", mvcc.OrphanPages)
+		issues++
+	}
+	if issues > 0 {
+		fmt.Fprintf(stdout, "%s: %d issue(s) found\n", dir, issues)
 		return 1
 	}
 	fmt.Fprintf(stdout, "%s: ok\n", dir)
 	return 0
+}
+
+// printMVCC renders the copy-on-write page accounting. FreePhysical right
+// after open counts pages swept from superseded epochs and crashed
+// transactions — reclaimed debris, not damage.
+func printMVCC(stdout io.Writer, m nok.MVCCInfo) {
+	fmt.Fprintf(stdout, "epoch pages:     %d logical, %d physical, %d free, %d orphaned\n",
+		m.NumLogical, m.NumPhysical, m.FreePhysical, m.OrphanPages)
 }
 
 // runSharded verifies a sharded collection: manifest consistency first
@@ -115,20 +133,27 @@ func runSharded(dir string, quick, verbose bool, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "sharded collection: %d shards, %s routing\n", man.Shards, man.Strategy)
 
 	res := st.Verify(!quick)
+	mvcc := st.MVCC()
 	if verbose {
 		fmt.Fprintf(stdout, "epoch:           %d\n", st.Epoch())
 		fmt.Fprintf(stdout, "nodes:           %d\n", st.NodeCount())
+		printMVCC(stdout, mvcc)
 		if res.Deep {
 			fmt.Fprintf(stdout, "pages checked:   %d\n", res.PagesChecked)
 			fmt.Fprintf(stdout, "entries checked: %d\n", res.EntriesChecked)
 			fmt.Fprintf(stdout, "records checked: %d\n", res.RecordsChecked)
 		}
 	}
+	issues := len(res.Issues)
 	for _, is := range res.Issues {
 		fmt.Fprintf(stdout, "FAIL %s\n", is)
 	}
-	if !res.OK() {
-		fmt.Fprintf(stdout, "%s: %d issue(s) found\n", dir, len(res.Issues))
+	if mvcc.OrphanPages > 0 {
+		fmt.Fprintf(stdout, "FAIL pager: %d orphaned epoch page(s) across shards — neither referenced by a live version nor free\n", mvcc.OrphanPages)
+		issues++
+	}
+	if issues > 0 {
+		fmt.Fprintf(stdout, "%s: %d issue(s) found\n", dir, issues)
 		return 1
 	}
 	fmt.Fprintf(stdout, "%s: ok\n", dir)

@@ -9,6 +9,7 @@ import (
 
 	"nok/internal/core"
 	"nok/internal/dewey"
+	"nok/internal/pager"
 	"nok/internal/pattern"
 	"nok/internal/stream"
 	"nok/internal/stree"
@@ -269,8 +270,10 @@ func Update(cfg Config, inserts int) ([]UpdateRow, error) {
 			return nil, err
 		}
 
-		// Build the inserted subtree's token string once: <updtag/>.
-		updSym, err := db.Tags.Intern("updtag")
+		// Build the inserted subtree's token string once: <updtag/>. The
+		// committed symbol table is immutable under MVCC, so intern into a
+		// private clone — the standalone tree below treats syms as opaque.
+		updSym, err := db.Tags.Clone().Intern("updtag")
 		if err != nil {
 			db.Close()
 			os.RemoveAll(tmp)
@@ -292,9 +295,19 @@ func Update(cfg Config, inserts int) ([]UpdateRow, error) {
 			return nil, err
 		}
 
-		row := UpdateRow{Dataset: name, Inserts: inserts, PagesBefore: db.Tree.NumPages()}
-		pf := db.Tree.Pager()
-		stride := int(db.Tree.NodeCount()) / inserts
+		// §4.2 measures the raw string tree's update locality: pages
+		// written per in-place insert. The store's own tree is a
+		// copy-on-write snapshot that rejects direct mutation, so copy the
+		// document into a standalone plain pager file and insert there.
+		tree, pf, err := plainTreeCopy(db, tmp+"/plain.pg", cfg.PageSize)
+		db.Close()
+		if err != nil {
+			os.RemoveAll(tmp)
+			return nil, err
+		}
+
+		row := UpdateRow{Dataset: name, Inserts: inserts, PagesBefore: tree.NumPages()}
+		stride := int(tree.NodeCount()) / inserts
 		if stride == 0 {
 			stride = 1
 		}
@@ -306,8 +319,8 @@ func Update(cfg Config, inserts int) ([]UpdateRow, error) {
 			var target stree.Pos
 			idx := 0
 			found := false
-			err := db.Tree.Scan(func(pos stree.Pos, _ symtab.Sym, _ int, _ dewey.ID) bool {
-				if idx == (k*stride)%int(db.Tree.NodeCount()) {
+			err := tree.Scan(func(pos stree.Pos, _ symtab.Sym, _ int, _ dewey.ID) bool {
+				if idx == (k*stride)%int(tree.NodeCount()) {
 					target = pos
 					found = true
 					return false
@@ -320,22 +333,70 @@ func Update(cfg Config, inserts int) ([]UpdateRow, error) {
 			}
 			pf.ResetStats()
 			t0 := time.Now()
-			if err := db.Tree.InsertChild(target, tokens); err != nil {
-				db.Close()
+			if err := tree.InsertChild(target, tokens); err != nil {
+				pf.Close()
 				os.RemoveAll(tmp)
 				return nil, err
 			}
 			elapsed += time.Since(t0)
 			totalWrites += pf.Stats().PhysicalWrites
 		}
-		row.PagesAfter = db.Tree.NumPages()
+		row.PagesAfter = tree.NumPages()
 		row.AvgPageWrites = float64(totalWrites) / float64(inserts)
 		row.AvgMillis = elapsed.Seconds() * 1000 / float64(inserts)
-		db.Close()
+		pf.Close()
 		os.RemoveAll(tmp)
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// plainTreeCopy rebuilds db's document into a standalone, non-versioned
+// string tree at path, returning the store and its pager file (the caller
+// closes the file). Open/close tokens are reconstructed from the
+// document-order scan: a node's depth is len(id)-1, so everything at or
+// below the incoming node's depth closes before it opens.
+func plainTreeCopy(db *core.DB, path string, pageSize int) (*stree.Store, *pager.File, error) {
+	pf, err := pager.Create(path, &pager.Options{PageSize: pageSize})
+	if err != nil {
+		return nil, nil, err
+	}
+	bld, err := stree.NewBuilder(pf, nil)
+	if err != nil {
+		pf.Close()
+		return nil, nil, err
+	}
+	open := 0
+	var berr error
+	err = db.Tree.Scan(func(_ stree.Pos, sym symtab.Sym, _ int, id dewey.ID) bool {
+		for open >= len(id) {
+			if berr = bld.Close(); berr != nil {
+				return false
+			}
+			open--
+		}
+		if _, berr = bld.Open(sym); berr != nil {
+			return false
+		}
+		open++
+		return true
+	})
+	if err == nil {
+		err = berr
+	}
+	for err == nil && open > 0 {
+		err = bld.Close()
+		open--
+	}
+	var tree *stree.Store
+	if err == nil {
+		tree, err = bld.Finish()
+	}
+	if err != nil {
+		pf.Close()
+		return nil, nil, err
+	}
+	return tree, pf, nil
 }
 
 // WriteUpdate renders the update experiment.

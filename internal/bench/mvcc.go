@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nok/internal/core"
+	"nok/internal/dewey"
+)
+
+// ---- MVCC read latency under a concurrent writer -----------------------------
+
+// MVCCRow reports one query's median latency idle vs under a concurrent
+// full-speed writer. With snapshot reads the two should be near-identical:
+// a reader pins the current epoch and never touches the write lock, so the
+// only contention left is physical (CPU, buffer pool, allocator).
+type MVCCRow struct {
+	Query   string
+	Samples int     // timed queries per side per round
+	IdleUs  float64 // median per-query microseconds, no writer
+	BusyUs  float64 // median per-query microseconds, concurrent writer
+	Ratio   float64 // BusyUs / IdleUs
+}
+
+// MVCCResult is the full contention experiment: per-query rows plus the
+// suite aggregate the acceptance budget applies to, and the number of
+// mutations the writer committed while being raced (zero would mean the
+// readers starved the writer and the experiment proved nothing).
+type MVCCResult struct {
+	Rows          []MVCCRow
+	Rounds        int
+	WriterCommits int64
+	AggIdleUs     float64 // Σ per-query medians, idle
+	AggBusyUs     float64 // Σ per-query medians, writer running
+	Ratio         float64
+}
+
+// MVCCBudgetRatio is the acceptance budget: the read p50 under a
+// concurrent writer may be at most this multiple of the idle p50.
+const MVCCBudgetRatio = 1.2
+
+// mvccQueries mixes the read shapes that must stay fast under writes: a
+// value-index point lookup, a rooted walk, and a selective scan.
+var mvccQueries = []string{
+	`//book[title="gold"]`,
+	`/lib/special/book`,
+	`//book[price<3]`,
+}
+
+// MVCCContention measures read latency with and without a concurrent
+// writer. Each round times every query idle, then starts a writer that
+// commits insert/delete pairs as fast as the commit path allows and times
+// the same queries again; the estimator is the minimum median across
+// rounds per side, comparing quiet windows against quiet windows.
+func MVCCContention(cfg Config) (*MVCCResult, error) {
+	cfg = cfg.WithDefaults()
+	const (
+		rounds  = 3
+		samples = 200
+	)
+
+	tmp, err := os.MkdirTemp("", "nok-mvcc")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	db, err := core.LoadXML(tmp+"/db", strings.NewReader(telemetryDoc(2000*cfg.Scale)),
+		&core.Options{PageSize: cfg.PageSize})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	firstBook, err := dewey.Parse("0.1")
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MVCCResult{Rounds: rounds}
+
+	p50 := func(expr string) (float64, error) {
+		lat := make([]time.Duration, samples)
+		for i := range lat {
+			t0 := time.Now()
+			if _, _, err := db.Query(expr, nil); err != nil {
+				return 0, err
+			}
+			lat[i] = time.Since(t0)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat[samples/2].Seconds() * 1e6, nil
+	}
+
+	// Warm the pool and the plan cache on every query first.
+	for _, q := range mvccQueries {
+		if _, err := p50(q); err != nil {
+			return nil, err
+		}
+	}
+
+	minIdle := make([]float64, len(mvccQueries))
+	minBusy := make([]float64, len(mvccQueries))
+	for r := 0; r < rounds; r++ {
+		for qi, q := range mvccQueries {
+			us, err := p50(q)
+			if err != nil {
+				return nil, err
+			}
+			if r == 0 || us < minIdle[qi] {
+				minIdle[qi] = us
+			}
+		}
+
+		stop := make(chan struct{})
+		var (
+			wg   sync.WaitGroup
+			werr atomic.Value
+		)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				if i%2 == 1 {
+					// Deleting the then-first book keeps the store size
+					// stable against the inserts.
+					err = db.DeleteSubtree(firstBook)
+				} else {
+					err = db.InsertFragment(dewey.Root(), strings.NewReader(
+						fmt.Sprintf("<book><title>w%d</title><price>%d</price></book>", i, i%97)))
+				}
+				if err != nil {
+					werr.Store(err)
+					return
+				}
+				atomic.AddInt64(&res.WriterCommits, 1)
+			}
+		}()
+		for qi, q := range mvccQueries {
+			us, err := p50(q)
+			if err != nil {
+				close(stop)
+				wg.Wait()
+				return nil, err
+			}
+			if r == 0 || us < minBusy[qi] {
+				minBusy[qi] = us
+			}
+		}
+		close(stop)
+		wg.Wait()
+		if err, ok := werr.Load().(error); ok {
+			return nil, fmt.Errorf("concurrent writer: %w", err)
+		}
+	}
+
+	for qi, q := range mvccQueries {
+		row := MVCCRow{Query: q, Samples: samples, IdleUs: minIdle[qi], BusyUs: minBusy[qi]}
+		if row.IdleUs > 0 {
+			row.Ratio = row.BusyUs / row.IdleUs
+		}
+		res.Rows = append(res.Rows, row)
+		res.AggIdleUs += row.IdleUs
+		res.AggBusyUs += row.BusyUs
+	}
+	if res.AggIdleUs > 0 {
+		res.Ratio = res.AggBusyUs / res.AggIdleUs
+	}
+	if res.WriterCommits == 0 {
+		return nil, fmt.Errorf("writer committed nothing while being raced; contention result is vacuous")
+	}
+	return res, nil
+}
+
+// WriteMVCC renders the contention experiment; the aggregate line — one
+// pass over the suite — is the one the ≤1.2× budget applies to.
+func WriteMVCC(w io.Writer, res *MVCCResult) {
+	fmt.Fprintf(w, "%-28s %8s %12s %12s %7s\n", "query", "samples", "idle(µs/q)", "busy(µs/q)", "ratio")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-28s %8d %12.2f %12.2f %6.2fx\n", r.Query, r.Samples, r.IdleUs, r.BusyUs, r.Ratio)
+	}
+	verdict := "PASS"
+	if res.Ratio > MVCCBudgetRatio {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "%-28s %8s %12.2f %12.2f %6.2fx  (budget %.1fx, %d writer commits, min of %d rounds) %s\n",
+		"suite (one pass)", "", res.AggIdleUs, res.AggBusyUs, res.Ratio, MVCCBudgetRatio, res.WriterCommits, res.Rounds, verdict)
+}

@@ -60,7 +60,7 @@ func topAnchor(top *pattern.NoKTree, t *pattern.Tree) (*pattern.Node, []string) 
 // through Dewey-prefix lookups. The returned strategy is the one actually
 // used (a forced or planned path-index that cannot apply degrades and
 // reports its fallback).
-func (db *DB) anchoredStarts(top *pattern.NoKTree, anchor *pattern.Node, chainTests []string, strat Strategy, nc *stree.NavCounters) ([]Match, Strategy, error) {
+func (db *Snapshot) anchoredStarts(top *pattern.NoKTree, anchor *pattern.Node, chainTests []string, strat Strategy, nc *stree.NavCounters) ([]Match, Strategy, error) {
 	synth := &pattern.NoKTree{Root: anchor}
 
 	// The path index (§8 extension) resolves the whole ancestor chain in
@@ -113,7 +113,7 @@ func (db *DB) anchoredStarts(top *pattern.NoKTree, anchor *pattern.Node, chainTe
 
 // ancestorsMatch verifies that the tags on the path above id match the
 // chain tests (depth 1 first). Wildcard tests skip the lookup.
-func (db *DB) ancestorsMatch(id dewey.ID, tests []string, nc *stree.NavCounters) (bool, error) {
+func (db *Snapshot) ancestorsMatch(id dewey.ID, tests []string, nc *stree.NavCounters) (bool, error) {
 	for j, test := range tests {
 		if test == "*" {
 			continue

@@ -139,8 +139,32 @@ func TestCrashDuringUpdateSweep(t *testing.T) {
 				if n != n0 && n != n1 {
 					t.Errorf("node count %d after crash at op %d; want %d (pre/post-delete) or %d (post-insert)", n, i, n0, n1)
 				}
-				if e := re.Epoch(); e < baseEpoch || e > baseEpoch+2 {
+				e := re.Epoch()
+				if e < baseEpoch || e > baseEpoch+2 {
 					t.Errorf("epoch %d after crash at op %d; want within [%d, %d]", e, i, baseEpoch, baseEpoch+2)
+				}
+				// The recovered epoch and the recovered content must name the
+				// same commit: epoch base+1 is the post-insert state, base
+				// and base+2 the one-book states around it.
+				wantN := n0
+				if e == baseEpoch+1 {
+					wantN = n1
+				}
+				if n != wantN {
+					t.Errorf("epoch %d with node count %d after crash at op %d: epoch and content disagree", e, n, i)
+				}
+				// COW recovery leaves no MVCC debris: one live version, any
+				// pages a torn transaction wrote swept into the free list,
+				// none unaccounted.
+				mi := re.MVCCInfo()
+				if mi.LiveVersions != 1 || mi.OrphanPages != 0 {
+					t.Errorf("MVCC state after crash at op %d: %+v", i, mi)
+				}
+				// The recovered store must accept new commits.
+				if err := re.InsertFragment(dewey.Root(), strings.NewReader(crashFragment)); err != nil {
+					t.Errorf("insert after recovery from crash at op %d: %v", i, err)
+				} else if got := re.Epoch(); got != e+1 {
+					t.Errorf("epoch %d after post-recovery insert, want %d", got, e+1)
 				}
 			})
 		}

@@ -26,12 +26,11 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"nok/internal/btree"
 	"nok/internal/dewey"
 	"nok/internal/pager"
-	"nok/internal/planner"
-	"nok/internal/stats"
 	"nok/internal/stree"
 	"nok/internal/symtab"
 	"nok/internal/vfs"
@@ -97,59 +96,53 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
-// DB is an opened NoK database.
+// DB is an opened NoK database. It embeds the current committed Snapshot:
+// read helpers called directly on the DB observe the latest commit, while
+// concurrent readers pin their own view with Acquire (Query does this
+// automatically). Mutations are serialized by wmu and never block readers.
 type DB struct {
+	*Snapshot // current committed view; commits swap it under wmu
+
 	dir  string
 	fsys vfs.FS
 
-	Tree   *stree.Store
-	Tags   *symtab.Table
-	Values *vstore.Store
-
-	TagIdx   *btree.Tree
-	ValIdx   *btree.Tree
-	DeweyIdx *btree.Tree
-	// PathIdx is the §8 path-index extension: hash(root-to-node tag path)
-	// ‖ Dewey → position. See internal/core/pathidx.go.
-	PathIdx *btree.Tree
-
-	treeFile, tagIdxFile, valIdxFile, dewIdxFile, pathIdxFile *pager.File
+	treeFile *pager.File
 
 	// manifest is the commit record the DB was opened from (or last
-	// committed); epoch is its epoch. recovery reports what Open repaired.
+	// committed). recovery reports what Open repaired.
 	manifest *Manifest
-	epoch    uint64
 	recovery RecoveryInfo
-	// broken is set when an update transaction failed midway: the
-	// in-memory state is unreliable, further mutations are refused, and
-	// the on-disk journal will roll the store back at next open.
+	// broken is set when an update failed after its commit point: the
+	// in-memory state is unreliable and further mutations are refused.
+	// (Failures before the commit point abort cleanly and do not set it.)
 	broken bool
 
-	// tagCount[sym] is the number of nodes with that tag — the §6.2
-	// selectivity statistic.
-	tagCount map[symtab.Sym]uint64
-	total    uint64
+	// wmu serializes mutations (InsertFragment, DeleteSubtree,
+	// RefreshSynopsis) and Close against each other. Readers never take it.
+	wmu sync.Mutex
 
-	// synopsis is the statistics synopsis loaded from the manifest's
-	// synopsis role (nil when the store has none); the planner only trusts
-	// it when its epoch equals the store's. planCache memoizes plans per
-	// canonical expression, guarded by planMu and invalidated on commit.
-	synopsis  *stats.Synopsis
-	planMu    sync.Mutex
-	planCache map[string]*planner.Plan
+	// curv is the atomically published current snapshot; Acquire loads it
+	// without any lock. closed gates new acquisitions during Close, and
+	// viewsWG counts live snapshots so Close can wait for readers (and the
+	// GC their final Release triggers) to drain.
+	curv    atomic.Pointer[Snapshot]
+	closed  atomic.Bool
+	viewsWG sync.WaitGroup
 }
 
 // Open attaches to an existing database directory. If the directory holds
-// an interrupted transaction (undo journal, uncommitted file tails, orphan
-// epoch files), Open first rolls the store back to its last committed
-// state; Recovery reports what was done.
+// leftovers of an interrupted transaction (uncommitted file tails, orphan
+// epoch files or copy-on-write pages), Open first rolls the store back to
+// its last committed state; Recovery reports what was done.
 func Open(dir string, opts *Options) (*DB, error) {
 	o := opts.withDefaults()
 	m, info, err := recoverStore(o.FS, dir)
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{dir: dir, fsys: o.FS, manifest: m, epoch: m.Epoch, recovery: info, tagCount: make(map[symtab.Sym]uint64)}
+	v := &Snapshot{epoch: m.Epoch, tagCount: make(map[symtab.Sym]uint64)}
+	db := &DB{Snapshot: v, dir: dir, fsys: o.FS, manifest: m, recovery: info}
+	v.db = db
 	ok := false
 	defer func() {
 		if !ok {
@@ -161,45 +154,68 @@ func Open(dir string, opts *Options) (*DB, error) {
 	if db.treeFile, err = pager.Open(db.path(roleTree), popts()); err != nil {
 		return nil, fmt.Errorf("core: opening tree: %w", err)
 	}
-	if db.Tree, err = stree.Open(db.treeFile); err != nil {
+	// Install the committed page-table version from the treemap sidecar,
+	// then pin it for the initial snapshot. Physical pages not referenced
+	// by the committed table (crashed copy-on-write leftovers) are derived
+	// into the free list here, never reused as content.
+	side, err := vfs.ReadFile(o.FS, db.path(roleTreeMap))
+	if err != nil {
+		return nil, fmt.Errorf("core: reading tree page table: %w", err)
+	}
+	sideEpoch, err := db.treeFile.InstallVersion(side)
+	if err != nil {
+		return nil, fmt.Errorf("core: installing tree page table: %w", err)
+	}
+	if sideEpoch != m.Epoch {
+		return nil, fmt.Errorf("core: tree page table is for epoch %d, manifest committed %d", sideEpoch, m.Epoch)
+	}
+	wtree, err := stree.Open(db.treeFile)
+	if err != nil {
 		return nil, err
 	}
-	if db.Tags, err = symtab.LoadFS(o.FS, db.path(roleTags)); err != nil {
+	psn, err := db.treeFile.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	v.psn = psn
+	v.Tree = wtree.Snapshot(psn)
+	if v.Tags, err = symtab.LoadFS(o.FS, db.path(roleTags)); err != nil {
 		return nil, fmt.Errorf("core: loading symbols: %w", err)
 	}
-	if db.Values, err = vstore.OpenFS(o.FS, db.path(roleValues)); err != nil {
+	if v.Values, err = vstore.OpenFS(o.FS, db.path(roleValues)); err != nil {
 		return nil, fmt.Errorf("core: opening values: %w", err)
 	}
-	if db.tagIdxFile, err = pager.Open(db.path(roleTagIdx), popts()); err != nil {
+	if v.tagIdxFile, err = pager.Open(db.path(roleTagIdx), popts()); err != nil {
 		return nil, fmt.Errorf("core: opening tag index: %w", err)
 	}
-	if db.TagIdx, err = btree.Open(db.tagIdxFile); err != nil {
+	if v.TagIdx, err = btree.Open(v.tagIdxFile); err != nil {
 		return nil, err
 	}
-	if db.valIdxFile, err = pager.Open(db.path(roleValIdx), popts()); err != nil {
+	if v.valIdxFile, err = pager.Open(db.path(roleValIdx), popts()); err != nil {
 		return nil, fmt.Errorf("core: opening value index: %w", err)
 	}
-	if db.ValIdx, err = btree.Open(db.valIdxFile); err != nil {
+	if v.ValIdx, err = btree.Open(v.valIdxFile); err != nil {
 		return nil, err
 	}
-	if db.dewIdxFile, err = pager.Open(db.path(roleDewIdx), popts()); err != nil {
+	if v.dewIdxFile, err = pager.Open(db.path(roleDewIdx), popts()); err != nil {
 		return nil, fmt.Errorf("core: opening dewey index: %w", err)
 	}
-	if db.DeweyIdx, err = btree.Open(db.dewIdxFile); err != nil {
+	if v.DeweyIdx, err = btree.Open(v.dewIdxFile); err != nil {
 		return nil, err
 	}
-	if db.pathIdxFile, err = pager.Open(db.path(rolePathIdx), popts()); err != nil {
+	if v.pathIdxFile, err = pager.Open(db.path(rolePathIdx), popts()); err != nil {
 		return nil, fmt.Errorf("core: opening path index: %w", err)
 	}
-	if db.PathIdx, err = btree.Open(db.pathIdxFile); err != nil {
+	if v.PathIdx, err = btree.Open(v.pathIdxFile); err != nil {
 		return nil, err
 	}
-	if err := db.loadStats(); err != nil {
+	if v.tagCount, v.total, err = loadStatsFile(o.FS, db.path(roleStats)); err != nil {
 		return nil, err
 	}
 	// Best-effort: a missing, stale or corrupt synopsis never blocks the
 	// open — the planner falls back to the §6.2 heuristic.
 	db.loadSynopsis()
+	v.publish()
 	ok = true
 	return db, nil
 }
@@ -209,29 +225,44 @@ func (db *DB) path(role string) string {
 	return filepath.Join(db.dir, db.manifest.Files[role].Name)
 }
 
+// join resolves a physical file name inside the store directory.
+func (db *DB) join(name string) string { return filepath.Join(db.dir, name) }
+
 // Recovery reports what Open repaired to reach a committed state.
 func (db *DB) Recovery() RecoveryInfo { return db.recovery }
-
-// Epoch returns the store's committed epoch.
-func (db *DB) Epoch() uint64 { return db.epoch }
 
 // Manifest returns the commit record the DB is running on.
 func (db *DB) Manifest() *Manifest { return db.manifest }
 
-// Close releases every file, aggregating all close errors. Safe to call on
-// a partially opened DB.
+// Close releases the store. It stops new acquisitions, drops the DB's
+// reference on the current snapshot, waits for in-flight readers (whose
+// final Release garbage-collects their views), then closes the shared
+// files. Closing twice is a no-op. Do not call Close from a goroutine
+// that still holds an acquired Snapshot — that deadlocks the drain.
 func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
 	var errs []error
+	if cur := db.curv.Swap(nil); cur != nil {
+		cur.Release()
+		db.viewsWG.Wait()
+	} else if db.Snapshot != nil {
+		// Partially opened store: refcounting was never wired; close the
+		// view's raw files directly.
+		errs = append(errs, db.Snapshot.closeFiles()...)
+		if db.Snapshot.psn != nil {
+			db.Snapshot.psn.Release()
+		}
+	}
 	if db.Values != nil {
 		if err := db.Values.Close(); err != nil {
 			errs = append(errs, fmt.Errorf("values: %w", err))
 		}
 	}
-	for _, pf := range []*pager.File{db.treeFile, db.tagIdxFile, db.valIdxFile, db.dewIdxFile, db.pathIdxFile} {
-		if pf != nil {
-			if err := pf.Close(); err != nil {
-				errs = append(errs, fmt.Errorf("%s: %w", filepath.Base(pf.Path()), err))
-			}
+	if db.treeFile != nil {
+		if err := db.treeFile.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("tree: %w", err))
 		}
 	}
 	return errors.Join(errs...)
@@ -241,10 +272,10 @@ func (db *DB) Close() error {
 func (db *DB) Dir() string { return db.dir }
 
 // NodeCount returns the number of element nodes (attributes included).
-func (db *DB) NodeCount() uint64 { return db.Tree.NodeCount() }
+func (db *Snapshot) NodeCount() uint64 { return db.Tree.NodeCount() }
 
 // TagCount returns how many nodes carry the tag name.
-func (db *DB) TagCount(name string) uint64 {
+func (db *Snapshot) TagCount(name string) uint64 {
 	sym, ok := db.Tags.Lookup(name)
 	if !ok {
 		return 0
@@ -295,12 +326,12 @@ func deweyVal(pos stree.Pos, valOff uint64) []byte {
 }
 
 // NodeAt returns the position and value offset recorded for a Dewey ID.
-func (db *DB) NodeAt(id dewey.ID) (pos stree.Pos, valOff uint64, ok bool, err error) {
+func (db *Snapshot) NodeAt(id dewey.ID) (pos stree.Pos, valOff uint64, ok bool, err error) {
 	return db.nodeAtCounted(id, nil)
 }
 
 // nodeAtCounted is NodeAt attributing the Dewey-index descent to nc.
-func (db *DB) nodeAtCounted(id dewey.ID, nc *stree.NavCounters) (pos stree.Pos, valOff uint64, ok bool, err error) {
+func (db *Snapshot) nodeAtCounted(id dewey.ID, nc *stree.NavCounters) (pos stree.Pos, valOff uint64, ok bool, err error) {
 	v, found, err := db.DeweyIdx.GetCounted(id.Bytes(), btPages(nc))
 	if err != nil || !found {
 		return stree.Pos{}, 0, false, err
@@ -317,12 +348,12 @@ func (db *DB) nodeAtCounted(id dewey.ID, nc *stree.NavCounters) (pos stree.Pos, 
 
 // NodeValue returns the text value of the node with the given Dewey ID.
 // ok is false when the node has no value (or no such node exists).
-func (db *DB) NodeValue(id dewey.ID) (string, bool, error) {
+func (db *Snapshot) NodeValue(id dewey.ID) (string, bool, error) {
 	return db.nodeValueCounted(id, nil)
 }
 
 // nodeValueCounted is NodeValue attributing the Dewey-index descent to nc.
-func (db *DB) nodeValueCounted(id dewey.ID, nc *stree.NavCounters) (string, bool, error) {
+func (db *Snapshot) nodeValueCounted(id dewey.ID, nc *stree.NavCounters) (string, bool, error) {
 	_, valOff, found, err := db.nodeAtCounted(id, nc)
 	if err != nil || !found || valOff == NoValue {
 		return "", false, err
@@ -336,42 +367,43 @@ func (db *DB) nodeValueCounted(id dewey.ID, nc *stree.NavCounters) (string, bool
 
 // ---- statistics -------------------------------------------------------------
 
-// saveStats writes the statistics file atomically (tmp + fsync + rename +
-// directory fsync) at the given path.
-func (db *DB) saveStats(path string) error {
-	buf := make([]byte, 0, 16+len(db.tagCount)*10)
+// saveStatsFile writes a statistics file atomically (tmp + fsync + rename
+// + directory fsync) at the given path.
+func saveStatsFile(fsys vfs.FS, path string, tags *symtab.Table, tagCount map[symtab.Sym]uint64, total uint64) error {
+	buf := make([]byte, 0, 16+len(tagCount)*10)
 	var tmp [10]byte
-	binary.BigEndian.PutUint64(tmp[:8], db.total)
+	binary.BigEndian.PutUint64(tmp[:8], total)
 	buf = append(buf, tmp[:8]...)
-	binary.BigEndian.PutUint32(tmp[:4], uint32(len(db.tagCount)))
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(tagCount)))
 	buf = append(buf, tmp[:4]...)
-	for sym := symtab.Sym(1); int(sym) <= db.Tags.Len(); sym++ {
+	for sym := symtab.Sym(1); int(sym) <= tags.Len(); sym++ {
 		binary.BigEndian.PutUint16(tmp[:2], uint16(sym))
-		binary.BigEndian.PutUint64(tmp[2:10], db.tagCount[sym])
+		binary.BigEndian.PutUint64(tmp[2:10], tagCount[sym])
 		buf = append(buf, tmp[:10]...)
 	}
-	return vfs.WriteFileAtomic(db.fsys, path, buf, 0o644)
+	return vfs.WriteFileAtomic(fsys, path, buf, 0o644)
 }
 
-func (db *DB) loadStats() error {
-	raw, err := vfs.ReadFile(db.fsys, db.path(roleStats))
+func loadStatsFile(fsys vfs.FS, path string) (map[symtab.Sym]uint64, uint64, error) {
+	raw, err := vfs.ReadFile(fsys, path)
 	if err != nil {
-		return fmt.Errorf("core: loading stats: %w", err)
+		return nil, 0, fmt.Errorf("core: loading stats: %w", err)
 	}
 	if len(raw) < 12 {
-		return errors.New("core: truncated stats file")
+		return nil, 0, errors.New("core: truncated stats file")
 	}
-	db.total = binary.BigEndian.Uint64(raw[:8])
+	total := binary.BigEndian.Uint64(raw[:8])
 	n := int(binary.BigEndian.Uint32(raw[8:12]))
 	raw = raw[12:]
 	if len(raw) < n*10 {
-		return errors.New("core: truncated stats entries")
+		return nil, 0, errors.New("core: truncated stats entries")
 	}
+	tagCount := make(map[symtab.Sym]uint64, n)
 	for i := 0; i < n; i++ {
 		sym := symtab.Sym(binary.BigEndian.Uint16(raw[i*10:]))
-		db.tagCount[sym] = binary.BigEndian.Uint64(raw[i*10+2:])
+		tagCount[sym] = binary.BigEndian.Uint64(raw[i*10+2:])
 	}
-	return nil
+	return tagCount, total, nil
 }
 
 // IndexSizes reports the on-disk size in bytes of the string tree and the

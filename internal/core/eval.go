@@ -97,7 +97,7 @@ func ctxErr(ctx context.Context) error {
 
 // Query parses and evaluates a path expression, returning the matches of
 // its returning node in document order.
-func (db *DB) Query(expr string, opts *QueryOptions) ([]Match, *QueryStats, error) {
+func (db *Snapshot) Query(expr string, opts *QueryOptions) ([]Match, *QueryStats, error) {
 	begin := time.Now()
 	sp := opts.trace().Start("parse")
 	t, err := pattern.Parse(expr)
@@ -122,7 +122,7 @@ func (db *DB) Query(expr string, opts *QueryOptions) ([]Match, *QueryStats, erro
 }
 
 // QueryPattern evaluates a parsed pattern tree.
-func (db *DB) QueryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *QueryStats, error) {
+func (db *Snapshot) QueryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *QueryStats, error) {
 	mQueries.Inc()
 	begin := time.Now()
 	ms, stats, err := db.queryPattern(t, opts)
@@ -148,7 +148,7 @@ func (db *DB) QueryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 // buildRecord flattens one evaluation into its telemetry record. stats may
 // be nil (evaluation failed before stats existed); the record still carries
 // the expression, timing, and error.
-func buildRecord(db *DB, expr string, stats *QueryStats, results int, begin time.Time, dur time.Duration, tr *obs.Trace, err error) *telemetry.Record {
+func buildRecord(db *Snapshot, expr string, stats *QueryStats, results int, begin time.Time, dur time.Duration, tr *obs.Trace, err error) *telemetry.Record {
 	rec := &telemetry.Record{
 		Expr:     expr,
 		Start:    begin,
@@ -214,7 +214,7 @@ func strategyNames(used []Strategy) []string {
 	return out
 }
 
-func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *QueryStats, error) {
+func (db *Snapshot) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *QueryStats, error) {
 	strat := StrategyAuto
 	noSkip := false
 	noPlan := false
@@ -382,7 +382,7 @@ func (db *DB) queryPattern(t *pattern.Tree, opts *QueryOptions) ([]Match, *Query
 // topDown is phase 2: walk the partition chain from the top partition to
 // the one containing the returning node, narrowing starting points through
 // structural joins. Shared by the sequential and parallel bottom-up paths.
-func (db *DB) topDown(
+func (db *Snapshot) topDown(
 	t *pattern.Tree,
 	parts []*pattern.NoKTree,
 	plan *planner.Plan,
@@ -571,7 +571,7 @@ func axisName(a pattern.Axis) string {
 
 // installLinkPreds attaches child-partition existence predicates to link
 // sources — the bottom-up structural join folded into NoK matching.
-func (db *DB) installLinkPreds(m *matcher, nt *pattern.NoKTree, extPts map[*pattern.NoKTree][]uint64) {
+func (db *Snapshot) installLinkPreds(m *matcher, nt *pattern.NoKTree, extPts map[*pattern.NoKTree][]uint64) {
 	for _, l := range nt.Links {
 		link := l
 		pts := extPts[link.To]
@@ -597,7 +597,7 @@ func (db *DB) installLinkPreds(m *matcher, nt *pattern.NoKTree, extPts map[*patt
 
 // nodeInterval returns the interval of a matched node; the virtual root's
 // interval spans the whole document.
-func (db *DB) nodeInterval(nt *pattern.NoKTree, n *pattern.Node, u Match, nc *stree.NavCounters) (stree.Interval, error) {
+func (db *Snapshot) nodeInterval(nt *pattern.NoKTree, n *pattern.Node, u Match, nc *stree.NavCounters) (stree.Interval, error) {
 	if n.IsVirtualRoot() {
 		return stree.Interval{Start: 0, End: math.MaxUint64}, nil
 	}
@@ -605,7 +605,7 @@ func (db *DB) nodeInterval(nt *pattern.NoKTree, n *pattern.Node, u Match, nc *st
 }
 
 // intervalsOf computes intervals for a list of matches of node n.
-func (db *DB) intervalsOf(nt *pattern.NoKTree, n *pattern.Node, ms []Match, nc *stree.NavCounters) ([]stree.Interval, error) {
+func (db *Snapshot) intervalsOf(nt *pattern.NoKTree, n *pattern.Node, ms []Match, nc *stree.NavCounters) ([]stree.Interval, error) {
 	out := make([]stree.Interval, len(ms))
 	for i, u := range ms {
 		iv, err := db.nodeInterval(nt, n, u, nc)

@@ -38,6 +38,7 @@ func LoadXML(dir string, r io.Reader, opts *Options) (*DB, error) {
 	names := map[string]string{
 		roleTree:     fileTree,
 		roleValues:   fileValues,
+		roleTreeMap:  epochFileName(roleTreeMap, epoch),
 		roleTags:     epochFileName(roleTags, epoch),
 		roleStats:    epochFileName(roleStats, epoch),
 		roleSynopsis: epochFileName(roleSynopsis, epoch),
@@ -46,7 +47,9 @@ func LoadXML(dir string, r io.Reader, opts *Options) (*DB, error) {
 		roleDewIdx:   epochFileName(roleDewIdx, epoch),
 		rolePathIdx:  epochFileName(rolePathIdx, epoch),
 	}
-	db := &DB{dir: dir, fsys: o.FS, tagCount: make(map[symtab.Sym]uint64)}
+	v := &Snapshot{epoch: epoch, tagCount: make(map[symtab.Sym]uint64)}
+	db := &DB{Snapshot: v, dir: dir, fsys: o.FS}
+	v.db = db
 	ok := false
 	defer func() {
 		if !ok {
@@ -59,39 +62,48 @@ func LoadXML(dir string, r io.Reader, opts *Options) (*DB, error) {
 		&pager.Options{PageSize: o.PageSize, PoolPages: o.PoolPages, FS: o.FS}); err != nil {
 		return nil, err
 	}
+	// The tree is copy-on-write from birth: the whole bulk load runs as
+	// the epoch-1 transaction, committed at the end alongside the first
+	// manifest.
+	if err := db.treeFile.InitVersioning(); err != nil {
+		return nil, err
+	}
+	if err := db.treeFile.BeginCOW(epoch); err != nil {
+		return nil, err
+	}
 	builder, err := stree.NewBuilder(db.treeFile, &stree.BuilderOptions{ReservePct: o.ReservePct})
 	if err != nil {
 		return nil, err
 	}
-	db.Tags = symtab.New()
-	if db.Values, err = vstore.CreateFS(o.FS, filepath.Join(dir, names[roleValues])); err != nil {
+	v.Tags = symtab.New()
+	if v.Values, err = vstore.CreateFS(o.FS, filepath.Join(dir, names[roleValues])); err != nil {
 		return nil, err
 	}
 	idxOpts := func() *pager.Options {
 		return &pager.Options{PageSize: o.IndexPageSize, PoolPages: o.PoolPages, FS: o.FS}
 	}
-	if db.tagIdxFile, err = pager.Create(filepath.Join(dir, names[roleTagIdx]), idxOpts()); err != nil {
+	if v.tagIdxFile, err = pager.Create(filepath.Join(dir, names[roleTagIdx]), idxOpts()); err != nil {
 		return nil, err
 	}
-	if db.TagIdx, err = btree.Create(db.tagIdxFile); err != nil {
+	if v.TagIdx, err = btree.Create(v.tagIdxFile); err != nil {
 		return nil, err
 	}
-	if db.valIdxFile, err = pager.Create(filepath.Join(dir, names[roleValIdx]), idxOpts()); err != nil {
+	if v.valIdxFile, err = pager.Create(filepath.Join(dir, names[roleValIdx]), idxOpts()); err != nil {
 		return nil, err
 	}
-	if db.ValIdx, err = btree.Create(db.valIdxFile); err != nil {
+	if v.ValIdx, err = btree.Create(v.valIdxFile); err != nil {
 		return nil, err
 	}
-	if db.dewIdxFile, err = pager.Create(filepath.Join(dir, names[roleDewIdx]), idxOpts()); err != nil {
+	if v.dewIdxFile, err = pager.Create(filepath.Join(dir, names[roleDewIdx]), idxOpts()); err != nil {
 		return nil, err
 	}
-	if db.DeweyIdx, err = btree.Create(db.dewIdxFile); err != nil {
+	if v.DeweyIdx, err = btree.Create(v.dewIdxFile); err != nil {
 		return nil, err
 	}
-	if db.pathIdxFile, err = pager.Create(filepath.Join(dir, names[rolePathIdx]), idxOpts()); err != nil {
+	if v.pathIdxFile, err = pager.Create(filepath.Join(dir, names[rolePathIdx]), idxOpts()); err != nil {
 		return nil, err
 	}
-	if db.PathIdx, err = btree.Create(db.pathIdxFile); err != nil {
+	if v.PathIdx, err = btree.Create(v.pathIdxFile); err != nil {
 		return nil, err
 	}
 
@@ -102,34 +114,40 @@ func LoadXML(dir string, r io.Reader, opts *Options) (*DB, error) {
 	if err := loader.flushIndexes(); err != nil {
 		return nil, err
 	}
-	if db.Tree, err = builder.Finish(); err != nil {
+	wtree, err := builder.Finish()
+	if err != nil {
 		return nil, err
 	}
-	db.total = db.Tree.NodeCount()
-	if err := db.Tags.SaveFS(o.FS, filepath.Join(dir, names[roleTags])); err != nil {
+	v.total = wtree.NodeCount()
+	if err := saveStatsFile(o.FS, filepath.Join(dir, names[roleStats]), v.Tags, v.tagCount, v.total); err != nil {
 		return nil, err
 	}
-	if err := db.saveStats(filepath.Join(dir, names[roleStats])); err != nil {
+	if err := v.Tags.SaveFS(o.FS, filepath.Join(dir, names[roleTags])); err != nil {
 		return nil, err
 	}
 	// The statistics synopsis was collected by the same SAX pass; it is
 	// committed through the manifest like every other store file.
-	syn := loader.sb.Finish(epoch, uint64(db.Tree.NumPages()))
+	syn := loader.sb.Finish(epoch, uint64(wtree.NumPages()))
 	if err := vfs.WriteFileAtomic(o.FS, filepath.Join(dir, names[roleSynopsis]), stats.Encode(syn), 0o644); err != nil {
 		return nil, err
 	}
-	db.synopsis = syn
-	// Make everything durable, then commit the store into existence by
-	// writing its first manifest.
-	if err := db.treeFile.Flush(); err != nil {
-		return nil, err
-	}
-	for _, t := range []*btree.Tree{db.TagIdx, db.ValIdx, db.DeweyIdx, db.PathIdx} {
+	v.syn.Store(syn)
+	// Make everything durable, then commit the store into existence:
+	// seal the epoch-1 copy-on-write transaction, write its page-table
+	// sidecar, and write the first manifest.
+	for _, t := range []*btree.Tree{v.TagIdx, v.ValIdx, v.DeweyIdx, v.PathIdx} {
 		if err := t.Flush(); err != nil {
 			return nil, err
 		}
 	}
-	if err := db.Values.Flush(); err != nil {
+	if err := v.Values.Flush(); err != nil {
+		return nil, err
+	}
+	side, err := db.treeFile.SealCOW()
+	if err != nil {
+		return nil, err
+	}
+	if err := vfs.WriteFileAtomic(o.FS, filepath.Join(dir, names[roleTreeMap]), side, 0o644); err != nil {
 		return nil, err
 	}
 	m, err := buildManifest(o.FS, dir, epoch, names)
@@ -139,7 +157,17 @@ func LoadXML(dir string, r io.Reader, opts *Options) (*DB, error) {
 	if err := writeManifest(o.FS, dir, m); err != nil {
 		return nil, err
 	}
-	db.manifest, db.epoch = m, epoch
+	if _, err := db.treeFile.Publish(); err != nil {
+		return nil, err
+	}
+	psn, err := db.treeFile.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	v.psn = psn
+	v.Tree = wtree.Snapshot(psn)
+	db.manifest = m
+	v.publish()
 	ok = true
 	return db, nil
 }

@@ -10,21 +10,28 @@ package core
 //
 // Commit strategy per file class:
 //
-//   - tree.pg is updated in place, protected by the pager's undo journal
-//     (tagged with the epoch being committed, see internal/pager/journal.go).
+//   - tree.pg is copy-on-write (internal/pager/versions.go): a mutation
+//     relocates every page it touches to a fresh physical page, so the
+//     committed epoch's pages are never overwritten. The epoch's
+//     logical→physical page table is serialized to an epoch-named
+//     "treemap" sidecar (own CRC32C); the manifest's CRC for tree.pg is
+//     recorded as 0 because the file legitimately contains free pages
+//     with stale bytes — integrity comes from the per-page checksum
+//     trailers of the *referenced* pages plus the sidecar checksum.
 //   - values.dat is append-only; rolling back means truncating to the
 //     length the manifest records.
-//   - The four B+ tree indexes, the symbol table and the statistics file
-//     are rebuilt from scratch on every update, so they are written to
-//     fresh epoch-named files (e.g. tagidx-0000002a.pg) and switched over
-//     by the manifest rename; the previous epoch's files are deleted after
-//     commit (or by recovery, whichever runs first).
+//   - The four B+ tree indexes, the symbol table, the statistics file and
+//     the treemap sidecar are written fresh per epoch (e.g.
+//     tagidx-0000002a.pg) and switched over by the manifest replace; the
+//     previous epoch's files are deleted once no pinned snapshot can
+//     still need them (or by recovery, whichever runs first).
 //
-// A commit is: fsync every file → write MANIFEST via tmp+fsync+rename+dir
-// fsync → delete the undo journal → delete the previous epoch's files.
-// Open recovers by reading the manifest, resolving the journal (replay if
-// its tag is newer than the manifest epoch, discard otherwise), truncating
-// garbage tails off tree.pg/values.dat, and sweeping orphaned epoch files.
+// A commit is: fsync every file → write the treemap sidecar → write
+// MANIFEST via tmp+fsync+rename+dir fsync. The manifest replace is the
+// commit point; there is no undo journal. Open recovers by reading the
+// manifest, truncating garbage tails off the fixed-name files, deriving
+// orphaned copy-on-write pages into the free list (see
+// pager.InstallVersion), and sweeping orphaned epoch files.
 
 import (
 	"encoding/json"
@@ -41,11 +48,12 @@ import (
 	"nok/internal/vfs"
 )
 
-// FormatVersion is the store format the manifest commits to. Version 2
-// introduced checksummed pages, file headers, and the manifest itself;
-// version-1 directories (no MANIFEST) must be rebuilt from the source
-// document.
-const FormatVersion = 2
+// FormatVersion is the store format the manifest commits to. Version 3
+// made tree.pg copy-on-write with an epoch-named page-table sidecar (the
+// "treemap" role), replacing the undo journal; version 2 introduced
+// checksummed pages, file headers, and the manifest itself. Older
+// directories must be rebuilt from the source document.
+const FormatVersion = 3
 
 // ManifestName is the commit record's file name inside a store directory.
 const ManifestName = "MANIFEST"
@@ -55,8 +63,11 @@ const manifestMagic = "NOKMF1"
 // Roles name the store files inside the manifest, independent of the
 // (possibly epoch-suffixed) physical file names.
 const (
-	roleTree    = "tree"
-	roleValues  = "values"
+	roleTree   = "tree"
+	roleValues = "values"
+	// roleTreeMap is tree.pg's committed logical→physical page table (the
+	// shadow-paging sidecar, one per epoch).
+	roleTreeMap = "treemap"
 	roleTags    = "tags"
 	roleStats   = "stats"
 	roleTagIdx  = "tagidx"
@@ -70,7 +81,7 @@ const (
 	roleSynopsis = "synopsis"
 )
 
-var allRoles = []string{roleTree, roleValues, roleTags, roleStats, roleTagIdx, roleValIdx, roleDewIdx, rolePathIdx}
+var allRoles = []string{roleTree, roleValues, roleTreeMap, roleTags, roleStats, roleTagIdx, roleValIdx, roleDewIdx, rolePathIdx}
 
 // Typed open/recovery errors. All are wrapped with file detail; test with
 // errors.Is.
@@ -140,12 +151,14 @@ func epochFileName(role string, epoch uint64) string {
 		ext = ".dat"
 	case roleSynopsis:
 		ext = ".bin"
+	case roleTreeMap:
+		ext = ".vt"
 	}
 	return fmt.Sprintf("%s-%08x%s", role, epoch, ext)
 }
 
 // epochFilePat matches any epoch-named store file (for orphan sweeping).
-var epochFilePat = regexp.MustCompile(`^(tags|stats|synopsis|tagidx|validx|deweyidx|pathidx)-[0-9a-f]{8}\.(sym|dat|bin|pg)$`)
+var epochFilePat = regexp.MustCompile(`^(tags|stats|synopsis|tagidx|validx|deweyidx|pathidx|treemap)-[0-9a-f]{8}\.(sym|dat|bin|pg|vt)$`)
 
 // readManifest loads and validates the manifest of dir.
 func readManifest(fsys vfs.FS, dir string) (*Manifest, error) {
@@ -231,10 +244,22 @@ func record(fsys vfs.FS, dir, name string) (FileRecord, error) {
 	return FileRecord{Name: name, Size: size, CRC32C: crc}, nil
 }
 
-// buildManifest checksums every named file and assembles the commit record.
+// buildManifest checksums every named file and assembles the commit
+// record. tree.pg is special: free physical pages legitimately hold stale
+// bytes that change without a commit, so a whole-file CRC is meaningless —
+// its record carries size only (CRC 0), and integrity is enforced per
+// referenced page (checksum trailers) plus the treemap sidecar's own CRC.
 func buildManifest(fsys vfs.FS, dir string, epoch uint64, names map[string]string) (*Manifest, error) {
 	m := &Manifest{Format: FormatVersion, Epoch: epoch, Files: make(map[string]FileRecord, len(names))}
 	for role, name := range names {
+		if role == roleTree {
+			fi, err := fsys.Stat(filepath.Join(dir, name))
+			if err != nil {
+				return nil, fmt.Errorf("core: sizing %s: %w", name, err)
+			}
+			m.Files[role] = FileRecord{Name: name, Size: fi.Size()}
+			continue
+		}
 		rec, err := record(fsys, dir, name)
 		if err != nil {
 			return nil, fmt.Errorf("core: checksumming %s: %w", name, err)
@@ -254,29 +279,19 @@ func recoverStore(fsys vfs.FS, dir string) (*Manifest, RecoveryInfo, error) {
 	}
 	treePath := filepath.Join(dir, m.Files[roleTree].Name)
 
-	// Resolve the undo journal. A journal tagged newer than the manifest
-	// belongs to an update that never committed — roll it back. A journal
-	// tagged at (or before) the manifest epoch means the commit completed
-	// and only the cleanup was lost; likewise a journal whose header never
-	// became durable protects nothing. Both are discarded.
-	tag, exists, ok, err := pager.InspectJournal(fsys, treePath)
+	// Format 3 stores never write an undo journal (tree.pg is
+	// copy-on-write), but a stray journal left behind by older tooling
+	// protects nothing and would confuse a later downgrade — discard it.
+	_, exists, _, err := pager.InspectJournal(fsys, treePath)
 	if err != nil {
 		return nil, info, fmt.Errorf("core: inspecting journal: %w", err)
 	}
 	if exists {
-		if ok && tag > m.Epoch {
-			if err := pager.ReplayJournal(fsys, treePath); err != nil {
-				return nil, info, fmt.Errorf("core: rolling back journal: %w", err)
-			}
-			info.JournalReplayed = true
-			mRecReplays.Inc()
-		} else {
-			if err := pager.DiscardJournal(fsys, treePath); err != nil {
-				return nil, info, fmt.Errorf("core: discarding journal: %w", err)
-			}
-			info.JournalDiscarded = true
-			mRecDiscards.Inc()
+		if err := pager.DiscardJournal(fsys, treePath); err != nil {
+			return nil, info, fmt.Errorf("core: discarding journal: %w", err)
 		}
+		info.JournalDiscarded = true
+		mRecDiscards.Inc()
 	}
 
 	// Check every committed file's length; cut uncommitted tails off the

@@ -35,7 +35,7 @@ import (
 //     and feasibility is decided by a greedy assignment in topological
 //     order, mirroring the oracle evaluator in internal/domnav.
 type matcher struct {
-	db *DB
+	db *Snapshot
 
 	// syms resolves each pattern node's tag test: wild[n] means any tag;
 	// otherwise syms[n] is the symbol, with 0 meaning the tag does not
@@ -175,7 +175,7 @@ type PartitionTiming struct {
 }
 
 // newMatcher prepares a matcher for the pattern nodes of one NoK tree.
-func newMatcher(db *DB, nt *pattern.NoKTree, outputs []*pattern.Node, stats *QueryStats) *matcher {
+func newMatcher(db *Snapshot, nt *pattern.NoKTree, outputs []*pattern.Node, stats *QueryStats) *matcher {
 	m := &matcher{
 		db:       db,
 		syms:     make(map[*pattern.Node]symtab.Sym),

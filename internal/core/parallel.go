@@ -32,7 +32,7 @@ var (
 // function always waits for all workers before returning, so no goroutine
 // can touch the pager after the query returns (and, transitively, after
 // Store.Close takes the write lock).
-func (db *DB) parallelExtMatch(
+func (db *Snapshot) parallelExtMatch(
 	parts []*pattern.NoKTree,
 	plan *planner.Plan,
 	noSkip bool,

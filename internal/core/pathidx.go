@@ -44,7 +44,7 @@ func pathKey(hash uint64, id dewey.ID) []byte {
 // chainPathHash hashes a concrete tag chain (depth-1 tag first, anchor
 // last). ok is false when any test is a wildcard or an unknown tag (the
 // path cannot be in the index).
-func (db *DB) chainPathHash(chainTests []string, anchorTest string) (uint64, bool) {
+func (db *Snapshot) chainPathHash(chainTests []string, anchorTest string) (uint64, bool) {
 	h := pathHashSeed
 	for _, test := range chainTests {
 		if test == "*" {
@@ -71,7 +71,7 @@ func (db *DB) chainPathHash(chainTests []string, anchorTest string) (uint64, boo
 // still verified (hash collisions must not surface), but unlike the tag
 // strategy no depth filtering or lifted ancestors are needed — the index
 // key *is* the whole path.
-func (db *DB) startsByPath(anchor *pattern.Node, chainTests []string, nc *stree.NavCounters) ([]Match, bool, error) {
+func (db *Snapshot) startsByPath(anchor *pattern.Node, chainTests []string, nc *stree.NavCounters) ([]Match, bool, error) {
 	if db.PathIdx == nil {
 		return nil, false, nil
 	}

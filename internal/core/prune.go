@@ -25,10 +25,10 @@ import (
 //     absent. This is only sound for literals that do not parse as
 //     numbers: numeric equality compares numerically ("100" matches a
 //     node value of "100.0"), defeating hash identity.
-func (db *DB) ProvablyEmpty(t *pattern.Tree) (bool, string) {
+func (db *Snapshot) ProvablyEmpty(t *pattern.Tree) (bool, string) {
 	empty := false
 	reason := ""
-	syn := db.synopsis
+	syn := db.syn.Load()
 	freshSyn := db.SynopsisFresh()
 	t.Walk(func(n *pattern.Node, _ int) {
 		if empty || n.IsVirtualRoot() {

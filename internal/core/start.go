@@ -86,7 +86,7 @@ func btPages(nc *stree.NavCounters) *uint64 {
 // no equality constraint) the *effective* fallback is reported, not the
 // request. The NoK tree's root must not be the virtual root (the evaluator
 // handles that partition itself).
-func (db *DB) starts(nt *pattern.NoKTree, strat Strategy, nc *stree.NavCounters) ([]Match, Strategy, error) {
+func (db *Snapshot) starts(nt *pattern.NoKTree, strat Strategy, nc *stree.NavCounters) ([]Match, Strategy, error) {
 	switch strat {
 	case StrategyScan:
 		ms, err := db.startsByScan(nt, nc)
@@ -122,7 +122,7 @@ func (db *DB) starts(nt *pattern.NoKTree, strat Strategy, nc *stree.NavCounters)
 // constraints, we pick the tag name which has the highest selectivity;
 // if the selectivity is high we use the tag-name index, otherwise a
 // sequential scan."
-func (db *DB) startsAuto(nt *pattern.NoKTree, nc *stree.NavCounters) ([]Match, Strategy, error) {
+func (db *Snapshot) startsAuto(nt *pattern.NoKTree, nc *stree.NavCounters) ([]Match, Strategy, error) {
 	if vn, ok := db.bestValueConstraint(nt); ok {
 		ms, err := db.startsFromValueNode(nt, vn, nc)
 		return ms, StrategyValueIndex, err
@@ -138,7 +138,7 @@ func (db *DB) startsAuto(nt *pattern.NoKTree, nc *stree.NavCounters) ([]Match, S
 
 // startsByScan is the naïve strategy: traverse the subject tree and try
 // every node whose tag matches the NoK root.
-func (db *DB) startsByScan(nt *pattern.NoKTree, nc *stree.NavCounters) ([]Match, error) {
+func (db *Snapshot) startsByScan(nt *pattern.NoKTree, nc *stree.NavCounters) ([]Match, error) {
 	root := nt.Root
 	wild := root.Test == "*"
 	var want symtab.Sym
@@ -162,7 +162,7 @@ func (db *DB) startsByScan(nt *pattern.NoKTree, nc *stree.NavCounters) ([]Match,
 // mostSelectiveTag picks the NoK-tree node with a concrete tag whose
 // document-wide node count is smallest (free lookup in the load-time
 // statistics).
-func (db *DB) mostSelectiveTag(nt *pattern.NoKTree) (depthNode, uint64, bool) {
+func (db *Snapshot) mostSelectiveTag(nt *pattern.NoKTree) (depthNode, uint64, bool) {
 	best := depthNode{}
 	var bestCount uint64
 	found := false
@@ -220,7 +220,7 @@ func sortStarts(ms []Match) []Match {
 
 // startsFromTagNode scans the tag index for dn's symbol and lifts each hit
 // to its depth-dn ancestor — the NoK-root candidate.
-func (db *DB) startsFromTagNode(nt *pattern.NoKTree, dn depthNode, nc *stree.NavCounters) ([]Match, error) {
+func (db *Snapshot) startsFromTagNode(nt *pattern.NoKTree, dn depthNode, nc *stree.NavCounters) ([]Match, error) {
 	if dn.impossible {
 		return nil, nil
 	}
@@ -253,7 +253,7 @@ func (db *DB) startsFromTagNode(nt *pattern.NoKTree, dn depthNode, nc *stree.Nav
 
 // bestValueConstraint returns the most selective equality-value node of
 // the NoK tree. Inequality constraints cannot use the hash index.
-func (db *DB) bestValueConstraint(nt *pattern.NoKTree) (pattern.ValueNode, bool) {
+func (db *Snapshot) bestValueConstraint(nt *pattern.NoKTree) (pattern.ValueNode, bool) {
 	var best pattern.ValueNode
 	bestCount := -1
 	for _, vn := range nt.ValueConstrained() {
@@ -270,7 +270,7 @@ func (db *DB) bestValueConstraint(nt *pattern.NoKTree) (pattern.ValueNode, bool)
 
 // countValueEntries counts value-index entries for a literal, capped at
 // selectivityCountCutoff.
-func (db *DB) countValueEntries(literal string) int {
+func (db *Snapshot) countValueEntries(literal string) int {
 	var prefix [8]byte
 	binary.BigEndian.PutUint64(prefix[:], vstore.Hash([]byte(literal)))
 	n := 0
@@ -284,7 +284,7 @@ func (db *DB) countValueEntries(literal string) int {
 // startsFromValueNode scans the value index for hash(literal), verifies
 // the literal against the data file (hash collisions), and lifts hits to
 // their NoK-root ancestors.
-func (db *DB) startsFromValueNode(nt *pattern.NoKTree, vn pattern.ValueNode, nc *stree.NavCounters) ([]Match, error) {
+func (db *Snapshot) startsFromValueNode(nt *pattern.NoKTree, vn pattern.ValueNode, nc *stree.NavCounters) ([]Match, error) {
 	var prefix [8]byte
 	binary.BigEndian.PutUint64(prefix[:], vstore.Hash([]byte(vn.Node.Literal)))
 	var out []Match
@@ -329,7 +329,7 @@ func (db *DB) startsFromValueNode(nt *pattern.NoKTree, vn pattern.ValueNode, nc 
 // liftToAncestor resolves the ancestor Dewey ID to a physical position and
 // pre-filters it against the NoK root's tag test. directPos carries the
 // position when depth is 0 and the index entry already holds it.
-func (db *DB) liftToAncestor(nt *pattern.NoKTree, anc dewey.ID, depth int, directPos []byte, nc *stree.NavCounters) (Match, bool) {
+func (db *Snapshot) liftToAncestor(nt *pattern.NoKTree, anc dewey.ID, depth int, directPos []byte, nc *stree.NavCounters) (Match, bool) {
 	var pos stree.Pos
 	if depth == 0 && len(directPos) >= 6 {
 		p, err := decodePos(directPos)

@@ -48,17 +48,18 @@ func (db *DB) loadSynopsis() {
 		mSynopsisLoadErrs.Inc()
 		return
 	}
-	db.synopsis = syn
+	db.syn.Store(syn)
 }
 
 // Synopsis returns the loaded statistics synopsis (nil when absent). It
 // may be stale; see SynopsisFresh.
-func (db *DB) Synopsis() *stats.Synopsis { return db.synopsis }
+func (db *Snapshot) Synopsis() *stats.Synopsis { return db.syn.Load() }
 
-// SynopsisFresh reports whether a synopsis exists at the store's current
+// SynopsisFresh reports whether a synopsis exists at the snapshot's
 // epoch — the condition under which StrategyAuto consults the planner.
-func (db *DB) SynopsisFresh() bool {
-	return db.synopsis != nil && db.synopsis.Epoch == db.epoch
+func (db *Snapshot) SynopsisFresh() bool {
+	syn := db.syn.Load()
+	return syn != nil && syn.Epoch == db.epoch
 }
 
 // shape derives the planner's physical cost parameters from the open
@@ -66,7 +67,7 @@ func (db *DB) SynopsisFresh() bool {
 // typical B+-tree descent cost, and a leaf fan-out estimated from the
 // index page size (entries average ~32 bytes: a Dewey key plus a 14-byte
 // payload and slot overhead).
-func (db *DB) shape() planner.Shape {
+func (db *Snapshot) shape() planner.Shape {
 	return planner.Shape{
 		TreePages:   float64(db.Tree.NumPages()),
 		IndexHeight: float64(db.DeweyIdx.Height()),
@@ -77,8 +78,8 @@ func (db *DB) shape() planner.Shape {
 // planFor returns the cost-based plan for a parsed query, or nil when the
 // planner cannot run (no synopsis, or one from another epoch). Plans are
 // cached per canonical expression and invalidated on epoch change.
-func (db *DB) planFor(t *pattern.Tree, parts []*pattern.NoKTree, anchor *pattern.Node, chain []string) *planner.Plan {
-	syn := db.synopsis
+func (db *Snapshot) planFor(t *pattern.Tree, parts []*pattern.NoKTree, anchor *pattern.Node, chain []string) *planner.Plan {
+	syn := db.syn.Load()
 	if syn == nil || syn.Epoch != db.epoch {
 		mPlanFallbacks.Inc()
 		return nil
@@ -110,7 +111,7 @@ func (db *DB) planFor(t *pattern.Tree, parts []*pattern.NoKTree, anchor *pattern
 
 // invalidatePlans empties the plan cache (after every committed epoch
 // change or synopsis refresh).
-func (db *DB) invalidatePlans() {
+func (db *Snapshot) invalidatePlans() {
 	db.planMu.Lock()
 	db.planCache = nil
 	db.planMu.Unlock()
@@ -134,16 +135,17 @@ func strategyForAccess(a planner.Access) Strategy {
 // Plan builds (or fetches from cache) the cost-based plan for expr without
 // executing it. When the planner cannot run, the plan is nil and reason
 // says why.
-func (db *DB) Plan(expr string) (*planner.Plan, string, error) {
+func (db *Snapshot) Plan(expr string) (*planner.Plan, string, error) {
 	t, err := pattern.Parse(expr)
 	if err != nil {
 		return nil, "", err
 	}
-	if db.synopsis == nil {
+	syn := db.syn.Load()
+	if syn == nil {
 		return nil, "no statistics synopsis (store predates it; refresh statistics to enable the planner)", nil
 	}
-	if db.synopsis.Epoch != db.epoch {
-		return nil, fmt.Sprintf("synopsis is stale (built at epoch %d, store is at %d); refresh statistics", db.synopsis.Epoch, db.epoch), nil
+	if syn.Epoch != db.epoch {
+		return nil, fmt.Sprintf("synopsis is stale (built at epoch %d, store is at %d); refresh statistics", syn.Epoch, db.epoch), nil
 	}
 	parts := pattern.Partition(t)
 	anchor, chain := topAnchor(parts[0], t)
@@ -152,7 +154,7 @@ func (db *DB) Plan(expr string) (*planner.Plan, string, error) {
 
 // PlanText renders the plan for expr, or the fallback explanation when the
 // planner is unavailable.
-func (db *DB) PlanText(expr string) (string, error) {
+func (db *Snapshot) PlanText(expr string) (string, error) {
 	p, reason, err := db.Plan(expr)
 	if err != nil {
 		return "", err
@@ -168,6 +170,11 @@ func (db *DB) PlanText(expr string) (string, error) {
 // the upgrade path for stores that predate the synopsis and the repair
 // path after one went stale or was lost.
 func (db *DB) RefreshSynopsis() error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.closed.Load() {
+		return ErrClosed
+	}
 	if db.broken {
 		return ErrNeedsRecovery
 	}
@@ -222,7 +229,10 @@ func (db *DB) RefreshSynopsis() error {
 		_ = db.fsys.Remove(filepath.Join(db.dir, old.Name))
 	}
 	db.manifest = m
-	db.synopsis = syn
+	// Install into the *current* snapshot: the synopsis is advisory (it
+	// only steers planning), so mutating the live view is safe — the
+	// pointer is atomic and plans are re-derived under planMu.
+	db.syn.Store(syn)
 	db.invalidatePlans()
 	return nil
 }
@@ -258,9 +268,9 @@ type SynopsisInfo struct {
 
 // SynopsisInfo summarizes the loaded synopsis with the top-n tags and
 // paths by cardinality.
-func (db *DB) SynopsisInfo(n int) SynopsisInfo {
+func (db *Snapshot) SynopsisInfo(n int) SynopsisInfo {
 	out := SynopsisInfo{StoreEpoch: db.epoch}
-	syn := db.synopsis
+	syn := db.syn.Load()
 	if syn == nil {
 		return out
 	}

@@ -29,23 +29,43 @@ import (
 // dewey→value association is carried over in memory, and a single scan of
 // the updated string tree rebuilds the position-bearing entries.
 //
-// Every update is one atomic commit (see manifest.go): the string tree is
-// mutated under the pager's undo journal tagged with the new epoch, the
-// indexes/symbols/stats are rebuilt into fresh epoch-named files, and the
-// manifest switch is the commit point. A crash anywhere leaves a store
-// that Open rolls back to the pre-update state or forward to the committed
-// one — never anything in between. An in-process failure mid-mutation
-// marks the DB broken (ErrNeedsRecovery): the journal stays on disk and
-// the next Open rolls back.
+// Every update is one atomic commit that never blocks readers (MVCC via
+// shadow paging, see internal/pager/versions.go and snapshot.go):
+//
+//  1. A copy-on-write transaction opens on tree.pg; the first write to a
+//     committed page relocates it to a fresh physical page, so every page
+//     the current epoch references stays byte-identical on disk.
+//  2. The mutation runs against a writer clone of the current snapshot's
+//     tree; concurrent readers keep evaluating on their pinned views.
+//  3. The indexes, symbols, statistics and synopsis are rebuilt into
+//     fresh epoch-named files; the previous epoch's files are untouched.
+//  4. Commit: fsync everything, write the new epoch's page-table sidecar
+//     (treemap), then atomically replace the MANIFEST — the commit point.
+//     A crash anywhere before it leaves the old epoch fully intact; no
+//     undo journal exists or is needed.
+//  5. The new Snapshot is published with one pointer swap; the previous
+//     view is garbage-collected when its last reader releases it (its
+//     private tree pages recycle, its superseded files are deleted).
+//
+// An in-process failure before the commit point aborts cleanly — the
+// copy-on-write pages are recycled and the store stays usable. Only a
+// failure *after* the manifest switch marks the DB broken
+// (ErrNeedsRecovery): disk is committed but memory may not match; reopen
+// to roll forward.
 
-// ErrNeedsRecovery is returned by mutations after a previous update failed
-// midway; reopen the store to roll back to the last committed state.
-var ErrNeedsRecovery = errors.New("core: store needs recovery (a previous update failed); reopen to roll back")
+// ErrNeedsRecovery is returned by mutations after a previous update
+// failed at (or beyond) its commit point; reopen the store to recover.
+var ErrNeedsRecovery = errors.New("core: store needs recovery (a previous update failed); reopen to recover")
 
 // InsertFragment parses an XML fragment and appends it as the last
 // child(ren) of the node identified by parent. The fragment must contain
 // exactly one root element. Indexes are rebuilt afterwards.
 func (db *DB) InsertFragment(parent dewey.ID, r io.Reader) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.closed.Load() {
+		return ErrClosed
+	}
 	if db.broken {
 		return ErrNeedsRecovery
 	}
@@ -64,6 +84,11 @@ func (db *DB) InsertFragment(parent dewey.ID, r io.Reader) error {
 		return err
 	}
 
+	// New names intern into a clone of the committed symbol table:
+	// readers of the current epoch keep their table untouched, and an
+	// abort simply discards the clone.
+	newTags := db.Tags.Clone()
+
 	// Parse the fragment: build the token string and collect values keyed
 	// by the Dewey IDs the new nodes will have.
 	var enc stree.SubtreeEncoder
@@ -77,7 +102,7 @@ func (db *DB) InsertFragment(parent dewey.ID, r io.Reader) error {
 	rootSeen := false
 	sc := sax.NewScanner(r)
 	openElem := func(name string) error {
-		sym, err := db.Tags.Intern(name)
+		sym, err := newTags.Intern(name)
 		if err != nil {
 			return err
 		}
@@ -96,8 +121,6 @@ func (db *DB) InsertFragment(parent dewey.ID, r io.Reader) error {
 			p.kids++
 			id = p.id.Child(p.kids)
 		}
-		db.tagCount[sym]++
-		db.total++
 		stack = append(stack, &open{id: id})
 		return nil
 	}
@@ -167,91 +190,20 @@ func (db *DB) InsertFragment(parent dewey.ID, r io.Reader) error {
 	for k, v := range valueAt {
 		carried[k] = v
 	}
-	return db.applyUpdate(carried, func() error {
-		return db.Tree.InsertChild(pos, tokens)
+	return db.applyUpdate(newTags, carried, func(t *stree.Store) error {
+		return t.InsertChild(pos, tokens)
 	})
-}
-
-// applyUpdate runs mutate (the in-place string-tree change) and the index
-// rebuild as one undo-journaled transaction and commits it by switching
-// the manifest to a new epoch. Any failure after mutation starts marks the
-// DB broken: the journal stays behind and the next Open rolls back.
-func (db *DB) applyUpdate(carried map[string]uint64, mutate func() error) error {
-	newEpoch := db.epoch + 1
-	if err := db.treeFile.BeginUpdate(newEpoch); err != nil {
-		return err
-	}
-	if err := mutate(); err != nil {
-		db.broken = true
-		return err
-	}
-	syn, err := db.rebuildIndexes(carried, newEpoch)
-	if err != nil {
-		db.broken = true
-		return err
-	}
-	if err := db.commitEpoch(newEpoch); err != nil {
-		db.broken = true
-		return err
-	}
-	// The rebuild scan refreshed the statistics synopsis alongside the
-	// indexes, so the planner stays available across updates. Cached plans
-	// were costed against the previous epoch's statistics; drop them.
-	db.synopsis = syn
-	db.invalidatePlans()
-	return nil
-}
-
-// commitEpoch makes every file durable, writes the new manifest (the
-// commit point), drops the undo journal, and sweeps the previous epoch's
-// files.
-func (db *DB) commitEpoch(newEpoch uint64) error {
-	names := map[string]string{
-		roleTree:     fileTree,
-		roleValues:   fileValues,
-		roleTags:     epochFileName(roleTags, newEpoch),
-		roleStats:    epochFileName(roleStats, newEpoch),
-		roleSynopsis: epochFileName(roleSynopsis, newEpoch),
-		roleTagIdx:   epochFileName(roleTagIdx, newEpoch),
-		roleValIdx:   epochFileName(roleValIdx, newEpoch),
-		roleDewIdx:   epochFileName(roleDewIdx, newEpoch),
-		rolePathIdx:  epochFileName(rolePathIdx, newEpoch),
-	}
-	if err := db.treeFile.Flush(); err != nil {
-		return err
-	}
-	if err := db.Values.Flush(); err != nil {
-		return err
-	}
-	m, err := buildManifest(db.fsys, db.dir, newEpoch, names)
-	if err != nil {
-		return err
-	}
-	if err := writeManifest(db.fsys, db.dir, m); err != nil {
-		return err
-	}
-	// Committed. Remove the journal; from here recovery rolls forward.
-	if err := db.treeFile.CommitUpdate(); err != nil {
-		return err
-	}
-	// Best-effort sweep of the previous epoch's files — failures here are
-	// harmless (Open's orphan sweep will finish the job). Iterate the new
-	// name set rather than allRoles so the optional synopsis is swept too;
-	// a pre-synopsis manifest simply has no old name for that role.
-	for role, newName := range names {
-		old := db.manifest.Files[role].Name
-		if old != "" && old != newName {
-			_ = db.fsys.Remove(filepath.Join(db.dir, old))
-		}
-	}
-	db.manifest, db.epoch = m, newEpoch
-	return nil
 }
 
 // DeleteSubtree removes the node with the given ID and its descendants.
 // Following siblings are renumbered (their Dewey ordinals shift down by
 // one), and indexes are rebuilt.
 func (db *DB) DeleteSubtree(id dewey.ID) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.closed.Load() {
+		return ErrClosed
+	}
 	if db.broken {
 		return ErrNeedsRecovery
 	}
@@ -266,11 +218,133 @@ func (db *DB) DeleteSubtree(id dewey.ID) error {
 	if err != nil {
 		return err
 	}
-	// Tag counts and total are re-derived by the rebuild scan (the deleted
-	// range's per-tag composition is easiest recomputed from the tree).
-	return db.applyUpdate(carried, func() error {
-		return db.Tree.DeleteSubtree(pos)
+	// A delete interns nothing, so the new epoch shares the committed
+	// symbol table (tables are immutable once committed). Tag counts and
+	// total are re-derived by the rebuild scan.
+	return db.applyUpdate(db.Tags, carried, func(t *stree.Store) error {
+		return t.DeleteSubtree(pos)
 	})
+}
+
+// applyUpdate runs mutate (the string-tree change) against a writer clone
+// of the current snapshot inside a copy-on-write transaction, rebuilds the
+// derived files into a new Snapshot, and commits by switching the manifest
+// to the new epoch. Readers keep evaluating on their pinned views
+// throughout. Caller holds wmu.
+func (db *DB) applyUpdate(newTags *symtab.Table, carried map[string]uint64, mutate func(t *stree.Store) error) error {
+	cur := db.Snapshot
+	newEpoch := cur.epoch + 1
+	if err := db.treeFile.BeginCOW(newEpoch); err != nil {
+		return err
+	}
+	wtree := cur.Tree.WriterClone(db.treeFile)
+	if err := mutate(wtree); err != nil {
+		return db.abortUpdate(newEpoch, err)
+	}
+	next := &Snapshot{
+		db:       db,
+		epoch:    newEpoch,
+		Tags:     newTags,
+		Values:   db.Values,
+		tagCount: make(map[symtab.Sym]uint64),
+	}
+	if err := db.rebuildIndexes(next, wtree, carried); err != nil {
+		next.closeFiles()
+		return db.abortUpdate(newEpoch, err)
+	}
+	committed, err := db.commitEpoch(next, wtree)
+	if err != nil {
+		if !committed {
+			next.closeFiles()
+			return db.abortUpdate(newEpoch, err)
+		}
+		// Disk holds the new epoch but memory no longer matches it.
+		db.broken = true
+		return err
+	}
+	return nil
+}
+
+// abortUpdate rolls an uncommitted update back: the copy-on-write pages
+// recycle, the fresh epoch-named files are deleted, and the store stays
+// fully usable on the old epoch. Only an abort failure (the transaction's
+// state can no longer be trusted) marks the DB broken.
+func (db *DB) abortUpdate(newEpoch uint64, cause error) error {
+	for _, role := range []string{roleTags, roleStats, roleSynopsis, roleTagIdx, roleValIdx, roleDewIdx, rolePathIdx, roleTreeMap} {
+		_ = db.fsys.Remove(db.join(epochFileName(role, newEpoch)))
+	}
+	if err := db.treeFile.AbortCOW(); err != nil {
+		db.broken = true
+		return errors.Join(cause, fmt.Errorf("core: aborting update: %w", err))
+	}
+	return cause
+}
+
+// commitEpoch makes every file durable, writes the new epoch's page-table
+// sidecar, switches the MANIFEST (the commit point), and publishes the new
+// Snapshot. The previous view is retired: it keeps serving its pinned
+// readers and is destroyed — files deleted, pages recycled — when the last
+// one releases. committed reports whether the commit point was passed;
+// when false the caller can still abort cleanly.
+func (db *DB) commitEpoch(next *Snapshot, wtree *stree.Store) (committed bool, err error) {
+	newEpoch := next.epoch
+	names := map[string]string{
+		roleTree:     fileTree,
+		roleValues:   fileValues,
+		roleTreeMap:  epochFileName(roleTreeMap, newEpoch),
+		roleTags:     epochFileName(roleTags, newEpoch),
+		roleStats:    epochFileName(roleStats, newEpoch),
+		roleSynopsis: epochFileName(roleSynopsis, newEpoch),
+		roleTagIdx:   epochFileName(roleTagIdx, newEpoch),
+		roleValIdx:   epochFileName(roleValIdx, newEpoch),
+		roleDewIdx:   epochFileName(roleDewIdx, newEpoch),
+		rolePathIdx:  epochFileName(rolePathIdx, newEpoch),
+	}
+	if err := db.Values.Flush(); err != nil {
+		return false, err
+	}
+	// Seal flushes and fsyncs every copy-on-write page, then serializes
+	// the new logical→physical table.
+	side, err := db.treeFile.SealCOW()
+	if err != nil {
+		return false, err
+	}
+	if err := vfs.WriteFileAtomic(db.fsys, db.join(names[roleTreeMap]), side, 0o644); err != nil {
+		return false, err
+	}
+	m, err := buildManifest(db.fsys, db.dir, newEpoch, names)
+	if err != nil {
+		return false, err
+	}
+	if err := writeManifest(db.fsys, db.dir, m); err != nil {
+		return false, err
+	}
+	// Committed on disk. Publish the page-table version and pin it for
+	// the new snapshot; failures past this point leave disk ahead of
+	// memory (the caller marks the DB broken).
+	if _, err := db.treeFile.Publish(); err != nil {
+		return true, err
+	}
+	psn, err := db.treeFile.Acquire()
+	if err != nil {
+		return true, err
+	}
+	next.psn = psn
+	next.Tree = wtree.Snapshot(psn)
+
+	// Hand the set of superseded files to the retiring view; they are
+	// deleted when its last reader drains, not before.
+	prev := db.Snapshot
+	for role, newName := range names {
+		if old := db.manifest.Files[role].Name; old != "" && old != newName {
+			prev.obsolete = append(prev.obsolete, old)
+		}
+	}
+	db.Snapshot = next
+	db.manifest = m
+	next.publish()
+	prev.Release() // drop the DB's "current" reference on the old view
+	return true, nil
 }
 
 // countChildren counts the children of the node at pos via navigation.
@@ -337,71 +411,61 @@ func prefixEq(id, other dewey.ID, n int) bool {
 	return true
 }
 
-// rebuildIndexes recreates the four B+ trees (and the symbol/statistics
-// files) from a scan of the (already updated) string tree into fresh files
-// named for newEpoch, and rebuilds the planner's statistics synopsis from
-// the same scan (returned so the caller can install it once the commit
-// lands). The previous epoch's files are left untouched — they remain the
-// committed state until the manifest switches. valOffByDewey carries the
-// value associations.
-func (db *DB) rebuildIndexes(valOffByDewey map[string]uint64, newEpoch uint64) (*stats.Synopsis, error) {
-	// Close the old index files; their on-disk bytes stay (still committed).
-	for _, pf := range []*pager.File{db.tagIdxFile, db.valIdxFile, db.dewIdxFile, db.pathIdxFile} {
-		if pf != nil {
-			if err := pf.Close(); err != nil {
-				return nil, err
-			}
-		}
-	}
+// rebuildIndexes recreates the four B+ trees (and the symbol/statistics/
+// synopsis files) from a scan of the already-mutated writer tree into
+// fresh files named for next.epoch, filling next's in-memory state. The
+// previous epoch's files and open handles are untouched — they remain the
+// committed state readers are using. valOffByDewey carries the value
+// associations.
+func (db *DB) rebuildIndexes(next *Snapshot, wtree *stree.Store, valOffByDewey map[string]uint64) error {
+	newEpoch := next.epoch
 	pageSize := db.treeFile.PageSize()
 	if pageSize < 1024 {
 		pageSize = pager.DefaultPageSize
 	}
 	idxOpts := func() *pager.Options { return &pager.Options{PageSize: pageSize, FS: db.fsys} }
 	var err error
-	if db.tagIdxFile, err = pager.Create(filepath.Join(db.dir, epochFileName(roleTagIdx, newEpoch)), idxOpts()); err != nil {
-		return nil, err
+	if next.tagIdxFile, err = pager.Create(db.join(epochFileName(roleTagIdx, newEpoch)), idxOpts()); err != nil {
+		return err
 	}
-	if db.TagIdx, err = btree.Create(db.tagIdxFile); err != nil {
-		return nil, err
+	if next.TagIdx, err = btree.Create(next.tagIdxFile); err != nil {
+		return err
 	}
-	if db.valIdxFile, err = pager.Create(filepath.Join(db.dir, epochFileName(roleValIdx, newEpoch)), idxOpts()); err != nil {
-		return nil, err
+	if next.valIdxFile, err = pager.Create(db.join(epochFileName(roleValIdx, newEpoch)), idxOpts()); err != nil {
+		return err
 	}
-	if db.ValIdx, err = btree.Create(db.valIdxFile); err != nil {
-		return nil, err
+	if next.ValIdx, err = btree.Create(next.valIdxFile); err != nil {
+		return err
 	}
-	if db.dewIdxFile, err = pager.Create(filepath.Join(db.dir, epochFileName(roleDewIdx, newEpoch)), idxOpts()); err != nil {
-		return nil, err
+	if next.dewIdxFile, err = pager.Create(db.join(epochFileName(roleDewIdx, newEpoch)), idxOpts()); err != nil {
+		return err
 	}
-	if db.DeweyIdx, err = btree.Create(db.dewIdxFile); err != nil {
-		return nil, err
+	if next.DeweyIdx, err = btree.Create(next.dewIdxFile); err != nil {
+		return err
 	}
-	if db.pathIdxFile, err = pager.Create(filepath.Join(db.dir, epochFileName(rolePathIdx, newEpoch)), idxOpts()); err != nil {
-		return nil, err
+	if next.pathIdxFile, err = pager.Create(db.join(epochFileName(rolePathIdx, newEpoch)), idxOpts()); err != nil {
+		return err
 	}
-	if db.PathIdx, err = btree.Create(db.pathIdxFile); err != nil {
-		return nil, err
+	if next.PathIdx, err = btree.Create(next.pathIdxFile); err != nil {
+		return err
 	}
 
-	db.tagCount = make(map[symtab.Sym]uint64)
-	db.total = 0
 	sb := stats.NewBuilder()
 	// hashStack[d] is the path hash of the current open element at depth d
 	// (root depth 1); hashStack[0] is the seed.
 	hashStack := []uint64{pathHashSeed}
 	var scanErr error
-	err = db.Tree.Scan(func(pos stree.Pos, sym symtab.Sym, level int, id dewey.ID) bool {
-		db.tagCount[sym]++
-		db.total++
+	err = wtree.Scan(func(pos stree.Pos, sym symtab.Sym, level int, id dewey.ID) bool {
+		next.tagCount[sym]++
+		next.total++
 		sb.Node(sym, level)
 		h := extendPathHash(hashStack[level-1], sym)
 		hashStack = append(hashStack[:level], h)
-		if err := db.PathIdx.Insert(pathKey(h, id), encodePos(pos)); err != nil {
+		if err := next.PathIdx.Insert(pathKey(h, id), encodePos(pos)); err != nil {
 			scanErr = err
 			return false
 		}
-		if err := db.TagIdx.Insert(tagKey(sym, id), encodePos(pos)); err != nil {
+		if err := next.TagIdx.Insert(tagKey(sym, id), encodePos(pos)); err != nil {
 			scanErr = err
 			return false
 		}
@@ -414,38 +478,39 @@ func (db *DB) rebuildIndexes(valOffByDewey map[string]uint64, newEpoch uint64) (
 				return false
 			}
 			sb.Value(level, vstore.Hash(v))
-			if err := db.ValIdx.Insert(valKey(vstore.Hash(v), id), encodePos(pos)); err != nil {
+			if err := next.ValIdx.Insert(valKey(vstore.Hash(v), id), encodePos(pos)); err != nil {
 				scanErr = err
 				return false
 			}
 		}
-		if err := db.DeweyIdx.Insert(id.Bytes(), deweyVal(pos, valOff)); err != nil {
+		if err := next.DeweyIdx.Insert(id.Bytes(), deweyVal(pos, valOff)); err != nil {
 			scanErr = err
 			return false
 		}
 		return true
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if scanErr != nil {
-		return nil, scanErr
+		return scanErr
 	}
-	if err := db.saveStats(filepath.Join(db.dir, epochFileName(roleStats, newEpoch))); err != nil {
-		return nil, err
+	if err := saveStatsFile(db.fsys, filepath.Join(db.dir, epochFileName(roleStats, newEpoch)), next.Tags, next.tagCount, next.total); err != nil {
+		return err
 	}
-	if err := db.Tags.SaveFS(db.fsys, filepath.Join(db.dir, epochFileName(roleTags, newEpoch))); err != nil {
-		return nil, err
+	if err := next.Tags.SaveFS(db.fsys, filepath.Join(db.dir, epochFileName(roleTags, newEpoch))); err != nil {
+		return err
 	}
-	syn := sb.Finish(newEpoch, uint64(db.Tree.NumPages()))
+	syn := sb.Finish(newEpoch, uint64(wtree.NumPages()))
 	if err := vfs.WriteFileAtomic(db.fsys,
 		filepath.Join(db.dir, epochFileName(roleSynopsis, newEpoch)), stats.Encode(syn), 0o644); err != nil {
-		return nil, err
+		return err
 	}
-	for _, t := range []*btree.Tree{db.TagIdx, db.ValIdx, db.DeweyIdx, db.PathIdx} {
+	next.syn.Store(syn)
+	for _, t := range []*btree.Tree{next.TagIdx, next.ValIdx, next.DeweyIdx, next.PathIdx} {
 		if err := t.Flush(); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return syn, db.Values.Flush()
+	return db.Values.Flush()
 }

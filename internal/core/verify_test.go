@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"strings"
@@ -44,8 +45,13 @@ func TestVerifyCleanStore(t *testing.T) {
 	}
 }
 
-// TestVerifyDetectsFlippedByte: bit rot inside a tree page that Open does
-// not touch must still be caught by a deep verify.
+// TestVerifyDetectsFlippedByte: bit rot inside a tree page region that
+// Open does not read must still be caught by a deep verify. Open walks
+// every committed page's checksummed payload, and tree.pg carries no
+// whole-file checksum (its free pages hold stale bytes by design under
+// copy-on-write), so the one region nothing reads is the reserved trailer
+// slack after each page's CRC — always zero as written. Deep verification
+// must flag nonzero slack on committed pages.
 func TestVerifyDetectsFlippedByte(t *testing.T) {
 	dir := buildDir(t)
 	path := filepath.Join(dir, storeFiles(t, dir)[roleTree])
@@ -53,11 +59,19 @@ func TestVerifyDetectsFlippedByte(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Flip a byte in the last page's reserved trailer area: the per-page
-	// CRC does not cover it, so Open and all structural checks pass, but
-	// the manifest's whole-file checksum must still flag the file.
-	pos := len(raw) - 2
-	raw[pos] ^= 0xFF
+	// Flip a reserved trailer byte in every data page: free pages are
+	// legitimately ignored, but at least one page is referenced by the
+	// committed table and must be flagged.
+	pageSize := int(binary.BigEndian.Uint32(raw[6:10]))
+	physSize := pageSize + pager.TrailerLen
+	flipped := 0
+	for end := 2 * physSize; end <= len(raw); end += physSize {
+		raw[end-2] ^= 0xFF
+		flipped++
+	}
+	if flipped == 0 {
+		t.Fatal("tree.pg holds no data pages")
+	}
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}

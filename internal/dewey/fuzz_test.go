@@ -1,0 +1,79 @@
+package dewey
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse checks the dotted-notation codec: Parse never panics, and any
+// accepted ID round-trips through String exactly.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"0", "0.1", "0.2.1", "", ".", "0.", ".0", "0..1",
+		"4294967295", "4294967296", "-1", "0.00.01", "0.x", "0.1 ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		id, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if len(id) == 0 {
+			t.Fatalf("Parse(%q) accepted an empty ID", s)
+		}
+		rt, err := Parse(id.String())
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", s, id.String(), err)
+		}
+		if Compare(id, rt) != 0 {
+			t.Fatalf("Parse(%q) round-trip drifted: %v vs %v", s, id, rt)
+		}
+	})
+}
+
+// FuzzFromBytes checks the order-preserving binary codec: FromBytes never
+// panics on arbitrary bytes, any decoded ID re-encodes to a stable
+// canonical form, and the canonical encodings of two decodable inputs
+// compare bytewise exactly like the IDs compare in document order.
+func FuzzFromBytes(f *testing.F) {
+	f.Add(Root().Bytes(), ID{0, 1}.Bytes())
+	f.Add(ID{0, 1, 300, 99999}.Bytes(), ID{0, 2}.Bytes())
+	f.Add(ID{0, MaxComponent}.Bytes(), []byte{0xE0, 0x01})
+	f.Add([]byte{0xFF}, []byte{0x80})
+	f.Add([]byte{}, []byte{0x00})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		ida, erra := FromBytes(a)
+		idb, errb := FromBytes(b)
+		for _, v := range []struct {
+			id  ID
+			err error
+			in  []byte
+		}{{ida, erra, a}, {idb, errb, b}} {
+			if v.err != nil {
+				continue
+			}
+			if len(v.id) == 0 {
+				t.Fatalf("FromBytes(%x) accepted an empty ID", v.in)
+			}
+			// Re-encoding canonicalizes (the decoder tolerates oversized
+			// varints); the canonical form must decode back unchanged.
+			enc := v.id.Bytes()
+			if len(enc) > len(v.in) {
+				t.Fatalf("canonical encoding of %v grew: %d bytes from %d", v.id, len(enc), len(v.in))
+			}
+			rt, err := FromBytes(enc)
+			if err != nil {
+				t.Fatalf("re-decode of %v failed: %v", v.id, err)
+			}
+			if Compare(v.id, rt) != 0 {
+				t.Fatalf("binary round-trip drifted: %v vs %v", v.id, rt)
+			}
+		}
+		if erra == nil && errb == nil {
+			if got, want := bytes.Compare(ida.Bytes(), idb.Bytes()), Compare(ida, idb); got != want {
+				t.Fatalf("encoding not order-preserving: bytes.Compare=%d, dewey.Compare=%d for %v vs %v", got, want, ida, idb)
+			}
+		}
+	})
+}

@@ -82,6 +82,9 @@ func (pf *File) BeginUpdate(tag uint64) error {
 	if pf.tx != nil {
 		return ErrInTx
 	}
+	if pf.vs != nil {
+		return fmt.Errorf("pager: %s is versioned; use BeginCOW instead of the undo journal", pf.path)
+	}
 	jpath := JournalPath(pf.path)
 	jf, err := pf.fsys.OpenFile(jpath, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {

@@ -150,17 +150,23 @@ func (fs *fileStats) reset() {
 // Get or Allocate, and must call MarkDirty before unpinning if they changed
 // Data. Data is exactly PageSize bytes.
 type Page struct {
-	id    PageID
-	data  []byte
-	pins  int
-	dirty bool
+	id   PageID // physical id: the pool key and on-disk location
+	data []byte
+	// logical is the id clients address the page by. In a plain file it
+	// equals id; in a versioned file copy-on-write remaps a stable logical
+	// id onto fresh physical pages. Written once at frame creation (under
+	// the file mutex) and never changed while the frame is pooled.
+	logical PageID
+	pins    int
+	dirty   bool
 
 	// LRU list links; only meaningful while pins == 0.
 	prev, next *Page
 }
 
-// ID returns the page's identifier.
-func (p *Page) ID() PageID { return p.id }
+// ID returns the page's identifier as seen by clients. In a versioned file
+// this is the stable logical id, not the physical location.
+func (p *Page) ID() PageID { return p.logical }
 
 // Data returns the page's byte buffer. The slice is valid while the page is
 // pinned.
@@ -198,6 +204,10 @@ type File struct {
 	// tx is the open undo-journal transaction, nil outside BeginUpdate /
 	// CommitUpdate.
 	tx *journalTx
+
+	// vs is non-nil when the file runs in versioned (multi-version
+	// copy-on-write) mode; see versions.go.
+	vs *verState
 
 	stats  fileStats
 	closed bool
@@ -380,17 +390,28 @@ func (pf *File) ResetStats() {
 	pf.stats.reset()
 }
 
-// Meta returns a copy of the client meta area.
+// Meta returns a copy of the client meta area. In a versioned file this is
+// the writer's view: the open transaction's meta if one is open, the
+// current version's otherwise (meta is versioned alongside the page table,
+// not stored in the file header).
 func (pf *File) Meta() []byte {
 	pf.mu.Lock()
 	defer pf.mu.Unlock()
+	if pf.vs != nil {
+		if pf.vs.tx != nil {
+			return append([]byte(nil), pf.vs.tx.meta...)
+		}
+		return append([]byte(nil), pf.vs.cur.meta...)
+	}
 	out := make([]byte, pf.metaLen)
 	copy(out, pf.meta[:pf.metaLen])
 	return out
 }
 
 // SetMeta replaces the client meta area (at most MaxMetaLen bytes) and
-// schedules a header write on the next Flush.
+// schedules a header write on the next Flush. In a versioned file the meta
+// belongs to the open copy-on-write transaction and becomes visible to
+// readers only when the transaction is published.
 func (pf *File) SetMeta(b []byte) error {
 	if len(b) > MaxMetaLen {
 		return fmt.Errorf("pager: meta too large: %d > %d", len(b), MaxMetaLen)
@@ -399,6 +420,13 @@ func (pf *File) SetMeta(b []byte) error {
 	defer pf.mu.Unlock()
 	if pf.closed {
 		return ErrClosed
+	}
+	if pf.vs != nil {
+		if pf.vs.tx == nil {
+			return fmt.Errorf("pager: SetMeta on versioned file outside a transaction")
+		}
+		pf.vs.tx.meta = append([]byte(nil), b...)
+		return nil
 	}
 	pf.meta = [MaxMetaLen]byte{}
 	copy(pf.meta[:], b)
@@ -522,9 +550,10 @@ func (pf *File) writePage(p *Page) error {
 	return nil
 }
 
-// frame returns a pinned frame for id, loading from disk when load is true,
-// zero-filling otherwise.
-func (pf *File) frame(id PageID, load bool) (*Page, error) {
+// frame returns a pinned frame for physical page id, loading from disk when
+// load is true, zero-filling otherwise. logical is the client-visible id
+// recorded on a freshly created frame (equal to id in plain files).
+func (pf *File) frame(id, logical PageID, load bool) (*Page, error) {
 	if p, ok := pf.pool[id]; ok {
 		if p.pins == 0 {
 			pf.lruRemove(p)
@@ -539,7 +568,7 @@ func (pf *File) frame(id PageID, load bool) (*Page, error) {
 			return nil, err
 		}
 	}
-	p := &Page{id: id, data: make([]byte, pf.pageSize), pins: 1}
+	p := &Page{id: id, logical: logical, data: make([]byte, pf.pageSize), pins: 1}
 	if load {
 		if err := pf.readPhysical(id, p.data); err != nil {
 			return nil, err
@@ -551,17 +580,46 @@ func (pf *File) frame(id PageID, load bool) (*Page, error) {
 	return p, nil
 }
 
-// Get returns page id pinned. The caller must Unpin it.
+// Get returns page id pinned. The caller must Unpin it. In a versioned file
+// id is a logical id resolved through the writer's view: the open
+// copy-on-write transaction if there is one, the current version otherwise.
 func (pf *File) Get(id PageID) (*Page, error) {
 	pf.mu.Lock()
 	defer pf.mu.Unlock()
 	if pf.closed {
 		return nil, ErrClosed
 	}
+	if pf.vs != nil {
+		phys, err := pf.vs.resolveWriter(id)
+		if err != nil {
+			return nil, fmt.Errorf("%w (%s)", err, pf.path)
+		}
+		return pf.frame(phys, id, true)
+	}
 	if id == InvalidPage || uint32(id) > pf.numPages {
 		return nil, fmt.Errorf("%w: %d (have %d)", ErrPageOutOfRange, id, pf.numPages)
 	}
-	return pf.frame(id, true)
+	return pf.frame(id, id, true)
+}
+
+// GetMut returns page id pinned for modification. In a plain file it is
+// exactly Get. In a versioned file it requires an open copy-on-write
+// transaction: the first GetMut of a committed page within a transaction
+// copies it onto a fresh physical page (leaving every older version's image
+// untouched), and subsequent GetMuts return the private copy.
+func (pf *File) GetMut(id PageID) (*Page, error) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return nil, ErrClosed
+	}
+	if pf.vs == nil {
+		if id == InvalidPage || uint32(id) > pf.numPages {
+			return nil, fmt.Errorf("%w: %d (have %d)", ErrPageOutOfRange, id, pf.numPages)
+		}
+		return pf.frame(id, id, true)
+	}
+	return pf.getMutLocked(id)
 }
 
 // Allocate returns a new zeroed page, pinned and marked dirty. The caller
@@ -572,12 +630,15 @@ func (pf *File) Allocate() (*Page, error) {
 	if pf.closed {
 		return nil, ErrClosed
 	}
+	if pf.vs != nil {
+		return pf.allocateVersionedLocked()
+	}
 	var id PageID
 	if pf.freeHead != InvalidPage {
 		// Pop the free list: the first 4 bytes of a free page hold the
 		// next free page id.
 		id = pf.freeHead
-		p, err := pf.frame(id, true)
+		p, err := pf.frame(id, id, true)
 		if err != nil {
 			return nil, err
 		}
@@ -592,7 +653,7 @@ func (pf *File) Allocate() (*Page, error) {
 	pf.numPages++
 	pf.headerDirty = true
 	id = PageID(pf.numPages)
-	p, err := pf.frame(id, false)
+	p, err := pf.frame(id, id, false)
 	if err != nil {
 		pf.numPages--
 		return nil, err
@@ -604,12 +665,17 @@ func (pf *File) Allocate() (*Page, error) {
 }
 
 // Free returns page id to the free list. The page must not be pinned by the
-// caller (or anyone else).
+// caller (or anyone else). In a versioned file the logical id is released
+// from the open transaction's table; the physical page is recycled only
+// when no committed version references it anymore.
 func (pf *File) Free(id PageID) error {
 	pf.mu.Lock()
 	defer pf.mu.Unlock()
 	if pf.closed {
 		return ErrClosed
+	}
+	if pf.vs != nil {
+		return pf.freeVersionedLocked(id)
 	}
 	if id == InvalidPage || uint32(id) > pf.numPages {
 		return fmt.Errorf("%w: %d", ErrPageOutOfRange, id)
@@ -617,7 +683,7 @@ func (pf *File) Free(id PageID) error {
 	if p, ok := pf.pool[id]; ok && p.pins > 0 {
 		return fmt.Errorf("pager: freeing pinned page %d", id)
 	}
-	p, err := pf.frame(id, false)
+	p, err := pf.frame(id, id, false)
 	if err != nil {
 		return err
 	}
@@ -682,7 +748,12 @@ func (pf *File) flushLocked() error {
 			}
 		}
 	}
-	if pf.headerDirty {
+	// A versioned file never rewrites its header page: there is no undo
+	// journal to roll back a torn in-place write, and nothing in the header
+	// is mutable in versioned mode anyway — meta lives in the version
+	// sidecar and the page count is re-derived from the file size at
+	// InstallVersion.
+	if pf.headerDirty && pf.vs == nil {
 		if err := pf.writeHeader(); err != nil {
 			return err
 		}
@@ -742,6 +813,21 @@ func (pf *File) VerifyPages(report func(id PageID, err error)) (int, error) {
 	}
 	return checked, nil
 }
+
+// Source is the read-only page access surface shared by *File (the
+// writer's live view) and *Snapshot (a pinned committed version). Tree
+// navigation code works against a Source so the same structure can be read
+// through either.
+type Source interface {
+	Get(id PageID) (*Page, error)
+	Unpin(p *Page)
+	PageSize() int
+}
+
+var (
+	_ Source = (*File)(nil)
+	_ Source = (*Snapshot)(nil)
+)
 
 // Path returns the underlying file path.
 func (pf *File) Path() string { return pf.path }

@@ -1,0 +1,71 @@
+package pattern
+
+import "testing"
+
+// FuzzParse throws arbitrary byte strings at the path-expression parser.
+// Whatever comes in, Parse must return a tree or an error — never panic —
+// and an accepted tree must be internally consistent: at least one node,
+// a returning node reachable by Walk, and a non-empty rendering.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`//book`,
+		`/bib/book/title`,
+		`//book[author/last="Stevens"][price<100]`,
+		`//book[@year=2001]/title`,
+		`/bib/book/author/following-sibling::price`,
+		`//*/title`,
+		`/bib/@version`,
+		`//a[b="x\"y"]`,
+		`//book[price<]`,
+		`[`,
+		`//`,
+		`/a[`,
+		`//a[b=]`,
+		`//a[[`,
+		`/a/following-sibling::`,
+		`//a[b="unterminated`,
+		`0.1.2`,
+		"//\x00tag",
+		`//a[p<1][q>2][r="s"]`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tree, err := Parse(src)
+		if err != nil {
+			if tree != nil {
+				t.Errorf("Parse(%q) returned both a tree and error %v", src, err)
+			}
+			return
+		}
+		if tree.NumNodes() < 1 {
+			t.Errorf("Parse(%q) accepted an empty pattern tree", src)
+		}
+		var returning, walked int
+		tree.Walk(func(n *Node, depth int) {
+			if !n.IsVirtualRoot() {
+				walked++
+			}
+			if n.Returning {
+				returning++
+			}
+		})
+		if walked != tree.NumNodes() {
+			t.Errorf("Parse(%q): Walk visited %d nodes, NumNodes says %d", src, walked, tree.NumNodes())
+		}
+		if returning != 1 {
+			t.Errorf("Parse(%q): %d returning nodes, want exactly 1", src, returning)
+		}
+		if r := tree.String(); r == "" {
+			t.Errorf("Parse(%q): empty rendering of accepted tree", src)
+		}
+		// Accepted sources round-trip stability: parsing again must
+		// succeed with the identical structure (the parser has no state).
+		again, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q) succeeded once then failed: %v", src, err)
+		} else if again.NumNodes() != tree.NumNodes() {
+			t.Errorf("Parse(%q) unstable: %d nodes then %d", src, tree.NumNodes(), again.NumNodes())
+		}
+	})
+}

@@ -144,6 +144,13 @@ type CacheFingerprinter interface {
 	CacheFingerprint(expr string) string
 }
 
+// MVCCReporter is an optional Backend refinement: backends built on the
+// multi-version store expose the snapshot/page-version accounting that
+// /stats reports (the sharded store aggregates it across shards).
+type MVCCReporter interface {
+	MVCC() nok.MVCCInfo
+}
+
 // Server wraps an open store behind HTTP. It implements http.Handler;
 // wire it into an http.Server (see cmd/nokserve) or httptest for tests.
 type Server struct {
@@ -420,17 +427,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // fingerprint names the store state a cached answer for expr depends on:
-// the backend's per-query fingerprint when it offers one, the whole-store
-// generation otherwise. "" marks the query uncachable. It takes the raw
-// query text (not the canonical tree rendering, which is a display form and
-// not re-parseable); textual variants of one query still share a cache
-// entry because the canonical form is the key and the fingerprint is
-// determined by query semantics.
+// the backend's per-query fingerprint when it offers one, the committed
+// MVCC epoch otherwise. The epoch is precise where the mutation counter is
+// not: it advances only when a mutation actually commits, and two reads of
+// the same epoch are guaranteed byte-identical state, so a failed insert
+// no longer evicts every cached result. "" marks the query uncachable. It
+// takes the raw query text (not the canonical tree rendering, which is a
+// display form and not re-parseable); textual variants of one query still
+// share a cache entry because the canonical form is the key and the
+// fingerprint is determined by query semantics.
 func (s *Server) fingerprint(expr string) string {
 	if f, ok := s.store.(CacheFingerprinter); ok {
 		return f.CacheFingerprint(expr)
 	}
-	return strconv.FormatUint(s.store.Generation(), 10)
+	return strconv.FormatUint(s.store.Epoch(), 10)
 }
 
 // writeQueryError maps evaluation/admission errors to HTTP statuses.
@@ -636,6 +646,7 @@ type statsResponse struct {
 	Nodes      uint64            `json:"nodes"`
 	Generation uint64            `json:"generation"`
 	Epoch      uint64            `json:"epoch"`
+	MVCC       *nok.MVCCInfo     `json:"mvcc,omitempty"`
 	Synopsis   *nok.SynopsisInfo `json:"synopsis,omitempty"`
 	Workers    int               `json:"workers"`
 	QueueDepth int               `json:"queue_depth"`
@@ -669,6 +680,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueueDepth: s.cfg.QueueDepth,
 		Inflight:   s.pool.Inflight(),
 		Queued:     s.pool.Queued(),
+	}
+	if m, ok := s.store.(MVCCReporter); ok {
+		info := m.MVCC()
+		resp.MVCC = &info
 	}
 	resp.Cache.Entries = s.cache.len()
 	resp.Cache.Capacity = s.cfg.CacheEntries

@@ -69,21 +69,47 @@ type shardResult struct {
 
 func (st *Store) scatter(ctx context.Context, expr string, opts *nok.QueryOptions, tr *obs.Trace) ([]nok.Result, *nok.QueryStats, error) {
 	begin := time.Now()
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	if st.closed {
-		return nil, nil, ErrClosed
-	}
 	t, err := pattern.Parse(expr)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := checkShardable(t, st.man.RootTag); err != nil {
+
+	// Pin a consistent cut of the collection: every shard's current MVCC
+	// snapshot plus a private copy of the manifest, taken under the lock
+	// mutations hold exclusively. Everything after runs without any
+	// store-level lock — pruning, evaluation, and Dewey remapping all
+	// observe the pinned epochs, and writers never wait for the scatter.
+	st.mu.RLock()
+	if st.closed {
+		st.mu.RUnlock()
+		return nil, nil, ErrClosed
+	}
+	man := st.man.clone()
+	snaps := make([]*nok.Snapshot, len(st.shards))
+	for s, sub := range st.shards {
+		snap, serr := sub.Snapshot()
+		if serr != nil {
+			for _, sn := range snaps[:s] {
+				sn.Release()
+			}
+			st.mu.RUnlock()
+			return nil, nil, fmt.Errorf("shard %d: %w", s, serr)
+		}
+		snaps[s] = snap
+	}
+	st.mu.RUnlock()
+	defer func() {
+		for _, sn := range snaps {
+			sn.Release()
+		}
+	}()
+
+	if err := checkShardable(t, man.RootTag); err != nil {
 		return nil, nil, err
 	}
 	mScatterQueries.Inc()
 
-	n := st.man.Shards
+	n := man.Shards
 	stats := &nok.QueryStats{Shards: make([]core.ShardTiming, n)}
 	if opts != nil {
 		stats.Requested = opts.Strategy
@@ -92,7 +118,7 @@ func (st *Store) scatter(ctx context.Context, expr string, opts *nok.QueryOption
 	// Prune: per-shard statistics prove some shards cannot contribute.
 	live := make([]int, 0, n)
 	for s := 0; s < n; s++ {
-		empty, reason, perr := st.shards[s].ProvablyEmpty(expr)
+		empty, reason, perr := snaps[s].ProvablyEmpty(expr)
 		if perr != nil {
 			return nil, nil, fmt.Errorf("shard %d: %w", s, perr)
 		}
@@ -139,11 +165,11 @@ func (st *Store) scatter(ctx context.Context, expr string, opts *nok.QueryOption
 			}
 			mShardFanout.Inc()
 			t0 := time.Now()
-			rs, qs, err := st.shards[s].QueryWithOptionsContext(qctx, expr, opts)
+			rs, qs, err := snaps[s].QueryWithOptionsContext(qctx, expr, opts)
 			dur := time.Since(t0)
 			var sr shardResult
 			if err == nil {
-				sr, err = st.remap(s, rs)
+				sr, err = remapResults(man, s, rs)
 			}
 			mu.Lock()
 			defer mu.Unlock()
@@ -210,11 +236,13 @@ func (st *Store) scatter(ctx context.Context, expr string, opts *nok.QueryOption
 	return out, stats, nil
 }
 
-// remap rewrites shard s's local Dewey IDs into the global numbering: the
-// component below the collection root moves from the shard-local root-child
-// ordinal to the manifest's global ordinal. The rewrite is strictly
-// monotone within a shard, so the slice stays sorted.
-func (st *Store) remap(s int, rs []nok.Result) (shardResult, error) {
+// remapResults rewrites shard s's local Dewey IDs into the global
+// numbering: the component below the collection root moves from the
+// shard-local root-child ordinal to the manifest's global ordinal. The
+// rewrite is strictly monotone within a shard, so the slice stays sorted.
+// It takes the scatter's pinned manifest copy, not the live one, so a
+// concurrent document insert or delete cannot skew the mapping mid-query.
+func remapResults(man *Manifest, s int, rs []nok.Result) (shardResult, error) {
 	sr := shardResult{keys: make([]dewey.ID, len(rs)), rs: rs}
 	for i := range rs {
 		id, err := dewey.Parse(rs[i].ID)
@@ -222,7 +250,7 @@ func (st *Store) remap(s int, rs []nok.Result) (shardResult, error) {
 			return sr, err
 		}
 		if len(id) > 1 {
-			g, ok := st.man.localToGlobal(s, id[1])
+			g, ok := man.localToGlobal(s, id[1])
 			if !ok {
 				return sr, fmt.Errorf("result %s outside shard %d's assignment", rs[i].ID, s)
 			}

@@ -208,28 +208,39 @@ func (st *Store) Generation() uint64 {
 }
 
 // CacheFingerprint identifies exactly the state a cached result for expr
-// depends on: the (shard, generation) pairs of the shards that would
-// participate in evaluating it right now. A mutation on a shard the query
-// is pruned from leaves the fingerprint unchanged, so cached results for
-// unrelated shards survive writes elsewhere. Returns "" (uncachable) for
-// expressions the executor would refuse.
+// depends on: the (shard, epoch) pairs of the shards that would
+// participate in evaluating it right now. Epochs only advance on committed
+// mutations, and a mutation on a shard the query is pruned from leaves the
+// fingerprint unchanged, so cached results for unrelated shards survive
+// writes elsewhere. Each shard is judged on a pinned snapshot, so the
+// pruning decision and the epoch it is keyed on describe the same committed
+// state. Returns "" (uncachable) for expressions the executor would refuse.
 func (st *Store) CacheFingerprint(expr string) string {
 	st.mu.RLock()
-	defer st.mu.RUnlock()
 	if st.closed {
+		st.mu.RUnlock()
 		return ""
 	}
+	rootTag := st.man.RootTag
+	shards := st.shards
+	st.mu.RUnlock()
 	t, err := pattern.Parse(expr)
 	if err != nil {
 		return ""
 	}
-	if err := checkShardable(t, st.man.RootTag); err != nil {
+	if err := checkShardable(t, rootTag); err != nil {
 		return ""
 	}
 	var b strings.Builder
-	for s, sub := range st.shards {
-		empty, _, err := sub.ProvablyEmpty(expr)
+	for s, sub := range shards {
+		snap, err := sub.Snapshot()
 		if err != nil {
+			return ""
+		}
+		empty, _, perr := snap.ProvablyEmpty(expr)
+		epoch := snap.Epoch()
+		snap.Release()
+		if perr != nil {
 			return ""
 		}
 		if empty {
@@ -240,12 +251,36 @@ func (st *Store) CacheFingerprint(expr string) string {
 		}
 		b.WriteString(strconv.Itoa(s))
 		b.WriteByte(':')
-		b.WriteString(strconv.FormatUint(sub.Generation(), 10))
+		b.WriteString(strconv.FormatUint(epoch, 10))
 	}
 	if b.Len() == 0 {
 		return "none"
 	}
 	return b.String()
+}
+
+// MVCC aggregates the shards' version state: Epoch is the largest
+// committed epoch, every other field is summed across shards.
+func (st *Store) MVCC() nok.MVCCInfo {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out nok.MVCCInfo
+	if st.closed {
+		return out
+	}
+	for _, sub := range st.shards {
+		mi := sub.MVCC()
+		if mi.Epoch > out.Epoch {
+			out.Epoch = mi.Epoch
+		}
+		out.LiveVersions += mi.LiveVersions
+		out.PinnedSnaps += mi.PinnedSnaps
+		out.NumLogical += mi.NumLogical
+		out.NumPhysical += mi.NumPhysical
+		out.FreePhysical += mi.FreePhysical
+		out.OrphanPages += mi.OrphanPages
+	}
+	return out
 }
 
 // Epoch returns the largest committed epoch across shards.

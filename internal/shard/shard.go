@@ -235,6 +235,9 @@ func (st *Store) Manifest() *Manifest {
 	return st.man.clone()
 }
 
+// clone deep-copies the manifest. The scatter executor takes a private
+// copy under the store lock so document inserts/deletes (which renumber
+// Assign entries in place) cannot skew an in-flight query's remapping.
 func (m *Manifest) clone() *Manifest {
 	c := *m
 	if m.Routes != nil {

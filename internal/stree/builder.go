@@ -59,6 +59,7 @@ func NewBuilder(pf *pager.File, opts *BuilderOptions) (*Builder, error) {
 		pf: pf,
 		store: &Store{
 			pf:         pf,
+			file:       pf,
 			reservePct: reserve,
 			levels:     newLevelCache(defaultLevelCacheSize),
 		},
@@ -186,7 +187,7 @@ func (b *Builder) Finish() (*Store, error) {
 	s.maxLevel = int(b.maxLevel)
 	// Write every page header now that next/prev links are known.
 	for ci := range s.headers {
-		p, err := b.pf.Get(s.headers[ci].page)
+		p, err := b.pf.GetMut(s.headers[ci].page)
 		if err != nil {
 			return nil, err
 		}

@@ -124,9 +124,18 @@ type header struct {
 
 // Store is an opened string-tree store. Navigation methods are safe for
 // concurrent use with each other but not with updates.
+//
+// A Store reads pages through pf, a pager.Source that is either the live
+// writer view of a pager file or a pinned version snapshot. Mutation
+// methods go through file, the underlying *pager.File; a Store produced by
+// Snapshot has file == nil and is read-only.
 type Store struct {
-	pf      *pager.File
-	headers []header // chain order
+	pf   pager.Source
+	file *pager.File // nil for read-only snapshot views
+	// statsFile carries the underlying pager file on snapshot views so
+	// Pager() can still report I/O statistics; never used for writes.
+	statsFile *pager.File
+	headers   []header // chain order
 
 	nodeCount  uint64
 	tokenBytes uint64
@@ -202,8 +211,49 @@ func (s *Store) NumPages() int { return len(s.headers) }
 // the paper's 7 logical bytes plus alignment.
 func (s *Store) HeaderBytes() int { return len(s.headers) * 16 }
 
-// Pager exposes the underlying pager (for I/O statistics).
-func (s *Store) Pager() *pager.File { return s.pf }
+// Pager exposes the underlying pager (for I/O statistics). It is nil for
+// snapshot views.
+func (s *Store) Pager() *pager.File {
+	if s.file != nil {
+		return s.file
+	}
+	return s.statsFile
+}
+
+// Snapshot returns a read-only view of the store that navigates through
+// src — typically a pinned pager version — with its own level cache. The
+// view shares no mutable state with s: the header table is copied, so
+// later updates to s (or the store it was cloned from) never disturb it.
+func (s *Store) Snapshot(src pager.Source) *Store {
+	return &Store{
+		pf:         src,
+		statsFile:  s.Pager(),
+		headers:    append([]header(nil), s.headers...),
+		nodeCount:  s.nodeCount,
+		tokenBytes: s.tokenBytes,
+		maxLevel:   s.maxLevel,
+		reservePct: s.reservePct,
+		levels:     newLevelCache(defaultLevelCacheSize),
+	}
+}
+
+// WriterClone returns a mutable clone of the store bound to file: the
+// in-RAM header table is copied so mutations never disturb s (which may be
+// the read view of a committed epoch). Used by the copy-on-write update
+// path, where the pager file must have an open transaction before the
+// clone is mutated.
+func (s *Store) WriterClone(file *pager.File) *Store {
+	return &Store{
+		pf:         file,
+		file:       file,
+		headers:    append([]header(nil), s.headers...),
+		nodeCount:  s.nodeCount,
+		tokenBytes: s.tokenBytes,
+		maxLevel:   s.maxLevel,
+		reservePct: s.reservePct,
+		levels:     newLevelCache(defaultLevelCacheSize),
+	}
+}
 
 // Open attaches to a store previously built in pf and loads the page header
 // table into memory by walking the page chain.
@@ -212,7 +262,7 @@ func Open(pf *pager.File) (*Store, error) {
 	if len(meta) != metaLen || string(meta[:3]) != metaMagic {
 		return nil, ErrNotStore
 	}
-	s := &Store{pf: pf, levels: newLevelCache(defaultLevelCacheSize)}
+	s := &Store{pf: pf, file: pf, levels: newLevelCache(defaultLevelCacheSize)}
 	head := pager.PageID(binary.BigEndian.Uint32(meta[3:7]))
 	s.nodeCount = binary.BigEndian.Uint64(meta[11:19])
 	s.tokenBytes = binary.BigEndian.Uint64(meta[19:27])
@@ -255,7 +305,7 @@ func (s *Store) writeMeta() error {
 	binary.BigEndian.PutUint64(meta[19:27], s.tokenBytes)
 	binary.BigEndian.PutUint16(meta[27:29], uint16(s.maxLevel))
 	meta[29] = byte(s.reservePct)
-	return s.pf.SetMeta(meta[:])
+	return s.file.SetMeta(meta[:])
 }
 
 // writePageHeader flushes the in-RAM header of chain index ci into its page.

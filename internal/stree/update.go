@@ -120,8 +120,14 @@ func (s *Store) InsertBefore(p Pos, tokens []byte) error {
 	return s.insertAt(p, tokens)
 }
 
+// ErrReadOnly reports a mutation attempted on a snapshot view.
+var ErrReadOnly = errors.New("stree: store view is read-only")
+
 // insertAt splices tokens in before the token at p.
 func (s *Store) insertAt(p Pos, tokens []byte) error {
+	if s.file == nil {
+		return ErrReadOnly
+	}
 	opens, err := countTokens(tokens)
 	if err != nil {
 		return err
@@ -133,7 +139,7 @@ func (s *Store) insertAt(p Pos, tokens []byte) error {
 
 	ci := p.Chain
 	h := &s.headers[ci]
-	pg, err := s.pf.Get(h.page)
+	pg, err := s.file.GetMut(h.page)
 	if err != nil {
 		return err
 	}
@@ -172,7 +178,7 @@ func (s *Store) insertAt(p Pos, tokens []byte) error {
 		}
 		newHeaders := make([]header, 0, len(chunks))
 		for _, chunk := range chunks {
-			np, err := s.pf.Allocate()
+			np, err := s.file.Allocate()
 			if err != nil {
 				s.pf.Unpin(pg)
 				return err
@@ -204,12 +210,15 @@ func (s *Store) insertAt(p Pos, tokens []byte) error {
 	if err := s.writeMeta(); err != nil {
 		return err
 	}
-	return s.pf.Flush()
+	return s.file.Flush()
 }
 
 // DeleteSubtree removes the node at p and all its descendants. All
 // outstanding positions are invalidated.
 func (s *Store) DeleteSubtree(p Pos) error {
+	if s.file == nil {
+		return ErrReadOnly
+	}
 	if !s.validPos(p) {
 		return fmt.Errorf("%w: %v", ErrBadPos, p)
 	}
@@ -234,7 +243,7 @@ func (s *Store) DeleteSubtree(p Pos) error {
 		// Single-page removal.
 		ci := p.Chain
 		h := &s.headers[ci]
-		pg, err := s.pf.Get(h.page)
+		pg, err := s.file.GetMut(h.page)
 		if err != nil {
 			return err
 		}
@@ -264,7 +273,7 @@ func (s *Store) DeleteSubtree(p Pos) error {
 
 		// First page: keep [0, p.Off).
 		h := &s.headers[firstCi]
-		pg, err := s.pf.Get(h.page)
+		pg, err := s.file.GetMut(h.page)
 		if err != nil {
 			return err
 		}
@@ -293,7 +302,7 @@ func (s *Store) DeleteSubtree(p Pos) error {
 
 		// Last page: keep (end.Off+1, used); its st becomes entryLevel.
 		lh := &s.headers[lastCi]
-		lpg, err := s.pf.Get(lh.page)
+		lpg, err := s.file.GetMut(lh.page)
 		if err != nil {
 			return err
 		}
@@ -332,7 +341,7 @@ func (s *Store) DeleteSubtree(p Pos) error {
 	if err := s.writeMeta(); err != nil {
 		return err
 	}
-	return s.pf.Flush()
+	return s.file.Flush()
 }
 
 // ---- helpers ----------------------------------------------------------------
@@ -434,7 +443,7 @@ func (s *Store) rewriteHeader(ci int) error {
 	if ci < 0 || ci >= len(s.headers) {
 		return nil
 	}
-	pg, err := s.pf.Get(s.headers[ci].page)
+	pg, err := s.file.GetMut(s.headers[ci].page)
 	if err != nil {
 		return err
 	}
@@ -465,5 +474,5 @@ func (s *Store) removeFromChain(ci int) error {
 	if err := s.rewriteHeader(ci); err != nil {
 		return err
 	}
-	return s.pf.Free(id)
+	return s.file.Free(id)
 }

@@ -69,6 +69,21 @@ func (t *Table) Intern(name string) (Sym, error) {
 	return next, nil
 }
 
+// Clone returns an independent copy of the table. Committed tables are
+// immutable and shared between store snapshots; a mutation clones the
+// current table and interns new names into the clone, so readers of the
+// old epoch never observe a map write.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		byName: make(map[string]Sym, len(t.byName)),
+		bySym:  append([]string(nil), t.bySym...),
+	}
+	for name, sym := range t.byName {
+		c.byName[name] = sym
+	}
+	return c
+}
+
 // Lookup returns the symbol for name without interning.
 func (t *Table) Lookup(name string) (Sym, bool) {
 	s, ok := t.byName[name]

@@ -1,0 +1,402 @@
+package nok
+
+// mvcc_test.go — the snapshot-isolation test harness for MVCC reads.
+//
+// The tentpole guarantees under test:
+//
+//   - a Snapshot pinned before a batch of mutations sees byte-identical
+//     results to the pre-mutation store, no matter how many commits land
+//     while it is held (snapshot isolation, proven against an oracle);
+//   - readers and writers interleave freely — queries never block
+//     mutations and vice versa — without races (-race) or torn reads;
+//   - epoch garbage collection never reclaims a page a pinned snapshot
+//     can still reach, and reclaims every unpinned superseded epoch.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// renderResults serializes a result list so snapshots can be compared for
+// byte identity: any drift in IDs, tags, value presence or value bytes
+// changes the rendering.
+func renderResults(rs []Result) string {
+	var b strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%s\x1f%s\x1f%v\x1f%s\x1e", r.ID, r.Tag, r.HasValue, r.Value)
+	}
+	return b.String()
+}
+
+// oracleQueries exercise the index-backed, scan, and value-predicate read
+// paths that all must observe the pinned epoch.
+var oracleQueries = []string{
+	`//book`,
+	`/lib/book/title`,
+	`//book[price<100]`,
+}
+
+// snapshotExpectations evaluates the oracle queries single-threaded and
+// records their renderings.
+func snapshotExpectations(t *testing.T, q func(string) ([]Result, error)) map[string]string {
+	t.Helper()
+	want := make(map[string]string, len(oracleQueries))
+	for _, expr := range oracleQueries {
+		rs, err := q(expr)
+		if err != nil {
+			t.Fatalf("oracle %s: %v", expr, err)
+		}
+		want[expr] = renderResults(rs)
+	}
+	return want
+}
+
+// TestSnapshotIsolationOracle pins a snapshot, then runs concurrent
+// writers against the store while readers hammer the pinned snapshot. The
+// snapshot must keep returning results byte-identical to the single-
+// threaded pre-mutation evaluation the whole time, and the live store
+// must reflect every committed mutation afterwards — writers made
+// progress, readers never saw any of it.
+func TestSnapshotIsolationOracle(t *testing.T) {
+	const books = 400
+	st := bigStore(t, books)
+	want := snapshotExpectations(t, st.Query)
+
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	epoch0 := snap.Epoch()
+
+	const writers, opsPerWriter, readers = 4, 8, 4
+	var (
+		wg        sync.WaitGroup
+		inserts   atomic.Int64
+		deletes   atomic.Int64
+		writeDone = make(chan struct{})
+	)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				if (w+i)%3 == 0 {
+					if err := st.Delete("0.1"); err != nil {
+						t.Errorf("writer %d delete: %v", w, err)
+						return
+					}
+					deletes.Add(1)
+				} else {
+					frag := fmt.Sprintf("<book><title>w%d-%d</title><price>999</price></book>", w, i)
+					if err := st.Insert("0", strings.NewReader(frag)); err != nil {
+						t.Errorf("writer %d insert: %v", w, err)
+						return
+					}
+					inserts.Add(1)
+				}
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(writeDone) }()
+
+	check := func(where string) {
+		for _, expr := range oracleQueries {
+			rs, err := snap.Query(expr)
+			if err != nil {
+				t.Errorf("%s: snapshot %s: %v", where, expr, err)
+				return
+			}
+			if got := renderResults(rs); got != want[expr] {
+				t.Errorf("%s: snapshot %s drifted from pre-mutation results", where, expr)
+				return
+			}
+		}
+	}
+	var rg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-writeDone:
+					return
+				default:
+					check("during writes")
+				}
+			}
+		}()
+	}
+	<-writeDone
+	rg.Wait()
+	check("after writes")
+
+	if e := snap.Epoch(); e != epoch0 {
+		t.Errorf("pinned snapshot changed epoch: %d -> %d", epoch0, e)
+	}
+	committed := inserts.Load() + deletes.Load()
+	if committed != writers*opsPerWriter {
+		t.Fatalf("writers did not make full progress: %d/%d mutations", committed, writers*opsPerWriter)
+	}
+	if e := st.Epoch(); e != epoch0+uint64(committed) {
+		t.Errorf("live epoch = %d, want %d (+1 per committed mutation)", e, epoch0+uint64(committed))
+	}
+	rs, err := st.Query(`//book`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantBooks := int64(books) + inserts.Load() - deletes.Load(); int64(len(rs)) != wantBooks {
+		t.Errorf("live store has %d books, want %d after %d inserts / %d deletes",
+			len(rs), wantBooks, inserts.Load(), deletes.Load())
+	}
+	if vr := st.Verify(true); len(vr.Issues) != 0 {
+		t.Errorf("deep verify after concurrent mutations: %v", vr.Issues)
+	}
+}
+
+// TestInterleavedMutationStress races queries against a stream of
+// interleaved inserts and deletes. Every read must observe some committed
+// epoch in full: well-formed results in strict document order, tags
+// intact, and a monotonically non-decreasing store epoch. Run under -race
+// this is the harness proving readers take no locks writers hold.
+func TestInterleavedMutationStress(t *testing.T) {
+	const books = 200
+	st := bigStore(t, books)
+
+	const writers, opsPerWriter, readers = 2, 30, 4
+	var (
+		wg        sync.WaitGroup
+		inserts   atomic.Int64
+		deletes   atomic.Int64
+		writeDone = make(chan struct{})
+	)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				if i%4 == 3 {
+					if err := st.Delete("0.1"); err != nil {
+						t.Errorf("delete: %v", err)
+						return
+					}
+					deletes.Add(1)
+				} else {
+					frag := fmt.Sprintf("<book><title>s%d-%d</title><price>%d</price></book>", w, i, i)
+					if err := st.Insert("0", strings.NewReader(frag)); err != nil {
+						t.Errorf("insert: %v", err)
+						return
+					}
+					inserts.Add(1)
+				}
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(writeDone) }()
+
+	var rg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			var lastEpoch uint64
+			for {
+				select {
+				case <-writeDone:
+					return
+				default:
+				}
+				if e := st.Epoch(); e < lastEpoch {
+					t.Errorf("epoch went backwards: %d after %d", e, lastEpoch)
+					return
+				} else {
+					lastEpoch = e
+				}
+				rs, err := st.Query(`//book`)
+				if err != nil {
+					t.Errorf("query during writes: %v", err)
+					return
+				}
+				// A torn read would surface as a dangling ID, a wrong tag,
+				// or out-of-order results; document order within one
+				// snapshot means strictly increasing second components.
+				prev := -1
+				for _, r := range rs {
+					if r.Tag != "book" {
+						t.Errorf("result %s has tag %q", r.ID, r.Tag)
+						return
+					}
+					var a, b int
+					if n, _ := fmt.Sscanf(r.ID, "%d.%d", &a, &b); n != 2 || a != 0 {
+						t.Errorf("malformed book ID %q", r.ID)
+						return
+					}
+					if b <= prev {
+						t.Errorf("IDs out of document order: %d after %d", b, prev)
+						return
+					}
+					prev = b
+				}
+			}
+		}()
+	}
+	<-writeDone
+	rg.Wait()
+
+	rs, err := st.Query(`//book`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(books) + inserts.Load() - deletes.Load(); int64(len(rs)) != want {
+		t.Errorf("final book count %d, want %d", len(rs), want)
+	}
+	if vr := st.Verify(true); len(vr.Issues) != 0 {
+		t.Errorf("deep verify after stress: %v", vr.Issues)
+	}
+}
+
+// TestEpochGCCorrectness pins a snapshot across a run of mutations and
+// checks both halves of the reclamation contract: while the pin is held
+// no page the snapshot reaches is recycled (its reads stay byte-
+// identical, and the pager accounts every physical page as live or free —
+// zero orphans); once released, every superseded epoch is destroyed,
+// leaving exactly one live version and no orphaned pages.
+func TestEpochGCCorrectness(t *testing.T) {
+	st := bigStore(t, 100)
+	want := snapshotExpectations(t, st.Query)
+
+	info0 := st.MVCC()
+	if info0.LiveVersions != 1 || info0.OrphanPages != 0 {
+		t.Fatalf("fresh store MVCC state: %+v", info0)
+	}
+
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const mutations = 6
+	for i := 0; i < mutations; i++ {
+		if i%3 == 2 {
+			if err := st.Delete("0.1"); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			frag := fmt.Sprintf("<book><title>gc%d</title><price>%d</price></book>", i, i)
+			if err := st.Insert("0", strings.NewReader(frag)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	mid := st.MVCC()
+	if mid.Epoch != info0.Epoch+mutations {
+		t.Errorf("epoch = %d, want %d", mid.Epoch, info0.Epoch+mutations)
+	}
+	// The pinned version plus the current one must both be live; the
+	// intermediate epochs (never pinned) are already reclaimed.
+	if mid.LiveVersions != 2 {
+		t.Errorf("LiveVersions = %d while one snapshot pinned, want 2", mid.LiveVersions)
+	}
+	// Two pins: the store's own standing pin on the current version, plus
+	// ours on the old one.
+	if mid.PinnedSnaps != 2 {
+		t.Errorf("PinnedSnaps = %d while a snapshot is held, want 2", mid.PinnedSnaps)
+	}
+	if mid.OrphanPages != 0 {
+		t.Errorf("OrphanPages = %d while pinned, want 0 (a reachable page was dropped from accounting)", mid.OrphanPages)
+	}
+	// No page the snapshot reaches was reclaimed: its reads are still
+	// byte-identical to the pre-mutation store.
+	for _, expr := range oracleQueries {
+		rs, err := snap.Query(expr)
+		if err != nil {
+			t.Fatalf("pinned snapshot %s after %d commits: %v", expr, mutations, err)
+		}
+		if renderResults(rs) != want[expr] {
+			t.Fatalf("pinned snapshot %s drifted after %d commits", expr, mutations)
+		}
+	}
+
+	snap.Release()
+
+	end := st.MVCC()
+	if end.LiveVersions != 1 {
+		t.Errorf("LiveVersions = %d after unpin, want 1 (garbage epochs not reclaimed)", end.LiveVersions)
+	}
+	if end.PinnedSnaps != 1 {
+		t.Errorf("PinnedSnaps = %d after unpin, want 1 (the store's own standing pin)", end.PinnedSnaps)
+	}
+	if end.OrphanPages != 0 {
+		t.Errorf("OrphanPages = %d after unpin, want 0", end.OrphanPages)
+	}
+	if end.FreePhysical == 0 {
+		t.Errorf("FreePhysical = 0 after releasing %d superseded epochs, want recycled pages", mutations)
+	}
+	if got := end.NumLogical + end.FreePhysical; got > end.NumPhysical {
+		t.Errorf("page accounting: %d logical + %d free > %d physical", end.NumLogical, end.FreePhysical, end.NumPhysical)
+	}
+	if vr := st.Verify(true); len(vr.Issues) != 0 {
+		t.Errorf("deep verify after GC: %v", vr.Issues)
+	}
+
+	// Releasing twice is a programming error upstream but must be inert
+	// on the public wrapper.
+	snap.Release()
+}
+
+// TestCloseRacesPinnedSnapshot closes the store while a reader holds a
+// pinned snapshot mid-evaluation. The reader must run to completion with
+// correct results — Close drains pins rather than yanking pages — and
+// everything after Close fails with ErrClosed.
+func TestCloseRacesPinnedSnapshot(t *testing.T) {
+	st := bigStore(t, 300)
+	want := snapshotExpectations(t, st.Query)
+
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var released atomic.Bool
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := 0; i < 20; i++ {
+			for _, expr := range oracleQueries {
+				rs, err := snap.Query(expr)
+				if err != nil {
+					t.Errorf("pinned read during Close: %v", err)
+					released.Store(true)
+					snap.Release()
+					return
+				}
+				if renderResults(rs) != want[expr] {
+					t.Errorf("torn read during Close: %s", expr)
+				}
+			}
+		}
+		released.Store(true)
+		snap.Release()
+	}()
+
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !released.Load() {
+		t.Fatal("Close returned while a snapshot was still pinned")
+	}
+	<-readerDone
+
+	if _, err := st.Snapshot(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Snapshot after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := snap.Query(`//book`); !errors.Is(err, ErrClosed) {
+		t.Errorf("query on released snapshot: err = %v, want ErrClosed", err)
+	}
+}

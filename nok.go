@@ -147,29 +147,49 @@ type QueryStats = core.QueryStats
 
 // Store is an opened NoK database directory.
 //
-// A Store is safe for concurrent use: queries may run in parallel with
-// each other; Insert and Delete take an exclusive lock (the paper defers
-// full concurrency control to future work — reader/writer exclusion is
-// the pragmatic baseline).
+// A Store is safe for concurrent use, and reads never block on writes:
+// every query pins the committed MVCC snapshot current at its start and
+// evaluates against that immutable state while Insert and Delete build
+// the next epoch off to the side (copy-on-write pages, fresh index
+// files) and publish it atomically. Mutations serialize against each
+// other; superseded snapshots are garbage-collected when their last
+// reader releases them.
 type Store struct {
+	// mu serializes administrative operations (Insert, Delete, Verify,
+	// RefreshStats, Close) at the Store level. Queries do not take it —
+	// they pin a snapshot instead.
 	mu sync.RWMutex
 	db *core.DB
 
-	// closed flips under the write lock in Close. Because every query path
-	// holds the read lock for its whole evaluation, Close drains in-flight
-	// queries before it touches the pager, and any call arriving afterwards
-	// observes the flag and fails with ErrClosed instead of racing a
-	// released buffer pool.
+	// closed flips under mu in Close; core's own close then drains
+	// in-flight snapshot readers before releasing the pager.
 	closed bool
 
-	// gen counts mutations (Insert/Delete). Result caches key on it: any
-	// entry computed under an older generation is unreachable after a
-	// mutation, so stale results are never served (see internal/server).
+	// gen counts mutations (Insert/Delete). It predates epochs and is kept
+	// for compatibility; prefer Epoch, which only advances on *committed*
+	// mutations (see internal/server's result cache).
 	gen atomic.Uint64
 }
 
 // ErrClosed is returned by Store methods called after Close.
 var ErrClosed = errors.New("nok: store is closed")
+
+// mapClosed translates core's closed error into the package's own.
+func mapClosed(err error) error {
+	if errors.Is(err, core.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
+
+// acquire pins the current committed snapshot.
+func (s *Store) acquire() (*core.Snapshot, error) {
+	v, err := s.db.Acquire()
+	if err != nil {
+		return nil, mapClosed(err)
+	}
+	return v, nil
+}
 
 // Create builds a new store at dir from an XML document.
 func Create(dir string, xml io.Reader, opts *Options) (*Store, error) {
@@ -199,11 +219,11 @@ func Open(dir string, opts *Options) (*Store, error) {
 	return &Store{db: db}, nil
 }
 
-// Close releases the store. It blocks until in-flight queries drain (they
-// hold the read lock for their whole evaluation — including any parallel
-// partition workers, which are always joined before the query returns), so
-// no evaluation can touch the pager after Close. Closing twice is a no-op;
-// methods called after Close return ErrClosed.
+// Close releases the store. It blocks until in-flight queries drain: each
+// holds a reference on its pinned snapshot, and core's close waits for the
+// last reference before releasing the pager. Calls racing Close either
+// finish normally on their pinned snapshot or fail with ErrClosed — never
+// a torn read. Closing twice is a no-op.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -217,9 +237,12 @@ func (s *Store) Close() error {
 // NodeCount returns the number of element nodes (attributes are modeled
 // as child nodes and included).
 func (s *Store) NodeCount() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.db.NodeCount()
+	v, err := s.acquire()
+	if err != nil {
+		return 0
+	}
+	defer v.Release()
+	return v.NodeCount()
 }
 
 // Generation returns the store's mutation counter: it starts at 0 and is
@@ -251,35 +274,44 @@ func (s *Store) QueryWithOptions(expr string, opts *QueryOptions) ([]Result, *Qu
 // into the matching loops: a long evaluation notices cancellation within a
 // few dozen subject-node visits and aborts with ctx.Err().
 func (s *Store) QueryWithOptionsContext(ctx context.Context, expr string, opts *QueryOptions) ([]Result, *QueryStats, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		return nil, nil, ErrClosed
+	v, err := s.acquire()
+	if err != nil {
+		return nil, nil, err
 	}
+	defer v.Release()
+	return queryOn(v, ctx, expr, opts, nil)
+}
+
+// queryOn evaluates expr against one pinned snapshot and resolves the
+// matches on that same snapshot, so a concurrent commit can never mix
+// epochs within one result set.
+func queryOn(v *core.Snapshot, ctx context.Context, expr string, opts *QueryOptions, tr *obs.Trace) ([]Result, *QueryStats, error) {
 	co := opts.toCore()
 	if co == nil {
 		co = &core.QueryOptions{}
 	}
 	co.Ctx = ctx
-	ms, stats, err := s.db.Query(expr, co)
+	co.Trace = tr
+	ms, stats, err := v.Query(expr, co)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, mapClosed(err)
 	}
-	return s.buildResults(ms), stats, nil
+	return buildResults(v, ms), stats, nil
 }
 
-// buildResults resolves matches to Results. Caller holds at least s.mu.RLock.
-func (s *Store) buildResults(ms []core.Match) []Result {
+// buildResults resolves matches to Results against the snapshot that
+// produced them.
+func buildResults(v *core.Snapshot, ms []core.Match) []Result {
 	out := make([]Result, len(ms))
 	for i, m := range ms {
 		r := Result{ID: m.ID.String()}
-		if sym, err := s.db.Tree.SymAt(m.Pos); err == nil {
-			if name, ok := s.db.Tags.Name(sym); ok {
+		if sym, err := v.Tree.SymAt(m.Pos); err == nil {
+			if name, ok := v.Tags.Name(sym); ok {
 				r.Tag = name
 			}
 		}
-		if v, ok, err := s.db.NodeValue(m.ID); err == nil && ok {
-			r.Value, r.HasValue = v, true
+		if val, ok, err := v.NodeValue(m.ID); err == nil && ok {
+			r.Value, r.HasValue = val, true
 		}
 		out[i] = r
 	}
@@ -291,27 +323,22 @@ func (s *Store) buildResults(ms []core.Match) []Result {
 // indented phase tree with per-phase timings and counters — the library form
 // of EXPLAIN ANALYZE.
 func (s *Store) QueryAnalyze(expr string, opts *QueryOptions) ([]Result, *QueryStats, string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		return nil, nil, "", ErrClosed
+	v, err := s.acquire()
+	if err != nil {
+		return nil, nil, "", err
 	}
+	defer v.Release()
 	tr := obs.New("query " + expr)
-	co := opts.toCore()
-	if co == nil {
-		co = &core.QueryOptions{}
-	}
-	co.Trace = tr
-	ms, stats, err := s.db.Query(expr, co)
+	rs, stats, err := queryOn(v, context.Background(), expr, opts, tr)
 	tr.Finish()
 	if err != nil {
 		return nil, nil, "", err
 	}
 	root := tr.Root()
-	root.Set("results", len(ms))
+	root.Set("results", len(rs))
 	root.Set("pages-scanned", stats.PagesScanned)
 	root.Set("pages-skipped", stats.PagesSkipped)
-	return s.buildResults(ms), stats, tr.String(), nil
+	return rs, stats, tr.String(), nil
 }
 
 // ExplainAnalyze executes a query against the store and returns the executed
@@ -331,12 +358,12 @@ func ExplainAnalyze(st *Store, expr string) (string, error) {
 // statistics synopsis, or the synopsis is stale — the rendering says so
 // and names the fallback.
 func (s *Store) Plan(expr string) (string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		return "", ErrClosed
+	v, err := s.acquire()
+	if err != nil {
+		return "", err
 	}
-	return s.db.PlanText(expr)
+	defer v.Release()
+	return v.PlanText(expr)
 }
 
 // ProvablyEmpty reports whether statistics alone prove the query returns
@@ -350,12 +377,12 @@ func (s *Store) ProvablyEmpty(expr string) (bool, string, error) {
 	if err != nil {
 		return false, "", err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		return false, "", ErrClosed
+	v, err := s.acquire()
+	if err != nil {
+		return false, "", err
 	}
-	empty, reason := s.db.ProvablyEmpty(t)
+	defer v.Release()
+	empty, reason := v.ProvablyEmpty(t)
 	return empty, reason, nil
 }
 
@@ -366,9 +393,12 @@ type SynopsisInfo = core.SynopsisInfo
 
 // Synopsis reports the statistics synopsis with the top-n tags and paths.
 func (s *Store) Synopsis(n int) SynopsisInfo {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.db.SynopsisInfo(n)
+	v, err := s.acquire()
+	if err != nil {
+		return SynopsisInfo{}
+	}
+	defer v.Release()
+	return v.SynopsisInfo(n)
 }
 
 // RefreshStats rebuilds the statistics synopsis from the committed store
@@ -380,7 +410,7 @@ func (s *Store) RefreshStats() error {
 	if s.closed {
 		return ErrClosed
 	}
-	return s.db.RefreshSynopsis()
+	return mapClosed(s.db.RefreshSynopsis())
 }
 
 // MetricsText renders the process-wide metrics registry (pager I/O, B+-tree
@@ -402,16 +432,16 @@ func MetricsJSON() string {
 
 // Value returns the text content of the node with the given Dewey ID.
 func (s *Store) Value(id string) (string, bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		return "", false, ErrClosed
-	}
 	did, err := dewey.Parse(id)
 	if err != nil {
 		return "", false, err
 	}
-	return s.db.NodeValue(did)
+	v, err := s.acquire()
+	if err != nil {
+		return "", false, err
+	}
+	defer v.Release()
+	return v.NodeValue(did)
 }
 
 // Insert appends an XML fragment (one root element) as the last child of
@@ -430,7 +460,7 @@ func (s *Store) Insert(parentID string, fragment io.Reader) error {
 	// Bump even when the insert errors: a partial mutation may have touched
 	// pages, and over-invalidating caches is always safe.
 	s.gen.Add(1)
-	return s.db.InsertFragment(id, fragment)
+	return mapClosed(s.db.InsertFragment(id, fragment))
 }
 
 // Delete removes the node with the given Dewey ID and its whole subtree.
@@ -446,7 +476,7 @@ func (s *Store) Delete(id string) error {
 		return err
 	}
 	s.gen.Add(1)
-	return s.db.DeleteSubtree(did)
+	return mapClosed(s.db.DeleteSubtree(did))
 }
 
 // Stats summarizes the store's physical layout.
@@ -461,23 +491,29 @@ type Stats struct {
 
 // Stats returns the store's layout summary.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	v, err := s.acquire()
+	if err != nil {
+		return Stats{}
+	}
+	defer v.Release()
 	return Stats{
-		Nodes:       s.db.Tree.NodeCount(),
-		Pages:       s.db.Tree.NumPages(),
-		MaxDepth:    s.db.Tree.MaxLevel(),
-		TreeBytes:   s.db.Tree.TokenBytes(),
-		ValueBytes:  s.db.Values.Size(),
-		HeaderBytes: s.db.Tree.HeaderBytes(),
+		Nodes:       v.Tree.NodeCount(),
+		Pages:       v.Tree.NumPages(),
+		MaxDepth:    v.Tree.MaxLevel(),
+		TreeBytes:   v.Tree.TokenBytes(),
+		ValueBytes:  v.Values.Size(),
+		HeaderBytes: v.Tree.HeaderBytes(),
 	}
 }
 
 // TagCount returns how many nodes carry the given tag name.
 func (s *Store) TagCount(name string) uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.db.TagCount(name)
+	v, err := s.acquire()
+	if err != nil {
+		return 0
+	}
+	defer v.Release()
+	return v.TagCount(name)
 }
 
 // ErrNeedsRecovery is returned by Insert/Delete after an update
@@ -499,11 +535,115 @@ func (s *Store) Recovery() RecoveryInfo {
 }
 
 // Epoch returns the store's committed epoch: 1 after the initial load,
-// bumped by every committed Insert/Delete.
+// bumped by every committed Insert/Delete. Two reads of the same epoch are
+// guaranteed to observe identical store state, which makes the epoch the
+// correct result-cache key (unlike Generation, which also counts failed
+// mutations).
 func (s *Store) Epoch() uint64 {
+	v, err := s.acquire()
+	if err != nil {
+		return 0
+	}
+	defer v.Release()
+	return v.Epoch()
+}
+
+// MVCCInfo reports the multi-version machinery's state: committed epoch,
+// live page-table versions, reader pins, and the physical-page accounting
+// of the copy-on-write tree file. See internal/core for field semantics.
+type MVCCInfo = core.MVCCInfo
+
+// MVCC summarizes the store's snapshot and page-version state.
+func (s *Store) MVCC() MVCCInfo {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.db.Epoch()
+	if s.closed {
+		return MVCCInfo{}
+	}
+	return s.db.MVCCInfo()
+}
+
+// Snapshot is a pinned, immutable view of the store at one committed
+// epoch: every read through it observes exactly that state no matter how
+// many mutations commit concurrently. Release it when done — a held
+// snapshot keeps its epoch's pages and files alive (and its disk space
+// unreclaimed).
+type Snapshot struct {
+	v        *core.Snapshot
+	released atomic.Bool
+}
+
+// Snapshot pins the store's current committed state. The caller must
+// Release it.
+func (s *Store) Snapshot() (*Snapshot, error) {
+	v, err := s.acquire()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{v: v}, nil
+}
+
+// Release unpins the snapshot; the last release of a superseded epoch
+// garbage-collects its files. Releasing twice is a no-op.
+func (sn *Snapshot) Release() {
+	if !sn.released.Swap(true) {
+		sn.v.Release()
+	}
+}
+
+// Epoch returns the committed epoch this snapshot observes.
+func (sn *Snapshot) Epoch() uint64 { return sn.v.Epoch() }
+
+// NodeCount returns the snapshot's element-node count.
+func (sn *Snapshot) NodeCount() uint64 {
+	if sn.released.Load() {
+		return 0
+	}
+	return sn.v.NodeCount()
+}
+
+// Query evaluates a path expression against the pinned state.
+func (sn *Snapshot) Query(expr string) ([]Result, error) {
+	rs, _, err := sn.QueryWithOptionsContext(context.Background(), expr, nil)
+	return rs, err
+}
+
+// QueryWithOptionsContext evaluates a path expression against the pinned
+// state with explicit options and a context.
+func (sn *Snapshot) QueryWithOptionsContext(ctx context.Context, expr string, opts *QueryOptions) ([]Result, *QueryStats, error) {
+	if sn.released.Load() {
+		return nil, nil, ErrClosed
+	}
+	return queryOn(sn.v, ctx, expr, opts, nil)
+}
+
+// ProvablyEmpty reports whether statistics alone prove the query returns
+// nothing from the pinned state; see Store.ProvablyEmpty. The sharded
+// executor prunes and evaluates on the same pinned snapshot so the two
+// decisions can never observe different epochs.
+func (sn *Snapshot) ProvablyEmpty(expr string) (bool, string, error) {
+	t, err := pattern.Parse(expr)
+	if err != nil {
+		return false, "", err
+	}
+	if sn.released.Load() {
+		return false, "", ErrClosed
+	}
+	empty, reason := sn.v.ProvablyEmpty(t)
+	return empty, reason, nil
+}
+
+// Value returns the text content of the node with the given Dewey ID in
+// the pinned state.
+func (sn *Snapshot) Value(id string) (string, bool, error) {
+	did, err := dewey.Parse(id)
+	if err != nil {
+		return "", false, err
+	}
+	if sn.released.Load() {
+		return "", false, ErrClosed
+	}
+	return sn.v.NodeValue(did)
 }
 
 // VerifyResult summarizes a Verify run; see internal/core for field
