@@ -13,6 +13,7 @@
 //	nokbench -table skip       (st,lo,hi) page-skip ablation
 //	nokbench -table planner    cost-based planner vs §6.2 heuristic pages
 //	nokbench -table shard      scatter-gather speedup on sharded collections
+//	nokbench -table remote     loopback remote scatter vs in-process overhead
 //	nokbench -table mvcc       read latency under a concurrent writer
 //	nokbench -table all        everything above
 //
@@ -154,6 +155,17 @@ func main() {
 			if sp := shardbench.ShardSpeedupAt(rows, 4); sp < shardbench.ShardSpeedupMin {
 				log.Fatalf("4-shard speedup %.2fx is below the %.1fx budget", sp, shardbench.ShardSpeedupMin)
 			}
+		case "remote":
+			fmt.Fprintln(out, "== Remote 4-shard loopback scatter vs in-process ==")
+			res, err := shardbench.Remote(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			shardbench.WriteRemote(out, res)
+			if res.Ratio > shardbench.RemoteOverheadMax {
+				log.Fatalf("remote scatter is %.2fx the in-process pass, over the %.1fx budget",
+					res.Ratio, shardbench.RemoteOverheadMax)
+			}
 		case "telemetry":
 			fmt.Fprintln(out, "== Telemetry capture overhead (warm cache) ==")
 			res, err := bench.Telemetry(cfg)
@@ -183,7 +195,7 @@ func main() {
 	}
 
 	if *table == "all" {
-		for _, t := range []string{"1", "2", "3", "summary", "ratios", "io", "heuristic", "update", "stream", "skip", "planner", "shard", "telemetry", "mvcc"} {
+		for _, t := range []string{"1", "2", "3", "summary", "ratios", "io", "heuristic", "update", "stream", "skip", "planner", "shard", "remote", "telemetry", "mvcc"} {
 			run(t)
 		}
 		return

@@ -5,11 +5,17 @@
 //
 //	nokload -db DIR -xml FILE [-pagesize N] [-reserve PCT]
 //	nokload -db DIR -xml FILE -shards N [-routing hash|path]
+//	nokload -db DIR -addrs http://h1:8080,,http://h3:8080
 //
 // With -shards, top-level documents under the collection root are split
 // across N stores: -routing hash (default) balances by document ordinal,
 // -routing path groups documents by their root tag so per-shard statistics
 // can prune whole shards from tag-selective queries. See docs/SHARDING.md.
+//
+// With -addrs (and no -xml), an existing sharded collection is rewired to
+// serve some or all shards from remote nokserve processes: the comma-
+// separated list assigns one base URL per shard position, an empty entry
+// keeping that shard local. See docs/FAULT_TOLERANCE.md.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"nok"
@@ -33,10 +40,29 @@ func main() {
 	reserve := flag.Int("reserve", 0, "per-page update reserve percentage (default 20)")
 	shards := flag.Int("shards", 0, "split the collection across N independent stores (0 = single store)")
 	routing := flag.String("routing", "hash", "shard routing strategy: hash (balance by ordinal) or path (group by root tag)")
+	addrs := flag.String("addrs", "", "comma-separated remote shard base URLs (one per shard position, empty = local); rewires an existing collection, no -xml")
 	version := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String())
+		return
+	}
+	if *addrs != "" {
+		if *db == "" || *xml != "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		list := strings.Split(*addrs, ",")
+		if err := shard.SetShardAddrs(*db, list); err != nil {
+			log.Fatal(err)
+		}
+		for s, a := range list {
+			if a == "" {
+				fmt.Printf("  shard %d: local\n", s)
+			} else {
+				fmt.Printf("  shard %d: remote %s\n", s, a)
+			}
+		}
 		return
 	}
 	if *db == "" || *xml == "" {

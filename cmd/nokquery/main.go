@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	nokquery -db DIR [-strategy auto|scan|tag|value|path] [-no-planner] [-stats] [-analyze] QUERY
+//	nokquery -db DIR [-strategy auto|scan|tag|value|path] [-no-planner] [-stats] [-analyze]
+//	         [-timeout D] [-partial] QUERY
 //	nokquery -db DIR -plan QUERY
 //	nokquery -xml FILE QUERY
 //
@@ -19,6 +20,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,7 +38,7 @@ import (
 type queryStore interface {
 	Plan(expr string) (string, error)
 	QueryAnalyze(expr string, opts *nok.QueryOptions) ([]nok.Result, *nok.QueryStats, string, error)
-	QueryWithOptions(expr string, opts *nok.QueryOptions) ([]nok.Result, *nok.QueryStats, error)
+	QueryWithOptionsContext(ctx context.Context, expr string, opts *nok.QueryOptions) ([]nok.Result, *nok.QueryStats, error)
 	Close() error
 }
 
@@ -70,6 +73,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	analyze := fs.Bool("analyze", false, "print the executed plan with per-phase timings (EXPLAIN ANALYZE)")
 	planOnly := fs.Bool("plan", false, "print the cost-based plan without executing the query")
 	noPlanner := fs.Bool("no-planner", false, "keep auto strategy on the paper's §6.2 heuristic even when planner statistics exist")
+	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none); exceeded deadlines abort the matching loops mid-scan")
+	partial := fs.Bool("partial", false, "accept degraded partial results when a remote shard is unreachable")
 	version := fs.Bool("version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -145,7 +150,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	opts := &nok.QueryOptions{Strategy: strat, DisablePlanner: *noPlanner}
+	opts := &nok.QueryOptions{Strategy: strat, DisablePlanner: *noPlanner, AllowPartial: *partial}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	t0 := time.Now()
 	var (
 		rs    []nok.Result
@@ -155,9 +166,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *analyze {
 		rs, stats, plan, err = st.QueryAnalyze(expr, opts)
 	} else {
-		rs, stats, err = st.QueryWithOptions(expr, opts)
+		rs, stats, err = st.QueryWithOptionsContext(ctx, expr, opts)
 	}
 	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			return fail("query exceeded the -timeout deadline (%v): %v", *timeout, err)
+		case errors.Is(err, nok.ErrShardUnavailable):
+			return fail("%v (re-run with -partial to accept degraded results)", err)
+		}
 		return fail("%v", err)
 	}
 	elapsed := time.Since(t0)
@@ -169,6 +186,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	fmt.Fprintf(stdout, "-- %d result(s) in %v\n", len(rs), elapsed.Round(time.Microsecond))
+	if stats.Degraded {
+		fmt.Fprintf(stdout, "-- DEGRADED: shard(s) %v unavailable; results are a correct subset of the full answer\n", stats.MissingShards)
+	}
 	if *showStats {
 		fmt.Fprintf(stdout, "-- partitions=%d starts=%d npm=%d visited=%d joins=%d strategies=%v pages=%d/%d scanned/skipped\n",
 			stats.Partitions, stats.StartingPoints, stats.NPMCalls,
@@ -193,7 +213,9 @@ func printShards(stdout io.Writer, stats *nok.QueryStats) {
 		return
 	}
 	for _, sh := range stats.Shards {
-		if sh.Skipped {
+		if sh.Unavailable {
+			fmt.Fprintf(stdout, "-- shard %d: UNAVAILABLE\n", sh.Shard)
+		} else if sh.Skipped {
 			fmt.Fprintf(stdout, "-- shard %d: pruned (%s)\n", sh.Shard, sh.SkipReason)
 		} else {
 			fmt.Fprintf(stdout, "-- shard %d: %d result(s) in %v\n",

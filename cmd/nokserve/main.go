@@ -51,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	queue := fs.Int("queue", 0, "admission queue depth (default 2×workers)")
 	cache := fs.Int("cache", 0, "result-cache entries, -1 disables (default 1024)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-query deadline ceiling")
+	queryTimeout := fs.Duration("query-timeout", 0, "alias for -timeout; the lower of the two wins when both are set")
+	allowPartial := fs.Bool("allow-partial", false, "answer with degraded partial results when a shard is unreachable (per-request ?partial= overrides)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	debug := fs.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	slowLog := fs.String("slow-log", "", "slow-query log destination: a file path, or \"stderr\"")
@@ -80,7 +82,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		man := sst.Manifest()
+		nRemote := 0
+		for _, a := range man.Addrs {
+			if a != "" {
+				nRemote++
+			}
+		}
 		topology = fmt.Sprintf(", %d shards (%s routing)", man.Shards, man.Strategy)
+		if nRemote > 0 {
+			topology += fmt.Sprintf(", %d remote", nRemote)
+		}
 		st = sst
 	} else {
 		sst, err := nok.Open(*db, nil)
@@ -109,12 +120,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		telemetry.Default.SetSlowLog(w, *slowThreshold, *slowInterval)
 	}
+	deadline := *timeout
+	if *queryTimeout > 0 && *queryTimeout < deadline {
+		deadline = *queryTimeout
+	}
 	srv := server.NewBackend(st, server.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
-		QueryTimeout: *timeout,
+		QueryTimeout: deadline,
 		EnablePprof:  *debug,
+		AllowPartial: *allowPartial,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

@@ -123,7 +123,11 @@ func runSharded(dir, tag string, synStats, metrics bool, stdout io.Writer, fail 
 	fmt.Fprintf(stdout, "epoch:        %d\n", st.Epoch())
 	fmt.Fprintf(stdout, "shards:       %d (%s routing)\n", man.Shards, man.Strategy)
 	for i, assign := range man.Assign {
-		fmt.Fprintf(stdout, "  shard %d:    %d document(s)\n", i, len(assign))
+		where := "local"
+		if i < len(man.Addrs) && man.Addrs[i] != "" {
+			where = "remote " + man.Addrs[i]
+		}
+		fmt.Fprintf(stdout, "  shard %d:    %d document(s), %s\n", i, len(assign), where)
 	}
 	fmt.Fprintf(stdout, "nodes:        %d\n", s.Nodes)
 	fmt.Fprintf(stdout, "pages:        %d\n", s.Pages)

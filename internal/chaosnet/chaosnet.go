@@ -1,0 +1,333 @@
+// Package chaosnet injects network faults for testing the fault-tolerant
+// remote-shard path. It offers two layers:
+//
+//   - Proxy: a real TCP proxy in front of a target address whose failure
+//     mode can be flipped at runtime — pass traffic, add latency, reset
+//     connections, black-hole them (accept but never answer), or truncate
+//     responses mid-stream. Because it sits at the socket layer, it
+//     exercises the same failure surface a flaky network does: dial
+//     timeouts, connection resets, half-delivered bodies.
+//
+//   - Transport: an http.RoundTripper wrapper for unit tests that need
+//     deterministic per-request faults (fail the next N requests, delay,
+//     truncate bodies) without real sockets.
+//
+// Both are driven by the chaos sweep in internal/remote, which asserts
+// the system-level guarantees: no silently wrong results, breakers open
+// and recover, healthy shards keep answering.
+package chaosnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode is a Proxy failure mode. Mode changes apply to connections
+// accepted after the change; connections already black-holed stay hung
+// until the client gives up (that is the failure being simulated).
+type Mode int
+
+const (
+	// ModePass forwards traffic unmodified.
+	ModePass Mode = iota
+	// ModeLatency delays the first response byte of each connection by
+	// the configured latency, then forwards normally.
+	ModeLatency
+	// ModeReset closes every accepted connection immediately — the
+	// "connection refused / reset by peer" class of failure.
+	ModeReset
+	// ModeBlackhole accepts connections, reads and discards whatever the
+	// client sends, and never answers — the failure mode that makes
+	// timeouts and hedging matter, because without them one dead shard
+	// stalls every query for the full client patience.
+	ModeBlackhole
+	// ModeTruncate forwards only the first TruncateBytes of each
+	// response, then severs the connection — tests that a cut-off result
+	// stream is detected (end-frame check) and never returned as a
+	// complete answer.
+	ModeTruncate
+)
+
+// Proxy is a TCP proxy with switchable failure modes. Safe for
+// concurrent use.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	mu       sync.Mutex
+	mode     Mode
+	latency  time.Duration
+	truncate int64
+	conns    map[net.Conn]struct{}
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a proxy on a fresh loopback port in front of target
+// (host:port). Close it when done.
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		target:   target,
+		ln:       ln,
+		truncate: 64,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL returns the proxy address as an http base URL.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// SetMode switches the failure mode for subsequently accepted
+// connections, and severs every established connection: a real
+// partition kills pooled keep-alive flows too, and a heal must not wait
+// out client timeouts on previously black-holed connections.
+func (p *Proxy) SetMode(m Mode) {
+	p.mu.Lock()
+	changed := p.mode != m
+	p.mode = m
+	var open []net.Conn
+	if changed {
+		for c := range p.conns {
+			open = append(open, c)
+		}
+	}
+	p.mu.Unlock()
+	for _, c := range open {
+		_ = c.Close()
+	}
+}
+
+// SetLatency configures the ModeLatency delay.
+func (p *Proxy) SetLatency(d time.Duration) {
+	p.mu.Lock()
+	p.latency = d
+	p.mu.Unlock()
+}
+
+// SetTruncateBytes configures how many response bytes ModeTruncate lets
+// through before severing (default 64).
+func (p *Proxy) SetTruncateBytes(n int64) {
+	p.mu.Lock()
+	p.truncate = n
+	p.mu.Unlock()
+}
+
+// Close stops accepting, severs all connections and waits for the
+// handler goroutines.
+func (p *Proxy) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	err := p.ln.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go p.handle(conn)
+	}
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) handle(client net.Conn) {
+	defer p.wg.Done()
+	p.track(client)
+	defer p.untrack(client)
+	defer client.Close()
+
+	p.mu.Lock()
+	mode, latency, truncate := p.mode, p.latency, p.truncate
+	p.mu.Unlock()
+
+	switch mode {
+	case ModeReset:
+		return // deferred Close sends the reset
+	case ModeBlackhole:
+		// Swallow the request and say nothing. The connection ends when
+		// the client times out, the proxy closes, or the mode changes
+		// (SetMode severs hung connections).
+		_, _ = io.Copy(io.Discard, client)
+		return
+	}
+
+	server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	p.track(server)
+	defer p.untrack(server)
+	defer server.Close()
+
+	done := make(chan struct{}, 2)
+	// client → server: always forwarded in full (the faults under test
+	// are response-side).
+	go func() {
+		_, _ = io.Copy(server, client)
+		// Half-close so the server sees EOF but the response path stays up.
+		if tc, ok := server.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	// server → client, with the response-side fault applied.
+	go func() {
+		switch mode {
+		case ModeLatency:
+			buf := make([]byte, 1)
+			if _, err := server.Read(buf); err == nil {
+				time.Sleep(latency)
+				if _, err := client.Write(buf); err == nil {
+					_, _ = io.Copy(client, server)
+				}
+			}
+		case ModeTruncate:
+			_, _ = io.CopyN(client, server, truncate)
+			// Sever both sides so the client sees the cut immediately.
+			_ = client.Close()
+			_ = server.Close()
+		default:
+			_, _ = io.Copy(client, server)
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+// ---- RoundTripper-level faults ----------------------------------------------
+
+// ErrInjected is the connection-level error Transport returns for
+// injected failures.
+var ErrInjected = errors.New("chaosnet: injected connection failure")
+
+// Transport wraps an http.RoundTripper with deterministic fault
+// injection for unit tests. The zero value with a nil Base uses
+// http.DefaultTransport. Safe for concurrent use.
+type Transport struct {
+	Base http.RoundTripper
+
+	mu       sync.Mutex
+	failNext int
+	latency  time.Duration
+	truncate int64 // >0: cut response bodies after this many bytes
+
+	requests atomic.Int64
+}
+
+// FailNext makes the next n requests fail with ErrInjected before
+// reaching the network.
+func (t *Transport) FailNext(n int) {
+	t.mu.Lock()
+	t.failNext = n
+	t.mu.Unlock()
+}
+
+// SetLatency delays every request by d before forwarding.
+func (t *Transport) SetLatency(d time.Duration) {
+	t.mu.Lock()
+	t.latency = d
+	t.mu.Unlock()
+}
+
+// TruncateBodies cuts every response body off after n bytes (0 restores
+// full bodies). The cut surfaces as an early EOF, as a severed
+// connection would.
+func (t *Transport) TruncateBodies(n int64) {
+	t.mu.Lock()
+	t.truncate = n
+	t.mu.Unlock()
+}
+
+// Requests returns how many requests have been attempted through this
+// transport (including injected failures) — the unit tests' retry meter.
+func (t *Transport) Requests() int64 { return t.requests.Load() }
+
+// RoundTrip applies the configured faults, then delegates.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.requests.Add(1)
+	t.mu.Lock()
+	fail := t.failNext > 0
+	if fail {
+		t.failNext--
+	}
+	latency, truncate := t.latency, t.truncate
+	t.mu.Unlock()
+	if fail {
+		return nil, ErrInjected
+	}
+	if latency > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(latency):
+		}
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || truncate <= 0 {
+		return resp, err
+	}
+	resp.Body = &truncatedBody{r: io.LimitReader(resp.Body, truncate), c: resp.Body}
+	return resp, nil
+}
+
+// CloseIdleConnections forwards to the base transport when it has one.
+func (t *Transport) CloseIdleConnections() {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if b, ok := base.(interface{ CloseIdleConnections() }); ok {
+		b.CloseIdleConnections()
+	}
+}
+
+type truncatedBody struct {
+	r io.Reader
+	c io.Closer
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) { return b.r.Read(p) }
+func (b *truncatedBody) Close() error               { return b.c.Close() }

@@ -1,0 +1,189 @@
+package chaosnet
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newBackend serves a fixed body big enough that truncation provably
+// cuts it short.
+func newBackend(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	body := strings.Repeat("nok-payload ", 100)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, body
+}
+
+// proxyFor stands a Proxy in front of ts and returns it with a client
+// that never reuses connections (each request must see the current mode).
+func proxyFor(t *testing.T, ts *httptest.Server) (*Proxy, *http.Client) {
+	t.Helper()
+	p, err := NewProxy(strings.TrimPrefix(ts.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	hc := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   2 * time.Second,
+	}
+	return p, hc
+}
+
+func TestProxyPass(t *testing.T) {
+	ts, body := newBackend(t)
+	p, hc := proxyFor(t, ts)
+	resp, err := hc.Get(p.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(got) != body {
+		t.Errorf("pass mode altered the body: %d bytes, want %d", len(got), len(body))
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	ts, _ := newBackend(t)
+	p, hc := proxyFor(t, ts)
+	p.SetMode(ModeLatency)
+	p.SetLatency(120 * time.Millisecond)
+	t0 := time.Now()
+	resp, err := hc.Get(p.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if d := time.Since(t0); d < 120*time.Millisecond {
+		t.Errorf("latency mode answered in %v, want >= 120ms", d)
+	}
+}
+
+func TestProxyReset(t *testing.T) {
+	ts, _ := newBackend(t)
+	p, hc := proxyFor(t, ts)
+	p.SetMode(ModeReset)
+	if _, err := hc.Get(p.URL()); err == nil {
+		t.Fatal("reset mode delivered a response")
+	}
+}
+
+func TestProxyBlackholeAndHeal(t *testing.T) {
+	ts, body := newBackend(t)
+	p, hc := proxyFor(t, ts)
+	p.SetMode(ModeBlackhole)
+	short := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   150 * time.Millisecond,
+	}
+	t0 := time.Now()
+	if _, err := short.Get(p.URL()); err == nil {
+		t.Fatal("black-holed request got an answer")
+	} else if d := time.Since(t0); d < 140*time.Millisecond {
+		t.Errorf("black-holed request failed in %v; it should hang until the client gives up", d)
+	}
+
+	// Open a second hung connection, then heal: SetMode must sever it so
+	// recovery does not wait out a long client timeout.
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := hc.Get(p.URL()) // 2s budget; must fail far sooner
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	p.SetMode(ModePass)
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Error("connection accepted under blackhole answered after heal; want a severed connection")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("hung connection not severed by SetMode(ModePass)")
+	}
+	// New connections flow again.
+	resp, err := hc.Get(p.URL())
+	if err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(got) != body {
+		t.Errorf("healed body: %d bytes, want %d", len(got), len(body))
+	}
+}
+
+func TestProxyTruncate(t *testing.T) {
+	ts, body := newBackend(t)
+	p, hc := proxyFor(t, ts)
+	p.SetMode(ModeTruncate)
+	p.SetTruncateBytes(40)
+	resp, err := hc.Get(p.URL())
+	if err == nil {
+		// The cut may land inside the headers (error above) or inside the
+		// body: then the read must fail or come up short.
+		got, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && string(got) == body {
+			t.Fatal("truncate mode delivered the full body")
+		}
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	ts, body := newBackend(t)
+	tr := &Transport{}
+	hc := &http.Client{Transport: tr}
+
+	tr.FailNext(2)
+	for i := 0; i < 2; i++ {
+		if _, err := hc.Get(ts.URL); !errors.Is(err, ErrInjected) {
+			t.Fatalf("injected failure %d: %v", i, err)
+		}
+	}
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("after injected failures: %v", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := tr.Requests(); got != 3 {
+		t.Errorf("request counter %d, want 3", got)
+	}
+
+	tr.TruncateBodies(10)
+	resp, err = hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(got) != 10 {
+		t.Errorf("truncated body %d bytes, want 10", len(got))
+	}
+
+	tr.TruncateBodies(0)
+	tr.SetLatency(60 * time.Millisecond)
+	t0 := time.Now()
+	resp, err = hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if time.Since(t0) < 60*time.Millisecond {
+		t.Error("latency fault not applied")
+	}
+	if string(b) != body {
+		t.Error("latency fault altered the body")
+	}
+}

@@ -154,6 +154,14 @@ type QueryStats struct {
 	// participated, which were pruned from statistics alone and why. Empty
 	// for single-store queries.
 	Shards []ShardTiming
+	// Degraded reports that one or more shards were unavailable and the
+	// results are a correct but possibly incomplete subset of the full
+	// answer; MissingShards lists them in ascending order. Only the
+	// scatter-gather executor sets these, and only when the caller opted
+	// into partial results — without the opt-in an unavailable shard fails
+	// the query with ErrShardUnavailable instead.
+	Degraded      bool
+	MissingShards []int
 }
 
 // ShardTiming is one shard's contribution to a scatter-gather query.
@@ -163,6 +171,21 @@ type ShardTiming struct {
 	Results    int
 	Skipped    bool
 	SkipReason string
+	// Unavailable marks a shard that could not be reached; its results are
+	// missing from a degraded answer.
+	Unavailable bool
+}
+
+// ShardHealth is one shard's availability as the scatter-gather executor
+// sees it: local shards are always healthy; remote shards report the
+// transport's circuit-breaker state and last observed committed epoch.
+type ShardHealth struct {
+	Shard   int    `json:"shard"`
+	Addr    string `json:"addr,omitempty"` // empty for local shards
+	Remote  bool   `json:"remote"`
+	Healthy bool   `json:"healthy"`
+	Breaker string `json:"breaker,omitempty"` // closed, half-open or open
+	Epoch   uint64 `json:"epoch"`
 }
 
 // PartitionTiming is one partition's contribution to a parallel bottom-up

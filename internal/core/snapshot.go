@@ -37,6 +37,13 @@ import (
 // ErrClosed is returned by operations on a closed DB.
 var ErrClosed = errors.New("core: store is closed")
 
+// ErrShardUnavailable is the sentinel for queries that could not be
+// answered completely because a shard was unreachable and the caller did
+// not opt into degraded partial results. The scatter-gather executor
+// (internal/shard) wraps it in a typed error naming the missing shards;
+// the HTTP server maps it to 503. Match it with errors.Is.
+var ErrShardUnavailable = errors.New("core: shard unavailable")
+
 // Snapshot lifecycle counters, exposed through the default obs registry.
 var (
 	mSnapAcquires  = obs.Default.Counter("nok_mvcc_snapshot_acquires_total", "snapshot references taken by readers")

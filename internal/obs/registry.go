@@ -212,6 +212,13 @@ type Snapshot struct {
 	Infos map[string]map[string]string `json:"infos,omitempty"`
 }
 
+// labeledSeries is one series of a labeled-gauge family: its rendered
+// constant labels and the gauge holding its value.
+type labeledSeries struct {
+	labels string // rendered {k="v",...}, the series key within the family
+	g      *Gauge
+}
+
 // Registry holds named metrics. Metric lookup/creation takes a mutex;
 // updating a metric is lock-free.
 type Registry struct {
@@ -222,7 +229,8 @@ type Registry struct {
 	ctrs   map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
-	infos  map[string][][2]string // sorted constant labels, value fixed at 1
+	infos  map[string][][2]string     // sorted constant labels, value fixed at 1
+	series map[string][]labeledSeries // labeled-gauge families, series in registration order
 }
 
 // Default is the process-wide registry all packages register into.
@@ -237,14 +245,16 @@ func NewRegistry() *Registry {
 		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
 		infos:  make(map[string][][2]string),
+		series: make(map[string][]labeledSeries),
 	}
 }
 
 const (
-	kindCounter   = 'c'
-	kindGauge     = 'g'
-	kindHistogram = 'h'
-	kindInfo      = 'i'
+	kindCounter      = 'c'
+	kindGauge        = 'g'
+	kindHistogram    = 'h'
+	kindInfo         = 'i'
+	kindLabeledGauge = 'G'
 )
 
 // checkExisting validates a re-registration under the registry lock: the
@@ -291,6 +301,36 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	g := &Gauge{}
 	r.register(name, help, kindGauge)
 	r.gauges[name] = g
+	return g
+}
+
+// GaugeWithLabels returns the gauge series registered under the family
+// name with the given constant labels, creating the family and the series
+// on first use. All series of one family share the help string; the
+// exposition renders one # HELP/# TYPE header followed by one
+// name{labels} line per series, which is how per-shard state (e.g.
+// nok_shard_breaker_state{shard="3"}) lands in Prometheus with real
+// labels instead of name suffixes.
+func (r *Registry) GaugeWithLabels(name, help string, labels map[string]string) *Gauge {
+	ls := make([][2]string, 0, len(labels))
+	for k, v := range labels {
+		ls = append(ls, [2]string{k, v})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i][0] < ls[j][0] })
+	key := renderLabels(ls)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.checkExisting(name, help, kindLabeledGauge) {
+		r.register(name, help, kindLabeledGauge)
+	}
+	for _, s := range r.series[name] {
+		if s.labels == key {
+			return s.g
+		}
+	}
+	g := &Gauge{}
+	r.series[name] = append(r.series[name], labeledSeries{labels: key, g: g})
 	return g
 }
 
@@ -353,6 +393,11 @@ func (r *Registry) Snapshot() Snapshot {
 	for n, g := range r.gauges {
 		s.Gauges[n] = g.Value()
 	}
+	for n, fam := range r.series {
+		for _, ls := range fam {
+			s.Gauges[n+ls.labels] = ls.g.Value()
+		}
+	}
 	for n, h := range r.hists {
 		s.Histograms[n] = h.snapshot()
 	}
@@ -379,6 +424,11 @@ func (r *Registry) Reset() {
 	}
 	for _, g := range r.gauges {
 		g.v.Store(0)
+	}
+	for _, fam := range r.series {
+		for _, ls := range fam {
+			ls.g.v.Store(0)
+		}
 	}
 	for _, h := range r.hists {
 		for i := range h.counts {
@@ -478,6 +528,15 @@ func (r *Registry) write(w io.Writer, exemplars bool) error {
 			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.ctrs[name].Value())
 		case kindGauge:
 			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, r.gauges[name].Value())
+		case kindLabeledGauge:
+			if _, err = fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
+				return err
+			}
+			for _, ls := range r.series[name] {
+				if _, err = fmt.Fprintf(w, "%s%s %d\n", name, ls.labels, ls.g.Value()); err != nil {
+					return err
+				}
+			}
 		case kindInfo:
 			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s%s 1\n", name, name, renderLabels(r.infos[name]))
 		case kindHistogram:

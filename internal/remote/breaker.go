@@ -1,0 +1,152 @@
+package remote
+
+// breaker.go — the per-shard circuit breaker.
+//
+// The breaker exists so a dead shard costs one timeout, not one timeout
+// per query: after Threshold consecutive failures the breaker opens and
+// every call fails immediately with ErrUnavailable until Cooldown has
+// passed. Then it admits exactly one probe request (half-open); a probe
+// success closes the breaker, a probe failure re-opens it for another
+// cooldown. The background health prober (client.go) can also close an
+// open breaker when /healthz starts answering again, so recovery does not
+// have to wait for query traffic.
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"nok/internal/obs"
+)
+
+// Breaker states, exposed as the nok_shard_breaker_state gauge
+// (one labeled series per shard).
+const (
+	breakerClosed   = 0
+	breakerHalfOpen = 1
+	breakerOpen     = 2
+)
+
+var mBreakerOpens = obs.Default.Counter("nok_shard_breaker_opens_total", "circuit breaker open transitions across all remote shards")
+
+// breaker is a consecutive-failure circuit breaker. All methods are safe
+// for concurrent use.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	gauge     *obs.Gauge
+
+	mu       sync.Mutex
+	state    int
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight; its outcome decides the state
+}
+
+func newBreaker(shard int, threshold int, cooldown time.Duration) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		gauge: obs.Default.GaugeWithLabels("nok_shard_breaker_state",
+			"per-shard circuit breaker state (0 closed, 1 half-open, 2 open)",
+			map[string]string{"shard": strconv.Itoa(shard)}),
+	}
+}
+
+// admit reports whether a request may proceed. probe marks the single
+// request whose outcome decides a half-open breaker; the caller must
+// report it back through result.
+func (b *breaker) admit() (probe, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return false, true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false, false
+		}
+		b.setState(breakerHalfOpen)
+		b.probing = true
+		return true, true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// result reports the outcome of an admitted request.
+func (b *breaker) result(probe, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+	}
+	if ok {
+		// Any success while closed resets the consecutive-failure count;
+		// a probe success (or a straggler succeeding while half-open)
+		// closes the breaker.
+		b.failures = 0
+		if b.state != breakerClosed {
+			b.setState(breakerClosed)
+		}
+		return
+	}
+	switch b.state {
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.open()
+		}
+	case breakerHalfOpen:
+		if probe {
+			b.open()
+		}
+	case breakerOpen:
+		// Stragglers admitted before the open keep failing; the cooldown
+		// clock is not refreshed, or steady traffic could hold the
+		// breaker open forever.
+	}
+}
+
+func (b *breaker) open() {
+	b.setState(breakerOpen)
+	b.openedAt = time.Now()
+	b.failures = 0
+	mBreakerOpens.Inc()
+}
+
+// reset force-closes the breaker — the background prober calls this when
+// /healthz answers while the breaker is open or half-open.
+func (b *breaker) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	if b.state != breakerClosed {
+		b.setState(breakerClosed)
+	}
+}
+
+// setState must run under mu.
+func (b *breaker) setState(s int) {
+	b.state = s
+	b.gauge.Set(int64(s))
+}
+
+// snapshot returns the current state for health reporting.
+func (b *breaker) snapshot() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -1,0 +1,343 @@
+package remote_test
+
+// chaos_test.go — the system-level chaos sweep (run ×3 under -race in
+// CI). A 4-shard collection is served by four real server.Server
+// processes, each behind a chaosnet proxy whose failure mode flips at
+// runtime. The sweep asserts the guarantees the fault-tolerance stack
+// promises:
+//
+//   - no silently wrong results: a query either errors, is flagged
+//     Degraded with the missing shards named, or equals the single-store
+//     oracle exactly;
+//   - circuit breakers open while a shard is dark and close after heal;
+//   - queries keep answering (bounded latency) while one shard is
+//     black-holed, once the breaker has tripped.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"nok"
+	"nok/internal/chaosnet"
+	"nok/internal/remote"
+	"nok/internal/server"
+	"nok/internal/shard"
+)
+
+// chaosXML: four document kinds so path routing deals one kind per
+// shard; //title touches every shard, //book/title prunes three.
+func chaosXML() string {
+	var b strings.Builder
+	b.WriteString("<corpus>")
+	for i := 0; i < 24; i++ {
+		for _, kind := range []string{"book", "article", "thesis", "report"} {
+			fmt.Fprintf(&b, "<%s><title>%s-%d</title><val>%d</val></%s>", kind, kind, i, i%7, kind)
+		}
+	}
+	b.WriteString("</corpus>")
+	return b.String()
+}
+
+var chaosQueries = []string{`//title`, `//book/title`, `/corpus/report/val`}
+
+type chaosCluster struct {
+	st      *shard.Store
+	oracle  *nok.Store
+	proxies []*chaosnet.Proxy
+}
+
+// newChaosCluster serves every shard of a 4-way path-routed collection
+// through its own server.Server behind its own chaos proxy, and opens a
+// coordinator tuned for fast failure detection.
+func newChaosCluster(t *testing.T, rcfg remote.Config) *chaosCluster {
+	t.Helper()
+	xml := chaosXML()
+	base := t.TempDir()
+	oracle, err := nok.Create(filepath.Join(base, "oracle"), strings.NewReader(xml), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { oracle.Close() })
+
+	dir := filepath.Join(base, "coll")
+	created, err := shard.Create(dir, strings.NewReader(xml), &shard.Options{Shards: 4, Strategy: shard.StrategyPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	created.Close()
+
+	c := &chaosCluster{oracle: oracle}
+	addrs := make([]string, 4)
+	for s := 0; s < 4; s++ {
+		sub, err := nok.Open(filepath.Join(dir, fmt.Sprintf("shard-%04d", s)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.NewBackend(sub, server.Config{CacheEntries: -1})
+		ts := httptest.NewServer(srv)
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		})
+		p, err := chaosnet.NewProxy(strings.TrimPrefix(ts.URL, "http://"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = p.Close() })
+		c.proxies = append(c.proxies, p)
+		addrs[s] = p.URL()
+	}
+	if err := shard.SetShardAddrs(dir, addrs); err != nil {
+		t.Fatal(err)
+	}
+	c.st, err = shard.OpenWithOptions(dir, &shard.OpenOptions{Remote: &rcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.st.Close() })
+	return c
+}
+
+// fastChaos: failures are detected in ~100ms, breakers trip after 2
+// misses and probe every 50ms.
+func fastChaos() remote.Config {
+	return remote.Config{
+		AttemptTimeout:   400 * time.Millisecond,
+		MaxRetries:       1,
+		RetryBase:        5 * time.Millisecond,
+		RetryMax:         20 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+		ProbeInterval:    50 * time.Millisecond,
+	}
+}
+
+// checkOracle asserts a non-degraded answer is byte-identical to the
+// single store's.
+func (c *chaosCluster) checkOracle(t *testing.T, expr string, got []nok.Result, stats *nok.QueryStats) {
+	t.Helper()
+	if stats != nil && stats.Degraded {
+		t.Fatalf("%s: checkOracle on a degraded answer", expr)
+	}
+	want, err := c.oracle.Query(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, oracle has %d — a short answer was not flagged", expr, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: result %d differs: %+v vs oracle %+v", expr, i, got[i], want[i])
+		}
+	}
+}
+
+// checkDegradedSubset asserts a degraded answer is a correct subset of
+// the oracle: nothing invented, missing shards named.
+func (c *chaosCluster) checkDegradedSubset(t *testing.T, expr string, got []nok.Result, stats *nok.QueryStats, wantMissing []int) {
+	t.Helper()
+	if !stats.Degraded {
+		t.Fatalf("%s: answer not flagged degraded", expr)
+	}
+	miss := append([]int(nil), stats.MissingShards...)
+	sort.Ints(miss)
+	if fmt.Sprint(miss) != fmt.Sprint(wantMissing) {
+		t.Fatalf("%s: missing shards %v, want %v", expr, miss, wantMissing)
+	}
+	full, err := c.oracle.Query(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(map[nok.Result]bool, len(full))
+	for _, r := range full {
+		in[r] = true
+	}
+	for _, r := range got {
+		if !in[r] {
+			t.Fatalf("%s: degraded answer invented result %+v", expr, r)
+		}
+	}
+}
+
+// waitBreaker polls the coordinator's health until the given shard's
+// breaker reaches state (driving traffic if drive is set).
+func (c *chaosCluster) waitBreaker(t *testing.T, s int, state string, drive bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if drive {
+			_, _, _ = c.st.QueryWithOptions(`//title`, &nok.QueryOptions{AllowPartial: true})
+		}
+		for _, h := range c.st.Health() {
+			if h.Shard == s && h.Breaker == state {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard %d breaker never reached %q: %+v", s, state, c.st.Health())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestChaosBlackhole(t *testing.T) {
+	c := newChaosCluster(t, fastChaos())
+
+	// Healthy cluster: every query equals the oracle.
+	for _, q := range chaosQueries {
+		rs, stats, err := c.st.QueryWithOptions(q, nil)
+		if err != nil {
+			t.Fatalf("healthy %s: %v", q, err)
+		}
+		c.checkOracle(t, q, rs, stats)
+	}
+
+	// Black-hole shard 2. Fail-fast path: typed unavailability, never a
+	// short answer.
+	c.proxies[2].SetMode(chaosnet.ModeBlackhole)
+	_, _, err := c.st.QueryWithOptions(`//title`, nil)
+	if !errors.Is(err, nok.ErrShardUnavailable) {
+		t.Fatalf("blackholed query: got %v, want ErrShardUnavailable", err)
+	}
+
+	// Opt-in path: degraded subset with the missing shard named.
+	rs, stats, err := c.st.QueryWithOptions(`//title`, &nok.QueryOptions{AllowPartial: true})
+	if err != nil {
+		t.Fatalf("partial query: %v", err)
+	}
+	c.checkDegradedSubset(t, `//title`, rs, stats, []int{2})
+
+	// The breaker opens under traffic…
+	c.waitBreaker(t, 2, "open", true)
+
+	// …and with it open, queries answer fast: the dead shard costs a
+	// breaker rejection, not an attempt timeout. p50 over 9 runs must be
+	// far under the 400ms attempt timeout.
+	durs := make([]time.Duration, 0, 9)
+	for i := 0; i < 9; i++ {
+		t0 := time.Now()
+		_, stats, err := c.st.QueryWithOptions(`//title`, &nok.QueryOptions{AllowPartial: true})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !stats.Degraded {
+			t.Fatalf("run %d: not degraded while shard 2 is dark", i)
+		}
+		durs = append(durs, time.Since(t0))
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	if p50 := durs[len(durs)/2]; p50 > 200*time.Millisecond {
+		t.Errorf("p50 %v with an open breaker; want well under the 400ms attempt timeout", p50)
+	}
+
+	// Heal. The prober notices and force-closes the breaker without
+	// waiting for query traffic; full answers resume.
+	c.proxies[2].SetMode(chaosnet.ModePass)
+	c.waitBreaker(t, 2, "closed", false)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rs, stats, err := c.st.QueryWithOptions(`//title`, nil)
+		if err == nil && !stats.Degraded {
+			c.checkOracle(t, `//title`, rs, stats)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never healed: err=%v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosTruncate: a proxy that cuts responses mid-stream must never
+// produce a silently short result set — the end-frame check turns the
+// cut into a retryable failure and, with retries exhausted, into typed
+// unavailability or a flagged degraded answer.
+func TestChaosTruncate(t *testing.T) {
+	c := newChaosCluster(t, fastChaos())
+	c.proxies[1].SetMode(chaosnet.ModeTruncate)
+	c.proxies[1].SetTruncateBytes(80)
+
+	for i := 0; i < 5; i++ {
+		rs, stats, err := c.st.QueryWithOptions(`//title`, nil)
+		if err != nil {
+			if !errors.Is(err, nok.ErrShardUnavailable) {
+				t.Fatalf("truncated query error: %v", err)
+			}
+			continue
+		}
+		// A success must be the complete answer.
+		c.checkOracle(t, `//title`, rs, stats)
+	}
+	rs, stats, err := c.st.QueryWithOptions(`//title`, &nok.QueryOptions{AllowPartial: true})
+	if err != nil {
+		t.Fatalf("partial under truncation: %v", err)
+	}
+	if stats.Degraded {
+		c.checkDegradedSubset(t, `//title`, rs, stats, []int{1})
+	} else {
+		c.checkOracle(t, `//title`, rs, stats)
+	}
+
+	c.proxies[1].SetMode(chaosnet.ModePass)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rs, stats, err := c.st.QueryWithOptions(`//title`, nil)
+		if err == nil && !stats.Degraded {
+			c.checkOracle(t, `//title`, rs, stats)
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never healed after truncation: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosReset: immediate connection resets are the cheap failure —
+// detected in microseconds, handled identically.
+func TestChaosReset(t *testing.T) {
+	c := newChaosCluster(t, fastChaos())
+	c.proxies[3].SetMode(chaosnet.ModeReset)
+
+	if _, _, err := c.st.QueryWithOptions(`//title`, nil); !errors.Is(err, nok.ErrShardUnavailable) {
+		t.Fatalf("reset query: got %v, want ErrShardUnavailable", err)
+	}
+	rs, stats, err := c.st.QueryWithOptions(`//title`, &nok.QueryOptions{AllowPartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.checkDegradedSubset(t, `//title`, rs, stats, []int{3})
+	c.waitBreaker(t, 3, "open", true)
+
+	c.proxies[3].SetMode(chaosnet.ModePass)
+	c.waitBreaker(t, 3, "closed", false)
+}
+
+// TestChaosLatency: latency alone (inside the attempt timeout) degrades
+// nothing — answers stay complete and correct.
+func TestChaosLatency(t *testing.T) {
+	c := newChaosCluster(t, fastChaos())
+	c.proxies[0].SetMode(chaosnet.ModeLatency)
+	c.proxies[0].SetLatency(100 * time.Millisecond)
+
+	for _, q := range chaosQueries {
+		rs, stats, err := c.st.QueryWithOptions(q, nil)
+		if err != nil {
+			t.Fatalf("%s under latency: %v", q, err)
+		}
+		if stats.Degraded {
+			t.Fatalf("%s: slow-but-alive shard marked degraded", q)
+		}
+		c.checkOracle(t, q, rs, stats)
+	}
+}

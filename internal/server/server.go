@@ -13,13 +13,14 @@
 //
 // Endpoints:
 //
-//	GET    /query?q=EXPR[&strategy=S][&limit=N][&timeout=D][&stats=1]
+//	GET    /query?q=EXPR[&strategy=S][&limit=N][&timeout=D][&stats=1][&partial=0|1]
+//	GET    /scatter?q=EXPR[&strategy=S][&planner=0][&pageskip=0][&parallel=0]   (binary)
 //	GET    /explain?q=EXPR[&analyze=1]
 //	GET    /plan?q=EXPR
 //	GET    /value/{id}
 //	POST   /insert?parent=ID   (XML fragment in the body)
 //	DELETE /node/{id}
-//	GET    /stats
+//	GET    /stats[?tag=NAME][&top=N]
 //	GET    /metrics[?exemplars=1]
 //	GET    /healthz[?deep=1]
 //	GET    /debug/queries[?n=N]
@@ -46,9 +47,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -76,6 +79,10 @@ var (
 	mTimeouts     = obs.Default.Counter("nokserve_deadline_exceeded_total", "queries that hit their deadline (HTTP 504)")
 	mMutations    = obs.Default.Counter("nokserve_mutations_total", "insert/delete requests applied")
 	mDegraded     = obs.Default.Gauge("nokserve_degraded", "1 while the server refuses mutations after a failed verification or update")
+	mPanics       = obs.Default.Counter("nok_panics_total", "handler panics recovered into 500 responses")
+	mQueryTimeout = obs.Default.Counter("nok_query_timeouts_total", "queries that hit their per-query deadline (HTTP 504)")
+	mShardUnavail = obs.Default.Counter("nokserve_shard_unavailable_total", "queries refused with 503 because a required shard was unreachable")
+	mPartial      = obs.Default.Counter("nokserve_degraded_results_total", "queries answered with degraded partial results")
 )
 
 // Config tunes the service; zero values select the documented defaults.
@@ -96,6 +103,11 @@ type Config struct {
 	// default: profile endpoints expose timing side-channels and can be
 	// heavy, so they are opt-in (nokserve -debug).
 	EnablePprof bool
+	// AllowPartial makes degraded partial results the default for /query
+	// against a sharded backend with unreachable shards (still
+	// overridable per request with ?partial=0/1). Off by default:
+	// completeness beats availability unless the operator says otherwise.
+	AllowPartial bool
 }
 
 func (c Config) withDefaults() Config {
@@ -151,6 +163,29 @@ type MVCCReporter interface {
 	MVCC() nok.MVCCInfo
 }
 
+// TagCounter is an optional Backend refinement answering /stats?tag=NAME
+// — remote coordinators use it to read one tag's cardinality without
+// shipping the whole synopsis.
+type TagCounter interface {
+	TagCount(name string) uint64
+}
+
+// HealthReporter is an optional Backend refinement: sharded backends
+// report per-shard availability (address, prober verdict, breaker state,
+// last epoch) that /stats exposes for operators and the chaos tests.
+type HealthReporter interface {
+	Health() []nok.ShardHealth
+}
+
+// ProvableEmptier is an optional Backend refinement the /scatter handler
+// uses for server-side pruning: a shard that can prove from its
+// statistics synopsis that a pattern cannot match returns a pruned frame
+// without evaluating, so coordinator-side pruning costs no extra round
+// trip.
+type ProvableEmptier interface {
+	ProvablyEmpty(expr string) (bool, string, error)
+}
+
 // Server wraps an open store behind HTTP. It implements http.Handler;
 // wire it into an http.Server (see cmd/nokserve) or httptest for tests.
 type Server struct {
@@ -190,6 +225,7 @@ func NewBackend(store Backend, cfg Config) *Server {
 		mux:   http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("GET /scatter", s.handleScatter)
 	s.mux.HandleFunc("GET /explain", s.handleExplain)
 	s.mux.HandleFunc("GET /plan", s.handlePlan)
 	s.mux.HandleFunc("GET /value/{id}", s.handleValue)
@@ -229,12 +265,47 @@ func (s *Server) Degraded() (bool, string) {
 	return s.degradedReason != "", s.degradedReason
 }
 
-// ServeHTTP dispatches to the endpoint handlers.
+// ServeHTTP dispatches to the endpoint handlers through the
+// panic-recovery middleware: an evaluator panic becomes a 500 with a
+// logged stack and a nok_panics_total tick instead of killing the whole
+// process (one bad query must not take down the shard for everyone).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	begin := time.Now()
 	mRequests.Inc()
-	s.mux.ServeHTTP(w, r)
-	mReqSeconds.Observe(time.Since(begin).Seconds())
+	rw := &trackingWriter{ResponseWriter: w}
+	defer func() {
+		if p := recover(); p != nil {
+			if p == http.ErrAbortHandler {
+				// net/http's own sentinel for deliberately aborted
+				// responses; suppressing it would hide client aborts.
+				panic(p)
+			}
+			mPanics.Inc()
+			log.Printf("nokserve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			if !rw.wrote {
+				writeError(rw, http.StatusInternalServerError, "internal error: %v", p)
+			}
+		}
+		mReqSeconds.Observe(time.Since(begin).Seconds())
+	}()
+	s.mux.ServeHTTP(rw, r)
+}
+
+// trackingWriter records whether a handler already started its response,
+// so the panic recovery knows whether a 500 can still be written.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *trackingWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *trackingWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // Shutdown drains the server: new requests are refused (503 on /healthz,
@@ -290,13 +361,19 @@ type resultJSON struct {
 }
 
 type queryResponse struct {
-	Query     string          `json:"query"`
-	Count     int             `json:"count"`
-	Results   []resultJSON    `json:"results"`
-	Truncated bool            `json:"truncated,omitempty"`
-	Cached    bool            `json:"cached"`
-	ElapsedMS float64         `json:"elapsed_ms"`
-	Stats     *nok.QueryStats `json:"stats,omitempty"`
+	Query     string       `json:"query"`
+	Count     int          `json:"count"`
+	Results   []resultJSON `json:"results"`
+	Truncated bool         `json:"truncated,omitempty"`
+	Cached    bool         `json:"cached"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+	// Degraded marks a partial answer: the listed shards were
+	// unreachable and their rows are missing (the rows present are
+	// correct). Only set when the request opted in via ?partial=1 or the
+	// server's -allow-partial default.
+	Degraded      bool            `json:"degraded,omitempty"`
+	MissingShards []int           `json:"missing_shards,omitempty"`
+	Stats         *nok.QueryStats `json:"stats,omitempty"`
 }
 
 type errorResponse struct {
@@ -378,6 +455,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			timeout = d
 		}
 	}
+	// ?partial=1 opts this request into degraded partial results when a
+	// shard is unreachable (?partial=0 opts out of a permissive server
+	// default). Meaningless against a single-store backend.
+	partial := s.cfg.AllowPartial
+	if v := r.FormValue("partial"); v != "" {
+		partial = v != "0"
+	}
 
 	begin := time.Now()
 	// The fingerprint is read before evaluation: if a mutation lands while
@@ -412,7 +496,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.pool.release()
 
-	results, stats, err := s.store.QueryWithOptionsContext(ctx, expr, &nok.QueryOptions{Strategy: strat})
+	results, stats, err := s.store.QueryWithOptionsContext(ctx, expr, &nok.QueryOptions{Strategy: strat, AllowPartial: partial})
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
@@ -420,7 +504,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if stats != nil && stats.QueryID != 0 {
 		w.Header().Set("X-Nok-Query-Id", strconv.FormatUint(stats.QueryID, 10))
 	}
-	if fp != "" {
+	if fp != "" && (stats == nil || !stats.Degraded) {
+		// Degraded answers are never cached: they are correct only for
+		// the moment their shards were down, and serving them after the
+		// missing shard heals would silently drop its rows.
 		s.cache.put(key, results, stats)
 	}
 	s.respondQuery(w, r, expr, results, stats, false, limit, time.Since(begin))
@@ -444,13 +531,22 @@ func (s *Server) fingerprint(expr string) string {
 }
 
 // writeQueryError maps evaluation/admission errors to HTTP statuses.
+// The shard-unavailable case is checked before the deadline case on
+// purpose: the typed unavailability error can wrap an attempt-level
+// deadline from the remote client's retry loop, and "a shard is down"
+// is the actionable half of that story.
 func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, nok.ErrShardUnavailable):
+		mShardUnavail.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, context.DeadlineExceeded):
 		mTimeouts.Inc()
+		mQueryTimeout.Inc()
 		writeError(w, http.StatusGatewayTimeout, "query deadline exceeded")
 	case errors.Is(err, context.Canceled):
 		// The client is gone; nobody reads this response. 499 is the
@@ -468,6 +564,11 @@ func (s *Server) respondQuery(w http.ResponseWriter, r *http.Request, expr strin
 		Count:     len(results),
 		Cached:    cached,
 		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+	}
+	if stats != nil && stats.Degraded {
+		mPartial.Inc()
+		resp.Degraded = true
+		resp.MissingShards = stats.MissingShards
 	}
 	shown := results
 	if limit >= 0 && limit < len(results) {
@@ -648,6 +749,12 @@ type statsResponse struct {
 	Epoch      uint64            `json:"epoch"`
 	MVCC       *nok.MVCCInfo     `json:"mvcc,omitempty"`
 	Synopsis   *nok.SynopsisInfo `json:"synopsis,omitempty"`
+	// TagCount answers ?tag=NAME: the number of nodes with that tag.
+	TagCount *uint64 `json:"tag_count,omitempty"`
+	// Shards reports per-shard availability for sharded backends —
+	// remote shards carry their address, prober verdict, breaker state
+	// and last observed epoch.
+	Shards     []nok.ShardHealth `json:"shards,omitempty"`
 	Workers    int               `json:"workers"`
 	QueueDepth int               `json:"queue_depth"`
 	Inflight   int64             `json:"inflight"`
@@ -668,7 +775,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.wg.Done()
 
-	syn := s.store.Synopsis(0)
+	top := 0
+	if v := r.FormValue("top"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			top = n
+		}
+	}
+	syn := s.store.Synopsis(top)
 	resp := statsResponse{
 		Version:    buildinfo.String(),
 		Store:      s.store.Stats(),
@@ -684,6 +797,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if m, ok := s.store.(MVCCReporter); ok {
 		info := m.MVCC()
 		resp.MVCC = &info
+	}
+	if tag := r.FormValue("tag"); tag != "" {
+		if tc, ok := s.store.(TagCounter); ok {
+			n := tc.TagCount(tag)
+			resp.TagCount = &n
+		}
+	}
+	if hr, ok := s.store.(HealthReporter); ok {
+		resp.Shards = hr.Health()
 	}
 	resp.Cache.Entries = s.cache.len()
 	resp.Cache.Capacity = s.cfg.CacheEntries

@@ -3,8 +3,10 @@ package shard
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -13,14 +15,17 @@ import (
 	"nok/internal/dewey"
 	"nok/internal/obs"
 	"nok/internal/pattern"
+	"nok/internal/remote"
 	"nok/internal/telemetry"
 )
 
 // Scatter-gather metrics, exposed through the default obs registry.
 var (
-	mScatterQueries = obs.Default.Counter("nok_shard_queries_total", "queries evaluated by the scatter-gather executor")
-	mShardSkipped   = obs.Default.Counter("nok_shard_skipped_total", "shards skipped because statistics proved them empty for a query")
-	mShardFanout    = obs.Default.Counter("nok_shard_fanout_total", "per-shard query executions issued by the scatter-gather executor")
+	mScatterQueries   = obs.Default.Counter("nok_shard_queries_total", "queries evaluated by the scatter-gather executor")
+	mShardSkipped     = obs.Default.Counter("nok_shard_skipped_total", "shards skipped because statistics proved them empty for a query")
+	mShardFanout      = obs.Default.Counter("nok_shard_fanout_total", "per-shard query executions issued by the scatter-gather executor")
+	mShardUnavailable = obs.Default.Counter("nok_shard_unavailable_total", "per-shard scatter attempts that found the shard unreachable")
+	mShardDegraded    = obs.Default.Counter("nok_shard_degraded_queries_total", "queries answered with degraded partial results (missing shards)")
 )
 
 // Query evaluates a path expression across all shards and returns matches
@@ -58,6 +63,9 @@ func (st *Store) QueryAnalyze(expr string, opts *nok.QueryOptions) ([]nok.Result
 	root := tr.Root()
 	root.Set("shards", st.man.Shards)
 	root.Set("results", len(rs))
+	if stats.Degraded {
+		root.Set("degraded", fmt.Sprintf("missing shards %v", stats.MissingShards))
+	}
 	return rs, stats, tr.String(), nil
 }
 
@@ -74,33 +82,38 @@ func (st *Store) scatter(ctx context.Context, expr string, opts *nok.QueryOption
 		return nil, nil, err
 	}
 
-	// Pin a consistent cut of the collection: every shard's current MVCC
-	// snapshot plus a private copy of the manifest, taken under the lock
-	// mutations hold exclusively. Everything after runs without any
-	// store-level lock — pruning, evaluation, and Dewey remapping all
-	// observe the pinned epochs, and writers never wait for the scatter.
+	// Pin a read view of the collection plus a private copy of the
+	// manifest, taken under the lock mutations hold exclusively. For local
+	// shards the view is the current MVCC snapshot, so the local side of a
+	// query is a consistent cut; remote shards pin nothing here — each
+	// remote process evaluates against its own committed snapshot (see
+	// docs/FAULT_TOLERANCE.md for the weaker cross-process consistency).
+	// Everything after runs without any store-level lock — pruning,
+	// evaluation, and Dewey remapping all observe the pinned views, and
+	// writers never wait for the scatter.
 	st.mu.RLock()
 	if st.closed {
 		st.mu.RUnlock()
 		return nil, nil, ErrClosed
 	}
 	man := st.man.clone()
-	snaps := make([]*nok.Snapshot, len(st.shards))
+	hasRemote := st.remote
+	views := make([]View, len(st.shards))
 	for s, sub := range st.shards {
-		snap, serr := sub.Snapshot()
+		v, serr := sub.View()
 		if serr != nil {
-			for _, sn := range snaps[:s] {
-				sn.Release()
+			for _, pv := range views[:s] {
+				pv.Release()
 			}
 			st.mu.RUnlock()
 			return nil, nil, fmt.Errorf("shard %d: %w", s, serr)
 		}
-		snaps[s] = snap
+		views[s] = v
 	}
 	st.mu.RUnlock()
 	defer func() {
-		for _, sn := range snaps {
-			sn.Release()
+		for _, v := range views {
+			v.Release()
 		}
 	}()
 
@@ -115,27 +128,11 @@ func (st *Store) scatter(ctx context.Context, expr string, opts *nok.QueryOption
 		stats.Requested = opts.Strategy
 	}
 
-	// Prune: per-shard statistics prove some shards cannot contribute.
-	live := make([]int, 0, n)
-	for s := 0; s < n; s++ {
-		empty, reason, perr := snaps[s].ProvablyEmpty(expr)
-		if perr != nil {
-			return nil, nil, fmt.Errorf("shard %d: %w", s, perr)
-		}
-		if empty {
-			mShardSkipped.Inc()
-			stats.Shards[s] = core.ShardTiming{Shard: s, Skipped: true, SkipReason: reason}
-			if tr != nil {
-				sp := tr.Start(fmt.Sprintf("shard %d", s))
-				sp.Set("pruned", reason)
-				sp.End()
-			}
-			continue
-		}
-		live = append(live, s)
-	}
-
-	// Scatter the live shards on a bounded pool.
+	// Scatter on a bounded pool. Each view applies its shard's own
+	// statistics-based pruning (locally via ProvablyEmpty, remotely inside
+	// the /scatter handler, so pruning never costs an extra round trip).
+	// CPU-bound local fan-out is bounded by GOMAXPROCS; once remote shards
+	// participate the work is network-bound and every shard flies at once.
 	base := ctx
 	if base == nil {
 		base = context.Background()
@@ -143,18 +140,20 @@ func (st *Store) scatter(ctx context.Context, expr string, opts *nok.QueryOption
 	qctx, cancel := context.WithCancel(base)
 	defer cancel()
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(live) {
-		workers = len(live)
+	if hasRemote || workers > n {
+		workers = n
 	}
 	sem := make(chan struct{}, max(workers, 1))
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		downErr  error // last remote-unavailability cause
+		missing  []int // shards that were unreachable
 	)
 	perShard := make([]shardResult, n)
 	shardStats := make([]*nok.QueryStats, n)
-	for _, s := range live {
+	for s := 0; s < n; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
@@ -165,24 +164,41 @@ func (st *Store) scatter(ctx context.Context, expr string, opts *nok.QueryOption
 			}
 			mShardFanout.Inc()
 			t0 := time.Now()
-			rs, qs, err := snaps[s].QueryWithOptionsContext(qctx, expr, opts)
+			res, err := views[s].Scatter(qctx, expr, opts)
 			dur := time.Since(t0)
 			var sr shardResult
-			if err == nil {
-				sr, err = remapResults(man, s, rs)
+			if err == nil && !res.Pruned {
+				sr, err = remapResults(man, s, res.Results)
 			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
+				if errors.Is(err, remote.ErrUnavailable) {
+					// The shard is down, not the query wrong: record it
+					// and let the gather decide between degraded partial
+					// results and a typed failure. The other shards keep
+					// running either way — their results are needed for
+					// the degraded answer.
+					mShardUnavailable.Inc()
+					missing = append(missing, s)
+					downErr = err
+					stats.Shards[s] = core.ShardTiming{Shard: s, Duration: dur, Unavailable: true}
+					return
+				}
 				if firstErr == nil {
 					firstErr = fmt.Errorf("shard %d: %w", s, err)
 					cancel()
 				}
 				return
 			}
+			if res.Pruned {
+				mShardSkipped.Inc()
+				stats.Shards[s] = core.ShardTiming{Shard: s, Skipped: true, SkipReason: res.Reason}
+				return
+			}
 			perShard[s] = sr
-			shardStats[s] = qs
-			stats.Shards[s] = core.ShardTiming{Shard: s, Duration: dur, Results: len(rs)}
+			shardStats[s] = res.Stats
+			stats.Shards[s] = core.ShardTiming{Shard: s, Duration: dur, Results: len(res.Results)}
 		}(s)
 	}
 	wg.Wait()
@@ -192,10 +208,22 @@ func (st *Store) scatter(ctx context.Context, expr string, opts *nok.QueryOption
 	if firstErr != nil {
 		return nil, nil, firstErr
 	}
+	if len(missing) > 0 {
+		sort.Ints(missing)
+		if opts == nil || !opts.AllowPartial {
+			// Correctness requires every un-pruned shard; without the
+			// partial-results opt-in a missing one fails the query fast
+			// with the typed sentinel the server maps to 503.
+			return nil, nil, &UnavailableError{Shards: missing, Err: downErr}
+		}
+		mShardDegraded.Inc()
+		stats.Degraded = true
+		stats.MissingShards = missing
+	}
 
 	// Aggregate per-shard statistics; StrategyUsed/Partitions describe the
 	// first live shard (the pattern partitions identically everywhere).
-	for _, s := range live {
+	for s := 0; s < n; s++ {
 		qs := shardStats[s]
 		if qs == nil {
 			continue
@@ -217,13 +245,20 @@ func (st *Store) scatter(ctx context.Context, expr string, opts *nok.QueryOption
 		stats.Parallel = stats.Parallel || qs.Parallel
 	}
 	if tr != nil {
-		for _, s := range live {
+		for s := 0; s < n; s++ {
 			sp := tr.Start(fmt.Sprintf("shard %d", s))
-			sp.Set("took", stats.Shards[s].Duration.Round(time.Microsecond).String())
-			sp.Set("results", stats.Shards[s].Results)
-			if qs := shardStats[s]; qs != nil {
-				sp.Set("pages-scanned", qs.PagesScanned)
-				sp.Set("pages-skipped", qs.PagesSkipped)
+			switch {
+			case stats.Shards[s].Unavailable:
+				sp.Set("unavailable", true)
+			case stats.Shards[s].Skipped:
+				sp.Set("pruned", stats.Shards[s].SkipReason)
+			default:
+				sp.Set("took", stats.Shards[s].Duration.Round(time.Microsecond).String())
+				sp.Set("results", stats.Shards[s].Results)
+				if qs := shardStats[s]; qs != nil {
+					sp.Set("pages-scanned", qs.PagesScanned)
+					sp.Set("pages-skipped", qs.PagesSkipped)
+				}
 			}
 			sp.End()
 		}

@@ -214,7 +214,10 @@ func (st *Store) Generation() uint64 {
 // fingerprint unchanged, so cached results for unrelated shards survive
 // writes elsewhere. Each shard is judged on a pinned snapshot, so the
 // pruning decision and the epoch it is keyed on describe the same committed
-// state. Returns "" (uncachable) for expressions the executor would refuse.
+// state. Remote shards are keyed on the client's last observed epoch — a
+// deliberate bounded-staleness trade-off (at most one health-probe
+// interval behind); with no epoch observed yet the query is uncachable.
+// Returns "" (uncachable) for expressions the executor would refuse.
 func (st *Store) CacheFingerprint(expr string) string {
 	st.mu.RLock()
 	if st.closed {
@@ -233,18 +236,24 @@ func (st *Store) CacheFingerprint(expr string) string {
 	}
 	var b strings.Builder
 	for s, sub := range shards {
-		snap, err := sub.Snapshot()
+		v, err := sub.View()
 		if err != nil {
 			return ""
 		}
-		empty, _, perr := snap.ProvablyEmpty(expr)
-		epoch := snap.Epoch()
-		snap.Release()
+		empty, _, perr := v.ProvablyEmpty(expr)
+		epoch := v.Epoch()
+		v.Release()
 		if perr != nil {
 			return ""
 		}
 		if empty {
 			continue
+		}
+		if epoch == 0 {
+			// A remote shard whose epoch the client has never observed:
+			// there is no state to key a cached answer on, so the query
+			// is uncachable until the first response or probe lands.
+			return ""
 		}
 		if b.Len() > 0 {
 			b.WriteByte('|')
@@ -269,7 +278,10 @@ func (st *Store) MVCC() nok.MVCCInfo {
 		return out
 	}
 	for _, sub := range st.shards {
-		mi := sub.MVCC()
+		mi, ok := sub.MVCC()
+		if !ok {
+			continue
+		}
 		if mi.Epoch > out.Epoch {
 			out.Epoch = mi.Epoch
 		}

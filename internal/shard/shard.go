@@ -31,6 +31,8 @@ import (
 	"sync"
 
 	"nok"
+	"nok/internal/core"
+	"nok/internal/remote"
 )
 
 // Strategy selects how top-level documents are routed to shards.
@@ -72,6 +74,13 @@ type Manifest struct {
 	// names are dealt round-robin in order of first appearance, so up to
 	// Shards distinct names never share a shard.
 	Routes map[string]int `json:"routes,omitempty"`
+	// Addrs optionally places shards on remote nokserve processes: a
+	// non-empty Addrs[s] is the base URL (e.g. "http://10.0.0.7:8080")
+	// of the process serving shard s's store, and Open builds a
+	// fault-tolerant network client for it instead of opening
+	// shard-NNNN/ locally. Empty entries (or a missing table) stay
+	// local. Edited offline with SetShardAddrs (nokload -addrs).
+	Addrs []string `json:"addrs,omitempty"`
 }
 
 // Options configure Create.
@@ -98,12 +107,34 @@ type Store struct {
 	// per-shard stores, whose own locks serialize against shard mutations.
 	mu     sync.RWMutex
 	man    *Manifest
-	shards []*nok.Store
+	shards []Backend
 	closed bool
+	// remote reports that at least one backend is a network client; the
+	// scatter pool then sizes itself for I/O-bound fan-out instead of
+	// CPU-bound evaluation.
+	remote bool
 }
 
 // ErrClosed is returned by Store methods called after Close.
 var ErrClosed = errors.New("shard: store is closed")
+
+// UnavailableError reports a scatter that could not be answered
+// completely: the listed shards were unreachable after retries (or their
+// circuit breakers were open) and the caller did not opt into degraded
+// partial results. It matches errors.Is(err, core.ErrShardUnavailable)
+// (aliased as nok.ErrShardUnavailable); the HTTP server maps it to 503.
+type UnavailableError struct {
+	// Shards lists the unreachable shard indexes, ascending.
+	Shards []int
+	// Err is the last underlying transport failure.
+	Err error
+}
+
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("shard: shards %v unavailable: %v", e.Shards, e.Err)
+}
+func (e *UnavailableError) Is(target error) bool { return target == core.ErrShardUnavailable }
+func (e *UnavailableError) Unwrap() error        { return e.Err }
 
 // IsSharded reports whether dir holds a sharded collection (a SHARDS
 // manifest), letting callers pick between nok.Open and shard.Open.
@@ -149,14 +180,14 @@ func Create(dir string, xml io.Reader, o *Options) (*Store, error) {
 		Assign:    sp.assign,
 		Routes:    sp.routes,
 	}
-	st := &Store{dir: dir, man: man, shards: make([]*nok.Store, n)}
+	st := &Store{dir: dir, man: man, shards: make([]Backend, n)}
 	for s := 0; s < n; s++ {
 		sub, err := nok.Create(shardDir(dir, s), &sp.docs[s], storeOpts)
 		if err != nil {
 			st.cleanup(s)
 			return nil, fmt.Errorf("shard %d: %w", s, err)
 		}
-		st.shards[s] = sub
+		st.shards[s] = localBackend{sub}
 	}
 	if err := saveManifest(dir, man); err != nil {
 		st.cleanup(n)
@@ -187,24 +218,108 @@ func CreateFromFile(dir, xmlPath string, o *Options) (*Store, error) {
 	return Create(dir, f, o)
 }
 
-// Open attaches to a sharded collection created by Create.
+// OpenOptions configure OpenWithOptions.
+type OpenOptions struct {
+	// Store passes through to each locally opened per-shard nok store.
+	Store *nok.Options
+	// Remote tunes the fault-tolerance stack of the network clients built
+	// for shards the manifest places on remote addresses (nil selects the
+	// remote package's defaults).
+	Remote *remote.Config
+}
+
+// Open attaches to a sharded collection created by Create. Shards the
+// manifest places on remote addresses are reached through fault-tolerant
+// network clients; the rest open locally.
 func Open(dir string, opts *nok.Options) (*Store, error) {
+	return OpenWithOptions(dir, &OpenOptions{Store: opts})
+}
+
+// OpenWithOptions is Open with control over the remote-client
+// configuration.
+func OpenWithOptions(dir string, o *OpenOptions) (*Store, error) {
+	if o == nil {
+		o = &OpenOptions{}
+	}
+	var rcfg remote.Config
+	if o.Remote != nil {
+		rcfg = *o.Remote
+	}
 	man, err := loadManifest(dir)
 	if err != nil {
 		return nil, err
 	}
-	st := &Store{dir: dir, man: man, shards: make([]*nok.Store, man.Shards)}
+	st := &Store{dir: dir, man: man, shards: make([]Backend, man.Shards)}
 	for s := 0; s < man.Shards; s++ {
-		sub, err := nok.Open(shardDir(dir, s), opts)
+		if addr := man.addr(s); addr != "" {
+			st.shards[s] = remoteBackend{remote.New(addr, s, rcfg)}
+			st.remote = true
+			continue
+		}
+		sub, err := nok.Open(shardDir(dir, s), o.Store)
 		if err != nil {
 			for i := 0; i < s; i++ {
 				_ = st.shards[i].Close()
 			}
 			return nil, fmt.Errorf("shard %d: %w", s, err)
 		}
-		st.shards[s] = sub
+		st.shards[s] = localBackend{sub}
 	}
 	return st, nil
+}
+
+// addr returns shard s's remote base URL, "" for local shards.
+func (m *Manifest) addr(s int) string {
+	if s < len(m.Addrs) {
+		return m.Addrs[s]
+	}
+	return ""
+}
+
+// SetShardAddrs rewrites the manifest's address table: addrs[s] == ""
+// keeps shard s local, anything else is the base URL of the nokserve
+// process serving it. The collection must not be open for writing while
+// the manifest is edited. Pass nil to make every shard local again.
+func SetShardAddrs(dir string, addrs []string) error {
+	man, err := loadManifest(dir)
+	if err != nil {
+		return err
+	}
+	if addrs != nil && len(addrs) != man.Shards {
+		return fmt.Errorf("shard: %d addresses for %d shards", len(addrs), man.Shards)
+	}
+	all := true
+	for _, a := range addrs {
+		if a != "" {
+			all = false
+		}
+	}
+	if all {
+		addrs = nil
+	}
+	man.Addrs = addrs
+	return saveManifest(dir, man)
+}
+
+// Health reports each shard's availability as the coordinator sees it:
+// local shards are healthy by construction (a broken local shard fails
+// Open), remote shards report the prober's verdict, the breaker state and
+// the last observed epoch.
+func (st *Store) Health() []nok.ShardHealth {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]nok.ShardHealth, len(st.shards))
+	for s, sub := range st.shards {
+		h := nok.ShardHealth{Shard: s, Healthy: !st.closed, Epoch: sub.Epoch()}
+		if r, ok := sub.(health); ok {
+			h.Remote = true
+			h.Addr = r.Addr()
+			h.Healthy = r.Healthy()
+			h.Breaker = r.BreakerState()
+		}
+		out[s] = h
+	}
+	return out
 }
 
 // Close closes every shard, draining their in-flight queries. The first
@@ -217,7 +332,23 @@ func (st *Store) Close() error {
 	}
 	st.closed = true
 	var first error
+	// Remote backends close first: closing a remote client aborts its
+	// in-flight scatters, which releases the local MVCC views the same
+	// query pinned. Closing a local store first would wait for those
+	// pinned readers — held hostage by a hung remote attempt — for the
+	// full attempt timeout.
 	for _, sub := range st.shards {
+		if _, ok := sub.(remoteBackend); !ok {
+			continue
+		}
+		if err := sub.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, sub := range st.shards {
+		if _, ok := sub.(remoteBackend); ok {
+			continue
+		}
 		if err := sub.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -250,6 +381,7 @@ func (m *Manifest) clone() *Manifest {
 	for i, a := range m.Assign {
 		c.Assign[i] = append([]uint32(nil), a...)
 	}
+	c.Addrs = append([]string(nil), m.Addrs...)
 	return &c
 }
 
@@ -280,6 +412,9 @@ func loadManifest(dir string) (*Manifest, error) {
 	}
 	if m.Shards < 1 || len(m.Assign) != m.Shards {
 		return nil, fmt.Errorf("shard: manifest inconsistent: %d shards, %d assignment lists", m.Shards, len(m.Assign))
+	}
+	if len(m.Addrs) != 0 && len(m.Addrs) != m.Shards {
+		return nil, fmt.Errorf("shard: manifest inconsistent: %d shards, %d addresses", m.Shards, len(m.Addrs))
 	}
 	return &m, nil
 }

@@ -114,6 +114,14 @@ type QueryOptions struct {
 	// when the planner judges the query worth running NoK partitions
 	// concurrently — an ablation switch and an escape hatch.
 	DisableParallel bool
+	// AllowPartial opts a scatter-gather query into degraded partial
+	// results: when a remote shard is unavailable, the merged answer from
+	// the reachable shards is returned with QueryStats.Degraded set and
+	// the missing shards listed, instead of failing with
+	// ErrShardUnavailable. Results that do come back are always correct
+	// matches — a degraded answer can only be missing rows, never contain
+	// wrong ones. Ignored by single-store evaluation.
+	AllowPartial bool
 }
 
 func (o *QueryOptions) toCore() *core.QueryOptions {
@@ -515,6 +523,15 @@ func (s *Store) TagCount(name string) uint64 {
 	defer v.Release()
 	return v.TagCount(name)
 }
+
+// ErrShardUnavailable is returned (wrapped) by scatter-gather queries that
+// needed an unreachable shard and were not allowed to return partial
+// results (QueryOptions.AllowPartial). The server maps it to HTTP 503.
+var ErrShardUnavailable = core.ErrShardUnavailable
+
+// ShardHealth reports one shard's availability as seen by the
+// scatter-gather executor; see internal/core for field semantics.
+type ShardHealth = core.ShardHealth
 
 // ErrNeedsRecovery is returned by Insert/Delete after an update
 // transaction failed midway: the in-memory state is unreliable and further
