@@ -14,7 +14,9 @@
 //	nokbench -table planner    cost-based planner vs §6.2 heuristic pages
 //	nokbench -table shard      scatter-gather speedup on sharded collections
 //	nokbench -table remote     loopback remote scatter vs in-process overhead
+//	nokbench -table telemetry  query telemetry capture overhead
 //	nokbench -table mvcc       read latency under a concurrent writer
+//	nokbench -table ingest     group-commit ingest vs per-document Insert
 //	nokbench -table all        everything above
 //
 // Flags: -scale, -seed, -runs, -workdir, -datasets (comma-separated).
@@ -188,6 +190,21 @@ func main() {
 				log.Fatalf("contended read p50 is %.2fx the idle p50, over the %.1fx budget",
 					res.Ratio, bench.MVCCBudgetRatio)
 			}
+		case "ingest":
+			fmt.Fprintln(out, "== Group-commit ingest vs per-document Insert ==")
+			res, err := bench.Ingest(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.WriteIngest(out, res)
+			if res.Speedup < bench.IngestSpeedupMin {
+				log.Fatalf("group commit is only %.1fx per-Insert throughput, below the %.0fx budget",
+					res.Speedup, bench.IngestSpeedupMin)
+			}
+			if !res.SynopsisFresh || res.Fallbacks != 0 {
+				log.Fatalf("synopsis went stale during the streamed load (fresh=%v, %d planner fallbacks)",
+					res.SynopsisFresh, res.Fallbacks)
+			}
 		default:
 			log.Fatalf("unknown table %q", name)
 		}
@@ -195,7 +212,7 @@ func main() {
 	}
 
 	if *table == "all" {
-		for _, t := range []string{"1", "2", "3", "summary", "ratios", "io", "heuristic", "update", "stream", "skip", "planner", "shard", "remote", "telemetry", "mvcc"} {
+		for _, t := range []string{"1", "2", "3", "summary", "ratios", "io", "heuristic", "update", "stream", "skip", "planner", "shard", "remote", "telemetry", "mvcc", "ingest"} {
 			run(t)
 		}
 		return

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nok"
+	"nok/internal/shard"
+)
+
+func runCLI(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunLoadsSingleStore(t *testing.T) {
+	dir := t.TempDir()
+	xml := filepath.Join(dir, "doc.xml")
+	if err := os.WriteFile(xml, []byte("<lib><book><title>a</title></book></lib>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := runCLI(t, "", "-db", filepath.Join(dir, "db"), "-xml", xml)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "nodes:") {
+		t.Fatalf("missing load summary: %q", out)
+	}
+}
+
+func TestFollowStdinSingleStore(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "db")
+	st, err := nok.Create(db, strings.NewReader("<lib></lib>"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var feed strings.Builder
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&feed, "<book><title>f%d</title><price>%d</price></book>", i, i)
+	}
+	code, out, errb := runCLI(t, feed.String(),
+		"-db", db, "-follow", "-", "-batch-docs", "8", "-batch-interval", "20ms")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "documents: 20 committed") {
+		t.Fatalf("summary: %q", out)
+	}
+
+	st, err = nok.Open(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	res, err := st.Query("//book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 20 {
+		t.Fatalf("store holds %d books, want 20", len(res))
+	}
+}
+
+// TestFollowTailsGrowingFileSharded drives the full -follow path: a file
+// growing while nokload tails it, feeding a 4-shard collection, exiting on
+// the idle limit.
+func TestFollowTailsGrowingFileSharded(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "db")
+	seed := "<col>" + strings.Repeat("<doc><v>seed</v></doc>", 4) + "</col>"
+	st, err := shard.Create(db, strings.NewReader(seed), &shard.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	feed := filepath.Join(dir, "feed.xml")
+	if err := os.WriteFile(feed, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writerDone := make(chan error, 1)
+	go func() {
+		f, err := os.OpenFile(feed, os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			writerDone <- err
+			return
+		}
+		defer f.Close()
+		for i := 0; i < 30; i++ {
+			if _, err := fmt.Fprintf(f, "<doc n=\"%d\"><v>tail %d</v></doc>", i, i); err != nil {
+				writerDone <- err
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		writerDone <- nil
+	}()
+
+	code, out, errb := runCLI(t, "",
+		"-db", db, "-follow", feed, "-batch-docs", "8", "-batch-interval", "10ms", "-idle-exit", "300ms")
+	if err := <-writerDone; err != nil {
+		t.Fatalf("feed writer: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "documents: 30 committed") {
+		t.Fatalf("summary: %q", out)
+	}
+
+	re, err := shard.Open(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	res, err := re.Query("//doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 34 {
+		t.Fatalf("collection holds %d docs, want 34", len(res))
+	}
+	if r := re.Verify(true); len(r.Issues) != 0 {
+		t.Fatalf("verify after follow: %v", r.Issues)
+	}
+}
+
+func TestFollowRejectsBadFlagCombos(t *testing.T) {
+	if code, _, _ := runCLI(t, "", "-db", t.TempDir(), "-follow", "-", "-xml", "x.xml"); code != 2 {
+		t.Fatalf("follow+xml: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, ""); code != 2 {
+		t.Fatalf("no flags: exit %d, want 2", code)
+	}
+}

@@ -11,9 +11,13 @@
 //
 //	nokserve -db DIR [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	         [-timeout 10s] [-drain 30s]
+//	         [-batch-docs N] [-batch-bytes N] [-batch-interval D] [-ingest-pending N]
 //
-// Endpoints: /query, /explain, /value/{id}, POST /insert, DELETE
-// /node/{id}, /stats, /metrics, /healthz[?deep=1] — see docs/SERVER.md.
+// Endpoints: /query, /explain, /value/{id}, POST /insert, POST /ingest,
+// DELETE /node/{id}, /stats, /metrics, /healthz[?deep=1] — see
+// docs/SERVER.md and docs/INGEST.md. POST /ingest streams many documents
+// through the shared group-commit pipeline (the -batch-* flags tune its
+// flush triggers; overload answers 429 + Retry-After).
 // A failed deep verification (or a mid-transaction update failure) flips
 // the server into degraded read-only mode; restart the process to run
 // recovery.
@@ -33,6 +37,7 @@ import (
 
 	"nok"
 	"nok/internal/buildinfo"
+	"nok/internal/ingest"
 	"nok/internal/server"
 	"nok/internal/shard"
 	"nok/internal/telemetry"
@@ -58,6 +63,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	slowLog := fs.String("slow-log", "", "slow-query log destination: a file path, or \"stderr\"")
 	slowThreshold := fs.Duration("slow-threshold", 250*time.Millisecond, "queries at least this slow go to the slow-query log")
 	slowInterval := fs.Duration("slow-interval", time.Second, "minimum spacing between slow-query log lines")
+	batchDocs := fs.Int("batch-docs", 0, "ingest: flush a batch at this many documents (default 256)")
+	batchBytes := fs.Int64("batch-bytes", 0, "ingest: flush a batch at this many bytes (default 1MiB)")
+	batchInterval := fs.Duration("batch-interval", 0, "ingest: flush a non-empty batch at least this often (default 200ms)")
+	ingestPending := fs.Int64("ingest-pending", 0, "ingest: in-flight byte budget before 429 backpressure (default 8MiB)")
 	version := fs.Bool("version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -131,6 +140,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		QueryTimeout: deadline,
 		EnablePprof:  *debug,
 		AllowPartial: *allowPartial,
+		Ingest: ingest.Options{
+			BatchDocs:     *batchDocs,
+			BatchBytes:    *batchBytes,
+			BatchInterval: *batchInterval,
+			MaxPending:    *ingestPending,
+		},
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"nok/internal/dewey"
+	"nok/internal/sax"
+	"nok/internal/stats"
+	"nok/internal/stree"
+	"nok/internal/symtab"
+	"nok/internal/vstore"
+)
+
+// This file is the group-commit append path behind internal/ingest. A
+// batch of fragments parses into ONE concatenated token string (balanced
+// subtrees concatenate into a string InsertChild accepts wholesale), so
+// the whole batch costs a single copy-on-write transaction: one subtree
+// splice, one index rebuild, one fsync + MANIFEST rename, one published
+// epoch. That amortization is what makes sustained ingest viable — the
+// per-commit cost that dominates Insert is paid once per batch.
+//
+// The statistics synopsis is maintained incrementally on this path: the
+// parse feeds a delta builder seeded with the insertion point's ancestor
+// chain, and the delta merges into the previous epoch's synopsis
+// (stats.Merge) instead of being recollected by the rebuild scan. The
+// merged synopsis commits at the new epoch, so the planner never sees
+// stale statistics mid-stream.
+
+// FragmentError reports which fragment of a batch failed, so callers can
+// drop it and retry the rest. It always wraps the underlying cause.
+type FragmentError struct {
+	// Index is the position of the offending fragment in the batch.
+	Index int
+	Err   error
+}
+
+func (e *FragmentError) Error() string {
+	return fmt.Sprintf("core: batch fragment %d: %v", e.Index, e.Err)
+}
+
+func (e *FragmentError) Unwrap() error { return e.Err }
+
+// InsertFragmentBatch appends every fragment, in order, as new last
+// children of the node identified by parent — one atomic commit, one new
+// epoch. Each fragment must contain exactly one root element. A parse
+// failure aborts the whole batch before any tree mutation and is reported
+// as a *FragmentError identifying the offender.
+func (db *DB) InsertFragmentBatch(parent dewey.ID, frags []io.Reader) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if db.broken {
+		return ErrNeedsRecovery
+	}
+	if len(frags) == 0 {
+		return nil
+	}
+	pos, _, found, err := db.NodeAt(parent)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("core: no node with ID %s", parent)
+	}
+
+	// The first new subtree's Dewey ordinal is the parent's current child
+	// count plus one; subsequent fragments take consecutive ordinals.
+	kids, err := db.countChildren(pos)
+	if err != nil {
+		return err
+	}
+
+	// New names intern into a clone of the committed symbol table:
+	// readers of the current epoch keep their table untouched, and an
+	// abort simply discards the clone.
+	newTags := db.Tags.Clone()
+
+	// Incremental synopsis: when the committed synopsis is fresh, collect
+	// the batch's contribution in a delta builder seeded with the
+	// insertion point's ancestor chain and merge instead of rebuilding.
+	// A stale or missing synopsis falls back to the full rebuild scan.
+	var delta *stats.Builder
+	prev := db.Snapshot.syn.Load()
+	if prev != nil && prev.Epoch == db.Snapshot.epoch {
+		if anc, err := db.ancestorSyms(parent); err == nil {
+			delta = stats.NewDeltaBuilder(anc)
+		}
+	}
+
+	var enc stree.SubtreeEncoder
+	valueAt := map[string]uint64{}
+	for i, r := range frags {
+		ord := kids + 1 + uint32(i)
+		if err := db.parseFragment(r, &enc, newTags, parent, ord, valueAt, delta); err != nil {
+			return &FragmentError{Index: i, Err: err}
+		}
+	}
+	tokens, err := enc.Bytes()
+	if err != nil {
+		return err
+	}
+
+	// Carry over existing dewey→value associations (appending as the last
+	// child never renumbers existing nodes), add the new ones, then run
+	// the whole batch as one atomic commit.
+	carried, err := db.valueAssociations(nil, 0)
+	if err != nil {
+		return err
+	}
+	for k, v := range valueAt {
+		carried[k] = v
+	}
+	var merged *stats.Synopsis
+	if delta != nil {
+		merged = stats.Merge(prev, delta.Delta())
+	}
+	return db.applyUpdate(newTags, carried, merged, func(t *stree.Store) error {
+		return t.InsertChild(pos, tokens)
+	})
+}
+
+// parseFragment parses one XML fragment into the shared batch encoder,
+// records its values keyed by the Dewey IDs the new nodes will have
+// (rooted at parent.Child(ord)), and — when delta is non-nil — feeds the
+// synopsis delta builder. The fragment must contain exactly one root
+// element so consecutive batch ordinals line up with the spliced tree.
+func (db *DB) parseFragment(r io.Reader, enc *stree.SubtreeEncoder, newTags *symtab.Table,
+	parent dewey.ID, ord uint32, valueAt map[string]uint64, delta *stats.Builder) error {
+	// Fragment roots sit one level below the parent; len(parent) is the
+	// parent's depth (the document root's ID "0" has length 1, depth 1).
+	baseLevel := len(parent)
+	type open struct {
+		id    dewey.ID
+		text  strings.Builder
+		kids  uint32
+		level int
+	}
+	var stack []*open
+	rootSeen := false
+	sc := sax.NewScanner(r)
+	openElem := func(name string) error {
+		sym, err := newTags.Intern(name)
+		if err != nil {
+			return err
+		}
+		if err := enc.Open(sym); err != nil {
+			return err
+		}
+		var id dewey.ID
+		if len(stack) == 0 {
+			if rootSeen {
+				return errors.New("core: fragment must have a single root element")
+			}
+			rootSeen = true
+			id = parent.Child(ord)
+		} else {
+			p := stack[len(stack)-1]
+			p.kids++
+			id = p.id.Child(p.kids)
+		}
+		level := baseLevel + len(stack) + 1
+		if delta != nil {
+			delta.Node(sym, level)
+		}
+		stack = append(stack, &open{id: id, level: level})
+		return nil
+	}
+	closeElem := func(trim bool) error {
+		if err := enc.Close(); err != nil {
+			return err
+		}
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		text := e.text.String()
+		if trim {
+			text = strings.TrimSpace(text)
+		}
+		if text != "" {
+			off, err := db.Values.Append([]byte(text))
+			if err != nil {
+				return err
+			}
+			valueAt[e.id.String()] = uint64(off)
+			if delta != nil {
+				delta.Value(e.level, vstore.Hash([]byte(text)))
+			}
+		}
+		return nil
+	}
+	for {
+		ev, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		switch ev.Kind {
+		case sax.StartElement:
+			if err := openElem(ev.Name); err != nil {
+				return err
+			}
+			for _, a := range ev.Attrs {
+				if err := openElem(symtab.AttrPrefix + a.Name); err != nil {
+					return err
+				}
+				stack[len(stack)-1].text.WriteString(a.Value)
+				if err := closeElem(false); err != nil {
+					return err
+				}
+			}
+		case sax.EndElement:
+			if err := closeElem(true); err != nil {
+				return err
+			}
+		case sax.Text:
+			if len(stack) > 0 {
+				stack[len(stack)-1].text.WriteString(ev.Data)
+			}
+		}
+	}
+	if !rootSeen {
+		return errors.New("core: fragment must have a single root element")
+	}
+	return nil
+}
+
+// ancestorSyms returns the tag symbols on the path from the document root
+// down to (and including) the node with the given ID — the seed chain for
+// a synopsis delta builder.
+func (db *DB) ancestorSyms(id dewey.ID) ([]symtab.Sym, error) {
+	syms := make([]symtab.Sym, 0, len(id))
+	for i := 1; i <= len(id); i++ {
+		pos, _, ok, err := db.NodeAt(id[:i])
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: no node with ID %s", id[:i])
+		}
+		sym, err := db.Tree.SymAt(pos)
+		if err != nil {
+			return nil, err
+		}
+		syms = append(syms, sym)
+	}
+	return syms, nil
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"nok/internal/samples"
+	"nok/internal/stats"
+)
+
+// checkSynopsisAgainstRebuild asserts the committed (incrementally merged)
+// synopsis is byte-identical to a full rebuild at the same epoch —
+// RefreshSynopsis rescans the whole tree, which is the oracle.
+func checkSynopsisAgainstRebuild(t *testing.T, db *DB) {
+	t.Helper()
+	if !db.SynopsisFresh() {
+		t.Fatal("synopsis stale after batch insert")
+	}
+	merged := stats.Encode(db.Synopsis())
+	if err := db.RefreshSynopsis(); err != nil {
+		t.Fatalf("RefreshSynopsis: %v", err)
+	}
+	rebuilt := stats.Encode(db.Synopsis())
+	if !bytes.Equal(merged, rebuilt) {
+		t.Fatalf("incrementally merged synopsis differs from full rebuild:\nmerged:  %+v\nrebuilt: %+v",
+			db.Synopsis(), db.Synopsis())
+	}
+}
+
+func TestInsertFragmentBatchOneEpoch(t *testing.T) {
+	db := loadDB(t, samples.Bibliography, smallPages())
+	epoch0 := db.Snapshot.epoch
+	frags := []io.Reader{
+		strings.NewReader(`<book year="2005"><title>Alpha</title><price>11.00</price></book>`),
+		strings.NewReader(`<book year="2006"><title>Beta</title><price>12.00</price></book>`),
+		strings.NewReader(`<article><title>Gamma</title></article>`),
+	}
+	if err := db.InsertFragmentBatch(mustID(t, "0"), frags); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Snapshot.epoch; got != epoch0+1 {
+		t.Fatalf("batch of 3 published %d epochs, want exactly 1", got-epoch0)
+	}
+	// All three landed as consecutive last children with working indexes.
+	got := queryIDs(t, db, `/bib/book`, nil)
+	if len(got) != 6 || got[4] != "0.5" || got[5] != "0.6" {
+		t.Fatalf("books after batch: %v", got)
+	}
+	got = queryIDs(t, db, `//book[title="Beta"]`, nil)
+	if len(got) != 1 || got[0] != "0.6" {
+		t.Fatalf("Beta query: %v", got)
+	}
+	got = queryIDs(t, db, `/bib/article/title`, nil)
+	if len(got) != 1 || got[0] != "0.7.1" {
+		t.Fatalf("article title: %v", got)
+	}
+	v, ok, err := db.NodeValue(mustID(t, "0.6.2"))
+	if err != nil || !ok || v != "Beta" {
+		t.Fatalf("NodeValue = %q, %v, %v", v, ok, err)
+	}
+	checkSynopsisAgainstRebuild(t, db)
+}
+
+func TestInsertFragmentBatchSequential(t *testing.T) {
+	db := loadDB(t, samples.Bibliography, smallPages())
+	for round := 0; round < 4; round++ {
+		frags := make([]io.Reader, 3)
+		for i := range frags {
+			frags[i] = strings.NewReader(fmt.Sprintf(
+				`<book year="201%d"><title>R%dN%d</title><price>%d.50</price></book>`,
+				round, round, i, 10+round))
+		}
+		if err := db.InsertFragmentBatch(mustID(t, "0"), frags); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		checkSynopsisAgainstRebuild(t, db)
+	}
+	if got := queryIDs(t, db, `/bib/book`, nil); len(got) != 16 {
+		t.Fatalf("books after 4 rounds = %d, want 16", len(got))
+	}
+}
+
+func TestInsertFragmentBatchDeepParent(t *testing.T) {
+	db := loadDB(t, samples.Bibliography, smallPages())
+	// Append two extra <last> nodes under the first book's author (0.1.3).
+	frags := []io.Reader{
+		strings.NewReader(`<last>Extra1</last>`),
+		strings.NewReader(`<last>Extra2</last>`),
+	}
+	if err := db.InsertFragmentBatch(mustID(t, "0.1.3"), frags); err != nil {
+		t.Fatal(err)
+	}
+	got := queryIDs(t, db, `//author[last="Extra2"]`, nil)
+	if len(got) != 1 || got[0] != "0.1.3" {
+		t.Fatalf("deep batch query: %v", got)
+	}
+	checkSynopsisAgainstRebuild(t, db)
+}
+
+func TestInsertFragmentBatchBadFragmentAborts(t *testing.T) {
+	db := loadDB(t, samples.Bibliography, smallPages())
+	epoch0 := db.Snapshot.epoch
+	before := queryIDs(t, db, `/bib/book`, nil)
+	err := db.InsertFragmentBatch(mustID(t, "0"), []io.Reader{
+		strings.NewReader(`<book><title>OK</title></book>`),
+		strings.NewReader(`<book><title>broken`), // unclosed
+		strings.NewReader(`<book><title>Never</title></book>`),
+	})
+	var fe *FragmentError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *FragmentError, got %v", err)
+	}
+	if fe.Index != 1 {
+		t.Fatalf("FragmentError.Index = %d, want 1", fe.Index)
+	}
+	if db.Snapshot.epoch != epoch0 {
+		t.Fatal("failed batch published an epoch")
+	}
+	if after := queryIDs(t, db, `/bib/book`, nil); len(after) != len(before) {
+		t.Fatalf("failed batch mutated the store: %d -> %d books", len(before), len(after))
+	}
+	// The store stays usable: a clean retry without the offender commits.
+	err = db.InsertFragmentBatch(mustID(t, "0"), []io.Reader{
+		strings.NewReader(`<book><title>OK</title></book>`),
+		strings.NewReader(`<book><title>Never</title></book>`),
+	})
+	if err != nil {
+		t.Fatalf("retry after failed batch: %v", err)
+	}
+	if after := queryIDs(t, db, `/bib/book`, nil); len(after) != len(before)+2 {
+		t.Fatalf("retry landed %d books, want %d", len(after), len(before)+2)
+	}
+	checkSynopsisAgainstRebuild(t, db)
+}
+
+func TestInsertFragmentBatchRejectsEmptyFragment(t *testing.T) {
+	db := loadDB(t, samples.Bibliography, smallPages())
+	err := db.InsertFragmentBatch(mustID(t, "0"), []io.Reader{
+		strings.NewReader(`<book><title>OK</title></book>`),
+		strings.NewReader(`   `), // no root element: would misalign ordinals
+	})
+	var fe *FragmentError
+	if !errors.As(err, &fe) || fe.Index != 1 {
+		t.Fatalf("empty fragment: want *FragmentError at 1, got %v", err)
+	}
+	// Zero fragments is a no-op, not a commit.
+	epoch0 := db.Snapshot.epoch
+	if err := db.InsertFragmentBatch(mustID(t, "0"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if db.Snapshot.epoch != epoch0 {
+		t.Fatal("empty batch published an epoch")
+	}
+}
+
+// TestInsertFragmentBatchStaleSynopsisFallback forces the no-synopsis path
+// and checks the batch still commits with a correct (rebuilt) synopsis.
+func TestInsertFragmentBatchStaleSynopsisFallback(t *testing.T) {
+	db := loadDB(t, samples.Bibliography, smallPages())
+	// Simulate a stale synopsis as an old store (pre-synopsis epoch) would
+	// present it: the loaded synopsis carries a past epoch.
+	old := db.Synopsis()
+	stale := *old
+	stale.Epoch = old.Epoch + 1000
+	db.Snapshot.syn.Store(&stale)
+	if db.SynopsisFresh() {
+		t.Fatal("setup: synopsis should be stale")
+	}
+	if err := db.InsertFragmentBatch(mustID(t, "0"), []io.Reader{
+		strings.NewReader(`<book><title>Fallback</title></book>`),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The rebuild scan recollected the synopsis; it is fresh again.
+	checkSynopsisAgainstRebuild(t, db)
+}

@@ -6,12 +6,10 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
-	"strings"
 
 	"nok/internal/btree"
 	"nok/internal/dewey"
 	"nok/internal/pager"
-	"nok/internal/sax"
 	"nok/internal/stats"
 	"nok/internal/stree"
 	"nok/internal/symtab"
@@ -59,140 +57,15 @@ var ErrNeedsRecovery = errors.New("core: store needs recovery (a previous update
 
 // InsertFragment parses an XML fragment and appends it as the last
 // child(ren) of the node identified by parent. The fragment must contain
-// exactly one root element. Indexes are rebuilt afterwards.
+// exactly one root element. Indexes are rebuilt afterwards. It is the
+// single-fragment case of InsertFragmentBatch (append.go).
 func (db *DB) InsertFragment(parent dewey.ID, r io.Reader) error {
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
-	if db.closed.Load() {
-		return ErrClosed
+	err := db.InsertFragmentBatch(parent, []io.Reader{r})
+	var fe *FragmentError
+	if errors.As(err, &fe) {
+		return fe.Err // a one-fragment batch has only one possible offender
 	}
-	if db.broken {
-		return ErrNeedsRecovery
-	}
-	pos, _, found, err := db.NodeAt(parent)
-	if err != nil {
-		return err
-	}
-	if !found {
-		return fmt.Errorf("core: no node with ID %s", parent)
-	}
-
-	// The new subtree's Dewey IDs start at the parent's current child
-	// count plus one; count children by navigation.
-	kids, err := db.countChildren(pos)
-	if err != nil {
-		return err
-	}
-
-	// New names intern into a clone of the committed symbol table:
-	// readers of the current epoch keep their table untouched, and an
-	// abort simply discards the clone.
-	newTags := db.Tags.Clone()
-
-	// Parse the fragment: build the token string and collect values keyed
-	// by the Dewey IDs the new nodes will have.
-	var enc stree.SubtreeEncoder
-	valueAt := map[string]uint64{}
-	type open struct {
-		id   dewey.ID
-		text strings.Builder
-		kids uint32
-	}
-	var stack []*open
-	rootSeen := false
-	sc := sax.NewScanner(r)
-	openElem := func(name string) error {
-		sym, err := newTags.Intern(name)
-		if err != nil {
-			return err
-		}
-		if err := enc.Open(sym); err != nil {
-			return err
-		}
-		var id dewey.ID
-		if len(stack) == 0 {
-			if rootSeen {
-				return errors.New("core: fragment must have a single root element")
-			}
-			rootSeen = true
-			id = parent.Child(kids + 1)
-		} else {
-			p := stack[len(stack)-1]
-			p.kids++
-			id = p.id.Child(p.kids)
-		}
-		stack = append(stack, &open{id: id})
-		return nil
-	}
-	closeElem := func(trim bool) error {
-		if err := enc.Close(); err != nil {
-			return err
-		}
-		e := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		text := e.text.String()
-		if trim {
-			text = strings.TrimSpace(text)
-		}
-		if text != "" {
-			off, err := db.Values.Append([]byte(text))
-			if err != nil {
-				return err
-			}
-			valueAt[e.id.String()] = uint64(off)
-		}
-		return nil
-	}
-	for {
-		ev, err := sc.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		switch ev.Kind {
-		case sax.StartElement:
-			if err := openElem(ev.Name); err != nil {
-				return err
-			}
-			for _, a := range ev.Attrs {
-				if err := openElem(symtab.AttrPrefix + a.Name); err != nil {
-					return err
-				}
-				stack[len(stack)-1].text.WriteString(a.Value)
-				if err := closeElem(false); err != nil {
-					return err
-				}
-			}
-		case sax.EndElement:
-			if err := closeElem(true); err != nil {
-				return err
-			}
-		case sax.Text:
-			if len(stack) > 0 {
-				stack[len(stack)-1].text.WriteString(ev.Data)
-			}
-		}
-	}
-	tokens, err := enc.Bytes()
-	if err != nil {
-		return err
-	}
-
-	// Carry over existing dewey→value associations (appending as the last
-	// child never renumbers existing nodes), add the new ones, then run
-	// the mutation as one atomic commit.
-	carried, err := db.valueAssociations(nil, 0)
-	if err != nil {
-		return err
-	}
-	for k, v := range valueAt {
-		carried[k] = v
-	}
-	return db.applyUpdate(newTags, carried, func(t *stree.Store) error {
-		return t.InsertChild(pos, tokens)
-	})
+	return err
 }
 
 // DeleteSubtree removes the node with the given ID and its descendants.
@@ -220,8 +93,9 @@ func (db *DB) DeleteSubtree(id dewey.ID) error {
 	}
 	// A delete interns nothing, so the new epoch shares the committed
 	// symbol table (tables are immutable once committed). Tag counts and
-	// total are re-derived by the rebuild scan.
-	return db.applyUpdate(db.Tags, carried, func(t *stree.Store) error {
+	// total are re-derived by the rebuild scan (a delete's synopsis delta
+	// is not collectible from the parse, so no precomputed synopsis).
+	return db.applyUpdate(db.Tags, carried, nil, func(t *stree.Store) error {
 		return t.DeleteSubtree(pos)
 	})
 }
@@ -230,8 +104,11 @@ func (db *DB) DeleteSubtree(id dewey.ID) error {
 // of the current snapshot inside a copy-on-write transaction, rebuilds the
 // derived files into a new Snapshot, and commits by switching the manifest
 // to the new epoch. Readers keep evaluating on their pinned views
-// throughout. Caller holds wmu.
-func (db *DB) applyUpdate(newTags *symtab.Table, carried map[string]uint64, mutate func(t *stree.Store) error) error {
+// throughout. preSyn, when non-nil, is an incrementally merged synopsis
+// (stats.Merge of the committed synopsis and the mutation's delta) that
+// replaces the rebuild scan's statistics collection; it must not be shared
+// with readers, as the commit stamps it. Caller holds wmu.
+func (db *DB) applyUpdate(newTags *symtab.Table, carried map[string]uint64, preSyn *stats.Synopsis, mutate func(t *stree.Store) error) error {
 	cur := db.Snapshot
 	newEpoch := cur.epoch + 1
 	if err := db.treeFile.BeginCOW(newEpoch); err != nil {
@@ -248,7 +125,7 @@ func (db *DB) applyUpdate(newTags *symtab.Table, carried map[string]uint64, muta
 		Values:   db.Values,
 		tagCount: make(map[symtab.Sym]uint64),
 	}
-	if err := db.rebuildIndexes(next, wtree, carried); err != nil {
+	if err := db.rebuildIndexes(next, wtree, carried, preSyn); err != nil {
 		next.closeFiles()
 		return db.abortUpdate(newEpoch, err)
 	}
@@ -416,8 +293,10 @@ func prefixEq(id, other dewey.ID, n int) bool {
 // fresh files named for next.epoch, filling next's in-memory state. The
 // previous epoch's files and open handles are untouched — they remain the
 // committed state readers are using. valOffByDewey carries the value
-// associations.
-func (db *DB) rebuildIndexes(next *Snapshot, wtree *stree.Store, valOffByDewey map[string]uint64) error {
+// associations. When preSyn is non-nil it is stamped with the new epoch
+// and committed as the synopsis, and the scan skips statistics
+// collection; otherwise the synopsis is rebuilt from the scan.
+func (db *DB) rebuildIndexes(next *Snapshot, wtree *stree.Store, valOffByDewey map[string]uint64, preSyn *stats.Synopsis) error {
 	newEpoch := next.epoch
 	pageSize := db.treeFile.PageSize()
 	if pageSize < 1024 {
@@ -450,7 +329,10 @@ func (db *DB) rebuildIndexes(next *Snapshot, wtree *stree.Store, valOffByDewey m
 		return err
 	}
 
-	sb := stats.NewBuilder()
+	var sb *stats.Builder
+	if preSyn == nil {
+		sb = stats.NewBuilder()
+	}
 	// hashStack[d] is the path hash of the current open element at depth d
 	// (root depth 1); hashStack[0] is the seed.
 	hashStack := []uint64{pathHashSeed}
@@ -458,7 +340,9 @@ func (db *DB) rebuildIndexes(next *Snapshot, wtree *stree.Store, valOffByDewey m
 	err = wtree.Scan(func(pos stree.Pos, sym symtab.Sym, level int, id dewey.ID) bool {
 		next.tagCount[sym]++
 		next.total++
-		sb.Node(sym, level)
+		if sb != nil {
+			sb.Node(sym, level)
+		}
 		h := extendPathHash(hashStack[level-1], sym)
 		hashStack = append(hashStack[:level], h)
 		if err := next.PathIdx.Insert(pathKey(h, id), encodePos(pos)); err != nil {
@@ -477,7 +361,9 @@ func (db *DB) rebuildIndexes(next *Snapshot, wtree *stree.Store, valOffByDewey m
 				scanErr = err
 				return false
 			}
-			sb.Value(level, vstore.Hash(v))
+			if sb != nil {
+				sb.Value(level, vstore.Hash(v))
+			}
 			if err := next.ValIdx.Insert(valKey(vstore.Hash(v), id), encodePos(pos)); err != nil {
 				scanErr = err
 				return false
@@ -501,7 +387,14 @@ func (db *DB) rebuildIndexes(next *Snapshot, wtree *stree.Store, valOffByDewey m
 	if err := next.Tags.SaveFS(db.fsys, filepath.Join(db.dir, epochFileName(roleTags, newEpoch))); err != nil {
 		return err
 	}
-	syn := sb.Finish(newEpoch, uint64(wtree.NumPages()))
+	var syn *stats.Synopsis
+	if preSyn != nil {
+		preSyn.Epoch = newEpoch
+		preSyn.TreePages = uint64(wtree.NumPages())
+		syn = preSyn
+	} else {
+		syn = sb.Finish(newEpoch, uint64(wtree.NumPages()))
+	}
 	if err := vfs.WriteFileAtomic(db.fsys,
 		filepath.Join(db.dir, epochFileName(roleSynopsis, newEpoch)), stats.Encode(syn), 0o644); err != nil {
 		return err

@@ -1,0 +1,373 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nok/internal/core"
+	"nok/internal/obs"
+	"nok/internal/telemetry"
+)
+
+// Target is the store surface the pipeline commits to. *nok.Store and
+// *shard.Store both satisfy it: the whole slice lands as one committed
+// epoch (per shard, for a sharded collection, with shard-aware routing
+// through the SHARDS manifest).
+type Target interface {
+	InsertBatch(parentID string, frags [][]byte) error
+	Epoch() uint64
+}
+
+// Options tunes a Pipeline. Zero values take the defaults.
+type Options struct {
+	// Parent is the Dewey ID new documents append under (default "0",
+	// the collection/document root).
+	Parent string
+	// BatchDocs flushes a batch once it holds this many documents
+	// (default 256).
+	BatchDocs int
+	// BatchBytes flushes a batch once it holds this many bytes
+	// (default 1 MiB).
+	BatchBytes int64
+	// BatchInterval flushes a non-empty batch at least this often, so a
+	// slow trickle still becomes durable promptly (default 200ms).
+	BatchInterval time.Duration
+	// MaxPending bounds the bytes accepted but not yet committed — the
+	// pipeline's whole memory footprint. Submit returns a
+	// *BackpressureError once it is exceeded (default 8 MiB).
+	MaxPending int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Parent == "" {
+		o.Parent = "0"
+	}
+	if o.BatchDocs <= 0 {
+		o.BatchDocs = 256
+	}
+	if o.BatchBytes <= 0 {
+		o.BatchBytes = 1 << 20
+	}
+	if o.BatchInterval <= 0 {
+		o.BatchInterval = 200 * time.Millisecond
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 8 << 20
+	}
+	return o
+}
+
+// ErrClosed is returned by Submit and Flush after Close.
+var ErrClosed = errors.New("ingest: pipeline closed")
+
+// ErrBackpressure matches (errors.Is) every *BackpressureError.
+var ErrBackpressure = errors.New("ingest: pipeline backpressure")
+
+// BackpressureError is the typed, retryable overload signal: the bounded
+// in-flight budget is full, so the submission was NOT accepted. Retry
+// after RetryAfter — by then the committer has had a full flush interval
+// to drain. The server maps this to HTTP 429 + Retry-After.
+type BackpressureError struct {
+	Pending    int64
+	Limit      int64
+	RetryAfter time.Duration
+}
+
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("ingest: backpressure: %d bytes pending of %d budget (retry in %s)",
+		e.Pending, e.Limit, e.RetryAfter)
+}
+
+// Is reports true for ErrBackpressure, so errors.Is(err, ErrBackpressure)
+// identifies backpressure without unwrapping.
+func (e *BackpressureError) Is(target error) bool { return target == ErrBackpressure }
+
+// Stats is a snapshot of a pipeline's lifetime counters.
+type Stats struct {
+	// Batches is the number of group commits; Docs the documents durably
+	// committed; Bytes their submitted sizes.
+	Batches uint64
+	Docs    uint64
+	Bytes   uint64
+	// Rejected counts documents dropped because the store refused them
+	// (malformed fragments); the rest of their batch still commits.
+	Rejected uint64
+	// Backpressured counts submissions refused by the in-flight budget.
+	Backpressured uint64
+	// LastReject describes the most recent per-document rejection.
+	LastReject string
+}
+
+var (
+	mBatches = obs.Default.Counter("nok_ingest_batches_total",
+		"group commits executed by the ingest pipeline")
+	mDocs = obs.Default.Counter("nok_ingest_docs_total",
+		"documents durably committed by the ingest pipeline")
+	mBytes = obs.Default.Counter("nok_ingest_bytes_total",
+		"fragment bytes durably committed by the ingest pipeline")
+	mRejected = obs.Default.Counter("nok_ingest_rejected_total",
+		"documents rejected by the store during ingest (malformed fragments)")
+	mBackpressure = obs.Default.Counter("nok_ingest_backpressure_total",
+		"submissions refused because the ingest in-flight budget was full")
+	hBatchDocs = obs.Default.Histogram("nok_ingest_batch_docs",
+		"documents per group commit",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
+	hFlushSeconds = obs.Default.Histogram("nok_ingest_flush_seconds",
+		"group-commit flush latency in seconds", obs.LatencyBuckets)
+)
+
+// Pipeline batches submitted documents into group commits. Submissions
+// are asynchronous: Submit accepts (or refuses, under backpressure) and
+// returns immediately; a background committer flushes on size and time
+// triggers. Flush is the durability barrier. Concurrent submitters share
+// batches — and therefore share commits — which is the point: N writers
+// each paying 1/Nth of an fsync.
+//
+// A store-level failure that is not attributable to one document (I/O
+// error, ErrNeedsRecovery) is sticky: the pipeline fails fast on every
+// subsequent Submit/Flush, because the committed prefix is unknown to
+// later submitters and silently dropping their documents is worse.
+type Pipeline struct {
+	target Target
+	opt    Options
+
+	mu        sync.Mutex
+	flushed   *sync.Cond // signaled after every drain step
+	cur       [][]byte
+	curBytes  int64
+	pending   int64 // submitted-not-committed bytes, incl. in-flight batch
+	submitSeq uint64
+	doneSeq   uint64
+	err       error // sticky fatal error
+	closed    bool
+	stats     Stats
+
+	kick chan struct{}
+	quit chan struct{}
+	done chan struct{}
+}
+
+// NewPipeline starts a pipeline committing to target.
+func NewPipeline(target Target, opt Options) *Pipeline {
+	p := &Pipeline{
+		target: target,
+		opt:    opt.withDefaults(),
+		kick:   make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	p.flushed = sync.NewCond(&p.mu)
+	go p.run()
+	return p
+}
+
+// Submit hands one document fragment to the pipeline. It does NOT wait
+// for durability — call Flush for the barrier. The pipeline keeps the
+// slice until commit; the caller must not modify it afterwards. Under
+// backpressure the document is NOT accepted and a *BackpressureError
+// (errors.Is ErrBackpressure) says when to retry.
+func (p *Pipeline) Submit(frag []byte) error {
+	n := int64(len(frag))
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	if p.err != nil {
+		err := p.err
+		p.mu.Unlock()
+		return err
+	}
+	// Always admit into an empty pipeline, so one oversized document can
+	// not wedge it; otherwise hold the bounded budget.
+	if p.pending > 0 && p.pending+n > p.opt.MaxPending {
+		p.stats.Backpressured++
+		bp := &BackpressureError{Pending: p.pending, Limit: p.opt.MaxPending, RetryAfter: p.opt.BatchInterval}
+		p.mu.Unlock()
+		mBackpressure.Inc()
+		return bp
+	}
+	p.cur = append(p.cur, frag)
+	p.curBytes += n
+	p.pending += n
+	p.submitSeq++
+	ready := len(p.cur) >= p.opt.BatchDocs || p.curBytes >= p.opt.BatchBytes
+	p.mu.Unlock()
+	if ready {
+		p.wake()
+	}
+	return nil
+}
+
+// Flush blocks until every document submitted before the call is either
+// durably committed or rejected, returning the pipeline's sticky error if
+// the stream is dead.
+func (p *Pipeline) Flush() error {
+	p.mu.Lock()
+	if p.closed {
+		err := p.err
+		p.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return err
+	}
+	target := p.submitSeq
+	p.mu.Unlock()
+	p.wake()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// A racing Close still drains everything buffered before the
+	// committer exits, so doneSeq reaches target either way.
+	for p.doneSeq < target && p.err == nil {
+		p.flushed.Wait()
+	}
+	return p.err
+}
+
+// Close flushes what is buffered, stops the committer, and returns the
+// sticky error, if any. Further Submit/Flush calls return ErrClosed.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		err := p.err
+		p.mu.Unlock()
+		return err
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.quit)
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Stats returns a snapshot of the lifetime counters.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Pending returns the submitted-but-uncommitted byte count.
+func (p *Pipeline) Pending() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pending
+}
+
+func (p *Pipeline) wake() {
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// run is the committer: one goroutine turning accumulated submissions
+// into group commits on size (kick) and time (ticker) triggers.
+func (p *Pipeline) run() {
+	defer close(p.done)
+	ticker := time.NewTicker(p.opt.BatchInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.kick:
+		case <-ticker.C:
+		case <-p.quit:
+			p.drain()
+			return
+		}
+		p.drain()
+	}
+}
+
+// drain commits full batches until nothing is buffered, then wakes
+// flushers. On a sticky error the remaining submissions are accounted as
+// done (they will never commit) so Flush callers observe the failure
+// instead of hanging.
+func (p *Pipeline) drain() {
+	for {
+		p.mu.Lock()
+		if p.err != nil || len(p.cur) == 0 {
+			if p.err != nil {
+				p.doneSeq = p.submitSeq
+			}
+			p.flushed.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+		batch := p.cur
+		nbytes := p.curBytes
+		p.cur = nil
+		p.curBytes = 0
+		p.mu.Unlock()
+
+		start := time.Now()
+		rejected, lastReject, err := p.commitBatch(batch)
+		dur := time.Since(start)
+		committed := len(batch) - rejected
+
+		mBatches.Inc()
+		mDocs.Add(int64(committed))
+		mBytes.Add(nbytes)
+		mRejected.Add(int64(rejected))
+		hBatchDocs.Observe(float64(len(batch)))
+		hFlushSeconds.Observe(dur.Seconds())
+		rec := &telemetry.IngestBatch{
+			When:     start,
+			Docs:     committed,
+			Rejected: rejected,
+			Bytes:    nbytes,
+			Flush:    dur,
+			Epoch:    p.target.Epoch(),
+		}
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		telemetry.Default.CaptureIngest(rec)
+
+		p.mu.Lock()
+		p.pending -= nbytes
+		p.doneSeq += uint64(len(batch))
+		p.stats.Batches++
+		p.stats.Docs += uint64(committed)
+		p.stats.Bytes += uint64(nbytes)
+		p.stats.Rejected += uint64(rejected)
+		if lastReject != "" {
+			p.stats.LastReject = lastReject
+		}
+		if err != nil {
+			p.err = err
+		}
+		p.flushed.Broadcast()
+		p.mu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// commitBatch lands one batch. A *FragmentError pins the failure to one
+// document: that document is dropped (rejected) and the rest of the batch
+// retries, so one malformed fragment never poisons its batchmates. Any
+// other error is fatal to the pipeline.
+func (p *Pipeline) commitBatch(batch [][]byte) (rejected int, lastReject string, err error) {
+	for len(batch) > 0 {
+		err := p.target.InsertBatch(p.opt.Parent, batch)
+		if err == nil {
+			return rejected, lastReject, nil
+		}
+		var fe *core.FragmentError
+		if errors.As(err, &fe) && fe.Index >= 0 && fe.Index < len(batch) {
+			rejected++
+			lastReject = fe.Error()
+			batch = append(batch[:fe.Index:fe.Index], batch[fe.Index+1:]...)
+			continue
+		}
+		return rejected, lastReject, err
+	}
+	return rejected, lastReject, nil
+}

@@ -1,0 +1,334 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nok"
+	"nok/internal/telemetry"
+)
+
+const testSeed = `<col><doc n="seed"><v>0</v></doc></col>`
+
+func testDoc(i int) []byte {
+	return []byte(fmt.Sprintf(`<doc n="%d"><v>payload %d</v></doc>`, i, i))
+}
+
+func openStore(t *testing.T) *nok.Store {
+	t.Helper()
+	st, err := nok.Create(t.TempDir(), strings.NewReader(testSeed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func countDocs(t *testing.T, st *nok.Store) int {
+	t.Helper()
+	res, err := st.Query(`//doc`)
+	if err != nil {
+		t.Fatalf("count docs: %v", err)
+	}
+	return len(res)
+}
+
+// TestPipelineGroupCommit is the core property: N submitted documents land
+// in far fewer commits, each batch one MVCC epoch, with the telemetry
+// record carrying the published epoch.
+func TestPipelineGroupCommit(t *testing.T) {
+	st := openStore(t)
+	epoch0 := st.Epoch()
+	p := NewPipeline(st, Options{BatchDocs: 8, BatchInterval: time.Hour})
+	const n = 24
+	for i := 0; i < n; i++ {
+		if err := p.Submit(testDoc(i)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	stats := p.Stats()
+	if stats.Docs != n || stats.Rejected != 0 {
+		t.Fatalf("stats = %+v, want %d docs, 0 rejected", stats, n)
+	}
+	// Size trigger fires at 8 docs, so at most ceil(24/8) commits; group
+	// commit means strictly fewer epochs than documents.
+	if stats.Batches == 0 || stats.Batches > 3 {
+		t.Fatalf("%d batches for %d docs, want 1..3", stats.Batches, n)
+	}
+	if got, want := st.Epoch()-epoch0, stats.Batches; got != want {
+		t.Fatalf("epoch advanced by %d, want one epoch per batch (%d)", got, want)
+	}
+	if got := countDocs(t, st); got != n+1 {
+		t.Fatalf("store holds %d docs, want %d", got, n+1)
+	}
+	recs := telemetry.Default.IngestRecent(1)
+	if len(recs) != 1 {
+		t.Fatalf("no ingest telemetry captured")
+	}
+	if recs[0].Epoch != st.Epoch() || recs[0].Docs == 0 {
+		t.Fatalf("telemetry record %+v does not match store epoch %d", recs[0], st.Epoch())
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestPipelineTimeTrigger commits a trickle on the interval timer, without
+// any Flush barrier.
+func TestPipelineTimeTrigger(t *testing.T) {
+	st := openStore(t)
+	p := NewPipeline(st, Options{BatchDocs: 1 << 20, BatchInterval: 20 * time.Millisecond})
+	defer p.Close()
+	for i := 0; i < 2; i++ {
+		if err := p.Submit(testDoc(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Docs < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("interval flush never happened: %+v", p.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := countDocs(t, st); got != 3 {
+		t.Fatalf("store holds %d docs, want 3", got)
+	}
+}
+
+// TestPipelineRejectsMalformed drops a malformed fragment but commits its
+// batchmates.
+func TestPipelineRejectsMalformed(t *testing.T) {
+	st := openStore(t)
+	p := NewPipeline(st, Options{BatchDocs: 3, BatchInterval: time.Hour})
+	defer p.Close()
+	for _, frag := range [][]byte{
+		testDoc(0),
+		[]byte(`   `), // no root element: the store rejects it
+		testDoc(1),
+	} {
+		if err := p.Submit(frag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	stats := p.Stats()
+	if stats.Docs != 2 || stats.Rejected != 1 {
+		t.Fatalf("stats = %+v, want 2 committed + 1 rejected", stats)
+	}
+	if stats.LastReject == "" {
+		t.Fatal("LastReject empty after a rejection")
+	}
+	if got := countDocs(t, st); got != 3 {
+		t.Fatalf("store holds %d docs, want 3", got)
+	}
+	// The pipeline is still healthy.
+	if err := p.Submit(testDoc(2)); err != nil {
+		t.Fatalf("submit after rejection: %v", err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush after rejection: %v", err)
+	}
+}
+
+// stubTarget lets tests control commit behavior: block commits to build
+// backpressure, or fail them to test the sticky-error path.
+type stubTarget struct {
+	mu      sync.Mutex
+	epoch   uint64
+	batches int
+	docs    int
+	block   chan struct{} // non-nil: commits wait until closed
+	fail    error         // non-nil: commits fail
+}
+
+func (s *stubTarget) InsertBatch(parentID string, frags [][]byte) error {
+	s.mu.Lock()
+	block, fail := s.block, s.fail
+	s.mu.Unlock()
+	if block != nil {
+		<-block
+	}
+	if fail != nil {
+		return fail
+	}
+	s.mu.Lock()
+	s.epoch++
+	s.batches++
+	s.docs += len(frags)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *stubTarget) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+func TestPipelineBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	tgt := &stubTarget{block: gate}
+	p := NewPipeline(tgt, Options{BatchDocs: 1, BatchInterval: time.Hour, MaxPending: 100})
+	defer p.Close()
+
+	big := make([]byte, 60)
+	if err := p.Submit(big); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	// The committer is now stuck inside InsertBatch holding 60 in-flight
+	// bytes; the budget refuses the next 60.
+	deadline := time.Now().Add(5 * time.Second)
+	var err error
+	for {
+		err = p.Submit(big)
+		if err != nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("submit over budget: %v, want ErrBackpressure", err)
+	}
+	var bp *BackpressureError
+	if !errors.As(err, &bp) {
+		t.Fatalf("error %T is not *BackpressureError", err)
+	}
+	if bp.RetryAfter <= 0 || bp.Limit != 100 {
+		t.Fatalf("backpressure detail %+v", bp)
+	}
+	if p.Stats().Backpressured == 0 {
+		t.Fatal("Backpressured counter not incremented")
+	}
+
+	// Releasing the committer drains the budget; the retry succeeds.
+	close(gate)
+	tgt.mu.Lock()
+	tgt.block = nil
+	tgt.mu.Unlock()
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush after release: %v", err)
+	}
+	if err := p.Submit(big); err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("pending %d after full flush", p.Pending())
+	}
+}
+
+func TestPipelineStickyError(t *testing.T) {
+	boom := errors.New("disk on fire")
+	tgt := &stubTarget{fail: boom}
+	p := NewPipeline(tgt, Options{BatchDocs: 1, BatchInterval: time.Hour})
+	if err := p.Submit([]byte(`<doc/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("flush: %v, want sticky %v", err, boom)
+	}
+	if err := p.Submit([]byte(`<doc/>`)); !errors.Is(err, boom) {
+		t.Fatalf("submit after fatal error: %v, want sticky %v", err, boom)
+	}
+	if err := p.Close(); !errors.Is(err, boom) {
+		t.Fatalf("close: %v, want sticky %v", err, boom)
+	}
+}
+
+func TestPipelineCloseFlushesAndRefuses(t *testing.T) {
+	st := openStore(t)
+	p := NewPipeline(st, Options{BatchDocs: 1 << 20, BatchInterval: time.Hour})
+	for i := 0; i < 5; i++ {
+		if err := p.Submit(testDoc(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := countDocs(t, st); got != 6 {
+		t.Fatalf("store holds %d docs after close, want buffered docs committed (6)", got)
+	}
+	if err := p.Submit(testDoc(9)); err != ErrClosed {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	if err := p.Flush(); err != ErrClosed {
+		t.Fatalf("flush after close: %v, want ErrClosed", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestPipelineConcurrentSubmitters is the group-commit payoff: many
+// writers share batches, so commits (= epochs = fsyncs) stay far below the
+// document count. Submitters retry through backpressure like a real client.
+func TestPipelineConcurrentSubmitters(t *testing.T) {
+	st := openStore(t)
+	epoch0 := st.Epoch()
+	p := NewPipeline(st, Options{BatchDocs: 64, BatchInterval: 10 * time.Millisecond, MaxPending: 64 << 10})
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				doc := testDoc(w*perWorker + i)
+				for {
+					err := p.Submit(doc)
+					if err == nil {
+						break
+					}
+					var bp *BackpressureError
+					if !errors.As(err, &bp) {
+						errCh <- fmt.Errorf("worker %d doc %d: %w", w, i, err)
+						return
+					}
+					time.Sleep(bp.RetryAfter)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	stats := p.Stats()
+	const total = workers * perWorker
+	if stats.Docs != total || stats.Rejected != 0 {
+		t.Fatalf("stats = %+v, want %d docs", stats, total)
+	}
+	if stats.Batches >= total/2 {
+		t.Fatalf("%d batches for %d docs: group commit is not grouping", stats.Batches, total)
+	}
+	if got, want := st.Epoch()-epoch0, stats.Batches; got != want {
+		t.Fatalf("epoch advanced by %d, want %d (one per batch)", got, want)
+	}
+	if got := countDocs(t, st); got != total+1 {
+		t.Fatalf("store holds %d docs, want %d", got, total+1)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r := st.Verify(true); len(r.Issues) != 0 {
+		t.Fatalf("verify after concurrent ingest: %v", r.Issues)
+	}
+}

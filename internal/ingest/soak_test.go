@@ -1,0 +1,125 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nok/internal/shard"
+)
+
+// TestIngestSoakSharded drives sustained streamed load into a 4-shard
+// collection while concurrent readers query it — the CI soak scenario,
+// meant to run under -race. Writers share one pipeline (group commit across
+// submitters), readers must always observe a consistent snapshot: document
+// counts only ever grow, and every query succeeds mid-stream.
+func TestIngestSoakSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak streams hundreds of documents")
+	}
+	seed := `<col>` + strings.Repeat(`<doc n="seed"><v>0</v></doc>`, 4) + `</col>`
+	st, err := shard.Create(t.TempDir(), strings.NewReader(seed), &shard.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	p := NewPipeline(st, Options{
+		BatchDocs:     32,
+		BatchInterval: 10 * time.Millisecond,
+		MaxPending:    64 << 10,
+	})
+
+	const writers, perWriter = 3, 80
+	var readerWG, writerWG sync.WaitGroup
+	errCh := make(chan error, writers+1)
+	stop := make(chan struct{})
+
+	// Reader: counts grow monotonically and queries never fail mid-stream.
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		last := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			res, err := st.Query(`//doc`)
+			if err != nil {
+				errCh <- fmt.Errorf("query mid-stream: %w", err)
+				return
+			}
+			if len(res) < last {
+				errCh <- fmt.Errorf("document count went backwards: %d -> %d", last, len(res))
+				return
+			}
+			last = len(res)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				doc := []byte(fmt.Sprintf(
+					`<doc n="w%d-%d"><v>soak payload %d</v></doc>`, w, i, i))
+				for {
+					err := p.Submit(doc)
+					if err == nil {
+						break
+					}
+					var bp *BackpressureError
+					if !errors.As(err, &bp) {
+						errCh <- fmt.Errorf("writer %d doc %d: %w", w, i, err)
+						return
+					}
+					time.Sleep(bp.RetryAfter)
+				}
+			}
+		}(w)
+	}
+
+	writerWG.Wait()
+	werr := p.Flush()
+	close(stop)
+	readerWG.Wait()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close pipeline: %v", err)
+	}
+
+	stats := p.Stats()
+	const total = writers * perWriter
+	if stats.Docs != total || stats.Rejected != 0 {
+		t.Fatalf("stats = %+v, want %d docs committed", stats, total)
+	}
+	if stats.Batches >= total {
+		t.Fatalf("%d batches for %d docs: no grouping under sustained load", stats.Batches, total)
+	}
+	res, err := st.Query(`//doc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != total+4 {
+		t.Fatalf("collection holds %d docs, want %d", len(res), total+4)
+	}
+	if r := st.Verify(true); len(r.Issues) != 0 {
+		t.Fatalf("verify after soak: %v", r.Issues)
+	}
+	t.Logf("soak: %d docs in %d group commits, %d backpressure refusals",
+		stats.Docs, stats.Batches, stats.Backpressured)
+}

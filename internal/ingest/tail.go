@@ -1,0 +1,58 @@
+package ingest
+
+import (
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// TailReader adapts a growing input (a file being appended to) into the
+// endless reader a Splitter wants: at EOF of the underlying reader it
+// polls for more data instead of reporting end-of-stream, because an
+// *os.File keeps its offset and serves newly appended bytes on the next
+// Read. The tail ends when Stop is called or, with a non-zero IdleLimit,
+// when no new data arrives for that long.
+type TailReader struct {
+	r io.Reader
+	// Poll is the growth-check interval (default 150ms).
+	Poll time.Duration
+	// IdleLimit, when non-zero, ends the tail (io.EOF) after this much
+	// time without new data. Zero tails until Stop.
+	IdleLimit time.Duration
+
+	stopped atomic.Bool
+}
+
+// NewTailReader wraps r with the default poll interval.
+func NewTailReader(r io.Reader) *TailReader {
+	return &TailReader{r: r, Poll: 150 * time.Millisecond}
+}
+
+// Stop makes the next Read at end-of-data return io.EOF, ending the tail
+// cleanly between documents. Safe to call from another goroutine.
+func (t *TailReader) Stop() { t.stopped.Store(true) }
+
+func (t *TailReader) Read(p []byte) (int, error) {
+	var idle time.Duration
+	for {
+		n, err := t.r.Read(p)
+		if n > 0 {
+			return n, nil
+		}
+		if err != nil && err != io.EOF {
+			return 0, err
+		}
+		if t.stopped.Load() {
+			return 0, io.EOF
+		}
+		if t.IdleLimit > 0 && idle >= t.IdleLimit {
+			return 0, io.EOF
+		}
+		poll := t.Poll
+		if poll <= 0 {
+			poll = 150 * time.Millisecond
+		}
+		time.Sleep(poll)
+		idle += poll
+	}
+}

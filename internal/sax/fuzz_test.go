@@ -1,0 +1,143 @@
+package sax
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// scanAll drains a scanner, returning the events up to EOF or the error
+// that stopped it.
+func scanAll(r io.Reader) ([]Event, error) {
+	sc := NewScanner(r)
+	var evs []Event
+	for {
+		ev, err := sc.Next()
+		if err == io.EOF {
+			return evs, nil
+		}
+		if err != nil {
+			return evs, err
+		}
+		evs = append(evs, ev)
+	}
+}
+
+// canonicalize keeps the events the store consumes (elements and text),
+// merging adjacent text — re-serialization can fuse texts that were split
+// by a dropped comment or CDATA boundary, which the scanner then
+// coalesces into one event.
+func canonicalize(evs []Event) []Event {
+	var out []Event
+	for _, ev := range evs {
+		switch ev.Kind {
+		case StartElement, EndElement:
+			out = append(out, ev)
+		case Text:
+			if n := len(out); n > 0 && out[n-1].Kind == Text {
+				out[n-1].Data += ev.Data
+			} else {
+				out = append(out, Event{Kind: Text, Data: ev.Data})
+			}
+		}
+	}
+	return out
+}
+
+// FuzzScanner throws arbitrary bytes at the SAX scanner — the parser now
+// sits on the network-facing ingest path (POST /ingest bodies stream
+// straight into it), so it must never panic, must keep accepted streams
+// balanced, and accepted input must survive a re-serialization round
+// trip: write the events back out as XML, rescan, and get the same
+// element/text stream.
+func FuzzScanner(f *testing.F) {
+	for _, seed := range []string{
+		`<a/>`,
+		`<bib><book year="2004"><title>Succinct &amp; Fast</title></book></bib>`,
+		`<a><b>x</b><b>y</b></a>`,
+		`<a foo="1" bar="it&apos;s">t</a>`,
+		`<a><!-- comment --><b/></a>`,
+		`<?xml version="1.0"?><a>x</a>`,
+		`<a><![CDATA[<raw> & bytes]]></a>`,
+		`<a>one</a><a>two</a>`, // concatenated documents: the ingest stream shape
+		`<a>unterminated`,
+		`</late>`,
+		`<a></b>`,
+		`<a attr=noquote>`,
+		`<a>text &unknown; more</a>`,
+		`<a>]]></a>`,
+		`<<>>`,
+		"<a>\x00\xff</a>",
+		`<a b="c" b="d"/>`,
+		`text outside`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		evs, err := scanAll(strings.NewReader(src))
+		if err != nil {
+			return // rejected input is fine; panics are the failure mode
+		}
+		// Accepted streams are balanced: the scanner enforces matched
+		// tags, so starts and ends must pair up exactly.
+		depth := 0
+		var stack []string
+		for _, ev := range evs {
+			switch ev.Kind {
+			case StartElement:
+				depth++
+				stack = append(stack, ev.Name)
+				if ev.Name == "" {
+					t.Fatalf("accepted StartElement with empty name in %q", src)
+				}
+			case EndElement:
+				depth--
+				if depth < 0 {
+					t.Fatalf("accepted unbalanced stream (extra close) in %q", src)
+				}
+				if want := stack[len(stack)-1]; ev.Name != want {
+					t.Fatalf("accepted mismatched close %q (open %q) in %q", ev.Name, want, src)
+				}
+				stack = stack[:len(stack)-1]
+			case Text:
+				if depth == 0 && strings.TrimSpace(ev.Data) != "" {
+					t.Fatalf("accepted character data outside any element in %q", src)
+				}
+			}
+		}
+		if depth != 0 {
+			t.Fatalf("accepted stream with %d unclosed element(s) in %q", depth, src)
+		}
+
+		// Round trip: re-serialize and rescan. The second pass must accept
+		// and yield the same canonical element/text stream.
+		var sb strings.Builder
+		for _, ev := range evs {
+			if err := WriteEvent(&sb, ev); err != nil {
+				t.Fatalf("WriteEvent: %v", err)
+			}
+		}
+		evs2, err := scanAll(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("rescan of re-serialized %q (from %q) failed: %v", sb.String(), src, err)
+		}
+		a, b := canonicalize(evs), canonicalize(evs2)
+		if len(a) != len(b) {
+			t.Fatalf("round trip changed event count %d -> %d (src %q, ser %q)", len(a), len(b), src, sb.String())
+		}
+		for i := range a {
+			if a[i].Kind != b[i].Kind || a[i].Name != b[i].Name || a[i].Data != b[i].Data {
+				t.Fatalf("round trip changed event %d: %+v -> %+v (src %q)", i, a[i], b[i], src)
+			}
+			if len(a[i].Attrs) != len(b[i].Attrs) {
+				t.Fatalf("round trip changed attr count of event %d (src %q)", i, src)
+			}
+			for j := range a[i].Attrs {
+				if a[i].Attrs[j] != b[i].Attrs[j] {
+					t.Fatalf("round trip changed attr %d of event %d: %+v -> %+v (src %q)",
+						j, i, a[i].Attrs[j], b[i].Attrs[j], src)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package sax
+
+import (
+	"io"
+	"strings"
+)
+
+// WriteEvent re-serializes one scanner event as XML markup. StartElement,
+// EndElement and Text round-trip through the scanner; Comment and PI are
+// emitted in their original syntax. Attribute values and character data
+// are escaped, so the output is well-formed whatever the event carries.
+// The ingest splitter (internal/ingest) uses this to cut a concatenated
+// fragment stream into standalone documents.
+func WriteEvent(w io.Writer, ev Event) error {
+	switch ev.Kind {
+	case StartElement:
+		if _, err := io.WriteString(w, "<"+ev.Name); err != nil {
+			return err
+		}
+		for _, a := range ev.Attrs {
+			if _, err := io.WriteString(w, " "+a.Name+`="`+EscapeString(a.Value)+`"`); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, ">")
+		return err
+	case EndElement:
+		_, err := io.WriteString(w, "</"+ev.Name+">")
+		return err
+	case Text:
+		return EscapeText(w, ev.Data)
+	case Comment:
+		// "--" cannot appear in comment content; drop the event's claim to
+		// commenthood rather than emit malformed markup.
+		if strings.Contains(ev.Data, "--") {
+			return nil
+		}
+		_, err := io.WriteString(w, "<!--"+ev.Data+"-->")
+		return err
+	case PI:
+		_, err := io.WriteString(w, "<?"+ev.Name+" "+ev.Data+"?>")
+		return err
+	}
+	return nil
+}

@@ -19,11 +19,13 @@
 //	GET    /plan?q=EXPR
 //	GET    /value/{id}
 //	POST   /insert?parent=ID   (XML fragment in the body)
+//	POST   /ingest[?wait=0]    (stream of XML fragments in the body)
 //	DELETE /node/{id}
 //	GET    /stats[?tag=NAME][&top=N]
 //	GET    /metrics[?exemplars=1]
 //	GET    /healthz[?deep=1]
 //	GET    /debug/queries[?n=N]
+//	GET    /debug/ingest[?n=N]
 //	GET    /debug/pprof/...        (only with Config.EnablePprof)
 //
 // Every /query response carries an X-Nok-Query-Id header naming the
@@ -59,6 +61,7 @@ import (
 
 	"nok"
 	"nok/internal/buildinfo"
+	"nok/internal/ingest"
 	"nok/internal/obs"
 	"nok/internal/pattern"
 	"nok/internal/telemetry"
@@ -108,6 +111,10 @@ type Config struct {
 	// overridable per request with ?partial=0/1). Off by default:
 	// completeness beats availability unless the operator says otherwise.
 	AllowPartial bool
+	// Ingest tunes the POST /ingest group-commit pipeline (batch size and
+	// interval, in-flight budget). Zero values take the ingest package
+	// defaults.
+	Ingest ingest.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -195,6 +202,12 @@ type Server struct {
 	cache *resultCache
 	mux   *http.ServeMux
 
+	// ingest is the shared group-commit pipeline behind POST /ingest; nil
+	// when the backend cannot batch (the handler then answers 501).
+	// Sharing one pipeline across requests is the point: concurrent
+	// clients' documents coalesce into the same commits.
+	ingest *ingest.Pipeline
+
 	lifeMu   sync.Mutex
 	draining bool
 	wg       sync.WaitGroup
@@ -230,11 +243,16 @@ func NewBackend(store Backend, cfg Config) *Server {
 	s.mux.HandleFunc("GET /plan", s.handlePlan)
 	s.mux.HandleFunc("GET /value/{id}", s.handleValue)
 	s.mux.HandleFunc("POST /insert", s.handleInsert)
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("DELETE /node/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
+	s.mux.HandleFunc("GET /debug/ingest", s.handleDebugIngest)
+	if bi, ok := store.(batchInserter); ok {
+		s.ingest = ingest.NewPipeline(ingestTarget{bi: bi, be: store}, cfg.Ingest)
+	}
 	if cfg.EnablePprof {
 		// pprof.Index dispatches /debug/pprof/{goroutine,heap,...} itself;
 		// the fixed-path handlers cover the endpoints Index doesn't.
@@ -328,6 +346,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+	// Drain the ingest pipeline first: Close flushes anything buffered, so
+	// accepted-but-uncommitted documents land before the store goes away.
+	if s.ingest != nil {
+		if err := s.ingest.Close(); err != nil {
+			s.store.Close()
+			return err
+		}
 	}
 	return s.store.Close()
 }

@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"nok"
+	"nok/internal/dewey"
+)
+
+// batchInserter is the optional group-commit fast path a backend may
+// offer: the whole slice lands in one committed epoch. Local backends get
+// it from *nok.Store; remote backends fall back to per-fragment inserts
+// (mutations are never retried or batched over the wire).
+type batchInserter interface {
+	InsertBatch(parentID string, frags [][]byte) error
+}
+
+// InsertBatch appends a batch of fragments in one pass. Deep parents (a
+// node inside one document) go to the owning shard as a single atomic
+// batch. Inserting under the collection root ("0") routes each fragment
+// by the collection's strategy, assigns consecutive global ordinals, and
+// groups the fragments per target shard so every shard commits its share
+// as ONE epoch; the manifest is rewritten once at the end.
+//
+// Atomicity is per shard, not per collection: a failure on one shard
+// leaves batches already committed on other shards in place (their
+// assignments are preserved), and the error — a *nok.FragmentError with
+// the index remapped to the caller's batch — identifies the offender.
+func (st *Store) InsertBatch(parentID string, frags [][]byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	pid, err := dewey.Parse(parentID)
+	if err != nil {
+		return err
+	}
+	if len(frags) == 0 {
+		return nil
+	}
+	if len(pid) > 1 {
+		s, local, err := st.locate(pid)
+		if err != nil {
+			return err
+		}
+		return insertBatchOn(st.shards[s], local.String(), frags)
+	}
+
+	// New top-level documents: route each fragment, then deliver each
+	// shard's share as one batch. Ordinals of a failed share are simply
+	// never assigned; the next insert reuses them, keeping per-shard
+	// assignments strictly increasing and duplicate-free.
+	type share struct {
+		frags   [][]byte
+		globals []uint32
+		orig    []int // caller's batch indexes, for error remapping
+	}
+	shares := make([]share, st.man.Shards)
+	global := st.maxGlobal()
+	for i, buf := range frags {
+		tag, err := fragmentRootTag(buf)
+		if err != nil {
+			return &nok.FragmentError{Index: i, Err: err}
+		}
+		global++
+		var target int
+		if st.man.Strategy == StrategyPath {
+			target = st.man.routeTag(tag)
+		} else {
+			target = routeHash(global, st.man.Shards)
+		}
+		sh := &shares[target]
+		sh.frags = append(sh.frags, buf)
+		sh.globals = append(sh.globals, global)
+		sh.orig = append(sh.orig, i)
+	}
+
+	var firstErr error
+	for s := range st.shards {
+		sh := shares[s]
+		if len(sh.frags) == 0 {
+			continue
+		}
+		if bi, ok := st.shards[s].(batchInserter); ok {
+			if err := bi.InsertBatch("0", sh.frags); err != nil {
+				var fe *nok.FragmentError
+				if errors.As(err, &fe) && fe.Index < len(sh.orig) {
+					err = &nok.FragmentError{Index: sh.orig[fe.Index], Err: fe.Err}
+				}
+				firstErr = fmt.Errorf("shard %d: %w", s, err)
+				break
+			}
+			st.man.Assign[s] = append(st.man.Assign[s], sh.globals...)
+			continue
+		}
+		// Per-fragment fallback (remote shard): record each success in the
+		// assignment immediately so a mid-batch failure never strands
+		// committed documents outside the manifest.
+		for i, f := range sh.frags {
+			if err := st.shards[s].Insert("0", bytes.NewReader(f)); err != nil {
+				firstErr = fmt.Errorf("shard %d: %w", s,
+					&nok.FragmentError{Index: sh.orig[i], Err: err})
+				break
+			}
+			st.man.Assign[s] = append(st.man.Assign[s], sh.globals[i])
+		}
+		if firstErr != nil {
+			break
+		}
+	}
+	if err := saveManifest(st.dir, st.man); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// insertBatchOn delivers a same-parent batch to one backend, using its
+// group-commit path when offered and per-fragment inserts otherwise.
+func insertBatchOn(b Backend, parentID string, frags [][]byte) error {
+	if bi, ok := b.(batchInserter); ok {
+		return bi.InsertBatch(parentID, frags)
+	}
+	for i, f := range frags {
+		if err := b.Insert(parentID, bytes.NewReader(f)); err != nil {
+			return &nok.FragmentError{Index: i, Err: err}
+		}
+	}
+	return nil
+}

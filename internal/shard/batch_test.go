@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"nok"
+)
+
+func batchFragments(n, from int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		k := from + i
+		if k%2 == 0 {
+			out[i] = []byte(fmt.Sprintf(
+				`<book year="%d"><title>NB%d</title><author><last>Batch%d</last></author><price>%d.25</price></book>`,
+				2010+k%10, k, k%5, 30+k%50))
+		} else {
+			out[i] = []byte(fmt.Sprintf(
+				`<article><title>NA%d</title><pages>%d</pages></article>`, k, 3+k%20))
+		}
+	}
+	return out
+}
+
+// TestInsertBatchOracle checks the group-commit path keeps the sharded
+// collection byte-identical to a single store fed the same batches.
+func TestInsertBatchOracle(t *testing.T) {
+	xml := collection(24)
+	for _, routing := range []Strategy{StrategyHash, StrategyPath} {
+		t.Run(string(routing), func(t *testing.T) {
+			single, sharded := openPair(t, xml, 4, routing)
+			for round := 0; round < 3; round++ {
+				frags := batchFragments(7, round*7)
+				if err := single.InsertBatch("0", frags); err != nil {
+					t.Fatalf("single round %d: %v", round, err)
+				}
+				if err := sharded.InsertBatch("0", frags); err != nil {
+					t.Fatalf("sharded round %d: %v", round, err)
+				}
+			}
+			for _, expr := range shardableQueries {
+				compareQuery(t, single, sharded, expr, nil)
+			}
+			if r := sharded.Verify(true); len(r.Issues) != 0 {
+				t.Fatalf("verify after batches: %v", r.Issues)
+			}
+		})
+	}
+}
+
+func TestInsertBatchDeepParent(t *testing.T) {
+	single, sharded := openPair(t, collection(12), 3, StrategyHash)
+	frags := [][]byte{
+		[]byte(`<last>DeepA</last>`),
+		[]byte(`<last>DeepB</last>`),
+	}
+	// 0.4 is a top-level document; 0.4.2 its author element in collection().
+	// Find a stable deep parent instead: append under the first book's
+	// author via a query for its ID.
+	res, err := sharded.Query(`//author[last="L0"]`)
+	if err != nil || len(res) == 0 {
+		t.Fatalf("locating author: %v (%d results)", err, len(res))
+	}
+	parent := res[0].ID
+	if err := sharded.InsertBatch(parent, frags); err != nil {
+		t.Fatalf("deep batch: %v", err)
+	}
+	if err := single.InsertBatch(parent, frags); err != nil {
+		t.Fatalf("single deep batch: %v", err)
+	}
+	compareQuery(t, single, sharded, `//author[last="DeepB"]`, nil)
+}
+
+func TestInsertBatchBadFragment(t *testing.T) {
+	_, sharded := openPair(t, collection(9), 3, StrategyHash)
+	before, err := sharded.Query(`//book`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := [][]byte{
+		[]byte(`<book><title>ok</title></book>`),
+		[]byte(`not xml at all`),
+	}
+	err = sharded.InsertBatch("0", batch)
+	var fe *nok.FragmentError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *nok.FragmentError, got %v", err)
+	}
+	if fe.Index != 1 {
+		t.Fatalf("FragmentError.Index = %d, want 1", fe.Index)
+	}
+	// Routing happens before any shard commit, so a bad fragment rejects
+	// the whole batch and the collection is untouched.
+	after, err := sharded.Query(`//book`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("failed batch mutated collection: %d -> %d books", len(before), len(after))
+	}
+	if r := sharded.Verify(true); len(r.Issues) != 0 {
+		t.Fatalf("verify after failed batch: %v", r.Issues)
+	}
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"bytes"
+	"testing"
+
+	"nok/internal/symtab"
+)
+
+// feed is one Node/Value script entry: level 0 marks a Value record for
+// the most recent node at valueLevel.
+type feed struct {
+	sym        symtab.Sym
+	level      int
+	value      bool
+	valueLevel int
+	valueHash  uint64
+}
+
+func apply(b *Builder, fs []feed) {
+	for _, f := range fs {
+		if f.value {
+			b.Value(f.valueLevel, f.valueHash)
+		} else {
+			b.Node(f.sym, f.level)
+		}
+	}
+}
+
+// TestMergeEqualsFullBuild is the core property the ingest path relies on:
+// building a synopsis over old+new nodes in one pass must equal building
+// the old part, collecting the new part in a seeded delta builder, and
+// merging.
+func TestMergeEqualsFullBuild(t *testing.T) {
+	const root, a, b, c symtab.Sym = 1, 2, 3, 4
+	old := []feed{
+		{sym: root, level: 1},
+		{sym: a, level: 2},
+		{sym: b, level: 3},
+		{value: true, valueLevel: 3, valueHash: 77},
+		{sym: b, level: 3},
+		{sym: a, level: 2},
+		{value: true, valueLevel: 2, valueHash: 78},
+	}
+	// Appended under the root (level 2 roots), as batched ingest does:
+	// repeats old tags, introduces a new one, carries values.
+	app := []feed{
+		{sym: a, level: 2},
+		{sym: c, level: 3},
+		{value: true, valueLevel: 3, valueHash: 77},
+		{sym: c, level: 2},
+		{sym: b, level: 3},
+		{value: true, valueLevel: 3, valueHash: 99},
+	}
+
+	full := NewBuilder()
+	apply(full, old)
+	apply(full, app)
+	want := full.Finish(7, 42)
+
+	prevB := NewBuilder()
+	apply(prevB, old)
+	prev := prevB.Finish(6, 40)
+
+	deltaB := NewDeltaBuilder([]symtab.Sym{root})
+	apply(deltaB, app)
+	got := Merge(prev, deltaB.Delta())
+	if got == nil {
+		t.Fatal("Merge returned nil for compatible inputs")
+	}
+	got.Epoch, got.TreePages = want.Epoch, want.TreePages
+
+	if !bytes.Equal(Encode(got), Encode(want)) {
+		t.Fatalf("merged synopsis differs from full build:\nmerged: %+v\nfull:   %+v", got, want)
+	}
+	// prev must be untouched (it is shared with pinned readers).
+	if prev.TotalNodes != 5 || prev.Tags[root].SumChildren != 2 {
+		t.Fatalf("Merge mutated prev: %+v", prev)
+	}
+}
+
+// TestDeltaBuilderDeepSeed seeds below a nested parent and checks the
+// parent's fan-out and the path hashes line up with a full build.
+func TestDeltaBuilderDeepSeed(t *testing.T) {
+	const root, mid, leaf symtab.Sym = 1, 2, 3
+	old := []feed{
+		{sym: root, level: 1},
+		{sym: mid, level: 2},
+		{sym: leaf, level: 3},
+	}
+	app := []feed{
+		{sym: leaf, level: 3},
+		{sym: leaf, level: 3},
+	}
+	full := NewBuilder()
+	apply(full, old)
+	apply(full, app)
+	want := full.Finish(2, 10)
+
+	prevB := NewBuilder()
+	apply(prevB, old)
+	prev := prevB.Finish(1, 10)
+
+	deltaB := NewDeltaBuilder([]symtab.Sym{root, mid})
+	apply(deltaB, app)
+	got := Merge(prev, deltaB.Delta())
+	got.Epoch, got.TreePages = want.Epoch, want.TreePages
+	if !bytes.Equal(Encode(got), Encode(want)) {
+		t.Fatalf("deep-seeded merge differs from full build")
+	}
+	if got.Tags[mid].SumChildren != 3 {
+		t.Fatalf("mid fan-out = %d, want 3", got.Tags[mid].SumChildren)
+	}
+}
+
+func TestSketchMerge(t *testing.T) {
+	a, b := NewSketch(64), NewSketch(64)
+	both := NewSketch(64)
+	for h := uint64(0); h < 100; h++ {
+		a.Add(h)
+		both.Add(h)
+	}
+	for h := uint64(50); h < 120; h++ {
+		b.Add(h)
+		both.Add(h)
+	}
+	m := mergeSketches(a, b)
+	if m == nil {
+		t.Fatal("mergeSketches returned nil for same-width sketches")
+	}
+	for h := uint64(0); h < 120; h++ {
+		if got, want := m.Estimate(h), both.Estimate(h); got != want {
+			t.Fatalf("Estimate(%d) = %d after merge, want %d", h, got, want)
+		}
+	}
+	// Inputs are untouched.
+	if a.Estimate(10) != 1 || b.Estimate(60) != 1 {
+		t.Fatal("mergeSketches mutated an input")
+	}
+	if mergeSketches(a, NewSketch(32)) != nil {
+		t.Fatal("mergeSketches accepted differing widths")
+	}
+	if mergeSketches(nil, b) != nil || mergeSketches(a, nil) != nil {
+		t.Fatal("mergeSketches accepted nil input")
+	}
+}
+
+func TestMergeIncompatibleSketches(t *testing.T) {
+	pb := NewBuilder()
+	pb.Node(1, 1)
+	prev := pb.Finish(1, 1)
+	db := NewDeltaBuilder([]symtab.Sym{1})
+	db.Node(2, 2)
+	delta := db.Delta()
+	delta.Values = NewSketch(7) // width differs from the default
+	if Merge(prev, delta) != nil {
+		t.Fatal("Merge accepted incompatible sketch widths")
+	}
+}
+
+func TestMergePathOverflowSetsTruncated(t *testing.T) {
+	pb := NewBuilder()
+	pb.Node(1, 1)
+	for i := 0; i < MaxPaths-1; i++ {
+		pb.Node(symtab.Sym(i+2), 2)
+	}
+	prev := pb.Finish(1, 1)
+	if prev.PathsTruncated {
+		t.Fatal("prev unexpectedly truncated")
+	}
+	db := NewDeltaBuilder([]symtab.Sym{1})
+	db.Node(symtab.Sym(MaxPaths+5), 2)
+	db.Node(symtab.Sym(MaxPaths+6), 2)
+	got := Merge(prev, db.Delta())
+	if !got.PathsTruncated {
+		t.Fatal("overflowing merge did not set PathsTruncated")
+	}
+	if len(got.Paths) != MaxPaths {
+		t.Fatalf("merged path count = %d, want %d", len(got.Paths), MaxPaths)
+	}
+}

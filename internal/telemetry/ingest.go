@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// IngestBatch is one group-commit flush captured by the ingest pipeline
+// (internal/ingest): how many documents and bytes the batch carried, how
+// long the commit took, the epoch it published, and any per-document
+// rejections. Served by GET /debug/ingest and nokdebug bundles.
+type IngestBatch struct {
+	ID       uint64        `json:"id"`
+	When     time.Time     `json:"when"`
+	Docs     int           `json:"docs"`
+	Rejected int           `json:"rejected,omitempty"`
+	Bytes    int64         `json:"bytes"`
+	Flush    time.Duration `json:"-"`
+	FlushMS  float64       `json:"flush_ms"`
+	Epoch    uint64        `json:"epoch"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// ingestRing mirrors the query flight recorder for ingest batches: a
+// fixed-size lock-free buffer of the most recent records.
+type ingestRing struct {
+	slots []atomic.Pointer[IngestBatch]
+	next  atomic.Uint64
+}
+
+func newIngestRing(n int) *ingestRing {
+	if n < 1 {
+		n = 1
+	}
+	return &ingestRing{slots: make([]atomic.Pointer[IngestBatch], n)}
+}
+
+// DefaultIngestRingSize bounds the ingest flight recorder.
+const DefaultIngestRingSize = 64
+
+// CaptureIngest records one flushed batch, assigning its ID. Disabled
+// capture still assigns IDs but skips recording, matching query capture.
+func (p *Pipeline) CaptureIngest(rec *IngestBatch) uint64 {
+	rec.ID = p.ingest.next.Add(1)
+	rec.FlushMS = float64(rec.Flush) / float64(time.Millisecond)
+	if !p.enabled.Load() {
+		return rec.ID
+	}
+	p.ingest.slots[(rec.ID-1)%uint64(len(p.ingest.slots))].Store(rec)
+	return rec.ID
+}
+
+// IngestRecent returns up to n captured ingest batches, newest first (all
+// when n <= 0).
+func (p *Pipeline) IngestRecent(n int) []*IngestBatch {
+	out := make([]*IngestBatch, 0, len(p.ingest.slots))
+	for i := range p.ingest.slots {
+		if rec := p.ingest.slots[i].Load(); rec != nil {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -43,6 +43,7 @@ type Pipeline struct {
 	ring    *ring
 	slowest *topK
 	slog    *slowLog
+	ingest  *ingestRing
 
 	mQuerySeconds *obs.Histogram
 	mQError       *obs.Histogram
@@ -82,6 +83,7 @@ func NewPipeline(cfg Config, reg *obs.Registry) *Pipeline {
 		ring:    newRing(cfg.RingSize),
 		slowest: newTopK(cfg.SlowestSize),
 		slog:    newSlowLog(cfg.SlowThreshold, cfg.SlowInterval),
+		ingest:  newIngestRing(DefaultIngestRingSize),
 		// Same name+help as the evaluator's registration, so both resolve
 		// to one shared histogram in the registry.
 		mQuerySeconds: reg.Histogram("nok_query_seconds",

@@ -400,3 +400,71 @@ func TestCloseRacesPinnedSnapshot(t *testing.T) {
 		t.Errorf("query on released snapshot: err = %v, want ErrClosed", err)
 	}
 }
+
+// TestSnapshotPinnedAcrossBatchedCommits extends the harness to the
+// group-commit append path: a snapshot pinned before a stream of batched
+// appends must stay byte-identical while InsertBatch publishes whole
+// batches — one epoch per batch, not per document — and once the snapshot
+// is released, every superseded batch epoch is reclaimed.
+func TestSnapshotPinnedAcrossBatchedCommits(t *testing.T) {
+	const books = 100
+	st := bigStore(t, books)
+	want := snapshotExpectations(t, st.Query)
+	epoch0 := st.Epoch()
+
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batches, perBatch = 5, 12
+	for b := 0; b < batches; b++ {
+		frags := make([][]byte, perBatch)
+		for i := range frags {
+			frags[i] = []byte(fmt.Sprintf(
+				"<book><title>batch%d-%d</title><price>%d</price></book>", b, i, 200+i))
+		}
+		if err := st.InsertBatch("0", frags); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		// After every group commit the pinned view is unchanged.
+		for _, expr := range oracleQueries {
+			rs, err := snap.Query(expr)
+			if err != nil {
+				t.Fatalf("pinned snapshot %s after batch %d: %v", expr, b, err)
+			}
+			if renderResults(rs) != want[expr] {
+				t.Fatalf("pinned snapshot %s drifted after batch %d", expr, b)
+			}
+		}
+	}
+
+	// Group commit: one epoch per batch, never one per document.
+	if e := st.Epoch(); e != epoch0+batches {
+		t.Errorf("epoch = %d after %d batches, want %d (one epoch per batch)", e, batches, epoch0+batches)
+	}
+	mid := st.MVCC()
+	if mid.LiveVersions != 2 || mid.OrphanPages != 0 {
+		t.Errorf("MVCC state while pinned: %+v, want 2 live versions, 0 orphans", mid)
+	}
+
+	snap.Release()
+
+	end := st.MVCC()
+	if end.LiveVersions != 1 {
+		t.Errorf("LiveVersions = %d after unpin, want 1 (superseded batch epochs not reclaimed)", end.LiveVersions)
+	}
+	if end.FreePhysical == 0 {
+		t.Errorf("FreePhysical = 0 after releasing %d superseded batch epochs, want recycled pages", batches)
+	}
+	rs, err := st.Query(`//book`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != books+batches*perBatch {
+		t.Errorf("live store has %d books, want %d", len(rs), books+batches*perBatch)
+	}
+	if vr := st.Verify(true); len(vr.Issues) != 0 {
+		t.Errorf("deep verify after batched commits: %v", vr.Issues)
+	}
+}

@@ -36,6 +36,7 @@
 package nok
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -469,6 +470,41 @@ func (s *Store) Insert(parentID string, fragment io.Reader) error {
 	// pages, and over-invalidating caches is always safe.
 	s.gen.Add(1)
 	return mapClosed(s.db.InsertFragment(id, fragment))
+}
+
+// FragmentError reports which fragment of an InsertBatch failed; callers
+// can drop the offender (by Index) and retry the rest of the batch.
+type FragmentError = core.FragmentError
+
+// InsertBatch appends every fragment, in order, as new last children of
+// the node with the given parent ID — one atomic commit publishing ONE new
+// epoch, with the per-commit fsync/rename cost paid once for the whole
+// batch (group commit). Each fragment must contain exactly one root
+// element; a malformed fragment aborts the batch before any mutation and
+// is reported as a *FragmentError. The statistics synopsis is maintained
+// incrementally, so the planner stays on fresh statistics throughout a
+// sustained append stream.
+func (s *Store) InsertBatch(parentID string, fragments [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	id, err := dewey.Parse(parentID)
+	if err != nil {
+		return err
+	}
+	if len(fragments) == 0 {
+		return nil
+	}
+	readers := make([]io.Reader, len(fragments))
+	for i, f := range fragments {
+		readers[i] = bytes.NewReader(f)
+	}
+	// Bump even when the insert errors: a partial mutation may have touched
+	// pages, and over-invalidating caches is always safe.
+	s.gen.Add(1)
+	return mapClosed(s.db.InsertFragmentBatch(id, readers))
 }
 
 // Delete removes the node with the given Dewey ID and its whole subtree.
