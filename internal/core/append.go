@@ -46,8 +46,10 @@ func (e *FragmentError) Unwrap() error { return e.Err }
 // InsertFragmentBatch appends every fragment, in order, as new last
 // children of the node identified by parent — one atomic commit, one new
 // epoch. Each fragment must contain exactly one root element. A parse
-// failure aborts the whole batch before any tree mutation and is reported
-// as a *FragmentError identifying the offender.
+// failure aborts the whole batch before ANY mutation — the tree, the
+// symbol table, and the append-only value store are all untouched — and
+// is reported as a *FragmentError identifying the offender, so callers
+// may drop it and retry the rest without leaking state.
 func (db *DB) InsertFragmentBatch(parent dewey.ID, frags []io.Reader) error {
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
@@ -93,16 +95,30 @@ func (db *DB) InsertFragmentBatch(parent dewey.ID, frags []io.Reader) error {
 	}
 
 	var enc stree.SubtreeEncoder
-	valueAt := map[string]uint64{}
+	var pend []pendingValue
 	for i, r := range frags {
 		ord := kids + 1 + uint32(i)
-		if err := db.parseFragment(r, &enc, newTags, parent, ord, valueAt, delta); err != nil {
+		if err := db.parseFragment(r, &enc, newTags, parent, ord, &pend, delta); err != nil {
 			return &FragmentError{Index: i, Err: err}
 		}
 	}
 	tokens, err := enc.Bytes()
 	if err != nil {
 		return err
+	}
+
+	// Text values land in the append-only value store only now, after the
+	// whole batch parsed: a *FragmentError abort must leave the store
+	// untouched, or a caller's drop-and-retry would re-append every
+	// retained fragment's values as uncompactable orphan bytes. An append
+	// failure here is an I/O error, fatal rather than per-fragment.
+	valueAt := make(map[string]uint64, len(pend))
+	for _, pv := range pend {
+		off, err := db.Values.Append([]byte(pv.text))
+		if err != nil {
+			return err
+		}
+		valueAt[pv.id] = uint64(off)
 	}
 
 	// Carry over existing dewey→value associations (appending as the last
@@ -124,13 +140,23 @@ func (db *DB) InsertFragmentBatch(parent dewey.ID, frags []io.Reader) error {
 	})
 }
 
+// pendingValue is a text value collected during the parse, buffered so
+// nothing touches the append-only value store until the whole batch is
+// known to parse.
+type pendingValue struct {
+	id   string // Dewey ID the new node will have
+	text string
+}
+
 // parseFragment parses one XML fragment into the shared batch encoder,
-// records its values keyed by the Dewey IDs the new nodes will have
+// collects its values keyed by the Dewey IDs the new nodes will have
 // (rooted at parent.Child(ord)), and — when delta is non-nil — feeds the
 // synopsis delta builder. The fragment must contain exactly one root
 // element so consecutive batch ordinals line up with the spliced tree.
+// Nothing durable mutates here: values are buffered into pend, names
+// intern into the cloned table, and an error discards both.
 func (db *DB) parseFragment(r io.Reader, enc *stree.SubtreeEncoder, newTags *symtab.Table,
-	parent dewey.ID, ord uint32, valueAt map[string]uint64, delta *stats.Builder) error {
+	parent dewey.ID, ord uint32, pend *[]pendingValue, delta *stats.Builder) error {
 	// Fragment roots sit one level below the parent; len(parent) is the
 	// parent's depth (the document root's ID "0" has length 1, depth 1).
 	baseLevel := len(parent)
@@ -181,11 +207,7 @@ func (db *DB) parseFragment(r io.Reader, enc *stree.SubtreeEncoder, newTags *sym
 			text = strings.TrimSpace(text)
 		}
 		if text != "" {
-			off, err := db.Values.Append([]byte(text))
-			if err != nil {
-				return err
-			}
-			valueAt[e.id.String()] = uint64(off)
+			*pend = append(*pend, pendingValue{id: e.id.String(), text: text})
 			if delta != nil {
 				delta.Value(e.level, vstore.Hash([]byte(text)))
 			}

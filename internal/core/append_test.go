@@ -137,6 +137,39 @@ func TestInsertFragmentBatchBadFragmentAborts(t *testing.T) {
 	checkSynopsisAgainstRebuild(t, db)
 }
 
+// TestInsertFragmentBatchAbortLeaksNoValues: a *FragmentError abort must
+// leave the append-only value store untouched — the ingest pipeline's
+// drop-and-retry re-submits every retained fragment, so bytes appended
+// during a failed parse would leak as uncompactable orphans on each
+// rejection.
+func TestInsertFragmentBatchAbortLeaksNoValues(t *testing.T) {
+	db := loadDB(t, samples.Bibliography, smallPages())
+	size0 := db.Values.Size()
+	for i := 0; i < 5; i++ {
+		err := db.InsertFragmentBatch(mustID(t, "0"), []io.Reader{
+			strings.NewReader(`<book><title>Kept</title><price>9.99</price></book>`),
+			strings.NewReader(`<book><title>bad</wrong></book>`), // mismatched close
+		})
+		var fe *FragmentError
+		if !errors.As(err, &fe) || fe.Index != 1 {
+			t.Fatalf("round %d: want *FragmentError at 1, got %v", i, err)
+		}
+	}
+	if got := db.Values.Size(); got != size0 {
+		t.Fatalf("aborted batches grew the value store by %d orphan bytes", got-size0)
+	}
+	// The retained fragment then commits, appending its values exactly once.
+	if err := db.InsertFragmentBatch(mustID(t, "0"), []io.Reader{
+		strings.NewReader(`<book><title>Kept</title><price>9.99</price></book>`),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Values.Size() == size0 {
+		t.Fatal("committed batch appended no values")
+	}
+	checkSynopsisAgainstRebuild(t, db)
+}
+
 func TestInsertFragmentBatchRejectsEmptyFragment(t *testing.T) {
 	db := loadDB(t, samples.Bibliography, smallPages())
 	err := db.InsertFragmentBatch(mustID(t, "0"), []io.Reader{

@@ -15,6 +15,14 @@ import (
 // *shard.Store both satisfy it: the whole slice lands as one committed
 // epoch (per shard, for a sharded collection, with shard-aware routing
 // through the SHARDS manifest).
+//
+// Retry contract: InsertBatch may return a *core.FragmentError ONLY if
+// the store is completely untouched — no document of the batch durable
+// anywhere. The pipeline reacts by dropping the offending fragment and
+// re-submitting the remainder, so a FragmentError after a partial commit
+// would durably duplicate the committed documents. A failure that leaves
+// any prefix committed must surface as a different error type; the
+// pipeline treats it as fatal.
 type Target interface {
 	InsertBatch(parentID string, frags [][]byte) error
 	Epoch() uint64
@@ -259,6 +267,12 @@ func (p *Pipeline) Pending() int64 {
 	return p.pending
 }
 
+// Budget returns the MaxPending in-flight byte budget. Feeders use it to
+// bound a single document: Submit always admits into an empty pipeline
+// (so one large document cannot wedge it), which means the budget only
+// holds if no individual document exceeds it.
+func (p *Pipeline) Budget() int64 { return p.opt.MaxPending }
+
 func (p *Pipeline) wake() {
 	select {
 	case p.kick <- struct{}{}:
@@ -352,8 +366,10 @@ func (p *Pipeline) drain() {
 
 // commitBatch lands one batch. A *FragmentError pins the failure to one
 // document: that document is dropped (rejected) and the rest of the batch
-// retries, so one malformed fragment never poisons its batchmates. Any
-// other error is fatal to the pipeline.
+// retries, so one malformed fragment never poisons its batchmates. The
+// retry is duplicate-free because of the Target contract — a
+// *FragmentError promises nothing committed. Any other error (including a
+// partial commit across shards) is fatal to the pipeline.
 func (p *Pipeline) commitBatch(batch [][]byte) (rejected int, lastReject string, err error) {
 	for len(batch) > 0 {
 		err := p.target.InsertBatch(p.opt.Parent, batch)

@@ -21,10 +21,18 @@ package ingest
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"io"
 
 	"nok/internal/sax"
 )
+
+// ErrDocTooLarge is returned (wrapped) by Splitter.Next when a single
+// document grows past MaxDocBytes. The splitter is spent afterwards, like
+// any other malformed-stream error: the oversized document is mid-stream
+// and cannot be skipped.
+var ErrDocTooLarge = errors.New("ingest: document exceeds the per-document size limit")
 
 // Splitter reads a concatenation of top-level XML documents from one
 // reader and returns them one at a time, re-serialized as standalone
@@ -35,6 +43,13 @@ import (
 type Splitter struct {
 	sc  *sax.Scanner
 	err error
+
+	// MaxDocBytes, when non-zero, bounds the re-serialized size of one
+	// document; a document growing past it fails Next with a wrapped
+	// ErrDocTooLarge. It is the memory cap for untrusted input: without it
+	// a single oversized document buffers in full, outside any pipeline
+	// backpressure budget.
+	MaxDocBytes int64
 }
 
 // NewSplitter returns a Splitter over r.
@@ -53,6 +68,15 @@ func (sp *Splitter) Next() ([]byte, error) {
 	}
 	var buf bytes.Buffer
 	depth := 0
+	write := func(ev sax.Event) error {
+		if err := sax.WriteEvent(&buf, ev); err != nil {
+			return err
+		}
+		if sp.MaxDocBytes > 0 && int64(buf.Len()) > sp.MaxDocBytes {
+			return fmt.Errorf("%w: %d bytes buffered of %d allowed", ErrDocTooLarge, buf.Len(), sp.MaxDocBytes)
+		}
+		return nil
+	}
 	for {
 		ev, err := sp.sc.Next()
 		if err == io.EOF {
@@ -68,13 +92,13 @@ func (sp *Splitter) Next() ([]byte, error) {
 		switch ev.Kind {
 		case sax.StartElement:
 			depth++
-			if err := sax.WriteEvent(&buf, ev); err != nil {
+			if err := write(ev); err != nil {
 				sp.err = err
 				return nil, err
 			}
 		case sax.EndElement:
 			depth--
-			if err := sax.WriteEvent(&buf, ev); err != nil {
+			if err := write(ev); err != nil {
 				sp.err = err
 				return nil, err
 			}
@@ -83,7 +107,7 @@ func (sp *Splitter) Next() ([]byte, error) {
 			}
 		case sax.Text:
 			if depth > 0 {
-				if err := sax.WriteEvent(&buf, ev); err != nil {
+				if err := write(ev); err != nil {
 					sp.err = err
 					return nil, err
 				}

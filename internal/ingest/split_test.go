@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -74,10 +75,71 @@ func TestSplitterMalformedStream(t *testing.T) {
 	}
 }
 
+func TestSplitterMaxDocBytes(t *testing.T) {
+	big := `<doc><v>` + strings.Repeat("x", 256) + `</v></doc>`
+	sp := NewSplitter(strings.NewReader(`<doc>small</doc>` + big))
+	sp.MaxDocBytes = 64
+	if _, err := sp.Next(); err != nil {
+		t.Fatalf("document under the limit: %v", err)
+	}
+	_, err := sp.Next()
+	if !errors.Is(err, ErrDocTooLarge) {
+		t.Fatalf("oversized document: err = %v, want ErrDocTooLarge", err)
+	}
+	// Spent afterwards, like any malformed-stream error.
+	if _, err := sp.Next(); !errors.Is(err, ErrDocTooLarge) {
+		t.Fatalf("spent splitter returned %v", err)
+	}
+	// Unlimited splitters keep accepting the same document.
+	sp = NewSplitter(strings.NewReader(big))
+	if _, err := sp.Next(); err != nil {
+		t.Fatalf("unlimited splitter: %v", err)
+	}
+}
+
 func TestSplitterEmptyStream(t *testing.T) {
 	sp := NewSplitter(strings.NewReader("  \n "))
 	if _, err := sp.Next(); err != io.EOF {
 		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+}
+
+// errThenDataReader returns its payload together with a non-EOF error in
+// one Read call — the io.Reader contract TailReader must not lose data or
+// errors over, even when the underlying error is not sticky.
+type errThenDataReader struct {
+	data []byte
+	err  error
+	done bool
+}
+
+func (r *errThenDataReader) Read(p []byte) (int, error) {
+	if r.done {
+		return 0, io.EOF // NOT sticky: the original error never repeats
+	}
+	r.done = true
+	n := copy(p, r.data)
+	return n, r.err
+}
+
+// TestTailReaderKeepsErrorWithData: a non-EOF error arriving alongside
+// bytes must surface on the next Read instead of being dropped — with a
+// non-sticky underlying reader the tail would otherwise poll forever as
+// if healthy.
+func TestTailReaderKeepsErrorWithData(t *testing.T) {
+	boom := errors.New("disk on fire")
+	tr := NewTailReader(&errThenDataReader{data: []byte("abc"), err: boom})
+	buf := make([]byte, 16)
+	n, err := tr.Read(buf)
+	if n != 3 || err != nil {
+		t.Fatalf("first Read = %d, %v; want 3, nil", n, err)
+	}
+	if n, err := tr.Read(buf); n != 0 || !errors.Is(err, boom) {
+		t.Fatalf("second Read = %d, %v; want 0, the remembered error", n, err)
+	}
+	// The failure stays sticky on the tail itself.
+	if _, err := tr.Read(buf); !errors.Is(err, boom) {
+		t.Fatalf("third Read = %v, want the remembered error", err)
 	}
 }
 

@@ -21,6 +21,10 @@ type TailReader struct {
 	IdleLimit time.Duration
 
 	stopped atomic.Bool
+	// sticky holds a non-EOF error that arrived together with data; it is
+	// delivered on the next Read so the failure survives even when the
+	// underlying reader's error is not sticky.
+	sticky error
 }
 
 // NewTailReader wraps r with the default poll interval.
@@ -33,10 +37,18 @@ func NewTailReader(r io.Reader) *TailReader {
 func (t *TailReader) Stop() { t.stopped.Store(true) }
 
 func (t *TailReader) Read(p []byte) (int, error) {
+	if t.sticky != nil {
+		return 0, t.sticky
+	}
 	var idle time.Duration
 	for {
 		n, err := t.r.Read(p)
 		if n > 0 {
+			// Deliver the bytes now; a non-EOF error that rode along is
+			// remembered and returned on the next call instead of dropped.
+			if err != nil && err != io.EOF {
+				t.sticky = err
+			}
 			return n, nil
 		}
 		if err != nil && err != io.EOF {

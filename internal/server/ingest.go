@@ -68,10 +68,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 	accepted := 0
 	sp := ingest.NewSplitter(r.Body)
+	// Cap single documents at the pipeline's in-flight budget: Submit
+	// always admits into an empty pipeline, so without this cap one
+	// oversized document would buffer in full and bypass backpressure.
+	sp.MaxDocBytes = s.ingest.Budget()
 	for {
 		doc, err := sp.Next()
 		if err == io.EOF {
 			break
+		}
+		if errors.Is(err, ingest.ErrDocTooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"document %d too large: %v", accepted, err)
+			return
 		}
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "malformed fragment stream after %d documents: %v", accepted, err)

@@ -128,10 +128,11 @@ func TestIngestBackpressure429(t *testing.T) {
 	_, ts := newTestServer(t, "<lib></lib>", Config{
 		Ingest: ingest.Options{
 			// Commits never trigger on their own, so accepted bytes stay
-			// pending and the second request must be refused.
+			// pending and the second request must be refused. The budget
+			// fits one filler document but not two.
 			BatchDocs:     1 << 20,
 			BatchInterval: time.Hour,
-			MaxPending:    64,
+			MaxPending:    150,
 		},
 	})
 
@@ -150,5 +151,29 @@ func TestIngestBackpressure429(t *testing.T) {
 	}
 	if !strings.Contains(er.Error, "backpressure") {
 		t.Fatalf("429 body: %+v", er)
+	}
+}
+
+// TestIngestOversizedDoc413 sends a single document larger than the whole
+// in-flight budget. Submit would admit it into an empty pipeline, so the
+// splitter's per-document cap must refuse it (413) before it buffers —
+// otherwise one request bypasses backpressure with unbounded memory.
+func TestIngestOversizedDoc413(t *testing.T) {
+	_, ts := newTestServer(t, "<lib></lib>", Config{
+		Ingest: ingest.Options{MaxPending: 256},
+	})
+	huge := "<book><title>" + strings.Repeat("y", 4096) + "</title></book>"
+	var er errorResponse
+	code, _ := postIngest(t, ts.URL+"/ingest", huge, &er)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized document: status %d (%+v)", code, er)
+	}
+	if !strings.Contains(er.Error, "too large") {
+		t.Fatalf("413 body: %+v", er)
+	}
+	// The store took nothing.
+	var qr queryResponse
+	if code := getJSON(t, ts.URL+"/query?q=%2F%2Fbook", &qr); code != 200 || qr.Count != 0 {
+		t.Fatalf("after 413: status %d, %d books, want 0", code, qr.Count)
 	}
 }

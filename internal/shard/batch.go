@@ -19,15 +19,21 @@ type batchInserter interface {
 
 // InsertBatch appends a batch of fragments in one pass. Deep parents (a
 // node inside one document) go to the owning shard as a single atomic
-// batch. Inserting under the collection root ("0") routes each fragment
-// by the collection's strategy, assigns consecutive global ordinals, and
-// groups the fragments per target shard so every shard commits its share
-// as ONE epoch; the manifest is rewritten once at the end.
+// batch. Inserting under the collection root ("0") deep-validates and
+// routes each fragment by the collection's strategy, assigns consecutive
+// global ordinals, and groups the fragments per target shard so every
+// shard commits its share as ONE epoch; the manifest is rewritten once at
+// the end.
 //
 // Atomicity is per shard, not per collection: a failure on one shard
 // leaves batches already committed on other shards in place (their
-// assignments are preserved), and the error — a *nok.FragmentError with
-// the index remapped to the caller's batch — identifies the offender.
+// assignments are preserved). The error contract is the ingest.Target
+// one: a *nok.FragmentError (index remapped to the caller's batch) is
+// returned ONLY while the collection is still untouched — every
+// document-attributable failure is caught by the validation pass before
+// the first shard commits — so callers may drop the offender and retry
+// the remainder without duplicating documents. Once any shard has
+// committed, failures surface as plain (non-retryable) errors.
 func (st *Store) InsertBatch(parentID string, frags [][]byte) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -49,10 +55,13 @@ func (st *Store) InsertBatch(parentID string, frags [][]byte) error {
 		return insertBatchOn(st.shards[s], local.String(), frags)
 	}
 
-	// New top-level documents: route each fragment, then deliver each
-	// shard's share as one batch. Ordinals of a failed share are simply
-	// never assigned; the next insert reuses them, keeping per-shard
-	// assignments strictly increasing and duplicate-free.
+	// New top-level documents: deep-validate and route each fragment, then
+	// deliver each shard's share as one batch. Validation runs the full
+	// parse up front so a malformed body (not just a bad root tag) rejects
+	// the batch here, while nothing has committed and a *FragmentError is
+	// still retry-safe. Ordinals of a failed share are simply never
+	// assigned; the next insert reuses them, keeping per-shard assignments
+	// strictly increasing and duplicate-free.
 	type share struct {
 		frags   [][]byte
 		globals []uint32
@@ -61,7 +70,7 @@ func (st *Store) InsertBatch(parentID string, frags [][]byte) error {
 	shares := make([]share, st.man.Shards)
 	global := st.maxGlobal()
 	for i, buf := range frags {
-		tag, err := fragmentRootTag(buf)
+		tag, err := validateFragment(buf)
 		if err != nil {
 			return &nok.FragmentError{Index: i, Err: err}
 		}
@@ -78,7 +87,11 @@ func (st *Store) InsertBatch(parentID string, frags [][]byte) error {
 		sh.orig = append(sh.orig, i)
 	}
 
+	// committed flips once ANY document is durable on any shard. From that
+	// point a failure must NOT read as a *FragmentError: drop-and-retry
+	// callers would re-submit the committed shares and duplicate them.
 	var firstErr error
+	committed := false
 	for s := range st.shards {
 		sh := shares[s]
 		if len(sh.frags) == 0 {
@@ -87,24 +100,35 @@ func (st *Store) InsertBatch(parentID string, frags [][]byte) error {
 		if bi, ok := st.shards[s].(batchInserter); ok {
 			if err := bi.InsertBatch("0", sh.frags); err != nil {
 				var fe *nok.FragmentError
-				if errors.As(err, &fe) && fe.Index < len(sh.orig) {
+				switch {
+				case errors.As(err, &fe) && fe.Index < len(sh.orig) && !committed:
+					// The shard's own batch is atomic, so nothing anywhere
+					// has committed yet: remap and stay retryable.
 					err = &nok.FragmentError{Index: sh.orig[fe.Index], Err: fe.Err}
+				case errors.As(err, &fe) && fe.Index < len(sh.orig):
+					err = fmt.Errorf("fragment %d: partial batch commit (earlier shards kept their shares), not retryable: %v",
+						sh.orig[fe.Index], fe.Err)
 				}
 				firstErr = fmt.Errorf("shard %d: %w", s, err)
 				break
 			}
+			committed = true
 			st.man.Assign[s] = append(st.man.Assign[s], sh.globals...)
 			continue
 		}
 		// Per-fragment fallback (remote shard): record each success in the
 		// assignment immediately so a mid-batch failure never strands
-		// committed documents outside the manifest.
+		// committed documents outside the manifest. Fragments were already
+		// validated, so a failure here is store- or network-level — and a
+		// prefix of the share may be durable — so it is never reported as a
+		// retryable *FragmentError.
 		for i, f := range sh.frags {
 			if err := st.shards[s].Insert("0", bytes.NewReader(f)); err != nil {
-				firstErr = fmt.Errorf("shard %d: %w", s,
-					&nok.FragmentError{Index: sh.orig[i], Err: err})
+				firstErr = fmt.Errorf("shard %d: fragment %d: not retryable (%d of this share committed): %v",
+					s, sh.orig[i], i, err)
 				break
 			}
+			committed = true
 			st.man.Assign[s] = append(st.man.Assign[s], sh.globals[i])
 		}
 		if firstErr != nil {
@@ -118,14 +142,22 @@ func (st *Store) InsertBatch(parentID string, frags [][]byte) error {
 }
 
 // insertBatchOn delivers a same-parent batch to one backend, using its
-// group-commit path when offered and per-fragment inserts otherwise.
+// group-commit path when offered and per-fragment inserts otherwise. The
+// fallback keeps the ingest.Target contract: a *nok.FragmentError is only
+// returned while the backend is untouched (first fragment), because later
+// fragments fail with a committed prefix behind them and retrying would
+// duplicate it.
 func insertBatchOn(b Backend, parentID string, frags [][]byte) error {
 	if bi, ok := b.(batchInserter); ok {
 		return bi.InsertBatch(parentID, frags)
 	}
 	for i, f := range frags {
 		if err := b.Insert(parentID, bytes.NewReader(f)); err != nil {
-			return &nok.FragmentError{Index: i, Err: err}
+			if i == 0 {
+				return &nok.FragmentError{Index: 0, Err: err}
+			}
+			return fmt.Errorf("shard: fragment %d: partial batch commit (%d fragments already committed), not retryable: %v",
+				i, i, err)
 		}
 	}
 	return nil

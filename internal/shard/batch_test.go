@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"nok"
+	"nok/internal/ingest"
 )
 
 func batchFragments(n, from int) [][]byte {
@@ -102,5 +104,94 @@ func TestInsertBatchBadFragment(t *testing.T) {
 	}
 	if r := sharded.Verify(true); len(r.Issues) != 0 {
 		t.Fatalf("verify after failed batch: %v", r.Issues)
+	}
+}
+
+// TestInsertBatchDeepParseFailure is the retry-safety contract: a fragment
+// whose root tag parses but whose BODY is malformed must reject the batch
+// before any shard commits, so a caller that drops the offender and
+// re-submits the remainder (the ingest pipeline) never duplicates the
+// documents of shards that went first.
+func TestInsertBatchDeepParseFailure(t *testing.T) {
+	for _, routing := range []Strategy{StrategyHash, StrategyPath} {
+		t.Run(string(routing), func(t *testing.T) {
+			_, sharded := openPair(t, collection(9), 3, routing)
+			count := func() int {
+				res, err := sharded.Query(`//title`)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return len(res)
+			}
+			before := count()
+			batch := batchFragments(6, 0)
+			// Root tag <book> scans fine; only the deep parse sees the
+			// mismatched close tag.
+			batch[4] = []byte(`<book><title>poison</wrong></book>`)
+			err := sharded.InsertBatch("0", batch)
+			var fe *nok.FragmentError
+			if !errors.As(err, &fe) {
+				t.Fatalf("want *nok.FragmentError, got %v", err)
+			}
+			if fe.Index != 4 {
+				t.Fatalf("FragmentError.Index = %d, want 4", fe.Index)
+			}
+			if got := count(); got != before {
+				t.Fatalf("failed batch committed documents: %d -> %d titles", before, got)
+			}
+			// Drop-and-retry lands every survivor exactly once.
+			retry := append(append([][]byte{}, batch[:4]...), batch[5:]...)
+			if err := sharded.InsertBatch("0", retry); err != nil {
+				t.Fatalf("retry: %v", err)
+			}
+			if got := count(); got != before+5 {
+				t.Fatalf("retry landed %d new documents, want 5", got-before)
+			}
+			if r := sharded.Verify(true); len(r.Issues) != 0 {
+				t.Fatalf("verify after retry: %v", r.Issues)
+			}
+		})
+	}
+}
+
+// TestIngestPipelineShardedNoDuplicates drives the real ingest pipeline at
+// a sharded store with a deep-malformed document mid-stream: the pipeline
+// must drop exactly that document and commit every other exactly once.
+func TestIngestPipelineShardedNoDuplicates(t *testing.T) {
+	_, sharded := openPair(t, collection(6), 3, StrategyHash)
+	count := func() int {
+		res, err := sharded.Query(`//title`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(res)
+	}
+	before := count()
+	p := ingest.NewPipeline(sharded, ingest.Options{BatchDocs: 16, BatchInterval: time.Hour})
+	good := 0
+	for i, frag := range batchFragments(7, 0) {
+		if i == 3 {
+			frag = []byte(`<book><title>poison</wrong></book>`)
+		} else {
+			good++
+		}
+		if err := p.Submit(frag); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if st := p.Stats(); st.Rejected != 1 || st.Docs != uint64(good) {
+		t.Fatalf("stats after flush: %+v (want %d docs, 1 rejected)", st, good)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(); got != before+good {
+		t.Fatalf("pipeline landed %d new documents, want %d (duplicates or drops)", got-before, good)
+	}
+	if r := sharded.Verify(true); len(r.Issues) != 0 {
+		t.Fatalf("verify after pipeline: %v", r.Issues)
 	}
 }

@@ -177,6 +177,44 @@ func (st *Store) maxGlobal() uint32 {
 	return m
 }
 
+// validateFragment deep-parses a fragment — well-formed XML, exactly one
+// root element — and names its root. InsertBatch runs it over the whole
+// batch before any shard commits: catching every document-attributable
+// failure up front is what keeps the routing stage's *FragmentError
+// retry-safe, because by the time shards start committing, the only
+// errors left are store-level and fatal.
+func validateFragment(buf []byte) (string, error) {
+	sc := sax.NewScanner(bytes.NewReader(buf))
+	root := ""
+	depth := 0
+	for {
+		ev, err := sc.Next()
+		if err == io.EOF {
+			// The scanner errors on EOF inside an open element, so a clean
+			// EOF means everything opened was closed.
+			if root == "" {
+				return "", fmt.Errorf("shard: fragment has no root element")
+			}
+			return root, nil
+		}
+		if err != nil {
+			return "", err
+		}
+		switch ev.Kind {
+		case sax.StartElement:
+			if depth == 0 {
+				if root != "" {
+					return "", fmt.Errorf("shard: fragment must have a single root element")
+				}
+				root = ev.Name
+			}
+			depth++
+		case sax.EndElement:
+			depth--
+		}
+	}
+}
+
 // fragmentRootTag scans just far enough into a fragment to name its root.
 func fragmentRootTag(buf []byte) (string, error) {
 	sc := sax.NewScanner(bytes.NewReader(buf))
